@@ -1,0 +1,51 @@
+"""Ablation — communication overhead: POCC vs Cure* on identical workloads.
+
+Section I claims OCC "reduces the communication overhead" by dropping the
+continuously running stabilization protocol.  Same seed, same workload:
+compare message and byte counts per completed operation."""
+
+from repro.common.config import ClusterConfig, ExperimentConfig, WorkloadConfig
+from repro.harness.experiment import run_experiment
+
+
+def _config(protocol: str) -> ExperimentConfig:
+    return ExperimentConfig(
+        cluster=ClusterConfig(num_dcs=3, num_partitions=4,
+                              keys_per_partition=200, protocol=protocol),
+        workload=WorkloadConfig(kind="get_put", gets_per_put=4,
+                                clients_per_partition=4,
+                                think_time_s=0.010),
+        warmup_s=0.4,
+        duration_s=1.6,
+        name=f"overhead-{protocol}",
+    )
+
+
+def test_ablation_communication_overhead(benchmark):
+    results = {}
+
+    def run() -> None:
+        for protocol in ("pocc", "cure", "gentlerain"):
+            results[protocol] = run_experiment(_config(protocol))
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    pocc, cure = results["pocc"], results["cure"]
+    pocc_msgs_per_op = pocc.network_messages / pocc.total_ops
+    cure_msgs_per_op = cure.network_messages / cure.total_ops
+
+    # Cure* sends strictly more messages (stabilization rounds) and more
+    # bytes per completed operation.
+    assert cure_msgs_per_op > pocc_msgs_per_op
+    assert cure.bytes_per_op > pocc.bytes_per_op
+
+    # But the *WAN* traffic (replication + heartbeats) is equivalent —
+    # stabilization is intra-DC.
+    pocc_wan = pocc.inter_dc_bytes / pocc.total_ops
+    cure_wan = cure.inter_dc_bytes / cure.total_ops
+    assert abs(pocc_wan - cure_wan) / max(pocc_wan, cure_wan) < 0.20
+
+    # GentleRain*'s scalar metadata makes each replicated version and
+    # request smaller than the vector protocols'.
+    gentlerain = results["gentlerain"]
+    assert gentlerain.bytes_per_op < cure.bytes_per_op

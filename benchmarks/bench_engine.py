@@ -1,0 +1,60 @@
+"""Micro-benchmarks of the simulation substrate itself.
+
+These justify the substrate substitution: the event engine must push
+hundreds of thousands of events per second for paper-scale sweeps to be
+tractable, and zipf sampling / vector ops are on the per-operation hot
+path."""
+
+import random
+
+from repro.clocks.vector import vec_covers, vec_leq, vec_max
+from repro.sim.engine import Simulator
+from repro.workload.zipf import ZipfGenerator
+
+
+def test_engine_event_throughput(benchmark):
+    """Schedule-and-run cost of one million chained events."""
+
+    def run() -> int:
+        sim = Simulator()
+        remaining = [200_000]
+
+        def tick() -> None:
+            if remaining[0] > 0:
+                remaining[0] -= 1
+                sim.schedule(0.001, tick)
+
+        for _ in range(5):
+            sim.schedule(0.0, tick)
+        sim.run()
+        return sim.events_executed
+
+    events = benchmark(run)
+    assert events >= 200_000
+
+
+def test_zipf_sampling_throughput(benchmark):
+    zipf = ZipfGenerator(10_000, 0.99, random.Random(1))
+
+    def run() -> int:
+        return sum(zipf.sample() for _ in range(50_000))
+
+    total = benchmark(run)
+    assert total > 0
+
+
+def test_vector_ops_throughput(benchmark):
+    a = [1_000_000, 2_000_000, 3_000_000]
+    b = [2_000_000, 1_000_000, 3_000_001]
+
+    def run() -> int:
+        hits = 0
+        for _ in range(100_000):
+            if vec_leq(a, b):
+                hits += 1
+            if vec_covers(b, a, skip=1):
+                hits += 1
+            vec_max(a, b)
+        return hits
+
+    assert benchmark(run) >= 0

@@ -1,0 +1,21 @@
+"""Figure 1a — throughput while varying the number of partitions.
+
+Paper claim: POCC and Cure* achieve basically the same throughput at every
+deployment size (optimism costs no throughput)."""
+
+from benchmarks.common import relative_gap, run_figure
+
+
+def test_fig1a_scalability(benchmark):
+    data = run_figure(benchmark, "1a")
+    pocc = data.ys("POCC")
+    cure = data.ys("Cure*")
+
+    # Both systems scale: throughput grows with partitions (only checkable
+    # when the scale preset sweeps more than one deployment size).
+    if len(pocc) > 1:
+        assert pocc[-1] > pocc[0]
+        assert cure[-1] > cure[0]
+    # The two systems stay close at every size (paper: overlapping lines).
+    for p, c in zip(pocc, cure):
+        assert relative_gap(p, c) < 0.30, (p, c)

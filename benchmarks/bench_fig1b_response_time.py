@@ -1,0 +1,25 @@
+"""Figure 1b — average response time vs throughput (client sweep).
+
+Paper claim: POCC's response time is at or below Cure*'s up to the
+saturation knee, because it runs no stabilization protocol and never
+traverses version chains on GETs."""
+
+from benchmarks.common import run_figure
+
+
+def test_fig1b_response_time(benchmark):
+    data = run_figure(benchmark, "1b")
+    pocc = data.series["POCC"]
+    cure = data.series["Cure*"]
+
+    # Response times rise with load for both systems (queueing).
+    assert pocc[-1][1] > pocc[0][1]
+    assert cure[-1][1] > cure[0][1]
+
+    # Below saturation (all but the last two points of the sweep), POCC's
+    # mean response time does not exceed Cure*'s.
+    for (_, pocc_ms), (_, cure_ms) in zip(pocc[:-2], cure[:-2]):
+        assert pocc_ms <= cure_ms * 1.10, (pocc_ms, cure_ms)
+
+    # POCC's peak throughput is at least Cure*'s (paper: equal).
+    assert max(x for x, _ in pocc) >= 0.9 * max(x for x, _ in cure)

@@ -1,0 +1,24 @@
+"""Figure 2a — POCC blocking probability and blocking time vs throughput.
+
+Paper claim: blocking probability stays below 1e-3 until the system nears
+its maximum throughput (so the 99.999th percentile is unaffected); blocking
+time is sub-millisecond at moderate load."""
+
+from benchmarks.common import run_figure
+
+
+def test_fig2a_blocking(benchmark):
+    data = run_figure(benchmark, "2a")
+    probabilities = data.series["blocking probability"]
+    times = data.series["blocking time (ms)"]
+
+    # Blocking is rare through most of the load range.
+    low_load = probabilities[: max(1, len(probabilities) // 2)]
+    assert all(p < 1e-2 for _, p in low_load), low_load
+
+    # Blocking stays the exception even at saturation (blocked operations
+    # never become the common case).
+    assert all(p < 0.25 for _, p in probabilities)
+
+    # Blocked operations stall for milliseconds, not seconds.
+    assert all(t < 250.0 for _, t in times)

@@ -1,0 +1,30 @@
+"""Figure 2b — Cure* data staleness vs throughput.
+
+Paper claim: the fraction of GETs returning old/unmerged items grows with
+load (stabilization slows under CPU contention), reaching ~15% old / ~10%
+unmerged near saturation and ~30% overloaded; affected chains hold several
+fresher/unmerged versions."""
+
+from benchmarks.common import run_figure
+
+
+def test_fig2b_staleness(benchmark):
+    data = run_figure(benchmark, "2b")
+    old = data.ys("% old")
+    unmerged = data.ys("% unmerged")
+    fresher = data.ys("# fresher versions")
+
+    # Staleness exists and grows with load (compare load extremes).
+    assert max(old) > 0
+    assert old[-1] >= old[0]
+    assert unmerged[-1] >= unmerged[0]
+
+    # Unmerged is a superset of old at every load point (Section V-B: an
+    # old item is also unmerged).
+    for o, u in zip(old, unmerged):
+        assert u >= o - 1e-9
+
+    # Affected reads have at least one fresher version by definition.
+    for o, f in zip(old, fresher):
+        if o > 0:
+            assert f >= 1.0

@@ -1,0 +1,28 @@
+"""Figure 3b — throughput and RO-TX response time vs clients/partition.
+
+Paper claim: both systems reach a similar maximum throughput; past the
+peak POCC's throughput drops (blocking under overload) while Cure*'s
+plateaus, and RO-TX response times climb steeply with the client count."""
+
+from benchmarks.common import run_figure
+
+
+def test_fig3b_tx_load(benchmark):
+    data = run_figure(benchmark, "3b")
+    pocc_thr = data.ys("POCC throughput")
+    cure_thr = data.ys("Cure* throughput")
+    pocc_resp = data.ys("POCC RO-TX resp (ms)")
+    cure_resp = data.ys("Cure* RO-TX resp (ms)")
+
+    # Similar maxima (paper: "reaching the same maximum throughput").
+    assert max(pocc_thr) > 0 and max(cure_thr) > 0
+    assert max(pocc_thr) / max(cure_thr) > 0.70
+    assert max(cure_thr) / max(pocc_thr) > 0.70
+
+    # Response times grow with the client count for both systems.
+    assert pocc_resp[-1] > pocc_resp[0]
+    assert cure_resp[-1] > cure_resp[0]
+
+    # Throughput is increasing at the start of the sweep (below the knee).
+    assert pocc_thr[1] > pocc_thr[0]
+    assert cure_thr[1] > cure_thr[0]

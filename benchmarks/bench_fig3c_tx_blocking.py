@@ -1,0 +1,26 @@
+"""Figure 3c — POCC blocking (PUT or transactional read) on the RO-TX
+workload vs clients/partition.
+
+Paper claim: strongly non-linear dynamics — blocking *time* is high at low
+load (a stalled slice waits for the next heartbeat), dips around the
+throughput peak (updates and heartbeats flow faster), then grows under
+overload (queued replication delays); blocking probability peaks with the
+throughput."""
+
+from benchmarks.common import run_figure
+
+
+def test_fig3c_tx_blocking(benchmark):
+    data = run_figure(benchmark, "3c")
+    probabilities = data.ys("blocking probability")
+    times = data.ys("blocking time (ms)")
+
+    # Transactional workloads do block measurably (unlike plain GETs).
+    assert max(probabilities) > 1e-4
+
+    # Blocking time at low load is heartbeat-scale: paper sets ∆ = 1 ms,
+    # so stalls are fractions of a millisecond up to a few milliseconds.
+    assert 0.005 < times[0] < 20.0, times
+
+    # Probability stays bounded away from certainty everywhere.
+    assert all(p < 0.5 for p in probabilities)

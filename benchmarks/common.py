@@ -1,0 +1,48 @@
+"""Shared plumbing for the figure benchmarks.
+
+Every benchmark regenerates one figure of the paper at the scale given by
+``REPRO_BENCH_SCALE`` (default ``bench``; set ``smoke`` for a fast pass or
+``paper`` for the full 32-partition deployment) and
+
+* records the wall-clock cost through pytest-benchmark,
+* asserts the figure's qualitative *shape* (who wins, directions, orders
+  of magnitude) — never absolute numbers, which are simulator-scale,
+* writes the data table to ``benchmarks/results/figure_<id>.txt`` so the
+  series the paper plots can be inspected after the run.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.harness.figures import FIGURES, FigureData
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_scale() -> str:
+    return os.environ.get("REPRO_BENCH_SCALE", "bench")
+
+
+def run_figure(benchmark, figure_id: str) -> FigureData:
+    """Run one figure under pytest-benchmark and persist its table."""
+    scale = bench_scale()
+    figure_fn = FIGURES[figure_id]
+    result: dict[str, FigureData] = {}
+
+    def run() -> None:
+        result["data"] = figure_fn(scale=scale)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    data = result["data"]
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"figure_{figure_id}.txt"
+    path.write_text(data.table_text() + "\n", encoding="utf-8")
+    return data
+
+
+def relative_gap(a: float, b: float) -> float:
+    """|a-b| relative to the larger magnitude (0 when both are 0)."""
+    top = max(abs(a), abs(b))
+    return abs(a - b) / top if top else 0.0

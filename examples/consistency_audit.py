@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Audit every protocol with the independent causal-consistency checker.
+
+The checker tracks precise per-key causal pasts from observed reads-from
+and program order — no protocol metadata — and flags reads that travel
+backwards in causal time, broken transaction snapshots, and diverged
+replicas.
+
+POCC, Cure* and HA-POCC must come out clean.  The ``eventual`` strawman
+must not: under a jittery WAN and a write-heavy workload it returns stale
+dependents, and the checker prints the concrete counterexamples.
+
+Run:  python examples/consistency_audit.py
+"""
+
+from repro import (
+    CausalChecker,
+    ClusterConfig,
+    ExperimentConfig,
+    LatencyConfig,
+    WorkloadConfig,
+    build_cluster,
+)
+from repro.harness.experiment import run_experiment
+
+
+def audit(protocol: str, seeds=(1, 2, 3)) -> None:
+    total_violations = 0
+    total_reads = 0
+    divergences = 0
+    example = None
+    for seed in seeds:
+        config = ExperimentConfig(
+            cluster=ClusterConfig(
+                num_dcs=3,
+                num_partitions=2,
+                keys_per_partition=8,          # hot keys: real collisions
+                protocol=protocol,
+                latency=LatencyConfig(jitter_ratio=0.5),  # messy WAN
+            ),
+            workload=WorkloadConfig(kind="get_put", gets_per_put=2,
+                                    clients_per_partition=3,
+                                    think_time_s=0.0),
+            warmup_s=0.1,
+            duration_s=1.5,
+            seed=seed,
+            verify=True,
+            name=f"audit-{protocol}-{seed}",
+        )
+        built = build_cluster(config)
+        result = run_experiment(config, built=built)
+        total_violations += result.verification["violations"]
+        total_reads += result.verification["reads_checked"]
+        divergences += result.divergences
+        if example is None and built.checker.violations:
+            example = built.checker.violations[0]
+
+    verdict = "PASS" if total_violations == 0 else "FAIL"
+    print(f"{protocol:10s} {verdict}: {total_violations} violations over "
+          f"{total_reads} reads, {divergences} diverged keys")
+    if example is not None:
+        print(f"           e.g. {example.describe()}")
+
+
+def main() -> None:
+    print("Causal-consistency audit (checker is protocol-independent):\n")
+    for protocol in ("pocc", "cure", "ha_pocc", "eventual"):
+        audit(protocol)
+    print("\nThe eventual baseline exists precisely to show the checker "
+          "has teeth; the paper's protocols pass it.")
+    # Demonstrate the checker's API directly, too:
+    checker = CausalChecker()
+    checker.register_client("c1")
+    checker.on_write("c1", "x", ("x", 0, 10), 1.0)
+    checker.on_read("c1", "x", ("x", 0, 5), 2.0)  # older than own write!
+    assert not checker.ok
+    print(f"\nDirect API demo -> {checker.violations[0].describe()}")
+
+
+if __name__ == "__main__":
+    main()

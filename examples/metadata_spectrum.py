@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""The dependency-metadata spectrum on one workload (Section III-A).
+
+The paper notes that OCC "can be implemented with any dependency tracking
+mechanism" — dependency lists, scalar clocks, vector clocks.  This example
+runs the same GET:PUT workload through five protocols spanning that space
+and prints how each one pays for causal consistency:
+
+* pocc        — optimistic + O(M) vectors (the paper's system)
+* occ_scalar  — optimistic + O(1) scalars
+* cure        — pessimistic + O(M) vectors (the paper's baseline)
+* gentlerain  — pessimistic + O(1) scalar GST
+* cops        — pessimistic + explicit dependency lists + dep-check traffic
+
+Run:  python examples/metadata_spectrum.py
+"""
+
+from repro import (
+    ClusterConfig,
+    ExperimentConfig,
+    WorkloadConfig,
+    run_experiment,
+)
+
+SPECTRUM = ("pocc", "occ_scalar", "cure", "gentlerain", "cops")
+
+
+def main() -> None:
+    results = {}
+    for protocol in SPECTRUM:
+        config = ExperimentConfig(
+            cluster=ClusterConfig(num_dcs=3, num_partitions=4,
+                                  keys_per_partition=200,
+                                  protocol=protocol),
+            workload=WorkloadConfig(kind="get_put", gets_per_put=4,
+                                    clients_per_partition=4,
+                                    think_time_s=0.010),
+            warmup_s=0.5,
+            duration_s=2.0,
+            name=f"spectrum-{protocol}",
+        )
+        results[protocol] = run_experiment(config)
+
+    header = (f"{'protocol':<12} {'thr ops/s':>10} {'msgs/op':>8} "
+              f"{'B/op':>6} | {'old %':>6} {'block p':>9} "
+              f"{'vis lag ms':>11}")
+    print(header)
+    print("-" * len(header))
+    for protocol in SPECTRUM:
+        r = results[protocol]
+        print(f"{protocol:<12} {r.throughput_ops_s:>10,.0f} "
+              f"{r.network_messages / r.total_ops:>8.2f} "
+              f"{r.bytes_per_op:>6.0f} | "
+              f"{r.get_staleness['pct_old']:>6.2f} "
+              f"{r.blocking_probability:>9.2e} "
+              f"{r.visibility_lag['mean'] * 1000:>11.2f}")
+
+    print()
+    print("How to read this:")
+    print(" * optimistic protocols (pocc, occ_scalar) never return old")
+    print("   GETs and expose remote updates one WAN delay after creation;")
+    print("   they pay with (rare) blocking.")
+    print(" * pessimistic protocols never block GETs on fresh versions but")
+    print("   return stale data and delay visibility by their stability")
+    print("   horizon (GSS < GST) — and cops pays dependency-check traffic.")
+    print(" * scalar metadata is cheaper on the wire, coarser in what it")
+    print("   can express: more false blocking (occ_scalar) or more")
+    print("   staleness (gentlerain).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""POCC vs Cure* across production-like workload presets, with error bars.
+
+Section V-B argues OCC "is more suited for read intensive workloads.
+Luckily, typical production workloads are heavily read dominated" (up to
+300:1).  This example runs named presets — Facebook-TAO-like read-heavy
+traffic, the memcached ETC mix, YCSB A/B, a session store with
+read-own-writes locality — through both systems, replicated over several
+seeds, and reports means with 95% confidence intervals.
+
+Run:  python examples/production_workloads.py
+"""
+
+import dataclasses
+
+from repro import (
+    ClusterConfig,
+    ExperimentConfig,
+    preset,
+    run_replicates,
+)
+
+PRESETS = ("facebook-tao", "memcache-etc", "ycsb-b", "ycsb-a",
+           "session-store")
+SEEDS = 3
+
+
+def main() -> None:
+    header = (f"{'preset':<14} {'proto':<5} {'thr ops/s':>16} "
+              f"{'resp ms':>14} {'old %':>7} {'block p':>9}")
+    print(header)
+    print("-" * len(header))
+
+    for name in PRESETS:
+        workload = preset(name, clients_per_partition=4,
+                          think_time_s=0.010)
+        for protocol in ("pocc", "cure"):
+            config = ExperimentConfig(
+                cluster=ClusterConfig(num_dcs=3, num_partitions=4,
+                                      keys_per_partition=200,
+                                      protocol=protocol),
+                workload=workload,
+                warmup_s=0.4,
+                duration_s=1.5,
+                seed=1000,
+                name=f"{name}-{protocol}",
+            )
+            agg = run_replicates(config, num_seeds=SEEDS)
+            thr = agg.stat("throughput_ops_s")
+            resp = agg.stat("mean_response_time_s")
+            print(f"{name:<14} {protocol:<5} "
+                  f"{thr.mean:>9,.0f} ±{thr.ci95_half_width:<5,.0f} "
+                  f"{resp.mean * 1e3:>8.3f} ±{resp.ci95_half_width * 1e3:<4.2f} "
+                  f"{agg.mean('get_pct_old'):>7.2f} "
+                  f"{agg.mean('blocking_probability'):>9.2e}")
+        print()
+
+    print(f"Each row aggregates {SEEDS} seeds (mean ± 95% CI).")
+    print("The read-heavier the mix, the smaller POCC's blocking exposure —")
+    print("and Cure*'s staleness cost never goes away.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""The classic causal-consistency motivation: the unfriend-then-post story.
+
+Alice removes Boss from her photo ACL, then posts a photo.  The ACL update
+and the photo land on *different partitions*, so under eventual consistency
+a remote reader can see the new photo while still holding the old ACL —
+exactly the anomaly causal consistency rules out.
+
+The script replays the same interleaving against three protocols:
+
+* ``eventual``  — Boss sees the photo with the stale ACL (the anomaly);
+* ``pocc``      — Boss's ACL read *blocks* until the ACL update arrives
+                  (freshest data, brief wait);
+* ``cure``      — Boss never sees the photo until the ACL update is stable
+                  (no anomaly, staler data).
+
+A network partition delays the ACL's replication path to Boss's DC to make
+the race wide enough to observe deterministically.
+
+Run:  python examples/social_network.py
+"""
+
+from repro import ClusterConfig, ExperimentConfig, WorkloadConfig, build_cluster
+
+
+def build(protocol: str):
+    config = ExperimentConfig(
+        cluster=ClusterConfig(num_dcs=3, num_partitions=2,
+                              keys_per_partition=50, protocol=protocol),
+        workload=WorkloadConfig(clients_per_partition=1),
+        name=f"social-{protocol}",
+    )
+    return build_cluster(config)
+
+
+def run_op(built, issue):
+    """Issue one client operation and run until it completes (or 5s)."""
+    done = {}
+    issue(lambda reply: done.setdefault("reply", reply))
+    deadline = built.sim.now + 5.0
+    while "reply" not in done and built.sim.now < deadline:
+        built.sim.run(until=built.sim.now + 0.01)
+    return done.get("reply")
+
+
+def scenario(protocol: str) -> None:
+    print(f"--- {protocol} ---")
+    built = build(protocol)
+    acl_key = built.pools.key(0, 0)     # partition 0: Alice's ACL
+    photo_key = built.pools.key(1, 0)   # partition 1: Alice's photos
+
+    alice = next(c for c in built.clients
+                 if c.address.dc == 0 and c.address.partition == 0)
+    carol = next(c for c in built.clients
+                 if c.address.dc == 2 and c.address.partition == 0)
+    boss = next(c for c in built.clients
+                if c.address.dc == 1 and c.address.partition == 1)
+
+    # Initial state, fully replicated: Boss is allowed to see photos.
+    run_op(built, lambda cb: alice.put(acl_key, "everyone", cb))
+    built.sim.run(until=built.sim.now + 1.0)
+
+    # The partition delays DC0 -> DC1 (the ACL's direct path to Boss).
+    built.faults.partition_dcs([0], [1])
+
+    # Alice: remove Boss from the ACL, THEN post the photo.
+    run_op(built, lambda cb: alice.put(acl_key, "friends-only", cb))
+    built.sim.run(until=built.sim.now + 0.3)
+
+    # Carol (DC2, which still hears from DC0) reads the new ACL and posts a
+    # comment referencing it — the comment lands on the photo partition and
+    # reaches Boss's DC, carrying a causal dependency on the ACL update.
+    run_op(built, lambda cb: carol.get(acl_key, cb))
+    run_op(built, lambda cb: carol.put(photo_key, "party-photo+comment", cb))
+    built.sim.run(until=built.sim.now + 0.3)
+
+    # Boss (DC1): refresh the feed — read the photo, then check the ACL.
+    photo = run_op(built, lambda cb: boss.get(photo_key, cb))
+    print(f"  Boss sees photo   : {photo.value!r}")
+
+    acl_result = {}
+    boss.get(acl_key, lambda reply: acl_result.setdefault("reply", reply))
+    built.sim.run(until=built.sim.now + 1.0)
+
+    if "reply" not in acl_result:
+        print("  Boss's ACL read   : BLOCKED (missing causal dependency)")
+        built.faults.heal_all()
+        built.sim.run(until=built.sim.now + 1.0)
+        reply = acl_result.get("reply")
+        print(f"  ...after heal     : {reply.value!r}")
+        anomaly = photo.value != 0 and reply.value != "friends-only"
+    else:
+        reply = acl_result["reply"]
+        print(f"  Boss's ACL read   : {reply.value!r}")
+        anomaly = photo.value != 0 and reply.value == "everyone"
+        built.faults.heal_all()
+    print(f"  anomaly (photo visible under stale ACL): "
+          f"{'YES' if anomaly else 'no'}")
+    print()
+
+
+def main() -> None:
+    for protocol in ("eventual", "pocc", "cure"):
+        scenario(protocol)
+
+
+if __name__ == "__main__":
+    main()

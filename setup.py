@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The project metadata lives in pyproject.toml; this file exists so
+``pip install -e .`` works in offline environments whose setuptools lacks
+the ``wheel`` package (PEP 660 editable builds need it, legacy develop
+installs do not).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,33 @@
+"""Clock substrates: loosely synchronized physical clocks and vector algebra.
+
+POCC assigns every update a physical timestamp and a dependency vector with
+one entry per DC (Section IV).  :mod:`repro.clocks.physical` models per-node
+NTP-style clocks (bounded offset + drift, monotonic output);
+:mod:`repro.clocks.vector` provides the entry-wise max / min / <= operations
+used throughout Algorithms 1 and 2; :mod:`repro.clocks.hlc` adds a hybrid
+logical clock as an extension.
+"""
+
+from repro.clocks.hlc import HybridLogicalClock
+from repro.clocks.physical import PhysicalClock
+from repro.clocks.vector import (
+    VectorClock,
+    vec_covers,
+    vec_leq,
+    vec_max,
+    vec_max_inplace,
+    vec_min,
+    vec_zero,
+)
+
+__all__ = [
+    "HybridLogicalClock",
+    "PhysicalClock",
+    "VectorClock",
+    "vec_covers",
+    "vec_leq",
+    "vec_max",
+    "vec_max_inplace",
+    "vec_min",
+    "vec_zero",
+]

@@ -1,0 +1,71 @@
+"""Hybrid logical clock (extension; not used by the paper's protocols).
+
+POCC's PUT handler must wait until the server's physical clock exceeds every
+timestamp in the client's dependency vector (Algorithm 2 line 7) so the new
+update's timestamp dominates its dependencies.  A hybrid logical clock
+(Kulkarni et al., "Logical Physical Clocks", OPODIS 2014) removes that wait
+by letting the logical component jump ahead of the physical clock.  We ship
+it as an optional substrate so the ablation benches can quantify what the
+clock wait costs POCC — a design alternative the GentleRain/Cure line of
+work discusses.
+"""
+
+from __future__ import annotations
+
+from repro.common.types import Micros
+from repro.clocks.physical import PhysicalClock
+
+
+class HybridLogicalClock:
+    """An HLC layered over a (possibly skewed) physical clock.
+
+    Timestamps are single integers: ``physical_us * 2**16 + logical``.
+    This packing preserves ordering against plain physical timestamps
+    scaled the same way and keeps the logical counter bounded (it resets
+    whenever physical time advances).
+    """
+
+    LOGICAL_BITS = 16
+    _LOGICAL_MASK = (1 << LOGICAL_BITS) - 1
+
+    __slots__ = ("_physical", "_last_physical", "_logical")
+
+    def __init__(self, physical: PhysicalClock):
+        self._physical = physical
+        self._last_physical: Micros = 0
+        self._logical = 0
+
+    def now(self) -> Micros:
+        """Timestamp for a local event (send or local operation)."""
+        physical = self._physical.peek_micros()
+        if physical > self._last_physical:
+            self._last_physical = physical
+            self._logical = 0
+        else:
+            self._logical += 1
+        return self._pack(self._last_physical, self._logical)
+
+    def update(self, remote_timestamp: Micros) -> Micros:
+        """Merge a received timestamp; returns the new local timestamp."""
+        remote_physical, remote_logical = self.unpack(remote_timestamp)
+        physical = self._physical.peek_micros()
+        if physical > self._last_physical and physical > remote_physical:
+            self._last_physical = physical
+            self._logical = 0
+        elif remote_physical > self._last_physical:
+            self._last_physical = remote_physical
+            self._logical = remote_logical + 1
+        elif remote_physical == self._last_physical:
+            self._logical = max(self._logical, remote_logical) + 1
+        else:
+            self._logical += 1
+        return self._pack(self._last_physical, self._logical)
+
+    @classmethod
+    def _pack(cls, physical: Micros, logical: int) -> Micros:
+        return (physical << cls.LOGICAL_BITS) | (logical & cls._LOGICAL_MASK)
+
+    @classmethod
+    def unpack(cls, timestamp: Micros) -> tuple[Micros, int]:
+        """Split a packed HLC timestamp into (physical_us, logical)."""
+        return timestamp >> cls.LOGICAL_BITS, timestamp & cls._LOGICAL_MASK

@@ -1,0 +1,178 @@
+"""Vector-clock algebra over per-DC timestamp vectors.
+
+The protocols track dependencies at DC granularity (Section IV): a vector
+has M entries of physical timestamps.  Hot protocol paths use plain Python
+lists with the free functions below (no object overhead); the
+:class:`VectorClock` wrapper offers an immutable, comparable value type for
+public APIs, histories and tests.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.common.errors import ProtocolError
+from repro.common.types import Micros
+
+# ----------------------------------------------------------------------
+# List-based operations (hot paths)
+# ----------------------------------------------------------------------
+
+
+def vec_zero(num_entries: int) -> list[Micros]:
+    """A fresh all-zero vector with one entry per DC."""
+    return [0] * num_entries
+
+
+def vec_max(a: Sequence[Micros], b: Sequence[Micros]) -> list[Micros]:
+    """Entry-wise maximum, as a new list."""
+    return [x if x >= y else y for x, y in zip(a, b, strict=True)]
+
+
+def vec_max_inplace(a: list[Micros], b: Sequence[Micros]) -> None:
+    """Entry-wise maximum of ``b`` into ``a``."""
+    for i, y in enumerate(b):
+        if y > a[i]:
+            a[i] = y
+
+
+def vec_min(a: Sequence[Micros], b: Sequence[Micros]) -> list[Micros]:
+    """Entry-wise minimum, as a new list."""
+    return [x if x <= y else y for x, y in zip(a, b, strict=True)]
+
+
+def vec_leq(a: Sequence[Micros], b: Sequence[Micros]) -> bool:
+    """True iff ``a[i] <= b[i]`` for every entry."""
+    for x, y in zip(a, b, strict=True):
+        if x > y:
+            return False
+    return True
+
+
+def vec_covers(
+    vv: Sequence[Micros], deps: Sequence[Micros], skip: int | None = None
+) -> bool:
+    """True iff ``vv[i] >= deps[i]`` for every entry except ``skip``.
+
+    This is the waiting condition of Algorithm 2 lines 2 and 6: the server's
+    version vector must cover the client's dependency vector on every entry
+    except the local DC's (local dependencies are trivially satisfied).
+    """
+    for i, needed in enumerate(deps):
+        if i == skip:
+            continue
+        if vv[i] < needed:
+            return False
+    return True
+
+
+def vec_aggregate_min(vectors: Iterable[Sequence[Micros]]) -> list[Micros]:
+    """Entry-wise minimum across a non-empty collection of vectors.
+
+    Used by the stabilization protocol (GSS) and the garbage-collection
+    vector (GV) computations.
+    """
+    iterator = iter(vectors)
+    try:
+        first = next(iterator)
+    except StopIteration:
+        raise ProtocolError("aggregate min over empty vector set") from None
+    result = list(first)
+    for vec in iterator:
+        for i, value in enumerate(vec):
+            if value < result[i]:
+                result[i] = value
+    return result
+
+
+# ----------------------------------------------------------------------
+# Immutable wrapper (public API / histories / tests)
+# ----------------------------------------------------------------------
+
+
+class VectorClock:
+    """An immutable per-DC timestamp vector with partial-order semantics.
+
+    ``a <= b`` is entry-wise; ``a < b`` means ``a <= b`` and ``a != b``;
+    vectors where neither holds are *concurrent*.
+    """
+
+    __slots__ = ("_entries",)
+
+    def __init__(self, entries: Iterable[Micros]):
+        self._entries = tuple(int(e) for e in entries)
+        if any(e < 0 for e in self._entries):
+            raise ProtocolError("vector clock entries must be >= 0")
+
+    @classmethod
+    def zero(cls, num_entries: int) -> "VectorClock":
+        return cls((0,) * num_entries)
+
+    # -- access --------------------------------------------------------
+    @property
+    def entries(self) -> tuple[Micros, ...]:
+        return self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __getitem__(self, index: int) -> Micros:
+        return self._entries[index]
+
+    def __iter__(self):
+        return iter(self._entries)
+
+    # -- algebra --------------------------------------------------------
+    def merge(self, other: "VectorClock") -> "VectorClock":
+        """Entry-wise maximum (the causal join)."""
+        self._check_compatible(other)
+        return VectorClock(vec_max(self._entries, other._entries))
+
+    def meet(self, other: "VectorClock") -> "VectorClock":
+        """Entry-wise minimum."""
+        self._check_compatible(other)
+        return VectorClock(vec_min(self._entries, other._entries))
+
+    def advanced(self, index: int, value: Micros) -> "VectorClock":
+        """A copy with ``entries[index] = max(entries[index], value)``."""
+        if value <= self._entries[index]:
+            return self
+        entries = list(self._entries)
+        entries[index] = value
+        return VectorClock(entries)
+
+    # -- order ----------------------------------------------------------
+    def __le__(self, other: "VectorClock") -> bool:
+        self._check_compatible(other)
+        return vec_leq(self._entries, other._entries)
+
+    def __lt__(self, other: "VectorClock") -> bool:
+        return self <= other and self._entries != other._entries
+
+    def __ge__(self, other: "VectorClock") -> bool:
+        return other <= self
+
+    def __gt__(self, other: "VectorClock") -> bool:
+        return other < self
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, VectorClock) and self._entries == other._entries
+        )
+
+    def __hash__(self) -> int:
+        return hash(self._entries)
+
+    def concurrent_with(self, other: "VectorClock") -> bool:
+        """Neither dominates the other."""
+        return not (self <= other) and not (other <= self)
+
+    # -- misc -----------------------------------------------------------
+    def _check_compatible(self, other: "VectorClock") -> None:
+        if len(self._entries) != len(other._entries):
+            raise ProtocolError(
+                f"vector length mismatch: {len(self)} vs {len(other)}"
+            )
+
+    def __repr__(self) -> str:
+        return f"VectorClock({list(self._entries)})"

@@ -1,0 +1,12 @@
+"""Cluster model: topology, key placement, CPU scheduling, node base.
+
+Mirrors the paper's deployment (Section II-C and V-A): the key space is
+hash-partitioned into N partitions, each replicated at M data centers; every
+server is a 2-core machine; clients are collocated with servers.
+"""
+
+from repro.cluster.cpu import CpuScheduler
+from repro.cluster.node import SimNode
+from repro.cluster.topology import KeyPools, Topology
+
+__all__ = ["CpuScheduler", "KeyPools", "SimNode", "Topology"]

@@ -1,0 +1,114 @@
+"""A per-node CPU: a two-class priority multi-core queueing station.
+
+The paper's servers are c4.large instances with 2 virtual CPUs; contention
+for them drives several measured effects (stabilization slowing under load,
+response-time knees, blocked POCC operations *yielding* the CPU).  Every
+message handler and background task on a node runs as a job with a service
+time; jobs queue when all cores are busy.
+
+Two priority classes model the threading structure of real stores: client-
+facing request handling (priority ``FOREGROUND``) is served before the
+background machinery — replication apply, heartbeats, stabilization, GC
+(priority ``BACKGROUND``).  Each class is FIFO internally, so per-channel
+delivery order is preserved.  Under saturation the background class starves,
+which is exactly the paper's explanation for blocking and staleness growing
+with load ("higher contention on physical resources slows down the
+execution of the stabilization protocol", "delayed processing of updates
+and heartbeats messages, yielding to very high blocking times").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable
+
+from repro.common.errors import SimulationError
+from repro.sim.engine import Simulator
+
+FOREGROUND = 0
+BACKGROUND = 1
+
+
+class CpuScheduler:
+    """Two FIFO priority classes in front of ``cores`` identical cores."""
+
+    __slots__ = (
+        "_sim", "_cores", "_busy", "_queues",
+        "jobs_completed", "busy_time_s", "queue_wait_s", "_started_at",
+    )
+
+    def __init__(self, sim: Simulator, cores: int):
+        if cores < 1:
+            raise SimulationError("a node needs at least one core")
+        self._sim = sim
+        self._cores = cores
+        self._busy = 0
+        self._queues: tuple[deque, deque] = (deque(), deque())
+        self.jobs_completed = 0
+        self.busy_time_s = 0.0
+        self.queue_wait_s = 0.0
+        self._started_at = sim.now
+
+    @property
+    def cores(self) -> int:
+        return self._cores
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._queues[FOREGROUND]) + len(self._queues[BACKGROUND])
+
+    @property
+    def background_queue_length(self) -> int:
+        return len(self._queues[BACKGROUND])
+
+    @property
+    def busy_cores(self) -> int:
+        return self._busy
+
+    def submit(
+        self,
+        service_time_s: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        priority: int = FOREGROUND,
+    ) -> None:
+        """Run ``fn(*args)`` after queueing + ``service_time_s`` of CPU.
+
+        The callable executes at the simulated instant the job *completes*,
+        so handler state changes appear only after their CPU cost was paid.
+        Jobs are non-preemptible once started; a waiting FOREGROUND job is
+        always dispatched before any waiting BACKGROUND job.
+        """
+        if service_time_s < 0:
+            raise SimulationError("service time must be >= 0")
+        if priority not in (FOREGROUND, BACKGROUND):
+            raise SimulationError(f"unknown priority {priority}")
+        if self._busy < self._cores:
+            self._start(service_time_s, fn, args)
+        else:
+            self._queues[priority].append(
+                (service_time_s, fn, args, self._sim.now)
+            )
+
+    def _start(self, service_time_s: float, fn: Callable, args: tuple) -> None:
+        self._busy += 1
+        self.busy_time_s += service_time_s
+        self._sim.schedule(service_time_s, self._complete, fn, args)
+
+    def _complete(self, fn: Callable, args: tuple) -> None:
+        self._busy -= 1
+        self.jobs_completed += 1
+        queue = self._queues[FOREGROUND] or self._queues[BACKGROUND]
+        if queue:
+            service_time_s, next_fn, next_args, enqueued_at = queue.popleft()
+            self.queue_wait_s += self._sim.now - enqueued_at
+            self._start(service_time_s, next_fn, next_args)
+        fn(*args)
+
+    def utilization(self, elapsed_s: float | None = None) -> float:
+        """Fraction of core-time spent busy since construction."""
+        if elapsed_s is None:
+            elapsed_s = self._sim.now - self._started_at
+        if elapsed_s <= 0:
+            return 0.0
+        return min(1.0, self.busy_time_s / (elapsed_s * self._cores))

@@ -1,0 +1,86 @@
+"""The base simulated node: network endpoint + CPU + physical clock.
+
+Protocol servers subclass :class:`SimNode` and implement ``dispatch`` (what
+to do with a message) and ``service_time`` (what it costs).  Incoming
+messages pass through the node's CPU queue before their handler runs;
+replies and background sends go back out through the network.  Clients are
+also ``SimNode`` subclasses but typically use zero service times (the
+paper's clients are closed-loop load generators whose CPU is not the
+bottleneck being studied).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.common.types import Address
+from repro.cluster.cpu import CpuScheduler
+from repro.clocks.physical import PhysicalClock
+from repro.sim.engine import Simulator
+from repro.sim.network import Network
+
+
+class SimNode:
+    """A network endpoint with a CPU queue and a local physical clock."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        address: Address,
+        clock: PhysicalClock,
+        cores: int = 2,
+    ):
+        self.sim = sim
+        self.network = network
+        self._address = address
+        self.clock = clock
+        self.cpu = CpuScheduler(sim, cores)
+        self.messages_received = 0
+        network.register(self)
+
+    # ------------------------------------------------------------------
+    # Endpoint protocol
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> Address:
+        return self._address
+
+    def on_message(self, msg: Any) -> None:
+        """Network delivery: queue the handler behind the node's CPU."""
+        self.messages_received += 1
+        cost = self.service_time(msg)
+        if cost > 0:
+            self.cpu.submit(cost, self.dispatch, msg,
+                            priority=self.message_priority(msg))
+        else:
+            self.dispatch(msg)
+
+    # ------------------------------------------------------------------
+    # Subclass responsibilities
+    # ------------------------------------------------------------------
+    def service_time(self, msg: Any) -> float:
+        """CPU seconds charged before ``dispatch(msg)`` runs."""
+        raise NotImplementedError
+
+    def message_priority(self, msg: Any) -> int:
+        """CPU class for this message (FOREGROUND unless overridden)."""
+        return 0
+
+    def dispatch(self, msg: Any) -> None:
+        """Handle a message (runs after its CPU cost was paid)."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Conveniences
+    # ------------------------------------------------------------------
+    def send(self, dst: Address, msg: Any) -> None:
+        """Send a message from this node."""
+        self.network.send(self._address, dst, msg)
+
+    def submit_local(self, cost_s: float, fn, *args) -> None:
+        """Charge CPU for a locally originated task (timer handlers etc.)."""
+        if cost_s > 0:
+            self.cpu.submit(cost_s, fn, *args)
+        else:
+            fn(*args)

@@ -1,0 +1,129 @@
+"""Deployment topology and deterministic key placement.
+
+Keys are deterministically assigned to a single partition by a hash function
+(Section II-C).  We use crc32 — stable across processes and Python versions,
+unlike the builtin ``hash`` — so any component can locate a key's partition
+independently.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Iterator
+
+from repro.common.errors import ConfigError
+from repro.common.types import (
+    Address,
+    PartitionId,
+    ReplicaId,
+    client_address,
+    server_address,
+)
+
+
+def key_partition(key: str, num_partitions: int) -> PartitionId:
+    """The partition a key hashes to."""
+    return zlib.crc32(key.encode("utf-8")) % num_partitions
+
+
+class Topology:
+    """The M-DC x N-partition shape of one deployment."""
+
+    def __init__(self, num_dcs: int, num_partitions: int):
+        if num_dcs < 1 or num_partitions < 1:
+            raise ConfigError("topology needs >= 1 DC and >= 1 partition")
+        self.num_dcs = num_dcs
+        self.num_partitions = num_partitions
+
+    # -- addressing -----------------------------------------------------
+    def server(self, dc: ReplicaId, partition: PartitionId) -> Address:
+        self._check(dc, partition)
+        return server_address(dc, partition)
+
+    def client(
+        self, dc: ReplicaId, partition: PartitionId, index: int
+    ) -> Address:
+        self._check(dc, partition)
+        return client_address(dc, partition, index)
+
+    def all_servers(self) -> Iterator[Address]:
+        for dc in range(self.num_dcs):
+            for partition in range(self.num_partitions):
+                yield server_address(dc, partition)
+
+    def dc_servers(self, dc: ReplicaId) -> Iterator[Address]:
+        """All servers within one data center."""
+        for partition in range(self.num_partitions):
+            yield server_address(dc, partition)
+
+    def replicas_of(
+        self, partition: PartitionId, except_dc: ReplicaId | None = None
+    ) -> Iterator[Address]:
+        """The servers replicating ``partition``, optionally skipping a DC."""
+        for dc in range(self.num_dcs):
+            if dc == except_dc:
+                continue
+            yield server_address(dc, partition)
+
+    # -- key placement ---------------------------------------------------
+    def partition_of(self, key: str) -> PartitionId:
+        return key_partition(key, self.num_partitions)
+
+    def _check(self, dc: ReplicaId, partition: PartitionId) -> None:
+        if not 0 <= dc < self.num_dcs:
+            raise ConfigError(f"dc {dc} out of range [0, {self.num_dcs})")
+        if not 0 <= partition < self.num_partitions:
+            raise ConfigError(
+                f"partition {partition} out of range [0, {self.num_partitions})"
+            )
+
+
+class KeyPools:
+    """Per-partition key pools consistent with the hash placement.
+
+    The workload picks a partition first and then a key *within* that
+    partition (Section V-B), so we pre-generate, for each partition, a pool
+    of ``keys_per_partition`` key strings that actually hash there.  Pool
+    position doubles as the key's zipf rank.
+    """
+
+    def __init__(self, topology: Topology, keys_per_partition: int):
+        if keys_per_partition < 1:
+            raise ConfigError("keys_per_partition must be >= 1")
+        self.topology = topology
+        self.keys_per_partition = keys_per_partition
+        self._pools: list[list[str]] = [
+            [] for _ in range(topology.num_partitions)
+        ]
+        self._fill()
+
+    def _fill(self) -> None:
+        remaining = self.topology.num_partitions
+        capacity = self.keys_per_partition
+        pools = self._pools
+        num_partitions = self.topology.num_partitions
+        candidate = 0
+        while remaining > 0:
+            key = f"k{candidate:08d}"
+            candidate += 1
+            pool = pools[key_partition(key, num_partitions)]
+            if len(pool) < capacity:
+                pool.append(key)
+                if len(pool) == capacity:
+                    remaining -= 1
+
+    def pool(self, partition: PartitionId) -> list[str]:
+        """The keys of one partition, in zipf-rank order."""
+        return self._pools[partition]
+
+    def key(self, partition: PartitionId, rank: int) -> str:
+        """The ``rank``-th most popular key of a partition."""
+        return self._pools[partition][rank]
+
+    def all_keys(self) -> Iterator[str]:
+        for pool in self._pools:
+            yield from pool
+
+    @property
+    def total_keys(self) -> int:
+        return self.topology.num_partitions * self.keys_per_partition

@@ -1,0 +1,37 @@
+"""Shared primitives: typed identifiers, errors and configuration objects.
+
+Everything in this package is dependency-free (only the standard library)
+so that every other subsystem can import it without cycles.
+"""
+
+from repro.common.errors import (
+    ConfigError,
+    ProtocolError,
+    ReproError,
+    SessionClosedError,
+    SimulationError,
+)
+from repro.common.types import (
+    Address,
+    Micros,
+    NodeKind,
+    OpType,
+    PartitionId,
+    ReplicaId,
+    version_order_key,
+)
+
+__all__ = [
+    "Address",
+    "ConfigError",
+    "Micros",
+    "NodeKind",
+    "OpType",
+    "PartitionId",
+    "ProtocolError",
+    "ReplicaId",
+    "ReproError",
+    "SessionClosedError",
+    "SimulationError",
+    "version_order_key",
+]

@@ -1,0 +1,39 @@
+"""Exception hierarchy for the reproduction library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything coming from this package with a single ``except`` clause.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigError(ReproError):
+    """An experiment / cluster / workload configuration is invalid."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator was used incorrectly.
+
+    Examples: scheduling an event in the past, running a simulator that was
+    already stopped, registering two endpoints under the same address.
+    """
+
+
+class ProtocolError(ReproError):
+    """A protocol implementation violated one of its internal invariants.
+
+    These indicate bugs in the protocol code (or deliberately broken
+    protocols used to exercise the consistency checker), never user error.
+    """
+
+
+class SessionClosedError(ReproError):
+    """A client session was closed by the server.
+
+    Raised (delivered via the client's error callback) when an HA-POCC server
+    aborts a blocked optimistic session after detecting a network partition,
+    per Section III-B of the paper.  The client is expected to re-initialize
+    its session, possibly in pessimistic mode.
+    """

@@ -1,0 +1,93 @@
+"""Core value types shared across the whole library.
+
+The paper's system model (Section II-C): the data set is split into *N*
+partitions, each replicated at *M* data centers.  A server is therefore
+addressed by the pair ``(replica, partition)`` — the paper writes it
+``p^m_n`` for partition *n* in data center *m*.  Clients are additional
+endpoints collocated with a server.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+# The id of a data center (the paper's "replica" superscript, 0 <= m < M).
+ReplicaId = int
+
+# The id of a data partition (the paper's subscript, 0 <= n < N).
+PartitionId = int
+
+# Physical-clock timestamps are integer microseconds of (simulated) time as
+# read from a node's local, loosely synchronized clock.
+Micros = int
+
+
+class NodeKind(enum.Enum):
+    """What kind of endpoint an :class:`Address` names."""
+
+    SERVER = "server"
+    CLIENT = "client"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"NodeKind.{self.name}"
+
+
+class OpType(enum.Enum):
+    """Client-visible operation types (Section II-C)."""
+
+    GET = "get"
+    PUT = "put"
+    RO_TX = "ro_tx"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"OpType.{self.name}"
+
+
+@dataclass(frozen=True, slots=True)
+class Address:
+    """A unique endpoint identifier inside one simulated deployment.
+
+    ``dc`` is the data center (replica) index; ``partition`` the data
+    partition index; ``index`` disambiguates multiple clients collocated
+    with the same server (always 0 for servers).
+    """
+
+    dc: ReplicaId
+    partition: PartitionId
+    kind: NodeKind = NodeKind.SERVER
+    index: int = 0
+
+    def __str__(self) -> str:
+        if self.kind is NodeKind.SERVER:
+            return f"s[{self.dc}.{self.partition}]"
+        return f"c[{self.dc}.{self.partition}.{self.index}]"
+
+    @property
+    def is_server(self) -> bool:
+        return self.kind is NodeKind.SERVER
+
+    @property
+    def is_client(self) -> bool:
+        return self.kind is NodeKind.CLIENT
+
+
+def server_address(dc: ReplicaId, partition: PartitionId) -> Address:
+    """The address of server ``p^dc_partition``."""
+    return Address(dc=dc, partition=partition, kind=NodeKind.SERVER)
+
+
+def client_address(dc: ReplicaId, partition: PartitionId, index: int) -> Address:
+    """The address of the ``index``-th client collocated with a server."""
+    return Address(dc=dc, partition=partition, kind=NodeKind.CLIENT, index=index)
+
+
+def version_order_key(update_time: Micros, source_replica: ReplicaId) -> tuple[int, int]:
+    """Total order on versions used by the last-writer-wins rule.
+
+    Section IV-B: the "last" version is the one with the highest update
+    timestamp; ties are broken by the source replica id, *lowest wins*.
+    Comparing the returned tuples with ``<`` / ``>`` yields that order
+    (greater tuple == later / winning version).
+    """
+    return (update_time, -source_replica)

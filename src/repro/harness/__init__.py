@@ -1,0 +1,20 @@
+"""Experiment harness: build a simulated deployment, run it, report.
+
+* :mod:`repro.harness.builders` — wire simulator, network, clocks, servers,
+  clients and workloads from an :class:`repro.common.config.ExperimentConfig`.
+* :mod:`repro.harness.experiment` — warmup / measure / drain lifecycle and
+  the :class:`ExperimentResult` record.
+* :mod:`repro.harness.figures` — one experiment definition per paper figure.
+* :mod:`repro.harness.sweeps` — generic parameter sweeps.
+* :mod:`repro.harness.cli` — ``repro-figures`` command-line entry point.
+"""
+
+from repro.harness.builders import BuiltCluster, build_cluster
+from repro.harness.experiment import ExperimentResult, run_experiment
+
+__all__ = [
+    "BuiltCluster",
+    "ExperimentResult",
+    "build_cluster",
+    "run_experiment",
+]

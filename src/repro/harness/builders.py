@@ -1,0 +1,121 @@
+"""Construct a runnable simulated deployment from a configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.config import ExperimentConfig
+from repro.common.types import Address
+from repro.cluster.topology import KeyPools, Topology
+from repro.clocks.physical import PhysicalClock
+from repro.harness import seeds
+from repro.metrics.collectors import MetricsRegistry
+from repro.protocols.base import CausalClient, CausalServer
+from repro.protocols.registry import client_class, server_class
+from repro.sim.engine import Simulator
+from repro.sim.faults import FaultInjector
+from repro.sim.latency import GeoLatencyModel
+from repro.sim.network import Network
+from repro.sim.rng import RngRegistry
+from repro.verification.checker import CausalChecker
+from repro.workload.driver import ClosedLoopClient
+from repro.workload.generators import make_workload
+
+
+@dataclass(slots=True)
+class BuiltCluster:
+    """Everything needed to run (and inspect) one experiment."""
+
+    config: ExperimentConfig
+    sim: Simulator
+    network: Network
+    topology: Topology
+    pools: KeyPools
+    metrics: MetricsRegistry
+    servers: dict[Address, CausalServer]
+    clients: list[CausalClient]
+    drivers: list[ClosedLoopClient]
+    faults: FaultInjector
+    rng: RngRegistry
+    checker: CausalChecker | None = None
+    cpu_snapshot: dict[Address, float] = field(default_factory=dict)
+
+    def start_drivers(self, stagger_s: float | None = None) -> None:
+        if stagger_s is None:
+            stagger_s = min(self.config.workload.think_time_s or 0.01, 0.02)
+        for driver in self.drivers:
+            driver.start(stagger_s=stagger_s)
+
+    def stop_drivers(self) -> None:
+        for driver in self.drivers:
+            driver.stop()
+
+
+def build_cluster(config: ExperimentConfig) -> BuiltCluster:
+    """Instantiate simulator, geo network, servers, clients and drivers."""
+    config.validate()
+    cluster = config.cluster
+    sim = Simulator()
+    rng = RngRegistry(config.seed)
+    latency = GeoLatencyModel(cluster.latency, rng.stream(seeds.LATENCY))
+    network = Network(sim, latency)
+    topology = Topology(cluster.num_dcs, cluster.num_partitions)
+    pools = KeyPools(topology, cluster.keys_per_partition)
+    metrics = MetricsRegistry()
+    checker = CausalChecker() if config.verify else None
+
+    server_cls = server_class(cluster.protocol)
+    servers: dict[Address, CausalServer] = {}
+    for address in topology.all_servers():
+        clock = PhysicalClock.sample(
+            sim, cluster.clocks, rng.stream(seeds.clock_stream(address))
+        )
+        server = server_cls(sim, network, address, clock, topology,
+                            cluster, metrics)
+        server.store.preload(pools.pool(address.partition),
+                             num_dcs=cluster.num_dcs)
+        servers[address] = server
+
+    client_cls = client_class(cluster.protocol)
+    clients: list[CausalClient] = []
+    drivers: list[ClosedLoopClient] = []
+    workload_cfg = config.workload
+    for dc in range(cluster.num_dcs):
+        for partition in range(cluster.num_partitions):
+            for index in range(workload_cfg.clients_per_partition):
+                address = topology.client(dc, partition, index)
+                clock = PhysicalClock.sample(
+                    sim, cluster.clocks,
+                    rng.stream(seeds.clock_stream(address)),
+                )
+                client = client_cls(sim, network, address, clock, topology,
+                                    cluster, metrics)
+                workload = make_workload(
+                    workload_cfg, pools, rng.stream(seeds.workload_stream(address))
+                )
+                driver = ClosedLoopClient(
+                    sim=sim,
+                    client=client,
+                    workload=workload,
+                    think_time_s=workload_cfg.think_time_s,
+                    rng=rng.stream(seeds.driver_stream(address)),
+                    checker=checker,
+                )
+                clients.append(client)
+                drivers.append(driver)
+
+    faults = FaultInjector(sim, network)
+    return BuiltCluster(
+        config=config,
+        sim=sim,
+        network=network,
+        topology=topology,
+        pools=pools,
+        metrics=metrics,
+        servers=servers,
+        clients=clients,
+        drivers=drivers,
+        faults=faults,
+        rng=rng,
+        checker=checker,
+    )

@@ -1,0 +1,76 @@
+"""Command-line entry point: regenerate the paper's figures.
+
+Examples::
+
+    repro-figures --list
+    repro-figures --figure 1a --scale smoke
+    repro-figures --all --scale bench --md EXPERIMENTS_RUN.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.harness.figures import FIGURES
+from repro.harness.reportmd import render_markdown
+from repro.harness.scales import SCALES
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-figures",
+        description="Regenerate the evaluation figures of 'Optimistic "
+                    "Causal Consistency for Geo-Replicated Key-Value "
+                    "Stores' (ICDCS 2017) on the simulated substrate.",
+    )
+    parser.add_argument("--figure", action="append", default=[],
+                        choices=sorted(FIGURES), dest="figures",
+                        help="figure id to run (repeatable)")
+    parser.add_argument("--all", action="store_true",
+                        help="run every figure")
+    parser.add_argument("--scale", default="bench",
+                        choices=sorted(SCALES),
+                        help="experiment scale preset (default: bench)")
+    parser.add_argument("--md", metavar="PATH",
+                        help="also write a markdown report to PATH")
+    parser.add_argument("--list", action="store_true",
+                        help="list available figures and exit")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-point progress output")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for figure_id, fn in FIGURES.items():
+            first_line = (fn.__doc__ or "").strip().splitlines()[0]
+            print(f"  {figure_id}: {first_line}")
+        return 0
+
+    figure_ids = sorted(FIGURES) if args.all else args.figures
+    if not figure_ids:
+        parser.error("choose --all, --list or at least one --figure")
+
+    collected = []
+    for figure_id in figure_ids:
+        started = time.time()
+        data = FIGURES[figure_id](scale=args.scale, verbose=not args.quiet)
+        elapsed = time.time() - started
+        collected.append(data)
+        print(data.table_text())
+        print(f"  ({elapsed:.1f}s wall)\n")
+
+    if args.md:
+        with open(args.md, "w", encoding="utf-8") as handle:
+            handle.write(render_markdown(collected, scale=args.scale))
+        print(f"wrote {args.md}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,73 @@
+"""Render reproduced figures as a markdown report (EXPERIMENTS.md helper)."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.harness.figures import FigureData
+
+#: What the paper reports for each figure, for side-by-side reading.
+PAPER_CLAIMS: dict[str, str] = {
+    "1a": "POCC and Cure* achieve basically the same throughput at every "
+          "partition count (2 to 32).",
+    "1b": "POCC's average response time is slightly below Cure*'s until "
+          "the saturation knee (~0.65 Mops/s on their testbed), slightly "
+          "above at extreme load.",
+    "1c": "Throughput decreases with write intensity for both; POCC's "
+          "maximum loss vs Cure* is ~10% (at 2:1).",
+    "2a": "POCC blocking probability < 1e-3 up to ~0.6 Mops/s (so the "
+          "99.999th latency percentile is unaffected); blocking time is "
+          "microseconds at moderate load; both grow sharply only at "
+          "saturation.",
+    "2b": "Cure* returns old/unmerged items increasingly often with load: "
+          "~15% old / ~10% unmerged near saturation, up to ~30% when "
+          "overloaded.",
+    "3a": "Comparable throughput at small transactions; POCC up to ~15% "
+          "better when transactions touch most partitions.",
+    "3b": "Both systems reach a similar maximum; past the peak POCC's "
+          "throughput drops (blocking) while Cure*'s plateaus; RO-TX "
+          "response times surge for POCC under overload.",
+    "3c": "Blocking probability peaks at the throughput peak; blocking "
+          "time is high at low load (waiting on heartbeats), dips at the "
+          "peak, then grows very large under overload.",
+    "3d": "POCC's % of old items in transactional reads is ~2 orders of "
+          "magnitude below Cure*'s old/unmerged percentages.",
+}
+
+
+def figure_markdown(data: FigureData) -> str:
+    """One figure as a markdown section with a data table."""
+    lines = [f"### Figure {data.figure_id} — {data.title}", ""]
+    claim = PAPER_CLAIMS.get(data.figure_id)
+    if claim:
+        lines += [f"**Paper:** {claim}", ""]
+    names = list(data.series)
+    lines.append("| " + data.x_label + " | " + " | ".join(names) + " |")
+    lines.append("|" + "---|" * (len(names) + 1))
+    xs = sorted({x for pts in data.series.values() for x, _ in pts})
+    lookup = {name: dict(points) for name, points in data.series.items()}
+    for x in xs:
+        cells = [f"{x:g}"]
+        for name in names:
+            y = lookup[name].get(x)
+            cells.append("-" if y is None else f"{y:.4g}")
+        lines.append("| " + " | ".join(cells) + " |")
+    if data.notes:
+        lines += ["", f"*{data.notes}*"]
+    lines.append("")
+    return "\n".join(lines)
+
+
+def render_markdown(figures: Iterable[FigureData], scale: str) -> str:
+    """A full markdown report over a collection of reproduced figures."""
+    parts = [
+        "# Reproduced figures",
+        "",
+        f"Scale preset: `{scale}` (see `repro.harness.scales`).  Absolute "
+        "numbers are simulator-scale; compare shapes against the paper's "
+        "claims quoted per figure.",
+        "",
+    ]
+    for data in figures:
+        parts.append(figure_markdown(data))
+    return "\n".join(parts)

@@ -1,0 +1,110 @@
+"""Experiment scale presets.
+
+The paper's testbed is 3 DCs x 32 partitions with 25 ms think time and up to
+hundreds of clients per partition — hours of simulation.  Every figure can
+run at three scales:
+
+* ``smoke``  — seconds; used by the test suite to check shapes exist.
+* ``bench``  — minutes; the default for ``pytest benchmarks/`` and
+  EXPERIMENTS.md (reduced partitions/clients/think time, same protocol
+  constants: heartbeats 1 ms, stabilization 5 ms, zipf 0.99).
+* ``paper``  — the paper's deployment shape (32 partitions, 25 ms think
+  time); slow, for offline reproduction runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigError
+
+
+@dataclass(frozen=True, slots=True)
+class FigureScale:
+    """Knobs that trade fidelity for wall-clock time."""
+
+    name: str
+    num_dcs: int
+    #: Fixed partition count for single-deployment figures (1b, 1c, 2a...).
+    partitions: int
+    #: Partition sweep for Figure 1a.
+    partition_sweep: tuple[int, ...]
+    keys_per_partition: int
+    think_time_s: float
+    #: GET:PUT ratio (N of N:1) for the load-curve figures (paper: 32).
+    getput_ratio: int
+    #: Clients/partition used to measure "maximum achievable throughput".
+    saturating_clients: int
+    #: Clients/partition sweep for the response-time/staleness curves.
+    client_sweep: tuple[int, ...]
+    #: GET:PUT ratio sweep for Figure 1c (the N of N:1).
+    ratio_sweep: tuple[int, ...]
+    #: Contacted-partitions sweep for Figure 3a.
+    tx_partition_sweep: tuple[int, ...]
+    #: Clients/partition sweep for Figures 3b-3d.
+    tx_client_sweep: tuple[int, ...]
+    warmup_s: float
+    duration_s: float
+    seed: int = 42
+    extra: dict = field(default_factory=dict)
+
+
+SCALES: dict[str, FigureScale] = {
+    "smoke": FigureScale(
+        name="smoke",
+        num_dcs=3,
+        partitions=2,
+        partition_sweep=(2,),
+        keys_per_partition=100,
+        think_time_s=0.005,
+        getput_ratio=4,
+        saturating_clients=16,
+        client_sweep=(4, 16),
+        ratio_sweep=(4, 1),
+        tx_partition_sweep=(2,),
+        tx_client_sweep=(2, 8),
+        warmup_s=0.3,
+        duration_s=0.8,
+    ),
+    "bench": FigureScale(
+        name="bench",
+        num_dcs=3,
+        partitions=6,
+        partition_sweep=(2, 4, 6),
+        keys_per_partition=300,
+        think_time_s=0.010,
+        getput_ratio=6,
+        saturating_clients=40,
+        client_sweep=(4, 8, 16, 24, 32, 40),
+        ratio_sweep=(32, 16, 8, 4, 2, 1),
+        tx_partition_sweep=(1, 2, 3, 4, 6),
+        tx_client_sweep=(2, 4, 8, 16, 24),
+        warmup_s=0.5,
+        duration_s=2.0,
+    ),
+    "paper": FigureScale(
+        name="paper",
+        num_dcs=3,
+        partitions=32,
+        partition_sweep=(2, 4, 8, 16, 24, 32),
+        keys_per_partition=10_000,
+        think_time_s=0.025,
+        getput_ratio=32,
+        saturating_clients=96,
+        client_sweep=(8, 16, 32, 48, 64, 96),
+        ratio_sweep=(32, 16, 8, 4, 2, 1),
+        tx_partition_sweep=(1, 2, 4, 8, 16, 24, 32),
+        tx_client_sweep=(16, 32, 64, 96, 128, 160, 224),
+        warmup_s=1.0,
+        duration_s=5.0,
+    ),
+}
+
+
+def get_scale(name: str) -> FigureScale:
+    try:
+        return SCALES[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown scale {name!r}; choose from {sorted(SCALES)}"
+        ) from None

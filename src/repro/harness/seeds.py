@@ -1,0 +1,19 @@
+"""Canonical RNG stream names, so components never collide by accident."""
+
+from __future__ import annotations
+
+from repro.common.types import Address
+
+LATENCY = "latency"
+
+
+def clock_stream(address: Address) -> str:
+    return f"clock:{address}"
+
+
+def workload_stream(address: Address) -> str:
+    return f"workload:{address}"
+
+
+def driver_stream(address: Address) -> str:
+    return f"driver:{address}"

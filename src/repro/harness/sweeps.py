@@ -1,0 +1,66 @@
+"""Generic parameter sweeps over experiment configurations.
+
+The figure functions hard-code the paper's sweeps; this module is the
+generic surface for users who want their own (used by the ablation benches
+and the examples).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.common.config import ExperimentConfig
+from repro.harness.experiment import ExperimentResult, run_experiment
+
+
+def run_sweep(
+    configs: Iterable[ExperimentConfig],
+    progress: Callable[[ExperimentConfig, ExperimentResult], None]
+    | None = None,
+) -> list[ExperimentResult]:
+    """Run every configuration and collect the results."""
+    results = []
+    for config in configs:
+        result = run_experiment(config)
+        results.append(result)
+        if progress is not None:
+            progress(config, result)
+    return results
+
+
+def protocol_sweep(
+    base: ExperimentConfig, protocols: Sequence[str]
+) -> list[ExperimentConfig]:
+    """The same experiment under different protocols."""
+    return [
+        replace(
+            base,
+            cluster=base.cluster.with_protocol(protocol),
+            name=f"{base.name or 'sweep'}-{protocol}",
+        )
+        for protocol in protocols
+    ]
+
+
+def clients_sweep(
+    base: ExperimentConfig, client_counts: Sequence[int]
+) -> list[ExperimentConfig]:
+    """The same experiment under increasing closed-loop client counts."""
+    return [
+        replace(
+            base,
+            workload=replace(base.workload, clients_per_partition=count),
+            name=f"{base.name or 'sweep'}-c{count}",
+        )
+        for count in client_counts
+    ]
+
+
+def override_sweep(
+    base: ExperimentConfig,
+    make_config: Callable[[ExperimentConfig, Any], ExperimentConfig],
+    values: Sequence[Any],
+) -> list[ExperimentConfig]:
+    """Arbitrary one-dimensional sweep via a config-transforming callable."""
+    return [make_config(base, value) for value in values]

@@ -1,0 +1,20 @@
+"""Measurement infrastructure: histograms, counters, staleness, blocking.
+
+Everything the paper's evaluation section measures is recorded here:
+operation response times (Figures 1b, 3b), blocking probability and duration
+(Figures 2a, 3c), data staleness as % old / % unmerged plus version counts
+(Figures 2b, 3d), throughput, CPU utilization, and network byte accounting
+(the communication-overhead argument of Section III-A).
+"""
+
+from repro.metrics.collectors import BlockingStats, MetricsRegistry, OpStats
+from repro.metrics.histogram import LogHistogram
+from repro.metrics.staleness import StalenessAggregate
+
+__all__ = [
+    "BlockingStats",
+    "LogHistogram",
+    "MetricsRegistry",
+    "OpStats",
+    "StalenessAggregate",
+]

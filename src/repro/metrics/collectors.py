@@ -1,0 +1,197 @@
+"""The per-experiment metrics registry.
+
+One :class:`MetricsRegistry` is shared by every client and server of an
+experiment.  The harness arms it when the warmup ends and disarms it when
+the measurement window closes, so steady-state numbers are not polluted by
+ramp-up or drain-down.  Blocking events that *start* inside the window are
+attributed to it even if they resolve after it closes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.types import OpType
+from repro.metrics.histogram import LogHistogram
+from repro.metrics.staleness import StalenessAggregate
+
+
+@dataclass(slots=True)
+class OpStats:
+    """Latency + count for one operation type."""
+
+    completed: int = 0
+    latency: LogHistogram = field(default_factory=LogHistogram)
+
+    def record(self, latency_s: float) -> None:
+        self.completed += 1
+        self.latency.record(latency_s)
+
+
+@dataclass(slots=True)
+class BlockingStats:
+    """Server-side stall accounting for one blocking cause.
+
+    ``attempts`` counts operations that *could* have blocked (the
+    denominator of the blocking probability); ``blocked`` those that did.
+    """
+
+    attempts: int = 0
+    blocked: int = 0
+    total_block_time_s: float = 0.0
+    block_time: LogHistogram = field(default_factory=LogHistogram)
+
+    def record_attempt(self) -> None:
+        self.attempts += 1
+
+    def record_block(self, duration_s: float) -> None:
+        self.blocked += 1
+        self.total_block_time_s += duration_s
+        self.block_time.record(duration_s)
+
+    @property
+    def probability(self) -> float:
+        return self.blocked / self.attempts if self.attempts else 0.0
+
+    @property
+    def mean_block_time_s(self) -> float:
+        return self.total_block_time_s / self.blocked if self.blocked else 0.0
+
+    def merge(self, other: "BlockingStats") -> None:
+        self.attempts += other.attempts
+        self.blocked += other.blocked
+        self.total_block_time_s += other.total_block_time_s
+        self.block_time.merge(other.block_time)
+
+
+#: Blocking causes tracked separately.  GET_VV is Algorithm 2 line 2;
+#: PUT_DEPS line 6; PUT_CLOCK line 7; SLICE_VV line 40; GSS_WAIT is the
+#: pessimistic protocol waiting for stabilization to cover a client's
+#: dependencies.
+BLOCK_GET_VV = "get_vv"
+BLOCK_PUT_DEPS = "put_deps"
+BLOCK_PUT_CLOCK = "put_clock"
+BLOCK_SLICE_VV = "slice_vv"
+BLOCK_GSS_WAIT = "gss_wait"
+
+ALL_BLOCK_CAUSES = (
+    BLOCK_GET_VV,
+    BLOCK_PUT_DEPS,
+    BLOCK_PUT_CLOCK,
+    BLOCK_SLICE_VV,
+    BLOCK_GSS_WAIT,
+)
+
+
+class MetricsRegistry:
+    """All measurements of one experiment run."""
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.window_start_s = 0.0
+        self.window_end_s = 0.0
+        self.ops: dict[OpType, OpStats] = {t: OpStats() for t in OpType}
+        self.blocking: dict[str, BlockingStats] = {
+            cause: BlockingStats() for cause in ALL_BLOCK_CAUSES
+        }
+        #: Staleness of plain GET reads (Figure 2b).
+        self.get_staleness = StalenessAggregate()
+        #: Staleness of transactional reads (Figure 3d).
+        self.tx_staleness = StalenessAggregate()
+        #: GSS lag (local clock minus GSS entry) sampled by Cure* servers.
+        self.gss_lag = LogHistogram()
+        #: Update visibility latency: simulated time from an update's
+        #: creation at its source replica to the instant a *remote* server
+        #: lets reads observe it.  POCC records at receipt (optimistic
+        #: visibility); Cure* when the GSS covers the version's commit
+        #: vector; GentleRain* when the GST passes its timestamp.  This
+        #: quantifies the freshness argument of Section I directly.
+        self.visibility_lag = LogHistogram()
+        #: Session-level events (HA-POCC).
+        self.sessions_closed = 0
+        self.sessions_demoted = 0
+        self.sessions_promoted = 0
+
+    # ------------------------------------------------------------------
+    # Window control
+    # ------------------------------------------------------------------
+    def arm(self, now_s: float) -> None:
+        """Start the measurement window."""
+        self.enabled = True
+        self.window_start_s = now_s
+
+    def disarm(self, now_s: float) -> None:
+        """Close the measurement window."""
+        self.enabled = False
+        self.window_end_s = now_s
+
+    @property
+    def window_duration_s(self) -> float:
+        return max(self.window_end_s - self.window_start_s, 0.0)
+
+    # ------------------------------------------------------------------
+    # Recording (each checks the arm flag so callers stay branch-free)
+    # ------------------------------------------------------------------
+    def record_op(self, op_type: OpType, latency_s: float) -> None:
+        if self.enabled:
+            self.ops[op_type].record(latency_s)
+
+    def record_block_attempt(self, cause: str) -> None:
+        if self.enabled:
+            self.blocking[cause].record_attempt()
+
+    def record_block(self, cause: str, duration_s: float) -> None:
+        if self.enabled:
+            self.blocking[cause].record_block(duration_s)
+
+    def record_block_started(
+        self, cause: str, started_s: float, duration_s: float
+    ) -> None:
+        """Record a resolved stall, attributed to the window in which the
+        blocking *attempt* happened.
+
+        A stall that began before the window opened is dropped (its attempt
+        was never counted, so counting the block would make the blocking
+        probability exceed 1); one that began inside the window is counted
+        even if it resolves after the window closes.
+        """
+        if self._started_in_window(started_s):
+            self.blocking[cause].record_block(duration_s)
+
+    def _started_in_window(self, started_s: float) -> bool:
+        if started_s < self.window_start_s:
+            return False
+        return self.enabled or started_s < self.window_end_s
+
+    def record_get_staleness(self, fresher: int, unmerged: int) -> None:
+        if self.enabled:
+            self.get_staleness.record(fresher, unmerged)
+
+    def record_tx_staleness(self, fresher: int, unmerged: int) -> None:
+        if self.enabled:
+            self.tx_staleness.record(fresher, unmerged)
+
+    def record_gss_lag(self, lag_s: float) -> None:
+        if self.enabled and lag_s >= 0:
+            self.gss_lag.record(lag_s)
+
+    def record_visibility_lag(self, lag_s: float) -> None:
+        if self.enabled:
+            self.visibility_lag.record(max(lag_s, 0.0))
+
+    # ------------------------------------------------------------------
+    # Derived results
+    # ------------------------------------------------------------------
+    def total_ops(self) -> int:
+        return sum(stats.completed for stats in self.ops.values())
+
+    def throughput_ops_s(self) -> float:
+        duration = self.window_duration_s
+        return self.total_ops() / duration if duration > 0 else 0.0
+
+    def combined_blocking(self, causes: tuple[str, ...]) -> BlockingStats:
+        """Aggregate blocking stats across the given causes."""
+        combined = BlockingStats()
+        for cause in causes:
+            combined.merge(self.blocking[cause])
+        return combined

@@ -1,0 +1,122 @@
+"""A log-bucketed histogram for latency-like values.
+
+HdrHistogram-flavoured: geometric buckets give a bounded relative error per
+bucket (default ~7%) over many orders of magnitude, with O(1) recording —
+exactly what is needed to track response times that span microsecond blocking
+stalls to second-long overload queueing.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+
+class LogHistogram:
+    """Geometric-bucket histogram over positive floats."""
+
+    __slots__ = ("_min_value", "_log_growth", "_counts", "count",
+                 "total", "min_seen", "max_seen")
+
+    def __init__(self, min_value: float = 1e-7, growth: float = 1.07):
+        if min_value <= 0 or growth <= 1.0:
+            raise ValueError("need min_value > 0 and growth > 1")
+        self._min_value = min_value
+        self._log_growth = math.log(growth)
+        self._counts: list[int] = []
+        self.count = 0
+        self.total = 0.0
+        self.min_seen = math.inf
+        self.max_seen = 0.0
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record(self, value: float) -> None:
+        """Record one observation (values below min_value clamp to it)."""
+        if value < 0:
+            raise ValueError("histogram values must be >= 0")
+        self.count += 1
+        self.total += value
+        if value < self.min_seen:
+            self.min_seen = value
+        if value > self.max_seen:
+            self.max_seen = value
+        index = self._bucket_index(value)
+        counts = self._counts
+        if index >= len(counts):
+            counts.extend([0] * (index + 1 - len(counts)))
+        counts[index] += 1
+
+    def record_many(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.record(value)
+
+    def _bucket_index(self, value: float) -> int:
+        if value <= self._min_value:
+            return 0
+        return int(math.log(value / self._min_value) / self._log_growth) + 1
+
+    def _bucket_upper_bound(self, index: int) -> float:
+        if index == 0:
+            return self._min_value
+        return self._min_value * math.exp(index * self._log_growth)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Approximate p-th percentile (p in [0, 100])."""
+        if not 0 <= p <= 100:
+            raise ValueError("percentile must be in [0, 100]")
+        if self.count == 0:
+            return 0.0
+        target = math.ceil(self.count * p / 100.0)
+        if target <= 0:
+            return self.min_seen
+        seen = 0
+        for index, bucket_count in enumerate(self._counts):
+            seen += bucket_count
+            if seen >= target:
+                return min(self._bucket_upper_bound(index), self.max_seen)
+        return self.max_seen
+
+    def merge(self, other: "LogHistogram") -> None:
+        """Fold another histogram (same parameters) into this one."""
+        if (
+            other._min_value != self._min_value
+            or other._log_growth != self._log_growth
+        ):
+            raise ValueError("cannot merge histograms with different buckets")
+        if len(other._counts) > len(self._counts):
+            self._counts.extend([0] * (len(other._counts) - len(self._counts)))
+        for index, bucket_count in enumerate(other._counts):
+            self._counts[index] += bucket_count
+        self.count += other.count
+        self.total += other.total
+        self.min_seen = min(self.min_seen, other.min_seen)
+        self.max_seen = max(self.max_seen, other.max_seen)
+
+    def summary(self) -> dict[str, float]:
+        """Mean and common percentiles as a plain dict."""
+        if self.count == 0:
+            return {"count": 0, "mean": 0.0, "p50": 0.0, "p95": 0.0,
+                    "p99": 0.0, "max": 0.0}
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+            "max": self.max_seen,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"LogHistogram(count={self.count}, mean={self.mean:.6g}, "
+            f"max={self.max_seen:.6g})"
+        )

@@ -1,0 +1,83 @@
+"""Plain-text rendering of measurement series: tables and sparklines.
+
+Used by the CLI and examples to show figure-shaped data in a terminal
+without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """A unicode sparkline of a numeric series (empty string for none)."""
+    if not values:
+        return ""
+    finite = [v for v in values if math.isfinite(v)]
+    if not finite:
+        return " " * len(values)
+    low, high = min(finite), max(finite)
+    span = high - low
+    chars = []
+    for value in values:
+        if not math.isfinite(value):
+            chars.append(" ")
+        elif span == 0:
+            chars.append(_SPARK_LEVELS[0])
+        else:
+            index = int((value - low) / span * (len(_SPARK_LEVELS) - 1))
+            chars.append(_SPARK_LEVELS[index])
+    return "".join(chars)
+
+
+def format_si(value: float, digits: int = 3) -> str:
+    """Engineering-style formatting: 12_300 -> '12.3k', 0.0042 -> '4.2m'."""
+    if value == 0:
+        return "0"
+    magnitude = abs(value)
+    for threshold, suffix in ((1e9, "G"), (1e6, "M"), (1e3, "k")):
+        if magnitude >= threshold:
+            return f"{value / threshold:.{digits}g}{suffix}"
+    for threshold, suffix in ((1e-0, ""), (1e-3, "m"), (1e-6, "µ")):
+        if magnitude >= threshold:
+            return f"{value / threshold:.{digits}g}{suffix}"
+    return f"{value / 1e-9:.{digits}g}n"
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    min_width: int = 10,
+) -> str:
+    """A fixed-width table; numeric cells are compacted with SI suffixes."""
+    formatted_rows = []
+    for row in rows:
+        formatted = []
+        for cell in row:
+            if isinstance(cell, float):
+                formatted.append(format_si(cell))
+            else:
+                formatted.append(str(cell))
+        formatted_rows.append(formatted)
+    widths = [max(min_width, len(h) + 2) for h in headers]
+    for row in formatted_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell) + 2)
+    lines = ["".join(h.ljust(w) for h, w in zip(headers, widths))]
+    lines.append("".join("-" * (w - 2) + "  " for w in widths).rstrip())
+    for row in formatted_rows:
+        lines.append("".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def series_summary(name: str, values: Sequence[float]) -> str:
+    """One line: name, min/max, and a sparkline of the trajectory."""
+    if not values:
+        return f"{name}: (no data)"
+    return (
+        f"{name}: min={format_si(min(values))} max={format_si(max(values))} "
+        f"{sparkline(values)}"
+    )

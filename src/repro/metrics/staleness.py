@@ -1,0 +1,77 @@
+"""Staleness accounting, exactly as defined in Section V-B.
+
+A returned data item is **old** if the version returned to the client is not
+the one with the highest timestamp in the version chain.  It is **unmerged**
+if at least one version of the item is not *stable* yet (its dependency cut
+has not fully replicated), regardless of whether the returned version is the
+freshest.  Figures 2b and 3d report the percentage of affected GETs plus the
+average number of fresher / unmerged versions in the affected chains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(slots=True)
+class StalenessAggregate:
+    """Accumulates staleness observations for one class of reads."""
+
+    reads: int = 0
+    old_reads: int = 0
+    unmerged_reads: int = 0
+    fresher_versions_total: int = 0
+    unmerged_versions_total: int = 0
+
+    def record(self, fresher_versions: int, unmerged_versions: int) -> None:
+        """Record one read that returned a version with ``fresher_versions``
+        newer chain entries and ``unmerged_versions`` unstable chain
+        entries."""
+        self.reads += 1
+        if fresher_versions > 0:
+            self.old_reads += 1
+            self.fresher_versions_total += fresher_versions
+        if unmerged_versions > 0:
+            self.unmerged_reads += 1
+            self.unmerged_versions_total += unmerged_versions
+
+    # -- derived figures --------------------------------------------------
+    @property
+    def pct_old(self) -> float:
+        """Percentage of reads that returned an old version (Fig. 2b)."""
+        return 100.0 * self.old_reads / self.reads if self.reads else 0.0
+
+    @property
+    def pct_unmerged(self) -> float:
+        """Percentage of reads of a not-fully-merged item (Fig. 2b)."""
+        return 100.0 * self.unmerged_reads / self.reads if self.reads else 0.0
+
+    @property
+    def avg_fresher_versions(self) -> float:
+        """Average # fresher versions when the returned item was old."""
+        if not self.old_reads:
+            return 0.0
+        return self.fresher_versions_total / self.old_reads
+
+    @property
+    def avg_unmerged_versions(self) -> float:
+        """Average # unmerged versions when the item was unmerged."""
+        if not self.unmerged_reads:
+            return 0.0
+        return self.unmerged_versions_total / self.unmerged_reads
+
+    def merge(self, other: "StalenessAggregate") -> None:
+        self.reads += other.reads
+        self.old_reads += other.old_reads
+        self.unmerged_reads += other.unmerged_reads
+        self.fresher_versions_total += other.fresher_versions_total
+        self.unmerged_versions_total += other.unmerged_versions_total
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "reads": self.reads,
+            "pct_old": self.pct_old,
+            "pct_unmerged": self.pct_unmerged,
+            "avg_fresher_versions": self.avg_fresher_versions,
+            "avg_unmerged_versions": self.avg_unmerged_versions,
+        }

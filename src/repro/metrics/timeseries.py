@@ -1,0 +1,166 @@
+"""Windowed time series over simulated time.
+
+The aggregate metrics of :class:`~repro.metrics.collectors.MetricsRegistry`
+summarize a whole measurement window; transient studies — a partition
+episode hitting a running workload, warm-up behaviour, saturation onset —
+need the *trajectory*.  :class:`WindowedSampler` polls any probe on a
+fixed simulated-time cadence and exposes the sampled series;
+:class:`RateSeries` turns a monotone counter (operations completed,
+bytes sent, versions replicated) into per-window rates.
+
+Typical use, around a scheduled fault::
+
+    built = build_cluster(config)
+    sampler = RateSeries(
+        built.sim,
+        probe=lambda: sum(c.ops_completed for c in built.clients),
+        interval_s=0.25,
+    )
+    built.faults.schedule_partition(1.0, [0], [1, 2], heal_after=2.0)
+    sampler.start()
+    built.start_drivers()
+    built.sim.run(until=5.0)
+    print(sampler.table_text())          # throughput per 250 ms window
+    trough = sampler.minimum_rate(after=1.0, before=3.0)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.common.errors import ConfigError
+from repro.sim.engine import Simulator
+
+
+class WindowedSampler:
+    """Samples ``probe()`` every ``interval_s`` of simulated time.
+
+    Sampling starts when :meth:`start` is called (taking an immediate
+    first sample) and stops at :meth:`stop`, after ``max_samples``, or
+    with the simulation.  Samples are ``(sim_time, value)`` pairs.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        probe: Callable[[], float],
+        interval_s: float,
+        max_samples: int | None = None,
+    ):
+        if interval_s <= 0:
+            raise ConfigError("interval_s must be > 0")
+        if max_samples is not None and max_samples < 1:
+            raise ConfigError("max_samples must be >= 1 (or None)")
+        self._sim = sim
+        self._probe = probe
+        self.interval_s = interval_s
+        self._max_samples = max_samples
+        self.samples: list[tuple[float, float]] = []
+        self._running = False
+
+    def start(self) -> None:
+        """Take the first sample now and keep sampling every interval."""
+        if self._running:
+            raise ConfigError("sampler is already running")
+        self._running = True
+        self._tick()
+
+    def stop(self) -> None:
+        """Stop after the current sample; safe to call more than once."""
+        self._running = False
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        self.samples.append((self._sim.now, float(self._probe())))
+        if (
+            self._max_samples is not None
+            and len(self.samples) >= self._max_samples
+        ):
+            self._running = False
+            return
+        self._sim.schedule(self.interval_s, self._tick)
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    @property
+    def times(self) -> list[float]:
+        return [t for t, _ in self.samples]
+
+    @property
+    def values(self) -> list[float]:
+        return [v for _, v in self.samples]
+
+    def between(self, after: float, before: float) -> list[tuple[float, float]]:
+        """Samples with ``after <= time <= before``."""
+        return [(t, v) for t, v in self.samples if after <= t <= before]
+
+
+class RateSeries(WindowedSampler):
+    """A sampler over a *monotone counter*, exposing per-window rates.
+
+    ``rates()[i]`` is the counter increase between samples ``i`` and
+    ``i+1`` divided by the elapsed simulated time — e.g. ops/s per
+    window when probing total completed operations.
+    """
+
+    def rates(self) -> list[tuple[float, float]]:
+        """``(window_end_time, rate)`` per adjacent sample pair."""
+        out = []
+        for (t0, v0), (t1, v1) in zip(self.samples, self.samples[1:]):
+            if t1 > t0:
+                out.append((t1, (v1 - v0) / (t1 - t0)))
+        return out
+
+    def minimum_rate(
+        self, after: float = 0.0, before: float = float("inf")
+    ) -> float:
+        """The trough rate among windows ending in ``(after, before]``."""
+        window = [r for t, r in self.rates() if after < t <= before]
+        if not window:
+            raise ConfigError(
+                f"no rate windows end inside ({after}, {before}]"
+            )
+        return min(window)
+
+    def mean_rate(
+        self, after: float = 0.0, before: float = float("inf")
+    ) -> float:
+        """Average of the window rates ending in ``(after, before]``."""
+        window = [r for t, r in self.rates() if after < t <= before]
+        if not window:
+            raise ConfigError(
+                f"no rate windows end inside ({after}, {before}]"
+            )
+        return sum(window) / len(window)
+
+    def table_text(self, label: str = "rate") -> str:
+        lines = [f"{'t(s)':>8} {label:>12}"]
+        for t, rate in self.rates():
+            lines.append(f"{t:>8.2f} {rate:>12.1f}")
+        return "\n".join(lines)
+
+
+def align_rates(
+    series: Sequence[RateSeries],
+) -> list[tuple[float, list[float]]]:
+    """Zip the rate windows of several equally-cadenced series.
+
+    Raises :class:`ConfigError` when the series disagree on window
+    boundaries (different intervals or start times) — aligned comparison
+    would silently lie otherwise.
+    """
+    if not series:
+        return []
+    rate_lists = [s.rates() for s in series]
+    length = min(len(r) for r in rate_lists)
+    out: list[tuple[float, list[float]]] = []
+    for i in range(length):
+        times = {round(r[i][0], 9) for r in rate_lists}
+        if len(times) > 1:
+            raise ConfigError(
+                f"rate windows misaligned at index {i}: {sorted(times)}"
+            )
+        out.append((rate_lists[0][i][0], [r[i][1] for r in rate_lists]))
+    return out

@@ -1,0 +1,15 @@
+"""Causal-consistency protocols.
+
+* :mod:`repro.protocols.pocc` — the paper's contribution (Algorithms 1-2).
+* :mod:`repro.protocols.cure` — Cure*, the pessimistic baseline the paper
+  evaluates against (stabilization protocol + Global Stable Snapshot).
+* :mod:`repro.protocols.eventual` — an eventually consistent strawman used
+  to demonstrate the independent consistency checker.
+* :mod:`repro.protocols.ha` — HA-POCC: the availability fall-back of
+  Sections III-B / IV-C.
+* :mod:`repro.protocols.registry` — name -> (server, client) factory table.
+"""
+
+from repro.protocols.registry import PROTOCOLS, client_class, server_class
+
+__all__ = ["PROTOCOLS", "client_class", "server_class"]

@@ -1,0 +1,624 @@
+"""Shared machinery for causal servers and clients.
+
+:class:`CausalServer` implements everything POCC and Cure* have in common —
+update replication in timestamp order, heartbeats (Algorithm 2 lines 19-28),
+version-vector bookkeeping, predicate wait-queues for blocked operations
+(with per-cause metrics), and the intra-DC garbage-collection rounds of
+Section IV-B.  Protocol subclasses add their read/write visibility rules.
+
+:class:`CausalClient` implements the session metadata of Algorithm 1, which
+is *identical* for POCC and Cure* (the paper's fairness argument: both
+exchange the same metadata).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+from repro.clocks.physical import PhysicalClock
+from repro.clocks.vector import (
+    vec_aggregate_min,
+    vec_covers,
+    vec_leq,
+    vec_max,
+    vec_max_inplace,
+    vec_min,
+    vec_zero,
+)
+from repro.common.config import ClusterConfig
+from repro.common.errors import ProtocolError
+from repro.common.types import Address, Micros, OpType
+from repro.cluster.node import SimNode
+from repro.cluster.topology import Topology
+from repro.metrics.collectors import MetricsRegistry
+from repro.protocols import messages as m
+from repro.sim.network import Network
+from repro.sim.engine import Simulator
+from repro.storage.store import PartitionStore
+from repro.storage.version import Version
+
+
+class _Waiter:
+    """One blocked operation: a predicate over server state + continuation.
+
+    ``payload`` carries the original request message so the HA protocol can
+    identify (and abort) the session behind an over-age waiter.
+    """
+
+    __slots__ = ("predicate", "resume", "cause", "blocked_at", "cancelled",
+                 "payload")
+
+    def __init__(
+        self,
+        predicate: Callable[[], bool],
+        resume: Callable[[], None],
+        cause: str,
+        blocked_at: float,
+        payload: Any = None,
+    ):
+        self.predicate = predicate
+        self.resume = resume
+        self.cause = cause
+        self.blocked_at = blocked_at
+        self.cancelled = False
+        self.payload = payload
+
+
+class WaitQueue:
+    """Predicate-indexed queue of blocked operations.
+
+    Blocked operations hold no CPU (the paper's key efficiency argument for
+    POCC under load); they re-run only when :meth:`notify` finds their
+    predicate satisfied, paying a small resumption cost.
+    """
+
+    __slots__ = ("_server", "_waiters")
+
+    def __init__(self, server: "CausalServer"):
+        self._server = server
+        self._waiters: list[_Waiter] = []
+
+    def wait(
+        self,
+        predicate: Callable[[], bool],
+        resume: Callable[[], None],
+        cause: str,
+        payload: Any = None,
+    ) -> _Waiter:
+        """Park ``resume`` until ``predicate()`` holds (checked on notify)."""
+        waiter = _Waiter(predicate, resume, cause, self._server.sim.now,
+                         payload)
+        self._waiters.append(waiter)
+        return waiter
+
+    def notify(self) -> None:
+        """Re-check all waiters; wake (and charge resume CPU for) the
+        satisfied ones."""
+        if not self._waiters:
+            return
+        still_blocked: list[_Waiter] = []
+        for waiter in self._waiters:
+            if waiter.cancelled:
+                continue
+            if waiter.predicate():
+                self._server.wake(waiter)
+            else:
+                still_blocked.append(waiter)
+        self._waiters = still_blocked
+
+    def drop(self, waiter: _Waiter) -> None:
+        waiter.cancelled = True
+
+    def expired(self, older_than_s: float) -> list[_Waiter]:
+        """Waiters blocked longer than ``older_than_s`` (HA detection)."""
+        now = self._server.sim.now
+        return [
+            w for w in self._waiters
+            if not w.cancelled and now - w.blocked_at >= older_than_s
+        ]
+
+    def __len__(self) -> int:
+        return sum(1 for w in self._waiters if not w.cancelled)
+
+
+class CausalServer(SimNode):
+    """Base server ``p^m_n``: replication, heartbeats, waiting, GC."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        address: Address,
+        clock: PhysicalClock,
+        topology: Topology,
+        config: ClusterConfig,
+        metrics: MetricsRegistry,
+    ):
+        super().__init__(sim, network, address, clock,
+                         cores=config.cores_per_node)
+        self.topology = topology
+        self.config = config
+        self.metrics = metrics
+        self.store = PartitionStore()
+        self.m = address.dc  # local replica id (paper superscript)
+        self.n = address.partition  # partition id (paper subscript)
+        #: Version vector VV^m_n: one physical timestamp per DC.
+        self.vv: list[Micros] = vec_zero(topology.num_dcs)
+        self.waiters = WaitQueue(self)
+        self._peer_replicas = tuple(
+            topology.replicas_of(self.n, except_dc=self.m)
+        )
+        self._service = config.service
+        self._protocol = config.protocol_config
+        # Transactions this node currently coordinates: tx_id -> state.
+        self._active_tx: dict[int, dict] = {}
+        self._next_tx_id = (self.m << 20) | (self.n << 12)
+        # GC aggregation state (partition 0 of each DC aggregates).
+        self._gc_reports: dict[int, list[Micros]] = {}
+        self._start_timers()
+
+    # ------------------------------------------------------------------
+    # Timers
+    # ------------------------------------------------------------------
+    def _start_timers(self) -> None:
+        heartbeat = self._protocol.heartbeat_interval_s
+        self.sim.schedule(heartbeat, self._heartbeat_tick)
+        gc = self._protocol.gc_interval_s
+        # Stagger GC rounds so all nodes do not report at the same instant.
+        self.sim.schedule(gc * (1.0 + 0.01 * self.n), self._gc_tick)
+
+    def _heartbeat_tick(self) -> None:
+        """Algorithm 2 lines 19-26: broadcast the clock if write-idle."""
+        delta_us = int(self._protocol.heartbeat_interval_s * 1_000_000)
+        ct = self.clock.peek_micros()
+        if ct >= self.vv[self.m] + delta_us:
+            ct = self.clock.micros()
+            self.vv[self.m] = ct
+            for replica in self._peer_replicas:
+                self.send(replica, m.Heartbeat(ts=ct, src_dc=self.m))
+            self.waiters.notify()
+        self.sim.schedule(self._protocol.heartbeat_interval_s,
+                          self._heartbeat_tick)
+
+    # ------------------------------------------------------------------
+    # Waiting / waking
+    # ------------------------------------------------------------------
+    def wake(self, waiter: _Waiter) -> None:
+        """Charge resumption CPU and record the blocking duration."""
+        duration = self.sim.now - waiter.blocked_at
+        self.metrics.record_block_started(waiter.cause, waiter.blocked_at,
+                                          duration)
+        self.submit_local(self._service.resume_s, waiter.resume)
+
+    def block_or_run(
+        self,
+        cause: str,
+        predicate: Callable[[], bool],
+        action: Callable[[], None],
+        payload: Any = None,
+    ) -> None:
+        """Run ``action`` now if ``predicate`` holds, else park it.
+
+        Records one blocking *attempt* either way, so
+        ``blocked / attempts`` is the paper's blocking probability.
+        """
+        self.metrics.record_block_attempt(cause)
+        if predicate():
+            action()
+        else:
+            self.waiters.wait(predicate, action, cause, payload)
+
+    # ------------------------------------------------------------------
+    # Update creation & replication
+    # ------------------------------------------------------------------
+    def create_version(self, key: str, value: Any, dv: Sequence[Micros],
+                       optimistic: bool = True) -> Version:
+        """Algorithm 2 lines 8-14: stamp, store and replicate an update."""
+        ts = self.clock.micros()
+        if ts <= self.vv[self.m]:
+            # Clock reads are strictly monotonic, so this means a protocol
+            # bug (e.g. VV advanced past the local clock).
+            raise ProtocolError(
+                f"{self.address}: update timestamp {ts} not beyond "
+                f"VV[m]={self.vv[self.m]}"
+            )
+        self.vv[self.m] = ts
+        version = Version(key=key, value=value, sr=self.m, ut=ts, dv=dv,
+                          optimistic=optimistic)
+        self.store.insert(version)
+        for replica in self._peer_replicas:
+            self.send(replica, m.Replicate(version=version))
+        return version
+
+    def apply_replicate(self, msg: m.Replicate) -> None:
+        """Algorithm 2 lines 16-18 + notify blocked operations."""
+        version = msg.version
+        self.store.insert(version)
+        if version.ut > self.vv[version.sr]:
+            self.vv[version.sr] = version.ut
+        self.version_received(version)
+        self.waiters.notify()
+
+    def version_received(self, version: Version) -> None:
+        """Hook: a remote version was installed locally.
+
+        Optimistic protocols make remote updates readable the instant they
+        arrive, so the base implementation records the visibility latency
+        (creation at the source to readability here) right away.
+        Pessimistic subclasses override this to defer the sample until
+        their stability horizon (GSS / GST) covers the version.
+
+        ``version.ut`` is micros on the *source* clock; the bounded clock
+        skew makes the conversion to simulated seconds accurate to within
+        the configured offset (clamped at zero in the recorder).
+        """
+        self.metrics.record_visibility_lag(self.sim.now - version.ut / 1e6)
+
+    def apply_heartbeat(self, msg: m.Heartbeat) -> None:
+        """Algorithm 2 lines 27-28 + notify blocked operations."""
+        if msg.ts > self.vv[msg.src_dc]:
+            self.vv[msg.src_dc] = msg.ts
+        self.waiters.notify()
+
+    # ------------------------------------------------------------------
+    # Garbage collection (Section IV-B)
+    # ------------------------------------------------------------------
+    def _gc_tick(self) -> None:
+        report = self._gc_report_vector()
+        aggregator = self.topology.server(self.m, 0)
+        if aggregator == self.address:
+            self._gc_receive_report(report, self.n)
+        else:
+            self.send(aggregator, m.GcPush(vec=report, partition=self.n))
+        self.sim.schedule(self._protocol.gc_interval_s, self._gc_tick)
+
+    def _gc_report_vector(self) -> list[Micros]:
+        """min over active transaction snapshots, else the node's VV.
+
+        The paper's text says "aggregate maximum" of the active TVs, but
+        retaining versions needed by the *oldest* active snapshot requires
+        the minimum; we implement the minimum (see DESIGN.md).
+        """
+        vec = list(self.vv)
+        for state in self._active_tx.values():
+            tv = state.get("tv")
+            if tv is not None:
+                vec = vec_min(vec, tv)
+        return vec
+
+    def _gc_receive_report(self, vec: list[Micros], partition: int) -> None:
+        self._gc_reports[partition] = vec
+        if len(self._gc_reports) < self.topology.num_partitions:
+            return
+        gv = vec_aggregate_min(self._gc_reports.values())
+        self._gc_reports.clear()
+        for server in self.topology.dc_servers(self.m):
+            if server == self.address:
+                self._apply_gc(gv)
+            else:
+                self.send(server, m.GcBroadcast(gv=gv))
+
+    def _apply_gc(self, gv: list[Micros]) -> None:
+        self.store.collect(gv)
+
+    # ------------------------------------------------------------------
+    # Dispatch plumbing shared by subclasses
+    # ------------------------------------------------------------------
+    def service_time(self, msg: Any) -> float:
+        service = self._service
+        if isinstance(msg, m.GetReq):
+            return service.get_s
+        if isinstance(msg, m.PutReq):
+            return service.put_s
+        if isinstance(msg, m.Replicate):
+            return service.replicate_s
+        if isinstance(msg, m.Heartbeat):
+            return service.heartbeat_s
+        if isinstance(msg, m.RoTxReq):
+            partitions = {self.topology.partition_of(k) for k in msg.keys}
+            return (service.tx_coordinator_s
+                    + service.tx_coordinator_per_slice_s * len(partitions))
+        if isinstance(msg, m.SliceReq):
+            return service.slice_base_s + service.slice_per_key_s * len(msg.keys)
+        if isinstance(msg, m.SliceResp):
+            return service.tx_coordinator_per_slice_s
+        if isinstance(msg, (m.StabPush, m.StabBroadcast)):
+            return service.stabilization_msg_s
+        if isinstance(msg, (m.GcPush, m.GcBroadcast)):
+            return service.gc_msg_s
+        return 0.0
+
+    def message_priority(self, msg: Any) -> int:
+        """Background machinery (replication apply, heartbeats,
+        stabilization, GC) runs behind client-facing work, mirroring the
+        request-threads-vs-apply-threads structure of real stores.  Under
+        saturation the background class starves — the paper's stated cause
+        of load-dependent blocking (POCC) and staleness (Cure*)."""
+        from repro.cluster.cpu import BACKGROUND, FOREGROUND
+        if isinstance(msg, (m.Replicate, m.Heartbeat, m.StabPush,
+                            m.StabBroadcast, m.GcPush, m.GcBroadcast)):
+            return BACKGROUND
+        return FOREGROUND
+
+    def dispatch(self, msg: Any) -> None:
+        if isinstance(msg, m.GetReq):
+            self.handle_get(msg)
+        elif isinstance(msg, m.PutReq):
+            self.handle_put(msg)
+        elif isinstance(msg, m.Replicate):
+            self.apply_replicate(msg)
+        elif isinstance(msg, m.Heartbeat):
+            self.apply_heartbeat(msg)
+        elif isinstance(msg, m.RoTxReq):
+            self.handle_ro_tx(msg)
+        elif isinstance(msg, m.SliceReq):
+            self.handle_slice(msg)
+        elif isinstance(msg, m.SliceResp):
+            self.handle_slice_resp(msg)
+        elif isinstance(msg, m.GcPush):
+            self._gc_receive_report(msg.vec, msg.partition)
+        elif isinstance(msg, m.GcBroadcast):
+            self._apply_gc(msg.gv)
+        else:
+            self.handle_other(msg)
+
+    # -- protocol-specific hooks ----------------------------------------
+    def handle_get(self, msg: m.GetReq) -> None:
+        raise NotImplementedError
+
+    def handle_put(self, msg: m.PutReq) -> None:
+        raise NotImplementedError
+
+    def handle_ro_tx(self, msg: m.RoTxReq) -> None:
+        raise NotImplementedError
+
+    def handle_slice(self, msg: m.SliceReq) -> None:
+        raise NotImplementedError
+
+    def handle_other(self, msg: Any) -> None:
+        raise ProtocolError(f"{self.address}: unhandled message {msg!r}")
+
+    # ------------------------------------------------------------------
+    # Read-only transaction fan-out / fan-in (Algorithm 2 lines 29-38)
+    # ------------------------------------------------------------------
+    def coordinate_tx(
+        self,
+        msg: m.RoTxReq,
+        tv: list[Micros],
+        pessimistic: bool = False,
+    ) -> None:
+        """Fan a RO-TX out to one slice request per involved partition.
+
+        The protocols differ only in how the snapshot vector ``tv`` is
+        computed (received-items boundary for POCC, stable-items boundary
+        for Cure*); the coordination is identical.
+        """
+        groups: dict[int, list[str]] = {}
+        for key in msg.keys:
+            groups.setdefault(self.topology.partition_of(key), []).append(key)
+        tx_id = self.new_tx_id()
+        self._active_tx[tx_id] = {
+            "tv": tv,
+            "client": msg.client,
+            "op_id": msg.op_id,
+            "awaiting": len(groups),
+            "versions": [],
+        }
+        for partition, keys in groups.items():
+            slice_req = m.SliceReq(keys=tuple(keys), tv=list(tv),
+                                   coordinator=self.address, tx_id=tx_id,
+                                   pessimistic=pessimistic)
+            target = self.topology.server(self.m, partition)
+            if target == self.address:
+                # Local slice: skip the network, still pay the CPU.
+                self.on_message(slice_req)
+            else:
+                self.send(target, slice_req)
+
+    def handle_slice_resp(self, msg: m.SliceResp) -> None:
+        state = self._active_tx.get(msg.tx_id)
+        if state is None:
+            return  # transaction aborted (possible under HA recovery)
+        state["versions"].extend(msg.versions)
+        state["awaiting"] -= 1
+        if state["awaiting"] == 0:
+            del self._active_tx[msg.tx_id]
+            self.send(state["client"],
+                      m.RoTxReply(versions=state["versions"],
+                                  op_id=state["op_id"]))
+
+    def send_slice_resp(self, msg: m.SliceReq, response: m.SliceResp) -> None:
+        if msg.coordinator == self.address:
+            self.on_message(response)
+        else:
+            self.send(msg.coordinator, response)
+
+    # ------------------------------------------------------------------
+    # Helpers shared by subclasses
+    # ------------------------------------------------------------------
+    def reply_for(self, version: Version, op_id: int) -> m.GetReply:
+        return m.GetReply(
+            key=version.key,
+            value=version.value,
+            ut=version.ut,
+            dv=version.dv,
+            sr=version.sr,
+            op_id=op_id,
+        )
+
+    def nil_reply(self, key: str, op_id: int) -> m.GetReply:
+        """Reply for a key with no version anywhere (possible only when the
+        workload bypasses preloading)."""
+        return m.GetReply(
+            key=key, value=None, ut=0,
+            dv=(0,) * self.topology.num_dcs, sr=self.m, op_id=op_id,
+        )
+
+    def new_tx_id(self) -> int:
+        self._next_tx_id += 1
+        return self._next_tx_id
+
+    def vv_covers(self, deps: Sequence[Micros], skip_local: bool = True) -> bool:
+        """The Algorithm 2 waiting condition: VV >= deps (entry-wise),
+        optionally skipping the local entry."""
+        return vec_covers(self.vv, deps, skip=self.m if skip_local else None)
+
+
+class CausalClient(SimNode):
+    """Client-side session state and operations (Algorithm 1).
+
+    The driver calls :meth:`get` / :meth:`put` / :meth:`ro_tx` with a
+    completion callback; the client maintains ``DV_c`` and ``RDV_c`` exactly
+    as the pseudo-code prescribes.  POCC and Cure* clients are identical —
+    the paper keeps client metadata the same for fairness — so protocol
+    subclasses rarely override anything here.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        address: Address,
+        clock: PhysicalClock,
+        topology: Topology,
+        config: ClusterConfig,
+        metrics: MetricsRegistry,
+    ):
+        super().__init__(sim, network, address, clock, cores=1)
+        self.topology = topology
+        self.config = config
+        self.metrics = metrics
+        self.m = address.dc
+        num_dcs = topology.num_dcs
+        #: DV_c: newest potential dependency per DC (reads and writes).
+        self.dv: list[Micros] = vec_zero(num_dcs)
+        #: RDV_c: dependency cut induced by reads only.
+        self.rdv: list[Micros] = vec_zero(num_dcs)
+        self._next_op_id = 0
+        self._pending: dict[int, tuple[OpType, float, Callable]] = {}
+        #: Operations completed since construction (includes warmup).
+        self.ops_completed = 0
+        self.session_resets = 0
+
+    # ------------------------------------------------------------------
+    # Operations (Algorithm 1)
+    # ------------------------------------------------------------------
+    def read_dependency_vector(self) -> list[Micros]:
+        """The vector attached to read requests.
+
+        POCC sends RDV_c exactly as in Algorithm 1.  The Cure* client
+        overrides this to ``max(RDV_c, DV_c)``: Cure's snapshots cover the
+        client's whole causal past (including its own writes and the update
+        times of items it read), which keeps read-your-writes robust under
+        clock skew.  Metadata cost is identical — one M-entry vector.
+        """
+        return list(self.rdv)
+
+    def get(self, key: str, callback: Callable[[m.GetReply], None]) -> None:
+        """GET(k): send ⟨GETReq k, RDV_c⟩ to the responsible local server."""
+        op_id = self._register(OpType.GET, callback)
+        target = self._server_for(key)
+        self.send(target, m.GetReq(key=key, rdv=self.read_dependency_vector(),
+                                   client=self.address, op_id=op_id))
+
+    def put(self, key: str, value: Any,
+            callback: Callable[[m.PutReply], None]) -> None:
+        """PUT(k, v): send ⟨PUTReq k, v, DV_c⟩."""
+        op_id = self._register(OpType.PUT, callback)
+        target = self._server_for(key)
+        self.send(target, m.PutReq(key=key, value=value, dv=list(self.dv),
+                                   client=self.address, op_id=op_id))
+
+    def ro_tx(self, keys: Sequence[str],
+              callback: Callable[[m.RoTxReply], None]) -> None:
+        """RO-TX(χ): send ⟨RO-TX-Req χ, RDV_c⟩ to the session's server."""
+        op_id = self._register(OpType.RO_TX, callback)
+        coordinator = self.topology.server(self.m, self.address.partition)
+        self.send(coordinator,
+                  m.RoTxReq(keys=tuple(keys),
+                            rdv=self.read_dependency_vector(),
+                            client=self.address, op_id=op_id))
+
+    # ------------------------------------------------------------------
+    # Replies
+    # ------------------------------------------------------------------
+    def service_time(self, msg: Any) -> float:
+        return 0.0  # clients are load generators, not modeled CPUs
+
+    def dispatch(self, msg: Any) -> None:
+        if isinstance(msg, m.GetReply):
+            self._complete_get(msg)
+        elif isinstance(msg, m.PutReply):
+            self._complete_put(msg)
+        elif isinstance(msg, m.RoTxReply):
+            self._complete_ro_tx(msg)
+        elif isinstance(msg, m.SessionClosed):
+            self._session_closed(msg)
+        else:
+            raise ProtocolError(f"{self.address}: unexpected {msg!r}")
+
+    def absorb_read(self, reply: m.GetReply) -> None:
+        """Algorithm 1 lines 4-6: fold a read result into DV_c / RDV_c."""
+        vec_max_inplace(self.rdv, reply.dv)
+        vec_max_inplace(self.dv, self.rdv)
+        if reply.ut > self.dv[reply.sr]:
+            self.dv[reply.sr] = reply.ut
+
+    def _complete_get(self, reply: m.GetReply) -> None:
+        op_type, started, callback = self._pending.pop(reply.op_id)
+        self.absorb_read(reply)
+        self._finish(op_type, started)
+        callback(reply)
+
+    def _complete_put(self, reply: m.PutReply) -> None:
+        op_type, started, callback = self._pending.pop(reply.op_id)
+        # Algorithm 1 line 12: DV_c[m] <- ut.
+        self.dv[self.m] = reply.ut
+        self._finish(op_type, started)
+        callback(reply)
+
+    def _complete_ro_tx(self, reply: m.RoTxReply) -> None:
+        op_type, started, callback = self._pending.pop(reply.op_id)
+        # Algorithm 1 lines 17-19: read each returned item as a GET result.
+        for item in reply.versions:
+            self.absorb_read(item)
+        self._finish(op_type, started)
+        callback(reply)
+
+    def _session_closed(self, msg: m.SessionClosed) -> None:
+        """Base clients treat a closed session as fatal; the HA client
+        overrides this with the re-initialization protocol."""
+        raise ProtocolError(
+            f"{self.address}: session closed by server ({msg.reason}); "
+            "plain POCC/Cure clients cannot recover"
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _register(self, op_type: OpType, callback: Callable) -> int:
+        self._next_op_id += 1
+        self._pending[self._next_op_id] = (op_type, self.sim.now, callback)
+        return self._next_op_id
+
+    def _finish(self, op_type: OpType, started: float) -> None:
+        self.ops_completed += 1
+        self.metrics.record_op(op_type, self.sim.now - started)
+
+    def _server_for(self, key: str) -> Address:
+        return self.topology.server(self.m, self.topology.partition_of(key))
+
+    def reset_session(self) -> None:
+        """Drop all session metadata (client fail-over / HA demotion).
+
+        Per Section III-B the client "might not be able to see the same
+        version of some data items read or written in the optimistic
+        session" — causal stickiness restarts from scratch.
+        """
+        self.dv = vec_zero(len(self.dv))
+        self.rdv = vec_zero(len(self.rdv))
+        self.session_resets += 1
+
+    @property
+    def has_pending(self) -> bool:
+        return bool(self._pending)

@@ -1,0 +1,383 @@
+"""COPS* — the explicit dependency-check baseline (paper reference [8]).
+
+COPS (Lloyd, Freedman, Kaminsky, Andersen; SOSP 2011) is the canonical
+member of the *dependency checking* family the OCC paper's introduction
+contrasts itself against: clients attach an explicit list of **nearest
+dependencies** — version ids ``(key, ut, sr)`` — to every write; when a
+replicated write arrives at a remote DC, the receiving server issues one
+``DepCheck`` query per dependency to the local partition responsible for
+that key and makes the write **visible only after every check passes**.
+Reads return the freshest *visible* version and never block.
+
+This module exists so the benches can quantify the two costs Section I
+attributes to this design and that OCC eliminates:
+
+* **communication overhead** — dep-check / ack message pairs per
+  replicated write (``bench_ablation_depcheck``), absent in POCC;
+* **delayed visibility** — a write is hidden until its checks complete,
+  so remote reads observe staler data than optimistic receipt-visibility
+  (the visibility-lag histogram).
+
+Nearest dependencies follow COPS exactly: a PUT's dependency list is the
+client's reads since its last write plus that last write; the completed
+PUT then *becomes* the context (transitivity makes checking nearest
+sufficient for visibility: a version is made visible only after its
+nearest dependencies are visible, which recursively covers the rest).
+
+Scope note: real COPS supports only GET and PUT; causally consistent
+read-only transactions require COPS-GT, which must store the *full*
+dependency set with every version (one of its criticized overheads).  We
+reproduce plain COPS, so ``RO-TX`` raises :class:`ProtocolError` — use
+POCC/Cure*/GentleRain* for transactional workloads.
+
+Convergence uses the same last-writer-wins order as the other protocols.
+Versions created here are :class:`CopsVersion`: they carry the dependency
+list (counted on the wire by ``messages.version_bytes``) and a local
+``visible`` flag.  Replicated versions are **copied** on receipt — the
+flag is per-DC state and the simulator passes objects by reference.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+from repro.clocks.vector import vec_zero
+from repro.common.errors import ProtocolError
+from repro.common.types import Micros, OpType, ReplicaId, version_order_key
+from repro.metrics.collectors import BLOCK_PUT_CLOCK
+from repro.protocols import messages as m
+from repro.protocols.base import CausalClient, CausalServer, WaitQueue
+from repro.storage.version import Version
+
+#: GC retention slack behind ``min(VV)``: versions younger than this are
+#: never collected, keeping in-flight dependency targets available.
+GC_GRACE_US = 2_000_000
+
+
+class CopsVersion(Version):
+    """A version with an explicit dependency list and a visibility flag."""
+
+    __slots__ = ("deps", "visible")
+
+    def __init__(
+        self,
+        key: Any,
+        value: Any,
+        sr: ReplicaId,
+        ut: Micros,
+        deps: Sequence[m.Dependency],
+        num_dcs: int,
+        visible: bool,
+    ):
+        # The vector slot is unused by this protocol; zeros keep the
+        # shared storage machinery indifferent.
+        super().__init__(key=key, value=value, sr=sr, ut=ut,
+                         dv=vec_zero(num_dcs))
+        self.deps = tuple(deps)
+        self.visible = visible
+
+    def local_copy(self, visible: bool) -> "CopsVersion":
+        """A per-DC copy (the ``visible`` flag must not be shared)."""
+        return CopsVersion(key=self.key, value=self.value, sr=self.sr,
+                           ut=self.ut, deps=self.deps,
+                           num_dcs=len(self.dv), visible=visible)
+
+
+def _is_visible(version: Version) -> bool:
+    """Preloaded versions are plain :class:`Version`: always visible."""
+    return getattr(version, "visible", True)
+
+
+class CopsServer(CausalServer):
+    """Server running the explicit dependency-check protocol."""
+
+    def __init__(self, *args: Any, **kwargs: Any):
+        super().__init__(*args, **kwargs)
+        #: Replicated versions awaiting dep-check acks: check target count.
+        self._pending_writes: dict[int, dict] = {}
+        self._next_check_id = (self.m << 20) | (self.n << 12)
+        #: DepChecks (from peers) parked until the target version applies.
+        self.dep_waiters = WaitQueue(self)
+
+    # ------------------------------------------------------------------
+    # GET: freshest visible version, never blocks
+    # ------------------------------------------------------------------
+    def handle_get(self, msg: m.GetReq) -> None:
+        chain = self.store.chain(msg.key)
+        if chain is None:
+            self.send(msg.client, self.nil_reply(msg.key, msg.op_id))
+            return
+        version, scanned = chain.find_freshest(_is_visible)
+        if version is None:
+            version = next(reversed(list(chain)))
+            scanned = len(chain)
+        self.metrics.record_get_staleness(
+            chain.versions_newer_than(version),
+            chain.count_matching(lambda v: not _is_visible(v)),
+        )
+        reply = m.GetReply(key=version.key, value=version.value,
+                           ut=version.ut, dv=(), sr=version.sr,
+                           op_id=msg.op_id)
+        scan_cost = self._service.chain_scan_per_version_s * scanned
+        self.submit_local(scan_cost, self.send, msg.client, reply)
+
+    def nil_reply(self, key: str, op_id: int) -> m.GetReply:
+        return m.GetReply(key=key, value=None, ut=0, dv=(), sr=self.m,
+                          op_id=op_id)
+
+    # ------------------------------------------------------------------
+    # PUT (put_after): stamp above the dependency list, apply, replicate
+    # ------------------------------------------------------------------
+    def handle_put_after(self, msg: m.CopsPutReq) -> None:
+        # The client's nearest dependencies were read in this DC, so they
+        # are locally present; only the timestamp discipline can wait.
+        max_dep: Micros = max((dep.ut for dep in msg.deps), default=0)
+        self.metrics.record_block_attempt(BLOCK_PUT_CLOCK)
+        if self.clock.peek_micros() > max_dep:
+            self._apply_put_after(msg)
+            return
+        blocked_at = self.sim.now
+
+        def resume() -> None:
+            self.metrics.record_block_started(BLOCK_PUT_CLOCK, blocked_at,
+                                              self.sim.now - blocked_at)
+            self.submit_local(self._service.resume_s,
+                              self._apply_put_after, msg)
+
+        self.sim.schedule_at(self.clock.sim_time_when(max_dep), resume)
+
+    def _apply_put_after(self, msg: m.CopsPutReq) -> None:
+        ts = self.clock.micros()
+        if ts <= self.vv[self.m]:
+            raise ProtocolError(
+                f"{self.address}: update timestamp {ts} not beyond "
+                f"VV[m]={self.vv[self.m]}"
+            )
+        self.vv[self.m] = ts
+        version = CopsVersion(key=msg.key, value=msg.value, sr=self.m,
+                              ut=ts, deps=msg.deps,
+                              num_dcs=self.topology.num_dcs, visible=True)
+        self.store.insert(version)
+        # A locally created (visible) version can satisfy parked checks.
+        self.dep_waiters.notify()
+        for replica in self._peer_replicas:
+            self.send(replica, m.Replicate(version=version))
+        self.send(msg.client, m.PutReply(ut=version.ut, op_id=msg.op_id))
+
+    # ------------------------------------------------------------------
+    # Replication: install hidden, fan out dependency checks
+    # ------------------------------------------------------------------
+    def apply_replicate(self, msg: m.Replicate) -> None:
+        incoming = msg.version
+        assert isinstance(incoming, CopsVersion)
+        version = incoming.local_copy(visible=False)
+        self.store.insert(version)
+        if version.ut > self.vv[version.sr]:
+            self.vv[version.sr] = version.ut
+        checks = [dep for dep in version.deps if not self._satisfied(dep)]
+        if not checks:
+            self._mark_visible(version)
+            return
+        check_id = self._new_check_id()
+        self._pending_writes[check_id] = {
+            "version": version,
+            "awaiting": len(checks),
+        }
+        for dep in checks:
+            target = self.topology.server(
+                self.m, self.topology.partition_of(dep.key)
+            )
+            query = m.DepCheck(key=dep.key, ut=dep.ut, sr=dep.sr,
+                               requester=self.address, check_id=check_id)
+            if target == self.address:
+                self.on_message(query)
+            else:
+                self.send(target, query)
+
+    def _satisfied(self, dep: m.Dependency) -> bool:
+        """A dependency holds once a visible version at-or-after it (in
+        the LWW order) exists on the partition owning its key.
+
+        The fast path answers locally for keys this partition owns; other
+        keys always go through a DepCheck round trip.
+        """
+        if self.topology.partition_of(dep.key) != self.n:
+            return False
+        return self._locally_satisfied(dep)
+
+    def _locally_satisfied(self, dep: m.Dependency) -> bool:
+        chain = self.store.chain(dep.key)
+        if chain is None:
+            return False
+        target = version_order_key(dep.ut, dep.sr)
+        for version in chain:  # freshest first
+            if version.order_key < target:
+                return False
+            if _is_visible(version):
+                return True
+        return False
+
+    def _mark_visible(self, version: CopsVersion) -> None:
+        version.visible = True
+        self.metrics.record_visibility_lag(self.sim.now - version.ut / 1e6)
+        # Newly visible versions can satisfy checks parked here and can
+        # unblock nothing else: COPS reads never wait.
+        self.dep_waiters.notify()
+
+    # ------------------------------------------------------------------
+    # Dependency checks
+    # ------------------------------------------------------------------
+    def handle_dep_check(self, msg: m.DepCheck) -> None:
+        dep = msg.dependency()
+        if self._locally_satisfied(dep):
+            self._ack_dep_check(msg)
+        else:
+            self.dep_waiters.wait(
+                lambda: self._locally_satisfied(dep),
+                lambda: self._ack_dep_check(msg),
+                cause="dep_check",
+                payload=msg,
+            )
+
+    def _ack_dep_check(self, msg: m.DepCheck) -> None:
+        response = m.DepCheckResp(check_id=msg.check_id)
+        if msg.requester == self.address:
+            self.on_message(response)
+        else:
+            self.send(msg.requester, response)
+
+    def handle_dep_check_resp(self, msg: m.DepCheckResp) -> None:
+        state = self._pending_writes.get(msg.check_id)
+        if state is None:
+            return
+        state["awaiting"] -= 1
+        if state["awaiting"] == 0:
+            del self._pending_writes[msg.check_id]
+            self._mark_visible(state["version"])
+
+    def _new_check_id(self) -> int:
+        self._next_check_id += 1
+        return self._next_check_id
+
+    # ------------------------------------------------------------------
+    # Remote versions satisfying parked checks
+    # ------------------------------------------------------------------
+    def version_received(self, version: Version) -> None:
+        # Visibility is recorded in _mark_visible, not at receipt; nothing
+        # to do here (apply_replicate is fully overridden anyway).
+        raise AssertionError("unreachable: COPS overrides apply_replicate")
+
+    # ------------------------------------------------------------------
+    # Transactions: COPS (without -GT) has none
+    # ------------------------------------------------------------------
+    def handle_ro_tx(self, msg: m.RoTxReq) -> None:
+        raise ProtocolError(
+            "COPS* supports only GET/PUT; causal read-only transactions "
+            "require COPS-GT's full dependency metadata (see module doc)"
+        )
+
+    def handle_slice(self, msg: m.SliceReq) -> None:
+        raise ProtocolError("COPS* does not serve transactional slices")
+
+    # ------------------------------------------------------------------
+    # Dispatch / costs
+    # ------------------------------------------------------------------
+    def dispatch(self, msg: Any) -> None:
+        if isinstance(msg, m.CopsPutReq):
+            self.handle_put_after(msg)
+        elif isinstance(msg, m.DepCheck):
+            self.handle_dep_check(msg)
+        elif isinstance(msg, m.DepCheckResp):
+            self.handle_dep_check_resp(msg)
+        else:
+            super().dispatch(msg)
+
+    def service_time(self, msg: Any) -> float:
+        if isinstance(msg, m.CopsPutReq):
+            return self._service.put_s
+        if isinstance(msg, (m.DepCheck, m.DepCheckResp)):
+            return self._service.dep_check_s
+        return super().service_time(msg)
+
+    def message_priority(self, msg: Any) -> int:
+        from repro.cluster.cpu import BACKGROUND
+        if isinstance(msg, (m.DepCheck, m.DepCheckResp)):
+            return BACKGROUND  # dependency checking is apply-path work
+        return super().message_priority(msg)
+
+    # ------------------------------------------------------------------
+    # Garbage collection: deep scalar horizon, visible retention cut
+    # ------------------------------------------------------------------
+    def _gc_report_vector(self) -> list[Micros]:
+        return [max(min(self.vv) - GC_GRACE_US, 0)]
+
+    def _apply_gc(self, gv: list[Micros]) -> None:
+        horizon: Micros = gv[0]
+        self.store.collect_by(
+            lambda v: _is_visible(v) and v.ut <= horizon, [horizon]
+        )
+
+
+class CopsClient(CausalClient):
+    """Client tracking nearest dependencies (the COPS context)."""
+
+    def __init__(self, *args: Any, **kwargs: Any):
+        super().__init__(*args, **kwargs)
+        #: Nearest dependencies: key -> (ut, sr) of the newest version of
+        #: that key read since the last write, plus the last write itself.
+        self.nearest: dict[str, tuple[Micros, ReplicaId]] = {}
+        self._put_keys: dict[int, str] = {}
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def read_dependency_vector(self) -> list[Micros]:
+        return []  # COPS reads carry no metadata at all
+
+    def get(self, key: str, callback: Callable[[m.GetReply], None]) -> None:
+        op_id = self._register(OpType.GET, callback)
+        self.send(self._server_for(key),
+                  m.GetReq(key=key, rdv=[], client=self.address,
+                           op_id=op_id))
+
+    def put(self, key: str, value: Any,
+            callback: Callable[[m.PutReply], None]) -> None:
+        op_id = self._register(OpType.PUT, callback)
+        self._put_keys[op_id] = key
+        deps = tuple(
+            m.Dependency(key=dep_key, ut=ut, sr=sr)
+            for dep_key, (ut, sr) in self.nearest.items()
+        )
+        self.send(self._server_for(key),
+                  m.CopsPutReq(key=key, value=value, deps=deps,
+                               client=self.address, op_id=op_id))
+
+    def ro_tx(self, keys, callback) -> None:
+        raise ProtocolError(
+            "COPS* does not support RO-TX (see repro.protocols.cops)"
+        )
+
+    # ------------------------------------------------------------------
+    # Context maintenance
+    # ------------------------------------------------------------------
+    def absorb_read(self, reply: m.GetReply) -> None:
+        if reply.ut == 0:
+            return  # nil read: nothing to depend on
+        order = version_order_key(reply.ut, reply.sr)
+        current = self.nearest.get(reply.key)
+        if current is None or version_order_key(*current) < order:
+            self.nearest[reply.key] = (reply.ut, reply.sr)
+
+    def _complete_put(self, reply: m.PutReply) -> None:
+        op_type, started, callback = self._pending.pop(reply.op_id)
+        key = self._put_keys.pop(reply.op_id)
+        # The write subsumes the whole previous context (transitivity):
+        # it becomes the only nearest dependency.
+        self.nearest = {key: (reply.ut, self.m)}
+        self._finish(op_type, started)
+        callback(reply)
+
+    def reset_session(self) -> None:
+        super().reset_session()
+        self.nearest = {}
+        self._put_keys = {}

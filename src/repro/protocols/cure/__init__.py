@@ -1,0 +1,17 @@
+"""Cure*: the pessimistic baseline of the paper's evaluation (Section V).
+
+A reimplementation — per the paper's description — of Cure [ICDCS 2016]
+augmented with simple GET/PUT operations.  Nodes within a DC periodically
+exchange version vectors and compute the **Global Stable Snapshot** (GSS),
+the aggregate minimum; a remote version becomes visible only once its
+dependency cut is covered by the GSS (it is *stable*), while local versions
+are immediately visible.  Reads therefore search the version chain for the
+freshest *stable* version — the staleness and CPU cost the optimistic
+protocol eliminates.
+"""
+
+from repro.protocols.cure.client import CureClient
+from repro.protocols.cure.server import CureServer
+from repro.protocols.cure.stabilization import StabilizationMixin
+
+__all__ = ["CureClient", "CureServer", "StabilizationMixin"]

@@ -1,0 +1,23 @@
+"""The Cure* client.
+
+Identical session metadata *size* to the POCC client (Algorithm 1): the
+paper augments Cure* with GET/PUT support while keeping the metadata
+exchanged by clients and servers the same, so the two systems can be
+compared fairly.  The one semantic difference: Cure's snapshots cover the
+client's entire causal past — reads *and* writes — so the vector attached
+to read requests is ``max(RDV_c, DV_c)`` rather than ``RDV_c`` alone
+(still a single M-entry vector on the wire).
+"""
+
+from __future__ import annotations
+
+from repro.clocks.vector import vec_max
+from repro.common.types import Micros
+from repro.protocols.base import CausalClient
+
+
+class CureClient(CausalClient):
+    """Client running against Cure* servers."""
+
+    def read_dependency_vector(self) -> list[Micros]:
+        return vec_max(self.rdv, self.dv)

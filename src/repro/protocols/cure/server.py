@@ -1,0 +1,215 @@
+"""The Cure* server: stable-snapshot visibility driven by the GSS.
+
+Differences from POCC, mirroring Section V's comparison:
+
+* remote versions become visible only when their dependency cut is covered
+  by the Global Stable Snapshot (local versions are immediately visible);
+* a GET therefore *searches* the version chain for the freshest visible
+  version, paying CPU per scanned version, and is prone to return old
+  values — the staleness of Figure 2b;
+* a RO-TX's snapshot boundary is ``max(GSS, RDV_c)`` — stable items — where
+  POCC uses ``max(VV, RDV_c)`` — received items (Figure 3d's two orders of
+  magnitude staleness gap);
+* the stabilization protocol runs continuously (default every 5 ms) and its
+  messages compete for the same CPUs as client operations.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.clocks.vector import vec_covers, vec_leq, vec_max, vec_min
+from repro.common.types import Micros
+from repro.metrics.collectors import BLOCK_GSS_WAIT, BLOCK_PUT_CLOCK
+from repro.protocols import messages as m
+from repro.protocols.base import CausalServer, WaitQueue
+from repro.protocols.cure.stabilization import StabilizationMixin
+from repro.storage.version import Version
+
+
+class CureServer(StabilizationMixin, CausalServer):
+    """Server ``p^m_n`` running the pessimistic (stable-reads) protocol."""
+
+    def __init__(self, *args: Any, **kwargs: Any):
+        super().__init__(*args, **kwargs)
+        #: Operations blocked until the GSS covers a client's dependencies.
+        self.gss_waiters = WaitQueue(self)
+        #: Remote versions received but not yet stable, awaiting their
+        #: visibility-latency sample (drained as the GSS advances).
+        self._pending_visibility: list[Version] = []
+        self.init_stabilization(self._protocol.stabilization_interval_s)
+
+    # ------------------------------------------------------------------
+    # Stabilization hooks
+    # ------------------------------------------------------------------
+    def gss_advanced(self) -> None:
+        self._drain_pending_visibility()
+        self.gss_waiters.notify()
+
+    def version_received(self, version: Version) -> None:
+        """Visibility under Cure* starts when the version is *stable*, not
+        when it arrives; park the sample until the GSS covers it."""
+        if self._stable(version):
+            self.metrics.record_visibility_lag(
+                self.sim.now - version.ut / 1e6
+            )
+        else:
+            self._pending_visibility.append(version)
+
+    def _drain_pending_visibility(self) -> None:
+        if not self._pending_visibility:
+            return
+        now = self.sim.now
+        still_hidden = []
+        for version in self._pending_visibility:
+            if self._stable(version):
+                self.metrics.record_visibility_lag(now - version.ut / 1e6)
+            else:
+                still_hidden.append(version)
+        self._pending_visibility = still_hidden
+
+    def dispatch(self, msg: Any) -> None:
+        if isinstance(msg, m.StabPush):
+            self.receive_stab_push(msg)
+        elif isinstance(msg, m.StabBroadcast):
+            self.receive_stab_broadcast(msg)
+        else:
+            super().dispatch(msg)
+
+    # ------------------------------------------------------------------
+    # Visibility
+    # ------------------------------------------------------------------
+    def _stable(self, version: Version) -> bool:
+        """A version is stable once its commit vector is inside the GSS:
+        the DC has received it and everything it may depend on."""
+        return vec_leq(version.commit_vector(), self.gss)
+
+    def _count_unmerged(self, chain) -> int:
+        """Chain versions not yet stable ("unmerged", Section V-B)."""
+        return chain.count_matching(lambda v: not self._stable(v))
+
+    # ------------------------------------------------------------------
+    # GET: freshest *stable* version consistent with the client's history
+    # ------------------------------------------------------------------
+    def handle_get(self, msg: m.GetReq) -> None:
+        self.block_or_run(
+            BLOCK_GSS_WAIT,
+            # The snapshot must cover the client's read dependencies.  RDV
+            # entries normally trail the GSS (they were derived from stable
+            # reads), so this wait is rare and bounded by stabilization lag.
+            lambda: vec_covers(self.gss, msg.rdv, skip=self.m),
+            lambda: self._serve_get(msg),
+        )
+
+    def _serve_get(self, msg: m.GetReq) -> None:
+        sv = vec_max(self.gss, msg.rdv)
+        if self.vv[self.m] > sv[self.m]:
+            sv[self.m] = self.vv[self.m]  # local items always visible
+
+        def visible(version: Version) -> bool:
+            if version.sr == self.m:
+                return True
+            return vec_leq(version.commit_vector(), sv)
+
+        chain = self.store.chain(msg.key)
+        if chain is None:
+            self.send(msg.client, self.nil_reply(msg.key, msg.op_id))
+            return
+        version, scanned = chain.find_freshest(visible)
+        if version is None:
+            # Nothing visible yet (cannot happen once keys are preloaded,
+            # since preloaded versions are stable); fall back to oldest.
+            version = next(reversed(list(chain)))
+            scanned = len(chain)
+        self.metrics.record_get_staleness(
+            chain.versions_newer_than(version), self._count_unmerged(chain)
+        )
+        reply = self.reply_for(version, msg.op_id)
+        scan_cost = self._service.chain_scan_per_version_s * scanned
+        self.submit_local(scan_cost, self.send, msg.client, reply)
+
+    # ------------------------------------------------------------------
+    # PUT: stamp above all dependencies, install locally, replicate
+    # ------------------------------------------------------------------
+    def handle_put(self, msg: m.PutReq) -> None:
+        # Same clock discipline as Algorithm 2 line 7: the new version's
+        # timestamp must dominate its dependency cut.  No dependency wait:
+        # under Cure the dependencies of a client's history are already
+        # stable (hence present) in the local DC.
+        max_dep: Micros = max(msg.dv, default=0)
+        self.metrics.record_block_attempt(BLOCK_PUT_CLOCK)
+        if self.clock.peek_micros() > max_dep:
+            self._apply_put(msg)
+            return
+        wake_at = self.clock.sim_time_when(max_dep)
+        blocked_at = self.sim.now
+
+        def resume() -> None:
+            self.metrics.record_block_started(BLOCK_PUT_CLOCK, blocked_at,
+                                              self.sim.now - blocked_at)
+            self.submit_local(self._service.resume_s, self._apply_put, msg)
+
+        self.sim.schedule_at(wake_at, resume)
+
+    def _apply_put(self, msg: m.PutReq) -> None:
+        version = self.create_version(msg.key, msg.value, tuple(msg.dv))
+        self.send(msg.client, m.PutReply(ut=version.ut, op_id=msg.op_id))
+
+    # ------------------------------------------------------------------
+    # RO-TX: snapshot bounded by *stable* items
+    # ------------------------------------------------------------------
+    def handle_ro_tx(self, msg: m.RoTxReq) -> None:
+        tv = vec_max(self.gss, msg.rdv)
+        if self.vv[self.m] > tv[self.m]:
+            tv[self.m] = self.vv[self.m]  # local cut: coordinator's clock
+        self.coordinate_tx(msg, tv)
+
+    def handle_slice(self, msg: m.SliceReq) -> None:
+        self.block_or_run(
+            BLOCK_GSS_WAIT,
+            # Remote entries of the snapshot must be stable on this node
+            # before it can serve a consistent cut.
+            lambda: vec_covers(self.gss, msg.tv, skip=self.m),
+            lambda: self._serve_slice(msg),
+        )
+
+    def _serve_slice(self, msg: m.SliceReq) -> None:
+        tv = msg.tv
+
+        def visible(version: Version) -> bool:
+            if version.sr == self.m:
+                return version.ut <= tv[self.m]
+            return vec_leq(version.commit_vector(), tv)
+
+        replies = []
+        scanned_total = 0
+        for key in msg.keys:
+            chain = self.store.chain(key)
+            if chain is None:
+                replies.append(self.nil_reply(key, 0))
+                continue
+            version, scanned = chain.find_freshest(visible)
+            scanned_total += scanned
+            if version is None:
+                version = next(reversed(list(chain)))
+            self.metrics.record_tx_staleness(
+                chain.versions_newer_than(version),
+                self._count_unmerged(chain),
+            )
+            replies.append(self.reply_for(version, 0))
+        response = m.SliceResp(versions=replies, tx_id=msg.tx_id)
+        scan_cost = self._service.chain_scan_per_version_s * scanned_total
+        self.submit_local(scan_cost, self.send_slice_resp, msg, response)
+
+    # ------------------------------------------------------------------
+    # Garbage collection: never drop the freshest *stable* version
+    # ------------------------------------------------------------------
+    def _gc_report_vector(self) -> list[Micros]:
+        """Cure*'s GC must retain versions a stable read may still return,
+        so the report is additionally capped by the GSS."""
+        vec = vec_min(self.vv, self.gss)
+        for state in self._active_tx.values():
+            tv = state.get("tv")
+            if tv is not None:
+                vec = vec_min(vec, tv)
+        return vec

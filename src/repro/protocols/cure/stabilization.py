@@ -1,0 +1,92 @@
+"""The intra-DC stabilization protocol computing the Global Stable Snapshot.
+
+Every ``stabilization_interval_s`` each node pushes its version vector to a
+per-DC aggregator (partition 0 — Cure uses a tree; with one level this is
+the same O(N) message pattern).  When the aggregator holds a report from
+every partition it broadcasts the entry-wise minimum.  ``GSS[i] = t`` means
+every node of the DC has received all updates originated at DC *i* up to
+timestamp ``t`` (Section IV-C).
+
+The messages traverse the nodes' CPU queues like any other work, so the GSS
+*lags more under load* — the mechanism behind the growing staleness the
+paper measures in Figure 2b.
+"""
+
+from __future__ import annotations
+
+from repro.clocks.vector import vec_aggregate_min
+from repro.common.types import Micros
+from repro.protocols import messages as m
+
+
+class StabilizationMixin:
+    """Adds GSS state + stabilization rounds to a ``CausalServer``.
+
+    The mixin expects the host class to provide ``sim``, ``vv``, ``m``,
+    ``n``, ``topology``, ``metrics``, ``clock``, ``send`` and a
+    ``gss_waiters`` wait queue to notify on GSS advance.
+    """
+
+    def init_stabilization(self, interval_s: float) -> None:
+        self.gss: list[Micros] = [0] * self.topology.num_dcs
+        self._stab_interval_s = interval_s
+        self._stab_reports: dict[int, list[Micros]] = {}
+        # Stagger the first round per partition to avoid a synchronized
+        # message burst at t=interval.
+        first = interval_s * (1.0 + 0.01 * self.n)
+        self.sim.schedule(first, self._stabilization_tick)
+
+    # ------------------------------------------------------------------
+    # Periodic push
+    # ------------------------------------------------------------------
+    def _stabilization_tick(self) -> None:
+        aggregator = self.topology.server(self.m, 0)
+        report = m.StabPush(vv=list(self.vv), partition=self.n)
+        if aggregator == self.address:
+            self.receive_stab_push(report)
+        else:
+            self.send(aggregator, report)
+        self.sim.schedule(self._stab_interval_s, self._stabilization_tick)
+
+    # ------------------------------------------------------------------
+    # Aggregator role (partition 0 of each DC)
+    # ------------------------------------------------------------------
+    def receive_stab_push(self, msg: m.StabPush) -> None:
+        self._stab_reports[msg.partition] = msg.vv
+        if len(self._stab_reports) < self.topology.num_partitions:
+            return
+        gss = vec_aggregate_min(self._stab_reports.values())
+        self._stab_reports.clear()
+        broadcast = m.StabBroadcast(gss=gss)
+        for server in self.topology.dc_servers(self.m):
+            if server == self.address:
+                self.receive_stab_broadcast(broadcast)
+            else:
+                self.send(server, broadcast)
+
+    # ------------------------------------------------------------------
+    # All nodes
+    # ------------------------------------------------------------------
+    def receive_stab_broadcast(self, msg: m.StabBroadcast) -> None:
+        advanced = False
+        gss = self.gss
+        for i, value in enumerate(msg.gss):
+            if value > gss[i]:
+                gss[i] = value
+                advanced = True
+        if advanced:
+            self._record_gss_lag()
+            self.gss_advanced()
+
+    def _record_gss_lag(self) -> None:
+        """Sample how far the GSS trails the local clock on remote entries
+        (an upper bound on the staleness horizon of stable reads)."""
+        now_us = self.clock.peek_micros()
+        lag_us = max(
+            now_us - ts for i, ts in enumerate(self.gss) if i != self.m
+        )
+        self.metrics.record_gss_lag(lag_us / 1_000_000.0)
+
+    def gss_advanced(self) -> None:
+        """Hook: wake operations blocked on the GSS."""
+        raise NotImplementedError

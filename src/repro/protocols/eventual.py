@@ -1,0 +1,65 @@
+"""An eventually consistent strawman (NOT part of the paper's comparison).
+
+Reads return the freshest locally known version with **no** dependency
+waiting; writes are stamped and replicated with an empty dependency cut;
+transactions simply read per-key heads with no snapshot discipline.  Under
+geo-replication this violates causal consistency in exactly the ways the
+paper's Section I describes — which is what makes it useful here: the
+independent checker (:mod:`repro.verification`) must catch those violations,
+demonstrating that it is not vacuously happy (see
+``examples/consistency_audit.py``).
+"""
+
+from __future__ import annotations
+
+from repro.protocols import messages as m
+from repro.protocols.base import CausalClient, CausalServer
+from repro.clocks.vector import vec_zero
+
+
+class EventualServer(CausalServer):
+    """Freshest-version reads, no causal safeguards."""
+
+    def handle_get(self, msg: m.GetReq) -> None:
+        version = self.store.freshest(msg.key)
+        if version is None:
+            self.send(msg.client, self.nil_reply(msg.key, msg.op_id))
+            return
+        self.metrics.record_get_staleness(0, 0)
+        self.send(msg.client, self.reply_for(version, msg.op_id))
+
+    def handle_put(self, msg: m.PutReq) -> None:
+        # No dependency metadata is stored: versions carry an empty cut.
+        empty = vec_zero(self.topology.num_dcs)
+        version = self.create_version(msg.key, msg.value, empty)
+        self.send(msg.client, m.PutReply(ut=version.ut, op_id=msg.op_id))
+
+    def handle_ro_tx(self, msg: m.RoTxReq) -> None:
+        # "Transactions" are just batched reads: no snapshot vector at all.
+        self.coordinate_tx(msg, tv=vec_zero(self.topology.num_dcs))
+
+    def handle_slice(self, msg: m.SliceReq) -> None:
+        replies = []
+        for key in msg.keys:
+            version = self.store.freshest(key)
+            if version is None:
+                replies.append(self.nil_reply(key, 0))
+            else:
+                self.metrics.record_tx_staleness(0, 0)
+                replies.append(self.reply_for(version, 0))
+        self.send_slice_resp(msg, m.SliceResp(versions=replies,
+                                              tx_id=msg.tx_id))
+
+
+class EventualClient(CausalClient):
+    """Keeps no useful session metadata (vectors stay zero)."""
+
+    def absorb_read(self, reply: m.GetReply) -> None:
+        # Deliberately forget: eventual consistency tracks nothing.
+        return
+
+    def _complete_put(self, reply: m.PutReply) -> None:
+        op_type, started, callback = self._pending.pop(reply.op_id)
+        # Do not track the write either.
+        self._finish(op_type, started)
+        callback(reply)

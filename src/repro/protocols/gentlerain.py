@@ -1,0 +1,296 @@
+"""GentleRain* — a scalar-clock pessimistic baseline (extension).
+
+GentleRain (Du, Iorgulescu, Roy, Zwaenepoel; SoCC 2014 — the paper's
+reference [13]) is the predecessor of Cure from the same group: instead of
+an M-entry vector it tracks a single **Global Stable Time** (GST).  A
+remote version is visible iff its timestamp is below the GST; local
+versions are immediately visible.  Clients carry two scalars — their
+dependency time DT (max update time read/written) and the largest GST they
+have observed — so the metadata cost is O(1) instead of O(M).
+
+The trade-off the OCC paper inherits from this line of work: the GST is
+the minimum over *every entry of every node's version vector*, so one slow
+WAN link holds back visibility of updates from *all* DCs (Cure's vector
+fixes that; POCC removes the stable-visibility horizon entirely).  Having
+GentleRain* in the registry lets the benches show the full metadata /
+freshness spectrum: scalar < vector < optimistic.
+
+Wire mapping: this implementation reuses the shared message types with
+1-2 entry "vectors" — ``GetReq.rdv == [dt, gst_c]``, ``GetReply.dv ==
+(gst_s,)``, ``SliceReq.tv == [snapshot_time]`` — so the byte accounting
+reflects the smaller metadata automatically.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.common.types import Micros, OpType
+from repro.metrics.collectors import BLOCK_GSS_WAIT, BLOCK_PUT_CLOCK
+from repro.protocols import messages as m
+from repro.protocols.base import CausalClient, CausalServer, WaitQueue
+from repro.storage.version import Version
+
+
+class GentleRainServer(CausalServer):
+    """Server with scalar Global-Stable-Time visibility."""
+
+    def __init__(self, *args: Any, **kwargs: Any):
+        super().__init__(*args, **kwargs)
+        self.gst: Micros = 0
+        self.gst_waiters = WaitQueue(self)
+        self._gst_reports: dict[int, Micros] = {}
+        #: Remote versions awaiting GST coverage for their visibility
+        #: sample; kept in arrival (= per-source timestamp) order.
+        self._pending_visibility: list[Version] = []
+        interval = self._protocol.stabilization_interval_s
+        self._gst_interval_s = interval
+        self.sim.schedule(interval * (1.0 + 0.01 * self.n),
+                          self._gst_tick)
+
+    # ------------------------------------------------------------------
+    # GST stabilization (scalar variant of the Cure protocol)
+    # ------------------------------------------------------------------
+    def _local_stable_time(self) -> Micros:
+        """LST = the oldest entry of the version vector: everything up to
+        it has been received from every DC."""
+        return min(self.vv)
+
+    def _gst_tick(self) -> None:
+        aggregator = self.topology.server(self.m, 0)
+        push = m.StabPush(vv=[self._local_stable_time()], partition=self.n)
+        if aggregator == self.address:
+            self._receive_gst_push(push)
+        else:
+            self.send(aggregator, push)
+        self.sim.schedule(self._gst_interval_s, self._gst_tick)
+
+    def _receive_gst_push(self, msg: m.StabPush) -> None:
+        self._gst_reports[msg.partition] = msg.vv[0]
+        if len(self._gst_reports) < self.topology.num_partitions:
+            return
+        gst = min(self._gst_reports.values())
+        self._gst_reports.clear()
+        broadcast = m.StabBroadcast(gss=[gst])
+        for server in self.topology.dc_servers(self.m):
+            if server == self.address:
+                self._receive_gst_broadcast(broadcast)
+            else:
+                self.send(server, broadcast)
+
+    def _receive_gst_broadcast(self, msg: m.StabBroadcast) -> None:
+        if msg.gss[0] > self.gst:
+            self.gst = msg.gss[0]
+            now_us = self.clock.peek_micros()
+            self.metrics.record_gss_lag(max(now_us - self.gst, 0) / 1e6)
+            self._drain_pending_visibility()
+            self.gst_waiters.notify()
+
+    def version_received(self, version: Version) -> None:
+        """A remote version becomes readable when the GST passes its
+        timestamp — the scalar protocol's (coarser) stability horizon."""
+        if version.ut <= self.gst:
+            self.metrics.record_visibility_lag(
+                self.sim.now - version.ut / 1e6
+            )
+        else:
+            self._pending_visibility.append(version)
+
+    def _drain_pending_visibility(self) -> None:
+        if not self._pending_visibility:
+            return
+        now = self.sim.now
+        still_hidden = []
+        for version in self._pending_visibility:
+            if version.ut <= self.gst:
+                self.metrics.record_visibility_lag(now - version.ut / 1e6)
+            else:
+                still_hidden.append(version)
+        self._pending_visibility = still_hidden
+
+    def dispatch(self, msg: Any) -> None:
+        if isinstance(msg, m.StabPush):
+            self._receive_gst_push(msg)
+        elif isinstance(msg, m.StabBroadcast):
+            self._receive_gst_broadcast(msg)
+        else:
+            super().dispatch(msg)
+
+    # ------------------------------------------------------------------
+    # Visibility
+    # ------------------------------------------------------------------
+    def _visible(self, version: Version, horizon: Micros) -> bool:
+        return version.sr == self.m or version.ut <= horizon
+
+    def _count_unmerged(self, chain) -> int:
+        return chain.count_matching(
+            lambda v: not (v.sr == self.m or v.ut <= self.gst)
+        )
+
+    # ------------------------------------------------------------------
+    # GET: merge the client's GST, return the freshest visible version
+    # ------------------------------------------------------------------
+    def handle_get(self, msg: m.GetReq) -> None:
+        _, gst_c = msg.rdv
+        if gst_c > self.gst:
+            self.gst = gst_c  # merging the client's observation is safe
+        horizon = self.gst
+        chain = self.store.chain(msg.key)
+        if chain is None:
+            self.send(msg.client, self.nil_reply(msg.key, msg.op_id))
+            return
+        version, scanned = chain.find_freshest(
+            lambda v: self._visible(v, horizon)
+        )
+        if version is None:
+            version = next(reversed(list(chain)))
+            scanned = len(chain)
+        self.metrics.record_get_staleness(
+            chain.versions_newer_than(version), self._count_unmerged(chain)
+        )
+        reply = m.GetReply(key=version.key, value=version.value,
+                           ut=version.ut, dv=(self.gst,), sr=version.sr,
+                           op_id=msg.op_id)
+        scan_cost = self._service.chain_scan_per_version_s * scanned
+        self.submit_local(scan_cost, self.send, msg.client, reply)
+
+    def nil_reply(self, key: str, op_id: int) -> m.GetReply:
+        return m.GetReply(key=key, value=None, ut=0, dv=(self.gst,),
+                          sr=self.m, op_id=op_id)
+
+    # ------------------------------------------------------------------
+    # PUT: scalar clock discipline
+    # ------------------------------------------------------------------
+    def handle_put(self, msg: m.PutReq) -> None:
+        dt: Micros = msg.dv[0] if msg.dv else 0
+        self.metrics.record_block_attempt(BLOCK_PUT_CLOCK)
+        if self.clock.peek_micros() > dt:
+            self._apply_put(msg)
+            return
+        blocked_at = self.sim.now
+
+        def resume() -> None:
+            self.metrics.record_block_started(BLOCK_PUT_CLOCK, blocked_at,
+                                              self.sim.now - blocked_at)
+            self.submit_local(self._service.resume_s, self._apply_put, msg)
+
+        self.sim.schedule_at(self.clock.sim_time_when(dt), resume)
+
+    def _apply_put(self, msg: m.PutReq) -> None:
+        # Versions store no dependency cut under GentleRain (O(1) metadata).
+        version = self.create_version(msg.key, msg.value,
+                                      (0,) * self.topology.num_dcs)
+        self.send(msg.client, m.PutReply(ut=version.ut, op_id=msg.op_id))
+
+    # ------------------------------------------------------------------
+    # RO-TX: snapshot at max(GST, client GST, client DT); slices wait
+    # ------------------------------------------------------------------
+    def handle_ro_tx(self, msg: m.RoTxReq) -> None:
+        # The snapshot must cover the client's whole causal past, so it
+        # includes the dependency time DT.  When DT leads the GST (the
+        # client read a fresh local item) every slice blocks until the
+        # stabilization protocol catches up — GentleRain's documented
+        # transactional blocking cost, which the scalar *optimistic*
+        # variant (occ_scalar) avoids by waiting on version vectors
+        # directly instead of the GST.
+        dt, gst_c = msg.rdv
+        snapshot = max(self.gst, gst_c, dt)
+        self.coordinate_tx(msg, [snapshot])
+
+    def handle_slice(self, msg: m.SliceReq) -> None:
+        snapshot = msg.tv[0]
+        self.metrics.record_block_attempt(BLOCK_GSS_WAIT)
+        if self.gst >= snapshot:
+            self._serve_slice(msg)
+        else:
+            self.gst_waiters.wait(
+                lambda: self.gst >= snapshot,
+                lambda: self._serve_slice(msg),
+                BLOCK_GSS_WAIT,
+                payload=msg,
+            )
+
+    def _serve_slice(self, msg: m.SliceReq) -> None:
+        snapshot = msg.tv[0]
+        replies = []
+        scanned_total = 0
+        for key in msg.keys:
+            chain = self.store.chain(key)
+            if chain is None:
+                replies.append(self.nil_reply(key, 0))
+                continue
+            # Snapshot reads filter *all* versions by the snapshot time so
+            # two slices return a consistent cut.
+            version, scanned = chain.find_freshest(
+                lambda v: v.ut <= snapshot
+            )
+            scanned_total += scanned
+            if version is None:
+                version = next(reversed(list(chain)))
+            self.metrics.record_tx_staleness(
+                chain.versions_newer_than(version),
+                self._count_unmerged(chain),
+            )
+            replies.append(m.GetReply(key=version.key, value=version.value,
+                                      ut=version.ut, dv=(self.gst,),
+                                      sr=version.sr, op_id=0))
+        response = m.SliceResp(versions=replies, tx_id=msg.tx_id)
+        scan_cost = self._service.chain_scan_per_version_s * scanned_total
+        self.submit_local(scan_cost, self.send_slice_resp, msg, response)
+
+    # ------------------------------------------------------------------
+    # Garbage collection: scalar retention
+    # ------------------------------------------------------------------
+    def _gc_tick(self) -> None:
+        horizon = self.gst
+        for state in self._active_tx.values():
+            tv = state.get("tv")
+            if tv:
+                horizon = min(horizon, tv[0])
+        covered: Callable[[Version], bool] = lambda v: v.ut <= horizon
+        self.store.collect_by(covered, [horizon])
+        self.sim.schedule(self._protocol.gc_interval_s, self._gc_tick)
+
+
+class GentleRainClient(CausalClient):
+    """Client with two scalars: dependency time DT and observed GST."""
+
+    def __init__(self, *args: Any, **kwargs: Any):
+        super().__init__(*args, **kwargs)
+        self.dt: Micros = 0
+        self.gst_seen: Micros = 0
+
+    def read_dependency_vector(self) -> list[Micros]:
+        return [self.dt, self.gst_seen]
+
+    def get(self, key: str, callback) -> None:
+        op_id = self._register(OpType.GET, callback)
+        self.send(self._server_for(key),
+                  m.GetReq(key=key, rdv=[self.dt, self.gst_seen],
+                           client=self.address, op_id=op_id))
+
+    def put(self, key: str, value: Any, callback) -> None:
+        op_id = self._register(OpType.PUT, callback)
+        self.send(self._server_for(key),
+                  m.PutReq(key=key, value=value, dv=[self.dt],
+                           client=self.address, op_id=op_id))
+
+    def ro_tx(self, keys, callback) -> None:
+        op_id = self._register(OpType.RO_TX, callback)
+        coordinator = self.topology.server(self.m, self.address.partition)
+        self.send(coordinator,
+                  m.RoTxReq(keys=tuple(keys), rdv=[self.dt, self.gst_seen],
+                            client=self.address, op_id=op_id))
+
+    def absorb_read(self, reply: m.GetReply) -> None:
+        if reply.ut > self.dt:
+            self.dt = reply.ut
+        if reply.dv and reply.dv[0] > self.gst_seen:
+            self.gst_seen = reply.dv[0]
+
+    def _complete_put(self, reply: m.PutReply) -> None:
+        op_type, started, callback = self._pending.pop(reply.op_id)
+        if reply.ut > self.dt:
+            self.dt = reply.ut
+        self._finish(op_type, started)
+        callback(reply)

@@ -1,0 +1,293 @@
+"""HA-POCC: the highly available variant of Sections III-B and IV-C.
+
+The paper's recovery structure (after Brewer's three phases):
+
+1. **Detect** — a server whose blocked request exceeds a configurable
+   timeout suspects a network partition and closes the session
+   (``SessionClosed``); transactions blocked on a slice abort the same way.
+2. **Partition mode** — the client re-initializes its session in
+   *pessimistic* mode: its requests carry ``pessimistic=True`` and are
+   served Cure-style from the Global Stable Snapshot, which HA-POCC keeps
+   (infrequently) up to date in the background.  A local item written by an
+   *optimistic* session is visible to pessimistic sessions only once it is
+   stable, because unlike in Cure it may depend on unreplicated remote
+   items.
+3. **Recover** — after running pessimistically for a while the client
+   promotes itself back to the optimistic protocol; if the partition still
+   holds, the next blocked operation demotes it again.
+
+The paper evaluates only the normal-operation protocol and leaves the
+quantitative partition study to future work; this module makes the
+mechanism concrete so the examples/tests can demonstrate the availability
+trade-off (plain POCC blocks forever, HA-POCC keeps serving).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.clocks.vector import vec_covers, vec_leq, vec_max
+from repro.common.types import OpType
+from repro.metrics.collectors import BLOCK_GSS_WAIT
+from repro.protocols import messages as m
+from repro.protocols.base import WaitQueue
+from repro.protocols.cure.stabilization import StabilizationMixin
+from repro.protocols.pocc.client import PoccClient
+from repro.protocols.pocc.server import PoccServer
+from repro.storage.version import Version
+
+
+class HaPoccServer(StabilizationMixin, PoccServer):
+    """POCC + background stabilization + block-timeout session recovery."""
+
+    def __init__(self, *args: Any, **kwargs: Any):
+        super().__init__(*args, **kwargs)
+        self.gss_waiters = WaitQueue(self)
+        # "Much less frequently than Cure" (Section IV-C).
+        self.init_stabilization(self._protocol.ha_stabilization_interval_s)
+        self.sessions_closed = 0
+        sweep = max(self._protocol.block_timeout_s / 4.0, 0.01)
+        self._sweep_interval_s = sweep
+        self.sim.schedule(sweep, self._sweep_blocked)
+
+    # ------------------------------------------------------------------
+    # Phase 1: detection — abort over-age blocked operations
+    # ------------------------------------------------------------------
+    def _sweep_blocked(self) -> None:
+        timeout = self._protocol.block_timeout_s
+        for waiter in self.waiters.expired(timeout):
+            self.waiters.drop(waiter)
+            self.sessions_closed += 1
+            self.metrics.sessions_closed += 1
+            self._abort(waiter.payload)
+        self.sim.schedule(self._sweep_interval_s, self._sweep_blocked)
+
+    def _abort(self, request: Any) -> None:
+        if isinstance(request, (m.GetReq, m.PutReq)):
+            self.send(request.client, m.SessionClosed(op_id=request.op_id))
+        elif isinstance(request, m.SliceReq):
+            self.send_slice_resp(
+                request,
+                m.SliceResp(versions=[], tx_id=request.tx_id, aborted=True),
+            )
+        # Waiters without payloads (none in this codebase) vanish silently.
+
+    def handle_slice_resp(self, msg: m.SliceResp) -> None:
+        if not msg.aborted:
+            super().handle_slice_resp(msg)
+            return
+        state = self._active_tx.pop(msg.tx_id, None)
+        if state is not None:
+            self.sessions_closed += 1
+            self.metrics.sessions_closed += 1
+            self.send(state["client"], m.SessionClosed(op_id=state["op_id"]))
+
+    # ------------------------------------------------------------------
+    # Phase 2: partition mode — serve pessimistic sessions from the GSS
+    # ------------------------------------------------------------------
+    def gss_advanced(self) -> None:
+        self.gss_waiters.notify()
+
+    def dispatch(self, msg: Any) -> None:
+        if isinstance(msg, m.StabPush):
+            self.receive_stab_push(msg)
+        elif isinstance(msg, m.StabBroadcast):
+            self.receive_stab_broadcast(msg)
+        else:
+            super().dispatch(msg)
+
+    def handle_get(self, msg: m.GetReq) -> None:
+        if not msg.pessimistic:
+            super().handle_get(msg)
+            return
+        self.metrics.record_block_attempt(BLOCK_GSS_WAIT)
+        if vec_covers(self.gss, msg.rdv, skip=self.m):
+            self._serve_pessimistic_get(msg)
+        else:
+            self.gss_waiters.wait(
+                lambda: vec_covers(self.gss, msg.rdv, skip=self.m),
+                lambda: self._serve_pessimistic_get(msg),
+                BLOCK_GSS_WAIT,
+                payload=msg,
+            )
+
+    def _pessimistic_visible(self, version: Version, sv) -> bool:
+        """Section IV-C: local items from optimistic sessions are visible
+        to pessimistic sessions only once stable."""
+        if version.sr == self.m and not version.optimistic:
+            return True
+        return vec_leq(version.commit_vector(), sv)
+
+    def _serve_pessimistic_get(self, msg: m.GetReq) -> None:
+        sv = vec_max(self.gss, msg.rdv)
+        chain = self.store.chain(msg.key)
+        if chain is None:
+            self.send(msg.client, self.nil_reply(msg.key, msg.op_id))
+            return
+        version, scanned = chain.find_freshest(
+            lambda v: self._pessimistic_visible(v, sv)
+        )
+        if version is None:
+            version = next(reversed(list(chain)))
+            scanned = len(chain)
+        self.metrics.record_get_staleness(
+            chain.versions_newer_than(version), 0
+        )
+        reply = self.reply_for(version, msg.op_id)
+        scan_cost = self._service.chain_scan_per_version_s * scanned
+        self.submit_local(scan_cost, self.send, msg.client, reply)
+
+    def handle_put(self, msg: m.PutReq) -> None:
+        if not msg.pessimistic:
+            super().handle_put(msg)
+            return
+        # Pessimistic writes skip the dependency wait (their dependencies
+        # are stable by construction) but keep the clock discipline; mark
+        # the version as pessimistically created.
+        self._pessimistic_put(msg)
+
+    def _pessimistic_put(self, msg: m.PutReq) -> None:
+        max_dep = max(msg.dv, default=0)
+        if self.clock.peek_micros() > max_dep:
+            self._apply_pessimistic_put(msg)
+            return
+        self.sim.schedule_at(
+            self.clock.sim_time_when(max_dep),
+            self._apply_pessimistic_put, msg,
+        )
+
+    def _apply_pessimistic_put(self, msg: m.PutReq) -> None:
+        version = self.create_version(msg.key, msg.value, tuple(msg.dv),
+                                      optimistic=False)
+        self.send(msg.client, m.PutReply(ut=version.ut, op_id=msg.op_id))
+
+    def handle_ro_tx(self, msg: m.RoTxReq) -> None:
+        if not msg.pessimistic:
+            super().handle_ro_tx(msg)
+            return
+        tv = vec_max(self.gss, msg.rdv)
+        if self.vv[self.m] > tv[self.m]:
+            tv[self.m] = self.vv[self.m]
+        self.coordinate_tx(msg, tv, pessimistic=True)
+
+    def handle_slice(self, msg: m.SliceReq) -> None:
+        if not msg.pessimistic:
+            super().handle_slice(msg)
+            return
+        self.metrics.record_block_attempt(BLOCK_GSS_WAIT)
+        if vec_covers(self.gss, msg.tv, skip=self.m):
+            self._serve_pessimistic_slice(msg)
+        else:
+            self.gss_waiters.wait(
+                lambda: vec_covers(self.gss, msg.tv, skip=self.m),
+                lambda: self._serve_pessimistic_slice(msg),
+                BLOCK_GSS_WAIT,
+                payload=msg,
+            )
+
+    def _serve_pessimistic_slice(self, msg: m.SliceReq) -> None:
+        tv = msg.tv
+        replies = []
+        scanned_total = 0
+        for key in msg.keys:
+            chain = self.store.chain(key)
+            if chain is None:
+                replies.append(self.nil_reply(key, 0))
+                continue
+            version, scanned = chain.find_freshest(
+                lambda v: self._pessimistic_visible(v, tv)
+            )
+            scanned_total += scanned
+            if version is None:
+                version = next(reversed(list(chain)))
+            self.metrics.record_tx_staleness(
+                chain.versions_newer_than(version), 0
+            )
+            replies.append(self.reply_for(version, 0))
+        response = m.SliceResp(versions=replies, tx_id=msg.tx_id)
+        scan_cost = self._service.chain_scan_per_version_s * scanned_total
+        self.submit_local(scan_cost, self.send_slice_resp, msg, response)
+
+
+class HaPoccClient(PoccClient):
+    """A POCC client with the session re-initialization protocol."""
+
+    def __init__(self, *args: Any, **kwargs: Any):
+        super().__init__(*args, **kwargs)
+        self.pessimistic = False
+        #: op_id -> zero-argument re-issue closure, kept for recovery.
+        self._op_retry: dict[int, Callable[[], None]] = {}
+        self.demotions = 0
+        self.promotions = 0
+
+    # -- operations carry the session mode and a retry closure ----------
+    def read_dependency_vector(self):
+        """Pessimistic sessions behave like Cure clients: the snapshot
+        covers reads and writes; optimistic sessions send plain RDV_c."""
+        if self.pessimistic:
+            return vec_max(self.rdv, self.dv)
+        return list(self.rdv)
+
+    def get(self, key: str, callback) -> None:
+        op_id = self._register(OpType.GET, callback)
+        self._op_retry[op_id] = lambda: self.get(key, callback)
+        target = self._server_for(key)
+        self.send(target, m.GetReq(key=key,
+                                   rdv=self.read_dependency_vector(),
+                                   client=self.address, op_id=op_id,
+                                   pessimistic=self.pessimistic))
+
+    def put(self, key: str, value: Any, callback) -> None:
+        op_id = self._register(OpType.PUT, callback)
+        self._op_retry[op_id] = lambda: self.put(key, value, callback)
+        target = self._server_for(key)
+        self.send(target, m.PutReq(key=key, value=value, dv=list(self.dv),
+                                   client=self.address, op_id=op_id,
+                                   pessimistic=self.pessimistic))
+
+    def ro_tx(self, keys, callback) -> None:
+        op_id = self._register(OpType.RO_TX, callback)
+        keys = tuple(keys)
+        self._op_retry[op_id] = lambda: self.ro_tx(keys, callback)
+        coordinator = self.topology.server(self.m, self.address.partition)
+        self.send(coordinator,
+                  m.RoTxReq(keys=keys, rdv=self.read_dependency_vector(),
+                            client=self.address, op_id=op_id,
+                            pessimistic=self.pessimistic))
+
+    # -- completions drop the retry record -------------------------------
+    def _complete_get(self, reply: m.GetReply) -> None:
+        self._op_retry.pop(reply.op_id, None)
+        super()._complete_get(reply)
+
+    def _complete_put(self, reply: m.PutReply) -> None:
+        self._op_retry.pop(reply.op_id, None)
+        super()._complete_put(reply)
+
+    def _complete_ro_tx(self, reply: m.RoTxReply) -> None:
+        self._op_retry.pop(reply.op_id, None)
+        super()._complete_ro_tx(reply)
+
+    # -- recovery ---------------------------------------------------------
+    def _session_closed(self, msg: m.SessionClosed) -> None:
+        """Demote to the pessimistic protocol and replay the failed op."""
+        self._pending.pop(msg.op_id, None)
+        retry = self._op_retry.pop(msg.op_id, None)
+        self.reset_session()
+        if not self.pessimistic:
+            self.pessimistic = True
+            self.demotions += 1
+            self.metrics.sessions_demoted += 1
+            retry_after = self.config.protocol_config.ha_promotion_retry_s
+            self.sim.schedule(retry_after, self._try_promote)
+        if retry is not None:
+            retry()
+
+    def _try_promote(self) -> None:
+        """Optimistically switch back; a still-standing partition will
+        demote us again via the next SessionClosed."""
+        if not self.pessimistic:
+            return
+        self.pessimistic = False
+        self.promotions += 1
+        self.metrics.sessions_promoted += 1

@@ -1,0 +1,341 @@
+"""Protocol messages with byte-size accounting.
+
+Field names follow the paper's pseudo-code: ``rdv`` is the client's read
+dependency vector, ``dv`` a dependency vector, ``ut`` an update timestamp,
+``sr`` a source replica, ``tv`` a transaction snapshot vector.
+
+Sizes approximate a compact binary encoding of the paper's setup (8-byte
+keys and values, 8-byte timestamps, M-entry vectors); they feed the
+communication-overhead comparison, not any protocol decision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.common.types import Address, Micros, ReplicaId
+from repro.storage.version import Version
+
+HEADER_BYTES = 20
+KEY_BYTES = 8
+VALUE_BYTES = 8
+TS_BYTES = 8
+ID_BYTES = 4
+
+
+def vector_bytes(vec: Sequence[Micros]) -> int:
+    return TS_BYTES * len(vec)
+
+
+def version_bytes(version: Version) -> int:
+    """Wire size of one replicated/returned version ⟨k,v,sr,ut,dv⟩.
+
+    Versions created by the explicit-dependency protocol (COPS*) carry a
+    dependency *list* instead of a vector; the accounting follows suit.
+    """
+    deps = getattr(version, "deps", None)
+    if deps is not None:
+        metadata = Dependency.SIZE_BYTES * len(deps)
+    else:
+        metadata = vector_bytes(version.dv)
+    return KEY_BYTES + VALUE_BYTES + ID_BYTES + TS_BYTES + metadata
+
+
+# ----------------------------------------------------------------------
+# Client <-> server
+# ----------------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class GetReq:
+    """⟨GETReq k, RDV_c⟩ (Algorithm 1 line 2)."""
+
+    key: str
+    rdv: list[Micros]
+    client: Address
+    op_id: int
+    #: True when the issuing session runs the pessimistic (HA) protocol.
+    pessimistic: bool = False
+
+    def size_bytes(self) -> int:
+        return HEADER_BYTES + KEY_BYTES + vector_bytes(self.rdv) + ID_BYTES
+
+
+@dataclass(slots=True)
+class GetReply:
+    """⟨GETReply v, ut, DV, sr⟩ (Algorithm 2 line 4)."""
+
+    key: str
+    value: Any
+    ut: Micros
+    dv: tuple[Micros, ...]
+    sr: ReplicaId
+    op_id: int
+
+    def size_bytes(self) -> int:
+        return (
+            HEADER_BYTES + KEY_BYTES + VALUE_BYTES + TS_BYTES
+            + vector_bytes(self.dv) + ID_BYTES
+        )
+
+
+@dataclass(slots=True)
+class PutReq:
+    """⟨PUTReq k, v, DV_c⟩ (Algorithm 1 line 10)."""
+
+    key: str
+    value: Any
+    dv: list[Micros]
+    client: Address
+    op_id: int
+    #: True when the issuing session runs the pessimistic (HA) protocol.
+    pessimistic: bool = False
+
+    def size_bytes(self) -> int:
+        return (
+            HEADER_BYTES + KEY_BYTES + VALUE_BYTES
+            + vector_bytes(self.dv) + ID_BYTES
+        )
+
+
+@dataclass(slots=True)
+class PutReply:
+    """⟨PUTReply ut⟩ (Algorithm 2 line 15)."""
+
+    ut: Micros
+    op_id: int
+
+    def size_bytes(self) -> int:
+        return HEADER_BYTES + TS_BYTES + ID_BYTES
+
+
+@dataclass(slots=True)
+class RoTxReq:
+    """⟨RO-TX-Req χ, RDV_c⟩ (Algorithm 1 line 15)."""
+
+    keys: tuple[str, ...]
+    rdv: list[Micros]
+    client: Address
+    op_id: int
+    #: True when the issuing session runs the pessimistic (HA) protocol.
+    pessimistic: bool = False
+
+    def size_bytes(self) -> int:
+        return (
+            HEADER_BYTES + KEY_BYTES * len(self.keys)
+            + vector_bytes(self.rdv) + ID_BYTES
+        )
+
+
+@dataclass(slots=True)
+class RoTxReply:
+    """⟨RO-TX-Resp D⟩: the returned causal snapshot."""
+
+    versions: list[GetReply]
+    op_id: int
+
+    def size_bytes(self) -> int:
+        return HEADER_BYTES + ID_BYTES + sum(
+            v.size_bytes() - HEADER_BYTES for v in self.versions
+        )
+
+
+@dataclass(slots=True)
+class SessionClosed:
+    """HA-POCC: the server aborted a blocked optimistic session
+    (Section III-B's partition-detection recovery)."""
+
+    op_id: int
+    reason: str = "network partition suspected"
+
+    def size_bytes(self) -> int:
+        return HEADER_BYTES + ID_BYTES
+
+
+# ----------------------------------------------------------------------
+# Server <-> server
+# ----------------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class Replicate:
+    """⟨REPLICATE d⟩ (Algorithm 2 line 13)."""
+
+    version: Version
+
+    def size_bytes(self) -> int:
+        return HEADER_BYTES + version_bytes(self.version)
+
+
+@dataclass(slots=True)
+class Heartbeat:
+    """⟨HEARTBEAT ct⟩ (Algorithm 2 line 24)."""
+
+    ts: Micros
+    src_dc: ReplicaId
+
+    def size_bytes(self) -> int:
+        return HEADER_BYTES + TS_BYTES + ID_BYTES
+
+
+@dataclass(slots=True)
+class SliceReq:
+    """⟨SliceREQ χ_i, TV⟩ (Algorithm 2 line 34)."""
+
+    keys: tuple[str, ...]
+    tv: list[Micros]
+    coordinator: Address
+    tx_id: int
+    #: True when the requesting client runs in pessimistic (HA) mode.
+    pessimistic: bool = False
+
+    def size_bytes(self) -> int:
+        return (
+            HEADER_BYTES + KEY_BYTES * len(self.keys)
+            + vector_bytes(self.tv) + ID_BYTES
+        )
+
+
+@dataclass(slots=True)
+class SliceResp:
+    """⟨SliceRESP D⟩ (Algorithm 2 line 47)."""
+
+    versions: list[GetReply]
+    tx_id: int
+    #: HA-POCC: the slice server aborted the blocked read after suspecting
+    #: a network partition; the coordinator must abort the transaction.
+    aborted: bool = False
+
+    def size_bytes(self) -> int:
+        return HEADER_BYTES + ID_BYTES + sum(
+            v.size_bytes() - HEADER_BYTES for v in self.versions
+        )
+
+
+# ----------------------------------------------------------------------
+# Stabilization (Cure* / HA-POCC) and garbage collection
+# ----------------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class StabPush:
+    """A node reports its version vector to the DC aggregator."""
+
+    vv: list[Micros]
+    partition: int
+
+    def size_bytes(self) -> int:
+        return HEADER_BYTES + vector_bytes(self.vv) + ID_BYTES
+
+
+@dataclass(slots=True)
+class StabBroadcast:
+    """The aggregator broadcasts the new Global Stable Snapshot."""
+
+    gss: list[Micros]
+
+    def size_bytes(self) -> int:
+        return HEADER_BYTES + vector_bytes(self.gss)
+
+
+# ----------------------------------------------------------------------
+# Explicit dependency tracking (COPS* baseline)
+# ----------------------------------------------------------------------
+
+
+@dataclass(slots=True, frozen=True)
+class Dependency:
+    """One explicit dependency: a globally unique version id (key, ut, sr).
+
+    The metadata element of the dependency-list family (COPS [8]): where
+    the vector protocols ship M timestamps, COPS* ships one of these per
+    *nearest* dependency.
+    """
+
+    key: str
+    ut: Micros
+    sr: ReplicaId
+
+    #: Wire size of one dependency entry.
+    SIZE_BYTES = KEY_BYTES + TS_BYTES + ID_BYTES
+
+    def order_key(self) -> tuple[int, int]:
+        from repro.common.types import version_order_key
+        return version_order_key(self.ut, self.sr)
+
+
+@dataclass(slots=True)
+class CopsPutReq:
+    """PUT carrying the client's nearest-dependency list (COPS put_after)."""
+
+    key: str
+    value: Any
+    deps: tuple[Dependency, ...]
+    client: Address
+    op_id: int
+
+    def size_bytes(self) -> int:
+        return (
+            HEADER_BYTES + KEY_BYTES + VALUE_BYTES + ID_BYTES
+            + Dependency.SIZE_BYTES * len(self.deps)
+        )
+
+
+@dataclass(slots=True)
+class DepCheck:
+    """Intra-DC query: "has version >= (key, ut, sr) been applied here?"
+
+    Sent by a server that received a replicated update to the local
+    partition responsible for each of the update's nearest dependencies —
+    the communication overhead Section I attributes to dependency-check
+    protocols and that OCC eliminates.
+    """
+
+    key: str
+    ut: Micros
+    sr: ReplicaId
+    requester: Address
+    check_id: int
+
+    def size_bytes(self) -> int:
+        return HEADER_BYTES + Dependency.SIZE_BYTES + ID_BYTES
+
+    def dependency(self) -> Dependency:
+        return Dependency(key=self.key, ut=self.ut, sr=self.sr)
+
+
+@dataclass(slots=True)
+class DepCheckResp:
+    """Acknowledgement that a dependency is satisfied locally."""
+
+    check_id: int
+
+    def size_bytes(self) -> int:
+        return HEADER_BYTES + ID_BYTES
+
+
+# ----------------------------------------------------------------------
+# Garbage collection
+# ----------------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class GcPush:
+    """A node reports min(active transaction snapshots, else VV)."""
+
+    vec: list[Micros]
+    partition: int
+
+    def size_bytes(self) -> int:
+        return HEADER_BYTES + vector_bytes(self.vec) + ID_BYTES
+
+
+@dataclass(slots=True)
+class GcBroadcast:
+    """The aggregator broadcasts the garbage-collection vector GV."""
+
+    gv: list[Micros]
+
+    def size_bytes(self) -> int:
+        return HEADER_BYTES + vector_bytes(self.gv)

@@ -1,0 +1,293 @@
+"""OCC-scalar — optimistic causal consistency with O(1) metadata.
+
+Section III-A of the paper notes that OCC "can be implemented with any
+dependency tracking mechanism that has been proposed in literature",
+naming scalar physical clocks (GentleRain [13]) alongside the vector
+clocks POCC uses.  This module builds that variant: optimistic visibility
+(reads always return the chain head) paired with GentleRain-sized client
+metadata — completing the 2x2 design matrix the benches compare:
+
+=============  =====================  =========================
+metadata       pessimistic            optimistic
+=============  =====================  =========================
+scalar, O(1)   GentleRain*            **OCC-scalar** (this file)
+vector, O(M)   Cure*                  POCC
+=============  =====================  =========================
+
+The client carries two scalars:
+
+* ``dt`` — the update time of the newest item in its causal past
+  (reads *and* writes, any origin);
+* ``rdt`` — the update time of the newest *remote-origin* item in its
+  causal past (direct or transitive).
+
+Correctness mirrors POCC's argument with a coarser cut: every remote item
+the client may depend on has a timestamp at most ``rdt``, so once each
+remote entry of a server's version vector passes ``rdt`` no dependency
+can still be missing (updates and heartbeats arrive in timestamp order).
+Local-origin dependencies are trivially present and never wait, which is
+why writes (always local) leave ``rdt`` unchanged and a read-write session
+does not stall on its own updates.
+
+The documented cost of the single scalar is *false blocking across DCs*:
+a dependency on a fresh item from DC *i* makes a GET wait until **every**
+remote entry of the version vector passes it, so the slowest uninvolved
+DC gates the read.  POCC's vector waits only on entry *i*.  The
+``bench_ablation_metadata`` bench quantifies exactly this trade-off.
+
+Transactions take their snapshot at ``max(dt, min(VV))`` — the newest
+timestamp below which the coordinator has received *everything* — which
+is fresher than GentleRain*'s ``max(dt, GST)`` by the stabilization lag,
+without running any stabilization protocol at all.
+
+Wire mapping (byte accounting reflects the O(1) metadata automatically):
+``GetReq.rdv == [rdt]``, ``GetReply.dv == (rdep,)`` where ``rdep`` is the
+version's remote-dependency time for readers of this DC,
+``PutReq.dv == [dt, rdt]``, ``RoTxReq.rdv == [dt]`` and
+``SliceReq.tv == [snapshot_time]``.  Internally a created version stores
+the writer's remote-dependency time replicated across an M-entry vector
+so the shared storage machinery applies unchanged; only the replication
+message over-counts metadata by ``8 * (M - 1)`` bytes, which
+``benchmarks/bench_ablation_overhead.py`` notes when reporting.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.common.types import Micros, OpType
+from repro.metrics.collectors import (
+    BLOCK_GET_VV,
+    BLOCK_PUT_CLOCK,
+    BLOCK_PUT_DEPS,
+    BLOCK_SLICE_VV,
+)
+from repro.protocols import messages as m
+from repro.protocols.base import CausalClient, CausalServer
+from repro.storage.version import Version
+
+
+class OccScalarServer(CausalServer):
+    """Optimistic server gated by a single remote-dependency scalar."""
+
+    # ------------------------------------------------------------------
+    # Scalar waiting condition
+    # ------------------------------------------------------------------
+    def _remote_horizon(self) -> Micros:
+        """The newest timestamp below which every remote DC's updates have
+        been received: ``min over i != m of VV[i]``."""
+        return min(ts for i, ts in enumerate(self.vv) if i != self.m)
+
+    def _remote_dependency_time(self, version: Version) -> Micros:
+        """``rdep``: the scalar a reader of this DC must carry after
+        observing ``version`` — its own timestamp if it is remote-origin,
+        joined with its stored (scalar) dependency time."""
+        rdep: Micros = version.dv[0] if version.dv else 0
+        if version.sr != self.m and version.ut > rdep:
+            rdep = version.ut
+        return rdep
+
+    # ------------------------------------------------------------------
+    # GET: wait for the remote horizon, return the chain head
+    # ------------------------------------------------------------------
+    def handle_get(self, msg: m.GetReq) -> None:
+        rdt: Micros = msg.rdv[0] if msg.rdv else 0
+        self.block_or_run(
+            BLOCK_GET_VV,
+            lambda: self._remote_horizon() >= rdt,
+            lambda: self._serve_get(msg),
+            payload=msg,
+        )
+
+    def _serve_get(self, msg: m.GetReq) -> None:
+        version = self.store.freshest(msg.key)
+        if version is None:
+            self.send(msg.client, self.nil_reply(msg.key, msg.op_id))
+            return
+        # Optimistic reads always return the chain head: never "old".
+        self.metrics.record_get_staleness(0, 0)
+        self.send(msg.client, self._reply_for(version, msg.op_id))
+
+    def _reply_for(self, version: Version, op_id: int) -> m.GetReply:
+        return m.GetReply(
+            key=version.key,
+            value=version.value,
+            ut=version.ut,
+            dv=(self._remote_dependency_time(version),),
+            sr=version.sr,
+            op_id=op_id,
+        )
+
+    def nil_reply(self, key: str, op_id: int) -> m.GetReply:
+        return m.GetReply(key=key, value=None, ut=0, dv=(0,), sr=self.m,
+                          op_id=op_id)
+
+    # ------------------------------------------------------------------
+    # PUT: optional remote-dependency wait, then the clock discipline
+    # ------------------------------------------------------------------
+    def handle_put(self, msg: m.PutReq) -> None:
+        if self._protocol.put_dependency_wait:
+            rdt: Micros = msg.dv[1] if len(msg.dv) > 1 else 0
+            self.block_or_run(
+                BLOCK_PUT_DEPS,
+                lambda: self._remote_horizon() >= rdt,
+                lambda: self._put_wait_clock(msg),
+                payload=msg,
+            )
+        else:
+            self._put_wait_clock(msg)
+
+    def _put_wait_clock(self, msg: m.PutReq) -> None:
+        # The new version's timestamp must dominate the client's whole
+        # causal past, local items included (Proposition 2).
+        dt: Micros = msg.dv[0] if msg.dv else 0
+        self.metrics.record_block_attempt(BLOCK_PUT_CLOCK)
+        if self.clock.peek_micros() > dt:
+            self._apply_put(msg)
+            return
+        blocked_at = self.sim.now
+
+        def resume() -> None:
+            self.metrics.record_block_started(BLOCK_PUT_CLOCK, blocked_at,
+                                              self.sim.now - blocked_at)
+            self.submit_local(self._service.resume_s, self._apply_put, msg)
+
+        self.sim.schedule_at(self.clock.sim_time_when(dt), resume)
+
+    def _apply_put(self, msg: m.PutReq) -> None:
+        # The version remembers only the writer's *remote* dependency time.
+        # The writer's local dependencies need no record: the clock
+        # discipline guarantees ut > dt, so at any other DC they are
+        # dominated by the version's own timestamp, and at this DC they
+        # are trivially present.  (Storing the full dt would make same-DC
+        # readers inherit phantom remote dependencies and stall GETs that
+        # have nothing to wait for.)
+        rdt: Micros = msg.dv[1] if len(msg.dv) > 1 else 0
+        version = self.create_version(msg.key, msg.value,
+                                      (rdt,) * self.topology.num_dcs)
+        self.send(msg.client, m.PutReply(ut=version.ut, op_id=msg.op_id))
+
+    # ------------------------------------------------------------------
+    # RO-TX: scalar snapshot at max(dt, min(VV))
+    # ------------------------------------------------------------------
+    def handle_ro_tx(self, msg: m.RoTxReq) -> None:
+        dt: Micros = msg.rdv[0] if msg.rdv else 0
+        snapshot = max(dt, min(self.vv))
+        self.coordinate_tx(msg, [snapshot])
+
+    def handle_slice(self, msg: m.SliceReq) -> None:
+        snapshot: Micros = msg.tv[0]
+        self.block_or_run(
+            BLOCK_SLICE_VV,
+            # Every version with ut <= snapshot — from any DC — must be
+            # present for the cut to be causally closed.
+            lambda: self._remote_horizon() >= snapshot,
+            lambda: self._serve_slice(msg),
+            payload=msg,
+        )
+
+    def _serve_slice(self, msg: m.SliceReq) -> None:
+        snapshot: Micros = msg.tv[0]
+        replies = []
+        scanned_total = 0
+        for key in msg.keys:
+            chain = self.store.chain(key)
+            if chain is None:
+                replies.append(self.nil_reply(key, 0))
+                continue
+            version, scanned = chain.find_freshest(
+                lambda v: v.ut <= snapshot
+            )
+            scanned_total += scanned
+            if version is None:
+                version = next(reversed(list(chain)))
+            fresher = chain.versions_newer_than(version)
+            # Everything behind the snapshot is already merged under the
+            # optimistic protocol: old == unmerged, as for POCC.
+            self.metrics.record_tx_staleness(fresher, fresher)
+            replies.append(self._reply_for(version, 0))
+        response = m.SliceResp(versions=replies, tx_id=msg.tx_id)
+        scan_cost = self._service.chain_scan_per_version_s * scanned_total
+        self.submit_local(scan_cost, self.send_slice_resp, msg, response)
+
+    # ------------------------------------------------------------------
+    # Garbage collection: scalar horizon, timestamp-based retention
+    # ------------------------------------------------------------------
+    # Snapshots filter by *timestamp* (ut <= st), so retention must too:
+    # the DC-wide horizon H is the minimum over every node's min(VV)
+    # capped by its active transaction snapshots, and each chain keeps its
+    # newest version with ut <= H plus everything newer.  Any live or
+    # future snapshot satisfies st >= H (VV entries are monotone), so the
+    # version it returns is always retained.  The length-1 report vectors
+    # keep the GC byte accounting honest for the scalar protocol.
+
+    def _gc_report_vector(self) -> list[Micros]:
+        horizon = min(self.vv)
+        for state in self._active_tx.values():
+            tv = state.get("tv")
+            if tv and tv[0] < horizon:
+                horizon = tv[0]
+        return [horizon]
+
+    def _apply_gc(self, gv: list[Micros]) -> None:
+        horizon: Micros = gv[0]
+        self.store.collect_by(lambda v: v.ut <= horizon, [horizon])
+
+
+class OccScalarClient(CausalClient):
+    """Client carrying two scalars: ``dt`` and ``rdt`` (see module doc)."""
+
+    def __init__(self, *args: Any, **kwargs: Any):
+        super().__init__(*args, **kwargs)
+        #: Newest update time in the causal past (any origin).
+        self.dt: Micros = 0
+        #: Newest *remote-origin* update time in the causal past.
+        self.rdt: Micros = 0
+
+    def read_dependency_vector(self) -> list[Micros]:
+        return [self.rdt]
+
+    # ------------------------------------------------------------------
+    # Operations (scalar wire format)
+    # ------------------------------------------------------------------
+    def get(self, key: str, callback: Callable[[m.GetReply], None]) -> None:
+        op_id = self._register(OpType.GET, callback)
+        self.send(self._server_for(key),
+                  m.GetReq(key=key, rdv=[self.rdt], client=self.address,
+                           op_id=op_id))
+
+    def put(self, key: str, value: Any,
+            callback: Callable[[m.PutReply], None]) -> None:
+        op_id = self._register(OpType.PUT, callback)
+        self.send(self._server_for(key),
+                  m.PutReq(key=key, value=value, dv=[self.dt, self.rdt],
+                           client=self.address, op_id=op_id))
+
+    def ro_tx(self, keys, callback: Callable[[m.RoTxReply], None]) -> None:
+        op_id = self._register(OpType.RO_TX, callback)
+        coordinator = self.topology.server(self.m, self.address.partition)
+        self.send(coordinator,
+                  m.RoTxReq(keys=tuple(keys), rdv=[self.dt],
+                            client=self.address, op_id=op_id))
+
+    # ------------------------------------------------------------------
+    # Metadata maintenance
+    # ------------------------------------------------------------------
+    def absorb_read(self, reply: m.GetReply) -> None:
+        rdep: Micros = reply.dv[0] if reply.dv else 0
+        if rdep > self.rdt:
+            self.rdt = rdep
+        self.dt = max(self.dt, reply.ut, rdep)
+
+    def _complete_put(self, reply: m.PutReply) -> None:
+        op_type, started, callback = self._pending.pop(reply.op_id)
+        # A write is local-origin: it raises dt but never rdt.
+        if reply.ut > self.dt:
+            self.dt = reply.ut
+        self._finish(op_type, started)
+        callback(reply)
+
+    def reset_session(self) -> None:
+        super().reset_session()
+        self.dt = 0
+        self.rdt = 0

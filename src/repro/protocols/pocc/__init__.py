@@ -1,0 +1,14 @@
+"""POCC: the paper's scalable implementation of Optimistic Causal
+Consistency (Section IV).
+
+* :class:`PoccServer` — Algorithm 2: optimistic reads that block on
+  potentially missing dependencies, clock-disciplined writes, snapshot
+  transactions whose visibility boundary is *received* (not stable) items.
+* :class:`PoccClient` — Algorithm 1 (shared with Cure*; see
+  :class:`repro.protocols.base.CausalClient`).
+"""
+
+from repro.protocols.pocc.client import PoccClient
+from repro.protocols.pocc.server import PoccServer
+
+__all__ = ["PoccClient", "PoccServer"]

@@ -1,0 +1,14 @@
+"""The POCC client is exactly Algorithm 1, which the shared
+:class:`repro.protocols.base.CausalClient` already implements — the paper
+uses identical client metadata for POCC and Cure* so the comparison is
+fair.  The subclass exists to give the protocol registry a concrete type
+and a place for POCC-specific extensions (the HA client builds on it).
+"""
+
+from __future__ import annotations
+
+from repro.protocols.base import CausalClient
+
+
+class PoccClient(CausalClient):
+    """Client running against POCC servers (Algorithm 1)."""

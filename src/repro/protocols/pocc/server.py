@@ -1,0 +1,145 @@
+"""The POCC server: Algorithm 2 of the paper, handler by handler.
+
+The optimism: a GET returns the *freshest locally known* version (the chain
+head), whether or not it is stable, after making sure — via the waiting
+condition on the version vector — that no dependency of the client's history
+can still be missing from this node.  Transactions draw their snapshot
+boundary at ``max(VV, RDV_c)``: items *received* when the transaction
+starts, rather than items *stable* (Cure*'s boundary).
+"""
+
+from __future__ import annotations
+
+from repro.clocks.vector import vec_leq, vec_max
+from repro.common.types import Micros
+from repro.metrics.collectors import (
+    BLOCK_GET_VV,
+    BLOCK_PUT_CLOCK,
+    BLOCK_PUT_DEPS,
+    BLOCK_SLICE_VV,
+)
+from repro.protocols import messages as m
+from repro.protocols.base import CausalServer
+from repro.storage.version import Version
+
+
+class PoccServer(CausalServer):
+    """Server ``p^m_n`` running the optimistic protocol."""
+
+    # ------------------------------------------------------------------
+    # GET (Algorithm 2 lines 1-4)
+    # ------------------------------------------------------------------
+    def handle_get(self, msg: m.GetReq) -> None:
+        self.block_or_run(
+            BLOCK_GET_VV,
+            # Line 2: wait until VV[i] >= RDV_c[i] for all i != m.
+            lambda: self.vv_covers(msg.rdv),
+            lambda: self._serve_get(msg),
+            payload=msg,
+        )
+
+    def _serve_get(self, msg: m.GetReq) -> None:
+        # Line 3: the version with the highest timestamp — the chain head,
+        # no traversal needed (the cost asymmetry vs. Cure*).
+        version = self.store.freshest(msg.key)
+        if version is None:
+            self.send(msg.client, self.nil_reply(msg.key, msg.op_id))
+            return
+        # POCC always returns the chain head, so a GET is never "old";
+        # recorded so the two systems' staleness series share denominators.
+        self.metrics.record_get_staleness(0, 0)
+        self.send(msg.client, self.reply_for(version, msg.op_id))
+
+    # ------------------------------------------------------------------
+    # PUT (Algorithm 2 lines 5-15)
+    # ------------------------------------------------------------------
+    def handle_put(self, msg: m.PutReq) -> None:
+        if self._protocol.put_dependency_wait:
+            # Line 6 (optional; enabled in the paper's evaluation): make
+            # sure every version this update depends on is locally present,
+            # as convergent conflict handling schemes other than
+            # last-writer-wins require.
+            self.block_or_run(
+                BLOCK_PUT_DEPS,
+                lambda: self.vv_covers(msg.dv),
+                lambda: self._put_wait_clock(msg),
+                payload=msg,
+            )
+        else:
+            self._put_wait_clock(msg)
+
+    def _put_wait_clock(self, msg: m.PutReq) -> None:
+        # Line 7: wait until max{DV_c} < Clock so the new version's
+        # timestamp dominates all its potential dependencies.
+        max_dep: Micros = max(msg.dv, default=0)
+        self.metrics.record_block_attempt(BLOCK_PUT_CLOCK)
+        if self.clock.peek_micros() > max_dep:
+            self._apply_put(msg)
+            return
+        wake_at = self.clock.sim_time_when(max_dep)
+        blocked_at = self.sim.now
+
+        def resume() -> None:
+            self.metrics.record_block_started(BLOCK_PUT_CLOCK, blocked_at,
+                                              self.sim.now - blocked_at)
+            self.submit_local(self._service.resume_s, self._apply_put, msg)
+
+        self.sim.schedule_at(wake_at, resume)
+
+    def _apply_put(self, msg: m.PutReq) -> None:
+        # Lines 8-14: stamp, insert, replicate; line 15: reply with ut.
+        version = self.create_version(msg.key, msg.value, tuple(msg.dv))
+        self.send(msg.client, m.PutReply(ut=version.ut, op_id=msg.op_id))
+
+    # ------------------------------------------------------------------
+    # RO-TX coordinator (Algorithm 2 lines 29-38)
+    # ------------------------------------------------------------------
+    def handle_ro_tx(self, msg: m.RoTxReq) -> None:
+        # Line 32: the snapshot visible to the transaction is bounded by
+        # what this DC has *received* (VV), advanced to cover the client's
+        # read dependencies — not by what is stable.
+        tv = vec_max(self.vv, msg.rdv)
+        self.coordinate_tx(msg, tv)
+
+    # ------------------------------------------------------------------
+    # Slice read (Algorithm 2 lines 39-47)
+    # ------------------------------------------------------------------
+    def handle_slice(self, msg: m.SliceReq) -> None:
+        self.block_or_run(
+            BLOCK_SLICE_VV,
+            # Line 40: wait until VV >= TV on *every* entry, so all updates
+            # inside the snapshot have been installed locally.
+            lambda: vec_leq(msg.tv, self.vv),
+            lambda: self._serve_slice(msg),
+            payload=msg,
+        )
+
+    def _serve_slice(self, msg: m.SliceReq) -> None:
+        tv = msg.tv
+
+        def visible(version: Version) -> bool:
+            # Line 43: the visible set is every version whose dependency
+            # cut is inside the snapshot vector.
+            return vec_leq(version.dv, tv)
+
+        replies = []
+        scanned_total = 0
+        for key in msg.keys:
+            chain = self.store.chain(key)
+            if chain is None:
+                replies.append(self.nil_reply(key, 0))
+                continue
+            version, scanned = chain.find_freshest(visible)
+            scanned_total += scanned
+            if version is None:
+                # No version inside the snapshot (can only happen before
+                # preloading or after an unsafe GC); fall back to oldest.
+                version = next(reversed(list(chain)))
+            fresher = chain.versions_newer_than(version)
+            # In POCC everything behind the returned version is already
+            # merged, so "old" and "unmerged" coincide (Section V-C).
+            self.metrics.record_tx_staleness(fresher, fresher)
+            replies.append(self.reply_for(version, 0))
+        response = m.SliceResp(versions=replies, tx_id=msg.tx_id)
+        scan_cost = self._service.chain_scan_per_version_s * scanned_total
+        self.submit_local(scan_cost, self.send_slice_resp, msg, response)

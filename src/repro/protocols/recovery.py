@@ -1,0 +1,258 @@
+"""Recovery from a full data-center failure (Section III-B).
+
+A DC that fails (or a partition that never heals) leaves the optimistic
+system with **lost updates**: items the failed DC created that reached
+*some* healthy DCs but not others, and items created anywhere that
+causally depend on them.  Because OCC exposed those items before they
+were stable, healthy DCs may have served reads — and accepted writes —
+against data that part of the system will never receive.  The paper's
+recovery mechanism is to *discard* such items:
+
+    "A possible mechanism to recover from this situation is to discard
+    items that depend on a lost update and that have been created after
+    the failure of DC'. [...] In OCC, instead, also updates from healthy
+    DCs might get discarded."
+
+:func:`recover_from_dc_failure` implements exactly that, operating on a
+quiesced cluster (the failed DC cut off by the fault injector):
+
+1. **Cut computation** — for every partition *n*, the survivable prefix
+   of the failed DC's updates is ``cut[n] = min over healthy DCs j of
+   VV^j_n[failed]``: everything at or below the cut reached *every*
+   healthy replica and is kept; anything above it is a lost update.
+2. **Discard** — each healthy server purges (a) versions originated at
+   the failed DC beyond the cut and (b) versions — from *any* origin —
+   whose dependency vector references the failed DC beyond the cut
+   (transitive dependencies are covered because clients fold dependency
+   vectors entry-wise into everything they subsequently write).
+3. **Session resets** — clients whose dependency vectors reference
+   discarded items re-initialize their sessions (the stickiness argument
+   of Section III-B: causal sessions are built to survive resets).
+4. **Blocked-operation aborts** — server-side waiters can reference
+   discarded dependencies and would otherwise hang forever; they are
+   dropped and their sessions closed (the HA client demotes and retries;
+   see :mod:`repro.protocols.ha`).
+
+After recovery the healthy DCs satisfy LWW convergence again
+(:func:`repro.verification.convergence.check_convergence_among`), and the
+system can resume optimistic operation among the survivors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.cluster.topology import Topology
+from repro.common.errors import SimulationError
+from repro.common.types import Micros
+from repro.protocols import messages as m
+from repro.protocols.base import CausalClient, CausalServer
+from repro.storage.version import Version
+
+
+@dataclass(slots=True)
+class RecoveryReport:
+    """What a DC-failure recovery pass discarded and reset."""
+
+    failed_dc: int
+    healthy_dcs: tuple[int, ...]
+    #: Per-partition survivable prefix of the failed DC's updates.
+    cuts: dict[int, Micros]
+    #: Lost updates: failed-DC versions beyond the cut, per origin DC of
+    #: the server that held them (they were replicated copies).
+    lost_updates_discarded: int = 0
+    #: Dependent items discarded, keyed by the DC that *created* them —
+    #: non-zero healthy-DC entries demonstrate the paper's point that OCC
+    #: recovery can lose updates originated at healthy DCs.
+    dependents_discarded_by_origin: dict[int, int] = field(
+        default_factory=dict
+    )
+    clients_reset: int = 0
+    operations_aborted: int = 0
+    #: Keys re-synchronized between survivors after the discard pass.
+    replicas_repaired: int = 0
+
+    @property
+    def total_discarded(self) -> int:
+        return self.lost_updates_discarded + sum(
+            self.dependents_discarded_by_origin.values()
+        )
+
+    def summary_text(self) -> str:
+        by_origin = ", ".join(
+            f"dc{dc}: {count}"
+            for dc, count in sorted(self.dependents_discarded_by_origin.items())
+        ) or "none"
+        return (
+            f"recovery from DC{self.failed_dc} failure: "
+            f"{self.lost_updates_discarded} lost updates discarded, "
+            f"dependents discarded by origin: {by_origin}; "
+            f"{self.clients_reset} sessions reset, "
+            f"{self.operations_aborted} blocked operations aborted"
+        )
+
+
+def _dep_on(version: Version, dc: int) -> Micros:
+    """The version's dependency-vector entry for ``dc`` (0 if the
+    protocol stores no per-DC cut, e.g. scalar metadata)."""
+    return version.dv[dc] if dc < len(version.dv) else 0
+
+
+def recover_from_dc_failure(
+    servers: dict,
+    topology: Topology,
+    failed_dc: int,
+    clients: Sequence[CausalClient] = (),
+    abort_blocked: bool = True,
+) -> RecoveryReport:
+    """Discard lost updates and their dependents after ``failed_dc`` dies.
+
+    ``servers`` maps addresses to servers (as built by the harness); the
+    failed DC's own servers are left untouched (they are unreachable).
+    Pass the cluster's clients so sessions that depend on discarded items
+    are reset; healthy-DC clients only.
+    """
+    if not 0 <= failed_dc < topology.num_dcs:
+        raise SimulationError(f"no such DC: {failed_dc}")
+    healthy = tuple(
+        dc for dc in range(topology.num_dcs) if dc != failed_dc
+    )
+
+    # Phase 1: the survivable cut, per partition.
+    cuts: dict[int, Micros] = {}
+    for partition in range(topology.num_partitions):
+        cuts[partition] = min(
+            servers[topology.server(dc, partition)].vv[failed_dc]
+            for dc in healthy
+        )
+    report = RecoveryReport(failed_dc=failed_dc, healthy_dcs=healthy,
+                            cuts=cuts)
+
+    # Phase 2: discard lost updates and everything depending on them.
+    for partition, cut in cuts.items():
+        for dc in healthy:
+            server: CausalServer = servers[topology.server(dc, partition)]
+
+            def doomed(version: Version) -> bool:
+                if version.sr == failed_dc and version.ut > cut:
+                    return True
+                return _dep_on(version, failed_dc) > cut
+
+            for version in server.store.purge(doomed):
+                if version.sr == failed_dc:
+                    report.lost_updates_discarded += 1
+                else:
+                    by_origin = report.dependents_discarded_by_origin
+                    by_origin[version.sr] = by_origin.get(version.sr, 0) + 1
+            # Freeze the failed entry at the cut: nothing beyond it will
+            # ever be (re)delivered, and the discarded state must not be
+            # considered "received".
+            if server.vv[failed_dc] > cut:
+                server.vv[failed_dc] = cut
+            if abort_blocked:
+                report.operations_aborted += _abort_blocked(server)
+
+    # Phase 2b: anti-entropy among survivors.  Discarding can expose
+    # holes — a replica whose GC had already dropped the versions *under*
+    # a now-discarded item ends up with nothing, while its peers still
+    # hold the survivable prefix.  Recovery re-syncs each key to the LWW
+    # winner among the healthy replicas, exactly as a production recovery
+    # procedure would.
+    report.replicas_repaired = _anti_entropy(servers, topology, healthy)
+
+    # Phase 3: reset sessions that depend on discarded items.
+    min_cut = min(cuts.values(), default=0)
+    for client in clients:
+        if client.address.dc == failed_dc:
+            continue
+        deps_on_failed = max(client.dv[failed_dc], client.rdv[failed_dc])
+        if deps_on_failed > min_cut:
+            client.reset_session()
+            report.clients_reset += 1
+
+    return report
+
+
+def _anti_entropy(servers: dict, topology: Topology,
+                  healthy: Sequence[int]) -> int:
+    """Copy each key's LWW winner to survivors that lack it.
+
+    Version vectors are deliberately *not* advanced: the sweep copies
+    single winners, not the full prefix a VV entry asserts, and a lower
+    VV is merely conservative (it can cause waits, never violations).
+    """
+    repaired = 0
+    for partition in range(topology.num_partitions):
+        replicas: list[CausalServer] = [
+            servers[topology.server(dc, partition)] for dc in healthy
+        ]
+        keys = set()
+        for replica in replicas:
+            keys.update(replica.store.keys())
+        for key in keys:
+            heads = [replica.store.freshest(key) for replica in replicas]
+            present = [h for h in heads if h is not None]
+            if not present:
+                continue
+            winner = max(present, key=lambda v: v.order_key)
+            wid = winner.identity()
+            for replica, head in zip(replicas, heads):
+                if head is not None and head.identity() == wid:
+                    continue
+                copy = getattr(winner, "local_copy", None)
+                replica.store.insert(copy(visible=True) if copy else winner)
+                repaired += 1
+    return repaired
+
+
+def _abort_blocked(server: CausalServer) -> int:
+    """Drop every parked operation and close its session.
+
+    After the purge a waiter's predicate may be unsatisfiable forever
+    (its dependency was discarded).  Telling satisfiable and doomed
+    waiters apart would require predicate introspection; recovery closes
+    them all — re-issued operations against the recovered state succeed
+    immediately, and the HA client handles ``SessionClosed`` natively.
+    """
+    aborted = 0
+    for waiter in server.waiters.expired(0.0):
+        server.waiters.drop(waiter)
+        request = waiter.payload
+        if isinstance(request, (m.GetReq, m.PutReq)):
+            server.send(request.client, m.SessionClosed(
+                op_id=request.op_id, reason="dc failure recovery"))
+            aborted += 1
+        elif isinstance(request, m.SliceReq):
+            server.send_slice_resp(request, m.SliceResp(
+                versions=[], tx_id=request.tx_id, aborted=True))
+            aborted += 1
+    return aborted
+
+
+def lost_update_exposure(
+    servers: dict,
+    topology: Topology,
+    failed_dc: int,
+) -> dict[int, int]:
+    """How many not-yet-survivable failed-DC versions each healthy DC
+    currently holds (a dry-run census of what recovery would discard).
+
+    Useful for monitoring: a large exposure means a failure of
+    ``failed_dc`` right now would force a large discard.
+    """
+    healthy = [dc for dc in range(topology.num_dcs) if dc != failed_dc]
+    exposure = {dc: 0 for dc in healthy}
+    for partition in range(topology.num_partitions):
+        cut = min(
+            servers[topology.server(dc, partition)].vv[failed_dc]
+            for dc in healthy
+        )
+        for dc in healthy:
+            server = servers[topology.server(dc, partition)]
+            for key in server.store.keys():
+                chain = server.store.chain(key)
+                exposure[dc] += chain.count_matching(
+                    lambda v: v.sr == failed_dc and v.ut > cut
+                )
+    return exposure

@@ -1,0 +1,51 @@
+"""Protocol registry: configuration name -> (server class, client class)."""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigError
+from repro.protocols.cops import CopsClient, CopsServer
+from repro.protocols.cure.client import CureClient
+from repro.protocols.cure.server import CureServer
+from repro.protocols.eventual import EventualClient, EventualServer
+from repro.protocols.gentlerain import GentleRainClient, GentleRainServer
+from repro.protocols.ha import HaPoccClient, HaPoccServer
+from repro.protocols.occ_scalar import OccScalarClient, OccScalarServer
+from repro.protocols.pocc.client import PoccClient
+from repro.protocols.pocc.server import PoccServer
+
+#: Every runnable protocol.  "pocc" and "cure" are the paper's two systems;
+#: "ha_pocc" the availability extension; "gentlerain" the scalar-clock
+#: predecessor baseline (paper reference [13]); "occ_scalar" the optimistic
+#: variant with GentleRain-sized O(1) metadata (Section III-A's "any
+#: dependency tracking mechanism" claim); "cops" the explicit
+#: dependency-check family (paper reference [8]; GET/PUT only);
+#: "eventual" the unsafe strawman for checker demonstrations.
+PROTOCOLS = {
+    "pocc": (PoccServer, PoccClient),
+    "cure": (CureServer, CureClient),
+    "ha_pocc": (HaPoccServer, HaPoccClient),
+    "gentlerain": (GentleRainServer, GentleRainClient),
+    "occ_scalar": (OccScalarServer, OccScalarClient),
+    "cops": (CopsServer, CopsClient),
+    "eventual": (EventualServer, EventualClient),
+}
+
+
+def server_class(name: str):
+    """The server class registered under ``name``."""
+    try:
+        return PROTOCOLS[name][0]
+    except KeyError:
+        raise ConfigError(
+            f"unknown protocol {name!r}; choose from {sorted(PROTOCOLS)}"
+        ) from None
+
+
+def client_class(name: str):
+    """The client class registered under ``name``."""
+    try:
+        return PROTOCOLS[name][1]
+    except KeyError:
+        raise ConfigError(
+            f"unknown protocol {name!r}; choose from {sorted(PROTOCOLS)}"
+        ) from None

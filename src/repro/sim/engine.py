@@ -1,0 +1,180 @@
+"""The discrete-event simulator core: a cancellable event heap.
+
+Design notes
+------------
+* Time is a float number of simulated seconds, starting at 0.0.
+* Events scheduled for the same instant fire in scheduling order (a
+  monotonically increasing sequence number breaks ties), which makes runs
+  fully deterministic.
+* Cancellation is O(1): the heap entry's callback slot is nulled and the
+  entry is skipped when popped ("lazy deletion").
+* The hot path avoids object allocation beyond one small list per event.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable
+
+from repro.common.errors import SimulationError
+
+# Heap entry layout: [time, seq, callback, args]; callback is set to None on
+# cancellation.  Index constants keep the hot path readable.
+_TIME = 0
+_SEQ = 1
+_CALLBACK = 2
+_ARGS = 3
+
+
+class EventHandle:
+    """A cancellable reference to a scheduled event."""
+
+    __slots__ = ("_entry",)
+
+    def __init__(self, entry: list):
+        self._entry = entry
+
+    def cancel(self) -> bool:
+        """Cancel the event.  Returns False if it already fired/cancelled."""
+        if self._entry[_CALLBACK] is None:
+            return False
+        self._entry[_CALLBACK] = None
+        self._entry[_ARGS] = None
+        return True
+
+    @property
+    def active(self) -> bool:
+        """True while the event is still pending."""
+        return self._entry[_CALLBACK] is not None
+
+    @property
+    def time(self) -> float:
+        """The simulated time the event is (was) scheduled for."""
+        return self._entry[_TIME]
+
+
+class Simulator:
+    """A deterministic discrete-event scheduler.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.schedule(1.5, callback, arg1, arg2)
+        sim.run(until=10.0)
+    """
+
+    __slots__ = ("_heap", "_now", "_seq", "_events_executed", "_stopped")
+
+    def __init__(self) -> None:
+        self._heap: list[list] = []
+        self._now = 0.0
+        self._seq = 0
+        self._events_executed = 0
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_executed(self) -> int:
+        """Number of events that have fired so far."""
+        return self._events_executed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of heap entries (including cancelled, not yet popped)."""
+        return len(self._heap)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self, delay: float, callback: Callable[..., Any], *args: Any
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay}s in the past")
+        return self.schedule_at(self._now + delay, callback, *args)
+
+    def schedule_at(
+        self, time: float, callback: Callable[..., Any], *args: Any
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` at an absolute simulated time."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} (now is t={self._now})"
+            )
+        entry = [time, self._seq, callback, args]
+        self._seq += 1
+        heapq.heappush(self._heap, entry)
+        return EventHandle(entry)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(
+        self, until: float | None = None, max_events: int | None = None
+    ) -> int:
+        """Run events until the heap drains, ``until`` passes, or
+        ``max_events`` fire.  Returns the number of events executed by this
+        call.  After returning because of ``until``, ``now`` equals
+        ``until`` (time advances even if no event fired exactly then).
+        """
+        executed = 0
+        heap = self._heap
+        self._stopped = False
+        while heap and not self._stopped:
+            if max_events is not None and executed >= max_events:
+                break
+            entry = heap[0]
+            if until is not None and entry[_TIME] > until:
+                break
+            heapq.heappop(heap)
+            callback = entry[_CALLBACK]
+            if callback is None:  # cancelled
+                continue
+            self._now = entry[_TIME]
+            args = entry[_ARGS]
+            # Clear before invoking so re-entrant cancels are harmless.
+            entry[_CALLBACK] = None
+            entry[_ARGS] = None
+            callback(*args)
+            executed += 1
+            self._events_executed += 1
+        if until is not None and not self._stopped and self._now < until:
+            self._now = until
+        return executed
+
+    def step(self) -> bool:
+        """Execute exactly one (non-cancelled) event.  Returns False when
+        the heap is empty."""
+        heap = self._heap
+        while heap:
+            entry = heapq.heappop(heap)
+            callback = entry[_CALLBACK]
+            if callback is None:
+                continue
+            self._now = entry[_TIME]
+            args = entry[_ARGS]
+            entry[_CALLBACK] = None
+            entry[_ARGS] = None
+            callback(*args)
+            self._events_executed += 1
+            return True
+        return False
+
+    def stop(self) -> None:
+        """Make the current :meth:`run` call return after this event."""
+        self._stopped = True
+
+    def peek_next_time(self) -> float | None:
+        """Time of the next pending event, or None if the heap is empty."""
+        heap = self._heap
+        while heap and heap[0][_CALLBACK] is None:
+            heapq.heappop(heap)
+        return heap[0][_TIME] if heap else None

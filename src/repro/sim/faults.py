@@ -1,0 +1,95 @@
+"""Fault injection: network partitions between data centers.
+
+Section III-B of the paper discusses OCC's behaviour under network
+partitions (blocking, recovery, fall-back to a pessimistic protocol).  The
+injector cuts traffic between groups of DCs — in both directions — and heals
+it later, either programmatically or on a schedule.  Messages sent across a
+cut are *held*, not dropped, matching the lossless-channel system model: a
+partition that heals delivers everything, a partition that never heals
+models a full DC failure.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.common.errors import SimulationError
+from repro.sim.engine import Simulator
+from repro.sim.network import Network
+
+
+class FaultInjector:
+    """Creates and heals inter-DC network partitions."""
+
+    def __init__(self, sim: Simulator, network: Network):
+        self._sim = sim
+        self._network = network
+        self._active_cuts: set[tuple[int, int]] = set()
+        self.partitions_started = 0
+        self.partitions_healed = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def active(self) -> bool:
+        """True while at least one DC pair is cut."""
+        return bool(self._active_cuts)
+
+    def is_cut(self, dc_a: int, dc_b: int) -> bool:
+        return (dc_a, dc_b) in self._active_cuts
+
+    # ------------------------------------------------------------------
+    # Control
+    # ------------------------------------------------------------------
+    def partition_dcs(
+        self, group_a: Iterable[int], group_b: Iterable[int]
+    ) -> None:
+        """Cut all traffic between every DC in ``group_a`` and ``group_b``."""
+        group_a = list(group_a)
+        group_b = list(group_b)
+        if set(group_a) & set(group_b):
+            raise SimulationError("partition groups must be disjoint")
+        self.partitions_started += 1
+        for a in group_a:
+            for b in group_b:
+                self._cut(a, b)
+                self._cut(b, a)
+
+    def isolate_dc(self, dc: int, all_dcs: Iterable[int]) -> None:
+        """Cut ``dc`` off from every other DC (models a DC failure)."""
+        others = [d for d in all_dcs if d != dc]
+        self.partition_dcs([dc], others)
+
+    def heal_all(self) -> None:
+        """Heal every active cut; held messages flush in send order."""
+        if self._active_cuts:
+            self.partitions_healed += 1
+        for a, b in list(self._active_cuts):
+            self._heal(a, b)
+
+    def schedule_partition(
+        self,
+        at: float,
+        group_a: Iterable[int],
+        group_b: Iterable[int],
+        heal_after: float | None = None,
+    ) -> None:
+        """Schedule a partition at time ``at``; optionally heal it
+        ``heal_after`` seconds later (never, if None)."""
+        group_a = list(group_a)
+        group_b = list(group_b)
+        self._sim.schedule_at(at, self.partition_dcs, group_a, group_b)
+        if heal_after is not None:
+            self._sim.schedule_at(at + heal_after, self.heal_all)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _cut(self, src_dc: int, dst_dc: int) -> None:
+        self._active_cuts.add((src_dc, dst_dc))
+        self._network.block_dc_pair(src_dc, dst_dc)
+
+    def _heal(self, src_dc: int, dst_dc: int) -> None:
+        self._active_cuts.discard((src_dc, dst_dc))
+        self._network.unblock_dc_pair(src_dc, dst_dc)

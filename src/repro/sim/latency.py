@@ -1,0 +1,97 @@
+"""Latency models for the simulated geo network.
+
+The deployment in the paper spans Oregon, Virginia and Ireland
+(Section V-A); :class:`GeoLatencyModel` reproduces that shape with a one-way
+latency matrix plus lognormal jitter.  Simpler models are provided for unit
+tests and micro-benchmarks.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Protocol
+
+from repro.common.config import LatencyConfig
+from repro.common.errors import ConfigError
+from repro.common.types import Address, ReplicaId
+
+
+class LatencyModel(Protocol):
+    """Samples a one-way message latency between two endpoints."""
+
+    def sample(self, src: Address, dst: Address) -> float:
+        """One-way latency in seconds for a message src -> dst."""
+        ...
+
+
+class ConstantLatency:
+    """The same latency for every message (unit tests)."""
+
+    def __init__(self, latency_s: float):
+        if latency_s < 0:
+            raise ConfigError("latency must be >= 0")
+        self.latency_s = latency_s
+
+    def sample(self, src: Address, dst: Address) -> float:
+        return self.latency_s
+
+
+class UniformLatency:
+    """Uniform latency in [low, high] independent of endpoints."""
+
+    def __init__(self, low_s: float, high_s: float, rng: random.Random):
+        if not 0 <= low_s <= high_s:
+            raise ConfigError("need 0 <= low_s <= high_s")
+        self.low_s = low_s
+        self.high_s = high_s
+        self._rng = rng
+
+    def sample(self, src: Address, dst: Address) -> float:
+        return self._rng.uniform(self.low_s, self.high_s)
+
+
+class GeoLatencyModel:
+    """Geo-replication latency: matrix base + lognormal jitter.
+
+    * client <-> collocated server: ``client_local_s``
+    * same DC, different node:      ``intra_dc_s``
+    * different DCs:                ``inter_dc_s[src.dc][dst.dc]``
+
+    Jitter multiplies the base by ``exp(N(0, sigma))`` with sigma chosen so
+    the standard deviation of the multiplier is roughly ``jitter_ratio``.
+    The multiplicative form keeps latencies positive and gives the heavier
+    right tail seen in real WANs.
+    """
+
+    def __init__(self, config: LatencyConfig, rng: random.Random):
+        self._config = config
+        self._rng = rng
+        self._sigma = math.sqrt(math.log(1.0 + config.jitter_ratio**2))
+
+    @property
+    def config(self) -> LatencyConfig:
+        return self._config
+
+    def base_latency(self, src: Address, dst: Address) -> float:
+        """The jitter-free one-way latency between two endpoints."""
+        if src.dc == dst.dc:
+            if (
+                src.partition == dst.partition
+                and (src.is_client or dst.is_client)
+            ):
+                return self._config.client_local_s
+            return self._config.intra_dc_s
+        return self._config.inter_dc_s[src.dc][dst.dc]
+
+    def inter_dc_base(self, src_dc: ReplicaId, dst_dc: ReplicaId) -> float:
+        """Jitter-free one-way latency between two DCs."""
+        return self._config.inter_dc_s[src_dc][dst_dc]
+
+    def sample(self, src: Address, dst: Address) -> float:
+        base = self.base_latency(src, dst)
+        if self._sigma == 0.0 or base == 0.0:
+            return base
+        # lognormvariate(mu, sigma) with mu = -sigma^2/2 keeps E[mult] = 1.
+        mult = self._rng.lognormvariate(-0.5 * self._sigma**2, self._sigma)
+        return base * mult

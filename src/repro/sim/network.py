@@ -1,0 +1,170 @@
+"""The simulated message network: lossless, FIFO, point-to-point.
+
+The paper's system model (Section II-C) assumes "point to point lossless
+FIFO channels"; Proposition 3's correctness argument additionally relies on
+updates and heartbeats being *received* in timestamp order.  We guarantee
+FIFO per ordered endpoint pair by never letting a later send overtake an
+earlier one: the delivery time of a message is
+``max(previous delivery on this channel, now + sampled latency)``.
+
+The network also:
+
+* accounts messages and bytes per (src DC, dst DC) pair, which backs the
+  communication-overhead comparison between POCC and Cure*;
+* cooperates with :class:`repro.sim.faults.FaultInjector` to hold back
+  messages across partitioned DC pairs and flush them in order on heal
+  (partitions delay, they do not drop — the lossless assumption).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Protocol
+
+from repro.common.errors import SimulationError
+from repro.common.types import Address
+from repro.sim.engine import Simulator
+from repro.sim.latency import LatencyModel
+
+
+class Endpoint(Protocol):
+    """Anything that can be attached to the network."""
+
+    @property
+    def address(self) -> Address: ...
+
+    def on_message(self, msg: Any) -> None: ...
+
+
+class NetworkStats:
+    """Message/byte accounting, exposed on :class:`Network`."""
+
+    __slots__ = ("messages_sent", "bytes_sent", "per_dc_pair_bytes",
+                 "messages_delivered", "messages_held")
+
+    def __init__(self) -> None:
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.messages_held = 0
+        self.bytes_sent = 0
+        self.per_dc_pair_bytes: dict[tuple[int, int], int] = {}
+
+    def record_send(self, src_dc: int, dst_dc: int, size: int) -> None:
+        self.messages_sent += 1
+        self.bytes_sent += size
+        pair = (src_dc, dst_dc)
+        self.per_dc_pair_bytes[pair] = self.per_dc_pair_bytes.get(pair, 0) + size
+
+    def inter_dc_bytes(self) -> int:
+        """Bytes that crossed a DC boundary (the expensive WAN traffic)."""
+        return sum(
+            size for (src, dst), size in self.per_dc_pair_bytes.items()
+            if src != dst
+        )
+
+
+class Network:
+    """Delivers messages between registered endpoints.
+
+    Messages may define ``size_bytes()`` for byte accounting; anything else
+    is counted with a nominal fallback size.
+    """
+
+    _FALLBACK_SIZE = 64
+
+    def __init__(self, sim: Simulator, latency_model: LatencyModel):
+        self._sim = sim
+        self._latency = latency_model
+        self._endpoints: dict[Address, Endpoint] = {}
+        # FIFO enforcement: last scheduled delivery time per channel.
+        self._last_delivery: dict[tuple[Address, Address], float] = {}
+        # DC pairs currently partitioned (directed), and held messages.
+        self._blocked_pairs: set[tuple[int, int]] = set()
+        self._held: dict[tuple[int, int], deque] = {}
+        self.stats = NetworkStats()
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register(self, endpoint: Endpoint) -> None:
+        addr = endpoint.address
+        if addr in self._endpoints:
+            raise SimulationError(f"duplicate endpoint registration: {addr}")
+        self._endpoints[addr] = endpoint
+
+    def endpoint(self, address: Address) -> Endpoint:
+        try:
+            return self._endpoints[address]
+        except KeyError:
+            raise SimulationError(f"no endpoint registered at {address}") from None
+
+    @property
+    def endpoints(self) -> dict[Address, Endpoint]:
+        return dict(self._endpoints)
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def send(self, src: Address, dst: Address, msg: Any) -> None:
+        """Send ``msg`` from ``src`` to ``dst`` (both must be registered).
+
+        Delivery is asynchronous: ``dst.on_message(msg)`` fires later in
+        simulated time, respecting per-channel FIFO order.
+        """
+        if dst not in self._endpoints:
+            raise SimulationError(f"no endpoint registered at {dst}")
+        size = self._message_size(msg)
+        self.stats.record_send(src.dc, dst.dc, size)
+        pair = (src.dc, dst.dc)
+        if pair in self._blocked_pairs:
+            # Held until the partition heals; FIFO preserved by the deque.
+            self.stats.messages_held += 1
+            self._held.setdefault(pair, deque()).append((src, dst, msg))
+            return
+        self._schedule_delivery(src, dst, msg)
+
+    def _schedule_delivery(self, src: Address, dst: Address, msg: Any) -> None:
+        latency = self._latency.sample(src, dst)
+        channel = (src, dst)
+        deliver_at = self._sim.now + latency
+        previous = self._last_delivery.get(channel, 0.0)
+        if deliver_at < previous:
+            deliver_at = previous  # FIFO: never overtake an earlier message
+        self._last_delivery[channel] = deliver_at
+        self._sim.schedule_at(deliver_at, self._deliver, dst, msg)
+
+    def _deliver(self, dst: Address, msg: Any) -> None:
+        endpoint = self._endpoints.get(dst)
+        if endpoint is None:  # endpoint dismantled mid-flight; drop silently
+            return
+        self.stats.messages_delivered += 1
+        endpoint.on_message(msg)
+
+    def _message_size(self, msg: Any) -> int:
+        size_fn = getattr(msg, "size_bytes", None)
+        if size_fn is None:
+            return self._FALLBACK_SIZE
+        return size_fn()
+
+    # ------------------------------------------------------------------
+    # Partition control (driven by FaultInjector)
+    # ------------------------------------------------------------------
+    def block_dc_pair(self, src_dc: int, dst_dc: int) -> None:
+        """Hold all traffic sent from ``src_dc`` to ``dst_dc``."""
+        self._blocked_pairs.add((src_dc, dst_dc))
+
+    def unblock_dc_pair(self, src_dc: int, dst_dc: int) -> None:
+        """Resume traffic and flush held messages in their send order."""
+        self._blocked_pairs.discard((src_dc, dst_dc))
+        held = self._held.pop((src_dc, dst_dc), None)
+        if not held:
+            return
+        for src, dst, msg in held:
+            self._schedule_delivery(src, dst, msg)
+
+    def is_blocked(self, src_dc: int, dst_dc: int) -> bool:
+        return (src_dc, dst_dc) in self._blocked_pairs
+
+    @property
+    def held_message_count(self) -> int:
+        return sum(len(q) for q in self._held.values())

@@ -1,0 +1,171 @@
+"""Generator-based processes on top of the event heap (SimPy-flavoured).
+
+The protocol servers are written in callback style for speed, but tests and
+examples read better as sequential coroutines::
+
+    def client(env):
+        yield env.timeout(1.0)
+        gate = Gate(env)
+        server.request(reply_to=gate.trigger)
+        result = yield gate
+        ...
+
+    env = Environment(sim)
+    env.process(client(env))
+    sim.run()
+
+A process yields *waitables* (:class:`Timeout`, :class:`Gate`, or another
+:class:`Process`) and resumes with the waitable's value once it fires.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Iterable
+
+from repro.common.errors import SimulationError
+from repro.sim.engine import Simulator
+
+
+class _Waitable:
+    """Base: something a process can yield on."""
+
+    __slots__ = ("_env", "_callbacks", "_fired", "value")
+
+    def __init__(self, env: "Environment"):
+        self._env = env
+        self._callbacks: list = []
+        self._fired = False
+        self.value: Any = None
+
+    @property
+    def fired(self) -> bool:
+        return self._fired
+
+    def _add_callback(self, callback) -> None:
+        if self._fired:
+            # Fire on the next event-loop tick to preserve run-to-completion.
+            self._env.sim.schedule(0.0, callback, self)
+        else:
+            self._callbacks.append(callback)
+
+    def _fire(self, value: Any = None) -> None:
+        if self._fired:
+            return
+        self._fired = True
+        self.value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+
+class Timeout(_Waitable):
+    """Fires after a fixed simulated delay."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        super().__init__(env)
+        env.sim.schedule(delay, self._fire, value)
+
+
+class Gate(_Waitable):
+    """An externally triggered event — bridge from callback code.
+
+    Pass ``gate.trigger`` wherever a completion callback is expected.
+    """
+
+    __slots__ = ()
+
+    def trigger(self, value: Any = None) -> None:
+        """Open the gate, waking every process waiting on it."""
+        self._fire(value)
+
+
+class AllOf(_Waitable):
+    """Fires when all child waitables have fired; value = list of values."""
+
+    __slots__ = ("_children", "_remaining")
+
+    def __init__(self, env: "Environment", children: Iterable[_Waitable]):
+        super().__init__(env)
+        self._children = list(children)
+        self._remaining = len(self._children)
+        if self._remaining == 0:
+            self._fire([])
+            return
+        for child in self._children:
+            child._add_callback(self._child_fired)
+
+    def _child_fired(self, _child: _Waitable) -> None:
+        self._remaining -= 1
+        if self._remaining == 0:
+            self._fire([c.value for c in self._children])
+
+
+class AnyOf(_Waitable):
+    """Fires when the first child fires; value = (index, value)."""
+
+    __slots__ = ("_children",)
+
+    def __init__(self, env: "Environment", children: Iterable[_Waitable]):
+        super().__init__(env)
+        self._children = list(children)
+        if not self._children:
+            raise SimulationError("AnyOf needs at least one waitable")
+        for i, child in enumerate(self._children):
+            child._add_callback(lambda c, i=i: self._fire((i, c.value)))
+
+
+class Process(_Waitable):
+    """Drives a generator; itself waitable (fires on generator return)."""
+
+    __slots__ = ("_generator",)
+
+    def __init__(self, env: "Environment", generator: Generator):
+        super().__init__(env)
+        self._generator = generator
+        # Start on the next tick so the creator finishes its own step first.
+        env.sim.schedule(0.0, self._advance, None)
+
+    def _advance(self, fired: _Waitable | None) -> None:
+        value = fired.value if fired is not None else None
+        try:
+            target = self._generator.send(value)
+        except StopIteration as stop:
+            self._fire(stop.value)
+            return
+        if not isinstance(target, _Waitable):
+            raise SimulationError(
+                f"process yielded {target!r}; expected a Timeout/Gate/Process"
+            )
+        target._add_callback(self._advance)
+
+
+class Environment:
+    """Factory for processes and waitables bound to one simulator."""
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    def process(self, generator: Generator) -> Process:
+        """Launch a generator as a process."""
+        return Process(self, generator)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def gate(self) -> Gate:
+        return Gate(self)
+
+    def all_of(self, waitables: Iterable[_Waitable]) -> AllOf:
+        return AllOf(self, waitables)
+
+    def any_of(self, waitables: Iterable[_Waitable]) -> AnyOf:
+        return AnyOf(self, waitables)
+
+    def run(self, until: float | None = None) -> None:
+        self.sim.run(until=until)

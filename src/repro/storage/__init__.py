@@ -1,0 +1,21 @@
+"""Multiversion key-value storage.
+
+Section IV-A's item metadata: a version is the tuple ⟨k, v, sr, ut, dv⟩.
+Versions of a key form a chain ordered by the last-writer-wins total order
+(highest update time wins; ties broken by lowest source replica).  The
+partition store holds one chain per key and implements the transaction-aware
+garbage collection rule of Section IV-B.
+"""
+
+from repro.storage.chain import VersionChain
+from repro.storage.gc import GcStats, collect_chain
+from repro.storage.store import PartitionStore
+from repro.storage.version import Version
+
+__all__ = [
+    "GcStats",
+    "PartitionStore",
+    "Version",
+    "VersionChain",
+    "collect_chain",
+]

@@ -1,0 +1,109 @@
+"""Per-key version chains ordered by the last-writer-wins total order.
+
+The chain is kept sorted with the *freshest* version first, so the common
+POCC read — "the version with the highest update timestamp" (Algorithm 2
+line 3) — is O(1), while the pessimistic read scans from the head until it
+finds a visible version, paying per scanned version (the cost asymmetry the
+paper measures).
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from typing import Callable, Iterator
+
+from repro.storage.version import Version
+
+
+class _ChainEntry:
+    """Sort adapter: orders descending by the LWW order key."""
+
+    __slots__ = ("version", "_sort_key")
+
+    def __init__(self, version: Version):
+        self.version = version
+        order = version.order_key
+        # Negate so that bisect's ascending order puts the freshest first.
+        self._sort_key = (-order[0], -order[1])
+
+    def __lt__(self, other: "_ChainEntry") -> bool:
+        return self._sort_key < other._sort_key
+
+
+class VersionChain:
+    """All locally known versions of one key, freshest first."""
+
+    __slots__ = ("_entries",)
+
+    def __init__(self) -> None:
+        self._entries: list[_ChainEntry] = []
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def insert(self, version: Version) -> None:
+        """Insert a version, maintaining LWW order.
+
+        Replication channels are FIFO so versions from one replica arrive
+        in order, but versions from *different* replicas interleave
+        arbitrarily — hence the general sorted insert.
+        """
+        entry = _ChainEntry(version)
+        entries = self._entries
+        # Fast path: newer than the current head (the overwhelmingly common
+        # case because updates are propagated in timestamp order).
+        if not entries or entry < entries[0]:
+            entries.insert(0, entry)
+        else:
+            insort(entries, entry)
+
+    def truncate_to(self, keep: list[Version]) -> None:
+        """Replace contents (GC helper); ``keep`` must already be ordered."""
+        self._entries = [_ChainEntry(v) for v in keep]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def head(self) -> Version | None:
+        """The freshest version (what POCC's GET returns), or None."""
+        return self._entries[0].version if self._entries else None
+
+    def find_freshest(
+        self, visible: Callable[[Version], bool]
+    ) -> tuple[Version | None, int]:
+        """Freshest version satisfying ``visible``; also returns how many
+        versions were scanned (the chain-traversal cost the pessimistic
+        protocol pays)."""
+        for scanned, entry in enumerate(self._entries, start=1):
+            if visible(entry.version):
+                return entry.version, scanned
+        return None, len(self._entries)
+
+    def versions_newer_than(self, version: Version) -> int:
+        """How many chain versions are fresher than ``version``.
+
+        This is the "# Fresher vers." statistic of Figure 2b: a returned
+        item is *old* iff this count is positive.
+        """
+        target = version.order_key
+        count = 0
+        for entry in self._entries:
+            if entry.version.order_key > target:
+                count += 1
+            else:
+                break
+        return count
+
+    def count_matching(self, predicate: Callable[[Version], bool]) -> int:
+        """Number of chain versions satisfying ``predicate``."""
+        return sum(1 for entry in self._entries if predicate(entry.version))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[Version]:
+        """Iterate freshest-to-oldest."""
+        return (entry.version for entry in self._entries)
+
+    def __repr__(self) -> str:
+        return f"VersionChain(len={len(self._entries)})"

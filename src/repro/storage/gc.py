@@ -1,0 +1,65 @@
+"""Garbage collection of old versions (Section IV-B, "Garbage collection").
+
+The rule: given the garbage-collection vector ``GV`` (the aggregate minimum
+of the snapshot vectors of active transactions across the DC, or of version
+vectors when no transaction runs), each server scans every chain in
+descending timestamp order and *retains up to and including the first
+version whose dependency cut is covered by GV* — i.e. the oldest version
+that a currently running (or future) transaction with snapshot >= GV could
+still need — removing everything older.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.clocks.vector import vec_leq
+from repro.common.types import Micros
+from repro.storage.chain import VersionChain
+from repro.storage.version import Version
+
+
+@dataclass(slots=True)
+class GcStats:
+    """Counters accumulated across GC rounds."""
+
+    rounds: int = 0
+    versions_removed: int = 0
+    chains_scanned: int = 0
+    last_gv: list[Micros] = field(default_factory=list)
+
+
+def collect_chain_by(
+    chain: VersionChain, covered: Callable[[Version], bool]
+) -> int:
+    """Apply the retention rule with an arbitrary coverage predicate.
+
+    Walking freshest-to-oldest, every version is kept until (and including)
+    the first *covered* one; older versions are dropped.  The chain never
+    becomes empty: if no version is covered, everything is retained (a
+    conservative, safe outcome while the garbage horizon lags).
+
+    The vector-clock protocols cover a version once its dependency cut is
+    inside the garbage vector; the scalar-clock protocol (GentleRain*)
+    covers it once its timestamp is below the stable time.
+    """
+    keep = []
+    removed = 0
+    found_covered = False
+    for version in chain:
+        if found_covered:
+            removed += 1
+            continue
+        keep.append(version)
+        if covered(version):
+            found_covered = True
+    if removed:
+        chain.truncate_to(keep)
+    return removed
+
+
+def collect_chain(chain: VersionChain, gv: Sequence[Micros]) -> int:
+    """The paper's retention rule: keep up to the first version whose
+    dependency vector is covered by GV (Section IV-B)."""
+    return collect_chain_by(chain, lambda version: vec_leq(version.dv, gv))

@@ -1,0 +1,76 @@
+"""The item-version record: the paper's tuple ⟨k, v, sr, ut, dv⟩."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.common.types import Micros, ReplicaId, version_order_key
+
+
+class Version:
+    """One immutable version of a key (Section IV-A, "Item").
+
+    Attributes map one-to-one onto the paper's metadata:
+
+    * ``key`` — the key this is a version of;
+    * ``value`` — the stored value (opaque to the protocol);
+    * ``sr`` — source replica: the DC where the version was created;
+    * ``ut`` — update time: physical timestamp at the source replica;
+    * ``dv`` — dependency vector: ``dv[i]`` is the update time of the
+      newest item from DC *i* this version potentially depends on.
+
+    ``optimistic`` is HA-POCC bookkeeping (Section IV-C): versions written
+    by optimistic sessions may depend on items that are not yet stable, so
+    pessimistic sessions may only see them once stable.  Plain POCC/Cure*
+    ignore the flag.
+    """
+
+    __slots__ = ("key", "value", "sr", "ut", "dv", "optimistic")
+
+    def __init__(
+        self,
+        key: Any,
+        value: Any,
+        sr: ReplicaId,
+        ut: Micros,
+        dv: Sequence[Micros],
+        optimistic: bool = True,
+    ):
+        self.key = key
+        self.value = value
+        self.sr = sr
+        self.ut = ut
+        self.dv = tuple(dv)
+        self.optimistic = optimistic
+
+    @property
+    def order_key(self) -> tuple[int, int]:
+        """Position in the last-writer-wins total order (greater = later)."""
+        return version_order_key(self.ut, self.sr)
+
+    def commit_vector(self) -> list[Micros]:
+        """The vector that must be covered for this version to be *stable*.
+
+        Entry ``sr`` carries the version's own update time, the remaining
+        entries carry its dependency cut.  A DC that has received everything
+        up to this vector has received the version *and* all its (potential)
+        dependencies — the visibility test used by the pessimistic protocol.
+        """
+        vec = list(self.dv)
+        if vec[self.sr] < self.ut:
+            vec[self.sr] = self.ut
+        return vec
+
+    def identity(self) -> tuple[Any, ReplicaId, Micros]:
+        """A globally unique id: (key, source replica, update time).
+
+        Unique because update times are strictly monotonic per node and a
+        key lives on a single partition of each DC.
+        """
+        return (self.key, self.sr, self.ut)
+
+    def __repr__(self) -> str:
+        return (
+            f"Version(key={self.key!r}, value={self.value!r}, sr={self.sr}, "
+            f"ut={self.ut}, dv={list(self.dv)})"
+        )

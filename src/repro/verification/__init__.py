@@ -1,0 +1,38 @@
+"""Independent consistency verification.
+
+The checker tracks *precise* per-key causal pasts from observed reads-from
+and program-order relationships — deliberately ignoring the protocols' own
+vector metadata — and flags:
+
+* **causal GET violations**: a read returned a version older (in the
+  last-writer-wins order) than a version of the same key in the client's
+  causal past (the obligation of the paper's Proposition 3);
+* **transactional snapshot violations**: a RO-TX returned items X and Y
+  with an intermediate version X' (X ⇝ X' ⇝ Y) that the snapshot skipped
+  (the obligation of Proposition 4);
+* **divergence**: after replication quiesces, replicas disagree on the
+  last-writer-wins winner of some key (broken convergent conflict
+  handling).
+
+POCC and Cure* histories must pass all checks; the ``eventual`` strawman
+protocol exists to show the checker actually fails unsafe systems.
+"""
+
+from repro.verification.checker import CausalChecker, Violation
+from repro.verification.convergence import check_convergence
+from repro.verification.history import (
+    History,
+    ReadEvent,
+    TxReadEvent,
+    WriteEvent,
+)
+
+__all__ = [
+    "CausalChecker",
+    "History",
+    "ReadEvent",
+    "TxReadEvent",
+    "Violation",
+    "WriteEvent",
+    "check_convergence",
+]

@@ -1,0 +1,207 @@
+"""The online causal-consistency checker.
+
+The checker maintains, independently of any protocol metadata:
+
+* per client, the **precise causal past**: for every key, the newest
+  version (in LWW order) the client's history causally depends on —
+  accumulated through program order and reads-from edges;
+* per written version, the writer's causal past at write time (versions in
+  a closed loop complete before the next operation is issued, so the past
+  at reply time equals the past at issue time).
+
+On every read it asserts the returned version is not older than the
+client's causal-past version of that key; on every transactional read it
+additionally asserts snapshot closure: no returned item may causally depend
+on a fresher version of another returned key than the one the snapshot
+returned.
+
+One documented blind spot: if a read returns a version whose *writer's*
+reply has not been processed yet (possible only within one client-to-server
+round trip, i.e. microseconds of local latency vs. tens of milliseconds of
+WAN replication), the version's dependency map is not registered yet and the
+checker treats it as dependency-free for transitive tracking.  The direct
+per-key check still applies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ReproError
+from repro.verification.history import (
+    History,
+    ReadEvent,
+    TxReadEvent,
+    VersionId,
+    WriteEvent,
+    order_of,
+)
+
+#: Violation kinds.
+CAUSAL_GET = "causal_get"
+TX_CAUSAL = "tx_causal"
+TX_SNAPSHOT = "tx_snapshot"
+
+
+@dataclass(frozen=True, slots=True)
+class Violation:
+    """One detected consistency violation."""
+
+    kind: str
+    client: str
+    key: str
+    expected_at_least: VersionId
+    got: VersionId
+    time_s: float
+
+    def describe(self) -> str:
+        return (
+            f"[{self.kind}] t={self.time_s:.6f}s client={self.client} "
+            f"key={self.key}: returned {self.got}, but causal history "
+            f"requires at least {self.expected_at_least}"
+        )
+
+
+class CausalChecker:
+    """Feeds on completed operations; accumulates violations."""
+
+    def __init__(self, record_history: bool = False):
+        # version id -> writer's precise causal past (key -> version id).
+        self._deps: dict[VersionId, dict[str, VersionId]] = {}
+        # client -> precise causal past (key -> version id).
+        self._past: dict[str, dict[str, VersionId]] = {}
+        self.violations: list[Violation] = []
+        self.reads_checked = 0
+        self.tx_reads_checked = 0
+        self.writes_seen = 0
+        self.unknown_dependency_reads = 0
+        self.history = History() if record_history else None
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register_client(self, client: str) -> None:
+        if client in self._past:
+            raise ReproError(f"client {client} registered twice")
+        self._past[client] = {}
+
+    def _past_of(self, client: str) -> dict[str, VersionId]:
+        try:
+            return self._past[client]
+        except KeyError:
+            raise ReproError(f"client {client} never registered") from None
+
+    # ------------------------------------------------------------------
+    # Event hooks
+    # ------------------------------------------------------------------
+    def on_read(
+        self, client: str, key: str, vid: VersionId, time_s: float
+    ) -> None:
+        """A completed GET returning version ``vid`` of ``key``."""
+        self.reads_checked += 1
+        past = self._past_of(client)
+        self._check_read(CAUSAL_GET, client, key, vid, past, time_s)
+        self._absorb(past, key, vid)
+        if self.history is not None:
+            self.history.append(ReadEvent(client, key, vid, time_s))
+
+    def on_write(
+        self, client: str, key: str, vid: VersionId, time_s: float
+    ) -> None:
+        """A completed PUT that created version ``vid`` of ``key``."""
+        self.writes_seen += 1
+        past = self._past_of(client)
+        # The new version's causal past is the writer's, frozen now.
+        self._deps[vid] = dict(past)
+        past[key] = vid
+        if self.history is not None:
+            self.history.append(WriteEvent(client, key, vid, time_s))
+
+    def on_tx_read(
+        self,
+        client: str,
+        items: list[tuple[str, VersionId]],
+        time_s: float,
+    ) -> None:
+        """A completed RO-TX returning the snapshot ``items``."""
+        self.tx_reads_checked += 1
+        past = self._past_of(client)
+        snapshot = dict(items)
+        # (a) every item must respect the client's causal history.
+        for key, vid in items:
+            self._check_read(TX_CAUSAL, client, key, vid, past, time_s)
+        # (b) snapshot closure (Proposition 4): for returned items X, Y
+        # with X -> X' -> Y, the snapshot's version of X's key must be at
+        # least X'.
+        for key, vid in items:
+            deps = self._deps.get(vid)
+            if deps is None:
+                continue
+            for other_key, returned in snapshot.items():
+                needed = deps.get(other_key)
+                if needed is not None and order_of(needed) > order_of(returned):
+                    self.violations.append(Violation(
+                        kind=TX_SNAPSHOT, client=client, key=other_key,
+                        expected_at_least=needed, got=returned,
+                        time_s=time_s,
+                    ))
+        for key, vid in items:
+            self._absorb(past, key, vid)
+        if self.history is not None:
+            self.history.append(TxReadEvent(client, tuple(items), time_s))
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _check_read(
+        self,
+        kind: str,
+        client: str,
+        key: str,
+        vid: VersionId,
+        past: dict[str, VersionId],
+        time_s: float,
+    ) -> None:
+        expected = past.get(key)
+        if expected is not None and order_of(expected) > order_of(vid):
+            self.violations.append(Violation(
+                kind=kind, client=client, key=key,
+                expected_at_least=expected, got=vid, time_s=time_s,
+            ))
+
+    def _absorb(
+        self, past: dict[str, VersionId], key: str, vid: VersionId
+    ) -> None:
+        """Fold a read version (and, transitively, its write-time causal
+        past) into the client's causal past."""
+        deps = self._deps.get(vid)
+        if deps is None:
+            if vid[2] > 0:  # not a preloaded version: writer reply in flight
+                self.unknown_dependency_reads += 1
+        else:
+            for dep_key, dep_vid in deps.items():
+                current = past.get(dep_key)
+                if current is None or order_of(dep_vid) > order_of(current):
+                    past[dep_key] = dep_vid
+        current = past.get(key)
+        if current is None or order_of(vid) > order_of(current):
+            past[key] = vid
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> dict[str, int]:
+        counts: dict[str, int] = {
+            "reads_checked": self.reads_checked,
+            "tx_reads_checked": self.tx_reads_checked,
+            "writes_seen": self.writes_seen,
+            "violations": len(self.violations),
+            "unknown_dependency_reads": self.unknown_dependency_reads,
+        }
+        for violation in self.violations:
+            counts[violation.kind] = counts.get(violation.kind, 0) + 1
+        return counts

@@ -1,0 +1,67 @@
+"""Operation history records.
+
+A *version id* is the tuple ``(key, source_replica, update_time)`` — unique
+because update timestamps are strictly monotonic per node and a key lives on
+one partition per DC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+# (key, source replica, update time)
+VersionId = tuple[str, int, int]
+
+
+def order_of(vid: VersionId) -> tuple[int, int]:
+    """Last-writer-wins order of a version id (greater = later)."""
+    return (vid[2], -vid[1])
+
+
+@dataclass(frozen=True, slots=True)
+class ReadEvent:
+    client: str
+    key: str
+    version: VersionId
+    time_s: float
+
+
+@dataclass(frozen=True, slots=True)
+class WriteEvent:
+    client: str
+    key: str
+    version: VersionId
+    time_s: float
+
+
+@dataclass(frozen=True, slots=True)
+class TxReadEvent:
+    client: str
+    items: tuple[tuple[str, VersionId], ...]
+    time_s: float
+
+
+@dataclass(slots=True)
+class History:
+    """An append-only log of completed operations, per session."""
+
+    events: list = field(default_factory=list)
+
+    def append(self, event) -> None:
+        self.events.append(event)
+
+    def by_client(self, client: str) -> Iterator:
+        return (e for e in self.events if e.client == client)
+
+    def reads(self) -> Iterator[ReadEvent]:
+        return (e for e in self.events if isinstance(e, ReadEvent))
+
+    def writes(self) -> Iterator[WriteEvent]:
+        return (e for e in self.events if isinstance(e, WriteEvent))
+
+    def tx_reads(self) -> Iterator[TxReadEvent]:
+        return (e for e in self.events if isinstance(e, TxReadEvent))
+
+    def __len__(self) -> int:
+        return len(self.events)

@@ -1,0 +1,26 @@
+"""Workload generation: key popularity, operation mixes, closed-loop clients.
+
+Section V-A/B: clients are collocated with servers and operate in a closed
+loop with 25 ms think time; keys are chosen per-partition from a zipf(0.99)
+distribution; the Get-Put workload issues N GETs on distinct partitions then
+one PUT on a uniformly random partition; the transactional workload issues a
+RO-TX spanning p distinct partitions then a random PUT.
+"""
+
+from repro.workload.driver import ClosedLoopClient
+from repro.workload.generators import (
+    GetPutWorkload,
+    OpSpec,
+    RoTxWorkload,
+    make_workload,
+)
+from repro.workload.zipf import ZipfGenerator
+
+__all__ = [
+    "ClosedLoopClient",
+    "GetPutWorkload",
+    "OpSpec",
+    "RoTxWorkload",
+    "ZipfGenerator",
+    "make_workload",
+]

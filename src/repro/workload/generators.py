@@ -1,0 +1,224 @@
+"""Operation generators for the paper's workload families.
+
+A generator produces :class:`OpSpec` records; the closed-loop driver turns
+them into protocol operations.  The first two follow Section V:
+
+* :class:`GetPutWorkload` — "a GET:PUT ratio of N:M means that each client
+  issues N consecutive GETs followed by one PUT.  Each GET operation targets
+  a different partition.  The PUT operation is issued against a key in a
+  partition chosen uniformly at random."
+* :class:`RoTxWorkload` — "each client first issues a RO-TX to read p items
+  corresponding to p distinct partitions, and then performs a random PUT."
+
+:class:`MixedWorkload` extends the family with an i.i.d. operation mix
+(read/write/transaction ratios, optional read-own-writes locality) so the
+production presets of :mod:`repro.workload.presets` — and YCSB-style
+mixes — can be expressed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.common.config import WorkloadConfig
+from repro.common.errors import ConfigError
+from repro.cluster.topology import KeyPools
+from repro.workload.keydist import ZipfRanks, make_rank_chooser
+
+
+@dataclass(frozen=True, slots=True)
+class OpSpec:
+    """One operation to issue: kind is "get", "put" or "ro_tx"."""
+
+    kind: str
+    keys: tuple[str, ...]
+
+    @property
+    def key(self) -> str:
+        return self.keys[0]
+
+
+class _PartitionKeyChooser:
+    """Shared helper: rank-sample a key inside a chosen partition."""
+
+    def __init__(
+        self,
+        pools: KeyPools,
+        theta: float,
+        rng: random.Random,
+        ranks=None,
+    ):
+        self._pools = pools
+        self._rng = rng
+        self._ranks = ranks or ZipfRanks(pools.keys_per_partition, theta, rng)
+        self.num_partitions = pools.topology.num_partitions
+
+    def key_in(self, partition: int) -> str:
+        return self._pools.key(partition, self._ranks.sample())
+
+    def uniform_partition(self) -> int:
+        return self._rng.randrange(self.num_partitions)
+
+
+class GetPutWorkload:
+    """N GETs on distinct partitions, then one uniform PUT, repeating."""
+
+    def __init__(
+        self,
+        pools: KeyPools,
+        gets_per_put: int,
+        zipf_theta: float,
+        rng: random.Random,
+        ranks=None,
+    ):
+        if gets_per_put < 0:
+            raise ConfigError("gets_per_put must be >= 0")
+        self._chooser = _PartitionKeyChooser(pools, zipf_theta, rng, ranks)
+        self._rng = rng
+        self.gets_per_put = gets_per_put
+        self._cycle_position = 0
+        # GETs walk distinct partitions starting from a random point, so
+        # concurrent clients do not hammer partition 0 in lock-step.
+        self._partition_cursor = rng.randrange(
+            self._chooser.num_partitions
+        )
+
+    def next_op(self) -> OpSpec:
+        if self._cycle_position < self.gets_per_put:
+            self._cycle_position += 1
+            partition = self._partition_cursor
+            self._partition_cursor = (
+                (self._partition_cursor + 1) % self._chooser.num_partitions
+            )
+            return OpSpec(kind="get", keys=(self._chooser.key_in(partition),))
+        self._cycle_position = 0
+        partition = self._chooser.uniform_partition()
+        return OpSpec(kind="put", keys=(self._chooser.key_in(partition),))
+
+
+class RoTxWorkload:
+    """One RO-TX over ``tx_partitions`` distinct partitions, then a PUT."""
+
+    def __init__(
+        self,
+        pools: KeyPools,
+        tx_partitions: int,
+        zipf_theta: float,
+        rng: random.Random,
+        ranks=None,
+    ):
+        chooser = _PartitionKeyChooser(pools, zipf_theta, rng, ranks)
+        if not 1 <= tx_partitions <= chooser.num_partitions:
+            raise ConfigError(
+                f"tx_partitions must be in [1, {chooser.num_partitions}]"
+            )
+        self._chooser = chooser
+        self._rng = rng
+        self.tx_partitions = tx_partitions
+        self._next_is_tx = True
+
+    def next_op(self) -> OpSpec:
+        if self._next_is_tx:
+            self._next_is_tx = False
+            partitions = self._rng.sample(
+                range(self._chooser.num_partitions), self.tx_partitions
+            )
+            keys = tuple(self._chooser.key_in(p) for p in partitions)
+            return OpSpec(kind="ro_tx", keys=keys)
+        self._next_is_tx = True
+        partition = self._chooser.uniform_partition()
+        return OpSpec(kind="put", keys=(self._chooser.key_in(partition),))
+
+
+class MixedWorkload:
+    """An i.i.d. operation mix: RO-TX / GET / PUT per configured ratios.
+
+    With probability ``rmw_locality`` a GET re-reads the key of the
+    client's most recent PUT instead of sampling a fresh key — the
+    read-own-writes pattern that exercises session guarantees without
+    changing the op mix.
+    """
+
+    def __init__(
+        self,
+        pools: KeyPools,
+        read_ratio: float,
+        tx_ratio: float,
+        tx_partitions: int,
+        rmw_locality: float,
+        zipf_theta: float,
+        rng: random.Random,
+        ranks=None,
+    ):
+        if not 0.0 <= read_ratio <= 1.0 or not 0.0 <= tx_ratio <= 1.0:
+            raise ConfigError("ratios must be in [0, 1]")
+        if read_ratio + tx_ratio > 1.0:
+            raise ConfigError("read_ratio + tx_ratio must be <= 1")
+        if not 0.0 <= rmw_locality <= 1.0:
+            raise ConfigError("rmw_locality must be in [0, 1]")
+        chooser = _PartitionKeyChooser(pools, zipf_theta, rng, ranks)
+        if not 1 <= tx_partitions <= chooser.num_partitions:
+            raise ConfigError(
+                f"tx_partitions must be in [1, {chooser.num_partitions}]"
+            )
+        self._chooser = chooser
+        self._rng = rng
+        self.read_ratio = read_ratio
+        self.tx_ratio = tx_ratio
+        self.tx_partitions = tx_partitions
+        self.rmw_locality = rmw_locality
+        self._last_put_key: str | None = None
+
+    def next_op(self) -> OpSpec:
+        draw = self._rng.random()
+        if draw < self.tx_ratio:
+            partitions = self._rng.sample(
+                range(self._chooser.num_partitions), self.tx_partitions
+            )
+            keys = tuple(self._chooser.key_in(p) for p in partitions)
+            return OpSpec(kind="ro_tx", keys=keys)
+        if draw < self.tx_ratio + self.read_ratio:
+            if (
+                self._last_put_key is not None
+                and self._rng.random() < self.rmw_locality
+            ):
+                return OpSpec(kind="get", keys=(self._last_put_key,))
+            partition = self._chooser.uniform_partition()
+            return OpSpec(kind="get", keys=(self._chooser.key_in(partition),))
+        partition = self._chooser.uniform_partition()
+        key = self._chooser.key_in(partition)
+        self._last_put_key = key
+        return OpSpec(kind="put", keys=(key,))
+
+
+def make_workload(
+    config: WorkloadConfig, pools: KeyPools, rng: random.Random
+):
+    """Instantiate the generator described by a :class:`WorkloadConfig`."""
+    ranks = make_rank_chooser(
+        config.key_distribution,
+        pools.keys_per_partition,
+        rng,
+        zipf_theta=config.zipf_theta,
+        hotspot_ops=config.hotspot_ops,
+        hotspot_keys=config.hotspot_keys,
+    )
+    if config.kind == "get_put":
+        return GetPutWorkload(pools, config.gets_per_put,
+                              config.zipf_theta, rng, ranks=ranks)
+    if config.kind == "ro_tx":
+        return RoTxWorkload(pools, config.tx_partitions,
+                            config.zipf_theta, rng, ranks=ranks)
+    if config.kind == "mixed":
+        return MixedWorkload(
+            pools,
+            read_ratio=config.read_ratio,
+            tx_ratio=config.tx_ratio,
+            tx_partitions=config.tx_partitions,
+            rmw_locality=config.rmw_locality,
+            zipf_theta=config.zipf_theta,
+            rng=rng,
+            ranks=ranks,
+        )
+    raise ConfigError(f"unknown workload kind {config.kind!r}")

@@ -1,0 +1,93 @@
+"""Key-popularity distributions beyond the paper's zipf(0.99).
+
+The paper samples keys "within each partition according to a zipf
+distribution with parameter 0.99" (Section V-A).  Real deployments are
+also characterized with uniform and hotspot shapes (YCSB's "hotspot"
+distribution: a fraction of operations targets a small fraction of the
+key space uniformly), so the workload layer accepts any of the three.
+
+All choosers return a key *rank* in ``[0, n)``; rank 0 is the most
+popular key of a partition.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.common.errors import ConfigError
+from repro.workload.zipf import ZipfGenerator
+
+
+class ZipfRanks:
+    """The paper's default: zipf(theta) over per-partition ranks."""
+
+    def __init__(self, n: int, theta: float, rng: random.Random):
+        self._zipf = ZipfGenerator(n, theta, rng)
+
+    def sample(self) -> int:
+        return self._zipf.sample()
+
+
+class UniformRanks:
+    """Every key equally likely (the no-skew control)."""
+
+    def __init__(self, n: int, rng: random.Random):
+        if n < 1:
+            raise ConfigError("need at least one key")
+        self._n = n
+        self._rng = rng
+
+    def sample(self) -> int:
+        return self._rng.randrange(self._n)
+
+
+class HotspotRanks:
+    """YCSB-style hotspot: ``hot_ops`` of traffic hits the ``hot_keys``
+    head of the ranking uniformly; the rest spreads over the tail."""
+
+    def __init__(
+        self,
+        n: int,
+        hot_ops: float,
+        hot_keys: float,
+        rng: random.Random,
+    ):
+        if n < 1:
+            raise ConfigError("need at least one key")
+        if not 0.0 < hot_ops <= 1.0:
+            raise ConfigError("hot_ops must be in (0, 1]")
+        if not 0.0 < hot_keys <= 1.0:
+            raise ConfigError("hot_keys must be in (0, 1]")
+        self._n = n
+        self._hot_ops = hot_ops
+        self._hot_count = max(1, int(n * hot_keys))
+        self._rng = rng
+
+    def sample(self) -> int:
+        if self._hot_count >= self._n:
+            return self._rng.randrange(self._n)
+        if self._rng.random() < self._hot_ops:
+            return self._rng.randrange(self._hot_count)
+        return self._rng.randrange(self._hot_count, self._n)
+
+
+def make_rank_chooser(
+    distribution: str,
+    n: int,
+    rng: random.Random,
+    *,
+    zipf_theta: float = 0.99,
+    hotspot_ops: float = 0.9,
+    hotspot_keys: float = 0.1,
+):
+    """Build the rank chooser named by ``distribution``."""
+    if distribution == "zipf":
+        return ZipfRanks(n, zipf_theta, rng)
+    if distribution == "uniform":
+        return UniformRanks(n, rng)
+    if distribution == "hotspot":
+        return HotspotRanks(n, hotspot_ops, hotspot_keys, rng)
+    raise ConfigError(
+        f"unknown key distribution {distribution!r}; "
+        "choose zipf, uniform or hotspot"
+    )

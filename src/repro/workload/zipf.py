@@ -1,0 +1,45 @@
+"""Zipfian rank sampling.
+
+The paper draws keys within each partition from a zipf distribution with
+parameter 0.99 (the YCSB default).  Rank probabilities are
+``P(rank=i) ∝ 1 / (i+1)^theta``; we precompute the CDF once per pool size
+and sample with binary search, which is exact and fast for the pool sizes
+the simulation uses.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+from repro.common.errors import ConfigError
+
+
+class ZipfGenerator:
+    """Samples 0-based ranks from a (truncated) zipf distribution."""
+
+    def __init__(self, num_items: int, theta: float, rng: random.Random):
+        if num_items < 1:
+            raise ConfigError("zipf needs at least one item")
+        if theta < 0:
+            raise ConfigError("zipf theta must be >= 0")
+        self.num_items = num_items
+        self.theta = theta
+        self._rng = rng
+        weights = 1.0 / np.power(np.arange(1, num_items + 1, dtype=float),
+                                 theta)
+        self._cdf = np.cumsum(weights)
+        self._cdf /= self._cdf[-1]
+
+    def sample(self) -> int:
+        """One rank in [0, num_items)."""
+        u = self._rng.random()
+        return int(np.searchsorted(self._cdf, u, side="left"))
+
+    def probability(self, rank: int) -> float:
+        """The probability mass of a given rank."""
+        if not 0 <= rank < self.num_items:
+            raise ConfigError(f"rank {rank} out of range")
+        lower = self._cdf[rank - 1] if rank > 0 else 0.0
+        return float(self._cdf[rank] - lower)

@@ -1,0 +1,68 @@
+"""Tests for the hybrid logical clock extension."""
+
+from repro.sim.engine import Simulator
+from repro.clocks.hlc import HybridLogicalClock
+from repro.clocks.physical import PhysicalClock
+
+
+def _hlc(offset_us=0):
+    sim = Simulator()
+    return sim, HybridLogicalClock(PhysicalClock(sim, offset_us=offset_us))
+
+
+def test_now_is_monotonic_at_fixed_instant():
+    _, hlc = _hlc()
+    readings = [hlc.now() for _ in range(100)]
+    assert all(b > a for a, b in zip(readings, readings[1:]))
+
+
+def test_logical_component_resets_when_physical_advances():
+    sim, hlc = _hlc()
+    for _ in range(5):
+        hlc.now()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    physical, logical = HybridLogicalClock.unpack(hlc.now())
+    assert logical == 0
+    assert physical >= 1_000_000
+
+
+def test_update_jumps_past_remote_timestamp():
+    _, hlc = _hlc()
+    remote = HybridLogicalClock._pack(50_000_000, 7)
+    merged = hlc.update(remote)
+    assert merged > remote
+    physical, logical = HybridLogicalClock.unpack(merged)
+    assert physical == 50_000_000
+    assert logical == 8
+
+
+def test_update_with_stale_remote_still_advances():
+    sim, hlc = _hlc()
+    local_before = hlc.now()
+    stale = HybridLogicalClock._pack(1, 0)
+    assert hlc.update(stale) > local_before
+
+
+def test_update_equal_physical_takes_max_logical():
+    _, hlc = _hlc()
+    t1 = hlc.now()
+    physical, logical = HybridLogicalClock.unpack(t1)
+    remote = HybridLogicalClock._pack(physical, logical + 10)
+    merged = hlc.update(remote)
+    _, merged_logical = HybridLogicalClock.unpack(merged)
+    assert merged_logical == logical + 11
+
+
+def test_pack_unpack_roundtrip():
+    packed = HybridLogicalClock._pack(123_456, 42)
+    assert HybridLogicalClock.unpack(packed) == (123_456, 42)
+
+
+def test_ordering_consistent_with_physical_time():
+    sim, hlc = _hlc()
+    early = hlc.now()
+    sim.schedule(2.0, lambda: None)
+    sim.run()
+    late = hlc.now()
+    assert late > early

@@ -1,0 +1,110 @@
+"""Tests for the skewed-but-monotonic physical clock."""
+
+import random
+
+import pytest
+
+from repro.common.config import ClockConfig
+from repro.common.errors import SimulationError
+from repro.sim.engine import Simulator
+from repro.clocks.physical import PhysicalClock
+
+
+def test_tracks_simulated_time_without_skew():
+    sim = Simulator()
+    clock = PhysicalClock(sim)
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    assert clock.micros() == pytest.approx(1_000_000, abs=2)
+
+
+def test_offset_shifts_reading():
+    sim = Simulator()
+    clock = PhysicalClock(sim, offset_us=500)
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    assert clock.micros() == pytest.approx(1_000_500, abs=2)
+
+
+def test_drift_scales_rate():
+    sim = Simulator()
+    clock = PhysicalClock(sim, drift_ppm=1000.0)  # exaggerated for the test
+    sim.schedule(10.0, lambda: None)
+    sim.run()
+    assert clock.micros() == pytest.approx(10_010_000, abs=5)
+
+
+def test_strictly_monotonic_at_same_instant():
+    sim = Simulator()
+    clock = PhysicalClock(sim)
+    readings = [clock.micros() for _ in range(100)]
+    assert all(b > a for a, b in zip(readings, readings[1:]))
+
+
+def test_monotonic_with_negative_offset_from_zero():
+    sim = Simulator()
+    clock = PhysicalClock(sim, offset_us=-100)
+    first = clock.micros()
+    second = clock.micros()
+    assert second > first
+
+
+def test_peek_does_not_bump():
+    sim = Simulator()
+    clock = PhysicalClock(sim)
+    clock.micros()
+    peek1 = clock.peek_micros()
+    peek2 = clock.peek_micros()
+    assert peek1 == peek2
+
+
+def test_peek_never_below_last_read():
+    sim = Simulator()
+    clock = PhysicalClock(sim)
+    forced = [clock.micros() for _ in range(50)][-1]
+    assert clock.peek_micros() >= forced
+
+
+def test_negative_rate_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        PhysicalClock(sim, drift_ppm=-2_000_000.0)
+
+
+def test_sim_time_when_inverts_reading():
+    sim = Simulator()
+    clock = PhysicalClock(sim, offset_us=250, drift_ppm=50.0)
+    target = 2_000_000
+    wake_at = clock.sim_time_when(target)
+    fired = []
+    sim.schedule_at(wake_at, lambda: fired.append(clock.micros()))
+    sim.run()
+    assert fired[0] > target
+
+
+def test_sim_time_when_never_in_past():
+    sim = Simulator()
+    clock = PhysicalClock(sim, offset_us=10_000)
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    assert clock.sim_time_when(5) == sim.now
+
+
+def test_sample_within_config_bounds():
+    sim = Simulator()
+    config = ClockConfig(max_offset_us=300, max_drift_ppm=10.0)
+    rng = random.Random(1)
+    for _ in range(50):
+        clock = PhysicalClock.sample(sim, config, rng)
+        assert -300 <= clock.offset_us <= 300
+        assert -10.0 <= clock.drift_ppm <= 10.0 + 1e-9
+
+
+def test_sampled_clocks_differ():
+    sim = Simulator()
+    rng = random.Random(1)
+    config = ClockConfig()
+    offsets = {
+        PhysicalClock.sample(sim, config, rng).offset_us for _ in range(20)
+    }
+    assert len(offsets) > 1

@@ -1,0 +1,179 @@
+"""Tests (incl. property-based) for vector-clock algebra."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import ProtocolError
+from repro.clocks.vector import (
+    VectorClock,
+    vec_aggregate_min,
+    vec_covers,
+    vec_leq,
+    vec_max,
+    vec_max_inplace,
+    vec_min,
+    vec_zero,
+)
+
+vectors = st.lists(st.integers(min_value=0, max_value=10**9),
+                   min_size=3, max_size=3)
+
+
+# ----------------------------------------------------------------------
+# Free functions
+# ----------------------------------------------------------------------
+
+
+def test_vec_zero():
+    assert vec_zero(3) == [0, 0, 0]
+
+
+def test_vec_max_and_min_basic():
+    assert vec_max([1, 5, 3], [2, 4, 3]) == [2, 5, 3]
+    assert vec_min([1, 5, 3], [2, 4, 3]) == [1, 4, 3]
+
+
+def test_vec_max_inplace_mutates_first():
+    a = [1, 5, 3]
+    vec_max_inplace(a, [2, 4, 9])
+    assert a == [2, 5, 9]
+
+
+def test_vec_leq():
+    assert vec_leq([1, 2, 3], [1, 2, 3])
+    assert vec_leq([0, 2, 3], [1, 2, 3])
+    assert not vec_leq([2, 2, 3], [1, 2, 3])
+
+
+def test_vec_covers_skips_entry():
+    vv = [10, 0, 10]
+    deps = [5, 99, 5]
+    assert vec_covers(vv, deps, skip=1)
+    assert not vec_covers(vv, deps, skip=0)
+    assert not vec_covers(vv, deps, skip=None)
+
+
+def test_vec_covers_without_skip_equals_leq():
+    assert vec_covers([3, 3, 3], [1, 2, 3], skip=None)
+    assert not vec_covers([3, 3, 2], [1, 2, 3], skip=None)
+
+
+def test_aggregate_min():
+    assert vec_aggregate_min([[3, 5, 1], [2, 9, 4], [7, 6, 0]]) == [2, 5, 0]
+
+
+def test_aggregate_min_single_vector():
+    assert vec_aggregate_min([[1, 2, 3]]) == [1, 2, 3]
+
+
+def test_aggregate_min_empty_rejected():
+    with pytest.raises(ProtocolError):
+        vec_aggregate_min([])
+
+
+def test_strict_zip_rejects_length_mismatch():
+    with pytest.raises(ValueError):
+        vec_max([1, 2], [1, 2, 3])
+
+
+@given(vectors, vectors)
+def test_vec_max_is_upper_bound(a, b):
+    merged = vec_max(a, b)
+    assert vec_leq(a, merged) and vec_leq(b, merged)
+
+
+@given(vectors, vectors)
+def test_vec_min_is_lower_bound(a, b):
+    met = vec_min(a, b)
+    assert vec_leq(met, a) and vec_leq(met, b)
+
+
+@given(vectors, vectors)
+def test_vec_max_commutative(a, b):
+    assert vec_max(a, b) == vec_max(b, a)
+
+
+@given(vectors, vectors, vectors)
+def test_vec_max_associative(a, b, c):
+    assert vec_max(vec_max(a, b), c) == vec_max(a, vec_max(b, c))
+
+
+@given(vectors)
+def test_vec_max_idempotent(a):
+    assert vec_max(a, a) == list(a)
+
+
+@given(vectors, vectors)
+def test_leq_antisymmetric(a, b):
+    if vec_leq(a, b) and vec_leq(b, a):
+        assert a == b
+
+
+@given(vectors, vectors, vectors)
+def test_leq_transitive(a, b, c):
+    if vec_leq(a, b) and vec_leq(b, c):
+        assert vec_leq(a, c)
+
+
+@given(st.lists(vectors, min_size=1, max_size=6))
+def test_aggregate_min_leq_every_input(vecs):
+    low = vec_aggregate_min(vecs)
+    for vec in vecs:
+        assert vec_leq(low, vec)
+
+
+# ----------------------------------------------------------------------
+# VectorClock wrapper
+# ----------------------------------------------------------------------
+
+
+def test_vectorclock_zero_and_access():
+    vc = VectorClock.zero(3)
+    assert len(vc) == 3
+    assert list(vc) == [0, 0, 0]
+    assert vc[1] == 0
+
+
+def test_vectorclock_rejects_negative():
+    with pytest.raises(ProtocolError):
+        VectorClock([1, -1, 0])
+
+
+def test_vectorclock_merge_meet():
+    a = VectorClock([1, 5, 3])
+    b = VectorClock([2, 4, 3])
+    assert a.merge(b) == VectorClock([2, 5, 3])
+    assert a.meet(b) == VectorClock([1, 4, 3])
+
+
+def test_vectorclock_partial_order():
+    low = VectorClock([1, 1, 1])
+    high = VectorClock([2, 2, 2])
+    incomparable = VectorClock([0, 9, 0])
+    assert low < high and high > low
+    assert low <= low and not low < low
+    assert incomparable.concurrent_with(low)
+    assert not incomparable.concurrent_with(incomparable)
+
+
+def test_vectorclock_advanced():
+    vc = VectorClock([1, 2, 3])
+    assert vc.advanced(0, 5) == VectorClock([5, 2, 3])
+    assert vc.advanced(0, 1) is vc  # no-op returns self
+
+
+def test_vectorclock_hash_eq():
+    assert hash(VectorClock([1, 2, 3])) == hash(VectorClock([1, 2, 3]))
+    assert VectorClock([1, 2, 3]) != VectorClock([1, 2, 4])
+    assert VectorClock([1, 2, 3]) != "not-a-clock"
+
+
+def test_vectorclock_length_mismatch_rejected():
+    with pytest.raises(ProtocolError):
+        VectorClock([1, 2]).merge(VectorClock([1, 2, 3]))
+
+
+@given(vectors, vectors)
+def test_wrapper_merge_matches_free_function(a, b):
+    assert list(VectorClock(a).merge(VectorClock(b))) == vec_max(a, b)

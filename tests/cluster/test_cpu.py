@@ -1,0 +1,117 @@
+"""Tests for the per-node CPU scheduler."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.sim.engine import Simulator
+from repro.cluster.cpu import CpuScheduler
+
+
+def test_single_job_runs_after_service_time():
+    sim = Simulator()
+    cpu = CpuScheduler(sim, cores=1)
+    done = []
+    cpu.submit(0.5, lambda: done.append(sim.now))
+    sim.run()
+    assert done == [0.5]
+
+
+def test_jobs_queue_fifo_on_one_core():
+    sim = Simulator()
+    cpu = CpuScheduler(sim, cores=1)
+    done = []
+    for name in ("a", "b", "c"):
+        cpu.submit(1.0, lambda n=name: done.append((sim.now, n)))
+    sim.run()
+    assert done == [(1.0, "a"), (2.0, "b"), (3.0, "c")]
+
+
+def test_two_cores_run_in_parallel():
+    sim = Simulator()
+    cpu = CpuScheduler(sim, cores=2)
+    done = []
+    for name in ("a", "b", "c"):
+        cpu.submit(1.0, lambda n=name: done.append((sim.now, n)))
+    sim.run()
+    assert done == [(1.0, "a"), (1.0, "b"), (2.0, "c")]
+
+
+def test_queue_length_and_busy_cores():
+    sim = Simulator()
+    cpu = CpuScheduler(sim, cores=1)
+    cpu.submit(1.0, lambda: None)
+    cpu.submit(1.0, lambda: None)
+    assert cpu.busy_cores == 1
+    assert cpu.queue_length == 1
+    sim.run()
+    assert cpu.busy_cores == 0
+    assert cpu.queue_length == 0
+
+
+def test_jobs_submitted_by_jobs_run():
+    sim = Simulator()
+    cpu = CpuScheduler(sim, cores=1)
+    done = []
+
+    def second():
+        done.append(("second", sim.now))
+
+    def first():
+        done.append(("first", sim.now))
+        cpu.submit(0.5, second)
+
+    cpu.submit(1.0, first)
+    sim.run()
+    assert done == [("first", 1.0), ("second", 1.5)]
+
+
+def test_zero_service_time_still_asynchronous():
+    sim = Simulator()
+    cpu = CpuScheduler(sim, cores=1)
+    done = []
+    cpu.submit(0.0, lambda: done.append(sim.now))
+    assert done == []  # runs inside the event loop, not synchronously
+    sim.run()
+    assert done == [0.0]
+
+
+def test_negative_service_time_rejected():
+    cpu = CpuScheduler(Simulator(), cores=1)
+    with pytest.raises(SimulationError):
+        cpu.submit(-0.1, lambda: None)
+
+
+def test_zero_cores_rejected():
+    with pytest.raises(SimulationError):
+        CpuScheduler(Simulator(), cores=0)
+
+
+def test_busy_time_and_utilization():
+    sim = Simulator()
+    cpu = CpuScheduler(sim, cores=2)
+    for _ in range(4):
+        cpu.submit(1.0, lambda: None)
+    sim.run()
+    # 4 seconds of work over 2 seconds of wall on 2 cores = fully busy.
+    assert cpu.busy_time_s == pytest.approx(4.0)
+    assert cpu.utilization() == pytest.approx(1.0)
+    assert cpu.jobs_completed == 4
+
+
+def test_utilization_with_idle_time():
+    sim = Simulator()
+    cpu = CpuScheduler(sim, cores=1)
+    cpu.submit(1.0, lambda: None)
+    sim.schedule(4.0, lambda: None)  # extend the run
+    sim.run()
+    assert cpu.utilization() == pytest.approx(0.25)
+
+
+def test_queue_wait_accounting():
+    sim = Simulator()
+    cpu = CpuScheduler(sim, cores=1)
+    cpu.submit(1.0, lambda: None)
+    cpu.submit(1.0, lambda: None)  # waits 1s
+    cpu.submit(1.0, lambda: None)  # waits 2s
+    sim.run()
+    assert cpu.queue_wait_s == pytest.approx(3.0)

@@ -1,0 +1,107 @@
+"""Tests for the two-class priority CPU scheduler."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.sim.engine import Simulator
+from repro.cluster.cpu import BACKGROUND, FOREGROUND, CpuScheduler
+
+
+def test_foreground_preempts_queued_background():
+    sim = Simulator()
+    cpu = CpuScheduler(sim, cores=1)
+    order = []
+    cpu.submit(1.0, order.append, "running")          # occupies the core
+    cpu.submit(1.0, order.append, "bg", priority=BACKGROUND)
+    cpu.submit(1.0, order.append, "fg", priority=FOREGROUND)
+    sim.run()
+    assert order == ["running", "fg", "bg"]
+
+
+def test_background_runs_when_no_foreground_waits():
+    sim = Simulator()
+    cpu = CpuScheduler(sim, cores=1)
+    order = []
+    cpu.submit(1.0, order.append, "running")
+    cpu.submit(1.0, order.append, "bg", priority=BACKGROUND)
+    sim.run()
+    assert order == ["running", "bg"]
+
+
+def test_background_class_is_fifo_internally():
+    sim = Simulator()
+    cpu = CpuScheduler(sim, cores=1)
+    order = []
+    cpu.submit(1.0, order.append, "running")
+    for i in range(3):
+        cpu.submit(0.5, order.append, f"bg{i}", priority=BACKGROUND)
+    sim.run()
+    assert order == ["running", "bg0", "bg1", "bg2"]
+
+
+def test_started_background_job_is_not_preempted():
+    sim = Simulator()
+    cpu = CpuScheduler(sim, cores=1)
+    done = []
+    cpu.submit(2.0, lambda: done.append(("bg", sim.now)),
+               priority=BACKGROUND)
+    sim.schedule(0.5, cpu.submit, 1.0,
+                 lambda: done.append(("fg", sim.now)))
+    sim.run()
+    # The background job started at t=0 and runs to completion at t=2.
+    assert done == [("bg", 2.0), ("fg", 3.0)]
+
+
+def test_sustained_foreground_starves_background():
+    sim = Simulator()
+    cpu = CpuScheduler(sim, cores=1)
+    done = []
+    cpu.submit(0.5, lambda: done.append("busy"))  # occupies the core
+    # Two background jobs enqueued first, then a burst of foreground work.
+    cpu.submit(0.5, lambda: done.append("bg1"), priority=BACKGROUND)
+    cpu.submit(0.5, lambda: done.append("bg2"), priority=BACKGROUND)
+    for i in range(10):
+        cpu.submit(0.5, lambda i=i: done.append(f"fg{i}"))
+    sim.run()
+    # Every queued foreground job ran before either background job.
+    assert done[-2:] == ["bg1", "bg2"]
+    assert done[1:11] == [f"fg{i}" for i in range(10)]
+
+
+def test_background_queue_length_metric():
+    sim = Simulator()
+    cpu = CpuScheduler(sim, cores=1)
+    cpu.submit(1.0, lambda: None)
+    cpu.submit(1.0, lambda: None, priority=BACKGROUND)
+    cpu.submit(1.0, lambda: None, priority=BACKGROUND)
+    assert cpu.background_queue_length == 2
+    assert cpu.queue_length == 2
+    sim.run()
+    assert cpu.background_queue_length == 0
+
+
+def test_unknown_priority_rejected():
+    cpu = CpuScheduler(Simulator(), cores=1)
+    with pytest.raises(SimulationError):
+        cpu.submit(1.0, lambda: None, priority=7)
+
+
+def test_protocol_servers_classify_replication_as_background():
+    import helpers
+    from repro.protocols import messages as m
+    from repro.storage.version import Version
+    from repro.cluster.cpu import BACKGROUND as BG, FOREGROUND as FG
+
+    built = helpers.make_cluster(protocol="pocc")
+    server = built.servers[built.topology.server(0, 0)]
+    replicate = m.Replicate(version=Version(key="k", value=1, sr=1, ut=5,
+                                            dv=(0, 0, 0)))
+    heartbeat = m.Heartbeat(ts=1, src_dc=1)
+    get = m.GetReq(key="k", rdv=[0, 0, 0],
+                   client=built.clients[0].address, op_id=1)
+    slice_req = m.SliceReq(keys=("k",), tv=[0, 0, 0],
+                           coordinator=server.address, tx_id=1)
+    assert server.message_priority(replicate) == BG
+    assert server.message_priority(heartbeat) == BG
+    assert server.message_priority(get) == FG
+    assert server.message_priority(slice_req) == FG

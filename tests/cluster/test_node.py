@@ -1,0 +1,82 @@
+"""Tests for the SimNode base: CPU-mediated dispatch and local tasks."""
+
+import pytest
+
+from repro.common.types import server_address
+from repro.cluster.node import SimNode
+from repro.clocks.physical import PhysicalClock
+from repro.sim.engine import Simulator
+from repro.sim.latency import ConstantLatency
+from repro.sim.network import Network
+
+
+class EchoNode(SimNode):
+    """Charges 1 ms per message, logs (time, msg)."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.handled = []
+
+    def service_time(self, msg):
+        return 0.001
+
+    def dispatch(self, msg):
+        self.handled.append((self.sim.now, msg))
+
+
+def _pair(cores=2):
+    sim = Simulator()
+    network = Network(sim, ConstantLatency(0.010))
+    a = EchoNode(sim, network, server_address(0, 0),
+                 PhysicalClock(sim), cores=cores)
+    b = EchoNode(sim, network, server_address(1, 0),
+                 PhysicalClock(sim), cores=cores)
+    return sim, a, b
+
+
+def test_message_charged_cpu_before_dispatch():
+    sim, a, b = _pair()
+    a.send(b.address, "hello")
+    sim.run()
+    assert b.handled == [(0.011, "hello")]  # 10ms wire + 1ms CPU
+    assert b.messages_received == 1
+
+
+def test_messages_queue_behind_busy_cores():
+    sim, a, b = _pair(cores=1)
+    for i in range(3):
+        a.send(b.address, i)
+    sim.run()
+    times = [t for t, _ in b.handled]
+    assert times == pytest.approx([0.011, 0.012, 0.013])
+
+
+def test_submit_local_charges_cpu():
+    sim, a, _ = _pair()
+    done = []
+    a.submit_local(0.005, done.append, "task")
+    sim.run()
+    assert done == ["task"]
+    assert a.cpu.jobs_completed == 1
+
+
+def test_submit_local_zero_cost_runs_inline():
+    sim, a, _ = _pair()
+    done = []
+    a.submit_local(0.0, done.append, "now")
+    assert done == ["now"]
+
+
+def test_zero_service_time_dispatches_inline():
+    class FreeNode(EchoNode):
+        def service_time(self, msg):
+            return 0.0
+
+    sim = Simulator()
+    network = Network(sim, ConstantLatency(0.010))
+    node = FreeNode(sim, network, server_address(2, 0), PhysicalClock(sim))
+    sender = EchoNode(sim, network, server_address(0, 1),
+                      PhysicalClock(sim))
+    sender.send(node.address, "x")
+    sim.run()
+    assert node.handled == [(0.010, "x")]

@@ -1,0 +1,81 @@
+"""Tests for topology addressing and key placement."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.cluster.topology import KeyPools, Topology, key_partition
+
+
+def test_all_servers_enumeration():
+    topology = Topology(num_dcs=3, num_partitions=4)
+    servers = list(topology.all_servers())
+    assert len(servers) == 12
+    assert len(set(servers)) == 12
+
+
+def test_dc_servers():
+    topology = Topology(num_dcs=3, num_partitions=4)
+    servers = list(topology.dc_servers(1))
+    assert len(servers) == 4
+    assert all(s.dc == 1 for s in servers)
+
+
+def test_replicas_of_skips_dc():
+    topology = Topology(num_dcs=3, num_partitions=4)
+    replicas = list(topology.replicas_of(2, except_dc=1))
+    assert [r.dc for r in replicas] == [0, 2]
+    assert all(r.partition == 2 for r in replicas)
+
+
+def test_bounds_checked():
+    topology = Topology(num_dcs=3, num_partitions=4)
+    with pytest.raises(ConfigError):
+        topology.server(3, 0)
+    with pytest.raises(ConfigError):
+        topology.server(0, 4)
+    with pytest.raises(ConfigError):
+        topology.client(-1, 0, 0)
+
+
+def test_key_partition_stable_and_in_range():
+    for key in ("a", "user:42", "k00000123"):
+        p = key_partition(key, 8)
+        assert 0 <= p < 8
+        assert p == key_partition(key, 8)  # deterministic
+
+
+def test_partition_of_matches_free_function():
+    topology = Topology(num_dcs=3, num_partitions=8)
+    assert topology.partition_of("abc") == key_partition("abc", 8)
+
+
+def test_key_pools_sizes_and_placement():
+    topology = Topology(num_dcs=3, num_partitions=4)
+    pools = KeyPools(topology, keys_per_partition=25)
+    assert pools.total_keys == 100
+    for partition in range(4):
+        pool = pools.pool(partition)
+        assert len(pool) == 25
+        assert len(set(pool)) == 25
+        for key in pool:
+            assert topology.partition_of(key) == partition
+
+
+def test_key_pools_rank_lookup():
+    topology = Topology(num_dcs=3, num_partitions=2)
+    pools = KeyPools(topology, keys_per_partition=10)
+    assert pools.key(0, 0) == pools.pool(0)[0]
+    assert pools.key(1, 9) == pools.pool(1)[9]
+
+
+def test_key_pools_deterministic():
+    topology = Topology(num_dcs=3, num_partitions=4)
+    a = KeyPools(topology, keys_per_partition=10)
+    b = KeyPools(topology, keys_per_partition=10)
+    assert list(a.all_keys()) == list(b.all_keys())
+
+
+def test_all_keys_covers_every_pool():
+    topology = Topology(num_dcs=3, num_partitions=3)
+    pools = KeyPools(topology, keys_per_partition=5)
+    assert len(list(pools.all_keys())) == 15

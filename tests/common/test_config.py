@@ -1,0 +1,122 @@
+"""Tests for configuration validation and presets."""
+
+import pytest
+
+from repro.common.config import (
+    ClockConfig,
+    ClusterConfig,
+    ExperimentConfig,
+    LatencyConfig,
+    ProtocolConfig,
+    ServiceTimeConfig,
+    WorkloadConfig,
+    paper_scale_cluster,
+    smoke_scale_cluster,
+)
+from repro.common.errors import ConfigError
+
+
+def test_default_experiment_validates():
+    ExperimentConfig().validate()
+
+
+def test_paper_scale_matches_section_5a():
+    cluster = paper_scale_cluster()
+    assert cluster.num_dcs == 3
+    assert cluster.num_partitions == 32
+    assert cluster.num_nodes == 96
+    cluster.validate()
+
+
+def test_smoke_scale_validates():
+    smoke_scale_cluster("cure").validate()
+
+
+def test_protocol_defaults_match_paper():
+    protocol = ProtocolConfig()
+    assert protocol.heartbeat_interval_s == pytest.approx(0.001)
+    assert protocol.stabilization_interval_s == pytest.approx(0.005)
+    assert protocol.put_dependency_wait is True
+
+
+def test_workload_defaults_match_paper():
+    workload = WorkloadConfig()
+    assert workload.think_time_s == pytest.approx(0.025)
+    assert workload.zipf_theta == pytest.approx(0.99)
+
+
+def test_cluster_rejects_single_dc():
+    with pytest.raises(ConfigError):
+        ClusterConfig(num_dcs=1).validate()
+
+
+def test_cluster_rejects_zero_partitions():
+    with pytest.raises(ConfigError):
+        ClusterConfig(num_partitions=0).validate()
+
+
+def test_clock_config_rejects_negative():
+    with pytest.raises(ConfigError):
+        ClockConfig(max_offset_us=-1).validate()
+    with pytest.raises(ConfigError):
+        ClockConfig(max_drift_ppm=-1.0).validate()
+
+
+def test_service_times_reject_negative():
+    with pytest.raises(ConfigError):
+        ServiceTimeConfig(get_s=-0.1).validate()
+
+
+def test_protocol_config_rejects_nonpositive_intervals():
+    for field, value in (
+        ("heartbeat_interval_s", 0.0),
+        ("stabilization_interval_s", -1.0),
+        ("gc_interval_s", 0.0),
+        ("block_timeout_s", 0.0),
+        ("ha_stabilization_interval_s", 0.0),
+        ("ha_promotion_retry_s", 0.0),
+    ):
+        with pytest.raises(ConfigError):
+            ProtocolConfig(**{field: value}).validate()
+
+
+def test_workload_kind_checked():
+    cluster = ClusterConfig()
+    with pytest.raises(ConfigError):
+        WorkloadConfig(kind="nonsense").validate(cluster)
+
+
+def test_workload_tx_partitions_bounds():
+    cluster = ClusterConfig(num_partitions=4)
+    WorkloadConfig(kind="ro_tx", tx_partitions=4).validate(cluster)
+    with pytest.raises(ConfigError):
+        WorkloadConfig(kind="ro_tx", tx_partitions=5).validate(cluster)
+
+
+def test_experiment_rejects_bad_schedule():
+    with pytest.raises(ConfigError):
+        ExperimentConfig(warmup_s=-1.0).validate()
+    with pytest.raises(ConfigError):
+        ExperimentConfig(duration_s=0.0).validate()
+
+
+def test_with_protocol_copies():
+    base = ClusterConfig(protocol="pocc")
+    other = base.with_protocol("cure")
+    assert other.protocol == "cure"
+    assert base.protocol == "pocc"
+    assert other.num_partitions == base.num_partitions
+
+
+def test_describe_is_flat_and_complete():
+    description = ExperimentConfig(name="x").describe()
+    for key in ("name", "protocol", "partitions", "workload", "seed"):
+        assert key in description
+
+
+def test_latency_matrix_symmetric_defaults():
+    config = LatencyConfig()
+    for i in range(3):
+        for j in range(3):
+            assert config.inter_dc_s[i][j] == config.inter_dc_s[j][i]
+        assert config.inter_dc_s[i][i] == 0.0

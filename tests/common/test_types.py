@@ -1,0 +1,57 @@
+"""Tests for core value types."""
+
+from repro.common.types import (
+    Address,
+    NodeKind,
+    client_address,
+    server_address,
+    version_order_key,
+)
+
+
+def test_server_address_str():
+    assert str(server_address(1, 3)) == "s[1.3]"
+
+
+def test_client_address_str():
+    assert str(client_address(1, 3, 2)) == "c[1.3.2]"
+
+
+def test_address_kind_predicates():
+    assert server_address(0, 0).is_server
+    assert not server_address(0, 0).is_client
+    assert client_address(0, 0, 0).is_client
+
+
+def test_addresses_hashable_and_distinct():
+    addresses = {
+        server_address(0, 0),
+        server_address(0, 1),
+        client_address(0, 0, 0),
+        client_address(0, 0, 1),
+    }
+    assert len(addresses) == 4
+
+
+def test_server_and_client_same_slot_differ():
+    assert server_address(0, 0) != client_address(0, 0, 0)
+
+
+def test_version_order_key_total_order():
+    # Higher timestamp wins.
+    assert version_order_key(11, 2) > version_order_key(10, 0)
+    # Tie: lowest source replica wins.
+    assert version_order_key(10, 0) > version_order_key(10, 1)
+    # Reflexive equality.
+    assert version_order_key(10, 1) == version_order_key(10, 1)
+
+
+def test_node_kind_repr():
+    assert "SERVER" in repr(NodeKind.SERVER)
+
+
+def test_address_is_frozen():
+    import dataclasses
+    import pytest
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        server_address(0, 0).dc = 5  # type: ignore[misc]

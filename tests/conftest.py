@@ -1,0 +1,7 @@
+"""Pytest configuration shared by the whole suite."""
+
+import sys
+from pathlib import Path
+
+# Make `import helpers` work from any test module regardless of rootdir.
+sys.path.insert(0, str(Path(__file__).parent))

@@ -1,0 +1,113 @@
+"""Tests for the experiment runner and result aggregation."""
+
+import pytest
+
+from repro.common.config import ClusterConfig, ExperimentConfig, WorkloadConfig
+from repro.harness.builders import build_cluster
+from repro.harness.experiment import run_experiment
+
+
+def _config(**kwargs):
+    defaults = dict(
+        cluster=ClusterConfig(num_dcs=3, num_partitions=2,
+                              keys_per_partition=50, protocol="pocc"),
+        workload=WorkloadConfig(clients_per_partition=2, gets_per_put=3,
+                                think_time_s=0.005),
+        warmup_s=0.2,
+        duration_s=1.0,
+        seed=5,
+    )
+    defaults.update(kwargs)
+    return ExperimentConfig(**defaults)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_experiment(_config())
+
+
+def test_throughput_positive(result):
+    assert result.total_ops > 0
+    assert result.throughput_ops_s > 0
+    assert result.duration_s == pytest.approx(1.0, rel=0.05)
+
+
+def test_throughput_consistent_with_ops(result):
+    assert result.throughput_ops_s == pytest.approx(
+        result.total_ops / result.duration_s
+    )
+
+
+def test_op_stats_cover_both_types(result):
+    assert result.op_stats["get"]["count"] > 0
+    assert result.op_stats["put"]["count"] > 0
+    assert result.op_stats["ro_tx"]["count"] == 0
+    # 3:1 GET:PUT ratio should be visible in the counts.
+    ratio = result.op_stats["get"]["count"] / result.op_stats["put"]["count"]
+    assert 2.0 < ratio < 4.5
+
+
+def test_mean_response_time_sane(result):
+    # Client-local request + reply with light load: sub-5ms.
+    assert 0.0001 < result.mean_response_time_s < 0.005
+
+
+def test_closed_loop_throughput_matches_littles_law(result):
+    clients = 3 * 2 * 2  # dcs * partitions * clients_per_partition
+    expected = clients / (0.005 + result.mean_response_time_s)
+    assert result.throughput_ops_s == pytest.approx(expected, rel=0.15)
+
+
+def test_network_accounting(result):
+    assert result.network_messages > 0
+    assert result.network_bytes > 0
+    assert 0 < result.inter_dc_bytes <= result.network_bytes
+    assert result.bytes_per_op > 0
+
+
+def test_cpu_utilization_in_unit_range(result):
+    assert 0.0 < result.cpu_utilization_mean <= 1.0
+    assert result.cpu_utilization_mean <= result.cpu_utilization_max <= 1.0
+
+
+def test_summary_text_renders(result):
+    text = result.summary_text()
+    assert "throughput" in text
+    assert "pocc" in text
+
+
+def test_verification_block_present_when_requested():
+    result = run_experiment(_config(verify=True))
+    assert result.verification is not None
+    assert result.verification["violations"] == 0
+    assert result.divergences == 0
+
+
+def test_verification_absent_by_default(result):
+    assert result.verification is None
+    assert result.divergences is None
+
+
+def test_prebuilt_cluster_can_be_passed():
+    config = _config()
+    built = build_cluster(config)
+    built.faults.schedule_partition(at=0.4, group_a=[0], group_b=[1],
+                                    heal_after=0.2)
+    result = run_experiment(config, built=built)
+    assert result.total_ops > 0
+    assert built.faults.partitions_started == 1
+
+
+def test_build_cluster_shape():
+    built = build_cluster(_config())
+    assert len(built.servers) == 6
+    assert len(built.clients) == 12
+    assert len(built.drivers) == 12
+    assert built.pools.total_keys == 100
+
+
+def test_warmup_excluded_from_window():
+    short = run_experiment(_config(warmup_s=0.0, duration_s=1.2))
+    # Warmup=0 includes the start-up ramp; throughput must still be
+    # positive and the window must match duration.
+    assert short.duration_s == pytest.approx(1.2, rel=0.05)

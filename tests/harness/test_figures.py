@@ -1,0 +1,77 @@
+"""Smoke tests for the per-figure experiment registry (at smoke scale)."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.harness.figures import FIGURES, FigureData
+from repro.harness.reportmd import figure_markdown, render_markdown
+from repro.harness.scales import SCALES, get_scale
+
+
+def test_every_paper_figure_registered():
+    assert sorted(FIGURES) == [
+        "1a", "1b", "1c", "2a", "2b", "3a", "3b", "3c", "3d",
+    ]
+
+
+def test_scales_available():
+    for name in ("smoke", "bench", "paper"):
+        assert name in SCALES
+    assert get_scale("paper").partitions == 32
+    with pytest.raises(ConfigError):
+        get_scale("nope")
+
+
+@pytest.fixture(scope="module")
+def fig1a():
+    return FIGURES["1a"](scale="smoke")
+
+
+def test_fig1a_has_both_series(fig1a):
+    assert set(fig1a.series) == {"POCC", "Cure*"}
+    assert all(y > 0 for y in fig1a.ys("POCC"))
+
+
+def test_fig1a_systems_comparable(fig1a):
+    """The paper's claim at any scale: no large throughput gap."""
+    for (x1, pocc), (x2, cure) in zip(fig1a.series["POCC"],
+                                      fig1a.series["Cure*"]):
+        assert x1 == x2
+        assert abs(pocc - cure) / max(pocc, cure) < 0.35
+
+
+def test_table_text_renders(fig1a):
+    text = fig1a.table_text()
+    assert "Figure 1a" in text
+    assert "POCC" in text and "Cure*" in text
+
+
+def test_markdown_rendering(fig1a):
+    md = figure_markdown(fig1a)
+    assert "### Figure 1a" in md
+    assert "| partitions |" in md
+    full = render_markdown([fig1a], scale="smoke")
+    assert "# Reproduced figures" in full
+
+
+def test_figure_data_accessors():
+    data = FigureData(figure_id="x", title="t", x_label="x", series={})
+    data.add("s", 1.0, 2.0)
+    data.add("s", 3.0, 4.0)
+    assert data.xs("s") == [1.0, 3.0]
+    assert data.ys("s") == [2.0, 4.0]
+
+
+def test_fig2b_staleness_series_present():
+    data = FIGURES["2b"](scale="smoke")
+    assert "% old" in data.series
+    assert "% unmerged" in data.series
+    assert all(0 <= y <= 100 for y in data.ys("% old"))
+
+
+def test_fig3d_pocc_fresher_than_cure():
+    data = FIGURES["3d"](scale="smoke")
+    pocc_old = data.ys("POCC % old")
+    cure_old = data.ys("Cure* % old")
+    # Direction check at smoke scale: POCC strictly fresher on average.
+    assert sum(pocc_old) < sum(cure_old)

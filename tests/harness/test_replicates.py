@@ -1,0 +1,117 @@
+"""Multi-seed replication: aggregation math and plumbing."""
+
+import math
+
+import pytest
+
+from repro.common.config import (
+    ClusterConfig,
+    ExperimentConfig,
+    WorkloadConfig,
+)
+from repro.common.errors import ConfigError
+from repro.harness.replicates import (
+    AggregateStat,
+    run_replicates,
+)
+
+
+def _config(seed=100):
+    return ExperimentConfig(
+        cluster=ClusterConfig(num_dcs=3, num_partitions=2,
+                              keys_per_partition=30, protocol="pocc"),
+        workload=WorkloadConfig(clients_per_partition=2,
+                                think_time_s=0.005, gets_per_put=3),
+        warmup_s=0.1,
+        duration_s=0.5,
+        seed=seed,
+        name="replicate-smoke",
+    )
+
+
+# ----------------------------------------------------------------------
+# AggregateStat math
+# ----------------------------------------------------------------------
+
+def test_mean_and_std():
+    stat = AggregateStat(name="x", values=(2.0, 4.0, 6.0))
+    assert stat.mean == pytest.approx(4.0)
+    assert stat.std == pytest.approx(2.0)
+    assert stat.minimum == 2.0
+    assert stat.maximum == 6.0
+
+
+def test_ci95_matches_t_distribution():
+    values = (10.0, 12.0, 14.0, 16.0)
+    stat = AggregateStat(name="x", values=values)
+    from scipy import stats as scipy_stats
+
+    expected = (scipy_stats.t.ppf(0.975, 3) * stat.std / math.sqrt(4))
+    assert stat.ci95_half_width == pytest.approx(expected)
+
+
+def test_single_value_has_zero_spread():
+    stat = AggregateStat(name="x", values=(5.0,))
+    assert stat.std == 0.0
+    assert stat.ci95_half_width == 0.0
+    assert stat.mean == 5.0
+
+
+def test_identical_values_zero_ci():
+    stat = AggregateStat(name="x", values=(3.0, 3.0, 3.0))
+    assert stat.std == 0.0
+    assert stat.ci95_half_width == 0.0
+
+
+# ----------------------------------------------------------------------
+# run_replicates plumbing
+# ----------------------------------------------------------------------
+
+def test_runs_one_experiment_per_seed():
+    agg = run_replicates(_config(), num_seeds=3)
+    assert agg.seeds == (100, 101, 102)
+    assert len(agg.results) == 3
+    assert agg.stat("throughput_ops_s").n == 3
+    assert agg.mean("throughput_ops_s") > 0
+
+
+def test_explicit_seeds_win():
+    agg = run_replicates(_config(), seeds=(7, 9))
+    assert agg.seeds == (7, 9)
+
+
+def test_same_seed_twice_gives_identical_values():
+    agg = run_replicates(_config(), seeds=(42, 42))
+    stat = agg.stat("throughput_ops_s")
+    assert stat.values[0] == stat.values[1]
+    assert stat.std == 0.0
+
+
+def test_different_seeds_vary():
+    agg = run_replicates(_config(), num_seeds=3)
+    assert len(set(agg.stat("throughput_ops_s").values)) > 1
+
+
+def test_custom_metrics_replace_defaults():
+    agg = run_replicates(
+        _config(), num_seeds=2,
+        metrics={"total_ops": lambda r: float(r.total_ops)},
+    )
+    assert set(agg.stats) == {"total_ops"}
+    with pytest.raises(ConfigError, match="throughput"):
+        agg.stat("throughput_ops_s")
+
+
+def test_summary_table_mentions_metrics_and_seeds():
+    agg = run_replicates(_config(), num_seeds=2)
+    table = agg.summary_table()
+    assert "replicate-smoke" in table
+    assert "throughput_ops_s" in table
+    assert "100" in table
+
+
+def test_invalid_arguments():
+    with pytest.raises(ConfigError):
+        run_replicates(_config(), num_seeds=0)
+    with pytest.raises(ConfigError):
+        run_replicates(_config(), seeds=())

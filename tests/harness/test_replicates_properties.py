@@ -1,0 +1,55 @@
+"""Property tests for AggregateStat against numpy reference math."""
+
+import numpy as np
+import scipy.stats  # noqa: F401  (pre-warm the lazy import in AggregateStat)
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.harness.replicates import AggregateStat
+
+_values = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6,
+              allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=20,
+)
+
+
+@given(_values)
+@settings(max_examples=80)
+def test_mean_matches_numpy(values):
+    stat = AggregateStat(name="x", values=tuple(values))
+    np.testing.assert_allclose(stat.mean, np.mean(values),
+                               rtol=1e-9, atol=1e-6)
+
+
+@given(_values)
+@settings(max_examples=80)
+def test_std_matches_numpy_ddof1(values):
+    stat = AggregateStat(name="x", values=tuple(values))
+    if len(values) < 2:
+        assert stat.std == 0.0
+    else:
+        np.testing.assert_allclose(stat.std, np.std(values, ddof=1),
+                                   rtol=1e-7, atol=1e-6)
+
+
+@given(_values)
+@settings(max_examples=80, deadline=None)
+def test_extrema_and_ci_sign(values):
+    stat = AggregateStat(name="x", values=tuple(values))
+    assert stat.minimum == min(values)
+    assert stat.maximum == max(values)
+    assert stat.ci95_half_width >= 0.0
+    # Floating-point summation can push the mean an ulp past an extremum.
+    slack = 1e-9 * (abs(stat.minimum) + abs(stat.maximum) + 1.0)
+    assert stat.minimum - slack <= stat.mean <= stat.maximum + slack
+
+
+@given(_values)
+@settings(max_examples=40)
+def test_describe_mentions_name_and_n(values):
+    stat = AggregateStat(name="metric_x", values=tuple(values))
+    text = stat.describe()
+    assert "metric_x" in text
+    assert f"n={len(values)}" in text

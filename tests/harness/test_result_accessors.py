@@ -1,0 +1,101 @@
+"""Tests for ExperimentResult's derived views and sanity checks."""
+
+import pytest
+
+from repro.harness.experiment import ExperimentResult, _sanity_check
+
+
+def _result(**overrides):
+    base = dict(
+        name="r",
+        protocol="pocc",
+        config={},
+        duration_s=2.0,
+        total_ops=100,
+        throughput_ops_s=50.0,
+        op_stats={
+            "get": {"count": 80, "mean": 0.001, "p50": 0.001, "p95": 0.002,
+                    "p99": 0.003, "max": 0.004},
+            "put": {"count": 20, "mean": 0.002, "p50": 0.002, "p95": 0.003,
+                    "p99": 0.004, "max": 0.005},
+            "ro_tx": {"count": 0, "mean": 0.0, "p50": 0.0, "p95": 0.0,
+                      "p99": 0.0, "max": 0.0},
+        },
+        blocking={"get_vv": {"attempts": 10, "blocked": 2,
+                             "probability": 0.2,
+                             "mean_block_time_s": 0.001}},
+        get_staleness={"reads": 80, "pct_old": 1.0, "pct_unmerged": 2.0,
+                       "avg_fresher_versions": 1.0,
+                       "avg_unmerged_versions": 1.0},
+        tx_staleness={"reads": 0, "pct_old": 0.0, "pct_unmerged": 0.0,
+                      "avg_fresher_versions": 0.0,
+                      "avg_unmerged_versions": 0.0},
+        gss_lag={"count": 0, "mean": 0.0, "p50": 0.0, "p95": 0.0,
+                 "p99": 0.0, "max": 0.0},
+        visibility_lag={"count": 0, "mean": 0.0, "p50": 0.0, "p95": 0.0,
+                        "p99": 0.0, "max": 0.0},
+        network_messages=1000,
+        network_bytes=50_000,
+        inter_dc_bytes=30_000,
+        bytes_per_op=500.0,
+        cpu_utilization_mean=0.5,
+        cpu_utilization_max=0.7,
+        sim_events=12345,
+    )
+    base.update(overrides)
+    return ExperimentResult(**base)
+
+
+def test_mean_response_time_weighs_op_counts():
+    result = _result()
+    expected = (80 * 0.001 + 20 * 0.002) / 100
+    assert result.mean_response_time_s == pytest.approx(expected)
+
+
+def test_mean_response_time_empty():
+    result = _result(op_stats={
+        "get": {"count": 0, "mean": 0.0, "p50": 0, "p95": 0, "p99": 0,
+                "max": 0},
+    })
+    assert result.mean_response_time_s == 0.0
+
+
+def test_op_mean_lookup():
+    result = _result()
+    assert result.op_mean_s("put") == pytest.approx(0.002)
+    assert result.op_mean_s("nonexistent") == 0.0
+
+
+def test_blocking_extras_default_zero():
+    result = _result()
+    assert result.blocking_probability == 0.0
+    assert result.mean_block_time_s == 0.0
+    result.extras["blocking_probability"] = 0.125
+    assert result.blocking_probability == 0.125
+
+
+def test_summary_text_without_verification():
+    text = _result().summary_text()
+    assert "verification" not in text
+    assert "throughput" in text
+
+
+def test_summary_text_with_verification():
+    result = _result(
+        verification={"violations": 0, "reads_checked": 10,
+                      "tx_reads_checked": 0},
+        divergences=0,
+    )
+    assert "verification" in result.summary_text()
+
+
+def test_sanity_check_accepts_consistent_result():
+    _sanity_check(_result())
+
+
+def test_sanity_check_rejects_blocked_exceeding_attempts():
+    bad = _result(blocking={"get_vv": {"attempts": 1, "blocked": 5,
+                                       "probability": 5.0,
+                                       "mean_block_time_s": 0.0}})
+    with pytest.raises(AssertionError):
+        _sanity_check(bad)

@@ -1,0 +1,88 @@
+"""Tests for sweep helpers and the command-line interface."""
+
+import pytest
+
+from repro.common.config import ClusterConfig, ExperimentConfig, WorkloadConfig
+from repro.harness.cli import build_parser, main
+from repro.harness.sweeps import (
+    clients_sweep,
+    override_sweep,
+    protocol_sweep,
+    run_sweep,
+)
+
+
+def _base():
+    return ExperimentConfig(
+        cluster=ClusterConfig(num_dcs=3, num_partitions=2,
+                              keys_per_partition=40),
+        workload=WorkloadConfig(clients_per_partition=2, gets_per_put=2,
+                                think_time_s=0.005),
+        warmup_s=0.1,
+        duration_s=0.5,
+        name="base",
+    )
+
+
+def test_protocol_sweep_builds_configs():
+    configs = protocol_sweep(_base(), ["pocc", "cure"])
+    assert [c.cluster.protocol for c in configs] == ["pocc", "cure"]
+    assert configs[0].name == "base-pocc"
+
+
+def test_clients_sweep_builds_configs():
+    configs = clients_sweep(_base(), [1, 4])
+    assert [c.workload.clients_per_partition for c in configs] == [1, 4]
+
+
+def test_override_sweep_custom_transform():
+    import dataclasses
+
+    def with_seed(base, seed):
+        return dataclasses.replace(base, seed=seed)
+
+    configs = override_sweep(_base(), with_seed, [1, 2, 3])
+    assert [c.seed for c in configs] == [1, 2, 3]
+
+
+def test_run_sweep_executes_and_reports_progress():
+    seen = []
+    results = run_sweep(
+        protocol_sweep(_base(), ["pocc", "cure"]),
+        progress=lambda config, result: seen.append(config.cluster.protocol),
+    )
+    assert len(results) == 2
+    assert seen == ["pocc", "cure"]
+    assert all(r.total_ops > 0 for r in results)
+
+
+def test_cli_parser_defaults():
+    args = build_parser().parse_args(["--figure", "1a"])
+    assert args.figures == ["1a"]
+    assert args.scale == "bench"
+
+
+def test_cli_rejects_unknown_figure():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["--figure", "9z"])
+
+
+def test_cli_list(capsys):
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    assert "1a" in out and "3d" in out
+
+
+def test_cli_requires_a_selection():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_cli_runs_figure_and_writes_md(tmp_path, capsys):
+    md_path = tmp_path / "report.md"
+    assert main(["--figure", "1a", "--scale", "smoke", "--quiet",
+                 "--md", str(md_path)]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 1a" in out
+    assert md_path.exists()
+    assert "# Reproduced figures" in md_path.read_text()

@@ -1,0 +1,166 @@
+"""Full DC failure and the lost-update discard recovery (Section III-B).
+
+The canonical scenario from the paper: X and Y with X -> Y; Y reaches a
+healthy DC while X is trapped behind the failed DC.  Recovery must
+discard Y everywhere (even though Y originated at a *healthy* DC — the
+paper's own caveat), converge the survivors, reset dependent sessions
+and unblock stalled operations.
+"""
+
+import pytest
+
+import helpers
+from repro.protocols.recovery import (
+    lost_update_exposure,
+    recover_from_dc_failure,
+)
+from repro.verification.convergence import check_convergence_among
+
+
+def _lost_update_scenario(protocol="pocc"):
+    """Build the paper's scenario and return everything tests need.
+
+    DC0 will fail.  X is written in DC0 and reaches DC2 but never DC1
+    (the DC0<->DC1 link is cut first).  A DC2 client reads X and writes
+    Y — so Y (healthy origin!) depends on X — and Y replicates to DC1.
+    Then DC0 is isolated entirely (the "failure").
+    """
+    built = helpers.make_cluster(protocol=protocol)
+    key_x = helpers.key_on_partition(built, 0)
+    key_y = helpers.key_on_partition(built, 1)
+
+    built.faults.partition_dcs([0], [1])
+    writer0 = helpers.client_at(built, dc=0)
+    x_reply = helpers.put(built, writer0, key_x, "X")
+    helpers.settle(built, 0.3)
+
+    client2 = helpers.client_at(built, dc=2)
+    assert helpers.get(built, client2, key_x).value == "X"
+    y_reply = helpers.put(built, client2, key_y, "Y")
+    helpers.settle(built, 0.3)
+
+    # The failure: DC0 is gone for good.
+    built.faults.isolate_dc(0, range(3))
+    return built, key_x, key_y, x_reply, y_reply, client2
+
+
+def test_exposure_census_counts_unsurvivable_versions():
+    built, key_x, *_ = _lost_update_scenario()
+    exposure = lost_update_exposure(built.servers, built.topology,
+                                    failed_dc=0)
+    # DC2 holds X (which DC1 never received); DC1 holds nothing from DC0
+    # beyond the cut.
+    assert exposure[2] >= 1
+    assert exposure[1] == 0
+
+
+def test_recovery_discards_lost_update_and_dependents():
+    built, key_x, key_y, x_reply, y_reply, client2 = _lost_update_scenario()
+    report = recover_from_dc_failure(
+        built.servers, built.topology, failed_dc=0,
+        clients=built.clients,
+    )
+
+    # X (origin DC0) is discarded at DC2; Y (origin DC2 — a *healthy*
+    # DC) is discarded at both DC1 and DC2: the paper's "also updates
+    # from healthy DCs might get discarded".
+    assert report.lost_updates_discarded >= 1
+    assert report.dependents_discarded_by_origin.get(2, 0) >= 2
+    assert report.total_discarded >= 3
+
+    for dc in (1, 2):
+        server_x = built.servers[built.topology.server(dc, 0)]
+        server_y = built.servers[built.topology.server(dc, 1)]
+        head_x = server_x.store.freshest(key_x)
+        head_y = server_y.store.freshest(key_y)
+        assert head_x is None or head_x.value != "X"
+        assert head_y is None or head_y.value != "Y"
+
+
+def test_recovery_restores_convergence_among_survivors():
+    built, *_ = _lost_update_scenario()
+    # Before recovery the survivors diverge (DC2 has X, DC1 does not).
+    before = check_convergence_among(built.servers, [1, 2],
+                                     built.topology.num_partitions)
+    assert before, "scenario must create divergence to be meaningful"
+
+    recover_from_dc_failure(built.servers, built.topology, failed_dc=0,
+                            clients=built.clients)
+    after = check_convergence_among(built.servers, [1, 2],
+                                    built.topology.num_partitions)
+    assert after == []
+
+
+def test_recovery_resets_dependent_sessions():
+    built, key_x, key_y, x_reply, y_reply, client2 = _lost_update_scenario()
+    # Reading X raises DV_c[0] (Algorithm 1 line 6); RDV_c only tracks
+    # dependencies *of* read items, so the session's exposure to the
+    # doomed X shows in dv, which recovery also inspects.
+    assert client2.dv[0] >= x_reply.ut
+    report = recover_from_dc_failure(
+        built.servers, built.topology, failed_dc=0, clients=built.clients,
+    )
+    assert report.clients_reset >= 1
+    assert client2.rdv[0] == 0
+    assert client2.dv[0] == 0
+
+
+def test_recovery_unblocks_stalled_reads():
+    """A DC1 reader that saw Y stalls on GET(x); recovery must abort the
+    stalled operation instead of leaving it parked forever."""
+    built, key_x, key_y, *_ = _lost_update_scenario(protocol="ha_pocc")
+    reader1 = helpers.client_at(built, dc=1, partition=1)
+    assert helpers.get(built, reader1, key_y).value == "Y"
+
+    result = helpers.OpResult()
+    reader1.get(key_x, result)
+    built.sim.run(until=built.sim.now + 0.05)  # definitely parked now
+    report = recover_from_dc_failure(
+        built.servers, built.topology, failed_dc=0, clients=built.clients,
+    )
+    assert report.operations_aborted >= 1
+    # The HA client demotes, retries, and the retried GET completes
+    # against the recovered state (X was discarded; the preloaded
+    # version wins).
+    built.sim.run(until=built.sim.now + 1.0)
+    assert result.done
+    assert result.reply.value != "X"
+
+
+def test_healthy_dcs_operate_after_recovery():
+    built, key_x, key_y, *_ = _lost_update_scenario()
+    recover_from_dc_failure(built.servers, built.topology, failed_dc=0,
+                            clients=built.clients)
+    # Survivor DCs keep serving and replicating to each other.
+    client1 = helpers.client_at(built, dc=1)
+    client2 = helpers.client_at(built, dc=2)
+    helpers.put(built, client1, key_x, "X-after")
+    helpers.settle(built, 0.5)
+    assert helpers.get(built, client2, key_x).value == "X-after"
+    assert check_convergence_among(
+        built.servers, [1, 2], built.topology.num_partitions
+    ) == []
+
+
+def test_survivable_prefix_is_kept():
+    """Failed-DC items that reached *every* healthy DC stay."""
+    built = helpers.make_cluster(protocol="pocc")
+    key = helpers.key_on_partition(built, 0)
+    writer0 = helpers.client_at(built, dc=0)
+    helpers.put(built, writer0, key, "survives")
+    helpers.settle(built, 0.5)  # fully replicated before the failure
+
+    built.faults.isolate_dc(0, range(3))
+    report = recover_from_dc_failure(built.servers, built.topology,
+                                     failed_dc=0, clients=built.clients)
+    assert report.total_discarded == 0
+    for dc in (1, 2):
+        server = built.servers[built.topology.server(dc, 0)]
+        assert server.store.freshest(key).value == "survives"
+
+
+def test_recovery_rejects_bad_dc():
+    built = helpers.make_cluster(protocol="pocc")
+    from repro.common.errors import SimulationError
+    with pytest.raises(SimulationError):
+        recover_from_dc_failure(built.servers, built.topology, failed_dc=9)

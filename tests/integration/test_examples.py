@@ -1,0 +1,62 @@
+"""The runnable examples must stay runnable (fast ones, end to end)."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def _run(name: str, capsys) -> str:
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_social_network_example(capsys):
+    out = _run("social_network.py", capsys)
+    assert "--- eventual ---" in out
+    assert out.count("anomaly") == 3
+    # The unsafe protocol shows the anomaly, the causal ones do not.
+    eventual, pocc, cure = out.split("---")[2::2]
+    assert "YES" in eventual
+    assert "YES" not in pocc
+    assert "YES" not in cure
+
+
+def test_partition_failover_example(capsys):
+    out = _run("partition_failover.py", capsys)
+    assert "PARTITION" in out
+    assert "demoted" in out
+    assert "promoted back" in out
+    assert "stayed available" in out
+
+
+def test_dc_failure_recovery_example(capsys):
+    out = _run("dc_failure_recovery.py", capsys)
+    assert "lost updates discarded" in out
+    assert "diverge on 0 key(s) after recovery" in out
+    assert "healthy" in out
+
+
+def test_metadata_spectrum_example(capsys):
+    out = _run("metadata_spectrum.py", capsys)
+    for protocol in ("pocc", "occ_scalar", "cure", "gentlerain", "cops"):
+        assert protocol in out
+    assert "How to read this" in out
+
+
+@pytest.mark.skipif(sys.platform == "win32", reason="paths")
+def test_examples_exist_and_have_docstrings():
+    import ast
+
+    scripts = sorted(EXAMPLES.glob("*.py"))
+    assert len(scripts) >= 5
+    for script in scripts:
+        text = script.read_text(encoding="utf-8")
+        module = ast.parse(text)
+        assert ast.get_docstring(module), (
+            f"{script.name} lacks a module docstring"
+        )
+        assert "__main__" in text, f"{script.name} is not runnable"

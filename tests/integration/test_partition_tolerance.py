@@ -1,0 +1,121 @@
+"""Integration: availability under network partitions.
+
+The paper's trade-off, demonstrated end-to-end:
+
+* Cure* (pessimistic) stays available during a partition, serving stale
+  island-local data;
+* plain POCC can block indefinitely (unavailable) on dependencies cut off
+  by the partition;
+* HA-POCC detects, demotes to the pessimistic protocol, stays available,
+  and recovers optimism after the heal.
+"""
+
+import pytest
+
+import helpers
+from repro.common.config import ProtocolConfig
+
+
+def _scenario(protocol, **overrides):
+    """X -> Y with X cut off from DC1: the canonical Section III-B setup."""
+    built = helpers.make_cluster(protocol=protocol, cluster_overrides=overrides)
+    key_x = helpers.key_on_partition(built, 0)
+    key_y = helpers.key_on_partition(built, 1)
+    built.faults.partition_dcs([0], [1])
+    helpers.put(built, helpers.client_at(built, dc=0), key_x, "X")
+    helpers.settle(built, 0.3)
+    client2 = helpers.client_at(built, dc=2)
+    helpers.get(built, client2, key_x)
+    helpers.put(built, client2, key_y, "Y")
+    helpers.settle(built, 0.3)
+    client1 = helpers.client_at(built, dc=1, partition=1)
+    return built, client1, key_x, key_y
+
+
+def test_cure_stays_available_and_hides_y():
+    built, client1, key_x, key_y = _scenario("cure")
+    # Pessimistic: Y is not yet stable in DC1 (its dependency X never
+    # arrived), so the read completes immediately with the older version.
+    reply_y = helpers.get(built, client1, key_y, timeout_s=1.0)
+    assert reply_y.value == 0
+    reply_x = helpers.get(built, client1, key_x, timeout_s=1.0)
+    assert reply_x.value == 0
+    assert built.faults.active  # still partitioned, everything served
+
+
+def test_cure_remains_available_for_minutes_of_partition():
+    built, client1, key_x, key_y = _scenario("cure")
+    helpers.settle(built, 5.0)
+    for _ in range(5):
+        reply = helpers.get(built, client1, key_y, timeout_s=1.0)
+        assert reply is not None
+
+
+def test_pocc_blocks_until_heal():
+    built, client1, key_x, key_y = _scenario("pocc")
+    got_y = helpers.get(built, client1, key_y)  # optimistic: sees fresh Y
+    assert got_y.value == "Y"
+    result = helpers.OpResult()
+    client1.get(key_x, result)
+    built.sim.run(until=built.sim.now + 2.0)
+    assert not result.done  # unavailable while partitioned
+    built.faults.heal_all()
+    built.sim.run(until=built.sim.now + 1.0)
+    assert result.done
+    assert result.reply.value == "X"
+
+
+def test_ha_pocc_full_cycle():
+    built, client1, key_x, key_y = _scenario(
+        "ha_pocc",
+        protocol_config=ProtocolConfig(
+            block_timeout_s=0.3,
+            ha_stabilization_interval_s=0.050,
+            ha_promotion_retry_s=0.8,
+        ),
+    )
+    got_y = helpers.get(built, client1, key_y)  # optimistic while healthy
+    assert got_y.value == "Y"
+
+    # Blocked GET -> timeout -> demotion -> pessimistic completion.
+    reply_x = helpers.get(built, client1, key_x, timeout_s=3.0)
+    assert reply_x.value == 0
+    assert client1.pessimistic
+
+    # Available for further work during the partition (on another key).
+    key_local = helpers.key_on_partition(built, 0, rank=1)
+    helpers.put(built, client1, key_local, "during-partition", timeout_s=1.0)
+
+    # Heal -> promotion -> optimistic freshness restored.
+    built.faults.heal_all()
+    helpers.settle(built, 1.5)
+    assert not client1.pessimistic
+    reply_x2 = helpers.get(built, client1, key_x, timeout_s=1.0)
+    assert reply_x2.value == "X"
+
+
+def test_replication_catches_up_after_heal():
+    built, client1, key_x, key_y = _scenario("pocc")
+    built.faults.heal_all()
+    helpers.settle(built, 1.0)
+    from repro.verification.convergence import check_convergence
+    assert check_convergence(built.servers, 3, 2) == []
+
+
+def test_full_dc_failure_releases_other_dcs_under_cure():
+    """An unhealed isolation of DC0 models a DC failure; the two healthy
+    DCs keep making progress with each other under the pessimistic
+    protocol."""
+    built = helpers.make_cluster(protocol="cure")
+    built.faults.isolate_dc(0, all_dcs=range(3))
+    key = helpers.key_on_partition(built, 0)
+    writer = helpers.client_at(built, dc=1)
+    helpers.put(built, writer, key, "from-dc1")
+    helpers.settle(built, 1.0)
+    reader = helpers.client_at(built, dc=2)
+    reply = helpers.get(built, reader, key, timeout_s=1.0)
+    assert reply.value in ("from-dc1", 0)
+    # DC2 eventually sees DC1's write (their link is intact).
+    helpers.settle(built, 2.0)
+    reply = helpers.get(built, reader, key, timeout_s=1.0)
+    assert reply.value == "from-dc1"

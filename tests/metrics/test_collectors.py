@@ -1,0 +1,94 @@
+"""Tests for the metrics registry and blocking/staleness accounting."""
+
+import pytest
+
+from repro.common.types import OpType
+from repro.metrics.collectors import (
+    ALL_BLOCK_CAUSES,
+    BLOCK_GET_VV,
+    BLOCK_PUT_DEPS,
+    BlockingStats,
+    MetricsRegistry,
+)
+
+
+def test_registry_disabled_by_default():
+    registry = MetricsRegistry()
+    registry.record_op(OpType.GET, 0.001)
+    registry.record_block_attempt(BLOCK_GET_VV)
+    registry.record_get_staleness(1, 1)
+    assert registry.total_ops() == 0
+    assert registry.blocking[BLOCK_GET_VV].attempts == 0
+    assert registry.get_staleness.reads == 0
+
+
+def test_arm_disarm_window():
+    registry = MetricsRegistry()
+    registry.arm(1.0)
+    registry.record_op(OpType.GET, 0.001)
+    registry.disarm(3.0)
+    registry.record_op(OpType.GET, 0.001)  # after the window: ignored
+    assert registry.total_ops() == 1
+    assert registry.window_duration_s == 2.0
+    assert registry.throughput_ops_s() == pytest.approx(0.5)
+
+
+def test_all_block_causes_present():
+    registry = MetricsRegistry()
+    assert set(registry.blocking) == set(ALL_BLOCK_CAUSES)
+
+
+def test_blocking_probability():
+    stats = BlockingStats()
+    for _ in range(10):
+        stats.record_attempt()
+    stats.record_block(0.002)
+    stats.record_block(0.004)
+    assert stats.probability == pytest.approx(0.2)
+    assert stats.mean_block_time_s == pytest.approx(0.003)
+
+
+def test_blocking_empty_probability_zero():
+    stats = BlockingStats()
+    assert stats.probability == 0.0
+    assert stats.mean_block_time_s == 0.0
+
+
+def test_combined_blocking_merges_causes():
+    registry = MetricsRegistry()
+    registry.arm(0.0)
+    for _ in range(4):
+        registry.record_block_attempt(BLOCK_GET_VV)
+    registry.record_block(BLOCK_GET_VV, 0.001)
+    for _ in range(6):
+        registry.record_block_attempt(BLOCK_PUT_DEPS)
+    registry.record_block(BLOCK_PUT_DEPS, 0.003)
+    combined = registry.combined_blocking((BLOCK_GET_VV, BLOCK_PUT_DEPS))
+    assert combined.attempts == 10
+    assert combined.blocked == 2
+    assert combined.probability == pytest.approx(0.2)
+    assert combined.mean_block_time_s == pytest.approx(0.002)
+
+
+def test_op_latency_recorded_per_type():
+    registry = MetricsRegistry()
+    registry.arm(0.0)
+    registry.record_op(OpType.GET, 0.001)
+    registry.record_op(OpType.PUT, 0.002)
+    registry.record_op(OpType.RO_TX, 0.010)
+    assert registry.ops[OpType.GET].completed == 1
+    assert registry.ops[OpType.PUT].completed == 1
+    assert registry.ops[OpType.RO_TX].latency.max_seen == 0.010
+    assert registry.total_ops() == 3
+
+
+def test_gss_lag_ignores_negative():
+    registry = MetricsRegistry()
+    registry.arm(0.0)
+    registry.record_gss_lag(-0.001)
+    registry.record_gss_lag(0.004)
+    assert registry.gss_lag.count == 1
+
+
+def test_throughput_zero_without_window():
+    assert MetricsRegistry().throughput_ops_s() == 0.0

@@ -1,0 +1,131 @@
+"""Tests (incl. property-based) for the log-bucket histogram."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.metrics.histogram import LogHistogram
+
+
+def test_empty_histogram():
+    hist = LogHistogram()
+    assert hist.count == 0
+    assert hist.mean == 0.0
+    assert hist.percentile(50) == 0.0
+    assert hist.summary()["count"] == 0
+
+
+def test_mean_min_max():
+    hist = LogHistogram()
+    for value in (0.001, 0.002, 0.003):
+        hist.record(value)
+    assert hist.mean == pytest.approx(0.002)
+    assert hist.min_seen == 0.001
+    assert hist.max_seen == 0.003
+
+
+def test_negative_rejected():
+    with pytest.raises(ValueError):
+        LogHistogram().record(-1.0)
+
+
+def test_bad_parameters_rejected():
+    with pytest.raises(ValueError):
+        LogHistogram(min_value=0)
+    with pytest.raises(ValueError):
+        LogHistogram(growth=1.0)
+
+
+def test_percentile_bounds_checked():
+    hist = LogHistogram()
+    hist.record(1.0)
+    with pytest.raises(ValueError):
+        hist.percentile(101)
+    with pytest.raises(ValueError):
+        hist.percentile(-1)
+
+
+def test_percentile_monotone_in_p():
+    hist = LogHistogram()
+    for i in range(1, 1001):
+        hist.record(i / 1000.0)
+    values = [hist.percentile(p) for p in (10, 50, 90, 99, 100)]
+    assert values == sorted(values)
+
+
+def test_percentile_relative_accuracy():
+    """Geometric buckets promise ~7% relative error."""
+    hist = LogHistogram()
+    for i in range(1, 10001):
+        hist.record(i / 1000.0)  # uniform on (0, 10]
+    for p in (25, 50, 75, 95):
+        exact = 10.0 * p / 100.0
+        approx = hist.percentile(p)
+        assert abs(approx - exact) / exact < 0.08
+
+
+def test_p100_equals_max():
+    hist = LogHistogram()
+    for value in (0.5, 3.0, 7.7):
+        hist.record(value)
+    assert hist.percentile(100) == 7.7
+
+
+def test_values_below_min_clamp():
+    hist = LogHistogram(min_value=1e-6)
+    hist.record(1e-12)
+    assert hist.count == 1
+    assert hist.percentile(100) == 1e-12
+
+
+def test_zero_recordable():
+    hist = LogHistogram()
+    hist.record(0.0)
+    assert hist.count == 1
+
+
+def test_merge_combines():
+    a, b = LogHistogram(), LogHistogram()
+    for value in (0.001, 0.002):
+        a.record(value)
+    for value in (0.004, 0.008):
+        b.record(value)
+    a.merge(b)
+    assert a.count == 4
+    assert a.max_seen == 0.008
+    assert a.mean == pytest.approx((0.001 + 0.002 + 0.004 + 0.008) / 4)
+
+
+def test_merge_rejects_incompatible_buckets():
+    with pytest.raises(ValueError):
+        LogHistogram().merge(LogHistogram(growth=1.5))
+
+
+@given(st.lists(st.floats(min_value=1e-9, max_value=100.0,
+                          allow_nan=False), min_size=1, max_size=200))
+def test_summary_invariants(values):
+    hist = LogHistogram()
+    hist.record_many(values)
+    summary = hist.summary()
+    assert summary["count"] == len(values)
+    assert summary["mean"] == pytest.approx(sum(values) / len(values))
+    assert summary["p50"] <= summary["p95"] <= summary["p99"] + 1e-12
+    assert summary["max"] == max(values)
+
+
+@given(st.lists(st.floats(min_value=1e-6, max_value=10.0,
+                          allow_nan=False), min_size=1, max_size=100),
+       st.lists(st.floats(min_value=1e-6, max_value=10.0,
+                          allow_nan=False), min_size=1, max_size=100))
+def test_merge_equivalent_to_recording_all(xs, ys):
+    merged = LogHistogram()
+    merged.record_many(xs)
+    other = LogHistogram()
+    other.record_many(ys)
+    merged.merge(other)
+
+    combined = LogHistogram()
+    combined.record_many(xs + ys)
+    assert merged.count == combined.count
+    assert merged.percentile(50) == combined.percentile(50)
+    assert merged.percentile(99) == combined.percentile(99)

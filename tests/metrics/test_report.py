@@ -1,0 +1,77 @@
+"""Tests for plain-text report rendering."""
+
+import math
+
+from repro.metrics.report import (
+    format_si,
+    render_table,
+    series_summary,
+    sparkline,
+)
+
+
+def test_sparkline_shape():
+    line = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+    assert len(line) == 8
+    assert line[0] == "▁"
+    assert line[-1] == "█"
+
+
+def test_sparkline_flat_series():
+    assert sparkline([5, 5, 5]) == "▁▁▁"
+
+
+def test_sparkline_empty_and_nan():
+    assert sparkline([]) == ""
+    assert sparkline([float("nan")]) == " "
+    line = sparkline([1.0, float("nan"), 2.0])
+    assert line[1] == " "
+
+
+def test_sparkline_monotone_series_is_nondecreasing():
+    line = sparkline([1, 2, 4, 8, 16])
+    levels = ["▁▂▃▄▅▆▇█".index(c) for c in line]
+    assert levels == sorted(levels)
+
+
+def test_format_si_large():
+    assert format_si(12_300) == "12.3k"
+    assert format_si(4_200_000) == "4.2M"
+    assert format_si(9_990_000_000) == "9.99G"
+
+
+def test_format_si_small():
+    assert format_si(0.0042) == "4.2m"
+    assert format_si(0.0000042) == "4.2µ"
+    assert format_si(4.2e-9) == "4.2n"
+    assert format_si(0) == "0"
+
+
+def test_format_si_unit_range():
+    assert format_si(3.5) == "3.5"
+    assert format_si(-1500) == "-1.5k"
+
+
+def test_render_table_alignment():
+    table = render_table(
+        ["name", "value"],
+        [["alpha", 1234.0], ["b", 0.001]],
+    )
+    lines = table.splitlines()
+    assert len(lines) == 4  # header, rule, two rows
+    assert "1.23k" in table
+    assert "1m" in table
+    assert lines[0].startswith("name")
+
+
+def test_render_table_widens_for_long_cells():
+    table = render_table(["h"], [["a-very-long-cell-value"]])
+    assert "a-very-long-cell-value" in table
+
+
+def test_series_summary():
+    text = series_summary("latency", [1.0, 2.0, 3.0])
+    assert text.startswith("latency:")
+    assert "min=1" in text and "max=3" in text
+    assert series_summary("x", []) == "x: (no data)"
+    assert not math.isnan(len(text))

@@ -1,0 +1,59 @@
+"""Tests for the staleness aggregate (Section V-B definitions)."""
+
+import pytest
+
+from repro.metrics.staleness import StalenessAggregate
+
+
+def test_fresh_reads_produce_zero_percentages():
+    agg = StalenessAggregate()
+    for _ in range(10):
+        agg.record(0, 0)
+    assert agg.pct_old == 0.0
+    assert agg.pct_unmerged == 0.0
+    assert agg.avg_fresher_versions == 0.0
+
+
+def test_old_and_unmerged_are_independent_counters():
+    agg = StalenessAggregate()
+    agg.record(0, 2)   # unmerged but not old (fresh local head, merging tail)
+    agg.record(3, 0)   # old but (degenerately) not unmerged
+    agg.record(0, 0)
+    assert agg.reads == 3
+    assert agg.pct_old == pytest.approx(100.0 / 3)
+    assert agg.pct_unmerged == pytest.approx(100.0 / 3)
+
+
+def test_averages_only_over_affected_reads():
+    agg = StalenessAggregate()
+    agg.record(2, 0)
+    agg.record(4, 0)
+    agg.record(0, 0)
+    assert agg.avg_fresher_versions == pytest.approx(3.0)
+
+
+def test_unmerged_average():
+    agg = StalenessAggregate()
+    agg.record(0, 1)
+    agg.record(0, 3)
+    assert agg.avg_unmerged_versions == pytest.approx(2.0)
+
+
+def test_merge():
+    a, b = StalenessAggregate(), StalenessAggregate()
+    a.record(1, 1)
+    b.record(0, 0)
+    b.record(3, 2)
+    a.merge(b)
+    assert a.reads == 3
+    assert a.old_reads == 2
+    assert a.fresher_versions_total == 4
+    assert a.unmerged_versions_total == 3
+
+
+def test_summary_keys():
+    summary = StalenessAggregate().summary()
+    assert set(summary) == {
+        "reads", "pct_old", "pct_unmerged",
+        "avg_fresher_versions", "avg_unmerged_versions",
+    }

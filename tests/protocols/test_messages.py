@@ -1,0 +1,91 @@
+"""Tests for protocol message byte accounting."""
+
+from repro.common.types import client_address
+from repro.protocols import messages as m
+from repro.storage.version import Version
+
+
+CLIENT = client_address(0, 0, 0)
+
+
+def test_get_req_size_scales_with_vector():
+    small = m.GetReq(key="k", rdv=[0] * 3, client=CLIENT, op_id=1)
+    large = m.GetReq(key="k", rdv=[0] * 10, client=CLIENT, op_id=1)
+    assert large.size_bytes() - small.size_bytes() == 7 * m.TS_BYTES
+
+
+def test_get_reply_size():
+    reply = m.GetReply(key="k", value=1, ut=5, dv=(0, 0, 0), sr=0, op_id=1)
+    expected = (m.HEADER_BYTES + m.KEY_BYTES + m.VALUE_BYTES + m.TS_BYTES
+                + 3 * m.TS_BYTES + m.ID_BYTES)
+    assert reply.size_bytes() == expected
+
+
+def test_put_req_and_reply_sizes():
+    req = m.PutReq(key="k", value=1, dv=[0, 0, 0], client=CLIENT, op_id=1)
+    assert req.size_bytes() == (m.HEADER_BYTES + m.KEY_BYTES + m.VALUE_BYTES
+                                + 3 * m.TS_BYTES + m.ID_BYTES)
+    reply = m.PutReply(ut=10, op_id=1)
+    assert reply.size_bytes() == m.HEADER_BYTES + m.TS_BYTES + m.ID_BYTES
+
+
+def test_ro_tx_req_scales_with_keys():
+    one = m.RoTxReq(keys=("a",), rdv=[0] * 3, client=CLIENT, op_id=1)
+    four = m.RoTxReq(keys=("a", "b", "c", "d"), rdv=[0] * 3,
+                     client=CLIENT, op_id=1)
+    assert four.size_bytes() - one.size_bytes() == 3 * m.KEY_BYTES
+
+
+def test_replicate_carries_version_payload():
+    version = Version(key="k", value=1, sr=0, ut=5, dv=(0, 0, 0))
+    msg = m.Replicate(version=version)
+    assert msg.size_bytes() == m.HEADER_BYTES + m.version_bytes(version)
+
+
+def test_heartbeat_is_small():
+    hb = m.Heartbeat(ts=123, src_dc=1)
+    assert hb.size_bytes() < m.Replicate(
+        version=Version(key="k", value=1, sr=0, ut=5, dv=(0, 0, 0))
+    ).size_bytes()
+
+
+def test_slice_messages():
+    req = m.SliceReq(keys=("a", "b"), tv=[0] * 3, coordinator=CLIENT,
+                     tx_id=7)
+    assert req.size_bytes() > m.HEADER_BYTES
+    replies = [
+        m.GetReply(key="a", value=1, ut=5, dv=(0, 0, 0), sr=0, op_id=0),
+        m.GetReply(key="b", value=2, ut=6, dv=(0, 0, 0), sr=0, op_id=0),
+    ]
+    resp = m.SliceResp(versions=replies, tx_id=7)
+    single = m.SliceResp(versions=replies[:1], tx_id=7)
+    assert resp.size_bytes() > single.size_bytes()
+
+
+def test_ro_tx_reply_aggregates_items():
+    replies = [
+        m.GetReply(key="a", value=1, ut=5, dv=(0, 0, 0), sr=0, op_id=0),
+    ]
+    msg = m.RoTxReply(versions=replies, op_id=3)
+    assert msg.size_bytes() > m.HEADER_BYTES + m.ID_BYTES
+
+
+def test_stabilization_and_gc_messages():
+    assert m.StabPush(vv=[0] * 3, partition=1).size_bytes() == (
+        m.HEADER_BYTES + 3 * m.TS_BYTES + m.ID_BYTES
+    )
+    assert m.StabBroadcast(gss=[0] * 3).size_bytes() == (
+        m.HEADER_BYTES + 3 * m.TS_BYTES
+    )
+    assert m.GcPush(vec=[0] * 3, partition=1).size_bytes() == (
+        m.HEADER_BYTES + 3 * m.TS_BYTES + m.ID_BYTES
+    )
+    assert m.GcBroadcast(gv=[0] * 3).size_bytes() == (
+        m.HEADER_BYTES + 3 * m.TS_BYTES
+    )
+
+
+def test_session_closed_flags():
+    msg = m.SessionClosed(op_id=9)
+    assert "partition" in msg.reason
+    assert msg.size_bytes() == m.HEADER_BYTES + m.ID_BYTES

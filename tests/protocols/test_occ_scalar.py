@@ -1,0 +1,229 @@
+"""OCC-scalar semantics: optimistic visibility behind O(1) metadata.
+
+Covers the distinctive behaviours of the scalar variant:
+* purely local sessions never stall (writes do not raise ``rdt``);
+* a remote dependency gates reads on *every* remote DC (false blocking,
+  the granularity cost vs POCC's vector);
+* wire metadata really is O(1);
+* no stabilization protocol runs at all;
+* the paper's Section III-B partition example still blocks correctly.
+"""
+
+import pytest
+
+import helpers
+from repro.common.config import (
+    ClockConfig,
+    ClusterConfig,
+    ExperimentConfig,
+    LatencyConfig,
+    WorkloadConfig,
+)
+from repro.harness.experiment import run_experiment
+from repro.metrics.collectors import BLOCK_GET_VV
+from repro.protocols import messages as m
+
+
+@pytest.fixture
+def built():
+    return helpers.make_cluster(protocol="occ_scalar")
+
+
+@pytest.fixture
+def deterministic():
+    """Zero skew, zero jitter: WAN delays are exact."""
+    return helpers.make_cluster(
+        protocol="occ_scalar",
+        zero_skew=True,
+        cluster_overrides={"latency": LatencyConfig(jitter_ratio=0.0)},
+    )
+
+
+def test_read_your_writes(built):
+    client = helpers.client_at(built, dc=0)
+    key = helpers.key_on_partition(built, 0)
+    helpers.put(built, client, key, "mine")
+    reply = helpers.get(built, client, key)
+    assert reply.value == "mine"
+
+
+def test_local_session_never_raises_rdt(built):
+    """Writes and local reads keep ``rdt`` at zero, so a single-DC session
+    can never stall on the remote horizon."""
+    built.metrics.arm(built.sim.now)
+    client = helpers.client_at(built, dc=0)
+    key_a = helpers.key_on_partition(built, 0)
+    key_b = helpers.key_on_partition(built, 1)
+    helpers.put(built, client, key_a, 1)
+    helpers.get(built, client, key_a)
+    helpers.put(built, client, key_b, 2)
+    helpers.get(built, client, key_b)
+    assert client.rdt == 0
+    assert client.dt > 0
+    assert built.metrics.blocking[BLOCK_GET_VV].blocked == 0
+
+
+def test_remote_read_raises_rdt(built):
+    key = helpers.key_on_partition(built, 0)
+    writer = helpers.client_at(built, dc=1)
+    put_reply = helpers.put(built, writer, key, "remote")
+    helpers.settle(built, 0.5)
+    reader = helpers.client_at(built, dc=0)
+    got = helpers.get(built, reader, key)
+    assert got.value == "remote"
+    assert reader.rdt >= put_reply.ut
+    assert reader.dt >= put_reply.ut
+
+
+def test_scalar_waits_on_every_remote_dc():
+    """The granularity cost: a dependency on DC1 makes the scalar GET wait
+    for DC2's version-vector entry too, while POCC waits only on DC1."""
+
+    def stall_for(protocol: str) -> float:
+        built = helpers.make_cluster(
+            protocol=protocol,
+            zero_skew=True,
+            cluster_overrides={"latency": LatencyConfig(jitter_ratio=0.0)},
+        )
+        built.metrics.arm(built.sim.now)
+        helpers.settle(built, 0.3)  # heartbeats flowing everywhere
+        client = helpers.client_at(built, dc=0)
+        server = built.servers[built.topology.server(0, 0)]
+        dep_ts = server.vv[1] + 5_000  # 5 ms ahead of DC1's entry
+        if protocol == "occ_scalar":
+            client.rdt = dep_ts
+        else:
+            client.rdv[1] = dep_ts
+        helpers.get(built, client, helpers.key_on_partition(built, 0),
+                    timeout_s=2.0)
+        stats = built.metrics.blocking[BLOCK_GET_VV]
+        assert stats.blocked == 1
+        return stats.mean_block_time_s
+
+    pocc_stall = stall_for("pocc")
+    scalar_stall = stall_for("occ_scalar")
+    # POCC waits ~5 ms for DC1's entry; the scalar must additionally wait
+    # for DC2 (Ireland, 70 ms away) to pass the same timestamp.
+    assert scalar_stall > pocc_stall * 3
+    assert scalar_stall > 0.030
+
+
+def test_wire_metadata_is_constant_size(built):
+    client = helpers.client_at(built, dc=0)
+    key = helpers.key_on_partition(built, 0)
+    helpers.put(built, client, key, "x")
+    got = helpers.get(built, client, key)
+    assert len(got.dv) == 1
+
+    # Against the vector protocol's M-entry messages.
+    pocc = helpers.make_cluster(protocol="pocc")
+    vec_client = helpers.client_at(pocc, dc=0)
+
+    scalar_get = m.GetReq(key=key, rdv=client.read_dependency_vector(),
+                          client=client.address, op_id=1)
+    vector_get = m.GetReq(key=key, rdv=vec_client.read_dependency_vector(),
+                          client=vec_client.address, op_id=1)
+    assert scalar_get.size_bytes() < vector_get.size_bytes()
+
+    scalar_put = m.PutReq(key=key, value="v", dv=[client.dt, client.rdt],
+                          client=client.address, op_id=2)
+    vector_put = m.PutReq(key=key, value="v", dv=list(vec_client.dv),
+                          client=vec_client.address, op_id=2)
+    assert scalar_put.size_bytes() < vector_put.size_bytes()
+
+
+def test_no_stabilization_protocol_runs():
+    config = ExperimentConfig(
+        cluster=ClusterConfig(num_dcs=3, num_partitions=2,
+                              keys_per_partition=40,
+                              protocol="occ_scalar"),
+        workload=WorkloadConfig(clients_per_partition=2, think_time_s=0.004),
+        warmup_s=0.2,
+        duration_s=1.0,
+        seed=5,
+    )
+    result = run_experiment(config)
+    assert result.total_ops > 0
+    # No GSS/GST machinery: the lag histogram never receives a sample.
+    assert result.gss_lag["count"] == 0
+
+
+def test_reads_always_fresh():
+    """Optimistic reads return the chain head: zero "old" GETs."""
+    config = ExperimentConfig(
+        cluster=ClusterConfig(num_dcs=3, num_partitions=2,
+                              keys_per_partition=40,
+                              protocol="occ_scalar"),
+        workload=WorkloadConfig(clients_per_partition=3, think_time_s=0.002,
+                                gets_per_put=2),
+        warmup_s=0.2,
+        duration_s=1.0,
+        seed=9,
+    )
+    result = run_experiment(config)
+    assert result.get_staleness["reads"] > 100
+    assert result.get_staleness["pct_old"] == 0.0
+
+
+def test_ro_tx_returns_consistent_cut(deterministic):
+    built = deterministic
+    client = helpers.client_at(built, dc=0)
+    key_a = helpers.key_on_partition(built, 0)
+    key_b = helpers.key_on_partition(built, 1)
+    helpers.put(built, client, key_a, "a1")
+    helpers.put(built, client, key_b, "b1")
+    reply = helpers.ro_tx(built, client, [key_a, key_b])
+    values = {item.key: item.value for item in reply.versions}
+    assert values == {key_a: "a1", key_b: "b1"}
+
+
+def test_ro_tx_snapshot_covers_own_fresh_write(built):
+    """dt (not just rdt) bounds the snapshot: a transaction right after a
+    local write must still see that write."""
+    client = helpers.client_at(built, dc=0)
+    key = helpers.key_on_partition(built, 0)
+    helpers.put(built, client, key, "before")
+    helpers.put(built, client, key, "after")
+    reply = helpers.ro_tx(built, client, [key])
+    assert reply.versions[0].value == "after"
+
+
+def test_partition_blocks_dependent_read(built):
+    """Section III-B example, scalar edition: Y depends on X; X is cut off
+    from DC1; a DC1 client that read Y stalls on GET(x) until heal."""
+    key_x = helpers.key_on_partition(built, 0)
+    key_y = helpers.key_on_partition(built, 1)
+    built.faults.partition_dcs([0], [1])
+
+    writer0 = helpers.client_at(built, dc=0)
+    helpers.put(built, writer0, key_x, "X")
+    helpers.settle(built, 0.3)
+
+    client2 = helpers.client_at(built, dc=2)
+    assert helpers.get(built, client2, key_x).value == "X"
+    helpers.put(built, client2, key_y, "Y")
+    helpers.settle(built, 0.3)
+
+    client1 = helpers.client_at(built, dc=1, partition=1)
+    assert helpers.get(built, client1, key_y).value == "Y"
+    assert client1.rdt > 0
+
+    result = helpers.OpResult()
+    client1.get(key_x, result)
+    built.sim.run(until=built.sim.now + 1.0)
+    assert not result.done, "scalar GET must stall on the missing dependency"
+
+    built.faults.heal_all()
+    built.sim.run(until=built.sim.now + 1.0)
+    assert result.done
+    assert result.reply.value == "X"
+
+
+def test_session_reset_clears_scalars(built):
+    client = helpers.client_at(built, dc=0)
+    key = helpers.key_on_partition(built, 0)
+    helpers.put(built, client, key, "v")
+    assert client.dt > 0
+    client.reset_session()
+    assert client.dt == 0
+    assert client.rdt == 0

@@ -1,0 +1,160 @@
+"""POCC GET/PUT semantics (Algorithms 1 and 2), single- and multi-DC."""
+
+import pytest
+
+import helpers
+from repro.clocks.vector import vec_leq
+
+
+@pytest.fixture
+def built():
+    return helpers.make_cluster(protocol="pocc")
+
+
+def test_preloaded_key_readable(built):
+    client = helpers.client_at(built, dc=0)
+    key = helpers.key_on_partition(built, 0)
+    reply = helpers.get(built, client, key)
+    assert reply.ut == 0  # preloaded initial version
+
+
+def test_put_then_get_returns_written_value(built):
+    client = helpers.client_at(built, dc=0)
+    key = helpers.key_on_partition(built, 0)
+    put_reply = helpers.put(built, client, key, "hello")
+    assert put_reply.ut > 0
+    get_reply = helpers.get(built, client, key)
+    assert get_reply.value == "hello"
+    assert get_reply.ut == put_reply.ut
+    assert get_reply.sr == 0
+
+
+def test_put_reply_updates_local_dv_entry(built):
+    """Algorithm 1 line 12: DV_c[m] <- ut."""
+    client = helpers.client_at(built, dc=0)
+    key = helpers.key_on_partition(built, 0)
+    reply = helpers.put(built, client, key, 1)
+    assert client.dv[0] == reply.ut
+    assert client.rdv == [0, 0, 0]  # writes do not touch RDV
+
+
+def test_get_updates_rdv_and_dv(built):
+    """Algorithm 1 lines 4-6."""
+    writer = helpers.client_at(built, dc=0, partition=0)
+    key = helpers.key_on_partition(built, 0)
+    helpers.put(built, writer, key, 1)
+    first_put_dv = list(writer.dv)
+
+    key2 = helpers.key_on_partition(built, 1)
+    helpers.put(built, writer, key2, 2)  # version depends on first put
+
+    reader = helpers.client_at(built, dc=0, partition=1)
+    reply = helpers.get(built, reader, key2)
+    # RDV absorbs the returned item's dependency vector...
+    assert reader.rdv == list(reply.dv)
+    assert vec_leq(first_put_dv, reader.rdv) or first_put_dv[0] <= reader.rdv[0]
+    # ...and DV additionally tracks the read item itself.
+    assert reader.dv[reply.sr] >= reply.ut
+
+
+def test_version_dependency_vector_is_writers_dv(built):
+    """Algorithm 2 line 10: the new item stores DV_c."""
+    client = helpers.client_at(built, dc=0)
+    key_a = helpers.key_on_partition(built, 0)
+    key_b = helpers.key_on_partition(built, 1)
+    put_a = helpers.put(built, client, key_a, "a")
+    dv_after_a = list(client.dv)
+    helpers.put(built, client, key_b, "b")
+    server_b = built.servers[built.topology.server(0, 1)]
+    version_b = server_b.store.freshest(key_b)
+    assert list(version_b.dv) == dv_after_a
+    assert version_b.dv[0] == put_a.ut
+
+
+def test_update_timestamps_dominate_dependencies(built):
+    """Proposition 2: X -> Y implies X.ut < Y.ut."""
+    client = helpers.client_at(built, dc=0)
+    uts = []
+    for partition in (0, 1, 0, 1):
+        key = helpers.key_on_partition(built, partition)
+        uts.append(helpers.put(built, client, key, partition).ut)
+    assert uts == sorted(uts)
+    assert len(set(uts)) == len(uts)
+
+
+def test_get_returns_freshest_version(built):
+    client = helpers.client_at(built, dc=0)
+    key = helpers.key_on_partition(built, 0)
+    for value in ("v1", "v2", "v3"):
+        helpers.put(built, client, key, value)
+    reply = helpers.get(built, client, key)
+    assert reply.value == "v3"
+
+
+def test_remote_write_becomes_visible_after_replication(built):
+    writer = helpers.client_at(built, dc=0)
+    key = helpers.key_on_partition(built, 0)
+    helpers.put(built, writer, key, "from-dc0")
+    helpers.settle(built, 0.5)  # > one-way WAN latency
+    reader = helpers.client_at(built, dc=2)
+    reply = helpers.get(built, reader, key)
+    assert reply.value == "from-dc0"
+    assert reply.sr == 0
+
+
+def test_optimistic_get_sees_unstable_remote_version(built):
+    """The OCC core: a replicated version is visible immediately, without
+    waiting for a stabilization protocol."""
+    writer = helpers.client_at(built, dc=0)
+    key = helpers.key_on_partition(built, 0)
+    helpers.put(built, writer, key, "fresh")
+    # Settle barely beyond the DC0->DC1 one-way latency: long before any
+    # stabilization-style horizon could cover it.
+    helpers.settle(built, 0.040)
+    reader = helpers.client_at(built, dc=1)
+    reply = helpers.get(built, reader, key, timeout_s=0.5)
+    assert reply.value == "fresh"
+
+
+def test_lww_convergence_across_dcs(built):
+    """Section II-B: replicas converge to the same LWW winner."""
+    key = helpers.key_on_partition(built, 0)
+    for dc in range(3):
+        client = helpers.client_at(built, dc=dc)
+        helpers.put(built, client, key, f"from-dc{dc}")
+    helpers.settle(built, 1.0)
+    heads = set()
+    for dc in range(3):
+        server = built.servers[built.topology.server(dc, 0)]
+        heads.add(server.store.freshest(key).identity())
+    assert len(heads) == 1
+
+
+def test_version_vector_advances_via_replication(built):
+    client = helpers.client_at(built, dc=0)
+    key = helpers.key_on_partition(built, 0)
+    reply = helpers.put(built, client, key, 1)
+    helpers.settle(built, 0.5)
+    for dc in (1, 2):
+        server = built.servers[built.topology.server(dc, 0)]
+        assert server.vv[0] >= reply.ut
+
+
+def test_heartbeats_advance_remote_vv_without_writes(built):
+    """Algorithm 2 lines 19-28: idle partitions still advance their
+    replicas' version vectors."""
+    helpers.settle(built, 0.5)
+    server = built.servers[built.topology.server(1, 0)]
+    # Entries for the other DCs moved well past zero with zero writes.
+    assert server.vv[0] > 100_000
+    assert server.vv[2] > 100_000
+
+
+def test_get_missing_key_returns_nil(built):
+    client = helpers.client_at(built, dc=0)
+    target_partition = built.topology.partition_of("never-written-key")
+    client2 = helpers.client_at(built, dc=0, partition=0)
+    reply = helpers.get(built, client2, "never-written-key")
+    assert reply.value is None
+    assert reply.ut == 0
+    assert target_partition in range(built.topology.num_partitions)

@@ -1,0 +1,173 @@
+"""POCC blocking semantics: the client-assisted lazy dependency resolution.
+
+These tests exercise the waiting conditions of Algorithm 2 (lines 2, 6, 7)
+directly and reproduce the paper's Section III-B blocking example with a
+real network partition.
+"""
+
+import pytest
+
+import helpers
+from repro.metrics.collectors import (
+    BLOCK_GET_VV,
+    BLOCK_PUT_CLOCK,
+    BLOCK_PUT_DEPS,
+)
+
+
+@pytest.fixture
+def built():
+    return helpers.make_cluster(protocol="pocc")
+
+
+def _arm(built):
+    built.metrics.arm(built.sim.now)
+
+
+def test_get_with_satisfied_deps_does_not_block(built):
+    _arm(built)
+    client = helpers.client_at(built, dc=0)
+    helpers.get(built, client, helpers.key_on_partition(built, 0))
+    stats = built.metrics.blocking[BLOCK_GET_VV]
+    assert stats.attempts == 1
+    assert stats.blocked == 0
+
+
+def test_get_blocks_until_heartbeat_covers_dependency(built):
+    """A read dependency ahead of the server's VV stalls the GET until a
+    heartbeat (or update) from the dependency's DC passes it."""
+    _arm(built)
+    client = helpers.client_at(built, dc=1)
+    server = built.servers[built.topology.server(1, 0)]
+    # Fabricate a dependency 5 ms ahead of what DC1 received from DC0.
+    future_ts = server.vv[0] + 5_000
+    client.rdv[0] = future_ts
+    reply = helpers.get(built, client, helpers.key_on_partition(built, 0),
+                        timeout_s=2.0)
+    assert reply is not None
+    stats = built.metrics.blocking[BLOCK_GET_VV]
+    assert stats.blocked == 1
+    assert stats.attempts == 1
+    # Wait is bounded by heartbeat interval + WAN latency + skew.
+    assert 0 < stats.mean_block_time_s < 0.2
+    assert server.vv[0] >= future_ts
+
+
+def test_local_dependency_never_blocks(built):
+    """Line 2 skips the local entry: local dependencies are trivially
+    satisfied."""
+    _arm(built)
+    client = helpers.client_at(built, dc=0)
+    server = built.servers[built.topology.server(0, 0)]
+    client.rdv[0] = server.vv[0] + 50_000  # local entry, huge
+    helpers.get(built, client, helpers.key_on_partition(built, 0),
+                timeout_s=0.5)
+    assert built.metrics.blocking[BLOCK_GET_VV].blocked == 0
+
+
+def test_put_dependency_wait_blocks_and_resumes(built):
+    """Algorithm 2 line 6 (enabled in the paper's evaluation)."""
+    _arm(built)
+    client = helpers.client_at(built, dc=1)
+    server = built.servers[built.topology.server(1, 0)]
+    client.dv[0] = server.vv[0] + 5_000
+    reply = helpers.put(built, client, helpers.key_on_partition(built, 0),
+                        "v", timeout_s=2.0)
+    stats = built.metrics.blocking[BLOCK_PUT_DEPS]
+    assert stats.blocked == 1
+    assert reply.ut > client.rdv[0]
+
+
+def test_put_dependency_wait_disabled_skips_check():
+    built = helpers.make_cluster(
+        protocol="pocc",
+        cluster_overrides={
+            "protocol_config": __import__(
+                "repro.common.config", fromlist=["ProtocolConfig"]
+            ).ProtocolConfig(put_dependency_wait=False),
+        },
+    )
+    built.metrics.arm(built.sim.now)
+    client = helpers.client_at(built, dc=1)
+    server = built.servers[built.topology.server(1, 0)]
+    client.dv[0] = server.vv[0] + 5_000
+    helpers.put(built, client, helpers.key_on_partition(built, 0), "v",
+                timeout_s=2.0)
+    assert built.metrics.blocking[BLOCK_PUT_DEPS].attempts == 0
+    # The clock wait (line 7) is NOT optional and still applies.
+    assert built.metrics.blocking[BLOCK_PUT_CLOCK].attempts == 1
+
+
+def test_put_clock_wait_produces_dominating_timestamp(built):
+    """Algorithm 2 line 7: the new version's ut exceeds max(DV_c)."""
+    _arm(built)
+    client = helpers.client_at(built, dc=0)
+    server = built.servers[built.topology.server(0, 0)]
+    # A *local* dependency slightly in the server's future (e.g. written
+    # through a DC-local peer whose clock runs ahead): line 6 skips the
+    # local entry, so only the clock wait of line 7 can order the PUT.
+    future = server.clock.peek_micros() + 2_000
+    client.dv[0] = future
+    reply = helpers.put(built, client, helpers.key_on_partition(built, 0),
+                        "v", timeout_s=2.0)
+    assert reply.ut > future
+    assert built.metrics.blocking[BLOCK_PUT_CLOCK].blocked == 1
+
+
+def test_blocked_get_holds_no_cpu(built):
+    """The paper's efficiency argument: a stalled operation yields the CPU."""
+    _arm(built)
+    client = helpers.client_at(built, dc=1)
+    server = built.servers[built.topology.server(1, 0)]
+    client.rdv[0] = server.vv[0] + 3_000
+    busy_before = server.cpu.busy_time_s
+
+    result = helpers.OpResult()
+    client.get(helpers.key_on_partition(built, 0), result)
+    built.sim.run(until=built.sim.now + 0.0009)  # while blocked
+    busy_during = server.cpu.busy_time_s - busy_before
+    # Only the initial GET handler charge, nothing accrues while waiting.
+    assert busy_during <= server.config.service.get_s + 1e-9
+    built.sim.run(until=built.sim.now + 1.0)
+    assert result.done
+
+
+def test_paper_blocking_example_with_partition(built):
+    """Section III-B: X -> Y, Y reaches DC1 but X is cut off; a DC1 client
+    that read Y blocks on GET(x) until the partition heals."""
+    key_x = helpers.key_on_partition(built, 0)
+    key_y = helpers.key_on_partition(built, 1)
+
+    # Cut DC0 <-> DC1 only; DC2 still hears from both.
+    built.faults.partition_dcs([0], [1])
+
+    # X is written in DC0 (partition 0); it reaches DC2 but not DC1.
+    writer0 = helpers.client_at(built, dc=0)
+    x_reply = helpers.put(built, writer0, key_x, "X")
+    helpers.settle(built, 0.3)
+
+    # A DC2 client reads X and writes Y (so Y depends on X), partition 1.
+    client2 = helpers.client_at(built, dc=2)
+    got_x = helpers.get(built, client2, key_x)
+    assert got_x.value == "X"
+    helpers.put(built, client2, key_y, "Y")
+    helpers.settle(built, 0.3)
+
+    # A DC1 client reads Y (arrived from DC2) -> establishes the dependency
+    # on X, which DC1 has never received.
+    client1 = helpers.client_at(built, dc=1, partition=1)
+    got_y = helpers.get(built, client1, key_y)
+    assert got_y.value == "Y"
+    assert client1.rdv[0] >= x_reply.ut
+
+    # GET(x) at DC1 must now block for as long as the partition lasts...
+    result = helpers.OpResult()
+    client1.get(key_x, result)
+    built.sim.run(until=built.sim.now + 1.0)
+    assert not result.done, "GET must stall while the dependency is missing"
+
+    # ...and resolve with the fresh value once it heals.
+    built.faults.heal_all()
+    built.sim.run(until=built.sim.now + 1.0)
+    assert result.done
+    assert result.reply.value == "X"

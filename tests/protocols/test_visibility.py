@@ -1,0 +1,143 @@
+"""Update-visibility latency: when does a remote update become readable?
+
+The metric quantifies Section I's freshness argument: POCC makes a remote
+update visible the instant it is received (lag ≈ one WAN delay), while the
+pessimistic protocols add their stabilization horizon on top (GSS for
+Cure*, GST for GentleRain*).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import DEFAULT_GEO_LATENCY_S, LatencyConfig
+from repro.metrics.collectors import MetricsRegistry
+from tests.helpers import client_at, key_on_partition, make_cluster, put, settle
+
+#: The fastest and slowest one-way WAN delays in the default geo matrix.
+_MIN_WAN_S = min(
+    value for row in DEFAULT_GEO_LATENCY_S for value in row if value > 0
+)
+_MAX_WAN_S = max(value for row in DEFAULT_GEO_LATENCY_S for value in row)
+
+#: Per-DC stability horizon: the slowest link *into* each remote DC, which
+#: bounds when that DC's GST/GSS can pass a new timestamp from any source.
+_MAX_INCOMING_S = {
+    dst: max(
+        DEFAULT_GEO_LATENCY_S[src][dst]
+        for src in range(len(DEFAULT_GEO_LATENCY_S))
+        if src != dst
+    )
+    for dst in range(len(DEFAULT_GEO_LATENCY_S))
+}
+
+
+def _run_single_put(protocol: str):
+    """One PUT in DC0, fully settled; returns the armed metrics registry.
+
+    Jitter is disabled so the WAN-delay bounds below are deterministic.
+    """
+    built = make_cluster(
+        protocol=protocol,
+        zero_skew=True,
+        cluster_overrides={"latency": LatencyConfig(jitter_ratio=0.0)},
+    )
+    built.metrics.arm(built.sim.now)
+    writer = client_at(built, dc=0)
+    key = key_on_partition(built, partition=0)
+    put(built, writer, key, "fresh")
+    settle(built, seconds=2.0)
+    return built
+
+
+def test_pocc_visibility_is_one_wan_delay():
+    built = _run_single_put("pocc")
+    lag = built.metrics.visibility_lag
+    # The key's partition is replicated at the 2 remote DCs: 2 samples.
+    assert lag.count == 2
+    assert lag.min_seen >= _MIN_WAN_S
+    # Optimistic visibility adds nothing beyond delivery (+ small CPU).
+    assert lag.max_seen <= _MAX_WAN_S + 0.005
+
+
+def test_cure_visibility_adds_stabilization_lag():
+    pocc = _run_single_put("pocc")
+    cure = _run_single_put("cure")
+    lag = cure.metrics.visibility_lag
+    assert lag.count == 2
+    # Stable-visibility cannot beat receipt-visibility, and must pay at
+    # least part of a stabilization round on top of the WAN delivery.
+    assert lag.mean > pocc.metrics.visibility_lag.mean
+    assert lag.max_seen > _MAX_WAN_S
+
+
+def test_gentlerain_visibility_at_least_slowest_incoming_link():
+    built = _run_single_put("gentlerain")
+    lag = built.metrics.visibility_lag
+    assert lag.count == 2
+    # The scalar GST of a DC is held back by the slowest link *into* it,
+    # so even the nearest replica cannot expose the update earlier than
+    # its worst incoming one-way delay.
+    nearest_horizon = min(
+        bound for dst, bound in _MAX_INCOMING_S.items() if dst != 0
+    )
+    assert lag.min_seen >= nearest_horizon
+
+
+def test_cure_pending_queue_drains():
+    built = _run_single_put("cure")
+    for server in built.servers.values():
+        assert server._pending_visibility == []
+
+
+def test_gentlerain_pending_queue_drains():
+    built = _run_single_put("gentlerain")
+    for server in built.servers.values():
+        assert server._pending_visibility == []
+
+
+def test_visibility_not_recorded_for_local_writes():
+    built = make_cluster(protocol="pocc", zero_skew=True)
+    built.metrics.arm(built.sim.now)
+    writer = client_at(built, dc=0)
+    key = key_on_partition(built, partition=0)
+    put(built, writer, key, "v")
+    # Before any settling the write exists only at its source replica.
+    local = built.topology.server(0, 0)
+    assert built.servers[local].store.freshest(key).value == "v"
+    assert built.metrics.visibility_lag.count == 0
+
+
+def test_negative_lag_clamps_to_zero():
+    metrics = MetricsRegistry()
+    metrics.arm(0.0)
+    metrics.record_visibility_lag(-0.5)
+    assert metrics.visibility_lag.count == 1
+    assert metrics.visibility_lag.max_seen == 0.0
+
+
+def test_disarmed_registry_records_nothing():
+    metrics = MetricsRegistry()
+    metrics.record_visibility_lag(0.1)
+    assert metrics.visibility_lag.count == 0
+
+
+@pytest.mark.parametrize("protocol", ["pocc", "cure", "gentlerain"])
+def test_visibility_summary_in_experiment_result(protocol):
+    from repro.common.config import ExperimentConfig
+    from repro.harness.experiment import run_experiment
+    from tests.helpers import make_cluster as _mk
+
+    built = _mk(protocol=protocol, clients_per_partition=2)
+    config = built.config
+    result = run_experiment(
+        ExperimentConfig(
+            cluster=config.cluster,
+            workload=config.workload,
+            warmup_s=0.2,
+            duration_s=1.0,
+            seed=3,
+        )
+    )
+    assert result.visibility_lag["count"] > 0
+    assert result.visibility_lag["mean"] > 0.0

@@ -1,0 +1,184 @@
+"""Unit tests for the discrete-event simulator core."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.sim.engine import Simulator
+
+
+def test_starts_at_time_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+    assert sim.events_executed == 0
+
+
+def test_schedule_and_run_single_event():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.5, fired.append, "a")
+    executed = sim.run()
+    assert executed == 1
+    assert fired == ["a"]
+    assert sim.now == 1.5
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(3.0, order.append, 3)
+    sim.schedule(1.0, order.append, 1)
+    sim.schedule(2.0, order.append, 2)
+    sim.run()
+    assert order == [1, 2, 3]
+
+
+def test_same_time_events_fire_in_scheduling_order():
+    sim = Simulator()
+    order = []
+    for i in range(10):
+        sim.schedule(1.0, order.append, i)
+    sim.run()
+    assert order == list(range(10))
+
+
+def test_run_until_stops_before_later_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "early")
+    sim.schedule(5.0, fired.append, "late")
+    sim.run(until=2.0)
+    assert fired == ["early"]
+    assert sim.now == 2.0  # time advances to the until bound
+    sim.run()
+    assert fired == ["early", "late"]
+
+
+def test_run_until_exact_event_time_includes_event():
+    sim = Simulator()
+    fired = []
+    sim.schedule(2.0, fired.append, "x")
+    sim.run(until=2.0)
+    assert fired == ["x"]
+
+
+def test_schedule_in_past_rejected():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule(-0.1, lambda: None)
+    with pytest.raises(SimulationError):
+        sim.schedule_at(0.5, lambda: None)
+
+
+def test_cancel_prevents_execution():
+    sim = Simulator()
+    fired = []
+    handle = sim.schedule(1.0, fired.append, "x")
+    assert handle.active
+    assert handle.cancel()
+    assert not handle.active
+    sim.run()
+    assert fired == []
+
+
+def test_cancel_twice_returns_false():
+    sim = Simulator()
+    handle = sim.schedule(1.0, lambda: None)
+    assert handle.cancel()
+    assert not handle.cancel()
+
+
+def test_cancel_after_fire_returns_false():
+    sim = Simulator()
+    handle = sim.schedule(1.0, lambda: None)
+    sim.run()
+    assert not handle.cancel()
+
+
+def test_events_scheduled_during_run_execute():
+    sim = Simulator()
+    fired = []
+
+    def chain(n):
+        fired.append(n)
+        if n < 3:
+            sim.schedule(1.0, chain, n + 1)
+
+    sim.schedule(1.0, chain, 0)
+    sim.run()
+    assert fired == [0, 1, 2, 3]
+    assert sim.now == 4.0
+
+
+def test_zero_delay_event_runs_at_current_time():
+    sim = Simulator()
+    times = []
+    sim.schedule(2.0, lambda: sim.schedule(0.0, lambda: times.append(sim.now)))
+    sim.run()
+    assert times == [2.0]
+
+
+def test_stop_interrupts_run():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, lambda: (fired.append(1), sim.stop()))
+    sim.schedule(2.0, fired.append, 2)
+    sim.run()
+    assert fired == [1]
+    sim.run()
+    assert fired == [1, 2]
+
+
+def test_max_events_limit():
+    sim = Simulator()
+    for i in range(5):
+        sim.schedule(float(i + 1), lambda: None)
+    executed = sim.run(max_events=3)
+    assert executed == 3
+    assert sim.pending_events == 2
+
+
+def test_step_executes_exactly_one_event():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, 1)
+    sim.schedule(2.0, fired.append, 2)
+    assert sim.step()
+    assert fired == [1]
+    assert sim.step()
+    assert fired == [1, 2]
+    assert not sim.step()
+
+
+def test_peek_next_time_skips_cancelled():
+    sim = Simulator()
+    handle = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    handle.cancel()
+    assert sim.peek_next_time() == 2.0
+
+
+def test_peek_next_time_empty_heap():
+    assert Simulator().peek_next_time() is None
+
+
+def test_events_executed_counts_across_runs():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    assert sim.events_executed == 2
+
+
+def test_deterministic_interleaving_with_many_events():
+    def build_and_run():
+        sim = Simulator()
+        log = []
+        for i in range(100):
+            sim.schedule((i * 7919 % 13) / 10.0, log.append, i)
+        sim.run()
+        return log
+
+    assert build_and_run() == build_and_run()

@@ -1,0 +1,91 @@
+"""Tests for network partition injection."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.common.types import server_address
+from repro.sim.engine import Simulator
+from repro.sim.faults import FaultInjector
+from repro.sim.latency import ConstantLatency
+from repro.sim.network import Network
+
+from tests.sim.test_network import Recorder
+
+
+def _setup():
+    sim = Simulator()
+    network = Network(sim, ConstantLatency(0.010))
+    endpoints = {}
+    for dc in range(3):
+        endpoint = Recorder(sim, server_address(dc, 0))
+        network.register(endpoint)
+        endpoints[dc] = endpoint
+    return sim, network, FaultInjector(sim, network), endpoints
+
+
+def test_partition_blocks_both_directions():
+    sim, network, faults, nodes = _setup()
+    faults.partition_dcs([0], [1])
+    network.send(nodes[0].address, nodes[1].address, "a->b")
+    network.send(nodes[1].address, nodes[0].address, "b->a")
+    sim.run()
+    assert nodes[0].received == [] and nodes[1].received == []
+    assert faults.active
+
+
+def test_partition_leaves_third_dc_reachable():
+    sim, network, faults, nodes = _setup()
+    faults.partition_dcs([0], [1])
+    network.send(nodes[0].address, nodes[2].address, "a->c")
+    network.send(nodes[1].address, nodes[2].address, "b->c")
+    sim.run()
+    assert len(nodes[2].received) == 2
+
+
+def test_heal_delivers_held_messages():
+    sim, network, faults, nodes = _setup()
+    faults.partition_dcs([0], [1, 2])
+    network.send(nodes[0].address, nodes[1].address, 1)
+    network.send(nodes[0].address, nodes[1].address, 2)
+    sim.run()
+    assert nodes[1].received == []
+    faults.heal_all()
+    sim.run()
+    assert [msg for _, msg in nodes[1].received] == [1, 2]
+    assert not faults.active
+
+
+def test_isolate_dc_cuts_everything():
+    sim, network, faults, nodes = _setup()
+    faults.isolate_dc(2, all_dcs=range(3))
+    assert faults.is_cut(2, 0) and faults.is_cut(0, 2)
+    assert faults.is_cut(2, 1) and faults.is_cut(1, 2)
+    assert not faults.is_cut(0, 1)
+
+
+def test_overlapping_groups_rejected():
+    sim, network, faults, nodes = _setup()
+    with pytest.raises(SimulationError):
+        faults.partition_dcs([0, 1], [1, 2])
+
+
+def test_scheduled_partition_and_heal():
+    sim, network, faults, nodes = _setup()
+    faults.schedule_partition(at=1.0, group_a=[0], group_b=[1],
+                              heal_after=2.0)
+
+    def try_send():
+        network.send(nodes[0].address, nodes[1].address, sim.now)
+
+    for t in (0.5, 1.5, 2.5, 3.5):
+        sim.schedule_at(t, try_send)
+    sim.run()
+    times = [msg for _, msg in nodes[1].received]
+    # 0.5 delivered pre-partition; 1.5/2.5 held until the heal at 3.0;
+    # 3.5 delivered normally.
+    assert times == [0.5, 1.5, 2.5, 3.5]
+    delivery_times = [t for t, _ in nodes[1].received]
+    assert delivery_times[0] == pytest.approx(0.510)
+    assert all(t >= 3.0 for t in delivery_times[1:3])
+    assert faults.partitions_started == 1
+    assert faults.partitions_healed == 1

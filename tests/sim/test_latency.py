@@ -1,0 +1,103 @@
+"""Tests for the latency models."""
+
+import random
+
+import pytest
+
+from repro.common.config import LatencyConfig
+from repro.common.errors import ConfigError
+from repro.common.types import client_address, server_address
+from repro.sim.latency import ConstantLatency, GeoLatencyModel, UniformLatency
+
+
+def _model(jitter=0.0, **kwargs) -> GeoLatencyModel:
+    config = LatencyConfig(jitter_ratio=jitter, **kwargs)
+    return GeoLatencyModel(config, random.Random(1))
+
+
+def test_constant_latency():
+    model = ConstantLatency(0.01)
+    assert model.sample(server_address(0, 0), server_address(1, 0)) == 0.01
+
+
+def test_constant_latency_rejects_negative():
+    with pytest.raises(ConfigError):
+        ConstantLatency(-1.0)
+
+
+def test_uniform_latency_within_bounds():
+    model = UniformLatency(0.001, 0.002, random.Random(3))
+    src, dst = server_address(0, 0), server_address(1, 0)
+    for _ in range(100):
+        assert 0.001 <= model.sample(src, dst) <= 0.002
+
+
+def test_uniform_latency_rejects_bad_bounds():
+    with pytest.raises(ConfigError):
+        UniformLatency(0.002, 0.001, random.Random(3))
+
+
+def test_geo_inter_dc_uses_matrix():
+    model = _model()
+    assert model.sample(server_address(0, 0), server_address(2, 5)) == (
+        LatencyConfig().inter_dc_s[0][2]
+    )
+    assert model.sample(server_address(2, 0), server_address(1, 0)) == (
+        LatencyConfig().inter_dc_s[2][1]
+    )
+
+
+def test_geo_intra_dc_between_partitions():
+    model = _model()
+    assert model.sample(server_address(0, 0), server_address(0, 1)) == (
+        LatencyConfig().intra_dc_s
+    )
+
+
+def test_geo_client_collocated_with_server_is_local():
+    model = _model()
+    client = client_address(1, 3, index=0)
+    server = server_address(1, 3)
+    assert model.sample(client, server) == LatencyConfig().client_local_s
+    assert model.sample(server, client) == LatencyConfig().client_local_s
+
+
+def test_geo_client_to_other_partition_is_intra_dc():
+    model = _model()
+    client = client_address(1, 3, index=0)
+    server = server_address(1, 0)
+    assert model.sample(client, server) == LatencyConfig().intra_dc_s
+
+
+def test_geo_client_to_remote_dc_uses_matrix():
+    model = _model()
+    client = client_address(0, 0, index=0)
+    server = server_address(2, 0)
+    assert model.sample(client, server) == LatencyConfig().inter_dc_s[0][2]
+
+
+def test_jitter_keeps_mean_close_and_values_positive():
+    model = _model(jitter=0.10)
+    src, dst = server_address(0, 0), server_address(1, 0)
+    base = LatencyConfig().inter_dc_s[0][1]
+    samples = [model.sample(src, dst) for _ in range(3000)]
+    assert all(s > 0 for s in samples)
+    mean = sum(samples) / len(samples)
+    assert abs(mean - base) / base < 0.03  # lognormal centred on the base
+
+
+def test_jitter_produces_spread():
+    model = _model(jitter=0.10)
+    src, dst = server_address(0, 0), server_address(1, 0)
+    samples = {model.sample(src, dst) for _ in range(50)}
+    assert len(samples) > 40
+
+
+def test_latency_config_validation():
+    with pytest.raises(ConfigError):
+        LatencyConfig(intra_dc_s=-1.0).validate(3)
+    with pytest.raises(ConfigError):
+        LatencyConfig(jitter_ratio=-0.1).validate(3)
+    with pytest.raises(ConfigError):
+        LatencyConfig().validate(5)  # default matrix only covers 3 DCs
+    LatencyConfig().validate(3)

@@ -1,0 +1,178 @@
+"""Tests for the generator-based process layer."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.sim.engine import Simulator
+from repro.sim.process import Environment, Gate
+
+
+def _env():
+    sim = Simulator()
+    return sim, Environment(sim)
+
+
+def test_timeout_advances_time():
+    sim, env = _env()
+    log = []
+
+    def proc():
+        yield env.timeout(1.0)
+        log.append(env.now)
+        yield env.timeout(2.0)
+        log.append(env.now)
+
+    env.process(proc())
+    sim.run()
+    assert log == [1.0, 3.0]
+
+
+def test_timeout_passes_value():
+    sim, env = _env()
+    seen = []
+
+    def proc():
+        value = yield env.timeout(1.0, value="payload")
+        seen.append(value)
+
+    env.process(proc())
+    sim.run()
+    assert seen == ["payload"]
+
+
+def test_gate_bridges_callbacks():
+    sim, env = _env()
+    gate = env.gate()
+    seen = []
+
+    def proc():
+        value = yield gate
+        seen.append((env.now, value))
+
+    env.process(proc())
+    sim.schedule(2.5, gate.trigger, "done")
+    sim.run()
+    assert seen == [(2.5, "done")]
+
+
+def test_gate_triggered_before_wait_still_wakes():
+    sim, env = _env()
+    gate = env.gate()
+    gate.trigger("early")
+    seen = []
+
+    def proc():
+        value = yield gate
+        seen.append(value)
+
+    env.process(proc())
+    sim.run()
+    assert seen == ["early"]
+
+
+def test_gate_double_trigger_keeps_first_value():
+    sim, env = _env()
+    gate = env.gate()
+    gate.trigger("first")
+    gate.trigger("second")
+    assert gate.value == "first"
+
+
+def test_process_waits_on_process():
+    sim, env = _env()
+    log = []
+
+    def child():
+        yield env.timeout(1.0)
+        return "child-result"
+
+    def parent():
+        result = yield env.process(child())
+        log.append((env.now, result))
+
+    env.process(parent())
+    sim.run()
+    assert log == [(1.0, "child-result")]
+
+
+def test_all_of_waits_for_every_child():
+    sim, env = _env()
+    log = []
+
+    def proc():
+        values = yield env.all_of([
+            env.timeout(1.0, value="a"),
+            env.timeout(3.0, value="b"),
+            env.timeout(2.0, value="c"),
+        ])
+        log.append((env.now, values))
+
+    env.process(proc())
+    sim.run()
+    assert log == [(3.0, ["a", "b", "c"])]
+
+
+def test_all_of_empty_fires_immediately():
+    sim, env = _env()
+    log = []
+
+    def proc():
+        values = yield env.all_of([])
+        log.append(values)
+
+    env.process(proc())
+    sim.run()
+    assert log == [[]]
+
+
+def test_any_of_fires_on_first():
+    sim, env = _env()
+    log = []
+
+    def proc():
+        index, value = yield env.any_of([
+            env.timeout(5.0, value="slow"),
+            env.timeout(1.0, value="fast"),
+        ])
+        log.append((env.now, index, value))
+
+    env.process(proc())
+    sim.run()
+    assert log == [(1.0, 1, "fast")]
+
+
+def test_any_of_requires_children():
+    sim, env = _env()
+    with pytest.raises(SimulationError):
+        env.any_of([])
+
+
+def test_yielding_garbage_raises():
+    sim, env = _env()
+
+    def proc():
+        yield "not-a-waitable"
+
+    env.process(proc())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_two_processes_interleave():
+    sim, env = _env()
+    log = []
+
+    def proc(name, delay):
+        for _ in range(3):
+            yield env.timeout(delay)
+            log.append((env.now, name))
+
+    env.process(proc("fast", 1.0))
+    env.process(proc("slow", 1.5))
+    sim.run()
+    # At t=3.0 both fire; "slow" scheduled its timeout first (at t=1.5,
+    # before "fast" rescheduled at t=2.0), so it wins the tie.
+    assert log == [
+        (1.0, "fast"), (1.5, "slow"), (2.0, "fast"),
+        (3.0, "slow"), (3.0, "fast"), (4.5, "slow"),
+    ]

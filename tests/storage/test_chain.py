@@ -1,0 +1,113 @@
+"""Tests (incl. property-based) for version chains."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.storage.chain import VersionChain
+from repro.storage.version import Version
+
+
+def _version(ut, sr=0, key="k"):
+    return Version(key=key, value=f"{sr}:{ut}", sr=sr, ut=ut, dv=(0, 0, 0))
+
+
+def _chain(*versions):
+    chain = VersionChain()
+    for version in versions:
+        chain.insert(version)
+    return chain
+
+
+def test_empty_chain():
+    chain = VersionChain()
+    assert chain.head() is None
+    assert len(chain) == 0
+    assert list(chain) == []
+
+
+def test_head_is_freshest():
+    chain = _chain(_version(10), _version(30), _version(20))
+    assert chain.head().ut == 30
+
+
+def test_iteration_is_freshest_first():
+    chain = _chain(_version(10), _version(30), _version(20))
+    assert [v.ut for v in chain] == [30, 20, 10]
+
+
+def test_lww_tie_break_lowest_sr_first():
+    chain = _chain(_version(10, sr=2), _version(10, sr=0), _version(10, sr=1))
+    assert [v.sr for v in chain] == [0, 1, 2]
+
+
+def test_find_freshest_with_visibility():
+    chain = _chain(_version(10), _version(20), _version(30))
+    version, scanned = chain.find_freshest(lambda v: v.ut <= 20)
+    assert version.ut == 20
+    assert scanned == 2  # scanned 30 (invisible) then 20
+
+
+def test_find_freshest_none_visible():
+    chain = _chain(_version(10), _version(20))
+    version, scanned = chain.find_freshest(lambda v: False)
+    assert version is None
+    assert scanned == 2
+
+
+def test_find_freshest_head_visible_scans_one():
+    chain = _chain(_version(10), _version(20))
+    _, scanned = chain.find_freshest(lambda v: True)
+    assert scanned == 1
+
+
+def test_versions_newer_than():
+    chain = _chain(_version(10), _version(20), _version(30))
+    assert chain.versions_newer_than(_version(10)) == 2
+    assert chain.versions_newer_than(_version(30)) == 0
+    assert chain.versions_newer_than(_version(25)) == 1
+
+
+def test_versions_newer_than_respects_tiebreak():
+    chain = _chain(_version(10, sr=0), _version(10, sr=2))
+    # sr=2 loses the tie, so one version (sr=0) is "newer" than it.
+    assert chain.versions_newer_than(_version(10, sr=2)) == 1
+    assert chain.versions_newer_than(_version(10, sr=0)) == 0
+
+
+def test_count_matching():
+    chain = _chain(_version(10), _version(20), _version(30))
+    assert chain.count_matching(lambda v: v.ut >= 20) == 2
+
+
+def test_truncate_to():
+    v30, v20, v10 = _version(30), _version(20), _version(10)
+    chain = _chain(v10, v20, v30)
+    chain.truncate_to([v30, v20])
+    assert [v.ut for v in chain] == [30, 20]
+
+
+@given(st.lists(
+    st.tuples(st.integers(min_value=1, max_value=10**6),
+              st.integers(min_value=0, max_value=2)),
+    min_size=1, max_size=50, unique=True,
+))
+def test_insert_order_invariance(entries):
+    """Any insertion order yields the same (sorted) chain."""
+    versions = [_version(ut, sr) for ut, sr in entries]
+    forward = _chain(*versions)
+    backward = _chain(*reversed(versions))
+    assert [v.identity() for v in forward] == [
+        v.identity() for v in backward
+    ]
+
+
+@given(st.lists(
+    st.tuples(st.integers(min_value=1, max_value=10**6),
+              st.integers(min_value=0, max_value=2)),
+    min_size=1, max_size=50, unique=True,
+))
+def test_chain_always_sorted_descending(entries):
+    chain = _chain(*[_version(ut, sr) for ut, sr in entries])
+    keys = [v.order_key for v in chain]
+    assert keys == sorted(keys, reverse=True)
+    assert chain.head().order_key == max(keys)

@@ -1,0 +1,85 @@
+"""Tests for garbage collection (Section IV-B retention rule)."""
+
+from repro.storage.chain import VersionChain
+from repro.storage.gc import collect_chain
+from repro.storage.store import PartitionStore
+from repro.storage.version import Version
+
+
+def _version(key, ut, dv, sr=0):
+    return Version(key=key, value=ut, sr=sr, ut=ut, dv=dv)
+
+
+def _chain(*versions):
+    chain = VersionChain()
+    for version in versions:
+        chain.insert(version)
+    return chain
+
+
+def test_retains_first_covered_version_and_drops_older():
+    chain = _chain(
+        _version("k", 40, (35, 0, 0)),   # not covered by GV
+        _version("k", 30, (20, 0, 0)),   # first covered -> keep, stop
+        _version("k", 20, (10, 0, 0)),   # older -> drop
+        _version("k", 10, (0, 0, 0)),    # older -> drop
+    )
+    removed = collect_chain(chain, gv=[25, 0, 0])
+    assert removed == 2
+    assert [v.ut for v in chain] == [40, 30]
+
+
+def test_keeps_everything_when_nothing_covered():
+    chain = _chain(
+        _version("k", 40, (35, 0, 0)),
+        _version("k", 30, (28, 0, 0)),
+    )
+    removed = collect_chain(chain, gv=[5, 0, 0])
+    assert removed == 0
+    assert len(chain) == 2
+
+
+def test_head_covered_drops_all_older():
+    chain = _chain(
+        _version("k", 40, (3, 0, 0)),
+        _version("k", 30, (2, 0, 0)),
+        _version("k", 20, (1, 0, 0)),
+    )
+    removed = collect_chain(chain, gv=[100, 100, 100])
+    assert removed == 2
+    assert [v.ut for v in chain] == [40]
+
+
+def test_chain_never_empties():
+    chain = _chain(_version("k", 40, (35, 0, 0)))
+    collect_chain(chain, gv=[0, 0, 0])
+    assert len(chain) == 1
+
+
+def test_single_covered_version_survives():
+    chain = _chain(_version("k", 10, (0, 0, 0)))
+    removed = collect_chain(chain, gv=[100, 100, 100])
+    assert removed == 0
+    assert chain.head().ut == 10
+
+
+def test_store_collect_applies_to_all_chains_and_tracks_stats():
+    store = PartitionStore()
+    for key in ("a", "b"):
+        store.insert(_version(key, 10, (0, 0, 0)))
+        store.insert(_version(key, 20, (1, 0, 0)))
+        store.insert(_version(key, 30, (2, 0, 0)))
+    removed = store.collect([100, 100, 100])
+    assert removed == 4  # two per chain
+    assert store.gc_stats.rounds == 1
+    assert store.gc_stats.versions_removed == 4
+    assert store.gc_stats.last_gv == [100, 100, 100]
+    assert store.total_versions() == 2
+
+
+def test_store_collect_skips_single_version_chains():
+    store = PartitionStore()
+    store.insert(_version("a", 10, (0, 0, 0)))
+    removed = store.collect([100, 100, 100])
+    assert removed == 0
+    assert store.gc_stats.chains_scanned == 0

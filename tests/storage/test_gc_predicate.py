@@ -1,0 +1,78 @@
+"""Property tests for the generalized GC retention rule."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.storage.chain import VersionChain
+from repro.storage.gc import collect_chain, collect_chain_by
+from repro.storage.store import PartitionStore
+from repro.storage.version import Version
+
+
+def _chain(entries):
+    chain = VersionChain()
+    for ut, dep in entries:
+        chain.insert(Version(key="k", value=ut, sr=0, ut=ut,
+                             dv=(dep, 0, 0)))
+    return chain
+
+
+entries_strategy = st.lists(
+    st.tuples(st.integers(min_value=1, max_value=10**6),
+              st.integers(min_value=0, max_value=10**6)),
+    min_size=1, max_size=30,
+    unique_by=lambda e: e[0],
+)
+
+
+@given(entries_strategy, st.integers(min_value=0, max_value=10**6))
+def test_head_always_survives(entries, horizon):
+    chain = _chain(entries)
+    head_before = chain.head().identity()
+    collect_chain_by(chain, lambda v: v.ut <= horizon)
+    assert chain.head().identity() == head_before
+
+
+@given(entries_strategy, st.integers(min_value=0, max_value=10**6))
+def test_first_covered_version_survives(entries, horizon):
+    chain = _chain(entries)
+    covered = [v.identity() for v in chain if v.ut <= horizon]
+    first_covered = covered[0] if covered else None
+    collect_chain_by(chain, lambda v: v.ut <= horizon)
+    remaining = [v.identity() for v in chain]
+    if first_covered is not None:
+        assert first_covered in remaining
+        # ...and it is the oldest survivor.
+        assert remaining[-1] == first_covered
+    # Nothing fresher than the first covered version was removed.
+    assert remaining[0] == max(remaining, key=lambda i: (i[2], -i[1]))
+
+
+@given(entries_strategy)
+def test_never_empties_chain(entries):
+    chain = _chain(entries)
+    collect_chain_by(chain, lambda v: False)
+    assert len(chain) == len(entries)
+    collect_chain_by(chain, lambda v: True)
+    assert len(chain) == 1
+
+
+@given(entries_strategy, st.integers(min_value=0, max_value=10**6))
+def test_vector_rule_is_special_case_of_predicate(entries, horizon):
+    a = _chain(entries)
+    b = _chain(entries)
+    gv = [horizon, 10**7, 10**7]
+    removed_a = collect_chain(a, gv)
+    from repro.clocks.vector import vec_leq
+    removed_b = collect_chain_by(b, lambda v: vec_leq(v.dv, gv))
+    assert removed_a == removed_b
+    assert [v.identity() for v in a] == [v.identity() for v in b]
+
+
+def test_store_collect_by_records_horizon():
+    store = PartitionStore()
+    for ut in (10, 20, 30):
+        store.insert(Version(key="k", value=ut, sr=0, ut=ut, dv=(0, 0, 0)))
+    removed = store.collect_by(lambda v: v.ut <= 25, horizon=[25])
+    assert removed == 1  # keeps 30 (head), 20 (first covered); drops 10
+    assert store.gc_stats.last_gv == [25]

@@ -1,0 +1,51 @@
+"""PartitionStore.purge: recovery-time discarding (may remove heads)."""
+
+from repro.storage.store import PartitionStore
+from repro.storage.version import Version
+
+
+def _version(key, ut, sr=0, dv=(0, 0, 0)):
+    return Version(key=key, value=f"v{ut}", sr=sr, ut=ut, dv=dv)
+
+
+def test_purge_removes_matching_versions_everywhere():
+    store = PartitionStore()
+    for ut in (10, 20, 30):
+        store.insert(_version("a", ut))
+    store.insert(_version("b", 15))
+    removed = store.purge(lambda v: v.ut > 15)
+    assert {v.ut for v in removed} == {20, 30}
+    assert store.freshest("a").ut == 10
+    assert store.freshest("b").ut == 15
+
+
+def test_purge_can_empty_a_chain():
+    store = PartitionStore()
+    store.insert(_version("a", 10))
+    removed = store.purge(lambda v: True)
+    assert len(removed) == 1
+    assert store.freshest("a") is None
+
+
+def test_purge_keeps_lww_order():
+    store = PartitionStore()
+    for ut in (10, 30, 20, 40):
+        store.insert(_version("a", ut))
+    store.purge(lambda v: v.ut == 30)
+    chain = store.chain("a")
+    assert [v.ut for v in chain] == [40, 20, 10]
+
+
+def test_purge_no_match_is_noop():
+    store = PartitionStore()
+    store.insert(_version("a", 10))
+    assert store.purge(lambda v: False) == []
+    assert store.freshest("a").ut == 10
+
+
+def test_purge_returns_version_objects():
+    store = PartitionStore()
+    doomed = _version("a", 99, sr=1)
+    store.insert(doomed)
+    removed = store.purge(lambda v: v.sr == 1)
+    assert removed == [doomed]

@@ -1,0 +1,70 @@
+"""Property tests for PartitionStore.purge (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.store import PartitionStore
+from repro.storage.version import Version
+
+#: (key, ut, sr) triples; small domains force collisions and ties.
+_versions = st.lists(
+    st.tuples(
+        st.sampled_from(["a", "b", "c"]),
+        st.integers(min_value=1, max_value=50),
+        st.integers(min_value=0, max_value=2),
+    ),
+    max_size=40,
+)
+
+
+def _build(triples):
+    store = PartitionStore()
+    seen = set()
+    for key, ut, sr in triples:
+        if (key, ut, sr) in seen:  # identities must stay unique
+            continue
+        seen.add((key, ut, sr))
+        store.insert(Version(key=key, value=None, sr=sr, ut=ut, dv=(0, 0, 0)))
+    return store
+
+
+def _all_versions(store):
+    out = []
+    for key in store.keys():
+        out.extend(store.chain(key))
+    return out
+
+
+@given(_versions, st.integers(min_value=0, max_value=50))
+@settings(max_examples=60)
+def test_purge_partitions_the_store(triples, threshold):
+    store = _build(triples)
+    before = {v.identity() for v in _all_versions(store)}
+    removed = store.purge(lambda v: v.ut > threshold)
+    after = {v.identity() for v in _all_versions(store)}
+    removed_ids = {v.identity() for v in removed}
+
+    # Removed and kept partition the original contents.
+    assert removed_ids | after == before
+    assert removed_ids & after == set()
+    # Exactly the matching versions were removed.
+    assert all(v.ut > threshold for v in removed)
+    assert all(v.ut <= threshold for v in _all_versions(store))
+
+
+@given(_versions, st.integers(min_value=0, max_value=50))
+@settings(max_examples=60)
+def test_purge_is_idempotent(triples, threshold):
+    store = _build(triples)
+    store.purge(lambda v: v.ut > threshold)
+    assert store.purge(lambda v: v.ut > threshold) == []
+
+
+@given(_versions, st.integers(min_value=0, max_value=50))
+@settings(max_examples=60)
+def test_purge_preserves_lww_order(triples, threshold):
+    store = _build(triples)
+    store.purge(lambda v: v.ut > threshold)
+    for key in store.keys():
+        orders = [v.order_key for v in store.chain(key)]
+        assert orders == sorted(orders, reverse=True)

@@ -1,0 +1,56 @@
+"""Tests for the partition-local multiversion store."""
+
+from repro.storage.store import PartitionStore
+from repro.storage.version import Version
+
+
+def _version(key, ut, sr=0, dv=(0, 0, 0)):
+    return Version(key=key, value=ut, sr=sr, ut=ut, dv=dv)
+
+
+def test_insert_and_freshest():
+    store = PartitionStore()
+    store.insert(_version("a", 10))
+    store.insert(_version("a", 20))
+    store.insert(_version("b", 5))
+    assert store.freshest("a").ut == 20
+    assert store.freshest("b").ut == 5
+    assert store.freshest("missing") is None
+
+
+def test_contains_and_len():
+    store = PartitionStore()
+    store.insert(_version("a", 1))
+    assert "a" in store
+    assert "b" not in store
+    assert len(store) == 1
+
+
+def test_total_versions_counts_chain_entries():
+    store = PartitionStore()
+    store.insert(_version("a", 1))
+    store.insert(_version("a", 2))
+    store.insert(_version("b", 1))
+    assert store.total_versions() == 3
+
+
+def test_preload_installs_stable_initial_versions():
+    store = PartitionStore()
+    store.preload(["a", "b"], num_dcs=3, initial_value="init")
+    assert store.freshest("a").ut == 0
+    assert store.freshest("a").value == "init"
+    assert store.freshest("a").dv == (0, 0, 0)
+    assert store.versions_inserted == 0  # preload is not workload traffic
+
+
+def test_versions_inserted_counts_writes():
+    store = PartitionStore()
+    store.preload(["a"], num_dcs=3)
+    store.insert(_version("a", 5))
+    assert store.versions_inserted == 1
+
+
+def test_keys_iterates_all():
+    store = PartitionStore()
+    store.preload(["a", "b", "c"], num_dcs=3)
+    assert sorted(store.keys()) == ["a", "b", "c"]

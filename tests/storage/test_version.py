@@ -1,0 +1,67 @@
+"""Tests for the Version record."""
+
+from repro.common.types import version_order_key
+from repro.storage.version import Version
+
+
+def _version(ut=10, sr=0, dv=(1, 2, 3), key="k", value="v"):
+    return Version(key=key, value=value, sr=sr, ut=ut, dv=dv)
+
+
+def test_fields_match_paper_tuple():
+    v = _version()
+    assert (v.key, v.value, v.sr, v.ut) == ("k", "v", 0, 10)
+    assert v.dv == (1, 2, 3)
+
+
+def test_dv_is_immutable_tuple():
+    v = Version(key="k", value=1, sr=0, ut=1, dv=[4, 5, 6])
+    assert isinstance(v.dv, tuple)
+
+
+def test_order_key_higher_timestamp_wins():
+    older = _version(ut=10, sr=0)
+    newer = _version(ut=11, sr=2)
+    assert newer.order_key > older.order_key
+
+
+def test_order_key_tie_lowest_source_replica_wins():
+    """Section IV-B: ties broken by source replica id, lowest wins."""
+    from_dc0 = _version(ut=10, sr=0)
+    from_dc2 = _version(ut=10, sr=2)
+    assert from_dc0.order_key > from_dc2.order_key
+
+
+def test_order_key_matches_free_function():
+    v = _version(ut=42, sr=1)
+    assert v.order_key == version_order_key(42, 1)
+
+
+def test_commit_vector_includes_own_timestamp():
+    v = Version(key="k", value=1, sr=1, ut=100, dv=(5, 7, 9))
+    assert v.commit_vector() == [5, 100, 9]
+
+
+def test_commit_vector_keeps_larger_dv_entry():
+    # Degenerate (cannot be produced by the protocols, which enforce
+    # ut > max(dv)), but commit_vector must stay an upper bound.
+    v = Version(key="k", value=1, sr=1, ut=100, dv=(5, 200, 9))
+    assert v.commit_vector() == [5, 200, 9]
+
+
+def test_identity_unique_per_source_and_time():
+    a = _version(ut=10, sr=0)
+    b = _version(ut=10, sr=1)
+    c = _version(ut=11, sr=0)
+    assert len({a.identity(), b.identity(), c.identity()}) == 3
+
+
+def test_optimistic_flag_defaults_true():
+    assert _version().optimistic
+    v = Version(key="k", value=1, sr=0, ut=1, dv=(0,), optimistic=False)
+    assert not v.optimistic
+
+
+def test_repr_mentions_key_and_ut():
+    text = repr(_version())
+    assert "k" in text and "10" in text

@@ -1,0 +1,184 @@
+"""Unit tests for the online causal-consistency checker."""
+
+import pytest
+
+from repro.common.errors import ReproError
+from repro.verification.checker import (
+    CAUSAL_GET,
+    TX_CAUSAL,
+    TX_SNAPSHOT,
+    CausalChecker,
+)
+
+
+def vid(key, sr, ut):
+    return (key, sr, ut)
+
+
+@pytest.fixture
+def checker():
+    checker = CausalChecker()
+    for client in ("c1", "c2"):
+        checker.register_client(client)
+    return checker
+
+
+def test_clean_session_passes(checker):
+    checker.on_write("c1", "x", vid("x", 0, 10), 1.0)
+    checker.on_read("c1", "x", vid("x", 0, 10), 2.0)
+    assert checker.ok
+    assert checker.summary()["violations"] == 0
+
+
+def test_read_your_writes_violation_detected(checker):
+    checker.on_write("c1", "x", vid("x", 0, 10), 1.0)
+    checker.on_read("c1", "x", vid("x", 0, 5), 2.0)  # older than own write
+    assert not checker.ok
+    assert checker.violations[0].kind == CAUSAL_GET
+    assert checker.violations[0].key == "x"
+
+
+def test_monotonic_reads_violation_detected(checker):
+    checker.on_read("c1", "x", vid("x", 0, 20), 1.0)
+    checker.on_read("c1", "x", vid("x", 0, 10), 2.0)  # went backwards
+    assert len(checker.violations) == 1
+
+
+def test_reading_newer_version_is_fine(checker):
+    checker.on_read("c1", "x", vid("x", 0, 10), 1.0)
+    checker.on_read("c1", "x", vid("x", 1, 20), 2.0)
+    assert checker.ok
+
+
+def test_lww_tiebreak_order_respected(checker):
+    # Same ut: lower source replica wins, so (x,0,10) is newer than (x,2,10).
+    checker.on_read("c1", "x", vid("x", 0, 10), 1.0)
+    checker.on_read("c1", "x", vid("x", 2, 10), 2.0)
+    assert not checker.ok
+
+
+def test_transitive_dependency_via_reads_from(checker):
+    """c1 writes X then Y; c2 reads Y then an old x -> violation, even
+    though c2 never read X directly."""
+    checker.on_write("c1", "x", vid("x", 0, 10), 1.0)
+    checker.on_write("c1", "y", vid("y", 0, 20), 2.0)
+    checker.on_read("c2", "y", vid("y", 0, 20), 3.0)
+    checker.on_read("c2", "x", vid("x", 0, 5), 4.0)  # older than X
+    assert len(checker.violations) == 1
+    violation = checker.violations[0]
+    assert violation.client == "c2"
+    assert violation.expected_at_least == vid("x", 0, 10)
+
+
+def test_depth_three_transitivity(checker):
+    checker.on_write("c1", "a", vid("a", 0, 10), 1.0)
+    checker.on_write("c1", "b", vid("b", 0, 20), 2.0)   # b deps a
+    checker.on_read("c2", "b", vid("b", 0, 20), 3.0)
+    checker.on_write("c2", "c", vid("c", 1, 30), 4.0)   # c deps b, a
+    checker.register_client("c3")
+    checker.on_read("c3", "c", vid("c", 1, 30), 5.0)
+    checker.on_read("c3", "a", vid("a", 0, 5), 6.0)     # misses a@10
+    assert len(checker.violations) == 1
+
+
+def test_preloaded_versions_have_no_deps(checker):
+    checker.on_read("c1", "x", vid("x", 0, 0), 1.0)  # ut=0: preloaded
+    assert checker.ok
+    assert checker.unknown_dependency_reads == 0
+
+
+def test_unknown_version_counted_not_fatal(checker):
+    checker.on_read("c1", "x", vid("x", 2, 999), 1.0)  # writer unseen
+    assert checker.ok
+    assert checker.unknown_dependency_reads == 1
+
+
+def test_tx_causal_check(checker):
+    checker.on_write("c1", "x", vid("x", 0, 10), 1.0)
+    checker.on_tx_read("c1", [("x", vid("x", 0, 5))], 2.0)
+    assert checker.violations[0].kind == TX_CAUSAL
+
+
+def test_tx_snapshot_closure_violation(checker):
+    """Proposition 4's obligation: returning Y (which depends on X') next
+    to an older version of x is a broken snapshot."""
+    checker.on_write("c1", "x", vid("x", 0, 10), 1.0)   # X'
+    checker.on_write("c1", "y", vid("y", 0, 20), 2.0)   # Y deps X'
+    checker.on_tx_read(
+        "c2",
+        [("y", vid("y", 0, 20)), ("x", vid("x", 0, 5))],  # stale x
+        3.0,
+    )
+    kinds = {v.kind for v in checker.violations}
+    assert TX_SNAPSHOT in kinds
+
+
+def test_tx_consistent_snapshot_passes(checker):
+    checker.on_write("c1", "x", vid("x", 0, 10), 1.0)
+    checker.on_write("c1", "y", vid("y", 0, 20), 2.0)
+    checker.on_tx_read(
+        "c2",
+        [("y", vid("y", 0, 20)), ("x", vid("x", 0, 10))],
+        3.0,
+    )
+    assert checker.ok
+
+
+def test_tx_returning_concurrent_fresh_items_ok(checker):
+    checker.on_write("c1", "x", vid("x", 0, 10), 1.0)
+    checker.on_write("c2", "y", vid("y", 1, 15), 1.5)  # concurrent with x
+    checker.register_client("c3")
+    checker.on_tx_read(
+        "c3",
+        [("x", vid("x", 0, 10)), ("y", vid("y", 1, 15))],
+        2.0,
+    )
+    assert checker.ok
+
+
+def test_tx_absorbs_results_into_causal_past(checker):
+    checker.on_write("c1", "x", vid("x", 0, 10), 1.0)
+    checker.on_tx_read("c2", [("x", vid("x", 0, 10))], 2.0)
+    checker.on_read("c2", "x", vid("x", 0, 5), 3.0)  # older than tx result
+    assert len(checker.violations) == 1
+
+
+def test_duplicate_registration_rejected(checker):
+    with pytest.raises(ReproError):
+        checker.register_client("c1")
+
+
+def test_unregistered_client_rejected(checker):
+    with pytest.raises(ReproError):
+        checker.on_read("ghost", "x", vid("x", 0, 1), 1.0)
+
+
+def test_summary_counts_by_kind(checker):
+    checker.on_write("c1", "x", vid("x", 0, 10), 1.0)
+    checker.on_read("c1", "x", vid("x", 0, 5), 2.0)
+    checker.on_read("c1", "x", vid("x", 0, 3), 3.0)
+    summary = checker.summary()
+    assert summary["violations"] == 2
+    assert summary[CAUSAL_GET] == 2
+    assert summary["reads_checked"] == 2
+    assert summary["writes_seen"] == 1
+
+
+def test_history_recording_optional():
+    checker = CausalChecker(record_history=True)
+    checker.register_client("c1")
+    checker.on_write("c1", "x", vid("x", 0, 10), 1.0)
+    checker.on_read("c1", "x", vid("x", 0, 10), 2.0)
+    checker.on_tx_read("c1", [("x", vid("x", 0, 10))], 3.0)
+    assert len(checker.history) == 3
+    assert len(list(checker.history.reads())) == 1
+    assert len(list(checker.history.writes())) == 1
+    assert len(list(checker.history.tx_reads())) == 1
+    assert len(list(checker.history.by_client("c1"))) == 3
+
+
+def test_violation_describe_is_informative(checker):
+    checker.on_write("c1", "x", vid("x", 0, 10), 1.0)
+    checker.on_read("c1", "x", vid("x", 0, 5), 2.0)
+    text = checker.violations[0].describe()
+    assert "c1" in text and "x" in text and "causal_get" in text

@@ -1,0 +1,93 @@
+"""Property-based tests for the causal checker.
+
+Strategy: generate random *consistent* executions — reads return a version
+at or above the newest version of that key in the reader's (transitive)
+causal past — and assert the checker accepts them; then corrupt one read to
+return something older and assert the checker rejects."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.verification.checker import CausalChecker
+from repro.verification.history import order_of
+
+
+def _merge_floor(floor, deps):
+    for key, vid in deps.items():
+        current = floor.get(key)
+        if current is None or order_of(vid) > order_of(current):
+            floor[key] = vid
+
+
+def _simulate(seed: int, corrupt: bool):
+    """Replay a random multi-client history through the checker.
+
+    The generator maintains the true transitive causal past of every
+    client (mirroring the causality definition, independently of the
+    checker's code) so it can always construct legal reads.
+    """
+    rng = random.Random(seed)
+    keys = [f"k{i}" for i in range(4)]
+    clients = [f"c{i}" for i in range(3)]
+    checker = CausalChecker()
+    for client in clients:
+        checker.register_client(client)
+
+    versions = {key: [(key, 0, 0)] for key in keys}
+    deps_of = {}  # vid -> its writer's causal past (key -> vid)
+    floor = {c: {} for c in clients}
+    next_ts = 1
+    corrupted = False
+
+    for step in range(60):
+        client = rng.choice(clients)
+        key = rng.choice(keys)
+        time_s = float(step)
+        if rng.random() < 0.4:  # write
+            vid = (key, rng.randrange(3), next_ts)
+            next_ts += 1
+            versions[key].append(vid)
+            deps_of[vid] = dict(floor[client])
+            checker.on_write(client, key, vid, time_s)
+            floor[client][key] = vid
+        else:  # read
+            minimum = floor[client].get(key)
+            candidates = [
+                v for v in versions[key]
+                if minimum is None or order_of(v) >= order_of(minimum)
+            ]
+            vid = rng.choice(candidates)
+            if corrupt and not corrupted and minimum is not None:
+                older = [
+                    v for v in versions[key]
+                    if order_of(v) < order_of(minimum)
+                ]
+                if older:
+                    vid = older[0]
+                    corrupted = True
+            checker.on_read(client, key, vid, time_s)
+            # Absorb transitively, exactly as causality demands.
+            _merge_floor(floor[client], deps_of.get(vid, {}))
+            current = floor[client].get(key)
+            if current is None or order_of(vid) > order_of(current):
+                floor[client][key] = vid
+    return checker, corrupted
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=0, max_value=10**6))
+def test_consistent_histories_accepted(seed):
+    checker, _ = _simulate(seed, corrupt=False)
+    assert checker.ok, checker.violations[:3]
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=0, max_value=10**6))
+def test_corrupted_histories_rejected(seed):
+    checker, corrupted = _simulate(seed, corrupt=True)
+    if corrupted:
+        assert not checker.ok
+    else:  # the random walk never created a corruptible read
+        assert checker.ok

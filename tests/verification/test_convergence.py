@@ -1,0 +1,37 @@
+"""Tests for the replica convergence checker."""
+
+import helpers
+from repro.verification.convergence import check_convergence
+
+
+def test_quiesced_cluster_converges():
+    built = helpers.make_cluster(protocol="pocc")
+    key = helpers.key_on_partition(built, 0)
+    for dc in range(3):
+        helpers.put(built, helpers.client_at(built, dc=dc), key, f"dc{dc}")
+    helpers.settle(built, 1.5)
+    divergences = check_convergence(built.servers, 3, 2)
+    assert divergences == []
+
+
+def test_divergence_detected_mid_replication():
+    built = helpers.make_cluster(protocol="pocc")
+    key = helpers.key_on_partition(built, 0)
+    helpers.put(built, helpers.client_at(built, dc=0), key, "new")
+    # No settle: the write has not replicated yet.
+    divergences = check_convergence(built.servers, 3, 2)
+    assert len(divergences) == 1
+    assert divergences[0].key == key
+    assert divergences[0].partition == 0
+    text = divergences[0].describe()
+    assert key in text and "dc0" in text
+
+
+def test_divergence_detected_under_unhealed_partition():
+    built = helpers.make_cluster(protocol="pocc")
+    built.faults.partition_dcs([0], [1, 2])
+    key = helpers.key_on_partition(built, 1)
+    helpers.put(built, helpers.client_at(built, dc=0), key, "island")
+    helpers.settle(built, 1.0)
+    divergences = check_convergence(built.servers, 3, 2)
+    assert any(d.key == key for d in divergences)

@@ -1,0 +1,99 @@
+"""Tests for the closed-loop client driver."""
+
+import pytest
+
+import helpers
+from repro.common.errors import ReproError
+from repro.verification.checker import CausalChecker
+from repro.workload.driver import ClosedLoopClient
+from repro.workload.generators import make_workload
+
+
+def _driver(built, client_index=0, think_time_s=0.010, checker=None,
+            kind="get_put"):
+    from repro.common.config import WorkloadConfig
+    client = built.clients[client_index]
+    workload = make_workload(
+        WorkloadConfig(kind=kind, gets_per_put=2, tx_partitions=2),
+        built.pools, built.rng.stream("test-driver"),
+    )
+    return ClosedLoopClient(
+        sim=built.sim, client=client, workload=workload,
+        think_time_s=think_time_s, rng=built.rng.stream("test-driver-rng"),
+        checker=checker,
+    )
+
+
+def test_closed_loop_pacing():
+    built = helpers.make_cluster(protocol="pocc")
+    driver = _driver(built, think_time_s=0.010)
+    driver.start(stagger_s=0.0)
+    built.sim.run(until=1.0)
+    # Each cycle = response (~1ms) + think (10ms): roughly 90 ops/second.
+    assert 60 <= driver.ops_issued <= 110
+    assert driver.client.ops_completed >= driver.ops_issued - 1
+
+
+def test_zero_think_time_saturates_loop():
+    built = helpers.make_cluster(protocol="pocc")
+    driver = _driver(built, think_time_s=0.0)
+    driver.start(stagger_s=0.0)
+    built.sim.run(until=0.5)
+    assert driver.ops_issued > 200  # bounded only by response times
+
+
+def test_stop_halts_after_inflight_op():
+    built = helpers.make_cluster(protocol="pocc")
+    driver = _driver(built)
+    driver.start(stagger_s=0.0)
+    built.sim.run(until=0.3)
+    issued_at_stop = driver.ops_issued
+    driver.stop()
+    built.sim.run(until=1.0)
+    assert driver.ops_issued <= issued_at_stop + 1
+
+
+def test_double_start_rejected():
+    built = helpers.make_cluster(protocol="pocc")
+    driver = _driver(built)
+    driver.start()
+    with pytest.raises(ReproError):
+        driver.start()
+
+
+def test_checker_hooks_invoked_for_gets_and_puts():
+    built = helpers.make_cluster(protocol="pocc")
+    checker = CausalChecker()
+    driver = _driver(built, checker=checker)
+    driver.start(stagger_s=0.0)
+    built.sim.run(until=0.5)
+    assert checker.reads_checked > 10
+    assert checker.writes_seen > 3
+    assert checker.ok
+
+
+def test_checker_hooks_invoked_for_transactions():
+    built = helpers.make_cluster(protocol="pocc")
+    checker = CausalChecker()
+    driver = _driver(built, checker=checker, kind="ro_tx")
+    driver.start(stagger_s=0.0)
+    built.sim.run(until=0.5)
+    assert checker.tx_reads_checked > 5
+    assert checker.ok
+
+
+def test_put_values_identify_writer():
+    built = helpers.make_cluster(protocol="pocc")
+    driver = _driver(built, think_time_s=0.001)
+    driver.start(stagger_s=0.0)
+    built.sim.run(until=0.3)
+    server = built.servers[built.topology.server(0, 0)]
+    tagged = [
+        v for key in server.store.keys()
+        for v in server.store.chain(key)
+        if isinstance(v.value, tuple)
+    ]
+    assert tagged, "driver writes carry (client, seq) values"
+    client_id, seq = tagged[0].value
+    assert client_id.startswith("c[")
+    assert seq >= 1

@@ -1,0 +1,122 @@
+"""Tests for the Get-Put and RO-TX workload generators."""
+
+import random
+
+import pytest
+
+from repro.common.config import WorkloadConfig
+from repro.common.errors import ConfigError
+from repro.cluster.topology import KeyPools, Topology
+from repro.workload.generators import (
+    GetPutWorkload,
+    RoTxWorkload,
+    make_workload,
+)
+
+
+def _pools(partitions=4, keys=20):
+    return KeyPools(Topology(num_dcs=3, num_partitions=partitions), keys)
+
+
+def test_getput_cycle_structure():
+    """N GETs then one PUT, repeating (Section V-B)."""
+    workload = GetPutWorkload(_pools(), gets_per_put=3, zipf_theta=0.99,
+                              rng=random.Random(1))
+    kinds = [workload.next_op().kind for _ in range(12)]
+    assert kinds == ["get", "get", "get", "put"] * 3
+
+
+def test_getput_gets_target_distinct_partitions():
+    pools = _pools(partitions=4)
+    topology = pools.topology
+    workload = GetPutWorkload(pools, gets_per_put=4, zipf_theta=0.99,
+                              rng=random.Random(2))
+    ops = [workload.next_op() for _ in range(5)]
+    get_partitions = [topology.partition_of(op.key) for op in ops[:4]]
+    assert sorted(get_partitions) == [0, 1, 2, 3]
+
+
+def test_getput_ratio_larger_than_partitions_wraps():
+    pools = _pools(partitions=2)
+    workload = GetPutWorkload(pools, gets_per_put=6, zipf_theta=0.99,
+                              rng=random.Random(3))
+    ops = [workload.next_op() for _ in range(7)]
+    assert [op.kind for op in ops] == ["get"] * 6 + ["put"]
+
+
+def test_getput_put_partition_roughly_uniform():
+    pools = _pools(partitions=4)
+    topology = pools.topology
+    workload = GetPutWorkload(pools, gets_per_put=0, zipf_theta=0.0,
+                              rng=random.Random(4))
+    counts = [0] * 4
+    n = 8000
+    for _ in range(n):
+        op = workload.next_op()
+        assert op.kind == "put"
+        counts[topology.partition_of(op.key)] += 1
+    for count in counts:
+        assert abs(count - n / 4) < n * 0.05
+
+
+def test_getput_zipf_prefers_low_ranks():
+    pools = _pools(partitions=2, keys=50)
+    workload = GetPutWorkload(pools, gets_per_put=1, zipf_theta=0.99,
+                              rng=random.Random(5))
+    rank0_keys = {pools.key(p, 0) for p in range(2)}
+    hits = sum(
+        1 for _ in range(4000) if workload.next_op().key in rank0_keys
+    )
+    assert hits > 400  # zipf(0.99) over 50 keys gives rank 0 >> 1/50
+
+
+def test_rotx_cycle_structure():
+    workload = RoTxWorkload(_pools(), tx_partitions=3, zipf_theta=0.99,
+                            rng=random.Random(6))
+    kinds = [workload.next_op().kind for _ in range(6)]
+    assert kinds == ["ro_tx", "put"] * 3
+
+
+def test_rotx_keys_span_distinct_partitions():
+    pools = _pools(partitions=4)
+    topology = pools.topology
+    workload = RoTxWorkload(pools, tx_partitions=3, zipf_theta=0.99,
+                            rng=random.Random(7))
+    op = workload.next_op()
+    assert op.kind == "ro_tx"
+    assert len(op.keys) == 3
+    partitions = {topology.partition_of(k) for k in op.keys}
+    assert len(partitions) == 3
+
+
+def test_rotx_partitions_bounds_checked():
+    with pytest.raises(ConfigError):
+        RoTxWorkload(_pools(partitions=2), tx_partitions=3, zipf_theta=0.99,
+                     rng=random.Random(8))
+    with pytest.raises(ConfigError):
+        RoTxWorkload(_pools(), tx_partitions=0, zipf_theta=0.99,
+                     rng=random.Random(8))
+
+
+def test_make_workload_dispatch():
+    pools = _pools()
+    rng = random.Random(9)
+    assert isinstance(
+        make_workload(WorkloadConfig(kind="get_put"), pools, rng),
+        GetPutWorkload,
+    )
+    assert isinstance(
+        make_workload(WorkloadConfig(kind="ro_tx", tx_partitions=2),
+                      pools, rng),
+        RoTxWorkload,
+    )
+
+
+def test_generators_deterministic_given_seed():
+    def run(seed):
+        workload = GetPutWorkload(_pools(), gets_per_put=2, zipf_theta=0.99,
+                                  rng=random.Random(seed))
+        return [workload.next_op() for _ in range(30)]
+
+    assert run(42) == run(42)
+    assert run(42) != run(43)

@@ -1,0 +1,94 @@
+"""Key-popularity distributions: shape properties of each chooser."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.workload.keydist import (
+    HotspotRanks,
+    UniformRanks,
+    ZipfRanks,
+    make_rank_chooser,
+)
+
+
+def _samples(chooser, n=20_000):
+    return [chooser.sample() for _ in range(n)]
+
+
+def test_uniform_covers_range_evenly():
+    chooser = UniformRanks(10, random.Random(1))
+    counts = Counter(_samples(chooser))
+    assert set(counts) == set(range(10))
+    for count in counts.values():
+        assert count == pytest.approx(2_000, rel=0.15)
+
+
+def test_zipf_head_dominates():
+    chooser = ZipfRanks(1000, 0.99, random.Random(2))
+    samples = _samples(chooser)
+    head_share = sum(1 for s in samples if s < 10) / len(samples)
+    tail_share = sum(1 for s in samples if s >= 500) / len(samples)
+    # zipf(0.99): the top 1% of 1000 ranks carries ~39% of the mass,
+    # the bottom half under ~10%.
+    assert head_share > 0.3
+    assert tail_share < 0.15
+
+
+def test_hotspot_hits_hot_set_at_configured_rate():
+    chooser = HotspotRanks(1000, hot_ops=0.9, hot_keys=0.1,
+                           rng=random.Random(3))
+    samples = _samples(chooser)
+    hot_share = sum(1 for s in samples if s < 100) / len(samples)
+    assert hot_share == pytest.approx(0.9, abs=0.02)
+
+
+def test_hotspot_within_classes_is_uniform():
+    chooser = HotspotRanks(100, hot_ops=0.5, hot_keys=0.1,
+                           rng=random.Random(4))
+    hot = Counter(s for s in _samples(chooser, 40_000) if s < 10)
+    shares = [hot[i] / sum(hot.values()) for i in range(10)]
+    for share in shares:
+        assert share == pytest.approx(0.1, abs=0.03)
+
+
+def test_hotspot_degenerate_full_hot_set():
+    chooser = HotspotRanks(5, hot_ops=0.9, hot_keys=1.0,
+                           rng=random.Random(5))
+    assert set(_samples(chooser, 2_000)) == set(range(5))
+
+
+def test_hotspot_tiny_keyspace_has_at_least_one_hot_key():
+    chooser = HotspotRanks(3, hot_ops=1.0, hot_keys=0.01,
+                           rng=random.Random(6))
+    assert set(_samples(chooser, 500)) == {0}
+
+
+def test_rank_bounds():
+    for chooser in (
+        ZipfRanks(7, 0.99, random.Random(7)),
+        UniformRanks(7, random.Random(7)),
+        HotspotRanks(7, 0.9, 0.3, random.Random(7)),
+    ):
+        assert all(0 <= s < 7 for s in _samples(chooser, 2_000))
+
+
+def test_factory_dispatch():
+    rng = random.Random(8)
+    assert isinstance(make_rank_chooser("zipf", 10, rng), ZipfRanks)
+    assert isinstance(make_rank_chooser("uniform", 10, rng), UniformRanks)
+    assert isinstance(make_rank_chooser("hotspot", 10, rng), HotspotRanks)
+    with pytest.raises(ConfigError):
+        make_rank_chooser("pareto", 10, rng)
+
+
+def test_invalid_parameters_rejected():
+    rng = random.Random(9)
+    with pytest.raises(ConfigError):
+        UniformRanks(0, rng)
+    with pytest.raises(ConfigError):
+        HotspotRanks(10, hot_ops=0.0, hot_keys=0.5, rng=rng)
+    with pytest.raises(ConfigError):
+        HotspotRanks(10, hot_ops=0.5, hot_keys=1.5, rng=rng)

@@ -1,0 +1,54 @@
+"""Property tests for the key-rank choosers (hypothesis)."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workload.keydist import (
+    HotspotRanks,
+    UniformRanks,
+    ZipfRanks,
+    make_rank_chooser,
+)
+
+_sizes = st.integers(min_value=1, max_value=500)
+_seeds = st.integers(min_value=0, max_value=2**31)
+_fractions = st.floats(min_value=0.01, max_value=1.0,
+                       allow_nan=False, allow_infinity=False)
+
+
+@given(_sizes, _seeds, st.floats(min_value=0.0, max_value=1.5))
+@settings(max_examples=60)
+def test_zipf_samples_in_bounds(n, seed, theta):
+    chooser = ZipfRanks(n, theta, random.Random(seed))
+    assert all(0 <= chooser.sample() < n for _ in range(50))
+
+
+@given(_sizes, _seeds)
+@settings(max_examples=60)
+def test_uniform_samples_in_bounds(n, seed):
+    chooser = UniformRanks(n, random.Random(seed))
+    assert all(0 <= chooser.sample() < n for _ in range(50))
+
+
+@given(_sizes, _seeds, _fractions, _fractions)
+@settings(max_examples=60)
+def test_hotspot_samples_in_bounds(n, seed, hot_ops, hot_keys):
+    chooser = HotspotRanks(n, hot_ops, hot_keys, random.Random(seed))
+    assert all(0 <= chooser.sample() < n for _ in range(50))
+
+
+@given(_seeds, _fractions, _fractions)
+@settings(max_examples=30)
+def test_hotspot_hot_set_never_empty(seed, hot_ops, hot_keys):
+    chooser = HotspotRanks(1, hot_ops, hot_keys, random.Random(seed))
+    assert chooser.sample() == 0
+
+
+@given(st.sampled_from(["zipf", "uniform", "hotspot"]), _sizes, _seeds)
+@settings(max_examples=60)
+def test_factory_output_same_seed_is_deterministic(name, n, seed):
+    a = make_rank_chooser(name, n, random.Random(seed))
+    b = make_rank_chooser(name, n, random.Random(seed))
+    assert [a.sample() for _ in range(25)] == [b.sample() for _ in range(25)]

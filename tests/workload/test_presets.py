@@ -1,0 +1,54 @@
+"""Workload presets: validity, override plumbing, distinctness."""
+
+import pytest
+
+from repro.common.config import ClusterConfig, WorkloadConfig
+from repro.common.errors import ConfigError
+from repro.workload.presets import WORKLOAD_PRESETS, preset
+
+
+def test_every_preset_validates_against_default_cluster():
+    cluster = ClusterConfig()
+    for name, config in WORKLOAD_PRESETS.items():
+        config.validate(cluster)  # must not raise
+
+
+def test_preset_lookup_returns_config():
+    config = preset("ycsb-b")
+    assert isinstance(config, WorkloadConfig)
+    assert config.kind == "mixed"
+    assert config.read_ratio == 0.95
+
+
+def test_preset_overrides_apply():
+    config = preset("facebook-tao", clients_per_partition=16,
+                    think_time_s=0.001)
+    assert config.clients_per_partition == 16
+    assert config.think_time_s == 0.001
+    # The original is untouched (frozen dataclass + replace).
+    assert WORKLOAD_PRESETS["facebook-tao"].clients_per_partition != 16
+
+
+def test_unknown_preset_raises_with_choices():
+    with pytest.raises(ConfigError, match="ycsb-a"):
+        preset("nope")
+
+
+def test_paper_presets_match_section_v():
+    assert WORKLOAD_PRESETS["paper-32to1"].gets_per_put == 32
+    assert WORKLOAD_PRESETS["paper-32to1"].think_time_s == 0.025
+    assert WORKLOAD_PRESETS["paper-32to1"].zipf_theta == 0.99
+    assert WORKLOAD_PRESETS["paper-tx"].kind == "ro_tx"
+
+
+def test_read_heavy_presets_are_read_heavy():
+    assert preset("facebook-tao").read_ratio > 0.99
+    assert preset("memcache-etc").read_ratio >= 0.95
+
+
+def test_session_store_exercises_locality():
+    assert preset("session-store").rmw_locality > 0
+
+
+def test_hotspot_preset_uses_hotspot_distribution():
+    assert preset("hotspot-90-10").key_distribution == "hotspot"
