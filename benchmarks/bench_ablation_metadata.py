@@ -28,7 +28,10 @@ from repro.harness.experiment import run_experiment
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
-MATRIX = ("pocc", "cure", "occ_scalar", "gentlerain")
+#: The 2x2 matrix plus okapi — off the grid: universally-pessimistic
+#: visibility (stalest cut of all) bought with O(1) metadata and
+#: fully non-blocking writes (hybrid clocks).
+MATRIX = ("pocc", "cure", "occ_scalar", "gentlerain", "okapi")
 
 
 def _config(protocol: str) -> ExperimentConfig:
@@ -57,6 +60,7 @@ def test_ablation_metadata_matrix(benchmark):
     cure = results["cure"]
     occ_scalar = results["occ_scalar"]
     gentlerain = results["gentlerain"]
+    okapi = results["okapi"]
 
     # Optimistic visibility: reads are never old, in both variants.
     assert pocc.get_staleness["pct_old"] == 0.0
@@ -77,6 +81,13 @@ def test_ablation_metadata_matrix(benchmark):
     # Scalar metadata shrinks the wire footprint vs the vector twin.
     assert occ_scalar.bytes_per_op < pocc.bytes_per_op
     assert gentlerain.bytes_per_op < cure.bytes_per_op
+
+    # Okapi: the stalest visibility horizon of the spectrum (universal
+    # stability waits for the slowest DC), paid back with O(1) metadata
+    # (replication ships a single scalar cut) and zero blocked writes.
+    assert okapi.get_staleness["pct_old"] >= cure.get_staleness["pct_old"]
+    assert okapi.bytes_per_op < gentlerain.bytes_per_op
+    assert okapi.extras["blocking_blocked"] == 0
 
     # Neither optimistic variant runs a stabilization protocol.
     assert pocc.gss_lag["count"] == 0

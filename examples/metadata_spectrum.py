@@ -3,13 +3,15 @@
 
 The paper notes that OCC "can be implemented with any dependency tracking
 mechanism" — dependency lists, scalar clocks, vector clocks.  This example
-runs the same GET:PUT workload through five protocols spanning that space
+runs the same GET:PUT workload through six protocols spanning that space
 and prints how each one pays for causal consistency:
 
 * pocc        — optimistic + O(M) vectors (the paper's system)
 * occ_scalar  — optimistic + O(1) scalars
 * cure        — pessimistic + O(M) vectors (the paper's baseline)
 * gentlerain  — pessimistic + O(1) scalar GST
+* okapi       — pessimistic + O(1) hybrid-clock scalars + *universal*
+                stabilization (the authors' follow-up system)
 * cops        — pessimistic + explicit dependency lists + dep-check traffic
 
 Run:  python examples/metadata_spectrum.py
@@ -22,7 +24,7 @@ from repro import (
     run_experiment,
 )
 
-SPECTRUM = ("pocc", "occ_scalar", "cure", "gentlerain", "cops")
+SPECTRUM = ("pocc", "occ_scalar", "cure", "gentlerain", "okapi", "cops")
 
 
 def main() -> None:
@@ -66,6 +68,10 @@ def main() -> None:
     print(" * scalar metadata is cheaper on the wire, coarser in what it")
     print("   can express: more false blocking (occ_scalar) or more")
     print("   staleness (gentlerain).")
+    print(" * okapi pushes pessimism to the limit: remote updates wait for")
+    print("   *every* DC (stalest reads, highest visibility lag) in")
+    print("   exchange for the smallest metadata and zero blocking —")
+    print("   writes never even wait on clocks (hybrid logical clocks).")
 
 
 if __name__ == "__main__":

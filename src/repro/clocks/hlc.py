@@ -1,14 +1,13 @@
-"""Hybrid logical clock (extension; not used by the paper's protocols).
+"""Hybrid logical clock (the Okapi* timestamp substrate).
 
 POCC's PUT handler must wait until the server's physical clock exceeds every
 timestamp in the client's dependency vector (Algorithm 2 line 7) so the new
 update's timestamp dominates its dependencies.  A hybrid logical clock
 (Kulkarni et al., "Logical Physical Clocks", OPODIS 2014) removes that wait
-by letting the logical component jump ahead of the physical clock.  We ship
-it as an optional substrate so the ablation benches can quantify what the
-clock wait costs POCC — a design alternative the GentleRain/Cure line of
-work discusses.
-"""
+by letting the logical component jump ahead of the physical clock.  The
+Okapi* protocol (:mod:`repro.protocols.okapi`) stamps every update with one
+of these — its "writes never wait on clocks" claim — and the ablation
+benches use it to quantify what the clock wait costs POCC."""
 
 from __future__ import annotations
 
@@ -43,6 +42,19 @@ class HybridLogicalClock:
             self._logical = 0
         else:
             self._logical += 1
+        return self._pack(self._last_physical, self._logical)
+
+    def peek(self) -> Micros:
+        """Current HLC value without bumping the logical counter.
+
+        Mirrors :meth:`PhysicalClock.peek_micros`: what :meth:`now` would
+        return is strictly greater, so ``peek() >= t`` implies the next
+        stamp dominates ``t``.  Used by idleness checks (heartbeats) that
+        must not consume timestamps.
+        """
+        physical = self._physical.peek_micros()
+        if physical > self._last_physical:
+            return self._pack(physical, 0)
         return self._pack(self._last_physical, self._logical)
 
     def update(self, remote_timestamp: Micros) -> Micros:

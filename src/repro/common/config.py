@@ -140,6 +140,10 @@ class ProtocolConfig:
     #: HA-POCC: how long a demoted client runs pessimistically before it
     #: attempts to promote itself back to the optimistic protocol.
     ha_promotion_retry_s: float = 2.0
+    #: Okapi*: how often each DC aggregator gossips its data-center stable
+    #: time to the other DCs (the WAN half of universal stabilization; the
+    #: intra-DC half reuses ``stabilization_interval_s``).
+    ust_gossip_interval_s: float = 0.005
 
     def validate(self) -> None:
         if self.heartbeat_interval_s <= 0:
@@ -154,6 +158,8 @@ class ProtocolConfig:
             raise ConfigError("ha_stabilization_interval_s must be > 0")
         if self.ha_promotion_retry_s <= 0:
             raise ConfigError("ha_promotion_retry_s must be > 0")
+        if self.ust_gossip_interval_s <= 0:
+            raise ConfigError("ust_gossip_interval_s must be > 0")
 
 
 @dataclass(frozen=True, slots=True)

@@ -28,7 +28,17 @@ from repro.metrics.collectors import (
 
 POCC = "pocc"
 CURE = "cure"
-_LABEL = {POCC: "POCC", CURE: "Cure*"}
+OKAPI = "okapi"
+_LABEL = {POCC: "POCC", CURE: "Cure*", OKAPI: "Okapi*",
+          "gentlerain": "GentleRain*", "occ_scalar": "OCC-scalar",
+          "cops": "COPS*", "ha_pocc": "HA-POCC", "eventual": "eventual"}
+
+#: The paper's two systems — the default comparison every figure runs.
+DEFAULT_PROTOCOLS = (CURE, POCC)
+
+
+def _label(protocol: str) -> str:
+    return _LABEL.get(protocol, protocol)
 
 
 @dataclass(slots=True)
@@ -130,7 +140,8 @@ def _rotx(scale: FigureScale, tx_partitions: int, clients: int) -> WorkloadConfi
 # ----------------------------------------------------------------------
 
 
-def figure_1a(scale: str = "bench", verbose: bool = False) -> FigureData:
+def figure_1a(scale: str = "bench", verbose: bool = False,
+              protocols: tuple[str, ...] = DEFAULT_PROTOCOLS) -> FigureData:
     """Throughput while varying the number of partitions (GET:PUT = p:1).
 
     Paper: POCC and Cure* achieve basically the same throughput at every
@@ -146,20 +157,21 @@ def figure_1a(scale: str = "bench", verbose: bool = False) -> FigureData:
         notes="paper: the two systems overlap across all sizes",
     )
     for partitions in s.partition_sweep:
-        for protocol in (CURE, POCC):
+        for protocol in protocols:
             workload = _getput(s, gets_per_put=partitions,
                                clients=s.saturating_clients)
             cfg = _experiment(s, protocol, workload, partitions=partitions,
                               name=f"fig1a-{protocol}-p{partitions}")
             result = run_experiment(cfg)
-            data.add(_LABEL[protocol], partitions, result.throughput_ops_s)
+            data.add(_label(protocol), partitions, result.throughput_ops_s)
             data.results.append(result)
             log(f"1a p={partitions} {protocol}: "
                 f"{result.throughput_ops_s:,.0f} ops/s")
     return data
 
 
-def figure_1b(scale: str = "bench", verbose: bool = False) -> FigureData:
+def figure_1b(scale: str = "bench", verbose: bool = False,
+              protocols: tuple[str, ...] = DEFAULT_PROTOCOLS) -> FigureData:
     """Average response time vs throughput (client-count sweep).
 
     Paper: POCC is slightly faster below saturation (no stabilization, no
@@ -176,12 +188,12 @@ def figure_1b(scale: str = "bench", verbose: bool = False) -> FigureData:
         notes="paper: POCC at or below Cure* until the saturation knee",
     )
     for clients in s.client_sweep:
-        for protocol in (CURE, POCC):
+        for protocol in protocols:
             workload = _getput(s, s.getput_ratio, clients)
             cfg = _experiment(s, protocol, workload,
                               name=f"fig1b-{protocol}-c{clients}")
             result = run_experiment(cfg)
-            data.add(_LABEL[protocol], result.throughput_ops_s,
+            data.add(_label(protocol), result.throughput_ops_s,
                      result.mean_response_time_s * 1000.0)
             data.results.append(result)
             log(f"1b c={clients} {protocol}: "
@@ -190,7 +202,8 @@ def figure_1b(scale: str = "bench", verbose: bool = False) -> FigureData:
     return data
 
 
-def figure_1c(scale: str = "bench", verbose: bool = False) -> FigureData:
+def figure_1c(scale: str = "bench", verbose: bool = False,
+              protocols: tuple[str, ...] = DEFAULT_PROTOCOLS) -> FigureData:
     """Throughput vs GET:PUT ratio at saturation.
 
     Paper: throughput decreases with write intensity for both systems;
@@ -206,12 +219,12 @@ def figure_1c(scale: str = "bench", verbose: bool = False) -> FigureData:
         notes="paper: POCC within ~10% of Cure* even at write-heavy ratios",
     )
     for ratio in s.ratio_sweep:
-        for protocol in (CURE, POCC):
+        for protocol in protocols:
             workload = _getput(s, ratio, s.saturating_clients)
             cfg = _experiment(s, protocol, workload,
                               name=f"fig1c-{protocol}-r{ratio}")
             result = run_experiment(cfg)
-            data.add(_LABEL[protocol], ratio, result.throughput_ops_s)
+            data.add(_label(protocol), ratio, result.throughput_ops_s)
             data.results.append(result)
             log(f"1c {ratio}:1 {protocol}: "
                 f"{result.throughput_ops_s:,.0f} ops/s")
@@ -291,7 +304,8 @@ def figure_2b(scale: str = "bench", verbose: bool = False) -> FigureData:
 # ----------------------------------------------------------------------
 
 
-def figure_3a(scale: str = "bench", verbose: bool = False) -> FigureData:
+def figure_3a(scale: str = "bench", verbose: bool = False,
+              protocols: tuple[str, ...] = DEFAULT_PROTOCOLS) -> FigureData:
     """Throughput vs partitions contacted per RO-TX.
 
     Paper: comparable at small transactions, POCC up to ~15% ahead when
@@ -312,7 +326,7 @@ def figure_3a(scale: str = "bench", verbose: bool = False) -> FigureData:
     )
     client_points = s.tx_client_sweep[-2:]
     for tx_partitions in s.tx_partition_sweep:
-        for protocol in (CURE, POCC):
+        for protocol in protocols:
             best = 0.0
             for clients in client_points:
                 workload = _rotx(s, tx_partitions, clients)
@@ -323,7 +337,7 @@ def figure_3a(scale: str = "bench", verbose: bool = False) -> FigureData:
                 result = run_experiment(cfg)
                 best = max(best, result.throughput_ops_s)
                 data.results.append(result)
-            data.add(_LABEL[protocol], tx_partitions, best)
+            data.add(_label(protocol), tx_partitions, best)
             log(f"3a p={tx_partitions} {protocol}: {best:,.0f} ops/s (max "
                 f"over {list(client_points)} clients/partition)")
     return data
@@ -334,7 +348,8 @@ def _tx_partitions_for(s: FigureScale) -> int:
     return max(1, s.partitions // 2)
 
 
-def figure_3b(scale: str = "bench", verbose: bool = False) -> FigureData:
+def figure_3b(scale: str = "bench", verbose: bool = False,
+              protocols: tuple[str, ...] = DEFAULT_PROTOCOLS) -> FigureData:
     """Throughput and RO-TX response time vs clients per partition.
 
     Paper: both reach a similar maximum; POCC's throughput *drops* past its
@@ -351,12 +366,12 @@ def figure_3b(scale: str = "bench", verbose: bool = False) -> FigureData:
         notes="paper: POCC throughput peaks then drops; Cure* plateaus",
     )
     for clients in s.tx_client_sweep:
-        for protocol in (CURE, POCC):
+        for protocol in protocols:
             workload = _rotx(s, half, clients)
             cfg = _experiment(s, protocol, workload,
                               name=f"fig3b-{protocol}-c{clients}")
             result = run_experiment(cfg)
-            label = _LABEL[protocol]
+            label = _label(protocol)
             data.add(f"{label} throughput", clients,
                      result.throughput_ops_s)
             data.add(f"{label} RO-TX resp (ms)", clients,
@@ -407,7 +422,8 @@ def figure_3c(scale: str = "bench", verbose: bool = False) -> FigureData:
     return data
 
 
-def figure_3d(scale: str = "bench", verbose: bool = False) -> FigureData:
+def figure_3d(scale: str = "bench", verbose: bool = False,
+              protocols: tuple[str, ...] = DEFAULT_PROTOCOLS) -> FigureData:
     """Staleness of transactional reads: POCC vs Cure*.
 
     Paper: POCC's % old items is about two orders of magnitude below
@@ -426,16 +442,17 @@ def figure_3d(scale: str = "bench", verbose: bool = False) -> FigureData:
               "Cure*-Old",
     )
     for clients in s.tx_client_sweep:
-        for protocol in (CURE, POCC):
+        for protocol in protocols:
             workload = _rotx(s, half, clients)
             cfg = _experiment(s, protocol, workload,
                               name=f"fig3d-{protocol}-c{clients}")
             result = run_experiment(cfg)
             stale = result.tx_staleness
-            label = _LABEL[protocol]
+            label = _label(protocol)
             data.add(f"{label} % old", clients, stale["pct_old"])
-            if protocol == CURE:
-                data.add("Cure* % unmerged", clients,
+            if protocol != POCC:
+                # POCC has no separate unmerged series (old == unmerged).
+                data.add(f"{label} % unmerged", clients,
                          stale["pct_unmerged"])
             data.results.append(result)
             log(f"3d c={clients} {protocol}: old={stale['pct_old']:.4f}%")

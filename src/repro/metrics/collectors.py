@@ -67,12 +67,14 @@ class BlockingStats:
 #: Blocking causes tracked separately.  GET_VV is Algorithm 2 line 2;
 #: PUT_DEPS line 6; PUT_CLOCK line 7; SLICE_VV line 40; GSS_WAIT is the
 #: pessimistic protocol waiting for stabilization to cover a client's
-#: dependencies.
+#: dependencies; DEP_CHECK is COPS* applying a replicated update only
+#: after its explicit dependencies are locally satisfied.
 BLOCK_GET_VV = "get_vv"
 BLOCK_PUT_DEPS = "put_deps"
 BLOCK_PUT_CLOCK = "put_clock"
 BLOCK_SLICE_VV = "slice_vv"
 BLOCK_GSS_WAIT = "gss_wait"
+BLOCK_DEP_CHECK = "dep_check"
 
 ALL_BLOCK_CAUSES = (
     BLOCK_GET_VV,
@@ -80,6 +82,7 @@ ALL_BLOCK_CAUSES = (
     BLOCK_PUT_CLOCK,
     BLOCK_SLICE_VV,
     BLOCK_GSS_WAIT,
+    BLOCK_DEP_CHECK,
 )
 
 

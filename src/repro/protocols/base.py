@@ -322,7 +322,7 @@ class CausalServer(SimNode):
             return service.slice_base_s + service.slice_per_key_s * len(msg.keys)
         if isinstance(msg, m.SliceResp):
             return service.tx_coordinator_per_slice_s
-        if isinstance(msg, (m.StabPush, m.StabBroadcast)):
+        if isinstance(msg, (m.StabPush, m.StabBroadcast, m.UstGossip)):
             return service.stabilization_msg_s
         if isinstance(msg, (m.GcPush, m.GcBroadcast)):
             return service.gc_msg_s
@@ -336,7 +336,8 @@ class CausalServer(SimNode):
         of load-dependent blocking (POCC) and staleness (Cure*)."""
         from repro.cluster.cpu import BACKGROUND, FOREGROUND
         if isinstance(msg, (m.Replicate, m.Heartbeat, m.StabPush,
-                            m.StabBroadcast, m.GcPush, m.GcBroadcast)):
+                            m.StabBroadcast, m.UstGossip, m.GcPush,
+                            m.GcBroadcast)):
             return BACKGROUND
         return FOREGROUND
 

@@ -44,7 +44,7 @@ from typing import Any, Callable, Sequence
 from repro.clocks.vector import vec_zero
 from repro.common.errors import ProtocolError
 from repro.common.types import Micros, OpType, ReplicaId, version_order_key
-from repro.metrics.collectors import BLOCK_PUT_CLOCK
+from repro.metrics.collectors import BLOCK_DEP_CHECK, BLOCK_PUT_CLOCK
 from repro.protocols import messages as m
 from repro.protocols.base import CausalClient, CausalServer, WaitQueue
 from repro.storage.version import Version
@@ -195,8 +195,21 @@ class CopsServer(CausalServer):
                 self.send(target, query)
 
     def _satisfied(self, dep: m.Dependency) -> bool:
-        """A dependency holds once a visible version at-or-after it (in
-        the LWW order) exists on the partition owning its key.
+        """A dependency holds once *that exact version* is visible on the
+        partition owning its key.
+
+        Satisfying a check with any LWW-newer visible version (the laxer
+        reading of COPS's "version or newer") breaks causality: a fresh
+        local write to the dependency's key — concurrent with, and
+        oblivious to, the dependency — would discharge the check and sever
+        the transitive chain through the dependency's *own* nearest
+        dependencies.  The randomized conformance suite catches exactly
+        this: a reader then observes a version whose writer's causal past
+        is not yet locally visible.  Exact-version matching restores the
+        induction (a visible version implies its whole causal past is
+        visible); it is safe against GC because dependency targets are
+        what clients recently read and ``GC_GRACE_US`` retains them far
+        longer than any check round trip.
 
         The fast path answers locally for keys this partition owns; other
         keys always go through a DepCheck round trip.
@@ -211,10 +224,11 @@ class CopsServer(CausalServer):
             return False
         target = version_order_key(dep.ut, dep.sr)
         for version in chain:  # freshest first
-            if version.order_key < target:
+            order = version.order_key
+            if order < target:
                 return False
-            if _is_visible(version):
-                return True
+            if order == target:
+                return _is_visible(version)
         return False
 
     def _mark_visible(self, version: CopsVersion) -> None:
@@ -229,13 +243,14 @@ class CopsServer(CausalServer):
     # ------------------------------------------------------------------
     def handle_dep_check(self, msg: m.DepCheck) -> None:
         dep = msg.dependency()
+        self.metrics.record_block_attempt(BLOCK_DEP_CHECK)
         if self._locally_satisfied(dep):
             self._ack_dep_check(msg)
         else:
             self.dep_waiters.wait(
                 lambda: self._locally_satisfied(dep),
                 lambda: self._ack_dep_check(msg),
-                cause="dep_check",
+                cause=BLOCK_DEP_CHECK,
                 payload=msg,
             )
 

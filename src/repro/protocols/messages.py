@@ -239,6 +239,21 @@ class StabBroadcast:
         return HEADER_BYTES + vector_bytes(self.gss)
 
 
+@dataclass(slots=True)
+class UstGossip:
+    """Okapi*'s inter-DC stabilization hop: one DC aggregator tells its
+    peers the data-center stable time DST^m (the minimum local stable time
+    across the DC's partitions).  The universal stable time is the minimum
+    DST over all DCs — a timestamp every DC has fully received.  O(1)
+    metadata: one hybrid-clock timestamp per message."""
+
+    dst: Micros
+    src_dc: ReplicaId
+
+    def size_bytes(self) -> int:
+        return HEADER_BYTES + TS_BYTES + ID_BYTES
+
+
 # ----------------------------------------------------------------------
 # Explicit dependency tracking (COPS* baseline)
 # ----------------------------------------------------------------------

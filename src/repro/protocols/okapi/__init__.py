@@ -1,0 +1,30 @@
+"""Okapi* — hybrid-clock causal consistency with universal stabilization.
+
+A reproduction-scale implementation of Okapi (Didona, Spirovska,
+Zwaenepoel — "Okapi: Causally Consistent Geo-Replication Made Faster,
+Cheaper and More Available"), the POCC authors' follow-up system.  Two
+design choices define it:
+
+* **Hybrid logical clocks** stamp every update.  The logical component can
+  jump ahead of the physical clock, so a PUT never waits for the server
+  clock to pass the client's dependency time ("faster": non-blocking
+  writes, where POCC/Cure/GentleRain all pay Algorithm-2-line-7 waits).
+* **Universal stabilization** gates remote visibility on a single scalar,
+  the universal stable time (UST): a timestamp below which *every* DC has
+  received *every* update.  Client sessions and messages carry two scalars
+  regardless of the number of DCs ("cheaper": O(1) metadata), and
+  visibility is uniform across DCs ("more available": anything a client
+  saw as stable is stable everywhere, so failing over loses nothing).
+
+The documented cost is remote-update visibility latency: an update becomes
+readable remotely only after the slowest WAN link has delivered it to the
+last DC plus stabilization rounds — worse than Cure*'s per-DC GSS and far
+worse than POCC's receive-and-show.  The protocol matrix in
+``docs/protocols.md`` places Okapi* on the metadata/visibility trade-off
+curve next to the other six protocols.
+"""
+
+from repro.protocols.okapi.client import OkapiClient
+from repro.protocols.okapi.server import OkapiServer
+
+__all__ = ["OkapiClient", "OkapiServer"]

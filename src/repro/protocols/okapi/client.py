@@ -1,0 +1,72 @@
+"""The Okapi* client: two scalars of session metadata, like GentleRain*.
+
+* ``dt`` — dependency time: the newest hybrid-clock timestamp in the
+  session's causal past (reads and writes, any origin);
+* ``ust_seen`` — the newest stability bound observed in any reply
+  (``max(server UST, version rdep)``), which covers the *remote* causal
+  past of everything the session has read — including transitively,
+  through fresh local versions whose own ``rdep`` rides the reply.
+
+Metadata cost is O(1) in the number of DCs; the wire mapping
+(``GetReq.rdv == [dt, ust_seen]`` etc.) makes the byte accounting reflect
+that automatically.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.common.types import Micros, OpType
+from repro.protocols import messages as m
+from repro.protocols.base import CausalClient
+
+
+class OkapiClient(CausalClient):
+    """Client carrying ``[dt, ust_seen]`` on every operation."""
+
+    def __init__(self, *args: Any, **kwargs: Any):
+        super().__init__(*args, **kwargs)
+        self.dt: Micros = 0
+        self.ust_seen: Micros = 0
+
+    def read_dependency_vector(self) -> list[Micros]:
+        return [self.dt, self.ust_seen]
+
+    def get(self, key: str, callback) -> None:
+        op_id = self._register(OpType.GET, callback)
+        self.send(self._server_for(key),
+                  m.GetReq(key=key, rdv=[self.dt, self.ust_seen],
+                           client=self.address, op_id=op_id))
+
+    def put(self, key: str, value: Any, callback) -> None:
+        op_id = self._register(OpType.PUT, callback)
+        self.send(self._server_for(key),
+                  m.PutReq(key=key, value=value,
+                           dv=[self.dt, self.ust_seen],
+                           client=self.address, op_id=op_id))
+
+    def ro_tx(self, keys, callback) -> None:
+        op_id = self._register(OpType.RO_TX, callback)
+        coordinator = self.topology.server(self.m, self.address.partition)
+        self.send(coordinator,
+                  m.RoTxReq(keys=tuple(keys),
+                            rdv=[self.dt, self.ust_seen],
+                            client=self.address, op_id=op_id))
+
+    def absorb_read(self, reply: m.GetReply) -> None:
+        if reply.ut > self.dt:
+            self.dt = reply.ut
+        if reply.dv and reply.dv[0] > self.ust_seen:
+            self.ust_seen = reply.dv[0]
+
+    def _complete_put(self, reply: m.PutReply) -> None:
+        op_type, started, callback = self._pending.pop(reply.op_id)
+        if reply.ut > self.dt:
+            self.dt = reply.ut
+        self._finish(op_type, started)
+        callback(reply)
+
+    def reset_session(self) -> None:
+        self.dt = 0
+        self.ust_seen = 0
+        self.session_resets += 1

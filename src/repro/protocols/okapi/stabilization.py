@@ -1,0 +1,145 @@
+"""Universal stabilization: the gossip protocol computing the UST.
+
+Three hops, all periodic and all riding the same CPU queues as client
+work (so the UST lags more under load, like the Cure* GSS):
+
+1. every ``stabilization_interval_s`` each node pushes its **local stable
+   time** ``LST = min(VV)`` — it has received everything from every DC up
+   to that timestamp — to its DC aggregator (partition 0), reusing
+   :class:`~repro.protocols.messages.StabPush` with a 1-entry vector;
+2. when the aggregator holds a report from every partition it folds them
+   into the **data-center stable time** ``DST^m = min over partitions``,
+   and every ``ust_gossip_interval_s`` it gossips its current DST to the
+   aggregators of the other DCs (:class:`UstGossip`, one WAN timestamp);
+3. whenever an aggregator knows a DST for *all* DCs it takes the minimum —
+   the **universal stable time**: every DC has received everything up to
+   it — and broadcasts any advance to its DC
+   (:class:`~repro.protocols.messages.StabBroadcast`, 1-entry vector).
+
+All timestamps are packed hybrid-clock values (physical ``<<`` 16 | logical).
+"""
+
+from __future__ import annotations
+
+from repro.clocks.hlc import HybridLogicalClock
+from repro.common.types import Micros
+from repro.protocols import messages as m
+
+
+class UniversalStabilizationMixin:
+    """Adds UST state + universal stabilization rounds to a server.
+
+    Expects the host class to provide ``sim``, ``vv``, ``m``, ``n``,
+    ``topology``, ``metrics``, ``clock``, ``address``, ``send`` and a
+    ``ust_advanced()`` hook called whenever the UST moves forward.
+    """
+
+    def init_universal_stabilization(
+        self, push_interval_s: float, gossip_interval_s: float
+    ) -> None:
+        #: The universal stable time this node trusts (packed HLC micros).
+        self.ust: Micros = 0
+        self._push_interval_s = push_interval_s
+        self._gossip_interval_s = gossip_interval_s
+        self._lst_reports: dict[int, Micros] = {}
+        #: Aggregator state: newest known DST per DC (own DC included).
+        self._dst: dict[int, Micros] = {}
+        self._is_aggregator = self.topology.server(self.m, 0) == self.address
+        # Stagger first rounds per partition to avoid synchronized bursts
+        # (same discipline as the Cure* stabilization mixin).
+        first = push_interval_s * (1.0 + 0.01 * self.n)
+        self.sim.schedule(first, self._lst_push_tick)
+        if self._is_aggregator:
+            gossip_first = gossip_interval_s * (1.0 + 0.01 * self.m)
+            self.sim.schedule(gossip_first, self._ust_gossip_tick)
+
+    # ------------------------------------------------------------------
+    # Hop 1: every node pushes its local stable time intra-DC
+    # ------------------------------------------------------------------
+    def _lst_push_tick(self) -> None:
+        aggregator = self.topology.server(self.m, 0)
+        push = m.StabPush(vv=[min(self.vv)], partition=self.n)
+        if aggregator == self.address:
+            self.receive_lst_push(push)
+        else:
+            self.send(aggregator, push)
+        self.sim.schedule(self._push_interval_s, self._lst_push_tick)
+
+    def receive_lst_push(self, msg: m.StabPush) -> None:
+        self._lst_reports[msg.partition] = msg.vv[0]
+        if len(self._lst_reports) < self.topology.num_partitions:
+            return
+        dst = min(self._lst_reports.values())
+        self._lst_reports.clear()
+        if dst > self._dst.get(self.m, -1):
+            self._dst[self.m] = dst
+        self._recompute_ust()
+
+    # ------------------------------------------------------------------
+    # Hop 2: aggregators gossip their DST across the WAN
+    # ------------------------------------------------------------------
+    def _ust_gossip_tick(self) -> None:
+        dst = self._dst.get(self.m)
+        if dst is not None:
+            for dc in range(self.topology.num_dcs):
+                if dc == self.m:
+                    continue
+                self.send(self.topology.server(dc, 0),
+                          m.UstGossip(dst=dst, src_dc=self.m))
+        self.sim.schedule(self._gossip_interval_s, self._ust_gossip_tick)
+
+    def receive_ust_gossip(self, msg: m.UstGossip) -> None:
+        # max-merge: gossip rounds are idempotent and DSTs are monotone,
+        # so stale deliveries (e.g. flushed after a partition heals) are
+        # harmless.
+        if msg.dst > self._dst.get(msg.src_dc, -1):
+            self._dst[msg.src_dc] = msg.dst
+            self._recompute_ust()
+
+    # ------------------------------------------------------------------
+    # Hop 3: the UST is broadcast intra-DC whenever it advances
+    # ------------------------------------------------------------------
+    def _recompute_ust(self) -> None:
+        if len(self._dst) < self.topology.num_dcs:
+            return  # some DC has never reported; nothing is provably universal
+        ust = min(self._dst.values())
+        if ust <= self.ust:
+            return
+        broadcast = m.StabBroadcast(gss=[ust])
+        for server in self.topology.dc_servers(self.m):
+            if server == self.address:
+                self.receive_ust_broadcast(broadcast)
+            else:
+                self.send(server, broadcast)
+
+    def receive_ust_broadcast(self, msg: m.StabBroadcast) -> None:
+        if msg.gss[0] > self.ust:
+            self.ust = msg.gss[0]
+            self._record_ust_lag()
+            self.ust_advanced()
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    def advance_ust(self, ust: Micros) -> None:
+        """Merge an externally observed UST value (client metadata).
+
+        Safe because every value a client carries descends from some
+        aggregator broadcast: it genuinely bounds what every DC has
+        received, even if this node has not seen that broadcast yet.
+        """
+        if ust > self.ust:
+            self.ust = ust
+            self.ust_advanced()
+
+    def _record_ust_lag(self) -> None:
+        """How far the UST trails this node's clock, in physical seconds
+        (an upper bound on the staleness horizon of stable reads; shares
+        the GSS-lag metric series so benches compare like with like)."""
+        ust_physical, _ = HybridLogicalClock.unpack(self.ust)
+        lag_us = max(self.clock.peek_micros() - ust_physical, 0)
+        self.metrics.record_gss_lag(lag_us / 1_000_000.0)
+
+    def ust_advanced(self) -> None:
+        """Hook: visibility horizons moved; drain pending samples."""
+        raise NotImplementedError

@@ -10,6 +10,8 @@ from repro.protocols.eventual import EventualClient, EventualServer
 from repro.protocols.gentlerain import GentleRainClient, GentleRainServer
 from repro.protocols.ha import HaPoccClient, HaPoccServer
 from repro.protocols.occ_scalar import OccScalarClient, OccScalarServer
+from repro.protocols.okapi.client import OkapiClient
+from repro.protocols.okapi.server import OkapiServer
 from repro.protocols.pocc.client import PoccClient
 from repro.protocols.pocc.server import PoccServer
 
@@ -17,7 +19,8 @@ from repro.protocols.pocc.server import PoccServer
 #: "ha_pocc" the availability extension; "gentlerain" the scalar-clock
 #: predecessor baseline (paper reference [13]); "occ_scalar" the optimistic
 #: variant with GentleRain-sized O(1) metadata (Section III-A's "any
-#: dependency tracking mechanism" claim); "cops" the explicit
+#: dependency tracking mechanism" claim); "okapi" the authors' follow-up
+#: system (hybrid clocks + universal stabilization); "cops" the explicit
 #: dependency-check family (paper reference [8]; GET/PUT only);
 #: "eventual" the unsafe strawman for checker demonstrations.
 PROTOCOLS = {
@@ -26,6 +29,7 @@ PROTOCOLS = {
     "ha_pocc": (HaPoccServer, HaPoccClient),
     "gentlerain": (GentleRainServer, GentleRainClient),
     "occ_scalar": (OccScalarServer, OccScalarClient),
+    "okapi": (OkapiServer, OkapiClient),
     "cops": (CopsServer, CopsClient),
     "eventual": (EventualServer, EventualClient),
 }

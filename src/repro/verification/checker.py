@@ -75,6 +75,7 @@ class CausalChecker:
         self.tx_reads_checked = 0
         self.writes_seen = 0
         self.unknown_dependency_reads = 0
+        self.session_resets_seen = 0
         self.history = History() if record_history else None
 
     # ------------------------------------------------------------------
@@ -116,6 +117,17 @@ class CausalChecker:
         past[key] = vid
         if self.history is not None:
             self.history.append(WriteEvent(client, key, vid, time_s))
+
+    def on_session_reset(self, client: str, time_s: float) -> None:
+        """The client's session was re-initialized (HA demotion/fail-over).
+
+        Section III-B: after recovery the client "might not be able to see
+        the same version of some data items read or written in the
+        optimistic session" — causal stickiness legitimately restarts, so
+        the checker's accumulated past for this client restarts with it.
+        """
+        self.session_resets_seen += 1
+        self._past_of(client).clear()
 
     def on_tx_read(
         self,
@@ -201,6 +213,7 @@ class CausalChecker:
             "writes_seen": self.writes_seen,
             "violations": len(self.violations),
             "unknown_dependency_reads": self.unknown_dependency_reads,
+            "session_resets": self.session_resets_seen,
         }
         for violation in self.violations:
             counts[violation.kind] = counts.get(violation.kind, 0) + 1

@@ -43,6 +43,7 @@ class ClosedLoopClient:
         self._running = False
         self._put_seq = 0
         self._last_put_key: str | None = None
+        self._session_resets_seen = client.session_resets
         if checker is not None:
             checker.register_client(str(client.address))
 
@@ -88,10 +89,24 @@ class ClosedLoopClient:
         else:
             self.sim.schedule(0.0, self._issue_next)
 
+    def _sync_session_resets(self) -> None:
+        """Propagate HA session re-initializations to the checker.
+
+        A reset (demotion/fail-over) happens *before* the failed operation
+        is re-issued, so it is always observed here before the reply of
+        any post-reset operation is recorded.
+        """
+        if self.client.session_resets != self._session_resets_seen:
+            self._session_resets_seen = self.client.session_resets
+            if self.checker is not None:
+                self.checker.on_session_reset(str(self.client.address),
+                                              self.sim.now)
+
     # ------------------------------------------------------------------
     # Reply handlers
     # ------------------------------------------------------------------
     def _on_get_reply(self, reply: m.GetReply) -> None:
+        self._sync_session_resets()
         if self.checker is not None:
             self.checker.on_read(
                 str(self.client.address), reply.key,
@@ -100,6 +115,7 @@ class ClosedLoopClient:
         self._after_reply()
 
     def _on_put_reply(self, reply: m.PutReply) -> None:
+        self._sync_session_resets()
         if self.checker is not None:
             key = self._last_put_key
             # Closed loop: the reply always matches the last issued PUT.
@@ -110,6 +126,7 @@ class ClosedLoopClient:
         self._after_reply()
 
     def _on_tx_reply(self, reply: m.RoTxReply) -> None:
+        self._sync_session_resets()
         if self.checker is not None:
             items = [
                 (item.key, (item.key, item.sr, item.ut))

@@ -1,0 +1,61 @@
+"""Determinism regression: the sim engine's tie-breaking contract.
+
+Two runs of the same seed/config must produce *byte-identical* metrics
+reports — not merely similar numbers.  This pins down the guarantees the
+whole suite leans on (replayable fuzz failures, cacheable figure sweeps):
+event ordering, RNG stream derivation, dict iteration, and float
+arithmetic must all be stable run-to-run within a process.
+"""
+
+import json
+from dataclasses import asdict
+
+import pytest
+
+from repro.common.config import ClusterConfig, ExperimentConfig, WorkloadConfig
+from repro.harness.experiment import run_experiment
+
+
+def _config(protocol: str) -> ExperimentConfig:
+    return ExperimentConfig(
+        cluster=ClusterConfig(num_dcs=3, num_partitions=2,
+                              keys_per_partition=40, protocol=protocol),
+        workload=WorkloadConfig(kind="mixed", read_ratio=0.8, tx_ratio=0.1,
+                                tx_partitions=2, clients_per_partition=2,
+                                think_time_s=0.004),
+        warmup_s=0.2,
+        duration_s=1.0,
+        seed=97,
+        verify=True,
+        name=f"determinism-{protocol}",
+    )
+
+
+def _report_bytes(protocol: str) -> bytes:
+    result = run_experiment(_config(protocol))
+    payload = asdict(result)
+    return json.dumps(payload, sort_keys=True).encode("utf-8")
+
+
+@pytest.mark.parametrize("protocol", ("pocc", "okapi"))
+def test_metrics_reports_byte_identical_across_runs(protocol):
+    assert _report_bytes(protocol) == _report_bytes(protocol)
+
+
+def test_summary_text_byte_identical_across_runs():
+    first = run_experiment(_config("cure")).summary_text()
+    second = run_experiment(_config("cure")).summary_text()
+    assert first.encode() == second.encode()
+
+
+def test_different_seeds_actually_differ():
+    """Guard against the degenerate way to pass the test above: the report
+    must actually depend on the seed."""
+    base = _config("pocc")
+    a = run_experiment(base)
+    b = run_experiment(ExperimentConfig(
+        cluster=base.cluster, workload=base.workload, warmup_s=base.warmup_s,
+        duration_s=base.duration_s, seed=base.seed + 1, verify=True,
+        name=base.name,
+    ))
+    assert a.sim_events != b.sim_events or a.total_ops != b.total_ops

@@ -40,9 +40,18 @@ def test_dc_failure_recovery_example(capsys):
     assert "healthy" in out
 
 
+def test_okapi_universal_stability_example(capsys):
+    out = _run("okapi_universal_stability.py", capsys)
+    assert "--- cure ---" in out
+    assert "--- okapi ---" in out
+    assert "never became visible" not in out
+    assert "uniform visibility" in out
+
+
 def test_metadata_spectrum_example(capsys):
     out = _run("metadata_spectrum.py", capsys)
-    for protocol in ("pocc", "occ_scalar", "cure", "gentlerain", "cops"):
+    for protocol in ("pocc", "occ_scalar", "cure", "gentlerain", "okapi",
+                     "cops"):
         assert protocol in out
     assert "How to read this" in out
 

@@ -42,6 +42,15 @@ def test_replicate_carries_version_payload():
     assert msg.size_bytes() == m.HEADER_BYTES + m.version_bytes(version)
 
 
+def test_ust_gossip_is_one_timestamp():
+    """Okapi*'s WAN stabilization cost: one scalar per gossip message,
+    independent of the number of DCs (vs the M-entry StabPush/Broadcast)."""
+    gossip = m.UstGossip(dst=123, src_dc=1)
+    assert gossip.size_bytes() == m.HEADER_BYTES + m.TS_BYTES + m.ID_BYTES
+    assert gossip.size_bytes() <= m.StabPush(vv=[0] * 3,
+                                             partition=0).size_bytes()
+
+
 def test_heartbeat_is_small():
     hb = m.Heartbeat(ts=123, src_dc=1)
     assert hb.size_bytes() < m.Replicate(

@@ -1,0 +1,288 @@
+"""Okapi* semantics: HLC stamping, universal-stability visibility gating,
+and the two-scalar RO-TX snapshot boundaries."""
+
+import pytest
+
+import helpers
+from repro.clocks.hlc import HybridLogicalClock
+from repro.protocols import messages as m
+from repro.storage.version import Version
+
+
+@pytest.fixture
+def built():
+    return helpers.make_cluster(protocol="okapi")
+
+
+# ----------------------------------------------------------------------
+# Hybrid-clock stamping
+# ----------------------------------------------------------------------
+
+def test_put_then_get_local(built):
+    client = helpers.client_at(built, dc=0)
+    key = helpers.key_on_partition(built, 0)
+    helpers.put(built, client, key, "local")
+    reply = helpers.get(built, client, key)
+    assert reply.value == "local"  # local items immediately visible
+
+
+def test_stamps_strictly_increase_and_dominate_dependencies(built):
+    client = helpers.client_at(built, dc=0)
+    key = helpers.key_on_partition(built, 0)
+    first = helpers.put(built, client, key, 1)
+    assert client.dt == first.ut
+    second = helpers.put(built, client, key, 2)
+    assert second.ut > first.ut  # ut > the client's dependency time
+
+
+def test_put_never_waits_for_the_physical_clock(built):
+    """The HLC's logical component jumps past a future dependency time, so
+    a PUT completes immediately where POCC/Cure*/GentleRain* would park
+    until the server clock passes it (Algorithm 2 line 7)."""
+    client = helpers.client_at(built, dc=0)
+    key = helpers.key_on_partition(built, 0)
+    server = built.servers[built.topology.server(0, 0)]
+    ahead_s = 0.5
+    future = server.hlc.peek() + (int(ahead_s * 1_000_000)
+                                  << HybridLogicalClock.LOGICAL_BITS)
+    client.dt = future
+    started = built.sim.now
+    reply = helpers.put(built, client, key, "fast", timeout_s=1.0)
+    assert reply.ut > future  # still dominates the dependency...
+    assert built.sim.now - started < ahead_s / 2  # ...without the wait
+
+
+def test_put_records_zero_blocking(built):
+    built.metrics.arm(built.sim.now)
+    client = helpers.client_at(built, dc=0)
+    key = helpers.key_on_partition(built, 0)
+    for i in range(5):
+        helpers.put(built, client, key, i)
+    for cause, stats in built.metrics.blocking.items():
+        assert stats.blocked == 0, cause
+
+
+# ----------------------------------------------------------------------
+# Universal stabilization
+# ----------------------------------------------------------------------
+
+def test_ust_advances_everywhere(built):
+    helpers.settle(built, 0.5)
+    for address, server in built.servers.items():
+        assert server.ust > 0, f"UST never advanced on {address}"
+
+
+def test_ust_is_lower_bound_of_every_nodes_knowledge(built):
+    """ust <= min(VV) on every node of every DC: the defining property of
+    universal stability (everything below it is received everywhere)."""
+    helpers.settle(built, 0.5)
+    for server in built.servers.values():
+        assert server.ust <= min(server.vv)
+
+
+def test_ust_roughly_uniform_across_dcs(built):
+    """The availability argument: visibility horizons agree across DCs up
+    to gossip/broadcast delivery lag (vs Cure's per-DC GSS, which diverges
+    by the full WAN asymmetry)."""
+    helpers.settle(built, 1.0)
+    usts = [server.ust for server in built.servers.values()]
+    spread_us = (max(usts) - min(usts)) >> HybridLogicalClock.LOGICAL_BITS
+    # A few stabilization rounds + one WAN hop, not the ~70 ms asymmetry.
+    assert spread_us < 60_000
+
+
+def _inject_remote_version(built, dc, key, value, ahead_s=0.3):
+    """Deliver a remote version to one DC through the real replication
+    handler, stamped ``ahead_s`` beyond the current UST so it stays
+    unstable (deterministically) until stabilization catches up."""
+    server = built.servers[built.topology.server(dc, 0)]
+    ut = server.ust + (int(ahead_s * 1_000_000)
+                       << HybridLogicalClock.LOGICAL_BITS)
+    version = Version(key=key, value=value, sr=0, ut=ut, dv=(0,))
+    server.apply_replicate(m.Replicate(version=version))
+    return server, version
+
+
+def test_remote_version_hidden_until_universally_stable(built):
+    helpers.settle(built, 0.5)
+    key = helpers.key_on_partition(built, 0)
+    server1, version = _inject_remote_version(built, dc=1, key=key,
+                                              value="fresh", ahead_s=0.3)
+    assert server1.store.freshest(key).value == "fresh"  # received...
+    reader = helpers.client_at(built, dc=1)
+    reply = helpers.get(built, reader, key, timeout_s=0.2)
+    assert reply.value == 0, "non-stable remote version must stay hidden"
+
+    # Once clocks pass the version's timestamp, heartbeats raise every
+    # node's LST past it and the gossip rounds make it universally stable.
+    helpers.settle(built, 0.6)
+    reply = helpers.get(built, reader, key)
+    assert reply.value == "fresh"
+
+
+def test_get_merges_client_observed_ust(built):
+    """A client that saw a fresher UST elsewhere lifts the server's
+    horizon instead of blocking (the non-blocking read path)."""
+    helpers.settle(built, 0.5)
+    key = helpers.key_on_partition(built, 0)
+    server1, version = _inject_remote_version(built, dc=1, key=key,
+                                              value="fresh", ahead_s=0.3)
+    reader = helpers.client_at(built, dc=1)
+    reader.ust_seen = version.ut  # as if read stable at another replica
+    reply = helpers.get(built, reader, key, timeout_s=0.2)
+    assert reply.value == "fresh"
+    assert server1.ust >= version.ut
+
+
+def test_stale_read_counts_old_and_unmerged(built):
+    helpers.settle(built, 0.5)
+    built.metrics.arm(built.sim.now)
+    key = helpers.key_on_partition(built, 0)
+    _inject_remote_version(built, dc=1, key=key, value="fresh")
+    reader = helpers.client_at(built, dc=1)
+    helpers.get(built, reader, key, timeout_s=0.2)
+    stale = built.metrics.get_staleness
+    assert stale.old_reads == 1
+    assert stale.unmerged_reads == 1
+
+
+def test_visibility_lag_sampled_at_stability_not_receipt(built):
+    built.metrics.arm(built.sim.now)
+    client = helpers.client_at(built, dc=0)
+    key = helpers.key_on_partition(built, 0)
+    helpers.put(built, client, key, "x")
+    helpers.settle(built, 1.0)
+    lag = built.metrics.visibility_lag
+    assert lag.count > 0
+    # Universal stability needs the slowest WAN delivery (70 ms one-way)
+    # plus the gossip round back — well beyond POCC's receive-and-show.
+    assert lag.mean > 0.07
+
+
+# ----------------------------------------------------------------------
+# Session guarantees
+# ----------------------------------------------------------------------
+
+def test_read_your_writes_across_partitions(built):
+    client = helpers.client_at(built, dc=0)
+    key_a = helpers.key_on_partition(built, 0)
+    key_b = helpers.key_on_partition(built, 1)
+    helpers.put(built, client, key_a, "a")
+    put_b = helpers.put(built, client, key_b, "b")
+    reply = helpers.get(built, client, key_b)
+    assert reply.ut == put_b.ut
+
+
+def test_lww_convergence_across_dcs(built):
+    key = helpers.key_on_partition(built, 0)
+    for dc in range(3):
+        helpers.put(built, helpers.client_at(built, dc=dc), key, f"dc{dc}")
+    helpers.settle(built, 1.0)
+    heads = {
+        built.servers[built.topology.server(dc, 0)].store.freshest(key)
+        .identity()
+        for dc in range(3)
+    }
+    assert len(heads) == 1
+
+
+# ----------------------------------------------------------------------
+# RO-TX snapshot boundaries
+# ----------------------------------------------------------------------
+
+def test_tx_snapshot_at_stable_cut_hides_fresh_remote(built):
+    """Transactions read below the universal stable time: a received but
+    non-stable remote write is not in the snapshot (POCC would return it)."""
+    helpers.settle(built, 0.5)
+    key = helpers.key_on_partition(built, 0)
+    _inject_remote_version(built, dc=1, key=key, value="fresh")
+    reader = helpers.client_at(built, dc=1, partition=1)
+    reply = helpers.ro_tx(built, reader, [key], timeout_s=1.0)
+    assert reply.versions[0].value == 0  # preloaded, not "fresh"
+
+
+def test_tx_local_cut_includes_own_recent_write(built):
+    """The local cut l = max(VV[m], dt) admits the session's own fresh
+    (not yet stable) writes — read-your-writes inside transactions."""
+    helpers.settle(built, 0.5)
+    client = helpers.client_at(built, dc=0)
+    key_a = helpers.key_on_partition(built, 0)
+    key_b = helpers.key_on_partition(built, 1)
+    put_a = helpers.put(built, client, key_a, "mine-a")
+    put_b = helpers.put(built, client, key_b, "mine-b")
+    reply = helpers.ro_tx(built, client, [key_a, key_b], timeout_s=1.0)
+    got = {item.key: item.ut for item in reply.versions}
+    assert got[key_a] == put_a.ut
+    assert got[key_b] == put_b.ut
+
+
+def test_tx_excludes_other_sessions_unstable_local_write_beyond_cut(built):
+    """A *different* session's fresh local write on another partition sits
+    beyond both cuts (not stable, not in this client's past): the snapshot
+    returns the stable version instead of tearing."""
+    helpers.settle(built, 0.5)
+    writer = helpers.client_at(built, dc=0, partition=1)
+    reader = helpers.client_at(built, dc=0, partition=0)
+    key = helpers.key_on_partition(built, 1)
+    put_reply = helpers.put(built, writer, key, "fresh-local")
+    reply = helpers.ro_tx(built, reader, [key], timeout_s=1.0)
+    item = reply.versions[0]
+    if item.ut != put_reply.ut:  # beyond the coordinator's local cut
+        assert item.value == 0  # the stable preloaded version, no tear
+    helpers.settle(built, 1.0)
+    reply = helpers.ro_tx(built, reader, [key], timeout_s=1.0)
+    assert reply.versions[0].ut == put_reply.ut  # visible once stable
+
+
+def test_tx_never_blocks(built):
+    built.metrics.arm(built.sim.now)
+    helpers.settle(built, 0.3)
+    client = helpers.client_at(built, dc=2)
+    keys = [helpers.key_on_partition(built, 0),
+            helpers.key_on_partition(built, 1)]
+    helpers.put(built, client, keys[0], "w")
+    helpers.ro_tx(built, client, keys, timeout_s=1.0)
+    for cause, stats in built.metrics.blocking.items():
+        assert stats.blocked == 0, cause
+
+
+# ----------------------------------------------------------------------
+# Garbage collection
+# ----------------------------------------------------------------------
+
+def test_gc_horizon_aggregated_across_partitions(built):
+    """A coordinator's in-flight RO-TX caps the *whole DC's* GC horizon:
+    the slice may be served on another partition whose UST already passed
+    the snapshot's stable cut, so a local-only horizon could collect the
+    very version the pending slice must return."""
+    helpers.settle(built, 0.5)
+    coordinator = built.servers[built.topology.server(0, 0)]
+    slice_server = built.servers[built.topology.server(0, 1)]
+    old_cut = coordinator.ust // 2
+    coordinator._active_tx[999] = {"tv": [old_cut, coordinator.vv[0]],
+                                   "awaiting": 1, "versions": [],
+                                   "client": None, "op_id": 0}
+    assert coordinator._gc_report_vector() == [old_cut]
+    # Run the DC's aggregated GC round with the transaction open.
+    for server in (coordinator, slice_server):
+        server._gc_tick()
+    helpers.settle(built, 0.05)
+    del coordinator._active_tx[999]
+    # Every server of the DC applied a horizon at or below the snapshot
+    # cut — including the slice partition, whose own UST is far past it.
+    assert slice_server.ust > old_cut
+    assert slice_server.store.gc_stats.last_gv[0] <= old_cut
+
+
+def test_gc_retains_freshest_stable_version(built):
+    client = helpers.client_at(built, dc=0)
+    key = helpers.key_on_partition(built, 0)
+    for i in range(6):
+        helpers.put(built, client, key, i)
+        helpers.settle(built, 0.05)
+    helpers.settle(built, 1.5)  # several GC rounds past stabilization
+    for dc in range(3):
+        server = built.servers[built.topology.server(dc, 0)]
+        chain = server.store.chain(key)
+        assert len(chain) <= 2  # old stable versions collected
+        assert chain.head().value == 5  # the LWW winner survives
