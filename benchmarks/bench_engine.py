@@ -3,12 +3,26 @@
 These justify the substrate substitution: the event engine must push
 hundreds of thousands of events per second for paper-scale sweeps to be
 tractable, and zipf sampling / vector ops are on the per-operation hot
-path."""
+path.  The network send/deliver, storage chain-read and full-experiment
+benches cover the remaining hot paths that ``benchmarks/perf_trajectory.py``
+tracks across PRs (see ``BENCH_*.json``)."""
 
 import random
 
 from repro.clocks.vector import vec_covers, vec_leq, vec_max
+from repro.common.config import (
+    ExperimentConfig,
+    LatencyConfig,
+    WorkloadConfig,
+    smoke_scale_cluster,
+)
+from repro.common.types import Address
+from repro.harness.experiment import run_experiment
 from repro.sim.engine import Simulator
+from repro.sim.latency import GeoLatencyModel
+from repro.sim.network import Network
+from repro.storage.store import PartitionStore
+from repro.storage.version import Version
 from repro.workload.zipf import ZipfGenerator
 
 
@@ -41,6 +55,129 @@ def test_zipf_sampling_throughput(benchmark):
 
     total = benchmark(run)
     assert total > 0
+
+
+class _Sink:
+    """A minimal endpoint: counts deliveries, no CPU model."""
+
+    __slots__ = ("address", "received")
+
+    def __init__(self, address):
+        self.address = address
+        self.received = 0
+
+    def on_message(self, msg) -> None:
+        self.received += 1
+
+
+class _SizedMsg:
+    __slots__ = ()
+
+    def size_bytes(self) -> int:
+        return 64
+
+
+def build_geo_network(num_dcs: int = 3, num_partitions: int = 4):
+    """A 3-DC geo network with sink endpoints (shared with perf_trajectory)."""
+    sim = Simulator()
+    latency = GeoLatencyModel(LatencyConfig(), random.Random(7))
+    network = Network(sim, latency)
+    endpoints = []
+    for dc in range(num_dcs):
+        for partition in range(num_partitions):
+            endpoint = _Sink(Address(dc=dc, partition=partition))
+            network.register(endpoint)
+            endpoints.append(endpoint)
+    return sim, network, endpoints
+
+
+def drive_network(sim, network, endpoints, rounds: int = 5_000) -> int:
+    """All-to-all sends through the FIFO channels, then drain delivery."""
+    msg = _SizedMsg()
+    sent = 0
+    for round_no in range(rounds):
+        src = endpoints[round_no % len(endpoints)]
+        for dst in endpoints:
+            if dst is not src:
+                network.send(src.address, dst.address, msg)
+                sent += 1
+    sim.run()
+    return sent
+
+
+def test_network_send_deliver_throughput(benchmark):
+    """Cost of send (size + byte accounting + FIFO channel bookkeeping +
+    latency sample) plus heap-driven delivery, the per-message hot path."""
+
+    def run() -> int:
+        sim, network, endpoints = build_geo_network()
+        sent = drive_network(sim, network, endpoints)
+        assert network.stats.messages_delivered == sent
+        return sent
+
+    assert benchmark(run) > 0
+
+
+def build_loaded_store(num_keys: int = 200, chain_depth: int = 40):
+    """A partition store whose chains are ``chain_depth`` versions deep
+    (shared with perf_trajectory)."""
+    store = PartitionStore()
+    keys = [f"k{i}" for i in range(num_keys)]
+    store.preload(keys, num_dcs=3)
+    for i in range(1, chain_depth):
+        ut = i * 1000
+        for key in keys:
+            store.insert(Version(key=key, value=i, sr=i % 3, ut=ut,
+                                 dv=(ut, ut - 1, ut - 2)))
+    return store, keys
+
+
+def scan_store(store, keys, rounds: int = 50, horizon: int = 20_000) -> int:
+    """Chain-head reads plus snapshot scans below ``horizon`` (the Cure*
+    read path the paper bills for chain traversal)."""
+
+    def visible(version) -> bool:
+        return version.ut <= horizon
+
+    scanned = 0
+    for _ in range(rounds):
+        for key in keys:
+            store.freshest(key)
+            _, steps = store.chain(key).find_freshest(visible)
+            scanned += steps
+    return scanned
+
+
+def test_storage_chain_read_throughput(benchmark):
+    store, keys = build_loaded_store()
+
+    def run() -> int:
+        return scan_store(store, keys)
+
+    assert benchmark(run) > 0
+
+
+def perf_reference_config(seed: int = 42) -> ExperimentConfig:
+    """The full-experiment reference point tracked in ``BENCH_*.json``."""
+    return ExperimentConfig(
+        cluster=smoke_scale_cluster("pocc"),
+        workload=WorkloadConfig(kind="get_put", gets_per_put=4,
+                                clients_per_partition=8,
+                                think_time_s=0.005),
+        warmup_s=0.3,
+        duration_s=0.8,
+        seed=seed,
+        name="perf-reference",
+    )
+
+
+def test_full_experiment_wall_clock(benchmark):
+    """One small end-to-end experiment: everything above composed."""
+
+    def run() -> int:
+        return run_experiment(perf_reference_config()).total_ops
+
+    assert benchmark(run) > 0
 
 
 def test_vector_ops_throughput(benchmark):

@@ -48,6 +48,7 @@ from repro.common.types import Address, NodeKind, OpType
 from repro.clocks.vector import VectorClock
 from repro.harness.builders import BuiltCluster, build_cluster
 from repro.harness.experiment import ExperimentResult, run_experiment
+from repro.harness.parallel import run_experiments
 from repro.harness.replicates import (
     AggregateStat,
     ReplicatedResult,
@@ -111,6 +112,7 @@ __all__ = [
     "preset",
     "recover_from_dc_failure",
     "run_experiment",
+    "run_experiments",
     "run_replicates",
     "smoke_scale_cluster",
     "__version__",

@@ -78,6 +78,20 @@ class SimNode:
         """Send a message from this node."""
         self.network.send(self._address, dst, msg)
 
+    def send_fanout(self, dsts, msg: Any) -> None:
+        """Send one message to many destinations, sizing it only once.
+
+        Replication, heartbeats and stabilization broadcasts ship the same
+        immutable payload to every peer; computing ``size_bytes()`` per
+        destination is pure waste (it walks dependency vectors/lists), so
+        the size is cached across the whole fan-out.
+        """
+        size = self.network.message_size(msg)
+        network_send = self.network.send
+        src = self._address
+        for dst in dsts:
+            network_send(src, dst, msg, size)
+
     def submit_local(self, cost_s: float, fn, *args) -> None:
         """Charge CPU for a locally originated task (timer handlers etc.)."""
         if cost_s > 0:

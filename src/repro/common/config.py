@@ -295,6 +295,11 @@ class ExperimentConfig:
     #: consistency checker after the run (slower; used by tests/examples).
     verify: bool = False
     name: str = ""
+    #: Worker processes used when this config fans out into multiple
+    #: independent runs (replicates, sweeps, figures).  ``None`` means
+    #: ``os.cpu_count()``; ``1`` forces the exact legacy serial path.
+    #: Excluded from :meth:`describe` so reports are independent of it.
+    parallelism: int | None = None
 
     def validate(self) -> None:
         self.cluster.validate()
@@ -303,6 +308,8 @@ class ExperimentConfig:
             raise ConfigError("warmup_s must be >= 0")
         if self.duration_s <= 0:
             raise ConfigError("duration_s must be > 0")
+        if self.parallelism is not None and self.parallelism < 1:
+            raise ConfigError("parallelism must be >= 1 (or None for auto)")
 
     def describe(self) -> dict[str, Any]:
         """A flat summary used in reports and log lines."""

@@ -18,6 +18,13 @@ from repro.harness.reportmd import render_markdown
 from repro.harness.scales import SCALES
 
 
+def _parallelism(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("parallelism must be >= 1")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-figures",
@@ -39,6 +46,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="list available figures and exit")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress per-point progress output")
+    parser.add_argument("--parallelism", type=_parallelism, default=None,
+                        metavar="N",
+                        help="worker processes for the experiment fan-out "
+                             "(default: all cores; 1 = serial)")
     return parser
 
 
@@ -59,7 +70,8 @@ def main(argv: list[str] | None = None) -> int:
     collected = []
     for figure_id in figure_ids:
         started = time.time()
-        data = FIGURES[figure_id](scale=args.scale, verbose=not args.quiet)
+        data = FIGURES[figure_id](scale=args.scale, verbose=not args.quiet,
+                                  parallelism=args.parallelism)
         elapsed = time.time() - started
         collected.append(data)
         print(data.table_text())

@@ -9,6 +9,13 @@ All figures share the Section V-A setup: 3 DCs, clients collocated with
 servers in closed loop, zipf(0.99) keys, heartbeats after 1 ms, Cure*
 stabilization every 5 ms, last-writer-wins, and POCC's PUT dependency wait
 enabled.
+
+Execution: each figure first *builds* its full grid of experiment
+configurations, then runs them all through
+:func:`repro.harness.parallel.run_experiments` (``parallelism=None`` uses
+every core, ``1`` is the legacy serial path) and finally aggregates the
+results in grid order — so the returned ``FigureData`` is byte-identical
+at any parallelism.
 """
 
 from __future__ import annotations
@@ -18,7 +25,8 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.common.config import ClusterConfig, ExperimentConfig, WorkloadConfig
-from repro.harness.experiment import ExperimentResult, run_experiment
+from repro.harness.experiment import ExperimentResult
+from repro.harness.parallel import run_experiments
 from repro.harness.scales import FigureScale, get_scale
 from repro.metrics.collectors import (
     BLOCK_GET_VV,
@@ -94,6 +102,21 @@ def _progress(verbose: bool) -> ProgressFn:
     return lambda text: None
 
 
+def _live_log(grid, log: ProgressFn, format_point) -> Callable:
+    """A per-run progress callback that logs ``format_point(point, result)``.
+
+    ``run_experiments`` invokes progress in input order on both paths —
+    live after each run when serial, all at once (still in order) when
+    parallel — so walking the grid alongside the callbacks is safe.
+    """
+    points = iter(grid)
+
+    def on_run(config, result) -> None:
+        log(format_point(next(points), result))
+
+    return on_run
+
+
 def _experiment(
     scale: FigureScale,
     protocol: str,
@@ -141,7 +164,8 @@ def _rotx(scale: FigureScale, tx_partitions: int, clients: int) -> WorkloadConfi
 
 
 def figure_1a(scale: str = "bench", verbose: bool = False,
-              protocols: tuple[str, ...] = DEFAULT_PROTOCOLS) -> FigureData:
+              protocols: tuple[str, ...] = DEFAULT_PROTOCOLS,
+              parallelism: int | None = None) -> FigureData:
     """Throughput while varying the number of partitions (GET:PUT = p:1).
 
     Paper: POCC and Cure* achieve basically the same throughput at every
@@ -156,22 +180,30 @@ def figure_1a(scale: str = "bench", verbose: bool = False,
         series={},
         notes="paper: the two systems overlap across all sizes",
     )
-    for partitions in s.partition_sweep:
-        for protocol in protocols:
-            workload = _getput(s, gets_per_put=partitions,
-                               clients=s.saturating_clients)
-            cfg = _experiment(s, protocol, workload, partitions=partitions,
-                              name=f"fig1a-{protocol}-p{partitions}")
-            result = run_experiment(cfg)
-            data.add(_label(protocol), partitions, result.throughput_ops_s)
-            data.results.append(result)
-            log(f"1a p={partitions} {protocol}: "
-                f"{result.throughput_ops_s:,.0f} ops/s")
+    grid = [(partitions, protocol)
+            for partitions in s.partition_sweep
+            for protocol in protocols]
+    configs = [
+        _experiment(s, protocol,
+                    _getput(s, gets_per_put=partitions,
+                            clients=s.saturating_clients),
+                    partitions=partitions,
+                    name=f"fig1a-{protocol}-p{partitions}")
+        for partitions, protocol in grid
+    ]
+    results = run_experiments(
+        configs, parallelism=parallelism,
+        progress=_live_log(grid, log, lambda point, r: (
+            f"1a p={point[0]} {point[1]}: {r.throughput_ops_s:,.0f} ops/s")))
+    for (partitions, protocol), result in zip(grid, results):
+        data.add(_label(protocol), partitions, result.throughput_ops_s)
+        data.results.append(result)
     return data
 
 
 def figure_1b(scale: str = "bench", verbose: bool = False,
-              protocols: tuple[str, ...] = DEFAULT_PROTOCOLS) -> FigureData:
+              protocols: tuple[str, ...] = DEFAULT_PROTOCOLS,
+              parallelism: int | None = None) -> FigureData:
     """Average response time vs throughput (client-count sweep).
 
     Paper: POCC is slightly faster below saturation (no stabilization, no
@@ -187,23 +219,29 @@ def figure_1b(scale: str = "bench", verbose: bool = False,
         series={},
         notes="paper: POCC at or below Cure* until the saturation knee",
     )
-    for clients in s.client_sweep:
-        for protocol in protocols:
-            workload = _getput(s, s.getput_ratio, clients)
-            cfg = _experiment(s, protocol, workload,
-                              name=f"fig1b-{protocol}-c{clients}")
-            result = run_experiment(cfg)
-            data.add(_label(protocol), result.throughput_ops_s,
-                     result.mean_response_time_s * 1000.0)
-            data.results.append(result)
-            log(f"1b c={clients} {protocol}: "
-                f"{result.throughput_ops_s:,.0f} ops/s, "
-                f"{result.mean_response_time_s * 1000:.3f} ms")
+    grid = [(clients, protocol)
+            for clients in s.client_sweep
+            for protocol in protocols]
+    configs = [
+        _experiment(s, protocol, _getput(s, s.getput_ratio, clients),
+                    name=f"fig1b-{protocol}-c{clients}")
+        for clients, protocol in grid
+    ]
+    results = run_experiments(
+        configs, parallelism=parallelism,
+        progress=_live_log(grid, log, lambda point, r: (
+            f"1b c={point[0]} {point[1]}: {r.throughput_ops_s:,.0f} ops/s, "
+            f"{r.mean_response_time_s * 1000:.3f} ms")))
+    for (clients, protocol), result in zip(grid, results):
+        data.add(_label(protocol), result.throughput_ops_s,
+                 result.mean_response_time_s * 1000.0)
+        data.results.append(result)
     return data
 
 
 def figure_1c(scale: str = "bench", verbose: bool = False,
-              protocols: tuple[str, ...] = DEFAULT_PROTOCOLS) -> FigureData:
+              protocols: tuple[str, ...] = DEFAULT_PROTOCOLS,
+              parallelism: int | None = None) -> FigureData:
     """Throughput vs GET:PUT ratio at saturation.
 
     Paper: throughput decreases with write intensity for both systems;
@@ -218,16 +256,21 @@ def figure_1c(scale: str = "bench", verbose: bool = False,
         series={},
         notes="paper: POCC within ~10% of Cure* even at write-heavy ratios",
     )
-    for ratio in s.ratio_sweep:
-        for protocol in protocols:
-            workload = _getput(s, ratio, s.saturating_clients)
-            cfg = _experiment(s, protocol, workload,
-                              name=f"fig1c-{protocol}-r{ratio}")
-            result = run_experiment(cfg)
-            data.add(_label(protocol), ratio, result.throughput_ops_s)
-            data.results.append(result)
-            log(f"1c {ratio}:1 {protocol}: "
-                f"{result.throughput_ops_s:,.0f} ops/s")
+    grid = [(ratio, protocol)
+            for ratio in s.ratio_sweep
+            for protocol in protocols]
+    configs = [
+        _experiment(s, protocol, _getput(s, ratio, s.saturating_clients),
+                    name=f"fig1c-{protocol}-r{ratio}")
+        for ratio, protocol in grid
+    ]
+    results = run_experiments(
+        configs, parallelism=parallelism,
+        progress=_live_log(grid, log, lambda point, r: (
+            f"1c {point[0]}:1 {point[1]}: {r.throughput_ops_s:,.0f} ops/s")))
+    for (ratio, protocol), result in zip(grid, results):
+        data.add(_label(protocol), ratio, result.throughput_ops_s)
+        data.results.append(result)
     return data
 
 
@@ -236,7 +279,8 @@ def figure_1c(scale: str = "bench", verbose: bool = False,
 # ----------------------------------------------------------------------
 
 
-def figure_2a(scale: str = "bench", verbose: bool = False) -> FigureData:
+def figure_2a(scale: str = "bench", verbose: bool = False,
+              parallelism: int | None = None) -> FigureData:
     """POCC blocking probability and blocking time vs throughput.
 
     Paper: blocking probability below 1e-3 until the saturation point; the
@@ -252,21 +296,28 @@ def figure_2a(scale: str = "bench", verbose: bool = False) -> FigureData:
         series={},
         notes="paper: negligible blocking until the last ~10% of load",
     )
-    for clients in s.client_sweep:
-        workload = _getput(s, s.getput_ratio, clients)
-        cfg = _experiment(s, POCC, workload, name=f"fig2a-c{clients}")
-        result = run_experiment(cfg)
-        combined_p = result.blocking_probability
-        mean_ms = result.mean_block_time_s * 1000.0
-        data.add("blocking probability", result.throughput_ops_s, combined_p)
-        data.add("blocking time (ms)", result.throughput_ops_s, mean_ms)
+    configs = [
+        _experiment(s, POCC, _getput(s, s.getput_ratio, clients),
+                    name=f"fig2a-c{clients}")
+        for clients in s.client_sweep
+    ]
+    results = run_experiments(
+        configs, parallelism=parallelism,
+        progress=_live_log(s.client_sweep, log, lambda clients, r: (
+            f"2a c={clients}: thr={r.throughput_ops_s:,.0f}, "
+            f"p={r.blocking_probability:.2e}, "
+            f"t={r.mean_block_time_s * 1000:.4f} ms")))
+    for result in results:
+        data.add("blocking probability", result.throughput_ops_s,
+                 result.blocking_probability)
+        data.add("blocking time (ms)", result.throughput_ops_s,
+                 result.mean_block_time_s * 1000.0)
         data.results.append(result)
-        log(f"2a c={clients}: thr={result.throughput_ops_s:,.0f}, "
-            f"p={combined_p:.2e}, t={mean_ms:.4f} ms")
     return data
 
 
-def figure_2b(scale: str = "bench", verbose: bool = False) -> FigureData:
+def figure_2b(scale: str = "bench", verbose: bool = False,
+              parallelism: int | None = None) -> FigureData:
     """Cure* data staleness vs throughput.
 
     Paper: % old and % unmerged GETs grow with load (towards ~15%/10% near
@@ -283,10 +334,18 @@ def figure_2b(scale: str = "bench", verbose: bool = False) -> FigureData:
         notes="paper: staleness grows with load; stabilization slows "
               "under CPU contention",
     )
-    for clients in s.client_sweep:
-        workload = _getput(s, s.getput_ratio, clients)
-        cfg = _experiment(s, CURE, workload, name=f"fig2b-c{clients}")
-        result = run_experiment(cfg)
+    configs = [
+        _experiment(s, CURE, _getput(s, s.getput_ratio, clients),
+                    name=f"fig2b-c{clients}")
+        for clients in s.client_sweep
+    ]
+    results = run_experiments(
+        configs, parallelism=parallelism,
+        progress=_live_log(s.client_sweep, log, lambda clients, r: (
+            f"2b c={clients}: thr={r.throughput_ops_s:,.0f}, "
+            f"old={r.get_staleness['pct_old']:.2f}%, "
+            f"unmerged={r.get_staleness['pct_unmerged']:.2f}%")))
+    for result in results:
         stale = result.get_staleness
         thr = result.throughput_ops_s
         data.add("% old", thr, stale["pct_old"])
@@ -294,8 +353,6 @@ def figure_2b(scale: str = "bench", verbose: bool = False) -> FigureData:
         data.add("# fresher versions", thr, stale["avg_fresher_versions"])
         data.add("# unmerged versions", thr, stale["avg_unmerged_versions"])
         data.results.append(result)
-        log(f"2b c={clients}: thr={thr:,.0f}, old={stale['pct_old']:.2f}%, "
-            f"unmerged={stale['pct_unmerged']:.2f}%")
     return data
 
 
@@ -305,7 +362,8 @@ def figure_2b(scale: str = "bench", verbose: bool = False) -> FigureData:
 
 
 def figure_3a(scale: str = "bench", verbose: bool = False,
-              protocols: tuple[str, ...] = DEFAULT_PROTOCOLS) -> FigureData:
+              protocols: tuple[str, ...] = DEFAULT_PROTOCOLS,
+              parallelism: int | None = None) -> FigureData:
     """Throughput vs partitions contacted per RO-TX.
 
     Paper: comparable at small transactions, POCC up to ~15% ahead when
@@ -325,21 +383,32 @@ def figure_3a(scale: str = "bench", verbose: bool = False,
         notes="paper: POCC >= Cure*, gap widens with transaction size",
     )
     client_points = s.tx_client_sweep[-2:]
-    for tx_partitions in s.tx_partition_sweep:
-        for protocol in protocols:
-            best = 0.0
-            for clients in client_points:
-                workload = _rotx(s, tx_partitions, clients)
-                cfg = _experiment(
-                    s, protocol, workload,
-                    name=f"fig3a-{protocol}-p{tx_partitions}-c{clients}",
-                )
-                result = run_experiment(cfg)
-                best = max(best, result.throughput_ops_s)
-                data.results.append(result)
-            data.add(_label(protocol), tx_partitions, best)
-            log(f"3a p={tx_partitions} {protocol}: {best:,.0f} ops/s (max "
-                f"over {list(client_points)} clients/partition)")
+    grid = [(tx_partitions, protocol)
+            for tx_partitions in s.tx_partition_sweep
+            for protocol in protocols]
+    configs = [
+        _experiment(s, protocol, _rotx(s, tx_partitions, clients),
+                    name=f"fig3a-{protocol}-p{tx_partitions}-c{clients}")
+        for tx_partitions, protocol in grid
+        for clients in client_points
+    ]
+    run_points = [(tx_partitions, protocol, clients)
+                  for tx_partitions, protocol in grid
+                  for clients in client_points]
+    results = iter(run_experiments(
+        configs, parallelism=parallelism,
+        progress=_live_log(run_points, log, lambda point, r: (
+            f"3a p={point[0]} {point[1]} c={point[2]}: "
+            f"{r.throughput_ops_s:,.0f} ops/s"))))
+    for tx_partitions, protocol in grid:
+        best = 0.0
+        for _clients in client_points:
+            result = next(results)
+            best = max(best, result.throughput_ops_s)
+            data.results.append(result)
+        data.add(_label(protocol), tx_partitions, best)
+        log(f"3a p={tx_partitions} {protocol}: {best:,.0f} ops/s (max "
+            f"over {list(client_points)} clients/partition)")
     return data
 
 
@@ -349,7 +418,8 @@ def _tx_partitions_for(s: FigureScale) -> int:
 
 
 def figure_3b(scale: str = "bench", verbose: bool = False,
-              protocols: tuple[str, ...] = DEFAULT_PROTOCOLS) -> FigureData:
+              protocols: tuple[str, ...] = DEFAULT_PROTOCOLS,
+              parallelism: int | None = None) -> FigureData:
     """Throughput and RO-TX response time vs clients per partition.
 
     Paper: both reach a similar maximum; POCC's throughput *drops* past its
@@ -365,25 +435,31 @@ def figure_3b(scale: str = "bench", verbose: bool = False,
         series={},
         notes="paper: POCC throughput peaks then drops; Cure* plateaus",
     )
-    for clients in s.tx_client_sweep:
-        for protocol in protocols:
-            workload = _rotx(s, half, clients)
-            cfg = _experiment(s, protocol, workload,
-                              name=f"fig3b-{protocol}-c{clients}")
-            result = run_experiment(cfg)
-            label = _label(protocol)
-            data.add(f"{label} throughput", clients,
-                     result.throughput_ops_s)
-            data.add(f"{label} RO-TX resp (ms)", clients,
-                     result.op_mean_s("ro_tx") * 1000.0)
-            data.results.append(result)
-            log(f"3b c={clients} {protocol}: "
-                f"{result.throughput_ops_s:,.0f} ops/s, "
-                f"{result.op_mean_s('ro_tx') * 1000:.2f} ms")
+    grid = [(clients, protocol)
+            for clients in s.tx_client_sweep
+            for protocol in protocols]
+    configs = [
+        _experiment(s, protocol, _rotx(s, half, clients),
+                    name=f"fig3b-{protocol}-c{clients}")
+        for clients, protocol in grid
+    ]
+    results = run_experiments(
+        configs, parallelism=parallelism,
+        progress=_live_log(grid, log, lambda point, r: (
+            f"3b c={point[0]} {point[1]}: {r.throughput_ops_s:,.0f} ops/s, "
+            f"{r.op_mean_s('ro_tx') * 1000:.2f} ms")))
+    for (clients, protocol), result in zip(grid, results):
+        label = _label(protocol)
+        data.add(f"{label} throughput", clients,
+                 result.throughput_ops_s)
+        data.add(f"{label} RO-TX resp (ms)", clients,
+                 result.op_mean_s("ro_tx") * 1000.0)
+        data.results.append(result)
     return data
 
 
-def figure_3c(scale: str = "bench", verbose: bool = False) -> FigureData:
+def figure_3c(scale: str = "bench", verbose: bool = False,
+              parallelism: int | None = None) -> FigureData:
     """POCC blocking (PUT or transactional read) vs clients per partition.
 
     Paper: non-monotonic — blocking *time* is heartbeat-bound at low load,
@@ -401,29 +477,42 @@ def figure_3c(scale: str = "bench", verbose: bool = False) -> FigureData:
         notes="paper: blocking time high at low load (heartbeat waits), "
               "dips, then grows under overload",
     )
-    for clients in s.tx_client_sweep:
-        workload = _rotx(s, half, clients)
-        cfg = _experiment(s, POCC, workload, name=f"fig3c-c{clients}")
-        result = run_experiment(cfg)
-        slice_block = result.blocking[BLOCK_SLICE_VV]
-        put_block = result.blocking[BLOCK_PUT_DEPS]
-        attempts = slice_block["attempts"] + put_block["attempts"]
-        blocked = slice_block["blocked"] + put_block["blocked"]
-        total_time = (
-            slice_block["mean_block_time_s"] * slice_block["blocked"]
-            + put_block["mean_block_time_s"] * put_block["blocked"]
-        )
-        probability = blocked / attempts if attempts else 0.0
-        mean_ms = (total_time / blocked * 1000.0) if blocked else 0.0
+    configs = [
+        _experiment(s, POCC, _rotx(s, half, clients),
+                    name=f"fig3c-c{clients}")
+        for clients in s.tx_client_sweep
+    ]
+    results = run_experiments(
+        configs, parallelism=parallelism,
+        progress=_live_log(s.tx_client_sweep, log, lambda clients, r: (
+            "3c c={}: p={:.2e}, t={:.3f} ms".format(
+                clients, *_combined_tx_blocking(r)))))
+    for clients, result in zip(s.tx_client_sweep, results):
+        probability, mean_ms = _combined_tx_blocking(result)
         data.add("blocking probability", clients, probability)
         data.add("blocking time (ms)", clients, mean_ms)
         data.results.append(result)
-        log(f"3c c={clients}: p={probability:.2e}, t={mean_ms:.3f} ms")
     return data
 
 
+def _combined_tx_blocking(result: ExperimentResult) -> tuple[float, float]:
+    """Blocking probability and mean time over the slice + PUT causes."""
+    slice_block = result.blocking[BLOCK_SLICE_VV]
+    put_block = result.blocking[BLOCK_PUT_DEPS]
+    attempts = slice_block["attempts"] + put_block["attempts"]
+    blocked = slice_block["blocked"] + put_block["blocked"]
+    total_time = (
+        slice_block["mean_block_time_s"] * slice_block["blocked"]
+        + put_block["mean_block_time_s"] * put_block["blocked"]
+    )
+    probability = blocked / attempts if attempts else 0.0
+    mean_ms = (total_time / blocked * 1000.0) if blocked else 0.0
+    return probability, mean_ms
+
+
 def figure_3d(scale: str = "bench", verbose: bool = False,
-              protocols: tuple[str, ...] = DEFAULT_PROTOCOLS) -> FigureData:
+              protocols: tuple[str, ...] = DEFAULT_PROTOCOLS,
+              parallelism: int | None = None) -> FigureData:
     """Staleness of transactional reads: POCC vs Cure*.
 
     Paper: POCC's % old items is about two orders of magnitude below
@@ -441,21 +530,28 @@ def figure_3d(scale: str = "bench", verbose: bool = False,
         notes="paper: POCC-Old roughly two orders of magnitude below "
               "Cure*-Old",
     )
-    for clients in s.tx_client_sweep:
-        for protocol in protocols:
-            workload = _rotx(s, half, clients)
-            cfg = _experiment(s, protocol, workload,
-                              name=f"fig3d-{protocol}-c{clients}")
-            result = run_experiment(cfg)
-            stale = result.tx_staleness
-            label = _label(protocol)
-            data.add(f"{label} % old", clients, stale["pct_old"])
-            if protocol != POCC:
-                # POCC has no separate unmerged series (old == unmerged).
-                data.add(f"{label} % unmerged", clients,
-                         stale["pct_unmerged"])
-            data.results.append(result)
-            log(f"3d c={clients} {protocol}: old={stale['pct_old']:.4f}%")
+    grid = [(clients, protocol)
+            for clients in s.tx_client_sweep
+            for protocol in protocols]
+    configs = [
+        _experiment(s, protocol, _rotx(s, half, clients),
+                    name=f"fig3d-{protocol}-c{clients}")
+        for clients, protocol in grid
+    ]
+    results = run_experiments(
+        configs, parallelism=parallelism,
+        progress=_live_log(grid, log, lambda point, r: (
+            f"3d c={point[0]} {point[1]}: "
+            f"old={r.tx_staleness['pct_old']:.4f}%")))
+    for (clients, protocol), result in zip(grid, results):
+        stale = result.tx_staleness
+        label = _label(protocol)
+        data.add(f"{label} % old", clients, stale["pct_old"])
+        if protocol != POCC:
+            # POCC has no separate unmerged series (old == unmerged).
+            data.add(f"{label} % unmerged", clients,
+                     stale["pct_unmerged"])
+        data.results.append(result)
     return data
 
 

@@ -1,0 +1,140 @@
+"""Parallel experiment execution: fan independent runs across processes.
+
+Every simulated run is deterministic given its ``(config, seed)`` and
+shares no state with any other run, so replicate sets and sweep grids are
+embarrassingly parallel.  This module is the single fan-out point used by
+:func:`repro.harness.replicates.run_replicates`,
+:func:`repro.harness.sweeps.run_sweep` and every ``figure_*`` function:
+it runs a list of :class:`ExperimentConfig` across a
+:class:`~concurrent.futures.ProcessPoolExecutor` and returns results in
+**input order**, which makes all downstream aggregation byte-identical to
+the serial path.
+
+Determinism contract
+--------------------
+* ``parallelism=1`` (or a single config) bypasses the pool entirely — the
+  exact legacy serial path, same process, same call sequence.
+* ``parallelism>1`` forks workers (where the platform allows), so children
+  inherit the parent's hash seed and every run computes precisely what it
+  would have computed inline; results are gathered by submission index,
+  never by completion order.
+* ``parallelism=None`` means ``os.cpu_count()``.
+
+The pool pays ~50-100 ms of setup, so callers with a single run should
+pass ``parallelism=1`` (the helpers here do this automatically when given
+one config).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import replace
+from typing import Callable, Iterable, Sequence
+
+from repro.common.config import ExperimentConfig
+from repro.common.errors import ConfigError
+from repro.harness.experiment import ExperimentResult, run_experiment
+
+ProgressFn = Callable[[ExperimentConfig, ExperimentResult], None]
+
+
+def resolve_parallelism(
+    parallelism: int | None, num_tasks: int | None = None
+) -> int:
+    """Map the user-facing knob to a worker count.
+
+    ``None`` resolves to ``os.cpu_count()``; the result is clamped to the
+    task count (no idle workers) and validated to be >= 1.
+    """
+    if parallelism is None:
+        parallelism = os.cpu_count() or 1
+    if parallelism < 1:
+        raise ConfigError("parallelism must be >= 1 (or None for auto)")
+    if num_tasks is not None and num_tasks >= 1:
+        parallelism = min(parallelism, num_tasks)
+    return parallelism
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    """Prefer fork: cheapest start and children inherit the hash seed, so
+    str-keyed iteration in a worker matches the parent exactly."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+def _run_one(config: ExperimentConfig) -> ExperimentResult:
+    """Worker entry point (module-level so it pickles)."""
+    return run_experiment(config)
+
+
+def run_experiments(
+    configs: Iterable[ExperimentConfig],
+    parallelism: int | None = None,
+    progress: ProgressFn | None = None,
+) -> list[ExperimentResult]:
+    """Run every config and return results in input order.
+
+    With ``parallelism=1`` this is exactly the legacy serial loop
+    (``progress`` fires after each run).  With more workers the runs fan
+    out across a process pool; ``progress`` then fires for all runs, still
+    in input order, once every result is back.
+
+    When ``parallelism`` is not given, the configs' own
+    ``ExperimentConfig.parallelism`` knobs apply (the most conservative —
+    smallest — set value wins, so one serial-pinned config keeps the whole
+    batch serial); all-``None`` means every core.
+    """
+    configs = list(configs)
+    if parallelism is None:
+        knobs = [c.parallelism for c in configs if c.parallelism is not None]
+        if knobs:
+            parallelism = min(knobs)
+    workers = resolve_parallelism(parallelism, len(configs))
+    if workers <= 1 or len(configs) <= 1:
+        results = []
+        for config in configs:
+            result = run_experiment(config)
+            results.append(result)
+            if progress is not None:
+                progress(config, result)
+        return results
+
+    from concurrent.futures import ProcessPoolExecutor
+
+    with ProcessPoolExecutor(
+        max_workers=workers, mp_context=_pool_context()
+    ) as pool:
+        futures = [pool.submit(_run_one, config) for config in configs]
+        try:
+            # Gather by submission index: completion order never leaks
+            # into the result list, so aggregation is byte-identical to
+            # serial.
+            results = [future.result() for future in futures]
+        except BaseException:
+            # Fail fast: without this, the with-block exit would wait for
+            # every queued run of a possibly hours-long sweep.
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
+    if progress is not None:
+        for config, result in zip(configs, results):
+            progress(config, result)
+    return results
+
+
+def run_seeded(
+    config: ExperimentConfig,
+    seeds: Sequence[int],
+    parallelism: int | None = None,
+) -> list[ExperimentResult]:
+    """Run one config once per seed (the replicate fan-out), in seed order.
+
+    ``parallelism`` defaults to the config's own knob (the seed-replaced
+    copies inherit it, and :func:`run_experiments` honours it).
+    """
+    return run_experiments(
+        [replace(config, seed=seed) for seed in seeds],
+        parallelism=parallelism,
+    )

@@ -17,12 +17,13 @@ single-seed point estimates.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 from repro.common.config import ExperimentConfig
 from repro.common.errors import ConfigError
 from repro.harness.experiment import ExperimentResult, run_experiment
+from repro.harness.parallel import run_seeded
 
 #: Default headline metrics extracted from every run.
 DEFAULT_METRICS: dict[str, Callable[[ExperimentResult], float]] = {
@@ -131,12 +132,18 @@ def run_replicates(
     num_seeds: int = 5,
     seeds: Sequence[int] | None = None,
     metrics: dict[str, Callable[[ExperimentResult], float]] | None = None,
+    parallelism: int | None = None,
 ) -> ReplicatedResult:
     """Run ``config`` once per seed and aggregate the headline metrics.
 
     Seeds default to ``config.seed, config.seed + 1, ...`` so two
     replicated runs of the same config are themselves reproducible.
     Custom ``metrics`` extractors replace (not extend) the default set.
+
+    The per-seed runs are independent and fan out across worker processes;
+    ``parallelism`` overrides ``config.parallelism`` (``None`` = all
+    cores, ``1`` = the legacy serial loop).  Results are aggregated in
+    seed order either way, so the output is identical.
     """
     if seeds is None:
         if num_seeds < 1:
@@ -148,7 +155,7 @@ def run_replicates(
             raise ConfigError("need at least one seed")
     extractors = metrics if metrics is not None else DEFAULT_METRICS
 
-    results = [run_experiment(replace(config, seed=s)) for s in seeds]
+    results = run_seeded(config, seeds, parallelism=parallelism)
     stats = {
         name: AggregateStat(
             name=name, values=tuple(extract(r) for r in results)

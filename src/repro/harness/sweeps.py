@@ -11,22 +11,25 @@ from dataclasses import replace
 from typing import Any, Callable, Iterable, Sequence
 
 from repro.common.config import ExperimentConfig
-from repro.harness.experiment import ExperimentResult, run_experiment
+from repro.harness.experiment import ExperimentResult
+from repro.harness.parallel import run_experiments
 
 
 def run_sweep(
     configs: Iterable[ExperimentConfig],
     progress: Callable[[ExperimentConfig, ExperimentResult], None]
     | None = None,
+    parallelism: int | None = None,
 ) -> list[ExperimentResult]:
-    """Run every configuration and collect the results."""
-    results = []
-    for config in configs:
-        result = run_experiment(config)
-        results.append(result)
-        if progress is not None:
-            progress(config, result)
-    return results
+    """Run every configuration and collect the results in input order.
+
+    Sweep points are independent runs, so they fan out across worker
+    processes (``parallelism=None`` = all cores, ``1`` = the legacy
+    serial loop; results and ``progress`` order are identical either
+    way — see :mod:`repro.harness.parallel`).
+    """
+    return run_experiments(configs, parallelism=parallelism,
+                           progress=progress)
 
 
 def protocol_sweep(

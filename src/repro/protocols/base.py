@@ -174,8 +174,8 @@ class CausalServer(SimNode):
         if ct >= self.vv[self.m] + delta_us:
             ct = self.clock.micros()
             self.vv[self.m] = ct
-            for replica in self._peer_replicas:
-                self.send(replica, m.Heartbeat(ts=ct, src_dc=self.m))
+            self.send_fanout(self._peer_replicas,
+                             m.Heartbeat(ts=ct, src_dc=self.m))
             self.waiters.notify()
         self.sim.schedule(self._protocol.heartbeat_interval_s,
                           self._heartbeat_tick)
@@ -226,8 +226,7 @@ class CausalServer(SimNode):
         version = Version(key=key, value=value, sr=self.m, ut=ts, dv=dv,
                           optimistic=optimistic)
         self.store.insert(version)
-        for replica in self._peer_replicas:
-            self.send(replica, m.Replicate(version=version))
+        self.send_fanout(self._peer_replicas, m.Replicate(version=version))
         return version
 
     def apply_replicate(self, msg: m.Replicate) -> None:
@@ -292,14 +291,34 @@ class CausalServer(SimNode):
             return
         gv = vec_aggregate_min(self._gc_reports.values())
         self._gc_reports.clear()
-        for server in self.topology.dc_servers(self.m):
-            if server == self.address:
-                self._apply_gc(gv)
-            else:
-                self.send(server, m.GcBroadcast(gv=gv))
+        self.broadcast_dc(m.GcBroadcast(gv=gv),
+                          lambda msg: self._apply_gc(msg.gv))
 
     def _apply_gc(self, gv: list[Micros]) -> None:
         self.store.collect(gv)
+
+    # ------------------------------------------------------------------
+    # Intra-DC broadcast (stabilization / GC rounds)
+    # ------------------------------------------------------------------
+    def broadcast_dc(
+        self, msg: Any, receive_local: Callable[[Any], None]
+    ) -> None:
+        """Fan ``msg`` to every server of this DC, sizing it only once.
+
+        The broadcaster applies the message to itself via
+        ``receive_local`` at its own slot in DC iteration order, which
+        preserves the exact event-scheduling order of the per-server loop
+        this replaces (the local apply may wake waiters and schedule
+        events *before* the remote sends draw latency samples).
+        """
+        size = self.network.message_size(msg)
+        send = self.network.send
+        src = self.address
+        for server in self.topology.dc_servers(self.m):
+            if server == src:
+                receive_local(msg)
+            else:
+                send(src, server, msg, size)
 
     # ------------------------------------------------------------------
     # Dispatch plumbing shared by subclasses

@@ -160,8 +160,7 @@ class CopsServer(CausalServer):
         self.store.insert(version)
         # A locally created (visible) version can satisfy parked checks.
         self.dep_waiters.notify()
-        for replica in self._peer_replicas:
-            self.send(replica, m.Replicate(version=version))
+        self.send_fanout(self._peer_replicas, m.Replicate(version=version))
         self.send(msg.client, m.PutReply(ut=version.ut, op_id=msg.op_id))
 
     # ------------------------------------------------------------------

@@ -23,8 +23,9 @@ class StabilizationMixin:
     """Adds GSS state + stabilization rounds to a ``CausalServer``.
 
     The mixin expects the host class to provide ``sim``, ``vv``, ``m``,
-    ``n``, ``topology``, ``metrics``, ``clock``, ``send`` and a
-    ``gss_waiters`` wait queue to notify on GSS advance.
+    ``n``, ``topology``, ``metrics``, ``clock``, ``send``,
+    ``broadcast_dc`` and a ``gss_waiters`` wait queue to notify on GSS
+    advance.
     """
 
     def init_stabilization(self, interval_s: float) -> None:
@@ -57,12 +58,8 @@ class StabilizationMixin:
             return
         gss = vec_aggregate_min(self._stab_reports.values())
         self._stab_reports.clear()
-        broadcast = m.StabBroadcast(gss=gss)
-        for server in self.topology.dc_servers(self.m):
-            if server == self.address:
-                self.receive_stab_broadcast(broadcast)
-            else:
-                self.send(server, broadcast)
+        self.broadcast_dc(m.StabBroadcast(gss=gss),
+                          self.receive_stab_broadcast)
 
     # ------------------------------------------------------------------
     # All nodes

@@ -71,12 +71,8 @@ class GentleRainServer(CausalServer):
             return
         gst = min(self._gst_reports.values())
         self._gst_reports.clear()
-        broadcast = m.StabBroadcast(gss=[gst])
-        for server in self.topology.dc_servers(self.m):
-            if server == self.address:
-                self._receive_gst_broadcast(broadcast)
-            else:
-                self.send(server, broadcast)
+        self.broadcast_dc(m.StabBroadcast(gss=[gst]),
+                          self._receive_gst_broadcast)
 
     def _receive_gst_broadcast(self, msg: m.StabBroadcast) -> None:
         if msg.gss[0] > self.gst:

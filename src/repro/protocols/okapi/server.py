@@ -65,8 +65,8 @@ class OkapiServer(UniversalStabilizationMixin, CausalServer):
         if self.hlc.peek() >= self.vv[self.m] + delta:
             ts = self.hlc.now()
             self.vv[self.m] = ts
-            for replica in self._peer_replicas:
-                self.send(replica, m.Heartbeat(ts=ts, src_dc=self.m))
+            self.send_fanout(self._peer_replicas,
+                             m.Heartbeat(ts=ts, src_dc=self.m))
         self.sim.schedule(self._protocol.heartbeat_interval_s,
                           self._heartbeat_tick)
 
@@ -173,8 +173,7 @@ class OkapiServer(UniversalStabilizationMixin, CausalServer):
         version = Version(key=msg.key, value=msg.value, sr=self.m, ut=ts,
                           dv=(max(self.ust, ust_c),))
         self.store.insert(version)
-        for replica in self._peer_replicas:
-            self.send(replica, m.Replicate(version=version))
+        self.send_fanout(self._peer_replicas, m.Replicate(version=version))
         self.send(msg.client, m.PutReply(ut=ts, op_id=msg.op_id))
 
     # ------------------------------------------------------------------

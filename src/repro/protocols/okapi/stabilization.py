@@ -30,8 +30,9 @@ class UniversalStabilizationMixin:
     """Adds UST state + universal stabilization rounds to a server.
 
     Expects the host class to provide ``sim``, ``vv``, ``m``, ``n``,
-    ``topology``, ``metrics``, ``clock``, ``address``, ``send`` and a
-    ``ust_advanced()`` hook called whenever the UST moves forward.
+    ``topology``, ``metrics``, ``clock``, ``address``, ``send``,
+    ``broadcast_dc`` and a ``ust_advanced()`` hook called whenever the
+    UST moves forward.
     """
 
     def init_universal_stabilization(
@@ -81,11 +82,11 @@ class UniversalStabilizationMixin:
     def _ust_gossip_tick(self) -> None:
         dst = self._dst.get(self.m)
         if dst is not None:
-            for dc in range(self.topology.num_dcs):
-                if dc == self.m:
-                    continue
-                self.send(self.topology.server(dc, 0),
-                          m.UstGossip(dst=dst, src_dc=self.m))
+            self.send_fanout(
+                (self.topology.server(dc, 0)
+                 for dc in range(self.topology.num_dcs) if dc != self.m),
+                m.UstGossip(dst=dst, src_dc=self.m),
+            )
         self.sim.schedule(self._gossip_interval_s, self._ust_gossip_tick)
 
     def receive_ust_gossip(self, msg: m.UstGossip) -> None:
@@ -105,12 +106,8 @@ class UniversalStabilizationMixin:
         ust = min(self._dst.values())
         if ust <= self.ust:
             return
-        broadcast = m.StabBroadcast(gss=[ust])
-        for server in self.topology.dc_servers(self.m):
-            if server == self.address:
-                self.receive_ust_broadcast(broadcast)
-            else:
-                self.send(server, broadcast)
+        self.broadcast_dc(m.StabBroadcast(gss=[ust]),
+                          self.receive_ust_broadcast)
 
     def receive_ust_broadcast(self, msg: m.StabBroadcast) -> None:
         if msg.gss[0] > self.ust:

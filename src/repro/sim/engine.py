@@ -7,7 +7,10 @@ Design notes
   monotonically increasing sequence number breaks ties), which makes runs
   fully deterministic.
 * Cancellation is O(1): the heap entry's callback slot is nulled and the
-  entry is skipped when popped ("lazy deletion").
+  entry is skipped when popped ("lazy deletion").  Cancelled entries that
+  would never be popped soon (far-future timers) can accumulate, so the
+  heap is compacted in place once they exceed both an absolute floor and
+  half of all entries; see :meth:`Simulator.compact`.
 * The hot path avoids object allocation beyond one small list per event.
 """
 
@@ -25,14 +28,20 @@ _SEQ = 1
 _CALLBACK = 2
 _ARGS = 3
 
+#: Compaction thresholds: rebuild the heap when cancelled-but-unpopped
+#: entries exceed the floor AND outnumber half of all heap entries.
+COMPACT_FLOOR = 1024
+COMPACT_RATIO = 0.5
+
 
 class EventHandle:
     """A cancellable reference to a scheduled event."""
 
-    __slots__ = ("_entry",)
+    __slots__ = ("_entry", "_sim")
 
-    def __init__(self, entry: list):
+    def __init__(self, entry: list, sim: "Simulator | None" = None):
         self._entry = entry
+        self._sim = sim
 
     def cancel(self) -> bool:
         """Cancel the event.  Returns False if it already fired/cancelled."""
@@ -40,6 +49,8 @@ class EventHandle:
             return False
         self._entry[_CALLBACK] = None
         self._entry[_ARGS] = None
+        if self._sim is not None:
+            self._sim._note_cancellation()
         return True
 
     @property
@@ -63,7 +74,8 @@ class Simulator:
         sim.run(until=10.0)
     """
 
-    __slots__ = ("_heap", "_now", "_seq", "_events_executed", "_stopped")
+    __slots__ = ("_heap", "_now", "_seq", "_events_executed", "_stopped",
+                 "_cancelled_pending", "compactions")
 
     def __init__(self) -> None:
         self._heap: list[list] = []
@@ -71,6 +83,9 @@ class Simulator:
         self._seq = 0
         self._events_executed = 0
         self._stopped = False
+        self._cancelled_pending = 0
+        #: Number of threshold-triggered heap compactions so far.
+        self.compactions = 0
 
     # ------------------------------------------------------------------
     # Introspection
@@ -90,6 +105,11 @@ class Simulator:
         """Number of heap entries (including cancelled, not yet popped)."""
         return len(self._heap)
 
+    @property
+    def cancelled_pending(self) -> int:
+        """Cancelled entries still occupying heap slots (lazy deletion)."""
+        return self._cancelled_pending
+
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------
@@ -99,7 +119,10 @@ class Simulator:
         """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule {delay}s in the past")
-        return self.schedule_at(self._now + delay, callback, *args)
+        entry = [self._now + delay, self._seq, callback, args]
+        self._seq += 1
+        heapq.heappush(self._heap, entry)
+        return EventHandle(entry, self)
 
     def schedule_at(
         self, time: float, callback: Callable[..., Any], *args: Any
@@ -112,7 +135,34 @@ class Simulator:
         entry = [time, self._seq, callback, args]
         self._seq += 1
         heapq.heappush(self._heap, entry)
-        return EventHandle(entry)
+        return EventHandle(entry, self)
+
+    # ------------------------------------------------------------------
+    # Cancellation bookkeeping
+    # ------------------------------------------------------------------
+    def _note_cancellation(self) -> None:
+        self._cancelled_pending += 1
+        cancelled = self._cancelled_pending
+        if (cancelled > COMPACT_FLOOR
+                and cancelled > COMPACT_RATIO * len(self._heap)):
+            self.compact()
+
+    def compact(self) -> int:
+        """Drop cancelled entries and re-heapify.  Returns entries removed.
+
+        O(n); called automatically when lazy-deleted entries exceed the
+        module thresholds, so a workload that schedules-and-cancels many
+        far-future timers (heartbeat resets, request timeouts) keeps the
+        heap proportional to the *live* event count.
+        """
+        before = len(self._heap)
+        self._heap = [e for e in self._heap if e[_CALLBACK] is not None]
+        heapq.heapify(self._heap)
+        self._cancelled_pending = 0
+        removed = before - len(self._heap)
+        if removed:
+            self.compactions += 1
+        return removed
 
     # ------------------------------------------------------------------
     # Execution
@@ -127,25 +177,28 @@ class Simulator:
         """
         executed = 0
         heap = self._heap
+        pop = heapq.heappop
         self._stopped = False
         while heap and not self._stopped:
             if max_events is not None and executed >= max_events:
                 break
             entry = heap[0]
-            if until is not None and entry[_TIME] > until:
+            if until is not None and entry[0] > until:
                 break
-            heapq.heappop(heap)
-            callback = entry[_CALLBACK]
+            pop(heap)
+            callback = entry[2]
             if callback is None:  # cancelled
+                self._cancelled_pending -= 1
                 continue
-            self._now = entry[_TIME]
-            args = entry[_ARGS]
+            self._now = entry[0]
+            args = entry[3]
             # Clear before invoking so re-entrant cancels are harmless.
-            entry[_CALLBACK] = None
-            entry[_ARGS] = None
+            entry[2] = None
+            entry[3] = None
             callback(*args)
             executed += 1
             self._events_executed += 1
+            heap = self._heap  # compaction may have replaced the list
         if until is not None and not self._stopped and self._now < until:
             self._now = until
         return executed
@@ -153,11 +206,14 @@ class Simulator:
     def step(self) -> bool:
         """Execute exactly one (non-cancelled) event.  Returns False when
         the heap is empty."""
-        heap = self._heap
-        while heap:
+        while True:
+            heap = self._heap
+            if not heap:
+                return False
             entry = heapq.heappop(heap)
             callback = entry[_CALLBACK]
             if callback is None:
+                self._cancelled_pending -= 1
                 continue
             self._now = entry[_TIME]
             args = entry[_ARGS]
@@ -166,7 +222,6 @@ class Simulator:
             callback(*args)
             self._events_executed += 1
             return True
-        return False
 
     def stop(self) -> None:
         """Make the current :meth:`run` call return after this event."""
@@ -177,4 +232,5 @@ class Simulator:
         heap = self._heap
         while heap and heap[0][_CALLBACK] is None:
             heapq.heappop(heap)
+            self._cancelled_pending -= 1
         return heap[0][_TIME] if heap else None

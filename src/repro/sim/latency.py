@@ -68,6 +68,9 @@ class GeoLatencyModel:
         self._config = config
         self._rng = rng
         self._sigma = math.sqrt(math.log(1.0 + config.jitter_ratio**2))
+        # lognormvariate(mu, sigma) with mu = -sigma^2/2 keeps E[mult] = 1.
+        self._mu = -0.5 * self._sigma**2
+        self._lognormvariate = rng.lognormvariate
 
     @property
     def config(self) -> LatencyConfig:
@@ -89,9 +92,17 @@ class GeoLatencyModel:
         return self._config.inter_dc_s[src_dc][dst_dc]
 
     def sample(self, src: Address, dst: Address) -> float:
-        base = self.base_latency(src, dst)
+        config = self._config
+        if src.dc == dst.dc:
+            if (
+                src.partition == dst.partition
+                and (src.is_client or dst.is_client)
+            ):
+                base = config.client_local_s
+            else:
+                base = config.intra_dc_s
+        else:
+            base = config.inter_dc_s[src.dc][dst.dc]
         if self._sigma == 0.0 or base == 0.0:
             return base
-        # lognormvariate(mu, sigma) with mu = -sigma^2/2 keeps E[mult] = 1.
-        mult = self._rng.lognormvariate(-0.5 * self._sigma**2, self._sigma)
-        return base * mult
+        return base * self._lognormvariate(self._mu, self._sigma)

@@ -37,7 +37,9 @@ class Endpoint(Protocol):
 
 
 class NetworkStats:
-    """Message/byte accounting, exposed on :class:`Network`."""
+    """Message/byte accounting, exposed on :class:`Network`.
+
+    Updated inline by :meth:`Network.send` (the per-message hot path)."""
 
     __slots__ = ("messages_sent", "bytes_sent", "per_dc_pair_bytes",
                  "messages_delivered", "messages_held")
@@ -48,12 +50,6 @@ class NetworkStats:
         self.messages_held = 0
         self.bytes_sent = 0
         self.per_dc_pair_bytes: dict[tuple[int, int], int] = {}
-
-    def record_send(self, src_dc: int, dst_dc: int, size: int) -> None:
-        self.messages_sent += 1
-        self.bytes_sent += size
-        pair = (src_dc, dst_dc)
-        self.per_dc_pair_bytes[pair] = self.per_dc_pair_bytes.get(pair, 0) + size
 
     def inter_dc_bytes(self) -> int:
         """Bytes that crossed a DC boundary (the expensive WAN traffic)."""
@@ -105,33 +101,44 @@ class Network:
     # ------------------------------------------------------------------
     # Sending
     # ------------------------------------------------------------------
-    def send(self, src: Address, dst: Address, msg: Any) -> None:
+    def send(
+        self, src: Address, dst: Address, msg: Any, size: int | None = None
+    ) -> None:
         """Send ``msg`` from ``src`` to ``dst`` (both must be registered).
 
         Delivery is asynchronous: ``dst.on_message(msg)`` fires later in
-        simulated time, respecting per-channel FIFO order.
+        simulated time, respecting per-channel FIFO order.  Callers that
+        fan one message out to many destinations should compute
+        :meth:`message_size` once and pass it via ``size`` so the byte
+        accounting does not re-walk the message per destination.
         """
         if dst not in self._endpoints:
             raise SimulationError(f"no endpoint registered at {dst}")
-        size = self._message_size(msg)
-        self.stats.record_send(src.dc, dst.dc, size)
+        if size is None:
+            size = self.message_size(msg)
+        stats = self.stats
+        stats.messages_sent += 1
+        stats.bytes_sent += size
         pair = (src.dc, dst.dc)
+        per_pair = stats.per_dc_pair_bytes
+        per_pair[pair] = per_pair.get(pair, 0) + size
         if pair in self._blocked_pairs:
             # Held until the partition heals; FIFO preserved by the deque.
-            self.stats.messages_held += 1
+            stats.messages_held += 1
             self._held.setdefault(pair, deque()).append((src, dst, msg))
             return
         self._schedule_delivery(src, dst, msg)
 
     def _schedule_delivery(self, src: Address, dst: Address, msg: Any) -> None:
-        latency = self._latency.sample(src, dst)
+        sim = self._sim
+        deliver_at = sim.now + self._latency.sample(src, dst)
         channel = (src, dst)
-        deliver_at = self._sim.now + latency
-        previous = self._last_delivery.get(channel, 0.0)
-        if deliver_at < previous:
+        last = self._last_delivery
+        previous = last.get(channel)
+        if previous is not None and deliver_at < previous:
             deliver_at = previous  # FIFO: never overtake an earlier message
-        self._last_delivery[channel] = deliver_at
-        self._sim.schedule_at(deliver_at, self._deliver, dst, msg)
+        last[channel] = deliver_at
+        sim.schedule_at(deliver_at, self._deliver, dst, msg)
 
     def _deliver(self, dst: Address, msg: Any) -> None:
         endpoint = self._endpoints.get(dst)
@@ -140,7 +147,8 @@ class Network:
         self.stats.messages_delivered += 1
         endpoint.on_message(msg)
 
-    def _message_size(self, msg: Any) -> int:
+    def message_size(self, msg: Any) -> int:
+        """Wire size of ``msg`` as the byte accounting will count it."""
         size_fn = getattr(msg, "size_bytes", None)
         if size_fn is None:
             return self._FALLBACK_SIZE

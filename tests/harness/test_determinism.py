@@ -48,6 +48,38 @@ def test_summary_text_byte_identical_across_runs():
     assert first.encode() == second.encode()
 
 
+def test_parallel_replicates_identical_to_serial():
+    """Same config + seeds through ``parallelism=1`` and ``parallelism=4``
+    must produce identical aggregate stats and a byte-identical summary
+    table: the process-pool fan-out may change *where* a run executes,
+    never *what* it computes or the order it is aggregated in."""
+    from repro.harness.replicates import run_replicates
+
+    config = _config("pocc")
+    serial = run_replicates(config, num_seeds=3, parallelism=1)
+    parallel = run_replicates(config, num_seeds=3, parallelism=4)
+    assert serial.seeds == parallel.seeds
+    assert serial.stats == parallel.stats
+    assert (serial.summary_table().encode()
+            == parallel.summary_table().encode())
+    for a, b in zip(serial.results, parallel.results):
+        assert asdict(a) == asdict(b)
+
+
+def test_parallel_figure_markdown_byte_identical_to_serial():
+    """A figure sweep routed through the pool renders byte-identical
+    markdown to the serial path."""
+    from repro.harness.figures import figure_1a
+    from repro.harness.reportmd import render_markdown
+
+    serial = figure_1a(scale="smoke", parallelism=1)
+    parallel = figure_1a(scale="smoke", parallelism=4)
+    assert serial.series == parallel.series
+    serial_md = render_markdown([serial], scale="smoke")
+    parallel_md = render_markdown([parallel], scale="smoke")
+    assert serial_md.encode() == parallel_md.encode()
+
+
 def test_different_seeds_actually_differ():
     """Guard against the degenerate way to pass the test above: the report
     must actually depend on the seed."""

@@ -1,0 +1,115 @@
+"""The parallel experiment runner: ordering, knobs, error propagation."""
+
+import pytest
+
+from repro.common.config import (
+    ExperimentConfig,
+    WorkloadConfig,
+    smoke_scale_cluster,
+)
+from repro.common.errors import ConfigError
+from repro.harness.parallel import (
+    resolve_parallelism,
+    run_experiments,
+    run_seeded,
+)
+
+
+def _config(seed: int = 42, protocol: str = "pocc",
+            parallelism: int | None = None) -> ExperimentConfig:
+    return ExperimentConfig(
+        cluster=smoke_scale_cluster(protocol),
+        workload=WorkloadConfig(kind="get_put", gets_per_put=2,
+                                clients_per_partition=2,
+                                think_time_s=0.004),
+        warmup_s=0.1,
+        duration_s=0.4,
+        seed=seed,
+        name=f"par-{protocol}-{seed}",
+        parallelism=parallelism,
+    )
+
+
+def test_resolve_parallelism():
+    assert resolve_parallelism(1) == 1
+    assert resolve_parallelism(8, num_tasks=3) == 3
+    assert resolve_parallelism(2, num_tasks=5) == 2
+    assert resolve_parallelism(None) >= 1
+    with pytest.raises(ConfigError):
+        resolve_parallelism(0)
+
+
+def test_config_rejects_bad_parallelism():
+    with pytest.raises(ConfigError):
+        _config(parallelism=0).validate()
+    _config(parallelism=1).validate()
+    _config(parallelism=None).validate()
+
+
+def test_results_in_input_order_across_pool():
+    configs = [_config(seed=s) for s in (11, 12, 13, 14)]
+    results = run_experiments(configs, parallelism=4)
+    assert [r.name for r in results] == [c.name for c in configs]
+    # Same seeds re-run serially give exactly the same per-run payloads.
+    serial = run_experiments(configs, parallelism=1)
+    assert [r.total_ops for r in results] == [r.total_ops for r in serial]
+    assert [r.sim_events for r in results] == [r.sim_events for r in serial]
+
+
+def test_progress_fires_in_input_order():
+    configs = [_config(seed=s) for s in (21, 22, 23)]
+    seen: list[str] = []
+    run_experiments(configs, parallelism=2,
+                    progress=lambda c, r: seen.append(c.name))
+    assert seen == [c.name for c in configs]
+
+
+def test_single_config_bypasses_pool():
+    [result] = run_experiments([_config(seed=5)], parallelism=8)
+    assert result.total_ops > 0
+
+
+def test_config_knob_keeps_batch_serial(monkeypatch):
+    """Configs pinned to ``parallelism=1`` must keep run_experiments on
+    the legacy serial path even with no explicit argument — the pool must
+    never be constructed."""
+    import repro.harness.parallel as parallel_mod
+
+    def explode():
+        raise AssertionError("process pool used despite parallelism=1")
+
+    monkeypatch.setattr(parallel_mod, "_pool_context", explode)
+    configs = [_config(seed=s, parallelism=1) for s in (31, 32)]
+    results = run_experiments(configs)
+    assert [r.total_ops for r in results] == [
+        r.total_ops for r in run_experiments(configs, parallelism=1)
+    ]
+
+
+def test_most_conservative_config_knob_wins():
+    """A mixed batch uses the smallest set knob: one serial-pinned config
+    keeps the whole batch serial (resolved worker count of 1)."""
+    from repro.harness.parallel import resolve_parallelism
+
+    configs = [_config(seed=1, parallelism=4), _config(seed=2, parallelism=1)]
+    knobs = [c.parallelism for c in configs if c.parallelism is not None]
+    assert resolve_parallelism(min(knobs), len(configs)) == 1
+
+
+def test_run_seeded_honours_config_knob():
+    config = _config(seed=40, parallelism=2)
+    results = run_seeded(config, seeds=(40, 41, 42))
+    assert [r.config["seed"] for r in results] == [40, 41, 42]
+
+
+def test_worker_exception_propagates():
+    bad = _config(seed=1)
+    # An invalid config raises inside the worker; the error must surface.
+    bad = ExperimentConfig(
+        cluster=bad.cluster,
+        workload=WorkloadConfig(kind="get_put", gets_per_put=-1),
+        seed=1,
+    )
+    good = _config(seed=2)
+    with pytest.raises(ConfigError):
+        run_experiments([good, bad, good], parallelism=2)

@@ -56,10 +56,25 @@ def test_run_sweep_executes_and_reports_progress():
     assert all(r.total_ops > 0 for r in results)
 
 
+def test_run_sweep_parallel_matches_serial():
+    configs = protocol_sweep(_base(), ["pocc", "cure"])
+    serial = run_sweep(configs, parallelism=1)
+    parallel = run_sweep(configs, parallelism=2)
+    assert [r.name for r in serial] == [r.name for r in parallel]
+    assert [r.total_ops for r in serial] == [r.total_ops for r in parallel]
+    assert [r.sim_events for r in serial] == [r.sim_events for r in parallel]
+
+
 def test_cli_parser_defaults():
     args = build_parser().parse_args(["--figure", "1a"])
     assert args.figures == ["1a"]
     assert args.scale == "bench"
+    assert args.parallelism is None
+
+
+def test_cli_parallelism_flag():
+    args = build_parser().parse_args(["--figure", "1a", "--parallelism", "4"])
+    assert args.parallelism == 4
 
 
 def test_cli_rejects_unknown_figure():

@@ -1,0 +1,98 @@
+"""Heap compaction under heavy cancellation (lazy-deletion bloat).
+
+A workload that keeps re-arming far-future timers — heartbeat idle resets,
+request timeouts — cancels far more events than it fires.  With pure lazy
+deletion those entries sit in the heap until their (distant) pop time, so
+the heap grows with the cancellation rate instead of the live event count.
+The simulator must compact once cancelled entries exceed the threshold
+(> COMPACT_FLOOR entries and > half the heap) and keep an accurate
+``cancelled_pending`` counter throughout.
+"""
+
+from repro.sim.engine import COMPACT_FLOOR, Simulator
+
+
+def _noop() -> None:
+    pass
+
+
+def test_cancelled_pending_counts_cancellations():
+    sim = Simulator()
+    handles = [sim.schedule(10.0 + i, _noop) for i in range(10)]
+    assert sim.cancelled_pending == 0
+    for handle in handles[:4]:
+        assert handle.cancel()
+    assert sim.cancelled_pending == 4
+    # Double-cancel and cancel-after-fire must not inflate the counter.
+    assert not handles[0].cancel()
+    assert sim.cancelled_pending == 4
+
+
+def test_counter_drains_as_cancelled_entries_are_popped():
+    sim = Simulator()
+    handles = [sim.schedule(0.001 * (i + 1), _noop) for i in range(20)]
+    for handle in handles[::2]:
+        handle.cancel()
+    assert sim.cancelled_pending == 10
+    sim.run()
+    assert sim.cancelled_pending == 0
+    assert sim.events_executed == 10
+
+
+def test_peek_next_time_drains_counter():
+    sim = Simulator()
+    first = sim.schedule(1.0, _noop)
+    sim.schedule(2.0, _noop)
+    first.cancel()
+    assert sim.cancelled_pending == 1
+    assert sim.peek_next_time() == 2.0
+    assert sim.cancelled_pending == 0
+
+
+def test_cancel_heavy_heartbeat_workload_compacts_heap():
+    """The regression scenario: every 'write' re-arms a far-future idle
+    timer, cancelling the previous one.  The heap must stay proportional
+    to the live timer count, not the cancellation count."""
+    sim = Simulator()
+    cancellations = 4 * COMPACT_FLOOR
+    pending = None
+    for i in range(cancellations):
+        if pending is not None:
+            assert pending.cancel()
+        # Far-future heartbeat deadline: would never be popped organically.
+        pending = sim.schedule(1_000.0 + i * 1e-6, _noop)
+    # Lazy deletion alone would leave ~cancellations entries in the heap.
+    assert sim.pending_events < COMPACT_FLOOR + 64
+    assert sim.cancelled_pending < COMPACT_FLOOR + 1
+    assert sim.compactions >= 1
+    # The one live timer still fires.
+    sim.run()
+    assert sim.events_executed == 1
+
+
+def test_compaction_preserves_event_order_and_results():
+    """Interleave live and cancelled timers past the threshold and check
+    the surviving events still fire in exact (time, seq) order."""
+    sim = Simulator()
+    fired: list[int] = []
+    live_count = 257
+    doomed = []
+    for i in range(live_count):
+        sim.schedule(1.0 + 0.001 * i, fired.append, i)
+        for _ in range(16):
+            doomed.append(sim.schedule(500.0 + i, _noop))
+    for handle in doomed:
+        handle.cancel()
+    sim.run()
+    assert fired == list(range(live_count))
+    assert sim.cancelled_pending == 0
+
+
+def test_manual_compact_reports_removed_entries():
+    sim = Simulator()
+    handles = [sim.schedule(10.0, _noop) for _ in range(8)]
+    for handle in handles[:5]:
+        handle.cancel()
+    assert sim.compact() == 5
+    assert sim.pending_events == 3
+    assert sim.cancelled_pending == 0

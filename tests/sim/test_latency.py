@@ -101,3 +101,20 @@ def test_latency_config_validation():
     with pytest.raises(ConfigError):
         LatencyConfig().validate(5)  # default matrix only covers 3 DCs
     LatencyConfig().validate(3)
+
+
+def test_sample_base_matches_base_latency_for_all_endpoint_classes():
+    """``sample`` inlines the base-latency lookup for speed; this pins the
+    inline copy to the public :meth:`base_latency` contract across every
+    endpoint class (jitter off, so sample returns the base exactly)."""
+    model = _model()
+    pairs = [
+        (client_address(1, 3, index=0), server_address(1, 3)),  # collocated
+        (server_address(1, 3), client_address(1, 3, index=0)),  # reply leg
+        (server_address(0, 0), server_address(0, 1)),           # intra-DC
+        (client_address(0, 0, index=1), server_address(0, 2)),  # cross-part.
+        (server_address(0, 0), server_address(2, 5)),           # inter-DC
+        (client_address(2, 1, index=0), server_address(0, 1)),  # client WAN
+    ]
+    for src, dst in pairs:
+        assert model.sample(src, dst) == model.base_latency(src, dst)
