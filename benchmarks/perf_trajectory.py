@@ -14,7 +14,7 @@ CI wraps it in a timeout so a deadlocked pool fails the job.
 Usage::
 
     PYTHONPATH=src python benchmarks/perf_trajectory.py --smoke
-    PYTHONPATH=src python benchmarks/perf_trajectory.py --out BENCH_pr2.json
+    PYTHONPATH=src python benchmarks/perf_trajectory.py --pr 3  # BENCH_pr3.json
 
 ``--smoke`` shrinks every workload so the whole run finishes well under
 60 s (the CI budget); the full run uses the ``bench`` figure scale and
@@ -175,12 +175,57 @@ def bench_replicates(num_seeds: int, parallelism: int) -> tuple[dict, bool]:
     return timings, diverged
 
 
+def bench_live_cluster(duration_s: float) -> tuple[dict, bool]:
+    """A short live (asyncio TCP) POCC run; returns (stats, failed).
+
+    PR 3's trajectory addition: the live backend's throughput on the
+    2-DC x 2-partition smoke shape, with the causal checker as canary —
+    a checker violation or unclean shutdown fails the script like a
+    serial/parallel divergence does.
+    """
+    from repro.common.config import (
+        ClusterConfig, ExperimentConfig, WorkloadConfig,
+    )
+    from repro.runtime.cluster import run_live_experiment
+
+    config = ExperimentConfig(
+        cluster=ClusterConfig(num_dcs=2, num_partitions=2,
+                              keys_per_partition=100, protocol="pocc"),
+        workload=WorkloadConfig(kind="mixed", read_ratio=0.85, tx_ratio=0.1,
+                                tx_partitions=2, clients_per_partition=2,
+                                think_time_s=0.005),
+        warmup_s=0.3,
+        duration_s=duration_s,
+        seed=7,
+        verify=True,
+        name="perf-live-smoke",
+    )
+    report = run_live_experiment(config)
+    stats = {
+        "protocol": report.protocol,
+        "duration_s": round(report.duration_s, 3),
+        "total_ops": report.total_ops,
+        "throughput_ops_s": round(report.throughput_ops_s, 1),
+        "frames_delivered": report.messages_delivered,
+        "violations": len(report.violations),
+        "clean_shutdown": report.clean_shutdown,
+        "serializer": report.serializer,
+    }
+    return stats, not report.passed
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     parser.add_argument("--smoke", action="store_true",
                         help="shrunken workloads for the <60s CI budget")
+    parser.add_argument("--pr", type=int, default=None,
+                        help="PR number stamped into the snapshot "
+                             "(default: next after the newest "
+                             "BENCH_pr<N>.json on disk, so a bare run "
+                             "appends a new trajectory point; pass --pr "
+                             "explicitly to refresh an existing one)")
     parser.add_argument("--out", default=None, metavar="PATH",
-                        help="output JSON path (default: BENCH_pr2.json "
+                        help="output JSON path (default: BENCH_pr<N>.json "
                              "next to the repo root)")
     parser.add_argument("--parallelism", type=int, default=None,
                         help="workers for the parallel legs "
@@ -188,7 +233,15 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     repo_root = Path(__file__).resolve().parent.parent
-    out_path = Path(args.out) if args.out else repo_root / "BENCH_pr2.json"
+    if args.pr is None:
+        committed = sorted(
+            int(path.stem.removeprefix("BENCH_pr"))
+            for path in repo_root.glob("BENCH_pr*.json")
+            if path.stem.removeprefix("BENCH_pr").isdigit()
+        )
+        args.pr = committed[-1] + 1 if committed else 3
+    out_path = (Path(args.out) if args.out
+                else repo_root / f"BENCH_pr{args.pr}.json")
 
     # Even on a 1-core box exercise a real pool, so CI catches deadlocks.
     workers = (args.parallelism if args.parallelism is not None
@@ -217,11 +270,15 @@ def main(argv: list[str] | None = None) -> int:
     print(f"[perf] run_replicates({num_seeds} seeds), serial vs "
           f"parallelism={workers}...", file=sys.stderr)
     replicates, repl_diverged = bench_replicates(num_seeds, workers)
+    live_duration = 1.5 if args.smoke else 4.0
+    print(f"[perf] live asyncio TCP cluster ({live_duration}s window)...",
+          file=sys.stderr)
+    live, live_failed = bench_live_cluster(live_duration)
 
     baseline = PRE_CHANGE_BASELINE
     engine_ratio = engine["events_per_s"] / baseline["engine_events_per_s"]
     snapshot = {
-        "pr": 2,
+        "pr": args.pr,
         "mode": "smoke" if args.smoke else "full",
         "machine": {
             "cpu_count": os.cpu_count(),
@@ -234,6 +291,7 @@ def main(argv: list[str] | None = None) -> int:
         "full_experiment": experiment,
         "figure_1a_sweep": sweep,
         "replicates": replicates,
+        "live_cluster": live,
         "baseline_pre_change": baseline,
         "engine_vs_pre_change_ratio": round(engine_ratio, 3),
         "total_wall_s": round(time.perf_counter() - t0, 2),
@@ -247,6 +305,10 @@ def main(argv: list[str] | None = None) -> int:
     if sweep_diverged or repl_diverged:
         print("[perf] FAIL: parallel results diverged from serial",
               file=sys.stderr)
+        return 1
+    if live_failed:
+        print("[perf] FAIL: live cluster run violated the checker or "
+              "shut down uncleanly", file=sys.stderr)
         return 1
     if engine_ratio < 0.85:
         # Warning only, never a failure: hosted-runner hardware varies

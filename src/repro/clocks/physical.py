@@ -15,22 +15,44 @@ pass a given timestamp — the paper's "wait until max{DV_c} < Clock"
 
 from __future__ import annotations
 
+from typing import Protocol
+
 from repro.common.config import ClockConfig
 from repro.common.errors import SimulationError
 from repro.common.types import Micros
-from repro.sim.engine import Simulator
 
 _US_PER_S = 1_000_000
 
 
-class PhysicalClock:
-    """One node's skewed-but-monotonic physical clock."""
+class TimeSource(Protocol):
+    """Anything exposing a monotonically nondecreasing ``now`` in seconds.
 
-    __slots__ = ("_sim", "_offset_us", "_rate", "_last_read")
+    The discrete-event :class:`repro.sim.engine.Simulator` and the live
+    asyncio runtime both qualify, so the same clock model (offset, drift,
+    strict per-node monotonicity) backs timestamps on both backends.
+    """
+
+    @property
+    def now(self) -> float: ...
+
+
+class PhysicalClock:
+    """One node's skewed-but-monotonic physical clock.
+
+    Drift accumulates from the clock's *construction instant*, not from
+    the time source's epoch: the simulation constructs every clock at
+    ``t=0`` (where the two are the same thing, to the bit), but the live
+    backend's epoch is a fixed wall-clock date — scaling that absolute
+    time by a per-node rate would fabricate minutes of divergence out of
+    a few ppm of drift.
+    """
+
+    __slots__ = ("_sim", "_offset_us", "_rate", "_last_read",
+                 "_base_s", "_base_us")
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: TimeSource,
         offset_us: int = 0,
         drift_ppm: float = 0.0,
     ):
@@ -40,10 +62,12 @@ class PhysicalClock:
         if self._rate <= 0:
             raise SimulationError("clock rate must be positive")
         self._last_read: Micros = 0
+        self._base_s = sim.now
+        self._base_us = self._base_s * _US_PER_S
 
     @classmethod
     def sample(
-        cls, sim: Simulator, config: ClockConfig, rng
+        cls, sim: TimeSource, config: ClockConfig, rng
     ) -> "PhysicalClock":
         """Draw a clock with offset/drift sampled per ``config``."""
         offset = rng.randint(-config.max_offset_us, config.max_offset_us)
@@ -53,9 +77,20 @@ class PhysicalClock:
     # ------------------------------------------------------------------
     # Reading
     # ------------------------------------------------------------------
+    def _raw(self) -> Micros:
+        """``base + rate * elapsed-since-construction`` in micros.
+
+        With ``base == 0`` (every simulated clock) this is bit-identical
+        to ``int(now * rate * 1e6)``: determinism tests pin that.
+        """
+        return int(
+            self._base_us
+            + (self._sim.now - self._base_s) * self._rate * _US_PER_S
+        ) + self._offset_us
+
     def micros(self) -> Micros:
         """Current clock value; strictly greater than any previous read."""
-        raw = int(self._sim.now * self._rate * _US_PER_S) + self._offset_us
+        raw = self._raw()
         if raw <= self._last_read:
             raw = self._last_read + 1
         self._last_read = raw
@@ -63,8 +98,7 @@ class PhysicalClock:
 
     def peek_micros(self) -> Micros:
         """Current clock value without bumping monotonicity state."""
-        raw = int(self._sim.now * self._rate * _US_PER_S) + self._offset_us
-        return max(raw, self._last_read)
+        return max(self._raw(), self._last_read)
 
     # ------------------------------------------------------------------
     # Inversion
@@ -72,8 +106,12 @@ class PhysicalClock:
     def sim_time_when(self, target_us: Micros) -> float:
         """Earliest simulated time at which ``micros()`` can exceed
         ``target_us``.  Used to schedule clock-wait wake-ups exactly."""
-        # Invert raw = sim_time * rate * 1e6 + offset  >  target.
-        needed = (target_us + 1 - self._offset_us) / (_US_PER_S * self._rate)
+        # Invert raw = base + (t - base_s) * rate * 1e6 + offset > target
+        # (reduces to the pre-split formula when base == 0).
+        needed = self._base_s + (
+            (target_us + 1 - self._offset_us - self._base_us)
+            / (_US_PER_S * self._rate)
+        )
         return max(needed, self._sim.now)
 
     @property

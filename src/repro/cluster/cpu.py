@@ -23,10 +23,8 @@ from collections import deque
 from typing import Any, Callable
 
 from repro.common.errors import SimulationError
+from repro.common.types import BACKGROUND, FOREGROUND  # noqa: F401
 from repro.sim.engine import Simulator
-
-FOREGROUND = 0
-BACKGROUND = 1
 
 
 class CpuScheduler:

@@ -1,100 +1,100 @@
-"""The base simulated node: network endpoint + CPU + physical clock.
+"""The simulation runtime adapter: network endpoint + CPU + engine timers.
 
-Protocol servers subclass :class:`SimNode` and implement ``dispatch`` (what
-to do with a message) and ``service_time`` (what it costs).  Incoming
-messages pass through the node's CPU queue before their handler runs;
-replies and background sends go back out through the network.  Clients are
-also ``SimNode`` subclasses but typically use zero service times (the
-paper's clients are closed-loop load generators whose CPU is not the
-bottleneck being studied).
+:class:`SimNode` implements the :class:`repro.protocols.core.ProtocolRuntime`
+interface on the deterministic discrete-event backend.  One adapter backs
+one protocol core (server or client): network deliveries pass through the
+node's modeled CPU queue before the core's handler runs; the core's effects
+— sends, timers, local work — are executed on the event engine.
+
+The adapter holds everything simulation-specific (engine, network, modeled
+cores); the core it feeds is I/O-free and also runs unmodified on the live
+asyncio backend (:mod:`repro.runtime`).
 """
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Iterable
 
+from repro.common.errors import SimulationError
 from repro.common.types import Address
-from repro.cluster.cpu import CpuScheduler
-from repro.clocks.physical import PhysicalClock
-from repro.sim.engine import Simulator
+from repro.cluster.cpu import CpuScheduler, FOREGROUND
+from repro.sim.engine import EventHandle, Simulator
 from repro.sim.network import Network
 
 
 class SimNode:
-    """A network endpoint with a CPU queue and a local physical clock."""
+    """Deterministic-simulation runtime for one protocol core."""
+
+    __slots__ = ("sim", "network", "_address", "cpu", "core")
 
     def __init__(
         self,
         sim: Simulator,
         network: Network,
         address: Address,
-        clock: PhysicalClock,
         cores: int = 2,
     ):
         self.sim = sim
         self.network = network
         self._address = address
-        self.clock = clock
         self.cpu = CpuScheduler(sim, cores)
-        self.messages_received = 0
+        self.core = None
         network.register(self)
 
+    def bind(self, core) -> None:
+        """Attach the protocol core this adapter feeds (exactly once)."""
+        if self.core is not None:
+            raise SimulationError(
+                f"{self._address}: adapter already bound to {self.core!r}"
+            )
+        self.core = core
+
     # ------------------------------------------------------------------
-    # Endpoint protocol
+    # Network endpoint protocol (the Network delivers through here)
     # ------------------------------------------------------------------
     @property
     def address(self) -> Address:
         return self._address
 
     def on_message(self, msg: Any) -> None:
-        """Network delivery: queue the handler behind the node's CPU."""
-        self.messages_received += 1
-        cost = self.service_time(msg)
-        if cost > 0:
-            self.cpu.submit(cost, self.dispatch, msg,
-                            priority=self.message_priority(msg))
-        else:
-            self.dispatch(msg)
+        """Network delivery: hand the message to the bound core."""
+        self.core.on_message(msg)
 
     # ------------------------------------------------------------------
-    # Subclass responsibilities
+    # ProtocolRuntime: time and timers
     # ------------------------------------------------------------------
-    def service_time(self, msg: Any) -> float:
-        """CPU seconds charged before ``dispatch(msg)`` runs."""
-        raise NotImplementedError
+    @property
+    def now(self) -> float:
+        return self.sim.now
 
-    def message_priority(self, msg: Any) -> int:
-        """CPU class for this message (FOREGROUND unless overridden)."""
-        return 0
+    def schedule(self, delay: float, fn, *args) -> EventHandle:
+        return self.sim.schedule(delay, fn, *args)
 
-    def dispatch(self, msg: Any) -> None:
-        """Handle a message (runs after its CPU cost was paid)."""
-        raise NotImplementedError
+    def schedule_at(self, time: float, fn, *args) -> EventHandle:
+        return self.sim.schedule_at(time, fn, *args)
 
     # ------------------------------------------------------------------
-    # Conveniences
+    # ProtocolRuntime: sends
     # ------------------------------------------------------------------
-    def send(self, dst: Address, msg: Any) -> None:
-        """Send a message from this node."""
-        self.network.send(self._address, dst, msg)
+    def send(self, dst: Address, msg: Any, size: int | None = None) -> None:
+        self.network.send(self._address, dst, msg, size)
 
-    def send_fanout(self, dsts, msg: Any) -> None:
-        """Send one message to many destinations, sizing it only once.
-
-        Replication, heartbeats and stabilization broadcasts ship the same
-        immutable payload to every peer; computing ``size_bytes()`` per
-        destination is pure waste (it walks dependency vectors/lists), so
-        the size is cached across the whole fan-out.
-        """
+    def send_fanout(self, dsts: Iterable[Address], msg: Any) -> None:
         size = self.network.message_size(msg)
         network_send = self.network.send
         src = self._address
         for dst in dsts:
             network_send(src, dst, msg, size)
 
-    def submit_local(self, cost_s: float, fn, *args) -> None:
-        """Charge CPU for a locally originated task (timer handlers etc.)."""
+    def message_size(self, msg: Any) -> int:
+        return self.network.message_size(msg)
+
+    # ------------------------------------------------------------------
+    # ProtocolRuntime: local work (modeled CPU)
+    # ------------------------------------------------------------------
+    def submit(self, cost_s: float, fn, *args,
+               priority: int = FOREGROUND) -> None:
         if cost_s > 0:
-            self.cpu.submit(cost_s, fn, *args)
+            self.cpu.submit(cost_s, fn, *args, priority=priority)
         else:
             fn(*args)

@@ -22,6 +22,13 @@ PartitionId = int
 # read from a node's local, loosely synchronized clock.
 Micros = int
 
+# CPU priority classes for a node's local work: client-facing request
+# handling runs ahead of the background machinery (replication apply,
+# heartbeats, stabilization, GC).  Canonical home of the two constants —
+# the CPU scheduler and the protocol-core layer both re-export them.
+FOREGROUND = 0
+BACKGROUND = 1
+
 
 class NodeKind(enum.Enum):
     """What kind of endpoint an :class:`Address` names."""

@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 
 from repro.common.config import ExperimentConfig
 from repro.common.types import Address
+from repro.cluster.node import SimNode
 from repro.cluster.topology import KeyPools, Topology
 from repro.clocks.physical import PhysicalClock
 from repro.harness import seeds
@@ -70,8 +71,9 @@ def build_cluster(config: ExperimentConfig) -> BuiltCluster:
         clock = PhysicalClock.sample(
             sim, cluster.clocks, rng.stream(seeds.clock_stream(address))
         )
-        server = server_cls(sim, network, address, clock, topology,
-                            cluster, metrics)
+        adapter = SimNode(sim, network, address,
+                          cores=cluster.cores_per_node)
+        server = server_cls(adapter, clock, topology, cluster, metrics)
         server.store.preload(pools.pool(address.partition),
                              num_dcs=cluster.num_dcs)
         servers[address] = server
@@ -88,7 +90,8 @@ def build_cluster(config: ExperimentConfig) -> BuiltCluster:
                     sim, cluster.clocks,
                     rng.stream(seeds.clock_stream(address)),
                 )
-                client = client_cls(sim, network, address, clock, topology,
+                adapter = SimNode(sim, network, address, cores=1)
+                client = client_cls(adapter, clock, topology,
                                     cluster, metrics)
                 workload = make_workload(
                     workload_cfg, pools, rng.stream(seeds.workload_stream(address))

@@ -3,6 +3,7 @@
 Examples::
 
     repro-figures --list
+    repro-figures --list-protocols
     repro-figures --figure 1a --scale smoke
     repro-figures --all --scale bench --md EXPERIMENTS_RUN.md
 """
@@ -16,6 +17,7 @@ import time
 from repro.harness.figures import FIGURES
 from repro.harness.reportmd import render_markdown
 from repro.harness.scales import SCALES
+from repro.protocols.registry import list_protocols, protocol_summary
 
 
 def _parallelism(text: str) -> int:
@@ -44,6 +46,8 @@ def build_parser() -> argparse.ArgumentParser:
                         help="also write a markdown report to PATH")
     parser.add_argument("--list", action="store_true",
                         help="list available figures and exit")
+    parser.add_argument("--list-protocols", action="store_true",
+                        help="list registered protocol names and exit")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress per-point progress output")
     parser.add_argument("--parallelism", type=_parallelism, default=None,
@@ -63,9 +67,16 @@ def main(argv: list[str] | None = None) -> int:
             print(f"  {figure_id}: {first_line}")
         return 0
 
+    if args.list_protocols:
+        for name in list_protocols():
+            print(f"  {name}: {protocol_summary(name)}")
+        return 0
+
     figure_ids = sorted(FIGURES) if args.all else args.figures
     if not figure_ids:
-        parser.error("choose --all, --list or at least one --figure")
+        parser.error(
+            "choose --all, --list, --list-protocols or at least one --figure"
+        )
 
     collected = []
     for figure_id in figure_ids:

@@ -9,6 +9,12 @@ Section IV-B.  Protocol subclasses add their read/write visibility rules.
 :class:`CausalClient` implements the session metadata of Algorithm 1, which
 is *identical* for POCC and Cure* (the paper's fairness argument: both
 exchange the same metadata).
+
+Both classes are I/O-free :class:`~repro.protocols.core.ProtocolCore`
+subclasses: every send, timer and CPU charge goes through the runtime
+adapter in ``self.rt``, so the same protocol logic runs on the
+deterministic simulation backend and on the live asyncio TCP backend
+(:mod:`repro.runtime`).
 """
 
 from __future__ import annotations
@@ -28,12 +34,10 @@ from repro.clocks.vector import (
 from repro.common.config import ClusterConfig
 from repro.common.errors import ProtocolError
 from repro.common.types import Address, Micros, OpType
-from repro.cluster.node import SimNode
 from repro.cluster.topology import Topology
 from repro.metrics.collectors import MetricsRegistry
 from repro.protocols import messages as m
-from repro.sim.network import Network
-from repro.sim.engine import Simulator
+from repro.protocols.core import ProtocolCore, ProtocolRuntime
 from repro.storage.store import PartitionStore
 from repro.storage.version import Version
 
@@ -86,7 +90,7 @@ class WaitQueue:
         payload: Any = None,
     ) -> _Waiter:
         """Park ``resume`` until ``predicate()`` holds (checked on notify)."""
-        waiter = _Waiter(predicate, resume, cause, self._server.sim.now,
+        waiter = _Waiter(predicate, resume, cause, self._server.rt.now,
                          payload)
         self._waiters.append(waiter)
         return waiter
@@ -111,7 +115,7 @@ class WaitQueue:
 
     def expired(self, older_than_s: float) -> list[_Waiter]:
         """Waiters blocked longer than ``older_than_s`` (HA detection)."""
-        now = self._server.sim.now
+        now = self._server.rt.now
         return [
             w for w in self._waiters
             if not w.cancelled and now - w.blocked_at >= older_than_s
@@ -121,21 +125,19 @@ class WaitQueue:
         return sum(1 for w in self._waiters if not w.cancelled)
 
 
-class CausalServer(SimNode):
+class CausalServer(ProtocolCore):
     """Base server ``p^m_n``: replication, heartbeats, waiting, GC."""
 
     def __init__(
         self,
-        sim: Simulator,
-        network: Network,
-        address: Address,
+        runtime: ProtocolRuntime,
         clock: PhysicalClock,
         topology: Topology,
         config: ClusterConfig,
         metrics: MetricsRegistry,
     ):
-        super().__init__(sim, network, address, clock,
-                         cores=config.cores_per_node)
+        super().__init__(runtime, clock)
+        address = self.address
         self.topology = topology
         self.config = config
         self.metrics = metrics
@@ -162,10 +164,10 @@ class CausalServer(SimNode):
     # ------------------------------------------------------------------
     def _start_timers(self) -> None:
         heartbeat = self._protocol.heartbeat_interval_s
-        self.sim.schedule(heartbeat, self._heartbeat_tick)
+        self.rt.schedule(heartbeat, self._heartbeat_tick)
         gc = self._protocol.gc_interval_s
         # Stagger GC rounds so all nodes do not report at the same instant.
-        self.sim.schedule(gc * (1.0 + 0.01 * self.n), self._gc_tick)
+        self.rt.schedule(gc * (1.0 + 0.01 * self.n), self._gc_tick)
 
     def _heartbeat_tick(self) -> None:
         """Algorithm 2 lines 19-26: broadcast the clock if write-idle."""
@@ -177,15 +179,15 @@ class CausalServer(SimNode):
             self.send_fanout(self._peer_replicas,
                              m.Heartbeat(ts=ct, src_dc=self.m))
             self.waiters.notify()
-        self.sim.schedule(self._protocol.heartbeat_interval_s,
-                          self._heartbeat_tick)
+        self.rt.schedule(self._protocol.heartbeat_interval_s,
+                         self._heartbeat_tick)
 
     # ------------------------------------------------------------------
     # Waiting / waking
     # ------------------------------------------------------------------
     def wake(self, waiter: _Waiter) -> None:
         """Charge resumption CPU and record the blocking duration."""
-        duration = self.sim.now - waiter.blocked_at
+        duration = self.rt.now - waiter.blocked_at
         self.metrics.record_block_started(waiter.cause, waiter.blocked_at,
                                           duration)
         self.submit_local(self._service.resume_s, waiter.resume)
@@ -251,7 +253,7 @@ class CausalServer(SimNode):
         skew makes the conversion to simulated seconds accurate to within
         the configured offset (clamped at zero in the recorder).
         """
-        self.metrics.record_visibility_lag(self.sim.now - version.ut / 1e6)
+        self.metrics.record_visibility_lag(self.rt.now - version.ut / 1e6)
 
     def apply_heartbeat(self, msg: m.Heartbeat) -> None:
         """Algorithm 2 lines 27-28 + notify blocked operations."""
@@ -269,7 +271,7 @@ class CausalServer(SimNode):
             self._gc_receive_report(report, self.n)
         else:
             self.send(aggregator, m.GcPush(vec=report, partition=self.n))
-        self.sim.schedule(self._protocol.gc_interval_s, self._gc_tick)
+        self.rt.schedule(self._protocol.gc_interval_s, self._gc_tick)
 
     def _gc_report_vector(self) -> list[Micros]:
         """min over active transaction snapshots, else the node's VV.
@@ -311,14 +313,14 @@ class CausalServer(SimNode):
         this replaces (the local apply may wake waiters and schedule
         events *before* the remote sends draw latency samples).
         """
-        size = self.network.message_size(msg)
-        send = self.network.send
+        size = self.rt.message_size(msg)
+        send = self.rt.send
         src = self.address
         for server in self.topology.dc_servers(self.m):
             if server == src:
                 receive_local(msg)
             else:
-                send(src, server, msg, size)
+                send(server, msg, size)
 
     # ------------------------------------------------------------------
     # Dispatch plumbing shared by subclasses
@@ -353,7 +355,7 @@ class CausalServer(SimNode):
         request-threads-vs-apply-threads structure of real stores.  Under
         saturation the background class starves — the paper's stated cause
         of load-dependent blocking (POCC) and staleness (Cure*)."""
-        from repro.cluster.cpu import BACKGROUND, FOREGROUND
+        from repro.protocols.core import BACKGROUND, FOREGROUND
         if isinstance(msg, (m.Replicate, m.Heartbeat, m.StabPush,
                             m.StabBroadcast, m.UstGossip, m.GcPush,
                             m.GcBroadcast)):
@@ -484,7 +486,7 @@ class CausalServer(SimNode):
         return vec_covers(self.vv, deps, skip=self.m if skip_local else None)
 
 
-class CausalClient(SimNode):
+class CausalClient(ProtocolCore):
     """Client-side session state and operations (Algorithm 1).
 
     The driver calls :meth:`get` / :meth:`put` / :meth:`ro_tx` with a
@@ -496,19 +498,17 @@ class CausalClient(SimNode):
 
     def __init__(
         self,
-        sim: Simulator,
-        network: Network,
-        address: Address,
+        runtime: ProtocolRuntime,
         clock: PhysicalClock,
         topology: Topology,
         config: ClusterConfig,
         metrics: MetricsRegistry,
     ):
-        super().__init__(sim, network, address, clock, cores=1)
+        super().__init__(runtime, clock)
         self.topology = topology
         self.config = config
         self.metrics = metrics
-        self.m = address.dc
+        self.m = self.address.dc
         num_dcs = topology.num_dcs
         #: DV_c: newest potential dependency per DC (reads and writes).
         self.dv: list[Micros] = vec_zero(num_dcs)
@@ -618,12 +618,12 @@ class CausalClient(SimNode):
     # ------------------------------------------------------------------
     def _register(self, op_type: OpType, callback: Callable) -> int:
         self._next_op_id += 1
-        self._pending[self._next_op_id] = (op_type, self.sim.now, callback)
+        self._pending[self._next_op_id] = (op_type, self.rt.now, callback)
         return self._next_op_id
 
     def _finish(self, op_type: OpType, started: float) -> None:
         self.ops_completed += 1
-        self.metrics.record_op(op_type, self.sim.now - started)
+        self.metrics.record_op(op_type, self.rt.now - started)
 
     def _server_for(self, key: str) -> Address:
         return self.topology.server(self.m, self.topology.partition_of(key))

@@ -136,15 +136,15 @@ class CopsServer(CausalServer):
         if self.clock.peek_micros() > max_dep:
             self._apply_put_after(msg)
             return
-        blocked_at = self.sim.now
+        blocked_at = self.rt.now
 
         def resume() -> None:
             self.metrics.record_block_started(BLOCK_PUT_CLOCK, blocked_at,
-                                              self.sim.now - blocked_at)
+                                              self.rt.now - blocked_at)
             self.submit_local(self._service.resume_s,
                               self._apply_put_after, msg)
 
-        self.sim.schedule_at(self.clock.sim_time_when(max_dep), resume)
+        self.rt.schedule_at(self.clock.sim_time_when(max_dep), resume)
 
     def _apply_put_after(self, msg: m.CopsPutReq) -> None:
         ts = self.clock.micros()
@@ -232,7 +232,7 @@ class CopsServer(CausalServer):
 
     def _mark_visible(self, version: CopsVersion) -> None:
         version.visible = True
-        self.metrics.record_visibility_lag(self.sim.now - version.ut / 1e6)
+        self.metrics.record_visibility_lag(self.rt.now - version.ut / 1e6)
         # Newly visible versions can satisfy checks parked here and can
         # unblock nothing else: COPS reads never wait.
         self.dep_waiters.notify()
@@ -314,7 +314,7 @@ class CopsServer(CausalServer):
         return super().service_time(msg)
 
     def message_priority(self, msg: Any) -> int:
-        from repro.cluster.cpu import BACKGROUND
+        from repro.protocols.core import BACKGROUND
         if isinstance(msg, (m.DepCheck, m.DepCheckResp)):
             return BACKGROUND  # dependency checking is apply-path work
         return super().message_priority(msg)

@@ -1,0 +1,209 @@
+"""Transport-agnostic protocol cores: the I/O seam of the reproduction.
+
+A protocol implementation (POCC, Cure*, Okapi*, …) is a **pure state
+machine**: it consumes messages and emits *effects* — send a message, set
+a timer, cancel a timer, charge local work, reply to a client.  Nothing in
+a core may touch a socket, an event loop or the discrete-event engine
+directly; every effect goes through the :class:`ProtocolRuntime` interface
+held in ``self.rt``.  That seam is what lets the *same* core class run on
+two backends:
+
+* the **simulation adapter** (:class:`repro.cluster.node.SimNode`) executes
+  effects on the deterministic event engine — sends become
+  :meth:`repro.sim.network.Network.send` calls, timers become engine
+  events, local work is charged to the modeled CPU;
+* the **live adapter** (:class:`repro.runtime.transport.LiveRuntime`)
+  executes them on an asyncio event loop — sends become length-prefixed
+  frames on TCP connections, timers become ``loop.call_later`` callbacks,
+  and modeled CPU costs are not charged (real CPUs charge themselves).
+
+Effect vocabulary (mirrors the adapters' method surface):
+
+========================  =====================================================
+effect                    runtime method
+========================  =====================================================
+send / reply              ``rt.send(dst, msg)`` (a reply is a send to the
+                          requesting client's address)
+fan-out send              ``rt.send_fanout(dsts, msg)`` (sizes the payload once)
+set timer                 ``rt.schedule(delay_s, fn, *args)`` /
+                          ``rt.schedule_at(time_s, fn, *args)`` → handle
+cancel timer              ``handle.cancel()``
+local work (CPU charge)   ``rt.submit(cost_s, fn, *args, priority=...)``
+========================  =====================================================
+
+Time: ``rt.now`` is a monotonically nondecreasing float of seconds since
+the backend's epoch (simulation start / process start).  Physical clocks
+(:class:`repro.clocks.physical.PhysicalClock`) are built *on top of* the
+runtime's time source, so timestamp discipline is identical on both
+backends.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Protocol, runtime_checkable
+
+#: CPU priority classes (canonical home: :mod:`repro.common.types`, also
+#: re-exported by :mod:`repro.cluster.cpu`; the live backend accepts and
+#: ignores them — real kernels do their own scheduling).
+from repro.common.types import BACKGROUND, FOREGROUND  # noqa: F401
+
+#: Bytes charged for a message that defines no ``size_bytes()``.
+MESSAGE_SIZE_FALLBACK = 64
+
+
+def modeled_message_size(msg: Any) -> int:
+    """Wire size of ``msg`` under the compact-binary size model.
+
+    The single sizing rule both backends' byte accounting uses
+    (:class:`repro.sim.network.Network` and the live transport) — keep
+    them counting identically.
+    """
+    size_fn = getattr(msg, "size_bytes", None)
+    return size_fn() if size_fn is not None else MESSAGE_SIZE_FALLBACK
+
+
+@runtime_checkable
+class TimerHandle(Protocol):
+    """A cancellable reference to a pending timer."""
+
+    def cancel(self) -> bool:
+        """Cancel the timer; False if it already fired or was cancelled."""
+        ...
+
+    @property
+    def active(self) -> bool:
+        """True while the timer is still pending."""
+        ...
+
+
+@runtime_checkable
+class ProtocolRuntime(Protocol):
+    """The effect executor a :class:`ProtocolCore` runs against.
+
+    Implementations: :class:`repro.cluster.node.SimNode` (deterministic
+    discrete-event backend) and
+    :class:`repro.runtime.transport.LiveRuntime` (asyncio TCP backend).
+    """
+
+    @property
+    def address(self) -> Any:
+        """This endpoint's :class:`repro.common.types.Address`."""
+        ...
+
+    @property
+    def now(self) -> float:
+        """Seconds since the backend's epoch (monotonic)."""
+        ...
+
+    def schedule(self, delay: float, fn, *args) -> TimerHandle:
+        """Set a timer: run ``fn(*args)`` ``delay`` seconds from now."""
+        ...
+
+    def schedule_at(self, time: float, fn, *args) -> TimerHandle:
+        """Set a timer for an absolute backend time."""
+        ...
+
+    def send(self, dst: Any, msg: Any, size: int | None = None) -> None:
+        """Send ``msg`` from this endpoint to ``dst``.
+
+        ``size`` lets fan-out callers pass a pre-computed
+        :meth:`message_size` so byte accounting does not re-walk the
+        payload per destination.
+        """
+        ...
+
+    def send_fanout(self, dsts: Iterable[Any], msg: Any) -> None:
+        """Send one message to many destinations, sizing it only once."""
+        ...
+
+    def message_size(self, msg: Any) -> int:
+        """Wire size of ``msg`` as the byte accounting counts it."""
+        ...
+
+    def submit(self, cost_s: float, fn, *args,
+               priority: int = FOREGROUND) -> None:
+        """Run ``fn(*args)`` after charging ``cost_s`` of local CPU.
+
+        Zero-cost work runs synchronously on both backends.  The sim
+        adapter queues costed work behind the node's modeled cores; the
+        live adapter runs it immediately (wall-clock CPUs are real).
+        """
+        ...
+
+    def bind(self, core: "ProtocolCore") -> None:
+        """Attach the core whose ``on_message`` receives deliveries."""
+        ...
+
+
+class ProtocolCore:
+    """Base of every protocol server and client core.
+
+    Construction attaches the core to its runtime adapter
+    (``runtime.bind(self)``), after which the adapter feeds network
+    deliveries into :meth:`on_message`.  Subclasses implement
+    :meth:`service_time` (what a message costs), :meth:`message_priority`
+    (foreground/background class) and :meth:`dispatch` (what it does).
+    """
+
+    def __init__(self, runtime: ProtocolRuntime, clock):
+        self.rt = runtime
+        self.clock = clock
+        self.address = runtime.address
+        self.messages_received = 0
+        runtime.bind(self)
+
+    # ------------------------------------------------------------------
+    # Inbound path (adapters call this on delivery)
+    # ------------------------------------------------------------------
+    def on_message(self, msg: Any) -> None:
+        """Delivery entry point: charge the handler's CPU, then dispatch."""
+        self.messages_received += 1
+        cost = self.service_time(msg)
+        if cost > 0:
+            self.rt.submit(cost, self.dispatch, msg,
+                           priority=self.message_priority(msg))
+        else:
+            self.dispatch(msg)
+
+    # ------------------------------------------------------------------
+    # Subclass responsibilities
+    # ------------------------------------------------------------------
+    def service_time(self, msg: Any) -> float:
+        """CPU seconds charged before ``dispatch(msg)`` runs."""
+        raise NotImplementedError
+
+    def message_priority(self, msg: Any) -> int:
+        """CPU class for this message (FOREGROUND unless overridden)."""
+        return FOREGROUND
+
+    def dispatch(self, msg: Any) -> None:
+        """Handle a message (runs after its CPU cost was paid)."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Outbound effects
+    # ------------------------------------------------------------------
+    def send(self, dst: Any, msg: Any) -> None:
+        """Emit a *send* effect from this endpoint."""
+        self.rt.send(dst, msg)
+
+    def send_fanout(self, dsts: Iterable[Any], msg: Any) -> None:
+        """Emit one *send* effect per destination, sizing the payload once.
+
+        Replication, heartbeats and stabilization broadcasts ship the same
+        immutable payload to every peer; computing ``size_bytes()`` per
+        destination is pure waste (it walks dependency vectors/lists).
+        """
+        self.rt.send_fanout(dsts, msg)
+
+    def submit_local(self, cost_s: float, fn, *args) -> None:
+        """Charge CPU for a locally originated task (timer handlers etc.)."""
+        self.rt.submit(cost_s, fn, *args)
+
+    # ------------------------------------------------------------------
+    # Backend introspection conveniences
+    # ------------------------------------------------------------------
+    @property
+    def cpu(self):
+        """The modeled CPU behind this core (simulation backend only)."""
+        return self.rt.cpu

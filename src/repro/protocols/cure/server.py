@@ -51,7 +51,7 @@ class CureServer(StabilizationMixin, CausalServer):
         when it arrives; park the sample until the GSS covers it."""
         if self._stable(version):
             self.metrics.record_visibility_lag(
-                self.sim.now - version.ut / 1e6
+                self.rt.now - version.ut / 1e6
             )
         else:
             self._pending_visibility.append(version)
@@ -59,7 +59,7 @@ class CureServer(StabilizationMixin, CausalServer):
     def _drain_pending_visibility(self) -> None:
         if not self._pending_visibility:
             return
-        now = self.sim.now
+        now = self.rt.now
         still_hidden = []
         for version in self._pending_visibility:
             if self._stable(version):
@@ -142,14 +142,14 @@ class CureServer(StabilizationMixin, CausalServer):
             self._apply_put(msg)
             return
         wake_at = self.clock.sim_time_when(max_dep)
-        blocked_at = self.sim.now
+        blocked_at = self.rt.now
 
         def resume() -> None:
             self.metrics.record_block_started(BLOCK_PUT_CLOCK, blocked_at,
-                                              self.sim.now - blocked_at)
+                                              self.rt.now - blocked_at)
             self.submit_local(self._service.resume_s, self._apply_put, msg)
 
-        self.sim.schedule_at(wake_at, resume)
+        self.rt.schedule_at(wake_at, resume)
 
     def _apply_put(self, msg: m.PutReq) -> None:
         version = self.create_version(msg.key, msg.value, tuple(msg.dv))

@@ -35,7 +35,7 @@ class StabilizationMixin:
         # Stagger the first round per partition to avoid a synchronized
         # message burst at t=interval.
         first = interval_s * (1.0 + 0.01 * self.n)
-        self.sim.schedule(first, self._stabilization_tick)
+        self.rt.schedule(first, self._stabilization_tick)
 
     # ------------------------------------------------------------------
     # Periodic push
@@ -47,7 +47,7 @@ class StabilizationMixin:
             self.receive_stab_push(report)
         else:
             self.send(aggregator, report)
-        self.sim.schedule(self._stab_interval_s, self._stabilization_tick)
+        self.rt.schedule(self._stab_interval_s, self._stabilization_tick)
 
     # ------------------------------------------------------------------
     # Aggregator role (partition 0 of each DC)

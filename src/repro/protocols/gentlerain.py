@@ -45,7 +45,7 @@ class GentleRainServer(CausalServer):
         self._pending_visibility: list[Version] = []
         interval = self._protocol.stabilization_interval_s
         self._gst_interval_s = interval
-        self.sim.schedule(interval * (1.0 + 0.01 * self.n),
+        self.rt.schedule(interval * (1.0 + 0.01 * self.n),
                           self._gst_tick)
 
     # ------------------------------------------------------------------
@@ -63,7 +63,7 @@ class GentleRainServer(CausalServer):
             self._receive_gst_push(push)
         else:
             self.send(aggregator, push)
-        self.sim.schedule(self._gst_interval_s, self._gst_tick)
+        self.rt.schedule(self._gst_interval_s, self._gst_tick)
 
     def _receive_gst_push(self, msg: m.StabPush) -> None:
         self._gst_reports[msg.partition] = msg.vv[0]
@@ -87,7 +87,7 @@ class GentleRainServer(CausalServer):
         timestamp — the scalar protocol's (coarser) stability horizon."""
         if version.ut <= self.gst:
             self.metrics.record_visibility_lag(
-                self.sim.now - version.ut / 1e6
+                self.rt.now - version.ut / 1e6
             )
         else:
             self._pending_visibility.append(version)
@@ -95,7 +95,7 @@ class GentleRainServer(CausalServer):
     def _drain_pending_visibility(self) -> None:
         if not self._pending_visibility:
             return
-        now = self.sim.now
+        now = self.rt.now
         still_hidden = []
         for version in self._pending_visibility:
             if version.ut <= self.gst:
@@ -163,14 +163,14 @@ class GentleRainServer(CausalServer):
         if self.clock.peek_micros() > dt:
             self._apply_put(msg)
             return
-        blocked_at = self.sim.now
+        blocked_at = self.rt.now
 
         def resume() -> None:
             self.metrics.record_block_started(BLOCK_PUT_CLOCK, blocked_at,
-                                              self.sim.now - blocked_at)
+                                              self.rt.now - blocked_at)
             self.submit_local(self._service.resume_s, self._apply_put, msg)
 
-        self.sim.schedule_at(self.clock.sim_time_when(dt), resume)
+        self.rt.schedule_at(self.clock.sim_time_when(dt), resume)
 
     def _apply_put(self, msg: m.PutReq) -> None:
         # Versions store no dependency cut under GentleRain (O(1) metadata).
@@ -245,7 +245,7 @@ class GentleRainServer(CausalServer):
                 horizon = min(horizon, tv[0])
         covered: Callable[[Version], bool] = lambda v: v.ut <= horizon
         self.store.collect_by(covered, [horizon])
-        self.sim.schedule(self._protocol.gc_interval_s, self._gc_tick)
+        self.rt.schedule(self._protocol.gc_interval_s, self._gc_tick)
 
 
 class GentleRainClient(CausalClient):

@@ -48,7 +48,7 @@ class HaPoccServer(StabilizationMixin, PoccServer):
         self.sessions_closed = 0
         sweep = max(self._protocol.block_timeout_s / 4.0, 0.01)
         self._sweep_interval_s = sweep
-        self.sim.schedule(sweep, self._sweep_blocked)
+        self.rt.schedule(sweep, self._sweep_blocked)
 
     # ------------------------------------------------------------------
     # Phase 1: detection — abort over-age blocked operations
@@ -60,7 +60,7 @@ class HaPoccServer(StabilizationMixin, PoccServer):
             self.sessions_closed += 1
             self.metrics.sessions_closed += 1
             self._abort(waiter.payload)
-        self.sim.schedule(self._sweep_interval_s, self._sweep_blocked)
+        self.rt.schedule(self._sweep_interval_s, self._sweep_blocked)
 
     def _abort(self, request: Any) -> None:
         if isinstance(request, (m.GetReq, m.PutReq)):
@@ -151,7 +151,7 @@ class HaPoccServer(StabilizationMixin, PoccServer):
         if self.clock.peek_micros() > max_dep:
             self._apply_pessimistic_put(msg)
             return
-        self.sim.schedule_at(
+        self.rt.schedule_at(
             self.clock.sim_time_when(max_dep),
             self._apply_pessimistic_put, msg,
         )
@@ -279,7 +279,7 @@ class HaPoccClient(PoccClient):
             self.demotions += 1
             self.metrics.sessions_demoted += 1
             retry_after = self.config.protocol_config.ha_promotion_retry_s
-            self.sim.schedule(retry_after, self._try_promote)
+            self.rt.schedule(retry_after, self._try_promote)
         if retry is not None:
             retry()
 

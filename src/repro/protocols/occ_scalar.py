@@ -145,14 +145,14 @@ class OccScalarServer(CausalServer):
         if self.clock.peek_micros() > dt:
             self._apply_put(msg)
             return
-        blocked_at = self.sim.now
+        blocked_at = self.rt.now
 
         def resume() -> None:
             self.metrics.record_block_started(BLOCK_PUT_CLOCK, blocked_at,
-                                              self.sim.now - blocked_at)
+                                              self.rt.now - blocked_at)
             self.submit_local(self._service.resume_s, self._apply_put, msg)
 
-        self.sim.schedule_at(self.clock.sim_time_when(dt), resume)
+        self.rt.schedule_at(self.clock.sim_time_when(dt), resume)
 
     def _apply_put(self, msg: m.PutReq) -> None:
         # The version remembers only the writer's *remote* dependency time.

@@ -67,7 +67,7 @@ class OkapiServer(UniversalStabilizationMixin, CausalServer):
             self.vv[self.m] = ts
             self.send_fanout(self._peer_replicas,
                              m.Heartbeat(ts=ts, src_dc=self.m))
-        self.sim.schedule(self._protocol.heartbeat_interval_s,
+        self.rt.schedule(self._protocol.heartbeat_interval_s,
                           self._heartbeat_tick)
 
     def apply_heartbeat(self, msg: m.Heartbeat) -> None:
@@ -87,7 +87,7 @@ class OkapiServer(UniversalStabilizationMixin, CausalServer):
 
     def _sample_visibility(self, version: Version) -> None:
         physical, _ = HybridLogicalClock.unpack(version.ut)
-        self.metrics.record_visibility_lag(self.sim.now - physical / 1e6)
+        self.metrics.record_visibility_lag(self.rt.now - physical / 1e6)
 
     def ust_advanced(self) -> None:
         if not self._pending_visibility:

@@ -49,10 +49,10 @@ class UniversalStabilizationMixin:
         # Stagger first rounds per partition to avoid synchronized bursts
         # (same discipline as the Cure* stabilization mixin).
         first = push_interval_s * (1.0 + 0.01 * self.n)
-        self.sim.schedule(first, self._lst_push_tick)
+        self.rt.schedule(first, self._lst_push_tick)
         if self._is_aggregator:
             gossip_first = gossip_interval_s * (1.0 + 0.01 * self.m)
-            self.sim.schedule(gossip_first, self._ust_gossip_tick)
+            self.rt.schedule(gossip_first, self._ust_gossip_tick)
 
     # ------------------------------------------------------------------
     # Hop 1: every node pushes its local stable time intra-DC
@@ -64,7 +64,7 @@ class UniversalStabilizationMixin:
             self.receive_lst_push(push)
         else:
             self.send(aggregator, push)
-        self.sim.schedule(self._push_interval_s, self._lst_push_tick)
+        self.rt.schedule(self._push_interval_s, self._lst_push_tick)
 
     def receive_lst_push(self, msg: m.StabPush) -> None:
         self._lst_reports[msg.partition] = msg.vv[0]
@@ -87,7 +87,7 @@ class UniversalStabilizationMixin:
                  for dc in range(self.topology.num_dcs) if dc != self.m),
                 m.UstGossip(dst=dst, src_dc=self.m),
             )
-        self.sim.schedule(self._gossip_interval_s, self._ust_gossip_tick)
+        self.rt.schedule(self._gossip_interval_s, self._ust_gossip_tick)
 
     def receive_ust_gossip(self, msg: m.UstGossip) -> None:
         # max-merge: gossip rounds are idempotent and DSTs are monotone,

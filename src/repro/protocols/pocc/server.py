@@ -77,14 +77,14 @@ class PoccServer(CausalServer):
             self._apply_put(msg)
             return
         wake_at = self.clock.sim_time_when(max_dep)
-        blocked_at = self.sim.now
+        blocked_at = self.rt.now
 
         def resume() -> None:
             self.metrics.record_block_started(BLOCK_PUT_CLOCK, blocked_at,
-                                              self.sim.now - blocked_at)
+                                              self.rt.now - blocked_at)
             self.submit_local(self._service.resume_s, self._apply_put, msg)
 
-        self.sim.schedule_at(wake_at, resume)
+        self.rt.schedule_at(wake_at, resume)
 
     def _apply_put(self, msg: m.PutReq) -> None:
         # Lines 8-14: stamp, insert, replicate; line 15: reply with ut.

@@ -35,6 +35,23 @@ PROTOCOLS = {
 }
 
 
+def list_protocols() -> list[str]:
+    """All registered protocol names, sorted.
+
+    The single discovery point for CLIs (``repro-figures
+    --list-protocols``, ``repro-serve --protocol``) — nobody should have
+    to read this module to learn what names are runnable.
+    """
+    return sorted(PROTOCOLS)
+
+
+def protocol_summary(name: str) -> str:
+    """One line describing a registered protocol (server docstring head)."""
+    doc = server_class(name).__doc__ or ""
+    first = doc.strip().splitlines()[0] if doc.strip() else ""
+    return first
+
+
 def server_class(name: str):
     """The server class registered under ``name``."""
     try:

@@ -1,0 +1,78 @@
+"""Shared argument plumbing for the live-backend CLIs.
+
+``repro-serve`` and ``repro-bench-live`` describe the same deployment —
+a JSON config file (:mod:`repro.runtime.configfile`) plus command-line
+overrides for the knobs people actually turn (protocol, shape, duration,
+seed) — so the parser wiring lives here once.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+
+from repro.common.config import ExperimentConfig
+from repro.protocols.registry import list_protocols
+from repro.runtime.configfile import load_experiment_config
+
+
+def add_deployment_args(parser: argparse.ArgumentParser) -> None:
+    """Options describing the cluster being booted/driven."""
+    parser.add_argument("--config", metavar="PATH",
+                        help="JSON deployment description "
+                             "(see repro.runtime.configfile); omitted "
+                             "fields take the library defaults")
+    parser.add_argument("--protocol", choices=list_protocols(),
+                        help="protocol override")
+    parser.add_argument("--dcs", type=int, metavar="N",
+                        help="number of data centers override")
+    parser.add_argument("--partitions", type=int, metavar="N",
+                        help="partitions per DC override")
+    parser.add_argument("--clients", type=int, metavar="N",
+                        help="clients per partition override")
+    parser.add_argument("--keys", type=int, metavar="N",
+                        help="keys per partition override")
+    parser.add_argument("--think-time", type=float, metavar="S",
+                        help="client think time override (seconds)")
+    parser.add_argument("--seed", type=int, help="workload seed override")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind/dial host (default: 127.0.0.1)")
+    parser.add_argument("--base-port", type=int, default=7400,
+                        metavar="PORT",
+                        help="first port of the deterministic port map; "
+                             "0 = ephemeral ports (single-process only; "
+                             "default: 7400)")
+
+
+def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
+    """The deployment's ExperimentConfig: file (or defaults) + overrides."""
+    if args.config:
+        config = load_experiment_config(args.config)
+    else:
+        config = ExperimentConfig()
+    cluster = config.cluster
+    cluster_overrides = {}
+    if args.protocol is not None:
+        cluster_overrides["protocol"] = args.protocol
+    if args.dcs is not None:
+        cluster_overrides["num_dcs"] = args.dcs
+    if args.partitions is not None:
+        cluster_overrides["num_partitions"] = args.partitions
+    if args.keys is not None:
+        cluster_overrides["keys_per_partition"] = args.keys
+    if cluster_overrides:
+        cluster = dataclasses.replace(cluster, **cluster_overrides)
+    workload = config.workload
+    workload_overrides = {}
+    if args.clients is not None:
+        workload_overrides["clients_per_partition"] = args.clients
+    if args.think_time is not None:
+        workload_overrides["think_time_s"] = args.think_time
+    if workload_overrides:
+        workload = dataclasses.replace(workload, **workload_overrides)
+    overrides = {"cluster": cluster, "workload": workload}
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    config = dataclasses.replace(config, **overrides)
+    config.validate()
+    return config

@@ -1,0 +1,291 @@
+"""Boot and drive a live (asyncio TCP) cluster.
+
+:class:`LiveCluster` instantiates the same protocol cores, workload
+generators, metrics registry and causal checker as the simulated harness
+(:mod:`repro.harness.builders`), but wires them to
+:class:`repro.runtime.transport.LiveRuntime` adapters: every server is a
+TCP listener on localhost (or the configured host), every client an
+actual closed-loop TCP driver, and the checker verifies the cluster's
+*recorded* operation history exactly as it does a simulated one.
+
+:func:`run_live_experiment` is the live-mode smoke experiment: boot,
+warm up, measure for ``config.duration_s`` of wall-clock time, quiesce,
+then report throughput/latency plus the checker verdict.  It backs both
+``repro-bench-live`` and the CI ``live-smoke`` job.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.common.config import ExperimentConfig
+from repro.common.errors import ReproError
+from repro.common.types import Address
+from repro.clocks.physical import PhysicalClock
+from repro.cluster.topology import KeyPools, Topology
+from repro.harness import seeds
+from repro.metrics.collectors import MetricsRegistry
+from repro.protocols.registry import client_class, server_class
+from repro.runtime import codec
+from repro.runtime.transport import AddressBook, LiveHub, LiveRuntime
+from repro.sim.rng import RngRegistry
+from repro.verification.checker import CausalChecker
+from repro.workload.driver import ClosedLoopClient
+from repro.workload.generators import make_workload
+
+#: How long quiescing waits for in-flight operations after drivers stop.
+SETTLE_TIMEOUT_S = 10.0
+
+
+@dataclass(slots=True)
+class LiveReport:
+    """Everything measured in one live run, in plain-data form."""
+
+    protocol: str
+    num_dcs: int
+    num_partitions: int
+    serializer: str
+    duration_s: float
+    total_ops: int
+    throughput_ops_s: float
+    op_stats: dict[str, dict[str, float]]
+    verification: dict[str, int]
+    violations: list[str]
+    history_events: int
+    messages_sent: int
+    messages_delivered: int
+    bytes_sent: int
+    clean_shutdown: bool
+    errors: list[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        """The CI gate: work happened, causally, and shutdown was clean."""
+        return (self.total_ops > 0 and not self.violations
+                and self.clean_shutdown)
+
+    def summary_text(self) -> str:
+        verdict = "PASS" if self.passed else "FAIL"
+        lines = [
+            f"live cluster [{self.protocol}] "
+            f"{self.num_dcs} DCs x {self.num_partitions} partitions "
+            f"({self.serializer} frames): {verdict}",
+            f"  throughput      : {self.throughput_ops_s:,.0f} ops/s "
+            f"({self.total_ops} ops in {self.duration_s:.2f}s)",
+            f"  verification    : {self.verification['violations']} "
+            f"violations over {self.verification['reads_checked']} reads "
+            f"/ {self.verification['tx_reads_checked']} tx-reads "
+            f"({self.history_events} history events)",
+            f"  transport       : {self.messages_sent:,} frames sent, "
+            f"{self.messages_delivered:,} delivered, "
+            f"{self.bytes_sent:,} bytes",
+            f"  shutdown        : "
+            f"{'clean' if self.clean_shutdown else 'NOT clean'}",
+        ]
+        for violation in self.violations[:5]:
+            lines.append(f"    violation: {violation}")
+        for error in self.errors[:5]:
+            lines.append(f"    error: {error}")
+        return "\n".join(lines)
+
+
+class LiveCluster:
+    """One live deployment: servers, clients and drivers on real sockets.
+
+    ``serve_addresses`` restricts which *server* endpoints this process
+    hosts (multi-process deployments boot one ``LiveCluster`` per process
+    with disjoint address sets); ``with_clients=False`` hosts servers
+    only, for a pure ``repro-serve`` process driven from elsewhere.
+    """
+
+    def __init__(
+        self,
+        config: ExperimentConfig,
+        host: str = "127.0.0.1",
+        base_port: int = 0,
+        serve_addresses: Sequence[Address] | None = None,
+        with_clients: bool = True,
+    ):
+        config.validate()
+        self.config = config
+        cluster = config.cluster
+        self.topology = Topology(cluster.num_dcs, cluster.num_partitions)
+        self.pools = KeyPools(self.topology, cluster.keys_per_partition)
+        self.metrics = MetricsRegistry()
+        self.rng = RngRegistry(config.seed)
+        self.checker = CausalChecker(record_history=True) \
+            if config.verify else None
+        # The book always covers the clients: a server-only process still
+        # needs their (deterministic) ports to dial replies at.
+        self.book = AddressBook.for_topology(
+            self.topology,
+            clients_per_partition=config.workload.clients_per_partition,
+            host=host,
+            base_port=base_port,
+        )
+        self.hub = LiveHub(self.book)
+        self.servers: dict[Address, Any] = {}
+        self.clients: list[Any] = []
+        self.drivers: list[ClosedLoopClient] = []
+        self._with_clients = with_clients
+        self._serve_addresses = (
+            set(serve_addresses) if serve_addresses is not None else None
+        )
+        self._built = False
+
+    # ------------------------------------------------------------------
+    # Construction (mirrors harness.builders.build_cluster)
+    # ------------------------------------------------------------------
+    def _hosted(self, address: Address) -> bool:
+        if self._serve_addresses is None:
+            return True
+        return address in self._serve_addresses
+
+    def _build(self) -> None:
+        # Deferred into start(): protocol cores arm their periodic timers
+        # during construction, which needs the running event loop.
+        cluster = self.config.cluster
+        server_cls = server_class(cluster.protocol)
+        for address in self.topology.all_servers():
+            if not self._hosted(address):
+                continue
+            clock = PhysicalClock.sample(
+                self.hub, cluster.clocks,
+                self.rng.stream(seeds.clock_stream(address)),
+            )
+            runtime = self.hub.runtime(address)
+            server = server_cls(runtime, clock, self.topology, cluster,
+                                self.metrics)
+            server.store.preload(self.pools.pool(address.partition),
+                                 num_dcs=cluster.num_dcs)
+            self.servers[address] = server
+
+        if not self._with_clients:
+            return
+        client_cls = client_class(cluster.protocol)
+        workload_cfg = self.config.workload
+        for dc in range(self.topology.num_dcs):
+            for partition in range(self.topology.num_partitions):
+                for index in range(workload_cfg.clients_per_partition):
+                    address = self.topology.client(dc, partition, index)
+                    clock = PhysicalClock.sample(
+                        self.hub, cluster.clocks,
+                        self.rng.stream(seeds.clock_stream(address)),
+                    )
+                    runtime = self.hub.runtime(address)
+                    client = client_cls(runtime, clock, self.topology,
+                                        cluster, self.metrics)
+                    workload = make_workload(
+                        workload_cfg, self.pools,
+                        self.rng.stream(seeds.workload_stream(address)),
+                    )
+                    driver = ClosedLoopClient(
+                        sim=runtime,
+                        client=client,
+                        workload=workload,
+                        think_time_s=workload_cfg.think_time_s,
+                        rng=self.rng.stream(seeds.driver_stream(address)),
+                        checker=self.checker,
+                    )
+                    self.clients.append(client)
+                    self.drivers.append(driver)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Instantiate the cores and bind every hosted listener."""
+        if not self._built:
+            self._build()
+            self._built = True
+        await self.hub.start()
+
+    async def run(self) -> LiveReport:
+        """The measured lifecycle: warmup → measure → quiesce → report."""
+        await self.start()
+        if not self.drivers:
+            raise ReproError("this LiveCluster hosts no drivers to run")
+        stagger = min(self.config.workload.think_time_s or 0.01, 0.02)
+        for driver in self.drivers:
+            driver.start(stagger_s=stagger)
+        await asyncio.sleep(self.config.warmup_s)
+        self.metrics.arm(self.hub.now)
+        await asyncio.sleep(self.config.duration_s)
+        self.metrics.disarm(self.hub.now)
+        for driver in self.drivers:
+            driver.stop()
+        clean = await self._quiesce()
+        report = self._report(clean and self.hub.clean)
+        await self.hub.close()
+        return report
+
+    async def _quiesce(self) -> bool:
+        """Wait for in-flight operations, then flush outgoing queues."""
+        deadline = self.hub.now + SETTLE_TIMEOUT_S
+        while any(client.has_pending for client in self.clients):
+            if self.hub.now >= deadline:
+                self.hub.errors.append(
+                    "quiesce timeout: operations still in flight after "
+                    f"{SETTLE_TIMEOUT_S}s (blocked forever?)"
+                )
+                return False
+            await asyncio.sleep(0.05)
+        await self.hub.drain()
+        return True
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def _report(self, clean: bool) -> LiveReport:
+        metrics = self.metrics
+        if self.checker is not None:
+            verification = self.checker.summary()
+            violations = [v.describe() for v in self.checker.violations]
+            history_events = (
+                len(self.checker.history) if self.checker.history else 0
+            )
+        else:
+            verification = {"violations": 0, "reads_checked": 0,
+                            "tx_reads_checked": 0, "writes_seen": 0}
+            violations = []
+            history_events = 0
+        stats = self.hub.stats
+        return LiveReport(
+            protocol=self.config.cluster.protocol,
+            num_dcs=self.topology.num_dcs,
+            num_partitions=self.topology.num_partitions,
+            serializer=codec.SERIALIZER,
+            duration_s=metrics.window_duration_s,
+            total_ops=metrics.total_ops(),
+            throughput_ops_s=metrics.throughput_ops_s(),
+            op_stats={
+                op.value: op_stats.latency.summary()
+                for op, op_stats in metrics.ops.items()
+            },
+            verification=verification,
+            violations=violations,
+            history_events=history_events,
+            messages_sent=stats.messages_sent,
+            messages_delivered=stats.messages_delivered,
+            bytes_sent=stats.bytes_sent,
+            clean_shutdown=clean,
+            errors=list(self.hub.errors),
+        )
+
+
+def run_live_experiment(
+    config: ExperimentConfig,
+    host: str = "127.0.0.1",
+    base_port: int = 0,
+) -> LiveReport:
+    """Boot a full live cluster in-process, run it, and report.
+
+    The live-mode smoke experiment: the same protocol cores as the
+    simulation serve a seeded workload over real TCP, and the recorded
+    history is verified by the causal checker.  ``base_port=0`` uses
+    ephemeral ports (collision-free; the default for tests).
+    """
+    cluster = LiveCluster(config, host=host, base_port=base_port)
+    return asyncio.run(cluster.run())

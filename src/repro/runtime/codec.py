@@ -1,0 +1,249 @@
+"""The wire codec: length-prefixed frames for every protocol message.
+
+Frame layout: a 4-byte big-endian payload length, then the payload.  The
+payload is msgpack when the ``msgpack`` package is importable and compact
+JSON otherwise — both encode the same tagged tree, so the choice only
+affects bytes on the wire, never round-trip fidelity.  Every endpoint of
+one deployment must use the same serializer (they share this module, so
+they do).
+
+Encoding is driven by the dataclass registry built from
+:mod:`repro.protocols.messages`: a message becomes
+``["@m", type_name, [field values…]]`` with field values encoded
+recursively.  Python containers and the protocol's non-dataclass payload
+types carry tags so decoding restores the *exact* original shape —
+tuples stay tuples (dataclass equality depends on it), versions come back
+as :class:`repro.storage.version.Version` or the COPS* subclass:
+
+=========  ====================================================
+tag        payload
+=========  ====================================================
+``@m``     message dataclass: name + field list
+``@t``     tuple (elements encoded recursively)
+``@l``     escape: a *plain list* whose first element is a
+           string starting with ``@`` (kept unambiguous)
+``@a``     :class:`repro.common.types.Address`
+``@v``     :class:`repro.storage.version.Version`
+``@cv``    :class:`repro.protocols.cops.CopsVersion`
+=========  ====================================================
+
+Scalars (``None``, ``bool``, ``int``, ``float``, ``str``) pass through
+untouched; plain lists stay plain lists (escaped with ``@l`` only when
+their head collides with the tag space).  Values stored by clients must
+be built from these shapes (the workload generators' values are).
+
+``size_bytes()`` note: messages model their size as a *compact binary*
+encoding of the paper's setup (8-byte keys/values/timestamps).  The live
+codec's frames are larger (self-describing), so ``encoded_size()`` is the
+transport truth while ``size_bytes()`` remains the metadata-overhead model
+— the round-trip property test pins that ``size_bytes()`` survives a
+round trip unchanged and the frame length matches what was written.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import struct
+from typing import Any
+
+from repro.common.errors import ReproError
+from repro.common.types import Address, NodeKind
+from repro.protocols import messages
+from repro.storage.version import Version
+
+try:  # pragma: no cover - exercised only where msgpack is installed
+    import msgpack  # type: ignore
+
+    def _pack(tree: Any) -> bytes:
+        return msgpack.packb(tree, use_bin_type=True)
+
+    def _unpack(payload: bytes) -> Any:
+        return msgpack.unpackb(payload, raw=False)
+
+    SERIALIZER = "msgpack"
+except ImportError:
+    def _pack(tree: Any) -> bytes:
+        return json.dumps(tree, separators=(",", ":"),
+                          ensure_ascii=False).encode("utf-8")
+
+    def _unpack(payload: bytes) -> Any:
+        return json.loads(payload.decode("utf-8"))
+
+    SERIALIZER = "json"
+
+_LEN = struct.Struct(">I")
+
+#: Hard cap on one frame; anything larger is a corrupt length prefix.
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+
+def _message_dataclasses() -> dict[str, type]:
+    """Every message dataclass defined in :mod:`repro.protocols.messages`."""
+    found: dict[str, type] = {}
+    for name in dir(messages):
+        obj = getattr(messages, name)
+        if (isinstance(obj, type) and dataclasses.is_dataclass(obj)
+                and obj.__module__ == messages.__name__):
+            found[name] = obj
+    return found
+
+
+#: name -> dataclass, the codec's message registry.
+MESSAGE_TYPES: dict[str, type] = _message_dataclasses()
+
+_FIELDS: dict[str, tuple[str, ...]] = {
+    name: tuple(f.name for f in dataclasses.fields(cls))
+    for name, cls in MESSAGE_TYPES.items()
+}
+
+
+class CodecError(ReproError):
+    """Raised on malformed frames or unregistered payload types."""
+
+
+# ----------------------------------------------------------------------
+# Tree encoding
+# ----------------------------------------------------------------------
+def _encode_value(value: Any) -> Any:
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, list):
+        encoded = [_encode_value(item) for item in value]
+        if encoded and isinstance(encoded[0], str) \
+                and encoded[0].startswith("@"):
+            # A client value like ["@t", ...] would otherwise be
+            # indistinguishable from a tagged node: escape it.
+            return ["@l", *encoded]
+        return encoded
+    if isinstance(value, tuple):
+        return ["@t", *(_encode_value(item) for item in value)]
+    if isinstance(value, Address):
+        return ["@a", value.dc, value.partition, value.kind.value,
+                value.index]
+    if isinstance(value, Version):
+        deps = getattr(value, "deps", None)
+        if deps is not None:  # CopsVersion: dependency list + visibility
+            return ["@cv", value.key, _encode_value(value.value), value.sr,
+                    value.ut, len(value.dv),
+                    [_encode_value(dep) for dep in deps],
+                    bool(value.visible)]
+        return ["@v", value.key, _encode_value(value.value), value.sr,
+                value.ut, [int(x) for x in value.dv],
+                bool(value.optimistic)]
+    cls_name = type(value).__name__
+    fields = _FIELDS.get(cls_name)
+    if fields is not None and isinstance(value, MESSAGE_TYPES[cls_name]):
+        return ["@m", cls_name,
+                [_encode_value(getattr(value, f)) for f in fields]]
+    raise CodecError(f"cannot encode {type(value).__name__}: {value!r}")
+
+
+def _decode_value(tree: Any) -> Any:
+    if tree is None or isinstance(tree, (bool, int, float, str)):
+        return tree
+    if not isinstance(tree, list):
+        raise CodecError(f"malformed wire tree: {tree!r}")
+    if not tree or not isinstance(tree[0], str) or not tree[0].startswith("@"):
+        return [_decode_value(item) for item in tree]
+    tag = tree[0]
+    if tag == "@l":  # escaped plain list whose head looked like a tag
+        return [_decode_value(item) for item in tree[1:]]
+    if tag == "@t":
+        return tuple(_decode_value(item) for item in tree[1:])
+    if tag == "@a":
+        _, dc, partition, kind, index = tree
+        return Address(dc=dc, partition=partition, kind=NodeKind(kind),
+                       index=index)
+    if tag == "@v":
+        _, key, value, sr, ut, dv, optimistic = tree
+        return Version(key=key, value=_decode_value(value), sr=sr, ut=ut,
+                       dv=tuple(dv), optimistic=optimistic)
+    if tag == "@cv":
+        from repro.protocols.cops import CopsVersion
+        _, key, value, sr, ut, num_dcs, deps, visible = tree
+        return CopsVersion(key=key, value=_decode_value(value), sr=sr,
+                           ut=ut, num_dcs=num_dcs,
+                           deps=[_decode_value(dep) for dep in deps],
+                           visible=visible)
+    if tag == "@m":
+        _, name, values = tree
+        cls = MESSAGE_TYPES.get(name)
+        if cls is None:
+            raise CodecError(f"unknown message type on the wire: {name!r}")
+        fields = _FIELDS[name]
+        if len(values) != len(fields):
+            raise CodecError(
+                f"{name}: expected {len(fields)} fields, got {len(values)}"
+            )
+        return cls(**{f: _decode_value(v) for f, v in zip(fields, values)})
+    raise CodecError(f"unknown wire tag {tag!r}")
+
+
+# ----------------------------------------------------------------------
+# Payload API (no length prefix)
+# ----------------------------------------------------------------------
+def dumps(msg: Any) -> bytes:
+    """Serialize one message to its payload bytes."""
+    return _pack(_encode_value(msg))
+
+
+def loads(payload: bytes) -> Any:
+    """The inverse of :func:`dumps`."""
+    return _decode_value(_unpack(payload))
+
+
+# ----------------------------------------------------------------------
+# Frame API (length-prefixed, what the TCP transport ships)
+# ----------------------------------------------------------------------
+def encode_frame(msg: Any) -> bytes:
+    """One wire frame: 4-byte big-endian payload length + payload."""
+    payload = dumps(msg)
+    if len(payload) > MAX_FRAME_BYTES:
+        raise CodecError(f"frame of {len(payload)} bytes exceeds the cap")
+    return _LEN.pack(len(payload)) + payload
+
+
+def encoded_size(msg: Any) -> int:
+    """Total frame bytes :func:`encode_frame` would produce."""
+    return _LEN.size + len(dumps(msg))
+
+
+class FrameDecoder:
+    """Incremental frame parser for a TCP byte stream."""
+
+    __slots__ = ("_buffer",)
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> list[Any]:
+        """Absorb ``data``; return every message completed by it.
+
+        Eager on purpose: the bytes are buffered and parsed before this
+        returns, so a caller that drops the result has still advanced the
+        stream (a lazy generator would silently skip the chunk unless
+        iterated, corrupting the framing of everything after it).
+        """
+        self._buffer.extend(data)
+        buffer = self._buffer
+        out: list[Any] = []
+        while True:
+            if len(buffer) < _LEN.size:
+                return out
+            (length,) = _LEN.unpack_from(buffer)
+            if length > MAX_FRAME_BYTES:
+                raise CodecError(
+                    f"frame length {length} exceeds the cap (corrupt stream?)"
+                )
+            end = _LEN.size + length
+            if len(buffer) < end:
+                return out
+            payload = bytes(buffer[_LEN.size:end])
+            del buffer[:end]
+            out.append(loads(payload))
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered but not yet forming a complete frame."""
+        return len(self._buffer)

@@ -1,0 +1,462 @@
+"""The asyncio TCP transport behind the live backend.
+
+One process runs one :class:`LiveHub`: the shared event-loop state — the
+monotonic epoch every endpoint's ``now`` is measured from, the address
+book mapping :class:`repro.common.types.Address` to ``(host, port)``, the
+outgoing connection cache and the transfer statistics.  Each protocol
+core gets a :class:`LiveRuntime`, the per-endpoint
+:class:`repro.protocols.core.ProtocolRuntime` adapter: its listener
+decodes length-prefixed frames into ``core.on_message``, its ``send``
+posts frames to the hub, and its timers are ``loop.call_later``
+callbacks.
+
+Everything runs on a single event loop (no locks): protocol handlers are
+synchronous functions invoked from reader tasks and timer callbacks, just
+as they are invoked from engine events in the simulation.
+
+Differences from the simulated substrate, by design:
+
+* modeled CPU service times are **not** charged (``submit`` runs the
+  handler immediately) — real CPUs charge themselves;
+* per-channel FIFO comes from TCP: all traffic from this process to one
+  destination shares one ordered connection;
+* partitions/faults are not injectable here (cut the network for real).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Any, Iterable
+
+from repro.common.errors import ReproError
+from repro.common.types import Address
+from repro.cluster.topology import Topology
+from repro.protocols.core import FOREGROUND, modeled_message_size
+from repro.runtime import codec
+
+#: How long an outgoing connection keeps retrying before the hub records
+#: a transport error (covers peers that boot later than their callers).
+CONNECT_RETRIES = 40
+CONNECT_RETRY_DELAY_S = 0.25
+
+#: The live backend's time origin: 2026-01-01T00:00:00Z as Unix seconds.
+#: ``now`` is measured from this *shared* wall-clock epoch — not from
+#: process start — so independently started processes of one deployment
+#: (``repro-serve --dc 0`` here, ``--dc 1`` there) produce comparable
+#: timestamps; a per-process epoch would skew their clocks by the boot
+#: gap, far beyond the modeled clock offsets.  Per-node strict
+#: monotonicity is enforced by :class:`~repro.clocks.physical.
+#: PhysicalClock` on top, so small OS clock slews stay harmless.
+LIVE_EPOCH_UNIX_S = 1_767_225_600
+
+
+class TransportError(ReproError):
+    """Raised on address-book or connection misuse."""
+
+
+class AddressBook:
+    """Address → ``(host, port)`` for every endpoint of one deployment.
+
+    Port assignment is deterministic: servers take ``base_port + i`` in
+    :meth:`Topology.all_servers` order, clients the ports after them —
+    so independently started processes sharing the same config file agree
+    on the whole map without coordination.  ``base_port=0`` assigns
+    ephemeral ports instead (single-process deployments only: the actual
+    port is recorded when the listener binds).
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[Address, tuple[str, int]] = {}
+
+    @classmethod
+    def for_topology(
+        cls,
+        topology: Topology,
+        clients_per_partition: int = 0,
+        host: str = "127.0.0.1",
+        base_port: int = 7400,
+    ) -> "AddressBook":
+        book = cls()
+        port = base_port
+        for address in topology.all_servers():
+            book.set(address, host, port if base_port else 0)
+            if base_port:
+                port += 1
+        for dc in range(topology.num_dcs):
+            for partition in range(topology.num_partitions):
+                for index in range(clients_per_partition):
+                    address = topology.client(dc, partition, index)
+                    book.set(address, host, port if base_port else 0)
+                    if base_port:
+                        port += 1
+        return book
+
+    def set(self, address: Address, host: str, port: int) -> None:
+        self._entries[address] = (host, port)
+
+    def lookup(self, address: Address) -> tuple[str, int]:
+        try:
+            return self._entries[address]
+        except KeyError:
+            raise TransportError(f"no address-book entry for {address}") \
+                from None
+
+    def __contains__(self, address: Address) -> bool:
+        return address in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class LiveTimer:
+    """A cancellable wall-clock timer (TimerHandle over asyncio).
+
+    Callback exceptions are recorded in ``hub.errors``: on the sim
+    backend they would crash the run visibly, so the live backend must
+    not let asyncio swallow them into a log line while ``clean_shutdown``
+    stays true (a dead periodic tick never reschedules itself).
+    """
+
+    __slots__ = ("_handle", "_fired")
+
+    def __init__(self, hub: "LiveHub", delay: float, fn, args: tuple):
+        self._fired = False
+
+        def fire() -> None:
+            self._fired = True
+            try:
+                fn(*args)
+            except Exception as exc:
+                hub.errors.append(
+                    f"timer callback {getattr(fn, '__qualname__', fn)!r} "
+                    f"failed: {exc!r}"
+                )
+
+        self._handle = hub.loop.call_later(max(delay, 0.0), fire)
+
+    def cancel(self) -> bool:
+        if self._fired or self._handle.cancelled():
+            return False
+        self._handle.cancel()
+        return True
+
+    @property
+    def active(self) -> bool:
+        return not self._fired and not self._handle.cancelled()
+
+
+class LiveStats:
+    """Transfer accounting for one hub (frame bytes, not modeled bytes)."""
+
+    __slots__ = ("messages_sent", "messages_delivered", "bytes_sent",
+                 "decode_errors", "messages_dropped")
+
+    def __init__(self) -> None:
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.bytes_sent = 0
+        self.decode_errors = 0
+        #: Frames discarded because their destination's sender had died.
+        self.messages_dropped = 0
+
+
+class LiveHub:
+    """Per-process live-backend state: epoch, loop, connections, errors."""
+
+    def __init__(self, book: AddressBook):
+        self.book = book
+        self.stats = LiveStats()
+        #: Fatal transport problems (connect exhaustion, writer crashes);
+        #: a clean shutdown requires this to stay empty.
+        self.errors: list[str] = []
+        self._loop: asyncio.AbstractEventLoop | None = None
+        # Anchor the epoch once against the wall clock, then advance on
+        # the monotonic clock: cross-process alignment comes from the
+        # anchor, while NTP steps can never make `now` regress (the
+        # TimeSource contract every rt.now consumer relies on).
+        self._mono_anchor = (time.time() - LIVE_EPOCH_UNIX_S
+                             - time.monotonic())
+        #: Last (message, frame) pair encoded by :meth:`post` — the
+        #: intra-DC broadcast loop sends one immutable payload to every
+        #: peer back-to-back, and this one-slot memo keeps that a single
+        #: serialization (the strong reference makes `is` checks safe).
+        self._last_encoded: tuple[Any, bytes] | None = None
+        #: dst -> (frame queue, sender task) of the per-destination channel.
+        self._channels: dict[Address, tuple[asyncio.Queue, asyncio.Task]] = {}
+        self._runtimes: list["LiveRuntime"] = []
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Time
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Seconds since :data:`LIVE_EPOCH_UNIX_S` (the backend's time
+        axis, shared by every process of a deployment), monotonic within
+        this process."""
+        return time.monotonic() + self._mono_anchor
+
+    @property
+    def loop(self) -> asyncio.AbstractEventLoop:
+        if self._loop is None:
+            self._loop = asyncio.get_running_loop()
+        return self._loop
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+    def runtime(self, address: Address) -> "LiveRuntime":
+        """Create the runtime adapter for one endpoint of this process."""
+        runtime = LiveRuntime(self, address)
+        self._runtimes.append(runtime)
+        return runtime
+
+    async def start(self) -> None:
+        """Bind every endpoint's listener (ephemeral ports get recorded)."""
+        for runtime in self._runtimes:
+            await runtime.start()
+
+    # ------------------------------------------------------------------
+    # Outgoing frames
+    # ------------------------------------------------------------------
+    def post(self, dst: Address, msg: Any) -> None:
+        """Queue one message for delivery to ``dst`` (FIFO per process)."""
+        cached = self._last_encoded
+        if cached is not None and cached[0] is msg:
+            frame = cached[1]
+        else:
+            frame = codec.encode_frame(msg)
+            self._last_encoded = (msg, frame)
+        self.post_frame(dst, frame)
+
+    def post_frame(self, dst: Address, frame: bytes) -> None:
+        """Queue one pre-encoded frame (fan-outs encode the frame once)."""
+        if self._closed:
+            return
+        channel = self._channels.get(dst)
+        if channel is not None and channel[1].done():
+            # The sender to this peer is gone (connect exhaustion or a
+            # dead connection, already in `errors`): queuing more would
+            # grow an orphaned queue forever in serve mode, and counting
+            # the frames as sent would lie.
+            self.stats.messages_dropped += 1
+            return
+        self.stats.messages_sent += 1
+        self.stats.bytes_sent += len(frame)
+        if channel is None:
+            queue: asyncio.Queue = asyncio.Queue()
+            task = self.loop.create_task(self._sender(dst, queue))
+            self._channels[dst] = channel = (queue, task)
+        channel[0].put_nowait(frame)
+
+    async def _sender(self, dst: Address, queue: asyncio.Queue) -> None:
+        """One ordered connection per destination; retries early connects."""
+        writer = None
+        try:
+            host, port = self.book.lookup(dst)
+            for attempt in range(CONNECT_RETRIES):
+                # Re-resolve each attempt: an ephemeral-port peer records
+                # its real port only once its listener has bound.
+                host, port = self.book.lookup(dst)
+                if port == 0:
+                    await asyncio.sleep(CONNECT_RETRY_DELAY_S)
+                    continue
+                try:
+                    _, writer = await asyncio.open_connection(host, port)
+                    break
+                except OSError:
+                    await asyncio.sleep(CONNECT_RETRY_DELAY_S)
+            if writer is None:
+                self.errors.append(
+                    f"could not connect to {dst} at {host}:{port}"
+                )
+                return
+            while True:
+                frame = await queue.get()
+                try:
+                    writer.write(frame)
+                    await writer.drain()
+                finally:
+                    # task_done() only after the bytes hit the transport:
+                    # hub.drain()'s queue.join() then covers the popped-
+                    # but-not-yet-written frame, not just queued ones.
+                    queue.task_done()
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # connection died mid-run
+            self.errors.append(f"sender to {dst} failed: {exc!r}")
+        finally:
+            if writer is not None:
+                writer.close()
+
+    # ------------------------------------------------------------------
+    # Shutdown
+    # ------------------------------------------------------------------
+    async def drain(self, timeout_s: float = 10.0) -> None:
+        """Wait until every posted outgoing frame has been *written*.
+
+        ``queue.join()`` covers the frame a sender has popped but not yet
+        flushed, so close() cannot cancel a write mid-frame after a clean
+        drain.  Bounded, and skips channels whose sender died (their
+        failure is already in :attr:`errors`) — a dead sender's queue can
+        never finish, and periodic timers may even keep refilling it.
+        """
+        deadline = self.loop.time() + timeout_s
+        for dst, (queue, task) in list(self._channels.items()):
+            if task.done():
+                continue
+            remaining = deadline - self.loop.time()
+            if remaining <= 0:
+                self.errors.append(f"drain timeout before flushing {dst}")
+                return
+            try:
+                await asyncio.wait_for(queue.join(), remaining)
+            except asyncio.TimeoutError:
+                self.errors.append(
+                    f"drain timeout: {queue.qsize()} frame(s) still "
+                    f"queued for {dst}"
+                )
+                return
+
+    async def close(self) -> None:
+        """Stop senders and listeners; safe to call more than once."""
+        if self._closed:
+            return
+        self._closed = True
+        tasks = [task for _, task in self._channels.values()]
+        for task in tasks:
+            task.cancel()
+        for task in tasks:
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        for runtime in self._runtimes:
+            await runtime.close()
+
+    @property
+    def clean(self) -> bool:
+        """True while no transport/dispatch error has been recorded."""
+        return not self.errors
+
+
+class LiveRuntime:
+    """ProtocolRuntime over asyncio TCP: one endpoint of a live cluster."""
+
+    def __init__(self, hub: LiveHub, address: Address):
+        self.hub = hub
+        self._address = address
+        self.core = None
+        self._server: asyncio.AbstractServer | None = None
+        self._reader_tasks: set[asyncio.Task] = set()
+
+    def bind(self, core) -> None:
+        if self.core is not None:
+            raise TransportError(
+                f"{self._address}: adapter already bound to {self.core!r}"
+            )
+        self.core = core
+
+    # ------------------------------------------------------------------
+    # Listener
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        host, port = self.hub.book.lookup(self._address)
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=host, port=port
+        )
+        if port == 0:  # record the ephemeral port for later dialers
+            bound = self._server.sockets[0].getsockname()[1]
+            self.hub.book.set(self._address, host, bound)
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._reader_tasks.add(task)
+        decoder = codec.FrameDecoder()
+        try:
+            while True:
+                data = await reader.read(65536)
+                if not data:
+                    return
+                for msg in decoder.feed(data):
+                    self.hub.stats.messages_delivered += 1
+                    self.core.on_message(msg)
+        except asyncio.CancelledError:
+            # Shutdown path: end the reader quietly.  Re-raising would
+            # leave the task in "cancelled" state and asyncio.streams'
+            # connection_made callback logs that as an error.
+            return
+        except codec.CodecError as exc:
+            self.hub.stats.decode_errors += 1
+            self.hub.errors.append(f"{self._address}: {exc}")
+        except Exception as exc:
+            self.hub.errors.append(
+                f"{self._address}: handler failed: {exc!r}"
+            )
+        finally:
+            writer.close()
+            if task is not None:
+                # Long-lived servers see many connections come and go;
+                # only in-flight readers may be retained.
+                self._reader_tasks.discard(task)
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._reader_tasks):
+            task.cancel()
+        for task in list(self._reader_tasks):
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        self._reader_tasks.clear()
+
+    # ------------------------------------------------------------------
+    # ProtocolRuntime: identity and time
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> Address:
+        return self._address
+
+    @property
+    def now(self) -> float:
+        return self.hub.now
+
+    # ------------------------------------------------------------------
+    # ProtocolRuntime: timers
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, fn, *args) -> LiveTimer:
+        return LiveTimer(self.hub, delay, fn, args)
+
+    def schedule_at(self, time_s: float, fn, *args) -> LiveTimer:
+        return LiveTimer(self.hub, time_s - self.hub.now, fn, args)
+
+    # ------------------------------------------------------------------
+    # ProtocolRuntime: sends
+    # ------------------------------------------------------------------
+    def send(self, dst: Address, msg: Any, size: int | None = None) -> None:
+        self.hub.post(dst, msg)
+
+    def send_fanout(self, dsts: Iterable[Address], msg: Any) -> None:
+        # Same discipline as the sim adapter: serialize the immutable
+        # payload once, not once per peer.
+        frame = codec.encode_frame(msg)
+        for dst in dsts:
+            self.hub.post_frame(dst, frame)
+
+    def message_size(self, msg: Any) -> int:
+        return modeled_message_size(msg)
+
+    # ------------------------------------------------------------------
+    # ProtocolRuntime: local work (real CPUs charge themselves)
+    # ------------------------------------------------------------------
+    def submit(self, cost_s: float, fn, *args,
+               priority: int = FOREGROUND) -> None:
+        fn(*args)

@@ -23,6 +23,7 @@ from typing import Any, Protocol
 
 from repro.common.errors import SimulationError
 from repro.common.types import Address
+from repro.protocols.core import MESSAGE_SIZE_FALLBACK, modeled_message_size
 from repro.sim.engine import Simulator
 from repro.sim.latency import LatencyModel
 
@@ -63,10 +64,11 @@ class Network:
     """Delivers messages between registered endpoints.
 
     Messages may define ``size_bytes()`` for byte accounting; anything else
-    is counted with a nominal fallback size.
+    is counted with a nominal fallback size (shared with the live backend
+    via :data:`repro.protocols.core.MESSAGE_SIZE_FALLBACK`).
     """
 
-    _FALLBACK_SIZE = 64
+    _FALLBACK_SIZE = MESSAGE_SIZE_FALLBACK
 
     def __init__(self, sim: Simulator, latency_model: LatencyModel):
         self._sim = sim
@@ -147,12 +149,10 @@ class Network:
         self.stats.messages_delivered += 1
         endpoint.on_message(msg)
 
-    def message_size(self, msg: Any) -> int:
-        """Wire size of ``msg`` as the byte accounting will count it."""
-        size_fn = getattr(msg, "size_bytes", None)
-        if size_fn is None:
-            return self._FALLBACK_SIZE
-        return size_fn()
+    #: Wire size of ``msg`` as the byte accounting will count it — the
+    #: exact same rule the live backend applies (one definition, so the
+    #: two backends can never silently diverge).
+    message_size = staticmethod(modeled_message_size)
 
     # ------------------------------------------------------------------
     # Partition control (driven by FaultInjector)

@@ -1,36 +1,42 @@
-"""Tests for the SimNode base: CPU-mediated dispatch and local tasks."""
+"""Tests for the SimNode runtime adapter: CPU-mediated dispatch and the
+core/adapter binding contract."""
 
 import pytest
 
+from repro.common.errors import SimulationError
 from repro.common.types import server_address
 from repro.cluster.node import SimNode
 from repro.clocks.physical import PhysicalClock
+from repro.protocols.core import ProtocolCore
 from repro.sim.engine import Simulator
 from repro.sim.latency import ConstantLatency
 from repro.sim.network import Network
 
 
-class EchoNode(SimNode):
+class EchoCore(ProtocolCore):
     """Charges 1 ms per message, logs (time, msg)."""
 
-    def __init__(self, *args, **kwargs):
-        super().__init__(*args, **kwargs)
+    def __init__(self, runtime, clock):
+        super().__init__(runtime, clock)
         self.handled = []
 
     def service_time(self, msg):
         return 0.001
 
     def dispatch(self, msg):
-        self.handled.append((self.sim.now, msg))
+        self.handled.append((self.rt.now, msg))
+
+
+def _core(sim, network, address, cores=2):
+    adapter = SimNode(sim, network, address, cores=cores)
+    return EchoCore(adapter, PhysicalClock(sim))
 
 
 def _pair(cores=2):
     sim = Simulator()
     network = Network(sim, ConstantLatency(0.010))
-    a = EchoNode(sim, network, server_address(0, 0),
-                 PhysicalClock(sim), cores=cores)
-    b = EchoNode(sim, network, server_address(1, 0),
-                 PhysicalClock(sim), cores=cores)
+    a = _core(sim, network, server_address(0, 0), cores=cores)
+    b = _core(sim, network, server_address(1, 0), cores=cores)
     return sim, a, b
 
 
@@ -68,15 +74,37 @@ def test_submit_local_zero_cost_runs_inline():
 
 
 def test_zero_service_time_dispatches_inline():
-    class FreeNode(EchoNode):
+    class FreeCore(EchoCore):
         def service_time(self, msg):
             return 0.0
 
     sim = Simulator()
     network = Network(sim, ConstantLatency(0.010))
-    node = FreeNode(sim, network, server_address(2, 0), PhysicalClock(sim))
-    sender = EchoNode(sim, network, server_address(0, 1),
-                      PhysicalClock(sim))
-    sender.send(node.address, "x")
+    adapter = SimNode(sim, network, server_address(2, 0))
+    core = FreeCore(adapter, PhysicalClock(sim))
+    sender = _core(sim, network, server_address(0, 1))
+    sender.send(core.address, "x")
     sim.run()
-    assert node.handled == [(0.010, "x")]
+    assert core.handled == [(0.010, "x")]
+
+
+def test_adapter_binds_exactly_one_core():
+    sim = Simulator()
+    network = Network(sim, ConstantLatency(0.010))
+    adapter = SimNode(sim, network, server_address(0, 0))
+    EchoCore(adapter, PhysicalClock(sim))
+    with pytest.raises(SimulationError):
+        EchoCore(adapter, PhysicalClock(sim))
+
+
+def test_adapter_timers_drive_core_callbacks():
+    sim, a, _ = _pair()
+    fired = []
+    handle = a.rt.schedule(0.5, fired.append, "late")
+    a.rt.schedule(0.1, fired.append, "early")
+    assert handle.active
+    sim.run(until=0.2)
+    assert fired == ["early"]
+    assert handle.cancel()
+    sim.run()
+    assert fired == ["early"]

@@ -1,0 +1,26 @@
+"""The protocol-discovery surface: registry helper + CLI flag."""
+
+from repro.harness.cli import main
+from repro.protocols.registry import (
+    PROTOCOLS,
+    list_protocols,
+    protocol_summary,
+)
+
+
+def test_list_protocols_matches_registry():
+    names = list_protocols()
+    assert names == sorted(PROTOCOLS)
+    assert "pocc" in names and "cure" in names and "okapi" in names
+
+
+def test_protocol_summaries_are_nonempty():
+    for name in list_protocols():
+        assert protocol_summary(name), f"{name} has no server docstring"
+
+
+def test_cli_list_protocols_flag(capsys):
+    assert main(["--list-protocols"]) == 0
+    out = capsys.readouterr().out
+    for name in list_protocols():
+        assert name in out

@@ -1,0 +1,122 @@
+"""WaitQueue edge cases around the core/adapter split.
+
+The queue is exercised here against a stub server (no cluster, no
+engine): the contract under test is pure bookkeeping — what ``notify``,
+``drop`` and ``expired`` do to waiters that were already satisfied,
+drained or cancelled.  The HA sweep (a timeout firing *after* the waiter
+it targeted was satisfied) and cancellation of already-drained waiters
+both hit exactly these paths.
+"""
+
+from repro.protocols.base import WaitQueue
+
+
+class FakeRuntime:
+    def __init__(self):
+        self.now = 0.0
+
+
+class FakeServer:
+    """The slice of CausalServer that WaitQueue touches."""
+
+    def __init__(self):
+        self.rt = FakeRuntime()
+        self.woken = []
+
+    def wake(self, waiter):
+        self.woken.append(waiter)
+        waiter.resume()
+
+
+def _park(queue, flag, log, label):
+    return queue.wait(
+        predicate=lambda: flag["ready"],
+        resume=lambda: log.append(label),
+        cause="test",
+    )
+
+
+def test_notify_drains_satisfied_waiter_exactly_once():
+    server = FakeServer()
+    queue = WaitQueue(server)
+    flag = {"ready": False}
+    log = []
+    _park(queue, flag, log, "op")
+    queue.notify()
+    assert log == [] and len(queue) == 1
+
+    flag["ready"] = True
+    queue.notify()
+    assert log == ["op"] and len(queue) == 0
+    # Further notifies must not re-run the drained waiter.
+    queue.notify()
+    assert log == ["op"]
+
+
+def test_timeout_firing_after_satisfaction_sees_no_waiter():
+    """The HA sweep pattern: a block-timeout sweep that fires *after* the
+    blocked operation was satisfied must find nothing to abort."""
+    server = FakeServer()
+    queue = WaitQueue(server)
+    flag = {"ready": False}
+    log = []
+    waiter = _park(queue, flag, log, "op")
+
+    server.rt.now = 5.0  # long past any timeout
+    assert queue.expired(1.0) == [waiter]  # still blocked: sweep sees it
+
+    flag["ready"] = True
+    queue.notify()  # satisfied before the sweep runs
+    assert log == ["op"]
+    assert queue.expired(1.0) == []  # the late sweep must see nothing
+    # A sweep that cached the waiter object may still drop() it: harmless.
+    queue.drop(waiter)
+    queue.notify()
+    assert log == ["op"] and len(queue) == 0
+
+
+def test_cancel_of_already_drained_waiter_is_harmless():
+    server = FakeServer()
+    queue = WaitQueue(server)
+    flag = {"ready": True}
+    log = []
+    waiter = _park(queue, flag, log, "op")
+    queue.notify()
+    assert log == ["op"]
+
+    queue.drop(waiter)  # cancel after the waiter already ran
+    assert waiter.cancelled
+    queue.notify()
+    assert log == ["op"]  # no double resume
+    assert len(queue) == 0
+
+
+def test_cancelled_waiter_is_skipped_even_when_satisfied():
+    server = FakeServer()
+    queue = WaitQueue(server)
+    flag = {"ready": False}
+    log = []
+    waiter = _park(queue, flag, log, "op")
+    queue.drop(waiter)
+    assert len(queue) == 0  # cancelled waiters no longer count
+
+    flag["ready"] = True
+    queue.notify()
+    assert log == []  # dropped before drain: must never resume
+    assert queue.expired(0.0) == []
+
+
+def test_expired_ignores_cancelled_and_respects_age():
+    server = FakeServer()
+    queue = WaitQueue(server)
+    flag = {"ready": False}
+    log = []
+    old = _park(queue, flag, log, "old")
+    server.rt.now = 0.5
+    young = _park(queue, flag, log, "young")
+    server.rt.now = 1.2
+    assert queue.expired(1.0) == [old]
+    queue.drop(old)
+    assert queue.expired(1.0) == []
+    server.rt.now = 2.0
+    assert queue.expired(1.0) == [young]

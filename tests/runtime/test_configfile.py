@@ -1,0 +1,67 @@
+"""Config-file hydration: JSON deployment descriptions round-trip."""
+
+import pytest
+
+from repro.common.config import ExperimentConfig
+from repro.common.errors import ConfigError
+from repro.runtime.configfile import (
+    experiment_config_from_dict,
+    experiment_config_to_dict,
+    load_experiment_config,
+    save_experiment_config,
+)
+
+
+def test_minimal_description_takes_defaults():
+    config = experiment_config_from_dict({
+        "cluster": {"num_dcs": 2, "num_partitions": 2, "protocol": "cure"},
+        "duration_s": 5.0,
+    })
+    assert config.cluster.protocol == "cure"
+    assert config.cluster.num_dcs == 2
+    assert config.duration_s == 5.0
+    # Untouched sections keep the dataclass defaults.
+    assert config.workload.think_time_s == ExperimentConfig().workload.think_time_s
+    assert config.cluster.protocol_config.heartbeat_interval_s > 0
+
+
+def test_round_trip_through_dict_is_lossless():
+    original = ExperimentConfig()
+    tree = experiment_config_to_dict(original)
+    restored = experiment_config_from_dict(tree)
+    assert restored == original
+
+
+def test_round_trip_through_file(tmp_path):
+    path = tmp_path / "cluster.json"
+    original = experiment_config_from_dict({
+        "cluster": {
+            "num_dcs": 2, "num_partitions": 3, "protocol": "okapi",
+            "protocol_config": {"heartbeat_interval_s": 0.002},
+        },
+        "workload": {"kind": "mixed", "read_ratio": 0.9,
+                     "clients_per_partition": 1},
+        "seed": 99,
+    })
+    save_experiment_config(original, str(path))
+    assert load_experiment_config(str(path)) == original
+
+
+def test_unknown_keys_are_rejected_not_ignored():
+    with pytest.raises(ConfigError, match="unknown key"):
+        experiment_config_from_dict({"cluster": {"num_dsc": 2}})
+    with pytest.raises(ConfigError, match="unknown key"):
+        experiment_config_from_dict({"wokload": {}})
+    with pytest.raises(ConfigError, match="unknown key"):
+        experiment_config_from_dict(
+            {"cluster": {"protocol_config": {"heartbeats": 1}}}
+        )
+
+
+def test_invalid_values_fail_validation(tmp_path):
+    with pytest.raises(ConfigError):
+        experiment_config_from_dict({"cluster": {"num_dcs": 1}})
+    path = tmp_path / "broken.json"
+    path.write_text("not json")
+    with pytest.raises(ConfigError, match="not valid JSON"):
+        load_experiment_config(str(path))
