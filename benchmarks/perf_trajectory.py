@@ -214,6 +214,69 @@ def bench_live_cluster(duration_s: float) -> tuple[dict, bool]:
     return stats, not report.passed
 
 
+def bench_fsync_modes(duration_s: float) -> tuple[dict, bool]:
+    """Durability overhead: live ops/s with fsync off/interval/always.
+
+    PR 4's trajectory addition: the same smoke-shape POCC cluster as
+    :func:`bench_live_cluster`, but writing through the per-partition
+    WAL under each fsync policy.  The checker stays the canary; the
+    interesting number is the throughput ratio between ``off`` (pure
+    WAL-append cost) and ``always`` (an fsync on every acknowledgement).
+    """
+    import tempfile
+
+    from repro.common.config import (
+        ClusterConfig, ExperimentConfig, PersistenceConfig, WorkloadConfig,
+    )
+    from repro.runtime.cluster import run_live_experiment
+
+    results: dict = {}
+    failed = False
+    for mode in ("off", "interval", "always"):
+        with tempfile.TemporaryDirectory() as tmp:
+            config = ExperimentConfig(
+                cluster=ClusterConfig(num_dcs=2, num_partitions=2,
+                                      keys_per_partition=100,
+                                      protocol="pocc"),
+                workload=WorkloadConfig(kind="mixed", read_ratio=0.85,
+                                        tx_ratio=0.1, tx_partitions=2,
+                                        clients_per_partition=2,
+                                        think_time_s=0.005),
+                warmup_s=0.3,
+                duration_s=duration_s,
+                seed=7,
+                verify=True,
+                name=f"perf-fsync-{mode}",
+                persistence=PersistenceConfig(
+                    enabled=True, data_dir=tmp, fsync=mode,
+                    snapshot_interval_s=2.0,
+                ),
+            )
+            report = run_live_experiment(config)
+            wal_appends = sum(
+                stats["wal_records_appended"]
+                for stats in report.persistence.values()
+            )
+            wal_syncs = sum(
+                stats["wal_syncs"] for stats in report.persistence.values()
+            )
+            results[mode] = {
+                "throughput_ops_s": round(report.throughput_ops_s, 1),
+                "total_ops": report.total_ops,
+                "wal_records_appended": wal_appends,
+                "wal_syncs": wal_syncs,
+                "violations": len(report.violations),
+                "clean_shutdown": report.clean_shutdown,
+            }
+            failed |= not report.passed
+    if results["off"]["throughput_ops_s"]:
+        results["always_vs_off_ratio"] = round(
+            results["always"]["throughput_ops_s"]
+            / results["off"]["throughput_ops_s"], 3
+        )
+    return results, failed
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     parser.add_argument("--smoke", action="store_true",
@@ -274,6 +337,10 @@ def main(argv: list[str] | None = None) -> int:
     print(f"[perf] live asyncio TCP cluster ({live_duration}s window)...",
           file=sys.stderr)
     live, live_failed = bench_live_cluster(live_duration)
+    fsync_duration = 1.2 if args.smoke else 3.0
+    print(f"[perf] WAL fsync-mode overhead (off/interval/always, "
+          f"{fsync_duration}s each)...", file=sys.stderr)
+    fsync_modes, fsync_failed = bench_fsync_modes(fsync_duration)
 
     baseline = PRE_CHANGE_BASELINE
     engine_ratio = engine["events_per_s"] / baseline["engine_events_per_s"]
@@ -292,6 +359,7 @@ def main(argv: list[str] | None = None) -> int:
         "figure_1a_sweep": sweep,
         "replicates": replicates,
         "live_cluster": live,
+        "persistence_fsync_modes": fsync_modes,
         "baseline_pre_change": baseline,
         "engine_vs_pre_change_ratio": round(engine_ratio, 3),
         "total_wall_s": round(time.perf_counter() - t0, 2),
@@ -309,6 +377,10 @@ def main(argv: list[str] | None = None) -> int:
     if live_failed:
         print("[perf] FAIL: live cluster run violated the checker or "
               "shut down uncleanly", file=sys.stderr)
+        return 1
+    if fsync_failed:
+        print("[perf] FAIL: a persistent (WAL) live run violated the "
+              "checker or shut down uncleanly", file=sys.stderr)
         return 1
     if engine_ratio < 0.85:
         # Warning only, never a failure: hosted-runner hardware varies

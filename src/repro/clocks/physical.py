@@ -100,6 +100,18 @@ class PhysicalClock:
         """Current clock value without bumping monotonicity state."""
         return max(self._raw(), self._last_read)
 
+    def advance_past(self, floor_us: Micros) -> None:
+        """Raise the monotonicity floor: every future read exceeds
+        ``floor_us``.
+
+        Crash recovery uses this to restore timestamp discipline: a
+        restarted server must never stamp a new update at or below the
+        update time of any version it already made durable, even if the
+        operating-system clock stepped backwards across the restart.
+        """
+        if floor_us > self._last_read:
+            self._last_read = floor_us
+
     # ------------------------------------------------------------------
     # Inversion
     # ------------------------------------------------------------------

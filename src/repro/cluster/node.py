@@ -98,3 +98,10 @@ class SimNode:
             self.cpu.submit(cost_s, fn, *args, priority=priority)
         else:
             fn(*args)
+
+    # ------------------------------------------------------------------
+    # ProtocolRuntime: durability (the engine models no disks)
+    # ------------------------------------------------------------------
+    def persist(self, version: Any) -> None:
+        """No-op: simulated runs charge nothing for durability, keeping
+        per-seed reports byte-identical with the pre-durability engine."""

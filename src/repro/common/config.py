@@ -283,6 +283,47 @@ class WorkloadConfig:
 
 
 @dataclass(frozen=True, slots=True)
+class PersistenceConfig:
+    """Durability of the *live* backend (ignored by the simulation).
+
+    When enabled, every partition server hosted by a live process keeps a
+    per-partition write-ahead log plus periodic snapshots under
+    ``data_dir`` (:mod:`repro.persistence`), and a restarted process
+    recovers its version chains and clock state from them.
+
+    ``fsync`` trades acknowledgement durability against throughput:
+
+    * ``"always"`` — fsync before every acknowledgement; an acknowledged
+      write survives SIGKILL (what the crash-recovery chaos test pins);
+    * ``"interval"`` — write-through to the OS on every append, fsync at
+      most every ``fsync_interval_s``; a crash can lose the last interval;
+    * ``"off"`` — buffered writes, fsync only on clean shutdown.
+    """
+
+    enabled: bool = False
+    data_dir: str = ""
+    fsync: str = "interval"
+    fsync_interval_s: float = 0.05
+    #: Seconds between version-chain snapshots (with WAL truncation).
+    #: ``0`` disables periodic snapshots (the WAL then grows until a
+    #: clean shutdown or an explicit ``repro-recover`` inspection).
+    snapshot_interval_s: float = 30.0
+
+    def validate(self) -> None:
+        if self.fsync not in ("always", "interval", "off"):
+            raise ConfigError(
+                f"fsync must be 'always', 'interval' or 'off', "
+                f"not {self.fsync!r}"
+            )
+        if self.enabled and not self.data_dir:
+            raise ConfigError("persistence.enabled requires a data_dir")
+        if self.fsync_interval_s <= 0:
+            raise ConfigError("fsync_interval_s must be > 0")
+        if self.snapshot_interval_s < 0:
+            raise ConfigError("snapshot_interval_s must be >= 0")
+
+
+@dataclass(frozen=True, slots=True)
 class ExperimentConfig:
     """One runnable experiment: a cluster, a workload and a schedule."""
 
@@ -300,10 +341,15 @@ class ExperimentConfig:
     #: ``os.cpu_count()``; ``1`` forces the exact legacy serial path.
     #: Excluded from :meth:`describe` so reports are independent of it.
     parallelism: int | None = None
+    #: Live-backend durability (WAL + snapshots).  The simulation ignores
+    #: this block entirely; like ``parallelism`` it is excluded from
+    #: :meth:`describe` so simulated reports stay byte-identical.
+    persistence: PersistenceConfig = field(default_factory=PersistenceConfig)
 
     def validate(self) -> None:
         self.cluster.validate()
         self.workload.validate(self.cluster)
+        self.persistence.validate()
         if self.warmup_s < 0:
             raise ConfigError("warmup_s must be >= 0")
         if self.duration_s <= 0:

@@ -1,0 +1,41 @@
+"""Durability for the live runtime: write-ahead log, snapshots, recovery.
+
+The simulation backend models no disks — its determinism contract is
+"re-run the seed" — but the live asyncio backend
+(:mod:`repro.runtime`) serves real clients whose acknowledged writes
+must survive a killed process.  This package gives every live partition
+server a per-partition WAL (framed with the wire codec, so versions
+round-trip exactly), periodic version-chain snapshots with log
+truncation, and the boot-time recovery that rebuilds chains, version
+vector and clock floor — tolerating a torn final record.
+
+See ``docs/persistence.md`` for the on-disk format and the recovery
+walkthrough, and ``repro-recover`` for offline inspection.
+"""
+
+from repro.persistence.manager import (
+    PartitionDurability,
+    RecoveredState,
+    partition_dirname,
+    recover_directory,
+)
+from repro.persistence.snapshot import (
+    SnapshotState,
+    load_snapshot,
+    snapshot_path,
+    write_snapshot,
+)
+from repro.persistence.wal import WalError, WriteAheadLog
+
+__all__ = [
+    "PartitionDurability",
+    "RecoveredState",
+    "SnapshotState",
+    "WalError",
+    "WriteAheadLog",
+    "load_snapshot",
+    "partition_dirname",
+    "recover_directory",
+    "snapshot_path",
+    "write_snapshot",
+]

@@ -1,0 +1,234 @@
+"""Per-partition durability: WAL + snapshots + the recovery path.
+
+One :class:`PartitionDurability` backs one partition server of a live
+process.  Layout under the deployment's ``data_dir``::
+
+    data_dir/
+      dc0-p0/
+        snapshot.bin          # newest complete snapshot (atomic replace)
+        wal-00000007.log      # segments the snapshot does not cover
+        wal-00000008.log
+      dc0-p1/
+        ...
+
+Boot sequence (:meth:`PartitionDurability.recover`):
+
+1. load ``snapshot.bin`` if present (validated header/footer — see
+   :mod:`repro.persistence.snapshot`);
+2. replay every WAL segment with sequence >= the snapshot's ``wal_seq``
+   (older leftovers are covered by the snapshot and deleted);
+3. the *newest* segment may end in a torn frame — truncate it at the
+   clean boundary reported by the codec's
+   :class:`~repro.runtime.codec.FrameDecoder`; a torn frame anywhere
+   else is corruption and raises :class:`~repro.persistence.wal.WalError`;
+4. merge: later records win per version identity ``(key, sr, ut)`` (the
+   COPS* ``visible`` flip re-logs the version), everything else is a
+   plain union;
+5. open the WAL for appending at the clean tail.
+
+The recovered state is handed to the protocol server's
+``restore_durable_state`` (:mod:`repro.protocols.base`), which rebuilds
+version chains, the version vector and the clock floor — and then runs
+replication catch-up against its peer replicas for whatever the crash
+window dropped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.common.config import PersistenceConfig
+from repro.common.types import Address
+from repro.persistence import snapshot as snap
+from repro.persistence.wal import (
+    WalError,
+    WriteAheadLog,
+    check_segment_header,
+    iter_version_records,
+    list_segments,
+    read_segment,
+    truncate_segment,
+)
+
+
+def partition_dirname(address: Address) -> str:
+    """Directory name for one partition server's durable state."""
+    return f"dc{address.dc}-p{address.partition}"
+
+
+@dataclass(slots=True)
+class RecoveredState:
+    """What the disk contributed to one server's boot."""
+
+    #: Deduplicated versions, later records superseding earlier ones.
+    versions: list[Any] = field(default_factory=list)
+    #: Version vector recorded by the snapshot (zeros when none); the
+    #: restore path merges it with per-source maxima over ``versions``.
+    vv: list[int] = field(default_factory=list)
+    #: True when *any* durable state (snapshot or WAL record) was found.
+    had_state: bool = False
+    #: True when the directory shows evidence of a *prior run* (a
+    #: snapshot or any segment file, even header-only/torn).  This — not
+    #: ``had_state`` — is the replication-catch-up trigger: a server can
+    #: crash before its first record becomes durable (fsync interval/off)
+    #: yet still have served pre-crash reads that the catch-up hole is
+    #: about.
+    prior_boot: bool = False
+    snapshot_versions: int = 0
+    #: The snapshot's replay-resumes-here segment sequence (0 = none).
+    snapshot_wal_seq: int = 0
+    wal_records: int = 0
+    segments_replayed: int = 0
+    #: Bytes cut off the newest segment's torn tail (0 = clean shutdown).
+    torn_bytes_truncated: int = 0
+    #: Covered segments deleted during recovery (snapshot superseded them).
+    segments_deleted: int = 0
+
+    def max_ut(self, sr: int) -> int:
+        """Newest update time among recovered versions from replica ``sr``."""
+        return max((v.ut for v in self.versions if v.sr == sr), default=0)
+
+
+def recover_directory(
+    directory: Path | str,
+    truncate: bool = True,
+    delete_covered: bool = True,
+) -> RecoveredState:
+    """Read one partition directory into a :class:`RecoveredState`.
+
+    Pure read path (plus the tail truncation / covered-segment cleanup
+    unless disabled) — shared by the live boot and ``repro-recover``.
+    """
+    directory = Path(directory)
+    state = RecoveredState()
+    merged: dict[tuple, Any] = {}
+
+    snapshot_file = snap.snapshot_path(directory)
+    snapshot_seq = 0
+    state.prior_boot = snapshot_file.exists() or bool(list_segments(directory))
+    if snapshot_file.exists():
+        loaded = snap.load_snapshot(snapshot_file)
+        snapshot_seq = loaded.wal_seq
+        state.snapshot_wal_seq = snapshot_seq
+        state.vv = list(loaded.vv)
+        state.snapshot_versions = len(loaded.versions)
+        state.had_state = True
+        for version in loaded.versions:
+            merged[version.identity()] = version
+
+    segments = list_segments(directory)
+    for index, (seq, path) in enumerate(segments):
+        if seq < snapshot_seq:
+            # Fully covered by the snapshot: a crash between the
+            # snapshot publish and the old segments' deletion left it
+            # behind.  Finish the deletion now.
+            if delete_covered:
+                path.unlink()
+                state.segments_deleted += 1
+            continue
+        records, clean_offset, size = read_segment(path)
+        if clean_offset < size:
+            if index != len(segments) - 1:
+                raise WalError(
+                    f"{path}: torn frame in a non-final segment "
+                    f"({size - clean_offset} trailing byte(s))"
+                )
+            if truncate:
+                truncate_segment(path, clean_offset)
+            state.torn_bytes_truncated = size - clean_offset
+        body = check_segment_header(path, records, seq)
+        for version in iter_version_records(body, str(path)):
+            merged[version.identity()] = version
+            state.wal_records += 1
+            state.had_state = True
+        state.segments_replayed += 1
+
+    state.versions = list(merged.values())
+    return state
+
+
+class PartitionDurability:
+    """The durability façade one live partition server writes through."""
+
+    def __init__(
+        self,
+        root: Path | str,
+        address: Address,
+        config: PersistenceConfig,
+    ):
+        self.address = address
+        self.config = config
+        self.directory = Path(root) / partition_dirname(address)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._wal: WriteAheadLog | None = None
+        self.recovered: RecoveredState | None = None
+        self.snapshots_written = 0
+
+    # ------------------------------------------------------------------
+    # Boot
+    # ------------------------------------------------------------------
+    def recover(self) -> RecoveredState:
+        """Read the directory and open the WAL at its clean tail."""
+        if self._wal is not None:
+            raise WalError(f"{self.directory}: recover() called twice")
+        self.recovered = recover_directory(self.directory)
+        self._wal = WriteAheadLog(
+            self.directory,
+            fsync=self.config.fsync,
+            fsync_interval_s=self.config.fsync_interval_s,
+            # A fresh segment must never sort *before* the snapshot's
+            # replay point, or the next recovery would discard it as
+            # covered.
+            start_seq=max(1, self.recovered.snapshot_wal_seq),
+        )
+        return self.recovered
+
+    # ------------------------------------------------------------------
+    # The durability effect (rt.persist)
+    # ------------------------------------------------------------------
+    def append_version(self, version: Any) -> None:
+        if self._wal is None or self._wal.closed:
+            return  # shutting down (or never recovered): nothing to log to
+        self._wal.append_version(version)
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+    def snapshot(self, store, vv, num_dcs: int) -> int:
+        """Dump the store, publish atomically, truncate covered segments.
+
+        Runs synchronously on the event loop — the store cannot change
+        underneath it (protocol handlers are plain synchronous calls on
+        the same loop), which is exactly what makes the dump a consistent
+        cut without any locking.
+        """
+        if self._wal is None:
+            raise WalError(f"{self.directory}: snapshot before recover()")
+        new_seq = self._wal.roll()
+        count = snap.write_snapshot(
+            self.directory, store.all_versions(), vv,
+            wal_seq=new_seq, num_dcs=num_dcs,
+        )
+        for seq, path in list_segments(self.directory):
+            if seq < new_seq:
+                path.unlink()
+        self.snapshots_written += 1
+        return count
+
+    # ------------------------------------------------------------------
+    # Shutdown
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        """Force every appended record onto stable storage."""
+        if self._wal is not None:
+            self._wal.flush()
+
+    def close(self) -> None:
+        if self._wal is not None:
+            self._wal.close()
+
+    @property
+    def wal(self) -> WriteAheadLog | None:
+        return self._wal

@@ -1,0 +1,140 @@
+"""Version-chain snapshots: the WAL's truncation point.
+
+A snapshot is one file (``snapshot.bin``) of codec frames:
+
+=========================================  ============================
+record                                     meaning
+=========================================  ============================
+``("snap", format, num_dcs, wal_seq, vv)``  header: the WAL segment
+                                            sequence from which replay
+                                            must resume, plus the
+                                            server's version vector at
+                                            snapshot time
+``("v", version)``                          one stored version
+``("end", count)``                          footer: number of versions
+=========================================  ============================
+
+Atomicity: the snapshot is written to ``snapshot.tmp``, fsynced, then
+``os.replace``d over ``snapshot.bin`` and the directory entry fsynced —
+a reader either sees the previous complete snapshot or the new complete
+one, never a torn middle.  The footer is verified on load anyway, so
+even a non-atomic filesystem degrades to a loud error instead of silent
+partial state.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+from repro.runtime import codec
+from repro.persistence.wal import (
+    VERSION_TAG,
+    WAL_FORMAT,
+    WalError,
+    fsync_directory,
+)
+
+SNAPSHOT_NAME = "snapshot.bin"
+SNAPSHOT_TMP_NAME = "snapshot.tmp"
+SNAPSHOT_HEADER_TAG = "snap"
+SNAPSHOT_FOOTER_TAG = "end"
+
+
+@dataclass(slots=True)
+class SnapshotState:
+    """Everything a loaded snapshot contributes to recovery."""
+
+    num_dcs: int
+    #: First WAL segment *not* covered by this snapshot: replay resumes
+    #: there.
+    wal_seq: int
+    vv: list[int]
+    versions: list[Any] = field(default_factory=list)
+
+
+def snapshot_path(directory: Path) -> Path:
+    return Path(directory) / SNAPSHOT_NAME
+
+
+def write_snapshot(
+    directory: Path,
+    versions: Iterable[Any],
+    vv: Sequence[int],
+    wal_seq: int,
+    num_dcs: int,
+) -> int:
+    """Atomically publish a snapshot; returns the number of versions.
+
+    The caller rolls the WAL *first* and passes the fresh segment's
+    sequence as ``wal_seq``: a crash between the roll and this publish
+    leaves the previous snapshot pointing at segments that still exist,
+    so nothing is lost either way.
+    """
+    directory = Path(directory)
+    tmp = directory / SNAPSHOT_TMP_NAME
+    count = 0
+    with open(tmp, "wb") as handle:
+        handle.write(codec.encode_frame(
+            (SNAPSHOT_HEADER_TAG, WAL_FORMAT, num_dcs, wal_seq, list(vv))
+        ))
+        for version in versions:
+            handle.write(codec.encode_frame((VERSION_TAG, version)))
+            count += 1
+        handle.write(codec.encode_frame((SNAPSHOT_FOOTER_TAG, count)))
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, snapshot_path(directory))
+    fsync_directory(directory)
+    return count
+
+
+def load_snapshot(path: Path) -> SnapshotState:
+    """Decode and validate one snapshot file.
+
+    Any inconsistency — bad header, missing footer, count mismatch,
+    undecodable frame — raises :class:`WalError`: thanks to the atomic
+    publish this only happens on genuine disk corruption, and recovery
+    must not guess around it (older WAL segments were already deleted on
+    the strength of this snapshot).
+    """
+    path = Path(path)
+    data = path.read_bytes()
+    decoder = codec.FrameDecoder()
+    try:
+        records = decoder.feed(data)
+    except codec.CodecError as exc:
+        raise WalError(
+            f"{path}: corrupt snapshot at byte {decoder.consumed_bytes}: "
+            f"{exc}"
+        ) from exc
+    if decoder.pending_bytes:
+        raise WalError(f"{path}: snapshot ends in a torn frame")
+    if not records:
+        raise WalError(f"{path}: empty snapshot file")
+    head = records[0]
+    if (not isinstance(head, tuple) or len(head) != 5
+            or head[0] != SNAPSHOT_HEADER_TAG):
+        raise WalError(f"{path}: missing snapshot header")
+    _, fmt, num_dcs, wal_seq, vv = head
+    if fmt != WAL_FORMAT:
+        raise WalError(f"{path}: unsupported snapshot format {fmt!r}")
+    foot = records[-1]
+    if (not isinstance(foot, tuple) or len(foot) != 2
+            or foot[0] != SNAPSHOT_FOOTER_TAG):
+        raise WalError(f"{path}: snapshot footer missing (torn write?)")
+    body = records[1:-1]
+    if foot[1] != len(body):
+        raise WalError(
+            f"{path}: footer promises {foot[1]} versions, found {len(body)}"
+        )
+    versions = []
+    for record in body:
+        if (not isinstance(record, tuple) or len(record) != 2
+                or record[0] != VERSION_TAG):
+            raise WalError(f"{path}: unexpected snapshot record {record!r}")
+        versions.append(record[1])
+    return SnapshotState(num_dcs=num_dcs, wal_seq=wal_seq, vv=list(vv),
+                         versions=versions)

@@ -1,0 +1,295 @@
+"""The per-partition append-only write-ahead log.
+
+A WAL is a directory of numbered **segment files** (``wal-00000001.log``,
+``wal-00000002.log``, …), each a concatenation of the live codec's
+length-prefixed tagged-tree frames (:mod:`repro.runtime.codec`) — so a
+WAL record round-trips :class:`repro.storage.version.Version` and
+:class:`repro.protocols.cops.CopsVersion` payloads with exactly the
+fidelity of the wire.  Records are plain tagged tuples:
+
+=====================================  ================================
+record                                 meaning
+=====================================  ================================
+``("walseg", format, seq)``            segment header (first record)
+``("v", version)``                     one durable version; appended
+                                       for every locally created *and*
+                                       every replicated version, before
+                                       it is acknowledged to anyone.  A
+                                       later record with the same
+                                       ``(key, sr, ut)`` identity
+                                       supersedes an earlier one (COPS*
+                                       re-logs a version when its
+                                       dependency checks complete and
+                                       the ``visible`` flag flips).
+=====================================  ================================
+
+Torn tails: a crash (or ``fsync: interval/off``) may leave the *last*
+segment ending mid-frame.  :func:`read_segment` leans on
+:class:`repro.runtime.codec.FrameDecoder`'s clean-boundary accounting to
+split "the suffix is simply missing" (tolerated: recovery truncates at
+the boundary) from "a complete frame does not decode" (corruption:
+:class:`WalError`).  A torn frame in any segment *other than* the last
+is corruption too — appends only ever go to the newest segment.
+
+Fsync modes (see :class:`repro.common.config.PersistenceConfig`):
+``always`` fsyncs after every append, ``interval`` writes through to the
+OS on every append and fsyncs at most once per interval, ``off`` leaves
+everything to the OS until :meth:`WriteAheadLog.flush`.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.common.errors import ReproError
+from repro.runtime import codec
+
+#: On-disk format version stamped into segment headers and snapshots.
+WAL_FORMAT = 1
+
+SEGMENT_PREFIX = "wal-"
+SEGMENT_SUFFIX = ".log"
+
+#: Record tags.
+SEGMENT_HEADER_TAG = "walseg"
+VERSION_TAG = "v"
+
+
+class WalError(ReproError):
+    """Raised on corrupt or inconsistent on-disk durability state."""
+
+
+def segment_name(seq: int) -> str:
+    return f"{SEGMENT_PREFIX}{seq:08d}{SEGMENT_SUFFIX}"
+
+
+def segment_seq(path: Path) -> int | None:
+    """The sequence number encoded in a segment file name, or None."""
+    name = path.name
+    if not (name.startswith(SEGMENT_PREFIX) and name.endswith(SEGMENT_SUFFIX)):
+        return None
+    digits = name[len(SEGMENT_PREFIX):-len(SEGMENT_SUFFIX)]
+    return int(digits) if digits.isdigit() else None
+
+
+def list_segments(directory: Path) -> list[tuple[int, Path]]:
+    """All WAL segments under ``directory``, ordered by sequence number."""
+    found = []
+    for path in directory.iterdir():
+        seq = segment_seq(path)
+        if seq is not None:
+            found.append((seq, path))
+    found.sort()
+    return found
+
+
+def fsync_directory(directory: Path) -> None:
+    """Make a rename/create in ``directory`` itself durable (POSIX)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - non-POSIX directory semantics
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def read_segment(path: Path) -> tuple[list[Any], int, int]:
+    """Decode one segment: ``(records, clean_offset, file_size)``.
+
+    ``clean_offset < file_size`` means the segment ends in a torn frame
+    (tolerable only for the newest segment — the caller decides).  A
+    complete-but-undecodable frame raises :class:`WalError` carrying the
+    byte offset where the stream went bad.
+    """
+    data = path.read_bytes()
+    decoder = codec.FrameDecoder()
+    try:
+        records = decoder.feed(data)
+    except codec.CodecError as exc:
+        raise WalError(
+            f"{path}: corrupt record at byte {decoder.consumed_bytes}: {exc}"
+        ) from exc
+    return records, decoder.consumed_bytes, len(data)
+
+
+def check_segment_header(path: Path, records: list[Any], seq: int) -> list[Any]:
+    """Validate and strip a segment's header record."""
+    if not records:
+        # A zero-length (or fully torn) segment: created, then crashed
+        # before the header hit the disk.  Treat as empty.
+        return []
+    head = records[0]
+    if (not isinstance(head, tuple) or len(head) != 3
+            or head[0] != SEGMENT_HEADER_TAG):
+        raise WalError(f"{path}: missing segment header record")
+    _, fmt, header_seq = head
+    if fmt != WAL_FORMAT:
+        raise WalError(f"{path}: unsupported WAL format {fmt!r}")
+    if header_seq != seq:
+        raise WalError(
+            f"{path}: header sequence {header_seq} does not match file name"
+        )
+    return records[1:]
+
+
+def truncate_segment(path: Path, clean_offset: int) -> int:
+    """Cut a torn tail off a segment; returns the bytes removed."""
+    size = path.stat().st_size
+    if clean_offset >= size:
+        return 0
+    with open(path, "r+b") as handle:
+        handle.truncate(clean_offset)
+        handle.flush()
+        os.fsync(handle.fileno())
+    return size - clean_offset
+
+
+class WalStats:
+    """Counters one :class:`WriteAheadLog` accumulates over its life."""
+
+    __slots__ = ("records_appended", "bytes_appended", "syncs", "rolls")
+
+    def __init__(self) -> None:
+        self.records_appended = 0
+        self.bytes_appended = 0
+        self.syncs = 0
+        self.rolls = 0
+
+
+class WriteAheadLog:
+    """Append-only log over numbered segments in one directory.
+
+    The caller opens the log only after recovery has read (and, for the
+    newest segment, tail-truncated) the existing state — appending after
+    a torn tail would hide every later record behind undecodable bytes.
+    """
+
+    def __init__(
+        self,
+        directory: Path | str,
+        fsync: str = "interval",
+        fsync_interval_s: float = 0.05,
+        start_seq: int = 1,
+    ):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._fsync_mode = fsync
+        self._fsync_interval_s = fsync_interval_s
+        self._last_sync = time.monotonic()
+        self.stats = WalStats()
+        self._closed = False
+        segments = list_segments(self.directory)
+        if segments:
+            self._seq, path = segments[-1]
+            self._file = open(path, "ab")
+        else:
+            self._seq = start_seq
+            self._file = self._create_segment(self._seq)
+
+    # ------------------------------------------------------------------
+    # Appending
+    # ------------------------------------------------------------------
+    def append(self, record: Any) -> None:
+        """Append one codec-encodable record and apply the fsync policy."""
+        if self._closed:
+            raise WalError("append to a closed WAL")
+        frame = codec.encode_frame(record)
+        self._file.write(frame)
+        self.stats.records_appended += 1
+        self.stats.bytes_appended += len(frame)
+        mode = self._fsync_mode
+        if mode == "always":
+            self._sync()
+        elif mode == "interval":
+            self._file.flush()
+            now = time.monotonic()
+            if now - self._last_sync >= self._fsync_interval_s:
+                os.fsync(self._file.fileno())
+                self._last_sync = now
+                self.stats.syncs += 1
+        # "off": leave buffering to the runtime until flush()/close().
+
+    def append_version(self, version: Any) -> None:
+        """Log one durable version (the ``rt.persist`` target)."""
+        self.append((VERSION_TAG, version))
+
+    def _sync(self) -> None:
+        self._file.flush()
+        os.fsync(self._file.fileno())
+        self._last_sync = time.monotonic()
+        self.stats.syncs += 1
+
+    def flush(self) -> None:
+        """Force everything appended so far onto stable storage."""
+        if self._closed:
+            return
+        self._sync()
+
+    # ------------------------------------------------------------------
+    # Segments
+    # ------------------------------------------------------------------
+    @property
+    def seq(self) -> int:
+        """Sequence number of the segment currently being appended."""
+        return self._seq
+
+    @property
+    def path(self) -> Path:
+        return self.directory / segment_name(self._seq)
+
+    def roll(self) -> int:
+        """Close the current segment and start the next; returns its seq.
+
+        Called by the snapshot path: the snapshot then covers every
+        segment *before* the returned one, which become deletable the
+        moment the snapshot is durable.
+        """
+        self._sync()
+        self._file.close()
+        self._seq += 1
+        self._file = self._create_segment(self._seq)
+        self.stats.rolls += 1
+        return self._seq
+
+    def _create_segment(self, seq: int):
+        path = self.directory / segment_name(seq)
+        handle = open(path, "ab")
+        handle.write(codec.encode_frame((SEGMENT_HEADER_TAG, WAL_FORMAT, seq)))
+        handle.flush()
+        os.fsync(handle.fileno())
+        fsync_directory(self.directory)
+        return handle
+
+    # ------------------------------------------------------------------
+    # Shutdown
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Flush and close; safe to call more than once."""
+        if self._closed:
+            return
+        self._sync()
+        self._file.close()
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+
+def iter_version_records(records: Iterable[Any], source: str) -> Iterable[Any]:
+    """Yield the version payload of every ``("v", …)`` record.
+
+    Unknown tags raise: an operator mixing WAL formats should hear about
+    it rather than silently lose records.
+    """
+    for record in records:
+        if (isinstance(record, tuple) and len(record) == 2
+                and record[0] == VERSION_TAG):
+            yield record[1]
+        else:
+            raise WalError(f"{source}: unknown WAL record {record!r}")

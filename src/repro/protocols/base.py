@@ -41,6 +41,18 @@ from repro.protocols.core import ProtocolCore, ProtocolRuntime
 from repro.storage.store import PartitionStore
 from repro.storage.version import Version
 
+#: Replication catch-up (crash recovery, live backend): versions per
+#: :class:`~repro.protocols.messages.ReplCatchup` chunk, and how long a
+#: recovering server holds client traffic waiting for peers that may
+#: themselves be down.
+CATCHUP_CHUNK = 256
+CATCHUP_TIMEOUT_S = 10.0
+
+#: Requests a recovering server parks until replication catch-up ends —
+#: everything a client (or a coordinator acting for one) can observe
+#: state through.  Server-to-server machinery keeps flowing.
+_CLIENT_FACING = (m.GetReq, m.PutReq, m.RoTxReq, m.SliceReq, m.CopsPutReq)
+
 
 class _Waiter:
     """One blocked operation: a predicate over server state + continuation.
@@ -157,6 +169,11 @@ class CausalServer(ProtocolCore):
         self._next_tx_id = (self.m << 20) | (self.n << 12)
         # GC aggregation state (partition 0 of each DC aggregates).
         self._gc_reports: dict[int, list[Micros]] = {}
+        # Replication catch-up state (crash recovery, live backend):
+        # None = normal operation; a set = DCs whose final ReplCatchup
+        # chunk is still outstanding, client traffic parked meanwhile.
+        self._catching_up: set[int] | None = None
+        self._parked_during_catchup: list[Any] = []
         self._start_timers()
 
     # ------------------------------------------------------------------
@@ -228,6 +245,10 @@ class CausalServer(ProtocolCore):
         version = Version(key=key, value=value, sr=self.m, ut=ts, dv=dv,
                           optimistic=optimistic)
         self.store.insert(version)
+        # Durability before acknowledgement: the caller replies to the
+        # client only after this returns, and the fan-out below is what
+        # makes the version observable remotely — both must trail the log.
+        self.rt.persist(version)
         self.send_fanout(self._peer_replicas, m.Replicate(version=version))
         return version
 
@@ -237,6 +258,7 @@ class CausalServer(ProtocolCore):
         self.store.insert(version)
         if version.ut > self.vv[version.sr]:
             self.vv[version.sr] = version.ut
+        self.rt.persist(version)
         self.version_received(version)
         self.waiters.notify()
 
@@ -323,6 +345,126 @@ class CausalServer(ProtocolCore):
                 send(server, msg, size)
 
     # ------------------------------------------------------------------
+    # Crash recovery: durable-state restore + replication catch-up
+    # ------------------------------------------------------------------
+    def restore_durable_state(self, recovered) -> int:
+        """Rebuild chains, version vector and clock floor from disk.
+
+        ``recovered`` is a :class:`repro.persistence.manager.
+        RecoveredState`.  Replaying is insert-by-identity: versions the
+        (deterministic) preload already installed, or that both the
+        snapshot and the log tail carry, merge instead of duplicating —
+        which is what makes "snapshot, then replay the tail" idempotent
+        regardless of where the crash fell between the two.  Returns the
+        number of versions actually added.
+        """
+        applied = 0
+        store = self.store
+        for version in recovered.versions:
+            existing = store.find_version(version.key, version.sr,
+                                          version.ut)
+            if existing is not None:
+                self._merge_recovered(existing, version)
+                continue
+            store.insert(version)
+            applied += 1
+            if version.ut > self.vv[version.sr]:
+                self.vv[version.sr] = version.ut
+        for dc, ts in enumerate(recovered.vv):
+            if dc < len(self.vv) and ts > self.vv[dc]:
+                self.vv[dc] = ts
+        # New updates must stamp strictly beyond everything already
+        # durable, whatever the OS clock did across the restart.
+        self._advance_clock_past(self.vv[self.m])
+        return applied
+
+    def _merge_recovered(self, existing: Version, recovered: Version) -> None:
+        """Fold a replayed duplicate into the already-present version.
+
+        Nothing to do for immutable vector-clock versions; COPS*
+        overrides this to merge the mutable ``visible`` flag (the log
+        records a version once hidden and again once its checks passed).
+        """
+
+    def _advance_clock_past(self, floor_us: Micros) -> None:
+        """Clock-discipline hook: hybrid-clock protocols override."""
+        self.clock.advance_past(floor_us)
+
+    def begin_catchup(self, timeout_s: float = CATCHUP_TIMEOUT_S) -> None:
+        """Ask every peer replica to re-send what the crash window lost.
+
+        Replication has no retransmit (channels are fire-and-forget
+        FIFO), so updates sent while this server was down are gone from
+        the wire.  Worse, the first heartbeat from a peer would advance
+        ``VV`` *past* those lost updates and a GET could then serve the
+        pre-crash past as if it were fresh — so until every peer's final
+        catch-up chunk (or ``timeout_s``, for peers that are themselves
+        down), client-facing requests are parked.
+        """
+        peer_dcs = {addr.dc for addr in self._peer_replicas}
+        if not peer_dcs:
+            return
+        self._catching_up = peer_dcs
+        self._parked_during_catchup = []
+        self.send_fanout(
+            self._peer_replicas,
+            m.ReplSyncReq(vv=list(self.vv), requester=self.address),
+        )
+        self.rt.schedule(timeout_s, self._catchup_timeout)
+
+    def handle_repl_sync(self, msg: m.ReplSyncReq) -> None:
+        """Re-send our locally created versions newer than the
+        requester's recovered vector, in update-time order, chunked."""
+        floor = msg.vv[self.m] if self.m < len(msg.vv) else 0
+        missed = [v for v in self.store.all_versions()
+                  if v.sr == self.m and v.ut > floor]
+        missed.sort(key=lambda v: v.ut)
+        if not missed:
+            self.send(msg.requester,
+                      m.ReplCatchup(versions=[], src_dc=self.m, last=True))
+            return
+        for start in range(0, len(missed), CATCHUP_CHUNK):
+            chunk = missed[start:start + CATCHUP_CHUNK]
+            self.send(msg.requester, m.ReplCatchup(
+                versions=chunk, src_dc=self.m,
+                last=start + CATCHUP_CHUNK >= len(missed),
+            ))
+
+    def apply_catchup(self, msg: m.ReplCatchup) -> None:
+        """Install missed versions through the protocol's own
+        replication path (skipping what a reconnected channel already
+        delivered), and unpark clients once every peer has answered."""
+        for version in msg.versions:
+            if not self.store.has_version(version.key, version.sr,
+                                          version.ut):
+                self.apply_replicate(m.Replicate(version=version))
+        if msg.last and self._catching_up is not None:
+            self._catching_up.discard(msg.src_dc)
+            if not self._catching_up:
+                self._finish_catchup()
+
+    def _catchup_timeout(self) -> None:
+        if self._catching_up is not None:
+            # A peer DC is unreachable (possibly down itself): serve
+            # what we have rather than block forever — availability over
+            # freshness, exactly the optimistic protocol's stance.
+            self._finish_catchup()
+
+    def _finish_catchup(self) -> None:
+        self._catching_up = None
+        parked = self._parked_during_catchup
+        self._parked_during_catchup = []
+        for parked_msg in parked:
+            self.on_message(parked_msg)
+        self.waiters.notify()
+
+    def on_message(self, msg: Any) -> None:
+        if self._catching_up is not None and isinstance(msg, _CLIENT_FACING):
+            self._parked_during_catchup.append(msg)
+            return
+        super().on_message(msg)
+
+    # ------------------------------------------------------------------
     # Dispatch plumbing shared by subclasses
     # ------------------------------------------------------------------
     def service_time(self, msg: Any) -> float:
@@ -381,6 +523,10 @@ class CausalServer(ProtocolCore):
             self._gc_receive_report(msg.vec, msg.partition)
         elif isinstance(msg, m.GcBroadcast):
             self._apply_gc(msg.gv)
+        elif isinstance(msg, m.ReplSyncReq):
+            self.handle_repl_sync(msg)
+        elif isinstance(msg, m.ReplCatchup):
+            self.apply_catchup(msg)
         else:
             self.handle_other(msg)
 

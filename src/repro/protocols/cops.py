@@ -158,6 +158,7 @@ class CopsServer(CausalServer):
                               ut=ts, deps=msg.deps,
                               num_dcs=self.topology.num_dcs, visible=True)
         self.store.insert(version)
+        self.rt.persist(version)
         # A locally created (visible) version can satisfy parked checks.
         self.dep_waiters.notify()
         self.send_fanout(self._peer_replicas, m.Replicate(version=version))
@@ -173,6 +174,16 @@ class CopsServer(CausalServer):
         self.store.insert(version)
         if version.ut > self.vv[version.sr]:
             self.vv[version.sr] = version.ut
+        self.rt.persist(version)
+        self._launch_dep_checks(version)
+
+    def _launch_dep_checks(self, version: CopsVersion) -> None:
+        """Fan out one DepCheck per unsatisfied nearest dependency.
+
+        Shared by replication receipt and crash recovery: a restart
+        loses the in-flight check bookkeeping (``_pending_writes``), so
+        recovered hidden versions re-run their checks from here.
+        """
         checks = [dep for dep in version.deps if not self._satisfied(dep)]
         if not checks:
             self._mark_visible(version)
@@ -218,20 +229,15 @@ class CopsServer(CausalServer):
         return self._locally_satisfied(dep)
 
     def _locally_satisfied(self, dep: m.Dependency) -> bool:
-        chain = self.store.chain(dep.key)
-        if chain is None:
-            return False
-        target = version_order_key(dep.ut, dep.sr)
-        for version in chain:  # freshest first
-            order = version.order_key
-            if order < target:
-                return False
-            if order == target:
-                return _is_visible(version)
-        return False
+        version = self.store.find_version(dep.key, dep.sr, dep.ut)
+        return version is not None and _is_visible(version)
 
     def _mark_visible(self, version: CopsVersion) -> None:
         version.visible = True
+        # Re-log the version with the flipped flag: the WAL's
+        # later-record-wins merge then recovers it visible, instead of
+        # re-running (already passed) dependency checks after a restart.
+        self.rt.persist(version)
         self.metrics.record_visibility_lag(self.rt.now - version.ut / 1e6)
         # Newly visible versions can satisfy checks parked here and can
         # unblock nothing else: COPS reads never wait.
@@ -272,6 +278,26 @@ class CopsServer(CausalServer):
     def _new_check_id(self) -> int:
         self._next_check_id += 1
         return self._next_check_id
+
+    # ------------------------------------------------------------------
+    # Crash recovery
+    # ------------------------------------------------------------------
+    def _merge_recovered(self, existing: Version, recovered: Version) -> None:
+        # Later WAL records win: a version logged hidden and re-logged
+        # visible (checks passed pre-crash) must not regress to hidden.
+        if getattr(recovered, "visible", False) \
+                and not getattr(existing, "visible", True):
+            existing.visible = True
+
+    def restore_durable_state(self, recovered) -> int:
+        applied = super().restore_durable_state(recovered)
+        # The in-flight check bookkeeping died with the process: restart
+        # dependency checking for every version recovered hidden, or it
+        # would stay invisible forever.
+        for version in self.store.all_versions():
+            if isinstance(version, CopsVersion) and not version.visible:
+                self._launch_dep_checks(version)
+        return applied
 
     # ------------------------------------------------------------------
     # Remote versions satisfying parked checks

@@ -29,6 +29,7 @@ set timer                 ``rt.schedule(delay_s, fn, *args)`` /
                           ``rt.schedule_at(time_s, fn, *args)`` → handle
 cancel timer              ``handle.cancel()``
 local work (CPU charge)   ``rt.submit(cost_s, fn, *args, priority=...)``
+durability (WAL append)   ``rt.persist(version)``
 ========================  =====================================================
 
 Time: ``rt.now`` is a monotonically nondecreasing float of seconds since
@@ -127,6 +128,19 @@ class ProtocolRuntime(Protocol):
         Zero-cost work runs synchronously on both backends.  The sim
         adapter queues costed work behind the node's modeled cores; the
         live adapter runs it immediately (wall-clock CPUs are real).
+        """
+        ...
+
+    def persist(self, version: Any) -> None:
+        """The *durability* effect: log one version to stable storage.
+
+        Protocol cores emit this for every version they install — locally
+        created and replicated alike — *before* acknowledging it to
+        anyone.  The live adapter appends the version to the partition's
+        write-ahead log (:mod:`repro.persistence`), synchronously under
+        ``fsync: always``; the simulation adapter maps it to a no-op (the
+        deterministic engine models no disks), so per-seed simulated
+        reports stay byte-identical whether or not durability exists.
         """
         ...
 

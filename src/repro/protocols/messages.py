@@ -213,6 +213,47 @@ class SliceResp:
         )
 
 
+@dataclass(slots=True)
+class ReplSyncReq:
+    """Replication catch-up request (crash recovery, live backend).
+
+    A partition server restarting from its write-ahead log asks every
+    peer replica to re-send the updates it may have missed while down:
+    ``vv`` is the requester's recovered version vector, and the peer
+    answers with its own locally created versions newer than
+    ``vv[peer.dc]`` (:class:`ReplCatchup` chunks).  Never sent by the
+    simulation backend — crashes there are modeled at the DC level
+    (:mod:`repro.protocols.recovery`), not at the process level.
+    """
+
+    vv: list[Micros]
+    requester: Address
+
+    def size_bytes(self) -> int:
+        return HEADER_BYTES + vector_bytes(self.vv) + ID_BYTES
+
+
+@dataclass(slots=True)
+class ReplCatchup:
+    """One chunk of a peer's answer to :class:`ReplSyncReq`.
+
+    ``last`` marks the final chunk from this peer; the recovering server
+    holds client-facing operations until every peer's final chunk (or a
+    timeout) so a read cannot observe the pre-crash past as fresh state.
+    Versions already present (delivered by the reconnected replication
+    channel) are skipped by identity on receipt.
+    """
+
+    versions: list[Version]
+    src_dc: ReplicaId
+    last: bool
+
+    def size_bytes(self) -> int:
+        return HEADER_BYTES + ID_BYTES + sum(
+            version_bytes(v) for v in self.versions
+        )
+
+
 # ----------------------------------------------------------------------
 # Stabilization (Cure* / HA-POCC) and garbage collection
 # ----------------------------------------------------------------------

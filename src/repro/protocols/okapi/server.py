@@ -78,6 +78,13 @@ class OkapiServer(UniversalStabilizationMixin, CausalServer):
         self.hlc.update(msg.version.ut)
         super().apply_replicate(msg)
 
+    def _advance_clock_past(self, floor_us: Micros) -> None:
+        """Okapi* timestamps are packed HLC values, so the recovery floor
+        must be merged into the hybrid clock (feeding a packed value to
+        the physical clock would skew it by the 16-bit logical shift)."""
+        if floor_us > 0:
+            self.hlc.update(floor_us)
+
     def version_received(self, version: Version) -> None:
         """Visibility starts when the version is *universally* stable."""
         if version.ut <= self.ust:
@@ -173,6 +180,7 @@ class OkapiServer(UniversalStabilizationMixin, CausalServer):
         version = Version(key=msg.key, value=msg.value, sr=self.m, ut=ts,
                           dv=(max(self.ust, ust_c),))
         self.store.insert(version)
+        self.rt.persist(version)
         self.send_fanout(self._peer_replicas, m.Replicate(version=version))
         self.send(msg.client, m.PutReply(ut=ts, op_id=msg.op_id))
 

@@ -15,18 +15,25 @@ simulation, but over real sockets and wall-clock timers:
 * :mod:`repro.runtime.cluster` — boot an N-DC × M-partition cluster
   in-process and drive it with the :mod:`repro.workload` generators,
   feeding the :mod:`repro.verification` causal checker;
+* :mod:`repro.runtime.chaos` — kill/restart fault injection against a
+  persistent cluster (one partition server as a real OS process,
+  SIGKILLed and recovered from its WAL — see ``docs/persistence.md``);
 * :mod:`repro.runtime.serve` / :mod:`repro.runtime.bench_live` — the
   ``repro-serve`` and ``repro-bench-live`` command-line entry points.
 """
 
+from repro.runtime.chaos import CrashFault, CrashReport, run_crash_experiment
 from repro.runtime.cluster import LiveCluster, LiveReport, run_live_experiment
 from repro.runtime.transport import AddressBook, LiveHub, LiveRuntime
 
 __all__ = [
     "AddressBook",
+    "CrashFault",
+    "CrashReport",
     "LiveCluster",
     "LiveHub",
     "LiveReport",
     "LiveRuntime",
+    "run_crash_experiment",
     "run_live_experiment",
 ]

@@ -1,0 +1,312 @@
+"""Kill/restart chaos for the live backend: the durability acceptance rig.
+
+:func:`run_crash_experiment` is ``run_live_experiment`` with a fault
+knob: one partition server (the *victim*) runs as a real OS subprocess
+(``python -m repro.runtime.serve --dc D --partition P --data-dir …``)
+while everything else — the other servers, the clients, the drivers and
+the causal checker — runs in-process.  Mid-workload the victim is
+**SIGKILLed**, left down for a configured window, restarted from its
+data directory (WAL + snapshot recovery, then replication catch-up
+against its peers), and finally SIGTERMed so its graceful-shutdown path
+(flush the WAL before the transport, exit non-zero on failure) is
+exercised too.
+
+The verdict (:class:`CrashReport`) gates on exactly what the paper's
+fault-tolerance story needs and nothing the crash legitimately breaks:
+
+* the independent :class:`~repro.verification.checker.CausalChecker`
+  reports **zero violations** over the whole run, crash included;
+* **no acknowledged write is lost**: every PUT the victim acknowledged
+  is present in (or dominated within) its recovered on-disk state;
+* the victim **rejoins**: operations complete after the restart;
+* the final SIGTERM shutdown exits 0 (WAL flushed cleanly).
+
+Transport errors (dead senders, truncated streams) and stalled in-flight
+operations are *expected* collateral of a SIGKILL and are reported, not
+gated on.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.common.config import ExperimentConfig
+from repro.common.errors import ReproError
+from repro.common.types import version_order_key
+from repro.cluster.topology import Topology
+from repro.runtime.cluster import LiveCluster, LiveReport
+from repro.runtime.configfile import save_experiment_config
+
+# NOTE: repro.persistence imports are deferred into the functions below:
+# persistence depends on the codec (hence on this package's __init__), so
+# a module-level import here would be circular.
+
+#: How long the harness waits for the victim subprocess to exit after
+#: SIGTERM before declaring the graceful-shutdown gate failed.
+TERM_TIMEOUT_S = 15.0
+
+
+@dataclass(slots=True)
+class CrashFault:
+    """One SIGKILL + restart of a single partition server."""
+
+    dc: int = 0
+    partition: int = 0
+    #: Seconds into the measurement window at which the victim dies.
+    kill_after_s: float = 1.0
+    #: How long the victim stays down before it is restarted.
+    downtime_s: float = 1.0
+
+
+@dataclass(slots=True)
+class CrashReport:
+    """Everything measured across one kill/restart run."""
+
+    live: LiveReport
+    kill_time_s: float
+    restart_time_s: float
+    #: Exit status of the victim's final (SIGTERM) shutdown.
+    server_exit_code: int | None
+    #: PUTs the victim acknowledged (observed by the driving process).
+    acked_victim_writes: int
+    #: Acknowledged victim writes absent from — and not dominated in —
+    #: the recovered on-disk state.  Must be empty.
+    lost_victim_writes: list[str] = field(default_factory=list)
+    #: Operations that completed after the victim came back.
+    ops_after_restart: int = 0
+    recovered_versions: int = 0
+    victim_dir: str = ""
+
+    @property
+    def passed(self) -> bool:
+        return (not self.live.violations
+                and not self.lost_victim_writes
+                and self.ops_after_restart > 0
+                and self.acked_victim_writes > 0
+                and self.server_exit_code == 0)
+
+    def summary_text(self) -> str:
+        verdict = "PASS" if self.passed else "FAIL"
+        lines = [
+            f"crash/restart [{self.live.protocol}] "
+            f"victim dir {self.victim_dir}: {verdict}",
+            f"  checker         : {len(self.live.violations)} violations "
+            f"over {self.live.verification['reads_checked']} reads",
+            f"  durability      : {self.acked_victim_writes} acked victim "
+            f"writes, {len(self.lost_victim_writes)} lost "
+            f"({self.recovered_versions} versions recovered on disk)",
+            f"  rejoin          : {self.ops_after_restart} ops completed "
+            f"after restart",
+            f"  graceful stop   : exit code {self.server_exit_code}",
+        ]
+        for violation in self.live.violations[:5]:
+            lines.append(f"    violation: {violation}")
+        for lost in self.lost_victim_writes[:5]:
+            lines.append(f"    lost: {lost}")
+        return "\n".join(lines)
+
+
+def _serve_command(config_path: Path, fault: CrashFault, host: str,
+                   base_port: int) -> list[str]:
+    return [
+        sys.executable, "-m", "repro.runtime.serve",
+        "--config", str(config_path),
+        "--dc", str(fault.dc), "--partition", str(fault.partition),
+        "--host", host, "--base-port", str(base_port),
+    ]
+
+
+def _subprocess_env() -> dict[str, str]:
+    env = dict(os.environ)
+    src_root = str(Path(__file__).resolve().parents[2])
+    existing = env.get("PYTHONPATH", "")
+    if src_root not in existing.split(os.pathsep):
+        env["PYTHONPATH"] = (src_root + os.pathsep + existing
+                             if existing else src_root)
+    return env
+
+
+async def _spawn_victim(command: list[str], log_path: Path):
+    log = open(log_path, "ab")
+    try:
+        return await asyncio.create_subprocess_exec(
+            *command, stdout=log, stderr=log, env=_subprocess_env(),
+        )
+    finally:
+        log.close()  # the subprocess holds its own descriptor
+
+
+def _victim_write_check(
+    cluster: LiveCluster, fault: CrashFault, data_dir: Path
+) -> tuple[int, list[str], int]:
+    """Compare acknowledged victim writes against the recovered disk.
+
+    A write is *lost* only if the recovered chain of its key holds
+    nothing at or above it in the LWW order — garbage collection and
+    overwrites legitimately drop superseded versions without losing
+    anything a reader could miss.
+    """
+    from repro.persistence.manager import (
+        partition_dirname,
+        recover_directory,
+    )
+    victim_dir = data_dir / partition_dirname(
+        cluster.topology.server(fault.dc, fault.partition)
+    )
+    recovered = recover_directory(victim_dir, truncate=False,
+                                  delete_covered=False)
+    best_by_key: dict[Any, tuple[int, int]] = {}
+    for version in recovered.versions:
+        order = version.order_key
+        current = best_by_key.get(version.key)
+        if current is None or order > current:
+            best_by_key[version.key] = order
+
+    acked = 0
+    lost: list[str] = []
+    for event in cluster.checker.history.writes():
+        key, sr, ut = event.version
+        if sr != fault.dc:
+            continue
+        if cluster.topology.partition_of(key) != fault.partition:
+            continue
+        acked += 1
+        best = best_by_key.get(key)
+        if best is None or best < version_order_key(ut, sr):
+            lost.append(
+                f"acked write {event.version} at t={event.time_s:.3f}s "
+                f"not recovered (best on disk: {best})"
+            )
+    return acked, lost, len(recovered.versions)
+
+
+async def _run(config: ExperimentConfig, fault: CrashFault, host: str,
+               base_port: int) -> CrashReport:
+    persistence = config.persistence
+    if not persistence.enabled or not persistence.data_dir:
+        raise ReproError("crash experiments need persistence enabled "
+                         "with a data_dir")
+    if base_port <= 0:
+        raise ReproError("crash experiments need a deterministic port "
+                         "map (base_port > 0): two processes must agree")
+    data_dir = Path(persistence.data_dir)
+    data_dir.mkdir(parents=True, exist_ok=True)
+    config_path = data_dir / "cluster.json"
+    save_experiment_config(config, str(config_path))
+
+    # Host every server except the victim in-process; the victim is a
+    # real OS process so a real SIGKILL can take it down.
+    topology = Topology(config.cluster.num_dcs,
+                        config.cluster.num_partitions)
+    victim_address = topology.server(fault.dc, fault.partition)
+    cluster = LiveCluster(
+        config, host=host, base_port=base_port,
+        serve_addresses=[address for address in topology.all_servers()
+                         if address != victim_address],
+        with_clients=True,
+    )
+
+    command = _serve_command(config_path, fault, host, base_port)
+    log_path = data_dir / "victim.log"
+    # The restart swaps the subprocess mid-run; the cleanup must see the
+    # newest one, hence the one-slot holder.
+    holder = {"proc": await _spawn_victim(command, log_path)}
+    try:
+        return await _drive(cluster, holder, config, fault, command,
+                            log_path, data_dir, victim_address)
+    finally:
+        # Never leak a live repro-serve on its fixed port: a failure
+        # anywhere above would otherwise poison every later run that
+        # reuses the deterministic port map.
+        victim = holder["proc"]
+        if victim.returncode is None:
+            victim.kill()
+            await victim.wait()
+
+
+async def _drive(cluster: LiveCluster, holder: dict,
+                 config: ExperimentConfig, fault: CrashFault,
+                 command: list[str], log_path: Path, data_dir: Path,
+                 victim_address) -> CrashReport:
+    from repro.persistence.manager import partition_dirname
+    victim = holder["proc"]
+    await cluster.start()
+    stagger = min(config.workload.think_time_s or 0.01, 0.02)
+    for driver in cluster.drivers:
+        driver.start(stagger_s=stagger)
+    await asyncio.sleep(config.warmup_s)
+    cluster.metrics.arm(cluster.hub.now)
+
+    await asyncio.sleep(fault.kill_after_s)
+    kill_time = cluster.hub.now
+    victim.kill()  # SIGKILL: no flush, no goodbye
+    await victim.wait()
+
+    await asyncio.sleep(fault.downtime_s)
+    restart_time = cluster.hub.now
+    victim = holder["proc"] = await _spawn_victim(command, log_path)
+
+    remaining = config.duration_s - fault.kill_after_s - fault.downtime_s
+    await asyncio.sleep(max(remaining, 1.0))
+    cluster.metrics.disarm(cluster.hub.now)
+    for driver in cluster.drivers:
+        driver.stop()
+    # Ops in flight at the kill instant died with their frames; a short
+    # settle collects everything else without waiting on the casualties.
+    await cluster._quiesce(timeout_s=3.0)
+    cluster.flush_persistence()
+
+    # Graceful stop *before* the report: the exit code is a gate (the
+    # WAL-before-transport shutdown ordering must have flushed cleanly).
+    victim.terminate()
+    try:
+        exit_code = await asyncio.wait_for(victim.wait(), TERM_TIMEOUT_S)
+    except asyncio.TimeoutError:
+        victim.kill()
+        await victim.wait()
+        exit_code = None
+
+    report = cluster._report(cluster.hub.clean)
+    await cluster.hub.close()
+    cluster.close_persistence()
+
+    acked, lost, recovered_count = _victim_write_check(cluster, fault,
+                                                       data_dir)
+    ops_after_restart = sum(
+        1 for event in cluster.checker.history.events
+        if event.time_s > restart_time
+    )
+    return CrashReport(
+        live=report,
+        kill_time_s=kill_time,
+        restart_time_s=restart_time,
+        server_exit_code=exit_code,
+        acked_victim_writes=acked,
+        lost_victim_writes=lost,
+        ops_after_restart=ops_after_restart,
+        recovered_versions=recovered_count,
+        victim_dir=str(data_dir / partition_dirname(victim_address)),
+    )
+
+
+def run_crash_experiment(
+    config: ExperimentConfig,
+    fault: CrashFault,
+    host: str = "127.0.0.1",
+    base_port: int = 7500,
+) -> CrashReport:
+    """SIGKILL one partition server mid-workload, restart it from disk,
+    and verify causality plus acknowledged-write durability.
+
+    ``config.verify`` must be on (the checker is the judge) and
+    ``config.persistence`` must point at a data directory; the victim
+    subprocess shares both through a config file written there.
+    """
+    if not config.verify:
+        raise ReproError("crash experiments require config.verify=True")
+    return asyncio.run(_run(config, fault, host, base_port))

@@ -42,6 +42,17 @@ def add_deployment_args(parser: argparse.ArgumentParser) -> None:
                         help="first port of the deterministic port map; "
                              "0 = ephemeral ports (single-process only; "
                              "default: 7400)")
+    parser.add_argument("--data-dir", metavar="PATH",
+                        help="enable durability: per-partition WAL + "
+                             "snapshots under PATH, crash recovery on "
+                             "boot (see docs/persistence.md)")
+    parser.add_argument("--fsync", choices=("always", "interval", "off"),
+                        help="WAL fsync policy (default: config file, "
+                             "else 'interval'); 'always' makes every "
+                             "acknowledged write SIGKILL-durable")
+    parser.add_argument("--snapshot-interval", type=float, metavar="S",
+                        help="seconds between chain snapshots + WAL "
+                             "truncation (0 disables; default: config)")
 
 
 def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
@@ -70,7 +81,19 @@ def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         workload_overrides["think_time_s"] = args.think_time
     if workload_overrides:
         workload = dataclasses.replace(workload, **workload_overrides)
-    overrides = {"cluster": cluster, "workload": workload}
+    persistence = config.persistence
+    persistence_overrides = {}
+    if args.data_dir is not None:
+        persistence_overrides.update(enabled=True, data_dir=args.data_dir)
+    if args.fsync is not None:
+        persistence_overrides["fsync"] = args.fsync
+    if args.snapshot_interval is not None:
+        persistence_overrides["snapshot_interval_s"] = args.snapshot_interval
+    if persistence_overrides:
+        persistence = dataclasses.replace(persistence,
+                                          **persistence_overrides)
+    overrides = {"cluster": cluster, "workload": workload,
+                 "persistence": persistence}
     if args.seed is not None:
         overrides["seed"] = args.seed
     config = dataclasses.replace(config, **overrides)

@@ -59,6 +59,9 @@ class LiveReport:
     bytes_sent: int
     clean_shutdown: bool
     errors: list[str] = field(default_factory=list)
+    #: Per-partition durability counters (empty when persistence is off):
+    #: ``"dcD-pP" -> {recovered_versions, wal_records_appended, …}``.
+    persistence: dict = field(default_factory=dict)
 
     @property
     def passed(self) -> bool:
@@ -129,6 +132,14 @@ class LiveCluster:
         self.servers: dict[Address, Any] = {}
         self.clients: list[Any] = []
         self.drivers: list[ClosedLoopClient] = []
+        #: Durability managers of the hosted servers (persistence on);
+        #: values are :class:`repro.persistence.manager.
+        #: PartitionDurability` (imported lazily: persistence depends on
+        #: the codec, so a module-level import here would be circular).
+        self.durability: dict[Address, Any] = {}
+        #: What each hosted server recovered from disk at boot.
+        self.recovered: dict[Address, Any] = {}
+        self._needs_catchup: list[Any] = []
         self._with_clients = with_clients
         self._serve_addresses = (
             set(serve_addresses) if serve_addresses is not None else None
@@ -147,19 +158,40 @@ class LiveCluster:
         # Deferred into start(): protocol cores arm their periodic timers
         # during construction, which needs the running event loop.
         cluster = self.config.cluster
+        persistence = self.config.persistence
         server_cls = server_class(cluster.protocol)
         for address in self.topology.all_servers():
             if not self._hosted(address):
                 continue
+            durability = recovered = None
+            if persistence.enabled:
+                from repro.persistence.manager import PartitionDurability
+                durability = PartitionDurability(
+                    persistence.data_dir, address, persistence
+                )
+                # Read the disk *before* the server exists: recovery
+                # must see the clean-boundary state, not a live WAL.
+                recovered = durability.recover()
+                self.durability[address] = durability
+                self.recovered[address] = recovered
             clock = PhysicalClock.sample(
                 self.hub, cluster.clocks,
                 self.rng.stream(seeds.clock_stream(address)),
             )
             runtime = self.hub.runtime(address)
+            runtime.durability = durability
             server = server_cls(runtime, clock, self.topology, cluster,
                                 self.metrics)
             server.store.preload(self.pools.pool(address.partition),
                                  num_dcs=cluster.num_dcs)
+            if recovered is not None and recovered.prior_boot:
+                server.restore_durable_state(recovered)
+                # This is a *re*start: whatever replication the crash
+                # window dropped must be pulled back from the peers
+                # before clients may read here.  Gated on prior_boot,
+                # not had_state: a server killed before its first record
+                # became durable still served pre-crash reads.
+                self._needs_catchup.append(server)
             self.servers[address] = server
 
         if not self._with_clients:
@@ -201,6 +233,57 @@ class LiveCluster:
             self._build()
             self._built = True
         await self.hub.start()
+        # Catch-up only once the listeners are bound: the peers' replies
+        # (and their reconnecting replication channels) need somewhere
+        # to land.
+        for server in self._needs_catchup:
+            server.begin_catchup()
+        self._needs_catchup = []
+        self._arm_snapshot_timers()
+
+    def _arm_snapshot_timers(self) -> None:
+        interval = self.config.persistence.snapshot_interval_s
+        if not interval:
+            return
+        for address, durability in self.durability.items():
+            # Stagger like GC so co-hosted partitions do not all fsync
+            # a snapshot at the same instant.
+            server = self.servers[address]
+            server.rt.schedule(interval * (1.0 + 0.01 * address.partition),
+                               self._snapshot_tick, server, durability)
+
+    def _snapshot_tick(self, server, durability) -> None:
+        # Re-arm first: a transient snapshot failure (ENOSPC, EIO) must
+        # not silently end snapshotting — and WAL truncation — forever.
+        # The raised error still lands in hub.errors via the timer.
+        server.rt.schedule(self.config.persistence.snapshot_interval_s,
+                           self._snapshot_tick, server, durability)
+        durability.snapshot(server.store, server.vv,
+                            self.config.cluster.num_dcs)
+
+    def flush_persistence(self) -> bool:
+        """Force every WAL onto stable storage; False (and an error
+        recorded) if any flush fails.  Called before the transport goes
+        down so an acknowledged write can never outlive its log."""
+        ok = True
+        for address, durability in self.durability.items():
+            try:
+                durability.flush()
+            except Exception as exc:
+                self.hub.errors.append(
+                    f"WAL flush failed for {address}: {exc!r}"
+                )
+                ok = False
+        return ok
+
+    def close_persistence(self) -> None:
+        for address, durability in self.durability.items():
+            try:
+                durability.close()
+            except Exception as exc:
+                self.hub.errors.append(
+                    f"WAL close failed for {address}: {exc!r}"
+                )
 
     async def run(self) -> LiveReport:
         """The measured lifecycle: warmup → measure → quiesce → report."""
@@ -217,18 +300,20 @@ class LiveCluster:
         for driver in self.drivers:
             driver.stop()
         clean = await self._quiesce()
+        clean = self.flush_persistence() and clean
         report = self._report(clean and self.hub.clean)
         await self.hub.close()
+        self.close_persistence()
         return report
 
-    async def _quiesce(self) -> bool:
+    async def _quiesce(self, timeout_s: float = SETTLE_TIMEOUT_S) -> bool:
         """Wait for in-flight operations, then flush outgoing queues."""
-        deadline = self.hub.now + SETTLE_TIMEOUT_S
+        deadline = self.hub.now + timeout_s
         while any(client.has_pending for client in self.clients):
             if self.hub.now >= deadline:
                 self.hub.errors.append(
                     "quiesce timeout: operations still in flight after "
-                    f"{SETTLE_TIMEOUT_S}s (blocked forever?)"
+                    f"{timeout_s}s (blocked forever?)"
                 )
                 return False
             await asyncio.sleep(0.05)
@@ -251,6 +336,24 @@ class LiveCluster:
                             "tx_reads_checked": 0, "writes_seen": 0}
             violations = []
             history_events = 0
+        persistence_stats = {}
+        for address, durability in self.durability.items():
+            recovered = self.recovered.get(address)
+            wal = durability.wal
+            persistence_stats[f"dc{address.dc}-p{address.partition}"] = {
+                "recovered_versions": (len(recovered.versions)
+                                       if recovered else 0),
+                "recovered_wal_records": (recovered.wal_records
+                                          if recovered else 0),
+                "torn_bytes_truncated": (recovered.torn_bytes_truncated
+                                         if recovered else 0),
+                "wal_records_appended": (wal.stats.records_appended
+                                         if wal else 0),
+                "wal_bytes_appended": (wal.stats.bytes_appended
+                                       if wal else 0),
+                "wal_syncs": wal.stats.syncs if wal else 0,
+                "snapshots_written": durability.snapshots_written,
+            }
         stats = self.hub.stats
         return LiveReport(
             protocol=self.config.cluster.protocol,
@@ -272,6 +375,7 @@ class LiveCluster:
             bytes_sent=stats.bytes_sent,
             clean_shutdown=clean,
             errors=list(self.hub.errors),
+            persistence=persistence_stats,
         )
 
 

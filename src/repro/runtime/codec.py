@@ -190,7 +190,13 @@ def dumps(msg: Any) -> bytes:
 
 def loads(payload: bytes) -> Any:
     """The inverse of :func:`dumps`."""
-    return _decode_value(_unpack(payload))
+    try:
+        tree = _unpack(payload)
+    except Exception as exc:
+        # The serializer's own failure modes (msgpack unpack errors,
+        # json decode errors) are stream corruption to every caller.
+        raise CodecError(f"undecodable payload: {exc}") from exc
+    return _decode_value(tree)
 
 
 # ----------------------------------------------------------------------
@@ -210,12 +216,30 @@ def encoded_size(msg: Any) -> int:
 
 
 class FrameDecoder:
-    """Incremental frame parser for a TCP byte stream."""
+    """Incremental frame parser for a TCP byte stream or a WAL file.
 
-    __slots__ = ("_buffer",)
+    Two failure shapes are kept apart, because their meanings differ:
+
+    * an **incomplete trailing frame** — the stream simply ended (or has
+      not yet delivered) mid-frame.  Not an error: :meth:`feed` returns
+      the complete messages, :attr:`pending_bytes` is positive, and
+      :attr:`consumed_bytes` is the *clean boundary*: the stream offset
+      just past the last fully decoded frame.  WAL recovery truncates a
+      torn tail exactly there; the live transport counts an
+      abruptly-closed connection's partial frame instead of mistaking it
+      for corruption.
+    * **corruption** — a length prefix beyond :data:`MAX_FRAME_BYTES` or
+      a *complete* frame whose payload does not decode.  :meth:`feed`
+      raises :class:`CodecError` and leaves :attr:`consumed_bytes` at the
+      boundary *before* the offending frame, so the caller can report
+      where the stream went bad.
+    """
+
+    __slots__ = ("_buffer", "_consumed")
 
     def __init__(self) -> None:
         self._buffer = bytearray()
+        self._consumed = 0
 
     def feed(self, data: bytes) -> list[Any]:
         """Absorb ``data``; return every message completed by it.
@@ -240,10 +264,22 @@ class FrameDecoder:
             if len(buffer) < end:
                 return out
             payload = bytes(buffer[_LEN.size:end])
+            # Decode before advancing: a corrupt complete frame must not
+            # move the clean boundary past its own start.
+            msg = loads(payload)
             del buffer[:end]
-            out.append(loads(payload))
+            self._consumed += end
+            out.append(msg)
 
     @property
     def pending_bytes(self) -> int:
         """Bytes buffered but not yet forming a complete frame."""
         return len(self._buffer)
+
+    @property
+    def consumed_bytes(self) -> int:
+        """Stream offset just past the last fully decoded frame.
+
+        ``consumed_bytes + pending_bytes`` equals the total bytes fed.
+        """
+        return self._consumed

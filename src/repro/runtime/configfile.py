@@ -9,6 +9,8 @@ either backend from one description.  Example::
       "cluster": {"num_dcs": 2, "num_partitions": 2, "protocol": "pocc"},
       "workload": {"kind": "mixed", "read_ratio": 0.9,
                    "clients_per_partition": 2},
+      "persistence": {"enabled": true, "data_dir": "/var/lib/repro",
+                      "fsync": "always"},
       "duration_s": 10.0,
       "seed": 7
     }
@@ -28,6 +30,7 @@ from repro.common.config import (
     ClusterConfig,
     ExperimentConfig,
     LatencyConfig,
+    PersistenceConfig,
     ProtocolConfig,
     ServiceTimeConfig,
     WorkloadConfig,
@@ -66,9 +69,12 @@ def experiment_config_from_dict(data: dict[str, Any]) -> ExperimentConfig:
     cluster = _build(ClusterConfig, cluster_data, "cluster")
     workload = _build(WorkloadConfig, dict(data.pop("workload", {})),
                       "workload")
+    persistence = _build(PersistenceConfig,
+                         dict(data.pop("persistence", {})), "persistence")
     config = _build(
         ExperimentConfig,
-        {**data, "cluster": cluster, "workload": workload},
+        {**data, "cluster": cluster, "workload": workload,
+         "persistence": persistence},
         "experiment",
     )
     config.validate()

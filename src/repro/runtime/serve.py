@@ -70,6 +70,12 @@ async def _serve(cluster: LiveCluster, duration: float | None) -> int:
     for addr in cluster.servers:
         host, port = cluster.book.lookup(addr)
         print(f"  {addr} listening on {host}:{port}", file=sys.stderr)
+    for addr, recovered in cluster.recovered.items():
+        if recovered.had_state:
+            print(f"  {addr} recovered {len(recovered.versions)} "
+                  f"version(s) ({recovered.wal_records} log records, "
+                  f"{recovered.torn_bytes_truncated} torn byte(s) "
+                  f"truncated)", file=sys.stderr)
 
     stop = asyncio.Event()
     loop = asyncio.get_running_loop()
@@ -79,8 +85,14 @@ async def _serve(cluster: LiveCluster, duration: float | None) -> int:
     if duration is not None:
         loop.call_later(duration, stop.set)
     await stop.wait()
+    # Shutdown ordering matters: force the WAL onto stable storage while
+    # the handlers that might still append to it can no longer run past
+    # us (we are on their event loop), *then* take the transport down.
+    # An acknowledged write must never outlive its log.
+    flushed = cluster.flush_persistence()
     await cluster.hub.close()
-    if not cluster.hub.clean:
+    cluster.close_persistence()
+    if not cluster.hub.clean or not flushed:
         for error in cluster.hub.errors:
             print(f"error: {error}", file=sys.stderr)
         return 1

@@ -150,15 +150,24 @@ class LiveStats:
     """Transfer accounting for one hub (frame bytes, not modeled bytes)."""
 
     __slots__ = ("messages_sent", "messages_delivered", "bytes_sent",
-                 "decode_errors", "messages_dropped")
+                 "decode_errors", "messages_dropped", "reconnects",
+                 "truncated_streams")
 
     def __init__(self) -> None:
         self.messages_sent = 0
         self.messages_delivered = 0
         self.bytes_sent = 0
         self.decode_errors = 0
-        #: Frames discarded because their destination's sender had died.
+        #: Frames discarded because their destination's sender died with
+        #: them still queued (the peer stayed down past the retry budget).
         self.messages_dropped = 0
+        #: Channels re-dialed after their sender died — a crashed peer
+        #: coming back (kill/restart recovery) shows up here.
+        self.reconnects = 0
+        #: Inbound connections that ended mid-frame (peer killed between
+        #: frames' bytes).  Distinguished from decode_errors: a torn tail
+        #: is an abrupt disconnect, not stream corruption.
+        self.truncated_streams = 0
 
 
 class LiveHub:
@@ -236,12 +245,15 @@ class LiveHub:
             return
         channel = self._channels.get(dst)
         if channel is not None and channel[1].done():
-            # The sender to this peer is gone (connect exhaustion or a
-            # dead connection, already in `errors`): queuing more would
-            # grow an orphaned queue forever in serve mode, and counting
-            # the frames as sent would lie.
-            self.stats.messages_dropped += 1
-            return
+            # The sender to this peer died (its failure is already in
+            # `errors`, its undelivered frames already counted dropped).
+            # Retire it and dial fresh: a crashed peer that restarted
+            # from its WAL must be reachable again, and the new sender's
+            # own retry budget bounds how long a still-dead peer can
+            # accumulate queued frames.
+            del self._channels[dst]
+            self.stats.reconnects += 1
+            channel = None
         self.stats.messages_sent += 1
         self.stats.bytes_sent += len(frame)
         if channel is None:
@@ -287,6 +299,13 @@ class LiveHub:
         except Exception as exc:  # connection died mid-run
             self.errors.append(f"sender to {dst} failed: {exc!r}")
         finally:
+            # Whatever is still queued will never be written by *this*
+            # sender: count it dropped and release drain()'s join().  A
+            # later post to the same destination dials a fresh channel.
+            while not queue.empty():
+                queue.get_nowait()
+                queue.task_done()
+                self.stats.messages_dropped += 1
             if writer is not None:
                 writer.close()
 
@@ -348,6 +367,11 @@ class LiveRuntime:
         self.hub = hub
         self._address = address
         self.core = None
+        #: The endpoint's durability sink (a
+        #: :class:`repro.persistence.manager.PartitionDurability`), set
+        #: by the cluster boot for persistent partition servers; None
+        #: keeps ``persist`` a no-op (clients, ephemeral deployments).
+        self.durability = None
         self._server: asyncio.AbstractServer | None = None
         self._reader_tasks: set[asyncio.Task] = set()
 
@@ -381,6 +405,13 @@ class LiveRuntime:
             while True:
                 data = await reader.read(65536)
                 if not data:
+                    if decoder.pending_bytes:
+                        # The peer vanished mid-frame (SIGKILL, cut
+                        # cable).  The whole frames before the clean
+                        # boundary were already dispatched; the torn
+                        # tail is an abrupt disconnect to account for,
+                        # not corruption to die on.
+                        self.hub.stats.truncated_streams += 1
                     return
                 for msg in decoder.feed(data):
                     self.hub.stats.messages_delivered += 1
@@ -460,3 +491,11 @@ class LiveRuntime:
     def submit(self, cost_s: float, fn, *args,
                priority: int = FOREGROUND) -> None:
         fn(*args)
+
+    # ------------------------------------------------------------------
+    # ProtocolRuntime: durability (synchronous WAL append, so the log
+    # write strictly precedes any acknowledgement the handler sends)
+    # ------------------------------------------------------------------
+    def persist(self, version: Any) -> None:
+        if self.durability is not None:
+            self.durability.append_version(version)

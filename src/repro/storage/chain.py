@@ -12,6 +12,7 @@ from __future__ import annotations
 from bisect import insort
 from typing import Callable, Iterator
 
+from repro.common.types import version_order_key
 from repro.storage.version import Version
 
 
@@ -78,6 +79,23 @@ class VersionChain:
             if visible(entry.version):
                 return entry.version, scanned
         return None, len(self._entries)
+
+    def find(self, sr: int, ut: int) -> Version | None:
+        """The version with exactly this ``(sr, ut)`` identity, if held.
+
+        Chains are ordered by the LWW key, so the scan stops as soon as
+        it passes where the identity would sit.  Used by recovery replay
+        (skip what the snapshot already restored) and by replication
+        catch-up (skip what a channel already delivered).
+        """
+        target = version_order_key(ut, sr)
+        for entry in self._entries:
+            order = entry.version.order_key
+            if order == target:
+                return entry.version
+            if order < target:
+                return None
+        return None
 
     def versions_newer_than(self, version: Version) -> int:
         """How many chain versions are fresher than ``version``.

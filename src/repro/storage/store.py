@@ -82,6 +82,21 @@ class PartitionStore:
     def chain(self, key: Any) -> VersionChain | None:
         return self._chains.get(key)
 
+    def find_version(self, key: Any, sr: ReplicaId, ut: Micros) -> Version | None:
+        """The locally held version with this exact identity, if any."""
+        chain = self._chains.get(key)
+        return chain.find(sr, ut) if chain is not None else None
+
+    def has_version(self, key: Any, sr: ReplicaId, ut: Micros) -> bool:
+        """Whether the version with this exact identity is held locally."""
+        return self.find_version(key, sr, ut) is not None
+
+    def all_versions(self) -> Iterator[Version]:
+        """Every version of every chain (snapshot scans); no order
+        guarantee across keys, freshest-first within one key."""
+        for chain in self._chains.values():
+            yield from chain
+
     def freshest(self, key: Any) -> Version | None:
         """Head of the chain (the optimistic read)."""
         chain = self._chains.get(key)

@@ -1,0 +1,70 @@
+"""``repro-recover``: offline inspection of a deployment data dir."""
+
+import json
+
+from repro.common.config import PersistenceConfig
+from repro.common.types import server_address
+from repro.persistence.manager import PartitionDurability
+from repro.persistence.recovercli import main
+from repro.storage.version import Version
+
+
+def populate(tmp_path, address, uts=(1, 2, 3)):
+    config = PersistenceConfig(enabled=True, data_dir=str(tmp_path),
+                               fsync="always")
+    durability = PartitionDurability(tmp_path, address, config)
+    durability.recover()
+    for ut in uts:
+        durability.append_version(
+            Version(key=f"k{ut}", value=ut, sr=address.dc, ut=ut,
+                    dv=(0, 0))
+        )
+    durability.close()
+    return durability
+
+
+def test_reports_every_partition_and_exits_zero(tmp_path, capsys):
+    populate(tmp_path, server_address(0, 0))
+    populate(tmp_path, server_address(1, 1), uts=(4, 5))
+    assert main([str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "dc0-p0" in out and "dc1-p1" in out
+    assert "3 version(s) recoverable" in out
+
+
+def test_json_report_is_machine_readable(tmp_path, capsys):
+    populate(tmp_path, server_address(0, 0))
+    assert main([str(tmp_path), "--json"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["corrupt_partitions"] == 0
+    (entry,) = report["partitions"]
+    assert entry["recovered_versions"] == 3
+    assert entry["wal"]["records"] == 3
+
+
+def test_torn_tail_reported_and_repaired(tmp_path, capsys):
+    durability = populate(tmp_path, server_address(0, 0))
+    wal_path = durability.wal.path
+    wal_path.write_bytes(wal_path.read_bytes()[:-2])
+
+    assert main([str(tmp_path)]) == 0  # torn tail is not corruption
+    assert "torn tail" in capsys.readouterr().out
+    assert main([str(tmp_path), "--repair"]) == 0
+    capsys.readouterr()
+    assert main([str(tmp_path)]) == 0  # tail gone after repair
+    assert "torn tail" not in capsys.readouterr().out
+
+
+def test_corruption_exits_nonzero(tmp_path, capsys):
+    durability = populate(tmp_path, server_address(0, 0))
+    wal_path = durability.wal.path
+    payload = b"\x00garbage"
+    wal_path.write_bytes(wal_path.read_bytes()
+                         + len(payload).to_bytes(4, "big") + payload)
+    assert main([str(tmp_path)]) == 2
+    assert "CORRUPT" in capsys.readouterr().out
+
+
+def test_missing_or_empty_dir_is_an_error(tmp_path, capsys):
+    assert main([str(tmp_path / "nope")]) == 2
+    assert main([str(tmp_path)]) == 2

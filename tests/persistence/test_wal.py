@@ -1,0 +1,304 @@
+"""Unit tests for the WAL, snapshots and the partition recovery path."""
+
+import os
+
+import pytest
+
+from repro.common.config import PersistenceConfig
+from repro.common.types import server_address
+from repro.persistence.manager import (
+    PartitionDurability,
+    partition_dirname,
+    recover_directory,
+)
+from repro.persistence.snapshot import (
+    load_snapshot,
+    snapshot_path,
+    write_snapshot,
+)
+from repro.persistence.wal import (
+    WalError,
+    WriteAheadLog,
+    list_segments,
+    read_segment,
+    segment_name,
+)
+from repro.protocols.cops import CopsVersion
+from repro.protocols.messages import Dependency
+from repro.storage.version import Version
+
+
+def version(key="k", sr=0, ut=100, value=("c", 1), num_dcs=2):
+    return Version(key=key, value=value, sr=sr, ut=ut, dv=(0,) * num_dcs)
+
+
+def cops_version(key="k", sr=0, ut=100, visible=False):
+    return CopsVersion(key=key, value=("c", 1), sr=sr, ut=ut,
+                       deps=(Dependency(key="d", ut=5, sr=1),),
+                       num_dcs=2, visible=visible)
+
+
+# ----------------------------------------------------------------------
+# WAL segments
+# ----------------------------------------------------------------------
+def test_wal_appends_and_reads_back(tmp_path):
+    wal = WriteAheadLog(tmp_path, fsync="always")
+    originals = [version(key=f"k{i}", ut=10 + i) for i in range(5)]
+    for v in originals:
+        wal.append_version(v)
+    wal.close()
+
+    state = recover_directory(tmp_path)
+    assert state.had_state
+    assert state.wal_records == 5
+    assert sorted(v.key for v in state.versions) == sorted(
+        v.key for v in originals
+    )
+    # Versions round-trip exactly (value tuples included).
+    by_key = {v.key: v for v in state.versions}
+    for original in originals:
+        got = by_key[original.key]
+        assert (got.sr, got.ut, got.value, got.dv) == (
+            original.sr, original.ut, original.value, original.dv
+        )
+
+
+def test_wal_reopen_appends_to_the_last_segment(tmp_path):
+    wal = WriteAheadLog(tmp_path, fsync="always")
+    wal.append_version(version(ut=1))
+    wal.close()
+    wal = WriteAheadLog(tmp_path, fsync="always")
+    wal.append_version(version(ut=2))
+    wal.close()
+    assert len(list_segments(tmp_path)) == 1
+    assert recover_directory(tmp_path).wal_records == 2
+
+
+def test_wal_roll_starts_a_new_segment(tmp_path):
+    wal = WriteAheadLog(tmp_path, fsync="always")
+    wal.append_version(version(ut=1))
+    new_seq = wal.roll()
+    wal.append_version(version(ut=2))
+    wal.close()
+    segments = list_segments(tmp_path)
+    assert [seq for seq, _ in segments] == [new_seq - 1, new_seq]
+    assert recover_directory(tmp_path).wal_records == 2
+
+
+def test_torn_tail_is_truncated_not_fatal(tmp_path):
+    wal = WriteAheadLog(tmp_path, fsync="always")
+    wal.append_version(version(ut=1))
+    wal.append_version(version(ut=2))
+    path = wal.path
+    wal.close()
+    # Tear the final record: drop its last 3 bytes.
+    data = path.read_bytes()
+    path.write_bytes(data[:-3])
+
+    state = recover_directory(tmp_path)
+    assert state.wal_records == 1
+    assert state.torn_bytes_truncated > 0
+    assert [v.ut for v in state.versions] == [1]
+    # The truncation is physical: reopening appends after record 1.
+    wal = WriteAheadLog(tmp_path, fsync="always")
+    wal.append_version(version(ut=3))
+    wal.close()
+    assert sorted(v.ut for v in recover_directory(tmp_path).versions) \
+        == [1, 3]
+
+
+def test_torn_frame_in_a_non_final_segment_is_corruption(tmp_path):
+    wal = WriteAheadLog(tmp_path, fsync="always")
+    wal.append_version(version(ut=1))
+    first = wal.path
+    wal.roll()
+    wal.append_version(version(ut=2))
+    wal.close()
+    first.write_bytes(first.read_bytes()[:-2])
+    with pytest.raises(WalError):
+        recover_directory(tmp_path)
+
+
+def test_garbage_in_a_complete_frame_is_corruption(tmp_path):
+    wal = WriteAheadLog(tmp_path, fsync="always")
+    wal.append_version(version(ut=1))
+    path = wal.path
+    wal.close()
+    # A syntactically complete frame whose payload is garbage.
+    payload = b"\x00garbage-not-a-tree"
+    path.write_bytes(path.read_bytes()
+                     + len(payload).to_bytes(4, "big") + payload)
+    with pytest.raises(WalError):
+        recover_directory(tmp_path)
+
+
+def test_segment_header_mismatch_is_corruption(tmp_path):
+    wal = WriteAheadLog(tmp_path, fsync="always")
+    wal.append_version(version(ut=1))
+    path = wal.path
+    wal.close()
+    renamed = tmp_path / segment_name(7)
+    os.rename(path, renamed)
+    with pytest.raises(WalError):
+        recover_directory(tmp_path)
+
+
+def test_fsync_modes_all_persist_on_close(tmp_path):
+    for mode in ("always", "interval", "off"):
+        directory = tmp_path / mode
+        wal = WriteAheadLog(directory, fsync=mode, fsync_interval_s=999.0)
+        for i in range(3):
+            wal.append_version(version(ut=i + 1))
+        wal.close()
+        assert recover_directory(directory).wal_records == 3, mode
+
+
+# ----------------------------------------------------------------------
+# Snapshots
+# ----------------------------------------------------------------------
+def test_snapshot_round_trip(tmp_path):
+    versions = [version(key=f"k{i}", ut=i + 1) for i in range(4)]
+    write_snapshot(tmp_path, versions, vv=[9, 4], wal_seq=3, num_dcs=2)
+    loaded = load_snapshot(snapshot_path(tmp_path))
+    assert loaded.vv == [9, 4]
+    assert loaded.wal_seq == 3
+    assert loaded.num_dcs == 2
+    assert sorted(v.ut for v in loaded.versions) == [1, 2, 3, 4]
+
+
+def test_snapshot_footer_mismatch_is_corruption(tmp_path):
+    write_snapshot(tmp_path, [version()], vv=[1, 1], wal_seq=1, num_dcs=2)
+    path = snapshot_path(tmp_path)
+    from repro.runtime import codec
+    frames = []
+    decoder = codec.FrameDecoder()
+    frames = decoder.feed(path.read_bytes())
+    # Re-write without the footer.
+    path.write_bytes(b"".join(codec.encode_frame(f) for f in frames[:-1]))
+    with pytest.raises(WalError):
+        load_snapshot(path)
+
+
+# ----------------------------------------------------------------------
+# PartitionDurability: the combined recovery path
+# ----------------------------------------------------------------------
+def _durability(tmp_path, address, **overrides):
+    config = PersistenceConfig(enabled=True, data_dir=str(tmp_path),
+                               fsync="always", **overrides)
+    return PartitionDurability(tmp_path, address, config)
+
+
+def test_snapshot_plus_tail_replay_merges_by_identity(tmp_path):
+    address = server_address(0, 0)
+    dur = _durability(tmp_path, address)
+    dur.recover()
+    early = [version(key=f"k{i}", ut=i + 1) for i in range(3)]
+    for v in early:
+        dur.append_version(v)
+
+    class StoreStub:
+        def all_versions(self):
+            return iter(early)
+
+    dur.snapshot(StoreStub(), vv=[3, 0], num_dcs=2)
+    late = version(key="k9", ut=9)
+    dur.append_version(late)
+    dur.close()
+
+    # Old segments were truncated away; snapshot + tail reconstruct all.
+    directory = tmp_path / partition_dirname(address)
+    state = recover_directory(directory)
+    assert state.snapshot_versions == 3
+    assert state.wal_records == 1
+    assert sorted(v.ut for v in state.versions) == [1, 2, 3, 9]
+    assert state.vv == [3, 0]
+
+
+def test_wal_overlap_with_snapshot_does_not_duplicate(tmp_path):
+    """Crash between snapshot publish and segment deletion: the log tail
+    still carries records the snapshot covers — replay must merge."""
+    address = server_address(0, 1)
+    dur = _durability(tmp_path, address)
+    dur.recover()
+    v1 = version(key="a", ut=1)
+    dur.append_version(v1)
+
+    class StoreStub:
+        def all_versions(self):
+            return iter([v1])
+
+    dur.snapshot(StoreStub(), vv=[1, 0], num_dcs=2)
+    # Simulate the overlap: append the same identity again post-snapshot.
+    dur.append_version(v1)
+    dur.close()
+    state = recover_directory(tmp_path / partition_dirname(address))
+    assert len(state.versions) == 1
+
+
+def test_later_record_wins_for_cops_visibility_flip(tmp_path):
+    address = server_address(1, 0)
+    dur = _durability(tmp_path, address)
+    dur.recover()
+    hidden = cops_version(visible=False)
+    dur.append_version(hidden)
+    flipped = cops_version(visible=True)
+    dur.append_version(flipped)
+    dur.close()
+    state = recover_directory(tmp_path / partition_dirname(address))
+    assert len(state.versions) == 1
+    assert state.versions[0].visible is True
+    assert state.versions[0].deps == hidden.deps
+
+
+def test_fresh_directory_reports_no_state(tmp_path):
+    dur = _durability(tmp_path, server_address(0, 0))
+    state = dur.recover()
+    assert not state.had_state
+    assert not state.prior_boot
+    assert state.versions == []
+    dur.close()
+
+
+def test_header_only_segment_counts_as_prior_boot(tmp_path):
+    """A server killed before its first record became durable (fsync
+    interval/off) leaves only a header-only segment.  had_state stays
+    False (nothing to restore) but prior_boot must be True — it is the
+    replication-catch-up trigger, and that server served pre-crash
+    reads."""
+    address = server_address(0, 0)
+    dur = _durability(tmp_path, address)
+    dur.recover()
+    dur.close()  # only the segment header was ever written
+
+    again = _durability(tmp_path, address)
+    state = again.recover()
+    assert not state.had_state
+    assert state.prior_boot
+    again.close()
+
+
+def test_recover_twice_is_an_error(tmp_path):
+    dur = _durability(tmp_path, server_address(0, 0))
+    dur.recover()
+    with pytest.raises(WalError):
+        dur.recover()
+    dur.close()
+
+
+def test_append_after_close_is_dropped_not_fatal(tmp_path):
+    dur = _durability(tmp_path, server_address(0, 0))
+    dur.recover()
+    dur.close()
+    dur.append_version(version())  # shutdown race: must not raise
+
+
+def test_max_ut_by_source(tmp_path):
+    wal = WriteAheadLog(tmp_path, fsync="always")
+    wal.append_version(version(key="a", sr=0, ut=5))
+    wal.append_version(version(key="b", sr=1, ut=9))
+    wal.append_version(version(key="c", sr=0, ut=7))
+    wal.close()
+    state = recover_directory(tmp_path)
+    assert state.max_ut(0) == 7
+    assert state.max_ut(1) == 9
+    assert state.max_ut(2) == 0

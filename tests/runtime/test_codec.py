@@ -139,6 +139,14 @@ STRATEGIES: dict[str, st.SearchStrategy] = {
     "GcPush": st.builds(m.GcPush, vec=vectors,
                         partition=st.integers(0, 7)),
     "GcBroadcast": st.builds(m.GcBroadcast, gv=vectors),
+    "ReplSyncReq": st.builds(m.ReplSyncReq, vv=vectors,
+                             requester=addresses),
+    "ReplCatchup": st.builds(m.ReplCatchup,
+                             versions=st.lists(
+                                 st.one_of(versions, cops_versions),
+                                 max_size=3),
+                             src_dc=st.integers(0, 4),
+                             last=st.booleans()),
 }
 
 
@@ -232,6 +240,41 @@ def test_at_headed_client_values_round_trip_exactly(value):
     decoded = codec.loads(codec.dumps(msg))
     assert same(msg, decoded)
     assert type(decoded.value) is type(value)
+
+
+def test_decoder_reports_the_clean_boundary_of_a_torn_stream():
+    """An incomplete trailing frame is *not* corruption: the decoder
+    yields everything whole and points at the clean boundary — exactly
+    what WAL tail recovery truncates to."""
+    msgs = [m.Heartbeat(ts=i, src_dc=0) for i in range(3)]
+    stream = b"".join(codec.encode_frame(msg) for msg in msgs)
+    for cut in range(len(stream) + 1):
+        decoder = codec.FrameDecoder()
+        out = decoder.feed(stream[:cut])
+        # The boundary sits after the last whole frame that fits in cut.
+        whole = 0
+        offset = 0
+        for msg in msgs:
+            size = codec.encoded_size(msg)
+            if offset + size <= cut:
+                whole += 1
+                offset += size
+        assert len(out) == whole
+        assert decoder.consumed_bytes == offset
+        assert decoder.pending_bytes == cut - offset
+        assert decoder.consumed_bytes + decoder.pending_bytes == cut
+
+
+def test_decoder_corruption_leaves_boundary_before_the_bad_frame():
+    """A complete frame that does not decode is corruption; the clean
+    boundary must stop *before* it so callers can report the offset."""
+    good = codec.encode_frame(m.Heartbeat(ts=1, src_dc=0))
+    bad_payload = codec._pack(["@m", "NoSuchType", []])
+    bad = len(bad_payload).to_bytes(4, "big") + bad_payload
+    decoder = codec.FrameDecoder()
+    with pytest.raises(codec.CodecError):
+        decoder.feed(good + bad)
+    assert decoder.consumed_bytes == len(good)
 
 
 def test_unknown_type_and_corrupt_frames_are_rejected():

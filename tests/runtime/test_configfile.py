@@ -58,6 +58,33 @@ def test_unknown_keys_are_rejected_not_ignored():
         )
 
 
+def test_persistence_block_round_trips(tmp_path):
+    path = tmp_path / "cluster.json"
+    original = experiment_config_from_dict({
+        "cluster": {"num_dcs": 2, "num_partitions": 2},
+        "persistence": {"enabled": True, "data_dir": "/var/lib/repro",
+                        "fsync": "always", "snapshot_interval_s": 5.0},
+    })
+    assert original.persistence.enabled
+    assert original.persistence.fsync == "always"
+    save_experiment_config(original, str(path))
+    assert load_experiment_config(str(path)) == original
+    # Omitted block means disabled, with defaults.
+    assert not experiment_config_from_dict({}).persistence.enabled
+
+
+def test_persistence_block_is_validated():
+    with pytest.raises(ConfigError, match="unknown key"):
+        experiment_config_from_dict({"persistence": {"fsnc": "always"}})
+    with pytest.raises(ConfigError, match="fsync"):
+        experiment_config_from_dict(
+            {"persistence": {"enabled": True, "data_dir": "/d",
+                             "fsync": "sometimes"}}
+        )
+    with pytest.raises(ConfigError, match="data_dir"):
+        experiment_config_from_dict({"persistence": {"enabled": True}})
+
+
 def test_invalid_values_fail_validation(tmp_path):
     with pytest.raises(ConfigError):
         experiment_config_from_dict({"cluster": {"num_dcs": 1}})
