@@ -1,9 +1,12 @@
-"""The perf trajectory: one JSON snapshot of simulator performance per PR.
+"""The perf trajectory: one JSON snapshot of repo performance per PR.
 
 Runs the engine/network/storage/experiment micro-bench suite (the same
-workloads as ``bench_engine.py``) plus a reference figure-1a sweep and a
+workloads as ``bench_engine.py``), a reference figure-1a sweep and a
 reference replicate set — each executed serially (``parallelism=1``) and
-through the process-pool runner — and writes everything to a ``BENCH_*.json``
+through the process-pool runner — plus the live-backend legs: the
+closed-loop smoke, the *pipelined* open-loop leg (throughput + p50/p90/p99
+against the embedded BENCH_pr4 live baseline) and the WAL fsync-mode
+sweep under group commit.  Everything lands in one ``BENCH_*.json``
 file.  Future PRs append their own snapshot file; comparing snapshots is
 the perf trajectory.
 
@@ -57,6 +60,18 @@ PRE_CHANGE_BASELINE = {
     "network_msgs_per_s": 149802,
     "chain_scan_wall_s": 0.0388,
     "full_experiment_wall_s": 0.6729,
+}
+
+#: The committed BENCH_pr4 ``live_cluster`` leg (same machine class),
+#: recorded immediately before the PR-5 live fast path (transport
+#: batching, compiled codec, WAL group commit, open-loop generator).
+#: The pipelined live leg reports its throughput as a ratio over this.
+PR4_LIVE_BASELINE = {
+    "machine": "pr4-dev-container-1vcpu",
+    "throughput_ops_s": 1255.7,
+    "serializer": "json",
+    "arrival": "closed",
+    "note": "closed loop, 8 sessions x 5ms think time (capped ~1.6k offered)",
 }
 
 
@@ -125,6 +140,29 @@ def bench_full_experiment() -> dict:
             "total_ops": result.total_ops}
 
 
+def annotate_speedup(timings: dict, serial_s: float,
+                     parallel_s: float) -> None:
+    """Record the parallel speedup honestly for the host's core count.
+
+    On a single-core host a process pool cannot beat the serial path —
+    the ~0.98x "speedups" BENCH_pr4 recorded on 1 vCPU read as
+    regressions when they are just pool overhead.  The leg still runs
+    (it is the deadlock/divergence canary), but the speedup is reported
+    as null with a note instead of a misleading ratio.
+    """
+    cores = os.cpu_count() or 1
+    timings["cpu_count"] = cores
+    if cores < 2:
+        timings["speedup"] = None
+        timings["speedup_note"] = (
+            "single-core host: the pool cannot beat serial; this leg ran "
+            "as a divergence/deadlock canary only"
+        )
+    else:
+        timings["speedup"] = (round(serial_s / parallel_s, 2)
+                              if parallel_s else None)
+
+
 def bench_figure_sweep(scale: str, parallelism: int) -> tuple[dict, bool]:
     """Figure 1a serial vs parallel; returns (timings, diverged)."""
     started = time.perf_counter()
@@ -142,9 +180,9 @@ def bench_figure_sweep(scale: str, parallelism: int) -> tuple[dict, bool]:
         "serial_wall_s": round(serial_s, 3),
         "parallel_wall_s": round(parallel_s, 3),
         "parallelism": parallelism,
-        "speedup": round(serial_s / parallel_s, 2) if parallel_s else None,
         "diverged": diverged,
     }
+    annotate_speedup(timings, serial_s, parallel_s)
     return timings, diverged
 
 
@@ -168,10 +206,10 @@ def bench_replicates(num_seeds: int, parallelism: int) -> tuple[dict, bool]:
         "serial_wall_s": round(serial_s, 3),
         "parallel_wall_s": round(parallel_s, 3),
         "parallelism": parallelism,
-        "speedup": round(serial_s / parallel_s, 2) if parallel_s else None,
         "throughput_mean_ops_s": round(serial.mean("throughput_ops_s"), 2),
         "diverged": diverged,
     }
+    annotate_speedup(timings, serial_s, parallel_s)
     return timings, diverged
 
 
@@ -210,43 +248,114 @@ def bench_live_cluster(duration_s: float) -> tuple[dict, bool]:
         "violations": len(report.violations),
         "clean_shutdown": report.clean_shutdown,
         "serializer": report.serializer,
+        "batches_sent": report.batches_sent,
+        "batched_frames": report.batched_frames,
     }
     return stats, not report.passed
 
 
-def bench_fsync_modes(duration_s: float) -> tuple[dict, bool]:
-    """Durability overhead: live ops/s with fsync off/interval/always.
+def _latency_percentiles(report) -> dict:
+    """p50/p90/p99 (ms) per op kind from the driver-side histograms."""
+    out = {}
+    for kind, stats in sorted(report.latency.items()):
+        out[kind] = {
+            "count": stats["count"],
+            "p50_ms": round(stats["p50"] * 1000, 2),
+            "p90_ms": round(stats["p90"] * 1000, 2),
+            "p99_ms": round(stats["p99"] * 1000, 2),
+            "mean_ms": round(stats["mean"] * 1000, 2),
+        }
+    return out
 
-    PR 4's trajectory addition: the same smoke-shape POCC cluster as
-    :func:`bench_live_cluster`, but writing through the per-partition
-    WAL under each fsync policy.  The checker stays the canary; the
-    interesting number is the throughput ratio between ``off`` (pure
-    WAL-append cost) and ``always`` (an fsync on every acknowledgement).
-    """
-    import tempfile
 
+def _pipelined_config(duration_s: float, rate_ops_s: float,
+                      name: str, persistence=None):
     from repro.common.config import (
         ClusterConfig, ExperimentConfig, PersistenceConfig, WorkloadConfig,
     )
+
+    return ExperimentConfig(
+        cluster=ClusterConfig(num_dcs=2, num_partitions=2,
+                              keys_per_partition=100, protocol="pocc"),
+        workload=WorkloadConfig(kind="mixed", read_ratio=0.85, tx_ratio=0.1,
+                                tx_partitions=2, clients_per_partition=4,
+                                think_time_s=0.0, arrival="open",
+                                rate_ops_s=rate_ops_s),
+        warmup_s=0.4,
+        duration_s=duration_s,
+        seed=7,
+        verify=True,
+        name=name,
+        persistence=persistence or PersistenceConfig(),
+    )
+
+
+def bench_live_pipelined(duration_s: float,
+                         rate_ops_s: float = 300.0) -> tuple[dict, bool]:
+    """The pipelined (open-loop) live leg: throughput + p50/p90/p99.
+
+    PR 5's trajectory addition and the live acceptance gate: a 2-DC x
+    2-partition POCC cluster driven by 16 open-loop sessions at a
+    saturating offered rate (closed-loop legs cap at ``sessions /
+    think_time`` and measured the generator, not the backend).  Latency
+    percentiles come from the drivers' intended-arrival histograms, so
+    queueing under overload is *in* the tail, not omitted.  Reported as
+    a ratio over the committed BENCH_pr4 ``live_cluster`` number; checker
+    violations or an unclean shutdown fail the script.
+    """
+    from repro.runtime.cluster import run_live_experiment
+
+    config = _pipelined_config(duration_s, rate_ops_s, "perf-live-pipelined")
+    report = run_live_experiment(config)
+    sessions = (config.workload.clients_per_partition
+                * config.cluster.num_partitions * config.cluster.num_dcs)
+    stats = {
+        "protocol": report.protocol,
+        "arrival": report.arrival,
+        "sessions": sessions,
+        "offered_rate_ops_s": rate_ops_s * sessions,
+        "duration_s": round(report.duration_s, 3),
+        "total_ops": report.total_ops,
+        "throughput_ops_s": round(report.throughput_ops_s, 1),
+        "latency": _latency_percentiles(report),
+        "dropped_arrivals": report.dropped_arrivals,
+        "frames_delivered": report.messages_delivered,
+        "batches_sent": report.batches_sent,
+        "batched_frames": report.batched_frames,
+        "violations": len(report.violations),
+        "clean_shutdown": report.clean_shutdown,
+        "serializer": report.serializer,
+        "baseline_pr4_live": PR4_LIVE_BASELINE,
+        "vs_pr4_live_ratio": round(
+            report.throughput_ops_s / PR4_LIVE_BASELINE["throughput_ops_s"],
+            2),
+    }
+    return stats, not report.passed
+
+
+def bench_fsync_modes(duration_s: float,
+                      rate_ops_s: float = 300.0) -> tuple[dict, bool]:
+    """Durability overhead: live ops/s with fsync off/interval/always.
+
+    Since PR 5 this leg drives the *pipelined* open-loop workload at a
+    saturating rate (the PR-4 closed loop was generator-capped, so every
+    fsync mode measured the same ~1.2k ops/s and the 0.985 ratio said
+    nothing).  Under saturation the ratio between ``off`` (pure
+    WAL-append cost) and ``always`` (write+fsync before every
+    acknowledgement, group-committed per event-loop tick) is the real
+    price of full durability — the acceptance gate wants it within 25%.
+    """
+    import tempfile
+
+    from repro.common.config import PersistenceConfig
     from repro.runtime.cluster import run_live_experiment
 
     results: dict = {}
     failed = False
     for mode in ("off", "interval", "always"):
         with tempfile.TemporaryDirectory() as tmp:
-            config = ExperimentConfig(
-                cluster=ClusterConfig(num_dcs=2, num_partitions=2,
-                                      keys_per_partition=100,
-                                      protocol="pocc"),
-                workload=WorkloadConfig(kind="mixed", read_ratio=0.85,
-                                        tx_ratio=0.1, tx_partitions=2,
-                                        clients_per_partition=2,
-                                        think_time_s=0.005),
-                warmup_s=0.3,
-                duration_s=duration_s,
-                seed=7,
-                verify=True,
-                name=f"perf-fsync-{mode}",
+            config = _pipelined_config(
+                duration_s, rate_ops_s, f"perf-fsync-{mode}",
                 persistence=PersistenceConfig(
                     enabled=True, data_dir=tmp, fsync=mode,
                     snapshot_interval_s=2.0,
@@ -260,15 +369,30 @@ def bench_fsync_modes(duration_s: float) -> tuple[dict, bool]:
             wal_syncs = sum(
                 stats["wal_syncs"] for stats in report.persistence.values()
             )
+            group_commits = sum(
+                stats["wal_group_commits"]
+                for stats in report.persistence.values()
+            )
+            max_batch = max(
+                (stats["wal_max_batch_records"]
+                 for stats in report.persistence.values()),
+                default=0,
+            )
             results[mode] = {
                 "throughput_ops_s": round(report.throughput_ops_s, 1),
                 "total_ops": report.total_ops,
+                "latency": _latency_percentiles(report),
                 "wal_records_appended": wal_appends,
                 "wal_syncs": wal_syncs,
+                "wal_group_commits": group_commits,
+                "wal_max_batch_records": max_batch,
                 "violations": len(report.violations),
                 "clean_shutdown": report.clean_shutdown,
             }
             failed |= not report.passed
+    results["workload"] = (
+        f"open loop, 16 sessions x {rate_ops_s:g} ops/s offered"
+    )
     if results["off"]["throughput_ops_s"]:
         results["always_vs_off_ratio"] = round(
             results["always"]["throughput_ops_s"]
@@ -337,10 +461,15 @@ def main(argv: list[str] | None = None) -> int:
     print(f"[perf] live asyncio TCP cluster ({live_duration}s window)...",
           file=sys.stderr)
     live, live_failed = bench_live_cluster(live_duration)
+    print(f"[perf] pipelined open-loop live cluster ({live_duration}s "
+          f"window)...", file=sys.stderr)
+    pipelined, pipelined_failed = bench_live_pipelined(live_duration)
     fsync_duration = 1.2 if args.smoke else 3.0
     print(f"[perf] WAL fsync-mode overhead (off/interval/always, "
-          f"{fsync_duration}s each)...", file=sys.stderr)
+          f"open loop, {fsync_duration}s each)...", file=sys.stderr)
     fsync_modes, fsync_failed = bench_fsync_modes(fsync_duration)
+
+    from repro.runtime import codec
 
     baseline = PRE_CHANGE_BASELINE
     engine_ratio = engine["events_per_s"] / baseline["engine_events_per_s"]
@@ -352,6 +481,7 @@ def main(argv: list[str] | None = None) -> int:
             "python": sys.version.split()[0],
             "platform": sys.platform,
         },
+        "serializer": codec.SERIALIZER,
         "engine": engine,
         "network": network,
         "storage_chain_reads": chains,
@@ -359,6 +489,7 @@ def main(argv: list[str] | None = None) -> int:
         "figure_1a_sweep": sweep,
         "replicates": replicates,
         "live_cluster": live,
+        "live_pipelined": pipelined,
         "persistence_fsync_modes": fsync_modes,
         "baseline_pre_change": baseline,
         "engine_vs_pre_change_ratio": round(engine_ratio, 3),
@@ -376,6 +507,10 @@ def main(argv: list[str] | None = None) -> int:
         return 1
     if live_failed:
         print("[perf] FAIL: live cluster run violated the checker or "
+              "shut down uncleanly", file=sys.stderr)
+        return 1
+    if pipelined_failed:
+        print("[perf] FAIL: pipelined live run violated the checker or "
               "shut down uncleanly", file=sys.stderr)
         return 1
     if fsync_failed:

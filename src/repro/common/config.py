@@ -205,7 +205,22 @@ class ClusterConfig:
 
 @dataclass(frozen=True, slots=True)
 class WorkloadConfig:
-    """Closed-loop workload parameters (Sections V-B and V-C).
+    """Workload parameters (Sections V-B and V-C).
+
+    ``arrival`` selects the driver model:
+
+    * ``"closed"`` — the paper's closed loop: each session issues, waits
+      for the reply, thinks ``think_time_s``, repeats.  Throughput is
+      capped at ``sessions / think_time``.
+    * ``"open"`` — the pipelined load generator: each session *schedules*
+      arrivals at ``rate_ops_s`` regardless of completions.  The session
+      itself stays sequential (causal session guarantees are per-session,
+      so at most one operation is in flight per session); arrivals that
+      find it busy queue, and latency is measured from the **intended**
+      arrival time — queueing delay counts, so overload shows up in the
+      tail percentiles instead of being coordinated-omitted away.
+      Client concurrency is ``clients_per_partition`` (each client is an
+      independent session endpoint).
 
     ``kind`` is one of:
 
@@ -244,10 +259,22 @@ class WorkloadConfig:
     hotspot_ops: float = 0.9
     #: hotspot only: fraction of each partition's keys forming the hot set.
     hotspot_keys: float = 0.1
+    #: Driver model: "closed" (think-time loop) or "open" (target-rate
+    #: arrivals with queueing; see class docstring).
+    arrival: str = "closed"
+    #: open only: target arrivals per second *per session*.  The offered
+    #: load is ``rate_ops_s * clients_per_partition * partitions * dcs``.
+    rate_ops_s: float = 0.0
 
     def validate(self, cluster: ClusterConfig) -> None:
         if self.kind not in ("get_put", "ro_tx", "mixed"):
             raise ConfigError(f"unknown workload kind {self.kind!r}")
+        if self.arrival not in ("closed", "open"):
+            raise ConfigError(f"unknown arrival model {self.arrival!r}")
+        if self.arrival == "open" and self.rate_ops_s <= 0:
+            raise ConfigError("open-loop arrivals need rate_ops_s > 0")
+        if self.rate_ops_s < 0:
+            raise ConfigError("rate_ops_s must be >= 0")
         if self.kind == "get_put" and self.gets_per_put < 0:
             raise ConfigError("gets_per_put must be >= 0")
         if self.kind in ("ro_tx", "mixed") and not (

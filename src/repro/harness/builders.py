@@ -19,7 +19,7 @@ from repro.sim.latency import GeoLatencyModel
 from repro.sim.network import Network
 from repro.sim.rng import RngRegistry
 from repro.verification.checker import CausalChecker
-from repro.workload.driver import ClosedLoopClient
+from repro.workload.driver import ClosedLoopClient, make_driver
 from repro.workload.generators import make_workload
 
 
@@ -96,11 +96,14 @@ def build_cluster(config: ExperimentConfig) -> BuiltCluster:
                 workload = make_workload(
                     workload_cfg, pools, rng.stream(seeds.workload_stream(address))
                 )
-                driver = ClosedLoopClient(
+                # Closed loop by default; workload.arrival == "open"
+                # builds the target-rate open-loop driver (same on both
+                # backends — the drivers only use schedule/now).
+                driver = make_driver(
                     sim=sim,
                     client=client,
                     workload=workload,
-                    think_time_s=workload_cfg.think_time_s,
+                    workload_config=workload_cfg,
                     rng=rng.stream(seeds.driver_stream(address)),
                     checker=checker,
                 )

@@ -43,6 +43,8 @@ from repro.common.config import PersistenceConfig
 from repro.common.types import Address
 from repro.persistence import snapshot as snap
 from repro.persistence.wal import (
+    VERSION_TAG,
+    GroupCommit,
     WalError,
     WriteAheadLog,
     check_segment_header,
@@ -163,6 +165,7 @@ class PartitionDurability:
         self.directory = Path(root) / partition_dirname(address)
         self.directory.mkdir(parents=True, exist_ok=True)
         self._wal: WriteAheadLog | None = None
+        self._group: GroupCommit | None = None
         self.recovered: RecoveredState | None = None
         self.snapshots_written = 0
 
@@ -185,13 +188,41 @@ class PartitionDurability:
         )
         return self.recovered
 
+    def enable_group_commit(self, schedule) -> None:
+        """Coalesce same-tick appends into one write+fsync (live backend).
+
+        ``schedule`` is a run-this-callback-soon callable
+        (``loop.call_soon``); the live cluster attaches it after
+        :meth:`recover` and before the listeners start taking traffic.
+        """
+        if self._wal is None:
+            raise WalError(f"{self.directory}: group commit before recover()")
+        self._group = GroupCommit(self._wal, schedule)
+
     # ------------------------------------------------------------------
     # The durability effect (rt.persist)
     # ------------------------------------------------------------------
-    def append_version(self, version: Any) -> None:
+    def append_version(self, version: Any) -> int | None:
+        """Log one version; under deferred-sync group commit, return the
+        covering batch id (the caller must withhold the version's
+        acknowledgement until :meth:`notify_durable` reports that batch
+        synced).  ``None`` means no deferral is needed: either the sync
+        already happened (no group commit, or the record is already as
+        durable as per-record appends would have made it) or the fsync
+        policy never promised sync-before-ack (``interval``/``off``)."""
         if self._wal is None or self._wal.closed:
-            return  # shutting down (or never recovered): nothing to log to
-        self._wal.append_version(version)
+            return None  # shutting down (or never recovered): no log
+        group = self._group
+        if group is None:
+            self._wal.append_version(version)
+            return None
+        batch = group.append((VERSION_TAG, version))
+        return batch if self.config.fsync == "always" else None
+
+    def notify_durable(self, callback) -> None:
+        """Run ``callback(batch_id)`` after the open batch's fsync."""
+        if self._group is not None:
+            self._group.notify_durable(callback)
 
     # ------------------------------------------------------------------
     # Snapshots
@@ -206,6 +237,10 @@ class PartitionDurability:
         """
         if self._wal is None:
             raise WalError(f"{self.directory}: snapshot before recover()")
+        if self._group is not None:
+            # Pending batch records belong to the segment being retired;
+            # commit them (and release their held acks) before rolling.
+            self._group.commit()
         new_seq = self._wal.roll()
         count = snap.write_snapshot(
             self.directory, store.all_versions(), vv,
@@ -222,10 +257,14 @@ class PartitionDurability:
     # ------------------------------------------------------------------
     def flush(self) -> None:
         """Force every appended record onto stable storage."""
+        if self._group is not None:
+            self._group.commit()
         if self._wal is not None:
             self._wal.flush()
 
     def close(self) -> None:
+        if self._group is not None:
+            self._group.commit()
         if self._wal is not None:
             self._wal.close()
 

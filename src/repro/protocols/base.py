@@ -247,7 +247,11 @@ class CausalServer(ProtocolCore):
         self.store.insert(version)
         # Durability before acknowledgement: the caller replies to the
         # client only after this returns, and the fan-out below is what
-        # makes the version observable remotely — both must trail the log.
+        # makes the version observable remotely — both must trail the
+        # log.  Under the live backend's group commit the log *sync* is
+        # deferred to the end of the tick, and the runtime holds this
+        # fan-out (and the caller's reply) until the batched fsync
+        # completes, so the ordering holds on the wire, not just here.
         self.rt.persist(version)
         self.send_fanout(self._peer_replicas, m.Replicate(version=version))
         return version

@@ -135,12 +135,19 @@ class ProtocolRuntime(Protocol):
         """The *durability* effect: log one version to stable storage.
 
         Protocol cores emit this for every version they install — locally
-        created and replicated alike — *before* acknowledging it to
-        anyone.  The live adapter appends the version to the partition's
-        write-ahead log (:mod:`repro.persistence`), synchronously under
-        ``fsync: always``; the simulation adapter maps it to a no-op (the
-        deterministic engine models no disks), so per-seed simulated
-        reports stay byte-identical whether or not durability exists.
+        created and replicated alike — *before* emitting the sends that
+        acknowledge or propagate it.  The contract the cores rely on is
+        **no acknowledgement becomes observable before the version is as
+        durable as the fsync policy promises** — not that the disk write
+        completes inside this call.  The live adapter exploits that
+        freedom: under WAL group commit (``fsync: always``) the record is
+        buffered, the fsync happens once per event-loop tick for the
+        whole batch, and every frame this endpoint sent after the persist
+        is *held* and released only by the post-sync callback
+        (:class:`repro.runtime.transport.LiveRuntime`).  The simulation
+        adapter maps the effect to a no-op (the deterministic engine
+        models no disks), so per-seed simulated reports stay
+        byte-identical whether or not durability exists.
         """
         ...
 

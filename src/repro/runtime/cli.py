@@ -11,9 +11,25 @@ from __future__ import annotations
 import argparse
 import dataclasses
 
+import sys
+
 from repro.common.config import ExperimentConfig
 from repro.protocols.registry import list_protocols
+from repro.runtime import codec
 from repro.runtime.configfile import load_experiment_config
+
+
+def warn_slow_serializer() -> None:
+    """Print the slow-serializer startup warning (once, to stderr).
+
+    ``repro-serve`` and ``repro-bench-live`` call this at startup so a
+    deployment that silently fell back to JSON frames (msgpack absent) is
+    visible in its logs — BENCH_pr4 was measured on the fallback without
+    anything saying so.
+    """
+    note = codec.serializer_note()
+    if note is not None:
+        print(f"warning: {note}", file=sys.stderr)
 
 
 def add_deployment_args(parser: argparse.ArgumentParser) -> None:
@@ -34,6 +50,13 @@ def add_deployment_args(parser: argparse.ArgumentParser) -> None:
                         help="keys per partition override")
     parser.add_argument("--think-time", type=float, metavar="S",
                         help="client think time override (seconds)")
+    parser.add_argument("--arrival", choices=("closed", "open"),
+                        help="driver model override: 'closed' (think-time "
+                             "loop) or 'open' (target-rate arrivals; "
+                             "latency measured from intended arrival)")
+    parser.add_argument("--rate", type=float, metavar="OPS",
+                        help="open loop: target arrivals per second per "
+                             "client session (implies --arrival open)")
     parser.add_argument("--seed", type=int, help="workload seed override")
     parser.add_argument("--host", default="127.0.0.1",
                         help="bind/dial host (default: 127.0.0.1)")
@@ -79,6 +102,12 @@ def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         workload_overrides["clients_per_partition"] = args.clients
     if args.think_time is not None:
         workload_overrides["think_time_s"] = args.think_time
+    if args.rate is not None:
+        workload_overrides["rate_ops_s"] = args.rate
+        if args.arrival is None:
+            workload_overrides["arrival"] = "open"
+    if args.arrival is not None:
+        workload_overrides["arrival"] = args.arrival
     if workload_overrides:
         workload = dataclasses.replace(workload, **workload_overrides)
     persistence = config.persistence

@@ -30,9 +30,10 @@ from repro.metrics.collectors import MetricsRegistry
 from repro.protocols.registry import client_class, server_class
 from repro.runtime import codec
 from repro.runtime.transport import AddressBook, LiveHub, LiveRuntime
+from repro.metrics.histogram import LogHistogram
 from repro.sim.rng import RngRegistry
 from repro.verification.checker import CausalChecker
-from repro.workload.driver import ClosedLoopClient
+from repro.workload.driver import DriverBase, make_driver
 from repro.workload.generators import make_workload
 
 #: How long quiescing waits for in-flight operations after drivers stop.
@@ -58,6 +59,19 @@ class LiveReport:
     messages_delivered: int
     bytes_sent: int
     clean_shutdown: bool
+    #: Driver model the run used ("closed" or "open").
+    arrival: str = "closed"
+    #: Driver-side latency percentiles per op kind (plus "all"), measured
+    #: from the *intended* arrival (open loop: queueing delay included):
+    #: ``{"get": {"count", "mean", "p50", "p90", "p99", "max"}, …}``.
+    latency: dict = field(default_factory=dict)
+    #: Open loop only: arrivals discarded at the drivers' backlog cap
+    #: (nonzero means the offered rate was far beyond capacity).
+    dropped_arrivals: int = 0
+    #: Socket writes the transport issued (>= 1 frame each) and how many
+    #: frames shared a write with others — the coalescing factor.
+    batches_sent: int = 0
+    batched_frames: int = 0
     errors: list[str] = field(default_factory=list)
     #: Per-partition durability counters (empty when persistence is off):
     #: ``"dcD-pP" -> {recovered_versions, wal_records_appended, …}``.
@@ -74,7 +88,7 @@ class LiveReport:
         lines = [
             f"live cluster [{self.protocol}] "
             f"{self.num_dcs} DCs x {self.num_partitions} partitions "
-            f"({self.serializer} frames): {verdict}",
+            f"({self.serializer} frames, {self.arrival} loop): {verdict}",
             f"  throughput      : {self.throughput_ops_s:,.0f} ops/s "
             f"({self.total_ops} ops in {self.duration_s:.2f}s)",
             f"  verification    : {self.verification['violations']} "
@@ -83,10 +97,24 @@ class LiveReport:
             f"({self.history_events} history events)",
             f"  transport       : {self.messages_sent:,} frames sent, "
             f"{self.messages_delivered:,} delivered, "
-            f"{self.bytes_sent:,} bytes",
+            f"{self.bytes_sent:,} bytes, "
+            f"{self.batches_sent:,} writes "
+            f"({self.batched_frames:,} frames coalesced)",
             f"  shutdown        : "
             f"{'clean' if self.clean_shutdown else 'NOT clean'}",
         ]
+        for kind in sorted(self.latency):
+            stats = self.latency[kind]
+            lines.append(
+                f"  latency [{kind:>5}] : "
+                f"p50 {stats['p50'] * 1000:.2f}ms  "
+                f"p90 {stats['p90'] * 1000:.2f}ms  "
+                f"p99 {stats['p99'] * 1000:.2f}ms  "
+                f"({stats['count']} ops)"
+            )
+        if self.dropped_arrivals:
+            lines.append(f"  dropped arrivals: {self.dropped_arrivals} "
+                         f"(offered rate beyond backlog cap)")
         for violation in self.violations[:5]:
             lines.append(f"    violation: {violation}")
         for error in self.errors[:5]:
@@ -131,7 +159,7 @@ class LiveCluster:
         self.hub = LiveHub(self.book)
         self.servers: dict[Address, Any] = {}
         self.clients: list[Any] = []
-        self.drivers: list[ClosedLoopClient] = []
+        self.drivers: list[DriverBase] = []
         #: Durability managers of the hosted servers (persistence on);
         #: values are :class:`repro.persistence.manager.
         #: PartitionDurability` (imported lazily: persistence depends on
@@ -213,11 +241,11 @@ class LiveCluster:
                         workload_cfg, self.pools,
                         self.rng.stream(seeds.workload_stream(address)),
                     )
-                    driver = ClosedLoopClient(
+                    driver = make_driver(
                         sim=runtime,
                         client=client,
                         workload=workload,
-                        think_time_s=workload_cfg.think_time_s,
+                        workload_config=workload_cfg,
                         rng=self.rng.stream(seeds.driver_stream(address)),
                         checker=self.checker,
                     )
@@ -232,6 +260,10 @@ class LiveCluster:
         if not self._built:
             self._build()
             self._built = True
+        # Group commit needs the running loop; arm it before any traffic
+        # (catch-up replication below already appends through it).
+        for durability in self.durability.values():
+            durability.enable_group_commit(self.hub.loop.call_soon)
         await self.hub.start()
         # Catch-up only once the listeners are bound: the peers' replies
         # (and their reconnecting replication channels) need somewhere
@@ -295,12 +327,20 @@ class LiveCluster:
             driver.start(stagger_s=stagger)
         await asyncio.sleep(self.config.warmup_s)
         self.metrics.arm(self.hub.now)
+        # Latency histograms restart with the window: warmup ramp-up ops
+        # must not dilute the reported percentiles (completions after
+        # the window keep recording — they are the window's own tail).
+        for driver in self.drivers:
+            driver.reset_latency()
         await asyncio.sleep(self.config.duration_s)
         self.metrics.disarm(self.hub.now)
         for driver in self.drivers:
             driver.stop()
         clean = await self._quiesce()
         clean = self.flush_persistence() and clean
+        # A final flush can release acknowledgements held behind the last
+        # group-commit sync; drain once more so they reach the wire.
+        await self.hub.drain()
         report = self._report(clean and self.hub.clean)
         await self.hub.close()
         self.close_persistence()
@@ -352,8 +392,15 @@ class LiveCluster:
                 "wal_bytes_appended": (wal.stats.bytes_appended
                                        if wal else 0),
                 "wal_syncs": wal.stats.syncs if wal else 0,
+                "wal_group_commits": (wal.stats.group_commits
+                                      if wal else 0),
+                "wal_max_batch_records": (wal.stats.max_batch_records
+                                          if wal else 0),
                 "snapshots_written": durability.snapshots_written,
             }
+        latency = self._merged_latency()
+        dropped = sum(getattr(d, "dropped_arrivals", 0)
+                      for d in self.drivers)
         stats = self.hub.stats
         return LiveReport(
             protocol=self.config.cluster.protocol,
@@ -374,9 +421,45 @@ class LiveCluster:
             messages_delivered=stats.messages_delivered,
             bytes_sent=stats.bytes_sent,
             clean_shutdown=clean,
+            arrival=self.config.workload.arrival,
+            latency=latency,
+            dropped_arrivals=dropped,
+            batches_sent=stats.batches_sent,
+            batched_frames=stats.batched_frames,
             errors=list(self.hub.errors),
             persistence=persistence_stats,
         )
+
+    def _merged_latency(self) -> dict[str, dict[str, float]]:
+        """Fold every driver's per-kind histograms into p50/p90/p99.
+
+        Driver histograms measure from the *intended* arrival, so under
+        the open loop these percentiles include queueing delay — the
+        number a latency-vs-throughput comparison must report.
+        """
+        merged: dict[str, LogHistogram] = {}
+        for driver in self.drivers:
+            for kind, hist in driver.latency.items():
+                into = merged.get(kind)
+                if into is None:
+                    merged[kind] = into = LogHistogram()
+                into.merge(hist)
+        overall = LogHistogram()
+        for hist in merged.values():
+            overall.merge(hist)
+        if overall.count:
+            merged["all"] = overall
+        return {
+            kind: {
+                "count": hist.count,
+                "mean": hist.mean,
+                "p50": hist.percentile(50),
+                "p90": hist.percentile(90),
+                "p99": hist.percentile(99),
+                "max": hist.max_seen,
+            }
+            for kind, hist in merged.items()
+        }
 
 
 def run_live_experiment(

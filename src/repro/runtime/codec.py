@@ -5,7 +5,8 @@ payload is msgpack when the ``msgpack`` package is importable and compact
 JSON otherwise — both encode the same tagged tree, so the choice only
 affects bytes on the wire, never round-trip fidelity.  Every endpoint of
 one deployment must use the same serializer (they share this module, so
-they do).
+they do); install the ``fast`` extra (``pip install occ-repro[fast]``) to
+get msgpack.
 
 Encoding is driven by the dataclass registry built from
 :mod:`repro.protocols.messages`: a message becomes
@@ -31,6 +32,27 @@ Scalars (``None``, ``bool``, ``int``, ``float``, ``str``) pass through
 untouched; plain lists stay plain lists (escaped with ``@l`` only when
 their head collides with the tag space).  Values stored by clients must
 be built from these shapes (the workload generators' values are).
+
+Two implementations produce that tree:
+
+* the **reference tree codec** (:func:`dumps_reference` /
+  :func:`loads_reference`) — the recursive type-dispatching walk above,
+  kept as the executable specification;
+* the **compiled codec** (:func:`dumps` / :func:`loads`) — one
+  exec-generated encoder/decoder per registered message dataclass, with
+  the field list resolved at import time and per-field fast paths chosen
+  from the declared field types (int vectors pass through, addresses
+  inline, nested messages dispatch straight to their own compiled
+  codec).  Field values that do not match their declaration fall back to
+  the tree walk, so the two implementations produce **byte-identical
+  frames** for every encodable message — pinned property-based by
+  ``tests/runtime/test_codec.py``.
+
+:func:`encode_frame` memoizes the last frame it built (keyed by message
+*identity*), so sizing a message and then sending it — or fanning one
+payload out to many peers — serializes it exactly once.  The memo relies
+on messages being immutable once handed to the transport, which every
+protocol core honors.
 
 ``size_bytes()`` note: messages model their size as a *compact binary*
 encoding of the paper's setup (8-byte keys/values/timestamps).  The live
@@ -72,6 +94,22 @@ except ImportError:
 
     SERIALIZER = "json"
 
+
+def serializer_note() -> str | None:
+    """A human-readable warning when frames run on the slow fallback.
+
+    The live CLIs print this at startup so a deployment that silently
+    fell back to JSON (msgpack absent) is visible in its logs, and the
+    BENCH snapshots record :data:`SERIALIZER` so the trajectory knows
+    which serializer each number was measured under.
+    """
+    if SERIALIZER == "json":
+        return ("msgpack is not installed: wire frames fall back to JSON "
+                "(slower, larger); install the 'fast' extra "
+                "(pip install 'occ-repro[fast]')")
+    return None
+
+
 _LEN = struct.Struct(">I")
 
 #: Hard cap on one frame; anything larger is a corrupt length prefix.
@@ -103,7 +141,7 @@ class CodecError(ReproError):
 
 
 # ----------------------------------------------------------------------
-# Tree encoding
+# Tree encoding (the reference implementation)
 # ----------------------------------------------------------------------
 def _encode_value(value: Any) -> Any:
     if value is None or isinstance(value, (bool, int, float, str)):
@@ -181,10 +219,271 @@ def _decode_value(tree: Any) -> Any:
 
 
 # ----------------------------------------------------------------------
+# Compiled per-dataclass codecs
+#
+# Every helper below is *total*: when a field value does not look like
+# its declaration promised, it falls back to the reference walk on the
+# whole value, so compiled output can never diverge from the tree codec
+# on anything the tree codec accepts.
+# ----------------------------------------------------------------------
+def _enc_ivec(value: Any) -> Any:
+    # list[Micros]: a plain list of ints passes through the tree codec
+    # untouched (an int head can never collide with the tag space).
+    if type(value) is list:
+        for item in value:
+            if type(item) is not int:
+                return _encode_value(value)
+        return value
+    return _encode_value(value)
+
+
+def _enc_ituple(value: Any) -> Any:
+    if type(value) is tuple:
+        for item in value:
+            if type(item) is not int:
+                return _encode_value(value)
+        return ["@t", *value]
+    return _encode_value(value)
+
+
+def _enc_stuple(value: Any) -> Any:
+    if type(value) is tuple:
+        for item in value:
+            if type(item) is not str:
+                return _encode_value(value)
+        return ["@t", *value]
+    return _encode_value(value)
+
+
+def _enc_address(value: Any) -> Any:
+    if type(value) is Address:
+        return ["@a", value.dc, value.partition, value.kind.value,
+                value.index]
+    return _encode_value(value)
+
+
+def _enc_message(value: Any) -> Any:
+    enc = _ENCODERS.get(type(value))
+    return enc(value) if enc is not None else _encode_value(value)
+
+
+def _enc_version(value: Any) -> Any:
+    if isinstance(value, Version):
+        deps = getattr(value, "deps", None)
+        if deps is not None:
+            return ["@cv", value.key, _encode_value(value.value), value.sr,
+                    value.ut, len(value.dv),
+                    [_enc_message(dep) for dep in deps],
+                    bool(value.visible)]
+        return ["@v", value.key, _encode_value(value.value), value.sr,
+                value.ut, [int(x) for x in value.dv],
+                bool(value.optimistic)]
+    return _encode_value(value)
+
+
+def _enc_msglist(value: Any) -> Any:
+    if type(value) is list:
+        out = []
+        for item in value:
+            enc = _ENCODERS.get(type(item))
+            if enc is None:
+                return _encode_value(value)
+            out.append(enc(item))
+        return out
+    return _encode_value(value)
+
+
+def _enc_version_list(value: Any) -> Any:
+    if type(value) is list:
+        out = []
+        for item in value:
+            if isinstance(item, Version):
+                out.append(_enc_version(item))
+            else:
+                return _encode_value(value)
+        return out
+    return _encode_value(value)
+
+
+def _enc_dep_tuple(value: Any) -> Any:
+    if type(value) is tuple:
+        out: list[Any] = ["@t"]
+        for item in value:
+            enc = _ENCODERS.get(type(item))
+            if enc is None:
+                return _encode_value(value)
+            out.append(enc(item))
+        return out
+    return _encode_value(value)
+
+
+def _dec_ivec(tree: Any) -> Any:
+    if type(tree) is list:
+        for item in tree:
+            if type(item) is not int:
+                return _decode_value(tree)
+        return tree
+    return _decode_value(tree)
+
+
+def _dec_ituple(tree: Any) -> Any:
+    if type(tree) is list and tree and tree[0] == "@t":
+        items = tree[1:]
+        for item in items:
+            if type(item) is not int:
+                return _decode_value(tree)
+        return tuple(items)
+    return _decode_value(tree)
+
+
+def _dec_stuple(tree: Any) -> Any:
+    if type(tree) is list and tree and tree[0] == "@t":
+        items = tree[1:]
+        for item in items:
+            if type(item) is not str:
+                return _decode_value(tree)
+        return tuple(items)
+    return _decode_value(tree)
+
+
+def _dec_address(tree: Any) -> Any:
+    if type(tree) is list and len(tree) == 5 and tree[0] == "@a":
+        return Address(dc=tree[1], partition=tree[2],
+                       kind=NodeKind(tree[3]), index=tree[4])
+    return _decode_value(tree)
+
+
+def _dec_message(tree: Any) -> Any:
+    if type(tree) is list and len(tree) == 3 and tree[0] == "@m":
+        dec = _DECODERS.get(tree[1])
+        if dec is not None:
+            return dec(tree[2])
+    return _decode_value(tree)
+
+
+def _dec_version(tree: Any) -> Any:
+    if type(tree) is list and tree:
+        tag = tree[0]
+        if tag == "@v" and len(tree) == 7:
+            return Version(key=tree[1], value=_decode_value(tree[2]),
+                           sr=tree[3], ut=tree[4], dv=tuple(tree[5]),
+                           optimistic=tree[6])
+        if tag == "@cv" and len(tree) == 8:
+            from repro.protocols.cops import CopsVersion
+            return CopsVersion(key=tree[1], value=_decode_value(tree[2]),
+                               sr=tree[3], ut=tree[4], num_dcs=tree[5],
+                               deps=[_dec_message(dep) for dep in tree[6]],
+                               visible=tree[7])
+    return _decode_value(tree)
+
+
+def _headed_by_tag(tree: list) -> bool:
+    return bool(tree) and type(tree[0]) is str and tree[0].startswith("@")
+
+
+def _dec_msglist(tree: Any) -> Any:
+    if type(tree) is list and not _headed_by_tag(tree):
+        return [_dec_message(item) for item in tree]
+    return _decode_value(tree)
+
+
+def _dec_version_list(tree: Any) -> Any:
+    if type(tree) is list and not _headed_by_tag(tree):
+        return [_dec_version(item) for item in tree]
+    return _decode_value(tree)
+
+
+def _dec_dep_tuple(tree: Any) -> Any:
+    if type(tree) is list and tree and tree[0] == "@t":
+        return tuple(_dec_message(item) for item in tree[1:])
+    return _decode_value(tree)
+
+
+#: Declared field type -> (field encoder, field decoder).  ``None`` means
+#: the value passes through untouched in both directions (scalars).  Any
+#: annotation not listed here takes the full reference walk.
+_FIELD_CODECS: dict[str, tuple[Any, Any] | None] = {
+    "str": None,
+    "int": None,
+    "bool": None,
+    "float": None,
+    "Micros": None,
+    "ReplicaId": None,
+    "Address": (_enc_address, _dec_address),
+    "Version": (_enc_version, _dec_version),
+    "list[Micros]": (_enc_ivec, _dec_ivec),
+    "tuple[Micros, ...]": (_enc_ituple, _dec_ituple),
+    "tuple[str, ...]": (_enc_stuple, _dec_stuple),
+    "list[GetReply]": (_enc_msglist, _dec_msglist),
+    "list[Version]": (_enc_version_list, _dec_version_list),
+    "tuple[Dependency, ...]": (_enc_dep_tuple, _dec_dep_tuple),
+}
+
+
+def _compile_codecs() -> tuple[dict[type, Any], dict[str, Any]]:
+    """Build one encoder and one decoder function per message dataclass.
+
+    The generated source inlines the field list positionally — no
+    ``getattr`` loop, no keyword-dict construction — and binds each
+    non-scalar field to its fast-path helper.  Example (``GetReq``)::
+
+        def _enc(m):
+            return ["@m", "GetReq",
+                    [m.key, _e1(m.rdv), _e2(m.client), m.op_id,
+                     m.pessimistic]]
+        def _dec(v):
+            if len(v) != 5: raise CodecError(...)
+            return _cls(v[0], _d1(v[1]), _d2(v[2]), v[3], v[4])
+    """
+    encoders: dict[type, Any] = {}
+    decoders: dict[str, Any] = {}
+    for name, cls in MESSAGE_TYPES.items():
+        fields = dataclasses.fields(cls)
+        ns: dict[str, Any] = {"_cls": cls, "CodecError": CodecError,
+                              "_ev": _encode_value, "_dv": _decode_value}
+        enc_parts, dec_parts = [], []
+        for i, f in enumerate(fields):
+            pair = _FIELD_CODECS.get(f.type, (_encode_value, _decode_value))
+            if pair is None:  # declared scalar: passes through untouched
+                enc_parts.append(f"m.{f.name}")
+                dec_parts.append(f"v[{i}]")
+            else:
+                ns[f"_e{i}"], ns[f"_d{i}"] = pair
+                enc_parts.append(f"_e{i}(m.{f.name})")
+                dec_parts.append(f"_d{i}(v[{i}])")
+        count = len(fields)
+        src = (
+            f"def _enc(m):\n"
+            f"    return ['@m', {name!r}, [{', '.join(enc_parts)}]]\n"
+            f"def _dec(v):\n"
+            f"    if len(v) != {count}:\n"
+            f"        raise CodecError(\n"
+            f"            '{name}: expected {count} fields, got %d'\n"
+            f"            % len(v))\n"
+            f"    return _cls({', '.join(dec_parts)})\n"
+        )
+        exec(src, ns)  # noqa: S102 - source is assembled from literals
+        encoders[cls] = ns["_enc"]
+        decoders[name] = ns["_dec"]
+    return encoders, decoders
+
+
+_ENCODERS, _DECODERS = _compile_codecs()
+
+
+def compiled_message_types() -> set[str]:
+    """Names of the message types with a compiled encoder+decoder."""
+    return set(_DECODERS)
+
+
+# ----------------------------------------------------------------------
 # Payload API (no length prefix)
 # ----------------------------------------------------------------------
 def dumps(msg: Any) -> bytes:
-    """Serialize one message to its payload bytes."""
+    """Serialize one message to its payload bytes (compiled fast path)."""
+    enc = _ENCODERS.get(type(msg))
+    if enc is not None:
+        return _pack(enc(msg))
     return _pack(_encode_value(msg))
 
 
@@ -196,27 +495,71 @@ def loads(payload: bytes) -> Any:
         # The serializer's own failure modes (msgpack unpack errors,
         # json decode errors) are stream corruption to every caller.
         raise CodecError(f"undecodable payload: {exc}") from exc
+    return _dec_message(tree)
+
+
+def dumps_reference(msg: Any) -> bytes:
+    """The reference tree walk, bypassing every compiled codec.
+
+    The executable specification the compiled encoders are pinned
+    byte-identical to (``tests/runtime/test_codec.py``).
+    """
+    return _pack(_encode_value(msg))
+
+
+def loads_reference(payload: bytes) -> Any:
+    """The reference tree decode, bypassing every compiled codec."""
+    try:
+        tree = _unpack(payload)
+    except Exception as exc:
+        raise CodecError(f"undecodable payload: {exc}") from exc
     return _decode_value(tree)
 
 
 # ----------------------------------------------------------------------
-# Frame API (length-prefixed, what the TCP transport ships)
+# Frame API (length-prefixed, what the TCP transport and the WAL ship)
 # ----------------------------------------------------------------------
+#: One-slot frame memo: the last (message, frame) pair built.  Keyed by
+#: object identity — the strong reference keeps ``is`` checks safe — so
+#: ``encoded_size(msg)`` followed by ``encode_frame(msg)``, or one
+#: payload fanned out to many destinations, serializes exactly once.
+#: Relies on messages being immutable once handed over (they are; the
+#: one mutable payload, COPS*'s ``visible`` flag, is always re-wrapped
+#: in a fresh record tuple before re-encoding).
+_FRAME_MEMO: tuple[Any, bytes] | None = None
+
+
 def encode_frame(msg: Any) -> bytes:
     """One wire frame: 4-byte big-endian payload length + payload."""
+    global _FRAME_MEMO
+    memo = _FRAME_MEMO
+    if memo is not None and memo[0] is msg:
+        return memo[1]
     payload = dumps(msg)
     if len(payload) > MAX_FRAME_BYTES:
         raise CodecError(f"frame of {len(payload)} bytes exceeds the cap")
-    return _LEN.pack(len(payload)) + payload
+    frame = _LEN.pack(len(payload)) + payload
+    _FRAME_MEMO = (msg, frame)
+    return frame
 
 
 def encoded_size(msg: Any) -> int:
-    """Total frame bytes :func:`encode_frame` would produce."""
-    return _LEN.size + len(dumps(msg))
+    """Total frame bytes :func:`encode_frame` would produce.
+
+    Shares :func:`encode_frame`'s memo: sizing a message primes the
+    cache, so the send that follows does not serialize it again.
+    """
+    return len(encode_frame(msg))
 
 
 class FrameDecoder:
     """Incremental frame parser for a TCP byte stream or a WAL file.
+
+    Agnostic to transport batching: a sender may coalesce many frames
+    into one ``write`` (see :mod:`repro.runtime.transport`), but the
+    stream is still just concatenated length-prefixed frames, and
+    :meth:`feed` returns every message a chunk completes regardless of
+    how the bytes were grouped on the way in.
 
     Two failure shapes are kept apart, because their meanings differ:
 

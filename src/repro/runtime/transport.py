@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import asyncio
 import time
+from collections import deque
 from typing import Any, Iterable
 
 from repro.common.errors import ReproError
@@ -39,6 +40,15 @@ from repro.runtime import codec
 #: a transport error (covers peers that boot later than their callers).
 CONNECT_RETRIES = 40
 CONNECT_RETRY_DELAY_S = 0.25
+
+#: Per-channel write coalescing cap: a sender gathers every frame queued
+#: for its destination — everything posted during the event-loop ticks it
+#: spent waiting or writing — into one ``write`` of at most this many
+#: bytes.  The cap bounds both the joined allocation and how long one
+#: destination can monopolize the loop; frames beyond it simply start the
+#: next batch.  Framing on the wire is unchanged (concatenated
+#: length-prefixed frames), so receivers need no batching awareness.
+MAX_BATCH_BYTES = 256 * 1024
 
 #: The live backend's time origin: 2026-01-01T00:00:00Z as Unix seconds.
 #: ``now`` is measured from this *shared* wall-clock epoch — not from
@@ -151,7 +161,8 @@ class LiveStats:
 
     __slots__ = ("messages_sent", "messages_delivered", "bytes_sent",
                  "decode_errors", "messages_dropped", "reconnects",
-                 "truncated_streams")
+                 "truncated_streams", "batches_sent", "batched_frames",
+                 "max_batch_frames")
 
     def __init__(self) -> None:
         self.messages_sent = 0
@@ -168,6 +179,12 @@ class LiveStats:
         #: frames' bytes).  Distinguished from decode_errors: a torn tail
         #: is an abrupt disconnect, not stream corruption.
         self.truncated_streams = 0
+        #: Socket writes issued by senders (each carries >= 1 frame);
+        #: ``messages_sent / batches_sent`` is the mean coalescing factor.
+        self.batches_sent = 0
+        #: Frames that shared their write with at least one other frame.
+        self.batched_frames = 0
+        self.max_batch_frames = 0
 
 
 class LiveHub:
@@ -186,11 +203,6 @@ class LiveHub:
         # TimeSource contract every rt.now consumer relies on).
         self._mono_anchor = (time.time() - LIVE_EPOCH_UNIX_S
                              - time.monotonic())
-        #: Last (message, frame) pair encoded by :meth:`post` — the
-        #: intra-DC broadcast loop sends one immutable payload to every
-        #: peer back-to-back, and this one-slot memo keeps that a single
-        #: serialization (the strong reference makes `is` checks safe).
-        self._last_encoded: tuple[Any, bytes] | None = None
         #: dst -> (frame queue, sender task) of the per-destination channel.
         self._channels: dict[Address, tuple[asyncio.Queue, asyncio.Task]] = {}
         self._runtimes: list["LiveRuntime"] = []
@@ -231,13 +243,9 @@ class LiveHub:
     # ------------------------------------------------------------------
     def post(self, dst: Address, msg: Any) -> None:
         """Queue one message for delivery to ``dst`` (FIFO per process)."""
-        cached = self._last_encoded
-        if cached is not None and cached[0] is msg:
-            frame = cached[1]
-        else:
-            frame = codec.encode_frame(msg)
-            self._last_encoded = (msg, frame)
-        self.post_frame(dst, frame)
+        # encode_frame memoizes by message identity, so a fan-out posting
+        # the same immutable payload to every peer serializes it once.
+        self.post_frame(dst, codec.encode_frame(msg))
 
     def post_frame(self, dst: Address, frame: bytes) -> None:
         """Queue one pre-encoded frame (fan-outs encode the frame once)."""
@@ -284,16 +292,47 @@ class LiveHub:
                     f"could not connect to {dst} at {host}:{port}"
                 )
                 return
+            stats = self.stats
             while True:
                 frame = await queue.get()
+                # Coalesce: everything already queued for this peer rides
+                # the same write (one syscall, one drain), up to the
+                # batch-bytes cap.  Frames accumulate while this sender
+                # awaits the socket, so batches grow exactly when the
+                # per-frame overhead would hurt most.
+                parts = [frame]
+                size = len(frame)
+                while size < MAX_BATCH_BYTES:
+                    try:
+                        nxt = queue.get_nowait()
+                    except asyncio.QueueEmpty:
+                        break
+                    parts.append(nxt)
+                    size += len(nxt)
                 try:
-                    writer.write(frame)
+                    writer.write(b"".join(parts) if len(parts) > 1
+                                 else frame)
                     await writer.drain()
+                except asyncio.CancelledError:
+                    raise
+                except Exception:
+                    # The whole popped batch dies with the connection;
+                    # count it here — the cleanup below only sees frames
+                    # still queued, and the reconnect path in post_frame
+                    # relies on dead senders' frames being fully counted.
+                    self.stats.messages_dropped += len(parts)
+                    raise
                 finally:
                     # task_done() only after the bytes hit the transport:
                     # hub.drain()'s queue.join() then covers the popped-
-                    # but-not-yet-written frame, not just queued ones.
-                    queue.task_done()
+                    # but-not-yet-written frames, not just queued ones.
+                    for _ in parts:
+                        queue.task_done()
+                stats.batches_sent += 1
+                if len(parts) > 1:
+                    stats.batched_frames += len(parts)
+                    if len(parts) > stats.max_batch_frames:
+                        stats.max_batch_frames = len(parts)
         except asyncio.CancelledError:
             raise
         except Exception as exc:  # connection died mid-run
@@ -361,7 +400,21 @@ class LiveHub:
 
 
 class LiveRuntime:
-    """ProtocolRuntime over asyncio TCP: one endpoint of a live cluster."""
+    """ProtocolRuntime over asyncio TCP: one endpoint of a live cluster.
+
+    Durability barrier: under WAL group commit with ``fsync: always``
+    (:mod:`repro.persistence`), a version handed to :meth:`persist` is
+    *buffered* until the end of the event-loop tick and made durable by
+    one batched write+fsync.  The persist-before-ack contract of the
+    protocol cores must survive that deferral, so every frame this
+    endpoint sends after an un-synced persist — the acknowledgement the
+    core emits right after persisting, and anything behind it in the
+    endpoint's FIFO — is *held* here and released to the hub only by the
+    covering batch's post-sync callback.  Held frames are tagged with the
+    batch they wait for, and batches complete in order, so release is a
+    prefix pop.  Endpoints that never persist (clients, ``fsync:
+    interval/off``) pay one dict miss per send.
+    """
 
     def __init__(self, hub: LiveHub, address: Address):
         self.hub = hub
@@ -374,6 +427,10 @@ class LiveRuntime:
         self.durability = None
         self._server: asyncio.AbstractServer | None = None
         self._reader_tasks: set[asyncio.Task] = set()
+        #: (required batch id, dst, frame) awaiting a group-commit sync.
+        self._held: deque[tuple[int, Address, bytes]] = deque()
+        self._wait_batch = 0      # newest batch a persist() must wait for
+        self._durable_batch = 0   # newest batch known synced
 
     def bind(self, core) -> None:
         if self.core is not None:
@@ -473,13 +530,26 @@ class LiveRuntime:
     # ProtocolRuntime: sends
     # ------------------------------------------------------------------
     def send(self, dst: Address, msg: Any, size: int | None = None) -> None:
-        self.hub.post(dst, msg)
+        self._post_frame(dst, codec.encode_frame(msg))
 
     def send_fanout(self, dsts: Iterable[Address], msg: Any) -> None:
         # Same discipline as the sim adapter: serialize the immutable
         # payload once, not once per peer.
         frame = codec.encode_frame(msg)
         for dst in dsts:
+            self._post_frame(dst, frame)
+
+    def _post_frame(self, dst: Address, frame: bytes) -> None:
+        """Hand a frame to the hub — or hold it behind a pending sync.
+
+        Holding *everything* sent while a batch is un-synced (not just
+        the frames causally after the persist) keeps the endpoint's
+        per-destination FIFO intact: a GET reply overtaking a held PUT
+        acknowledgement to the same client would reorder the channel.
+        """
+        if self._wait_batch > self._durable_batch:
+            self._held.append((self._wait_batch, dst, frame))
+        else:
             self.hub.post_frame(dst, frame)
 
     def message_size(self, msg: Any) -> int:
@@ -493,9 +563,28 @@ class LiveRuntime:
         fn(*args)
 
     # ------------------------------------------------------------------
-    # ProtocolRuntime: durability (synchronous WAL append, so the log
-    # write strictly precedes any acknowledgement the handler sends)
+    # ProtocolRuntime: durability.  The append happens before this
+    # returns (so the log write precedes the acknowledgement in program
+    # order); under group commit the *sync* is deferred to the end of
+    # the tick, and the acknowledgement frames are held with it.
     # ------------------------------------------------------------------
     def persist(self, version: Any) -> None:
-        if self.durability is not None:
-            self.durability.append_version(version)
+        durability = self.durability
+        if durability is None:
+            return
+        batch = durability.append_version(version)
+        if batch is not None and batch != self._wait_batch:
+            # First persist into this batch from this endpoint: register
+            # exactly one release callback for it.
+            self._wait_batch = batch
+            durability.notify_durable(self._on_batch_durable)
+
+    def _on_batch_durable(self, batch_id: int) -> None:
+        """Group-commit sync completed: release the frames it covered."""
+        if batch_id > self._durable_batch:
+            self._durable_batch = batch_id
+        held = self._held
+        post = self.hub.post_frame
+        while held and held[0][0] <= batch_id:
+            _, dst, frame = held.popleft()
+            post(dst, frame)

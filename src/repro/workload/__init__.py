@@ -7,7 +7,11 @@ one PUT on a uniformly random partition; the transactional workload issues a
 RO-TX spanning p distinct partitions then a random PUT.
 """
 
-from repro.workload.driver import ClosedLoopClient
+from repro.workload.driver import (
+    ClosedLoopClient,
+    OpenLoopClient,
+    make_driver,
+)
 from repro.workload.generators import (
     GetPutWorkload,
     OpSpec,
@@ -20,7 +24,9 @@ __all__ = [
     "ClosedLoopClient",
     "GetPutWorkload",
     "OpSpec",
+    "OpenLoopClient",
     "RoTxWorkload",
     "ZipfGenerator",
+    "make_driver",
     "make_workload",
 ]

@@ -104,6 +104,45 @@ def test_recovery_equals_prefix_replay_at_every_cut(tmp_path_factory,
         shutil.rmtree(work)
 
 
+@settings(max_examples=15, deadline=None)
+@given(versions=version_sequences(), data=st.data())
+def test_batched_records_recover_like_singles_at_every_cut(
+        tmp_path_factory, versions, data):
+    """Group commit writes whole batches with one ``append_many``; on
+    disk that is just concatenated frames, so the prefix-replay property
+    must hold at every byte cut exactly as for per-record appends — a
+    torn *batch* loses its tail records individually, never poisons the
+    records before the tear."""
+    base = tmp_path_factory.mktemp("wal-batched")
+    master = base / "master"
+    wal = WriteAheadLog(master, fsync="always")
+    header_bytes = wal.path.stat().st_size
+    remaining = list(versions)
+    while remaining:
+        take = data.draw(st.integers(1, len(remaining)))
+        batch, remaining = remaining[:take], remaining[take:]
+        wal.append_many([codec.encode_frame(("v", v)) for v in batch])
+    wal.close()
+    stream = wal.path.read_bytes()
+    (seq, master_segment), = list_segments(master)
+
+    cuts = data.draw(st.lists(
+        st.integers(header_bytes, len(stream)), min_size=1, max_size=6))
+    for cut in cuts:
+        work = base / f"cut{cut}"
+        if work.exists():
+            continue
+        work.mkdir()
+        torn = work / master_segment.name
+        torn.write_bytes(stream[:cut])
+
+        state = recover_directory(work)
+        expected = prefix_replay(versions, stream, cut, header_bytes)
+        assert {v.identity() for v in state.versions} == set(expected), \
+            f"cut at byte {cut}"
+        shutil.rmtree(work)
+
+
 @settings(max_examples=25, deadline=None)
 @given(versions=version_sequences())
 def test_clean_wal_recovers_every_record(tmp_path_factory, versions):

@@ -97,3 +97,112 @@ def test_put_values_identify_writer():
     client_id, seq = tagged[0].value
     assert client_id.startswith("c[")
     assert seq >= 1
+
+
+# ----------------------------------------------------------------------
+# The open-loop (pipelined) driver — deterministic on the sim backend
+# ----------------------------------------------------------------------
+def _open_driver(built, rate_ops_s, client_index=0, checker=None,
+                 kind="get_put"):
+    from repro.common.config import WorkloadConfig
+    from repro.workload.driver import OpenLoopClient
+    client = built.clients[client_index]
+    workload = make_workload(
+        WorkloadConfig(kind=kind, gets_per_put=2, tx_partitions=2),
+        built.pools, built.rng.stream("test-driver"),
+    )
+    return OpenLoopClient(
+        sim=built.sim, client=client, workload=workload,
+        rate_ops_s=rate_ops_s, rng=built.rng.stream("test-driver-rng"),
+        checker=checker,
+    )
+
+
+def test_open_loop_holds_the_target_rate():
+    built = helpers.make_cluster(protocol="pocc")
+    driver = _open_driver(built, rate_ops_s=100.0)
+    driver.start(stagger_s=0.0)
+    built.sim.run(until=1.0)
+    # Arrivals fire every 10ms regardless of the ~1ms service times; a
+    # closed loop at the same service time would do ~900 ops instead.
+    assert 90 <= driver.ops_issued <= 110
+    assert driver.dropped_arrivals == 0
+    stats = driver.latency["get"].summary()
+    assert stats["count"] > 0
+
+
+def test_open_loop_queues_and_charges_waiting_to_latency():
+    """Offered load beyond service capacity must queue arrivals (the
+    session is sequential) and show the wait in the latency histogram —
+    not silently slow the generator down."""
+    built = helpers.make_cluster(protocol="pocc")
+    fast = _open_driver(built, rate_ops_s=50.0)
+    fast.start(stagger_s=0.0)
+    built.sim.run(until=1.0)
+    low_lat = max(h.percentile(99) for h in fast.latency.values())
+
+    built2 = helpers.make_cluster(protocol="pocc")
+    hot = _open_driver(built2, rate_ops_s=5000.0)
+    hot.start(stagger_s=0.0)
+    built2.sim.run(until=1.0)
+    # Service takes ~1ms, arrivals come every 0.2ms: the backlog grows
+    # and p99 (measured from intended arrival) balloons past the
+    # underloaded run's.
+    assert hot.backlog > 100
+    hot_lat = max(h.percentile(99) for h in hot.latency.values())
+    assert hot_lat > low_lat * 10
+
+
+def test_open_loop_stop_halts_without_draining_backlog():
+    built = helpers.make_cluster(protocol="pocc")
+    driver = _open_driver(built, rate_ops_s=2000.0)
+    driver.start(stagger_s=0.0)
+    built.sim.run(until=0.3)
+    driver.stop()
+    issued_at_stop = driver.ops_issued
+    built.sim.run(until=1.0)
+    assert driver.ops_issued <= issued_at_stop + 1
+    assert not driver.client.has_pending
+
+
+def test_open_loop_feeds_the_checker():
+    built = helpers.make_cluster(protocol="pocc")
+    checker = CausalChecker()
+    driver = _open_driver(built, rate_ops_s=300.0, checker=checker)
+    driver.start(stagger_s=0.0)
+    built.sim.run(until=0.5)
+    assert checker.reads_checked > 10
+    assert checker.writes_seen > 3
+    assert checker.ok
+
+
+def test_open_loop_rejects_nonpositive_rate():
+    built = helpers.make_cluster(protocol="pocc")
+    with pytest.raises(ReproError):
+        _open_driver(built, rate_ops_s=0.0)
+
+
+def test_make_driver_selects_by_arrival_model():
+    from repro.common.config import WorkloadConfig
+    from repro.workload.driver import (
+        ClosedLoopClient as Closed,
+        OpenLoopClient as Open,
+        make_driver,
+    )
+    built = helpers.make_cluster(protocol="pocc")
+    workload = make_workload(
+        WorkloadConfig(kind="get_put", gets_per_put=2),
+        built.pools, built.rng.stream("test-driver"),
+    )
+    closed = make_driver(
+        sim=built.sim, client=built.clients[0], workload=workload,
+        workload_config=WorkloadConfig(),
+        rng=built.rng.stream("rng-a"),
+    )
+    assert type(closed) is Closed
+    open_driver = make_driver(
+        sim=built.sim, client=built.clients[1], workload=workload,
+        workload_config=WorkloadConfig(arrival="open", rate_ops_s=50.0),
+        rng=built.rng.stream("rng-b"),
+    )
+    assert type(open_driver) is Open
