@@ -75,6 +75,19 @@ PR4_LIVE_BASELINE = {
 }
 
 
+#: The committed BENCH_pr5 ``live_pipelined`` leg (same machine class),
+#: recorded immediately before PR 6's protocol-level replication
+#: batching.  The batched pipelined leg reports its throughput as a
+#: ratio over this: batching must not cost live throughput.
+PR5_LIVE_BASELINE = {
+    "machine": "pr5-dev-container-1vcpu",
+    "throughput_ops_s": 4650.4,
+    "serializer": "json",
+    "arrival": "open",
+    "note": "pipelined open loop, 16 sessions x 300 ops/s offered",
+}
+
+
 def best_of(fn, repeats: int = 3):
     """Best (minimum) wall-clock of ``repeats`` runs, plus the last value."""
     best = float("inf")
@@ -269,14 +282,20 @@ def _latency_percentiles(report) -> dict:
 
 
 def _pipelined_config(duration_s: float, rate_ops_s: float,
-                      name: str, persistence=None):
+                      name: str, persistence=None, repl_batch=None):
     from repro.common.config import (
-        ClusterConfig, ExperimentConfig, PersistenceConfig, WorkloadConfig,
+        ClusterConfig,
+        ExperimentConfig,
+        PersistenceConfig,
+        ReplicationBatchConfig,
+        WorkloadConfig,
     )
 
     return ExperimentConfig(
         cluster=ClusterConfig(num_dcs=2, num_partitions=2,
-                              keys_per_partition=100, protocol="pocc"),
+                              keys_per_partition=100, protocol="pocc",
+                              repl_batch=(repl_batch
+                                          or ReplicationBatchConfig())),
         workload=WorkloadConfig(kind="mixed", read_ratio=0.85, tx_ratio=0.1,
                                 tx_partitions=2, clients_per_partition=4,
                                 think_time_s=0.0, arrival="open",
@@ -401,6 +420,145 @@ def bench_fsync_modes(duration_s: float,
     return results, failed
 
 
+def bench_live_pipelined_batched(duration_s: float,
+                                 rate_ops_s: float = 300.0
+                                 ) -> tuple[dict, bool]:
+    """PR 6's live gate: the pipelined leg with replication batching on.
+
+    Same shape and offered load as ``live_pipelined`` but with the
+    protocol-level batcher enabled (batch=64, 5 ms flush): one
+    ``ReplicateBatch`` per flush instead of one ``Replicate`` per write.
+    Reported as a ratio over the committed BENCH_pr5 ``live_pipelined``
+    number — batching must not cost live throughput; the checker and a
+    clean shutdown gate the leg as usual, and the report's visibility
+    percentiles show what the amortization costs in update freshness.
+    """
+    from repro.common.config import ReplicationBatchConfig
+    from repro.runtime.cluster import run_live_experiment
+
+    config = _pipelined_config(
+        duration_s, rate_ops_s, "perf-live-pipelined-batched",
+        repl_batch=ReplicationBatchConfig(enabled=True, max_versions=64,
+                                          max_bytes=256 * 1024,
+                                          flush_ms=5.0),
+    )
+    report = run_live_experiment(config)
+    sessions = (config.workload.clients_per_partition
+                * config.cluster.num_partitions * config.cluster.num_dcs)
+    stats = {
+        "protocol": report.protocol,
+        "arrival": report.arrival,
+        "sessions": sessions,
+        "offered_rate_ops_s": rate_ops_s * sessions,
+        "repl_batch": {"max_versions": 64, "flush_ms": 5.0},
+        "duration_s": round(report.duration_s, 3),
+        "total_ops": report.total_ops,
+        "throughput_ops_s": round(report.throughput_ops_s, 1),
+        "latency": _latency_percentiles(report),
+        "visibility": report.visibility,
+        "dropped_arrivals": report.dropped_arrivals,
+        "frames_delivered": report.messages_delivered,
+        "violations": len(report.violations),
+        "clean_shutdown": report.clean_shutdown,
+        "serializer": report.serializer,
+        "baseline_pr5_live": PR5_LIVE_BASELINE,
+        "vs_pr5_live_ratio": round(
+            report.throughput_ops_s / PR5_LIVE_BASELINE["throughput_ops_s"],
+            2),
+    }
+    return stats, not report.passed
+
+
+def _repl_batching_config(protocol: str, repl_batch, duration_s: float):
+    from repro.common.config import (
+        ClockConfig, ClusterConfig, ExperimentConfig, WorkloadConfig,
+    )
+
+    return ExperimentConfig(
+        cluster=ClusterConfig(num_dcs=3, num_partitions=2,
+                              keys_per_partition=40, protocol=protocol,
+                              clocks=ClockConfig(max_offset_us=200),
+                              repl_batch=repl_batch),
+        workload=WorkloadConfig(kind="get_put", gets_per_put=1,
+                                clients_per_partition=4,
+                                think_time_s=0.0),
+        warmup_s=0.2,
+        duration_s=duration_s,
+        seed=17,
+        verify=True,
+        name=f"perf-repl-batch-{protocol}",
+    )
+
+
+def bench_repl_batching(duration_s: float, protocols: tuple,
+                        batch_sizes: tuple,
+                        require_reduction: bool) -> tuple[dict, bool]:
+    """PR 6's sim leg: inter-DC replicate traffic vs batch size.
+
+    For each protocol, one batching-off baseline plus one run per batch
+    size (write-heavy 1:1 get:put, zero think time — replication is the
+    dominant WAN traffic), recording ops/s, inter-DC replicate
+    *messages* per op (a batch of 64 counts once — the amortization
+    being measured), and the update-visibility percentiles that pay for
+    it.  Every run is checker-gated; with ``require_reduction`` the
+    largest batch size must cut replicate messages at least 8x vs the
+    baseline (the PR-6 acceptance bar).
+    """
+    from repro.common.config import ReplicationBatchConfig
+    from repro.harness.builders import build_cluster
+    from repro.harness.experiment import run_experiment
+
+    def one_run(protocol: str, repl_batch) -> dict:
+        config = _repl_batching_config(protocol, repl_batch, duration_s)
+        built = build_cluster(config)
+        result = run_experiment(config, built=built)
+        by_type = built.network.stats.inter_dc_by_type
+        replicate_msgs = (by_type.get("Replicate", 0)
+                          + by_type.get("ReplicateBatch", 0))
+        ops = max(result.total_ops, 1)
+        return {
+            "throughput_ops_s": round(result.throughput_ops_s, 1),
+            "total_ops": result.total_ops,
+            "inter_dc_replicate_msgs": replicate_msgs,
+            "replicate_msgs_per_op": round(replicate_msgs / ops, 4),
+            "inter_dc_messages": built.network.stats.inter_dc_messages(),
+            "inter_dc_bytes": built.network.stats.inter_dc_bytes(),
+            "visibility_p50_ms": round(
+                result.visibility_lag["p50"] * 1000, 2),
+            "visibility_p99_ms": round(
+                result.visibility_lag["p99"] * 1000, 2),
+            "violations": result.verification["violations"],
+        }
+
+    results: dict = {
+        "workload": "get_put 1:1, 24 sessions, zero think time",
+        "batch_sizes": list(batch_sizes),
+    }
+    failed = False
+    for protocol in protocols:
+        legs: dict = {"off": one_run(protocol, ReplicationBatchConfig())}
+        failed |= legs["off"]["violations"] > 0
+        for batch in batch_sizes:
+            leg = one_run(protocol, ReplicationBatchConfig(
+                enabled=True, max_versions=batch, max_bytes=1 << 20,
+                flush_ms=20.0,
+            ))
+            legs[f"batch_{batch}"] = leg
+            failed |= leg["violations"] > 0
+        largest = legs[f"batch_{max(batch_sizes)}"]
+        if largest["inter_dc_replicate_msgs"]:
+            reduction = (legs["off"]["inter_dc_replicate_msgs"]
+                         / largest["inter_dc_replicate_msgs"])
+            legs["replicate_msg_reduction_at_max_batch"] = round(reduction, 1)
+            if require_reduction and reduction < 8.0:
+                print(f"[perf] FAIL: {protocol} batch={max(batch_sizes)} "
+                      f"cut replicate messages only {reduction:.1f}x "
+                      f"(need >= 8x)", file=sys.stderr)
+                failed = True
+        results[protocol] = legs
+    return results, failed
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     parser.add_argument("--smoke", action="store_true",
@@ -468,6 +626,23 @@ def main(argv: list[str] | None = None) -> int:
     print(f"[perf] WAL fsync-mode overhead (off/interval/always, "
           f"open loop, {fsync_duration}s each)...", file=sys.stderr)
     fsync_modes, fsync_failed = bench_fsync_modes(fsync_duration)
+    if args.smoke:
+        batch_protocols: tuple = ("pocc", "okapi")
+        batch_sizes: tuple = (64,)
+        batch_duration, require_reduction = 0.5, False
+    else:
+        batch_protocols = ("pocc", "cure", "okapi")
+        batch_sizes = (1, 8, 64, 256)
+        batch_duration, require_reduction = 2.0, True
+    print(f"[perf] replication batching sweep (batch in "
+          f"{list(batch_sizes)}, {batch_duration}s each, protocols "
+          f"{list(batch_protocols)})...", file=sys.stderr)
+    repl_batching, batching_failed = bench_repl_batching(
+        batch_duration, batch_protocols, batch_sizes, require_reduction)
+    print(f"[perf] pipelined live cluster with batching on "
+          f"({live_duration}s window)...", file=sys.stderr)
+    pipelined_batched, pipelined_batched_failed = (
+        bench_live_pipelined_batched(live_duration))
 
     from repro.runtime import codec
 
@@ -491,6 +666,16 @@ def main(argv: list[str] | None = None) -> int:
         "live_cluster": live,
         "live_pipelined": pipelined,
         "persistence_fsync_modes": fsync_modes,
+        "repl_batching": repl_batching,
+        "live_pipelined_batched": {
+            **pipelined_batched,
+            # Same-run, same-machine comparison: the committed PR-5
+            # baseline moves with container weather, this ratio does not.
+            "vs_live_pipelined_same_run_ratio": round(
+                pipelined_batched["throughput_ops_s"]
+                / pipelined["throughput_ops_s"], 2)
+            if pipelined.get("throughput_ops_s") else None,
+        },
         "baseline_pre_change": baseline,
         "engine_vs_pre_change_ratio": round(engine_ratio, 3),
         "total_wall_s": round(time.perf_counter() - t0, 2),
@@ -515,6 +700,14 @@ def main(argv: list[str] | None = None) -> int:
         return 1
     if fsync_failed:
         print("[perf] FAIL: a persistent (WAL) live run violated the "
+              "checker or shut down uncleanly", file=sys.stderr)
+        return 1
+    if batching_failed:
+        print("[perf] FAIL: a replication-batching sim run violated the "
+              "checker or missed the message-reduction bar", file=sys.stderr)
+        return 1
+    if pipelined_batched_failed:
+        print("[perf] FAIL: the batched pipelined live run violated the "
               "checker or shut down uncleanly", file=sys.stderr)
         return 1
     if engine_ratio < 0.85:

@@ -73,6 +73,11 @@ class SimNode:
     def schedule_at(self, time: float, fn, *args) -> EventHandle:
         return self.sim.schedule_at(time, fn, *args)
 
+    def schedule_flush(self, delay: float, fn, *args) -> EventHandle:
+        """Flush deadlines are ordinary engine events: deterministic
+        (seeded tie-breaking) like every other timer."""
+        return self.sim.schedule(delay, fn, *args)
+
     # ------------------------------------------------------------------
     # ProtocolRuntime: sends
     # ------------------------------------------------------------------

@@ -163,6 +163,46 @@ class ProtocolConfig:
 
 
 @dataclass(frozen=True, slots=True)
+class ReplicationBatchConfig:
+    """Protocol-level inter-DC replication batching (Okapi's amortization).
+
+    When enabled, each partition server accumulates the versions it
+    creates and ships them to its peer replicas as one
+    :class:`~repro.protocols.messages.ReplicateBatch` per flush instead
+    of one ``Replicate`` per write.  A flush happens when the buffer
+    reaches ``max_versions`` or ``max_bytes``, or ``flush_ms`` after the
+    first buffered version — whichever comes first.  Every batch carries
+    the source's clock read at flush time, doubling as a heartbeat (the
+    explicit heartbeat is suppressed while batches keep the remote
+    ``VV`` entries fresh), and Okapi* aggregators additionally piggyback
+    their data-center stable time on outgoing batches, amortizing the
+    UST gossip the same way.
+
+    Default **off**: with batching disabled the replication path is the
+    per-write fan-out, bit-for-bit, so per-seed simulation reports stay
+    byte-identical to the pre-batching engine.
+    """
+
+    enabled: bool = False
+    #: Flush once this many versions are buffered.  ``1`` degenerates to
+    #: one single-version batch per write (the equivalence tests' knob).
+    max_versions: int = 64
+    #: Flush once the buffered versions' modeled wire size reaches this.
+    max_bytes: int = 65536
+    #: Flush this long after the first buffered version (the visibility
+    #: latency each batched write pays at most, on top of the WAN hop).
+    flush_ms: float = 5.0
+
+    def validate(self) -> None:
+        if self.max_versions < 1:
+            raise ConfigError("repl_batch.max_versions must be >= 1")
+        if self.max_bytes < 1:
+            raise ConfigError("repl_batch.max_bytes must be >= 1")
+        if self.flush_ms <= 0:
+            raise ConfigError("repl_batch.flush_ms must be > 0")
+
+
+@dataclass(frozen=True, slots=True)
 class ClusterConfig:
     """Shape and physical parameters of one simulated deployment."""
 
@@ -179,6 +219,9 @@ class ClusterConfig:
     clocks: ClockConfig = field(default_factory=ClockConfig)
     service: ServiceTimeConfig = field(default_factory=ServiceTimeConfig)
     protocol_config: ProtocolConfig = field(default_factory=ProtocolConfig)
+    repl_batch: ReplicationBatchConfig = field(
+        default_factory=ReplicationBatchConfig
+    )
 
     def validate(self) -> None:
         if self.num_dcs < 2:
@@ -193,6 +236,7 @@ class ClusterConfig:
         self.clocks.validate()
         self.service.validate()
         self.protocol_config.validate()
+        self.repl_batch.validate()
 
     @property
     def num_nodes(self) -> int:

@@ -413,10 +413,17 @@ class GroupCommit:
         self._callbacks = []
         self._open_batch = 0
         if self.wal.closed:
-            # Shutdown already flushed and closed the log; these records
-            # arrived after it and were never acknowledged (their acks
-            # are exactly what the un-fired callbacks were holding).
-            return self._committed
+            # The log is gone but records were appended after the
+            # shutdown flush covered it.  Silently returning here would
+            # drop them on the floor while the caller believes they were
+            # logged — the bug class recovery cannot catch, because the
+            # clean WAL prefix looks complete.  Their acks were never
+            # released (the un-fired callbacks were holding them), so
+            # raising turns a silent durability hole into a loud one.
+            raise WalError(
+                f"group commit: {len(frames)} record(s) appended after "
+                f"the WAL was closed (batch {batch})"
+            )
         self.wal.append_many(frames)
         self._committed = batch
         for callback in callbacks:

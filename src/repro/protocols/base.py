@@ -37,6 +37,7 @@ from repro.common.types import Address, Micros, OpType
 from repro.cluster.topology import Topology
 from repro.metrics.collectors import MetricsRegistry
 from repro.protocols import messages as m
+from repro.protocols.batching import ReplicationBatcher
 from repro.protocols.core import ProtocolCore, ProtocolRuntime
 from repro.storage.store import PartitionStore
 from repro.storage.version import Version
@@ -164,6 +165,15 @@ class CausalServer(ProtocolCore):
         )
         self._service = config.service
         self._protocol = config.protocol_config
+        # Replication batching (off by default): one ReplicateBatch per
+        # flush instead of one Replicate per write.  When disabled the
+        # batcher does not exist and replicate() takes the per-write
+        # fan-out path bit-for-bit, keeping per-seed reports identical.
+        batch_config = config.repl_batch
+        self._batcher = (
+            ReplicationBatcher(self.rt, batch_config, self._ship_batch)
+            if batch_config.enabled and self._peer_replicas else None
+        )
         # Transactions this node currently coordinates: tx_id -> state.
         self._active_tx: dict[int, dict] = {}
         self._next_tx_id = (self.m << 20) | (self.n << 12)
@@ -191,11 +201,20 @@ class CausalServer(ProtocolCore):
         delta_us = int(self._protocol.heartbeat_interval_s * 1_000_000)
         ct = self.clock.peek_micros()
         if ct >= self.vv[self.m] + delta_us:
-            ct = self.clock.micros()
-            self.vv[self.m] = ct
-            self.send_fanout(self._peer_replicas,
-                             m.Heartbeat(ts=ct, src_dc=self.m))
-            self.waiters.notify()
+            if self._batcher is not None and self._batcher.pending:
+                # A fresher clock must never overtake buffered versions
+                # on the FIFO channel (the remote VV entry would advance
+                # past undelivered updates), so no heartbeat goes out.
+                # Nothing needs to: the armed flush deadline ships the
+                # buffer — clock stamp included — within flush_ms.  The
+                # batch *is* the heartbeat, at the batching granularity.
+                pass
+            else:
+                ct = self.clock.micros()
+                self.vv[self.m] = ct
+                self.send_fanout(self._peer_replicas,
+                                 m.Heartbeat(ts=ct, src_dc=self.m))
+                self.waiters.notify()
         self.rt.schedule(self._protocol.heartbeat_interval_s,
                          self._heartbeat_tick)
 
@@ -253,17 +272,89 @@ class CausalServer(ProtocolCore):
         # fan-out (and the caller's reply) until the batched fsync
         # completes, so the ordering holds on the wire, not just here.
         self.rt.persist(version)
-        self.send_fanout(self._peer_replicas, m.Replicate(version=version))
+        self.replicate(version)
         return version
+
+    def replicate(self, version: Version) -> None:
+        """Ship one locally created version to the peer replicas.
+
+        The single choke point of outbound replication: per-write
+        fan-out when batching is off (the default, byte-identical to the
+        pre-batching engine), or a buffered add that the batcher flushes
+        as one :class:`~repro.protocols.messages.ReplicateBatch`.
+        """
+        if self._batcher is not None:
+            self._batcher.add(version)
+        else:
+            self.send_fanout(self._peer_replicas,
+                             m.Replicate(version=version))
+
+    def _ship_batch(self, versions: list[Version]) -> None:
+        """Stamp and fan out one batch (the batcher's ship effect).
+
+        The flush-time clock read doubles as a heartbeat: it advances
+        the local VV entry exactly like Algorithm 2 line 22, and —
+        because it is stamped strictly after the newest buffered version
+        and channels are FIFO — the receiver may advance its VV entry to
+        it once the batch is applied.  The existing write-idle check in
+        :meth:`_heartbeat_tick` then suppresses the explicit heartbeat
+        while batches keep the clock fresh.
+
+        A flush carrying exactly one version degenerates to the plain
+        per-write ``Replicate`` — no envelope, no clock stamp — so
+        ``max_versions=1`` reproduces the batching-off engine
+        bit-for-bit (the equivalence anchor the regression tests pin).
+        """
+        if len(versions) == 1:
+            self.send_fanout(self._peer_replicas,
+                             m.Replicate(version=versions[0]))
+            return
+        ts = self._stamp_flush_clock()
+        self.send_fanout(self._peer_replicas, m.ReplicateBatch(
+            versions=versions, src_dc=self.m, clock_ts=ts,
+            dst=self._batch_dst(),
+        ))
+
+    def _stamp_flush_clock(self) -> Micros:
+        """Read the clock for a batch's heartbeat piggyback."""
+        ts = self.clock.micros()
+        if ts > self.vv[self.m]:
+            self.vv[self.m] = ts
+            self.waiters.notify()
+        return ts
+
+    def _batch_dst(self) -> Micros:
+        """Okapi* hook: DC stable time piggybacked on outgoing batches
+        (0 = nothing to piggyback; only its aggregators override this)."""
+        return 0
 
     def apply_replicate(self, msg: m.Replicate) -> None:
         """Algorithm 2 lines 16-18 + notify blocked operations."""
-        version = msg.version
+        self._install_replicated(msg.version)
+        self.waiters.notify()
+
+    def _install_replicated(self, version: Version) -> None:
+        """Install one replicated version — without waking waiters, so a
+        batch runs one notify pass however many versions it carried."""
         self.store.insert(version)
         if version.ut > self.vv[version.sr]:
             self.vv[version.sr] = version.ut
         self.rt.persist(version)
         self.version_received(version)
+
+    def apply_replicate_batch(self, msg: m.ReplicateBatch) -> None:
+        """Apply one flush of a peer's replication batcher.
+
+        Versions install in their creation (timestamp) order; the
+        piggybacked flush clock then advances ``VV[src_dc]`` like a
+        heartbeat (safe: FIFO channels mean nothing older from that
+        source is still in flight); blocked operations get exactly one
+        re-check pass for the whole batch.
+        """
+        for version in msg.versions:
+            self._install_replicated(version)
+        if msg.clock_ts > self.vv[msg.src_dc]:
+            self.vv[msg.src_dc] = msg.clock_ts
         self.waiters.notify()
 
     def version_received(self, version: Version) -> None:
@@ -479,6 +570,10 @@ class CausalServer(ProtocolCore):
             return service.put_s
         if isinstance(msg, m.Replicate):
             return service.replicate_s
+        if isinstance(msg, m.ReplicateBatch):
+            # Applying n versions costs n applies; the batch saves
+            # messages and bytes, not modeled CPU.
+            return service.replicate_s * len(msg.versions)
         if isinstance(msg, m.Heartbeat):
             return service.heartbeat_s
         if isinstance(msg, m.RoTxReq):
@@ -502,9 +597,9 @@ class CausalServer(ProtocolCore):
         saturation the background class starves — the paper's stated cause
         of load-dependent blocking (POCC) and staleness (Cure*)."""
         from repro.protocols.core import BACKGROUND, FOREGROUND
-        if isinstance(msg, (m.Replicate, m.Heartbeat, m.StabPush,
-                            m.StabBroadcast, m.UstGossip, m.GcPush,
-                            m.GcBroadcast)):
+        if isinstance(msg, (m.Replicate, m.ReplicateBatch, m.Heartbeat,
+                            m.StabPush, m.StabBroadcast, m.UstGossip,
+                            m.GcPush, m.GcBroadcast)):
             return BACKGROUND
         return FOREGROUND
 
@@ -515,6 +610,8 @@ class CausalServer(ProtocolCore):
             self.handle_put(msg)
         elif isinstance(msg, m.Replicate):
             self.apply_replicate(msg)
+        elif isinstance(msg, m.ReplicateBatch):
+            self.apply_replicate_batch(msg)
         elif isinstance(msg, m.Heartbeat):
             self.apply_heartbeat(msg)
         elif isinstance(msg, m.RoTxReq):

@@ -1,0 +1,106 @@
+"""Protocol-level inter-DC replication batching (the Okapi amortization).
+
+One :class:`ReplicationBatcher` per partition server accumulates the
+versions the server creates and flushes them to its peer replicas as a
+single :class:`~repro.protocols.messages.ReplicateBatch` — one message
+per flush instead of one per write, which is what makes inter-DC traffic
+scale with *batch* count rather than write count (PAPERS.md: Okapi
+batches replication traffic between data centers and amortizes its
+stabilization metadata across those batches).
+
+The batcher is pure policy: it decides *when* to flush, while the owning
+server supplies the two effects it needs — the runtime's
+``schedule_flush`` deadline timer and a ``ship(versions)`` callable that
+stamps the flush-time clock and fans the batch out.  Because both
+effects go through the :class:`~repro.protocols.core.ProtocolRuntime`
+seam, the policy behaves identically under the deterministic simulation
+and the live asyncio backend.
+
+Flush triggers:
+
+* **size** — ``max_versions`` buffered, or their modeled wire size
+  reaching ``max_bytes`` (whichever first);
+* **time** — ``flush_ms`` after the *first* buffered version.  The
+  deadline is armed when a version enters an empty buffer and cancelled
+  whenever a size threshold flushes first, so an idle server keeps no
+  timer alive;
+While the buffer is non-empty the owning server's heartbeat tick stays
+*silent*: a heartbeat's fresher clock must never overtake buffered
+versions on the FIFO channel, and none is needed — the armed deadline
+ships the buffer, flush-clock stamp included, within ``flush_ms`` (see
+``CausalServer._heartbeat_tick``).  Batching therefore coarsens the
+effective heartbeat granularity to ``flush_ms`` — the visibility-latency
+side of the amortization trade.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.common.config import ReplicationBatchConfig
+from repro.protocols.messages import version_bytes
+from repro.storage.version import Version
+
+
+class ReplicationBatcher:
+    """Buffers locally created versions until a flush trigger fires."""
+
+    __slots__ = ("rt", "config", "_ship", "_buffer", "_bytes", "_timer",
+                 "batches_flushed", "versions_flushed")
+
+    def __init__(
+        self,
+        rt,
+        config: ReplicationBatchConfig,
+        ship: Callable[[list], None],
+    ):
+        self.rt = rt
+        self.config = config
+        self._ship = ship
+        self._buffer: list[Version] = []
+        self._bytes = 0
+        self._timer = None
+        self.batches_flushed = 0
+        self.versions_flushed = 0
+
+    @property
+    def pending(self) -> int:
+        """Versions buffered but not yet shipped."""
+        return len(self._buffer)
+
+    @property
+    def pending_bytes(self) -> int:
+        """Modeled wire size of the buffered versions."""
+        return self._bytes
+
+    def add(self, version: Version) -> None:
+        """Buffer one newly created version; flush if a threshold trips."""
+        self._buffer.append(version)
+        self._bytes += version_bytes(version)
+        config = self.config
+        if (len(self._buffer) >= config.max_versions
+                or self._bytes >= config.max_bytes):
+            self.flush()
+        elif self._timer is None:
+            self._timer = self.rt.schedule_flush(
+                config.flush_ms / 1000.0, self._deadline
+            )
+
+    def _deadline(self) -> None:
+        self._timer = None
+        if self._buffer:
+            self.flush()
+
+    def flush(self) -> None:
+        """Ship everything buffered now (no-op on an empty buffer)."""
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        if not self._buffer:
+            return
+        buffered = self._buffer
+        self._buffer = []
+        self._bytes = 0
+        self.batches_flushed += 1
+        self.versions_flushed += len(buffered)
+        self._ship(buffered)

@@ -161,21 +161,27 @@ class CopsServer(CausalServer):
         self.rt.persist(version)
         # A locally created (visible) version can satisfy parked checks.
         self.dep_waiters.notify()
-        self.send_fanout(self._peer_replicas, m.Replicate(version=version))
+        self.replicate(version)
         self.send(msg.client, m.PutReply(ut=version.ut, op_id=msg.op_id))
 
     # ------------------------------------------------------------------
     # Replication: install hidden, fan out dependency checks
     # ------------------------------------------------------------------
     def apply_replicate(self, msg: m.Replicate) -> None:
-        incoming = msg.version
-        assert isinstance(incoming, CopsVersion)
-        version = incoming.local_copy(visible=False)
-        self.store.insert(version)
-        if version.ut > self.vv[version.sr]:
-            self.vv[version.sr] = version.ut
-        self.rt.persist(version)
-        self._launch_dep_checks(version)
+        self._install_replicated(msg.version)
+
+    def _install_replicated(self, version: Version) -> None:
+        # Also the per-version step of a ReplicateBatch (the base batch
+        # apply loops through here, so a batch installs its versions in
+        # order and launches each one's dependency checks; visibility
+        # stays per-version — it is gated on the checks, not on VV).
+        assert isinstance(version, CopsVersion)
+        local = version.local_copy(visible=False)
+        self.store.insert(local)
+        if local.ut > self.vv[local.sr]:
+            self.vv[local.sr] = local.ut
+        self.rt.persist(local)
+        self._launch_dep_checks(local)
 
     def _launch_dep_checks(self, version: CopsVersion) -> None:
         """Fan out one DepCheck per unsatisfied nearest dependency.

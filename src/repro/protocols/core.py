@@ -27,6 +27,10 @@ send / reply              ``rt.send(dst, msg)`` (a reply is a send to the
 fan-out send              ``rt.send_fanout(dsts, msg)`` (sizes the payload once)
 set timer                 ``rt.schedule(delay_s, fn, *args)`` /
                           ``rt.schedule_at(time_s, fn, *args)`` → handle
+flush timer               ``rt.schedule_flush(delay_s, fn, *args)`` → handle
+                          (buffered-send deadline of the replication
+                          batcher; cancelled whenever a size threshold
+                          flushes first)
 cancel timer              ``handle.cancel()``
 local work (CPU charge)   ``rt.submit(cost_s, fn, *args, priority=...)``
 durability (WAL append)   ``rt.persist(version)``
@@ -102,6 +106,22 @@ class ProtocolRuntime(Protocol):
 
     def schedule_at(self, time: float, fn, *args) -> TimerHandle:
         """Set a timer for an absolute backend time."""
+        ...
+
+    def schedule_flush(self, delay: float, fn, *args) -> TimerHandle:
+        """Set a buffered-send flush deadline: run ``fn(*args)`` at most
+        ``delay`` seconds from now.
+
+        The effect behind the replication batcher's time threshold.  It
+        is a *deadline*, not a cadence: the policy cancels the handle
+        whenever a size threshold flushes the buffer first, and arms a
+        new one when the next version is buffered.  Keeping it a
+        distinct effect (rather than reusing :meth:`schedule`) gives
+        backends one seam for every policy-driven flush — the sim
+        adapter maps it onto the deterministic engine, the live adapter
+        onto the event loop, so the batching policy behaves identically
+        under both.
+        """
         ...
 
     def send(self, dst: Any, msg: Any, size: int | None = None) -> None:

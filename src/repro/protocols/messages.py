@@ -169,6 +169,32 @@ class Replicate:
 
 
 @dataclass(slots=True)
+class ReplicateBatch:
+    """One flush of the protocol-level replication batcher.
+
+    Carries every version the source partition created since its last
+    flush, in creation (timestamp) order.  ``clock_ts`` is the source's
+    clock read at flush time, stamped strictly after the newest buffered
+    version: because channels are FIFO, once the batch is applied the
+    receiver may advance ``VV[src_dc]`` to it — the batch doubles as a
+    heartbeat, which is what lets the sender suppress the explicit one
+    while writes flow.  ``dst`` (sent by Okapi* DC aggregators, 0 =
+    absent) piggybacks the sender DC's data-center stable time on
+    replication traffic, amortizing the UST gossip the same way.
+    """
+
+    versions: list[Version]
+    src_dc: ReplicaId
+    clock_ts: Micros
+    dst: Micros = 0
+
+    def size_bytes(self) -> int:
+        return HEADER_BYTES + TS_BYTES + TS_BYTES + ID_BYTES + sum(
+            version_bytes(v) for v in self.versions
+        )
+
+
+@dataclass(slots=True)
 class Heartbeat:
     """⟨HEARTBEAT ct⟩ (Algorithm 2 line 24)."""
 

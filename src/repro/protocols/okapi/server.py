@@ -63,20 +63,62 @@ class OkapiServer(UniversalStabilizationMixin, CausalServer):
         delta = (int(self._protocol.heartbeat_interval_s * 1_000_000)
                  << HybridLogicalClock.LOGICAL_BITS)
         if self.hlc.peek() >= self.vv[self.m] + delta:
-            ts = self.hlc.now()
-            self.vv[self.m] = ts
-            self.send_fanout(self._peer_replicas,
-                             m.Heartbeat(ts=ts, src_dc=self.m))
+            if self._batcher is not None and self._batcher.pending:
+                # Same rule as the base tick: a heartbeat would overtake
+                # the buffered versions; the armed flush deadline ships
+                # them (with a fresh HLC stamp) within flush_ms instead.
+                pass
+            else:
+                ts = self.hlc.now()
+                self.vv[self.m] = ts
+                self.send_fanout(self._peer_replicas,
+                                 m.Heartbeat(ts=ts, src_dc=self.m))
         self.rt.schedule(self._protocol.heartbeat_interval_s,
                           self._heartbeat_tick)
+
+    def _stamp_flush_clock(self) -> Micros:
+        """Batch heartbeat piggybacks are packed HLC values here."""
+        ts = self.hlc.now()
+        if ts > self.vv[self.m]:
+            self.vv[self.m] = ts
+        return ts
+
+    def _batch_dst(self) -> Micros:
+        """Aggregators amortize UST gossip over outgoing batches.
+
+        A partition-0 server's peer replicas are exactly the other DCs'
+        aggregators, so its batches reach the same audience as explicit
+        :class:`~repro.protocols.messages.UstGossip` — piggybacking the
+        current DST on them lets the gossip tick stay silent while
+        replication traffic flows (``_dst_piggybacked`` in the mixin).
+        """
+        if not self._is_aggregator:
+            return 0
+        dst = self._dst.get(self.m)
+        if dst is None:
+            return 0
+        if dst > self._dst_piggybacked:
+            self._dst_piggybacked = dst
+        return dst
 
     def apply_heartbeat(self, msg: m.Heartbeat) -> None:
         self.hlc.update(msg.ts)
         super().apply_heartbeat(msg)
 
-    def apply_replicate(self, msg: m.Replicate) -> None:
-        self.hlc.update(msg.version.ut)
-        super().apply_replicate(msg)
+    def _install_replicated(self, version: Version) -> None:
+        self.hlc.update(version.ut)
+        super()._install_replicated(version)
+
+    def apply_replicate_batch(self, msg: m.ReplicateBatch) -> None:
+        # The flush clock is the newest HLC value in the batch; merge it
+        # first so every local stamp dominates the whole batch.
+        self.hlc.update(msg.clock_ts)
+        super().apply_replicate_batch(msg)
+        if msg.dst and self._is_aggregator:
+            # The piggybacked DST replaces an explicit gossip message.
+            self.receive_ust_gossip(
+                m.UstGossip(dst=msg.dst, src_dc=msg.src_dc)
+            )
 
     def _advance_clock_past(self, floor_us: Micros) -> None:
         """Okapi* timestamps are packed HLC values, so the recovery floor
@@ -181,7 +223,7 @@ class OkapiServer(UniversalStabilizationMixin, CausalServer):
                           dv=(max(self.ust, ust_c),))
         self.store.insert(version)
         self.rt.persist(version)
-        self.send_fanout(self._peer_replicas, m.Replicate(version=version))
+        self.replicate(version)
         self.send(msg.client, m.PutReply(ut=ts, op_id=msg.op_id))
 
     # ------------------------------------------------------------------

@@ -45,6 +45,12 @@ class UniversalStabilizationMixin:
         self._lst_reports: dict[int, Micros] = {}
         #: Aggregator state: newest known DST per DC (own DC included).
         self._dst: dict[int, Micros] = {}
+        #: Newest own DST already shipped as a replication-batch
+        #: piggyback (``ReplicateBatch.dst``): the explicit gossip tick
+        #: stays silent until the DST advances past it.  Stays -1 when
+        #: replication batching is off, so every tick gossips — the
+        #: pre-batching behavior, bit-for-bit.
+        self._dst_piggybacked: Micros = -1
         self._is_aggregator = self.topology.server(self.m, 0) == self.address
         # Stagger first rounds per partition to avoid synchronized bursts
         # (same discipline as the Cure* stabilization mixin).
@@ -81,7 +87,7 @@ class UniversalStabilizationMixin:
     # ------------------------------------------------------------------
     def _ust_gossip_tick(self) -> None:
         dst = self._dst.get(self.m)
-        if dst is not None:
+        if dst is not None and dst > self._dst_piggybacked:
             self.send_fanout(
                 (self.topology.server(dc, 0)
                  for dc in range(self.topology.num_dcs) if dc != self.m),

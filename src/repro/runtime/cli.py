@@ -65,6 +65,15 @@ def add_deployment_args(parser: argparse.ArgumentParser) -> None:
                         help="first port of the deterministic port map; "
                              "0 = ephemeral ports (single-process only; "
                              "default: 7400)")
+    parser.add_argument("--repl-batch", type=int, metavar="N",
+                        help="enable protocol-level replication batching: "
+                             "up to N versions per inter-DC ReplicateBatch "
+                             "(see docs/protocols.md; N=1 is wire-"
+                             "equivalent to batching off)")
+    parser.add_argument("--repl-flush-ms", type=float, metavar="MS",
+                        help="replication batch flush deadline in ms "
+                             "(default: 5.0; enables batching when given "
+                             "without --repl-batch)")
     parser.add_argument("--data-dir", metavar="PATH",
                         help="enable durability: per-partition WAL + "
                              "snapshots under PATH, crash recovery on "
@@ -94,6 +103,15 @@ def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         cluster_overrides["num_partitions"] = args.partitions
     if args.keys is not None:
         cluster_overrides["keys_per_partition"] = args.keys
+    if args.repl_batch is not None or args.repl_flush_ms is not None:
+        repl_overrides: dict = {"enabled": True}
+        if args.repl_batch is not None:
+            repl_overrides["max_versions"] = args.repl_batch
+        if args.repl_flush_ms is not None:
+            repl_overrides["flush_ms"] = args.repl_flush_ms
+        cluster_overrides["repl_batch"] = dataclasses.replace(
+            cluster.repl_batch, **repl_overrides
+        )
     if cluster_overrides:
         cluster = dataclasses.replace(cluster, **cluster_overrides)
     workload = config.workload

@@ -68,6 +68,10 @@ class LiveReport:
     #: Open loop only: arrivals discarded at the drivers' backlog cap
     #: (nonzero means the offered rate was far beyond capacity).
     dropped_arrivals: int = 0
+    #: Update-visibility latency (remote-update creation to readability
+    #: here), ``LogHistogram.summary()`` shape — what replication
+    #: batching trades against inter-DC message count.
+    visibility: dict = field(default_factory=dict)
     #: Socket writes the transport issued (>= 1 frame each) and how many
     #: frames shared a write with others — the coalescing factor.
     batches_sent: int = 0
@@ -115,6 +119,13 @@ class LiveReport:
         if self.dropped_arrivals:
             lines.append(f"  dropped arrivals: {self.dropped_arrivals} "
                          f"(offered rate beyond backlog cap)")
+        if self.visibility.get("count"):
+            vis = self.visibility
+            lines.append(
+                f"  visibility      : p50 {vis['p50'] * 1000:.2f}ms  "
+                f"p99 {vis['p99'] * 1000:.2f}ms  "
+                f"({vis['count']} remote updates)"
+            )
         for violation in self.violations[:5]:
             lines.append(f"    violation: {violation}")
         for error in self.errors[:5]:
@@ -424,6 +435,7 @@ class LiveCluster:
             arrival=self.config.workload.arrival,
             latency=latency,
             dropped_arrivals=dropped,
+            visibility=metrics.visibility_lag.summary(),
             batches_sent=stats.batches_sent,
             batched_frames=stats.batched_frames,
             errors=list(self.hub.errors),

@@ -32,6 +32,7 @@ from repro.common.config import (
     LatencyConfig,
     PersistenceConfig,
     ProtocolConfig,
+    ReplicationBatchConfig,
     ServiceTimeConfig,
     WorkloadConfig,
 )
@@ -60,7 +61,8 @@ def experiment_config_from_dict(data: dict[str, Any]) -> ExperimentConfig:
     for key, sub_cls in (("latency", LatencyConfig),
                          ("clocks", ClockConfig),
                          ("service", ServiceTimeConfig),
-                         ("protocol_config", ProtocolConfig)):
+                         ("protocol_config", ProtocolConfig),
+                         ("repl_batch", ReplicationBatchConfig)):
         if key in cluster_data:
             sub = dict(cluster_data[key])
             if key == "latency" and "inter_dc_s" in sub:

@@ -273,6 +273,7 @@ class LiveHub:
     async def _sender(self, dst: Address, queue: asyncio.Queue) -> None:
         """One ordered connection per destination; retries early connects."""
         writer = None
+        carry: bytes | None = None
         try:
             host, port = self.book.lookup(dst)
             for attempt in range(CONNECT_RETRIES):
@@ -294,7 +295,10 @@ class LiveHub:
                 return
             stats = self.stats
             while True:
-                frame = await queue.get()
+                if carry is not None:
+                    frame, carry = carry, None
+                else:
+                    frame = await queue.get()
                 # Coalesce: everything already queued for this peer rides
                 # the same write (one syscall, one drain), up to the
                 # batch-bytes cap.  Frames accumulate while this sender
@@ -306,6 +310,13 @@ class LiveHub:
                     try:
                         nxt = queue.get_nowait()
                     except asyncio.QueueEmpty:
+                        break
+                    if size + len(nxt) > MAX_BATCH_BYTES:
+                        # Over the cap: this frame opens the *next* batch
+                        # instead of overshooting this one.  (A frame
+                        # bigger than the cap on its own still goes out,
+                        # alone, as a batch's first frame.)
+                        carry = nxt
                         break
                     parts.append(nxt)
                     size += len(nxt)
@@ -341,6 +352,11 @@ class LiveHub:
             # Whatever is still queued will never be written by *this*
             # sender: count it dropped and release drain()'s join().  A
             # later post to the same destination dials a fresh channel.
+            # A carried frame was already popped, so drain()'s join() is
+            # waiting on its task_done too.
+            if carry is not None:
+                queue.task_done()
+                self.stats.messages_dropped += 1
             while not queue.empty():
                 queue.get_nowait()
                 queue.task_done()
@@ -525,6 +541,11 @@ class LiveRuntime:
 
     def schedule_at(self, time_s: float, fn, *args) -> LiveTimer:
         return LiveTimer(self.hub, time_s - self.hub.now, fn, args)
+
+    def schedule_flush(self, delay: float, fn, *args) -> LiveTimer:
+        """Flush deadlines (replication batcher) are loop timers like any
+        other; the policy's cancel-on-threshold keeps them one-shot."""
+        return LiveTimer(self.hub, delay, fn, args)
 
     # ------------------------------------------------------------------
     # ProtocolRuntime: sends

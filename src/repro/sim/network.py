@@ -43,6 +43,7 @@ class NetworkStats:
     Updated inline by :meth:`Network.send` (the per-message hot path)."""
 
     __slots__ = ("messages_sent", "bytes_sent", "per_dc_pair_bytes",
+                 "per_dc_pair_messages", "inter_dc_by_type",
                  "messages_delivered", "messages_held")
 
     def __init__(self) -> None:
@@ -51,11 +52,23 @@ class NetworkStats:
         self.messages_held = 0
         self.bytes_sent = 0
         self.per_dc_pair_bytes: dict[tuple[int, int], int] = {}
+        self.per_dc_pair_messages: dict[tuple[int, int], int] = {}
+        #: Message-type name -> count, WAN traffic only.  What the
+        #: replication-batching bench reads to report replicate
+        #: messages/op (a batch of 64 is *one* entry here).
+        self.inter_dc_by_type: dict[str, int] = {}
 
     def inter_dc_bytes(self) -> int:
         """Bytes that crossed a DC boundary (the expensive WAN traffic)."""
         return sum(
             size for (src, dst), size in self.per_dc_pair_bytes.items()
+            if src != dst
+        )
+
+    def inter_dc_messages(self) -> int:
+        """Messages that crossed a DC boundary."""
+        return sum(
+            count for (src, dst), count in self.per_dc_pair_messages.items()
             if src != dst
         )
 
@@ -124,6 +137,12 @@ class Network:
         pair = (src.dc, dst.dc)
         per_pair = stats.per_dc_pair_bytes
         per_pair[pair] = per_pair.get(pair, 0) + size
+        per_msgs = stats.per_dc_pair_messages
+        per_msgs[pair] = per_msgs.get(pair, 0) + 1
+        if src.dc != dst.dc:
+            by_type = stats.inter_dc_by_type
+            name = type(msg).__name__
+            by_type[name] = by_type.get(name, 0) + 1
         if pair in self._blocked_pairs:
             # Held until the partition heals; FIFO preserved by the deque.
             stats.messages_held += 1

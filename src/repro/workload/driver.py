@@ -266,21 +266,30 @@ class OpenLoopClient(DriverBase):
         if not self._running:
             return
         now = self.sim.now
-        intended = now if self._next_arrival is None else self._next_arrival
-        self._next_arrival = intended + self._interval
-        # Keep the nominal cadence: a late tick (stalled loop) schedules
-        # the next arrival relative to the *intended* time, so the
-        # offered rate stays what was asked for and the slip is charged
-        # to the ops' latency, not silently absorbed.
-        delay = self._next_arrival - now
-        self.sim.schedule(delay if delay > 0 else 0.0, self._arrival_tick)
-        if self._busy:
-            if len(self._backlog) < self._max_backlog:
-                self._backlog.append(intended)
+        if self._next_arrival is None:
+            self._next_arrival = now
+        # Materialize *every* arrival whose intended instant has elapsed
+        # in this one tick.  A tick that fires late (the live event loop
+        # stalled behind a long callback or an fsync) used to advance the
+        # schedule one interval per tick and re-fire at delay 0 — a
+        # cascade of zero-delay events that monopolized the loop it was
+        # trying to catch up with.  Draining the whole gap here keeps the
+        # offered rate nominal (the slip is still charged to the ops'
+        # latency) while the backlog cap bounds the burst: overflow is
+        # counted, not queued.
+        elapsed = []
+        while self._next_arrival <= now:
+            elapsed.append(self._next_arrival)
+            self._next_arrival += self._interval
+        self.sim.schedule(self._next_arrival - now, self._arrival_tick)
+        for intended in elapsed:
+            if self._busy:
+                if len(self._backlog) < self._max_backlog:
+                    self._backlog.append(intended)
+                else:
+                    self.dropped_arrivals += 1
             else:
-                self.dropped_arrivals += 1
-        else:
-            self._issue(intended)
+                self._issue(intended)
 
     def _issue(self, intended: float) -> None:
         spec = self.workload.next_op()

@@ -426,16 +426,42 @@ def test_group_commit_flush_commits_pending_and_syncs(tmp_path):
     scheduler.run_all()
 
 
-def test_group_commit_after_wal_close_drops_without_error(tmp_path):
+def test_group_commit_append_racing_close_raises(tmp_path):
+    """A record appended but never covered by the shutdown flush must not
+    vanish silently: its commit raises instead of pretending the record
+    was logged (recovery cannot catch this — the clean WAL prefix looks
+    complete — so the only honest signal is a loud one here)."""
     from repro.persistence.wal import GroupCommit
 
     wal = WriteAheadLog(tmp_path, fsync="always")
     scheduler = ManualScheduler()
     group = GroupCommit(wal, scheduler)
     group.append(("v", version(key="straggler", ut=1)))
-    wal.close()
-    scheduler.run_all()  # must not raise: the run is already over
+    fired = []
+    group.notify_durable(fired.append)
+    wal.close()  # shutdown closed the log without flushing the batch
+    with pytest.raises(WalError, match="appended after the WAL was closed"):
+        scheduler.run_all()
     assert group.committed_batch == 0
+    assert fired == [], "a dropped record's ack must never be released"
+
+
+def test_group_commit_shutdown_flush_covers_scheduled_commit(tmp_path):
+    """The normal shutdown ordering — flush, then close — leaves the
+    still-scheduled commit a harmless no-op, not an error: every record
+    was covered by the flush."""
+    from repro.persistence.wal import GroupCommit
+
+    wal = WriteAheadLog(tmp_path, fsync="always")
+    scheduler = ManualScheduler()
+    group = GroupCommit(wal, scheduler)
+    group.append(("v", version(key="covered", ut=1)))
+    group.flush()
+    wal.close()
+    scheduler.run_all()  # must not raise: the flush already committed
+    assert group.committed_batch == 1
+    state = recover_directory(tmp_path)
+    assert {v.key for v in state.versions} == {"covered"}
 
 
 def test_durability_facade_defers_acks_only_for_fsync_always(tmp_path):

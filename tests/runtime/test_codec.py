@@ -141,6 +141,13 @@ STRATEGIES: dict[str, st.SearchStrategy] = {
     "GcBroadcast": st.builds(m.GcBroadcast, gv=vectors),
     "ReplSyncReq": st.builds(m.ReplSyncReq, vv=vectors,
                              requester=addresses),
+    "ReplicateBatch": st.builds(m.ReplicateBatch,
+                                versions=st.lists(
+                                    st.one_of(versions, cops_versions),
+                                    max_size=3),
+                                src_dc=st.integers(0, 4),
+                                clock_ts=micros,
+                                dst=micros),
     "ReplCatchup": st.builds(m.ReplCatchup,
                              versions=st.lists(
                                  st.one_of(versions, cops_versions),

@@ -92,3 +92,28 @@ def test_invalid_values_fail_validation(tmp_path):
     path.write_text("not json")
     with pytest.raises(ConfigError, match="not valid JSON"):
         load_experiment_config(str(path))
+
+
+def test_repl_batch_cli_flags_enable_protocol_batching():
+    from repro.runtime.bench_live import build_parser
+    from repro.runtime.cli import config_from_args
+
+    args = build_parser().parse_args(
+        ["--protocol", "pocc", "--repl-batch", "32",
+         "--repl-flush-ms", "2.5"]
+    )
+    config = config_from_args(args)
+    batch = config.cluster.repl_batch
+    assert batch.enabled
+    assert batch.max_versions == 32
+    assert batch.flush_ms == 2.5
+
+    # Either flag alone turns batching on; the other keeps its default.
+    args = build_parser().parse_args(["--repl-flush-ms", "10"])
+    batch = config_from_args(args).cluster.repl_batch
+    assert batch.enabled and batch.max_versions == 64
+    assert batch.flush_ms == 10.0
+
+    # And without the flags it stays off (the sim-report-identical path).
+    args = build_parser().parse_args([])
+    assert not config_from_args(args).cluster.repl_batch.enabled

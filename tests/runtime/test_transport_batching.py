@@ -1,0 +1,149 @@
+"""Unit tests pinning the sender's write-coalescing byte cap.
+
+The regression these exist for: the sender used to check ``size <
+MAX_BATCH_BYTES`` *before* popping the next frame and append it
+unconditionally, so every batch could overshoot the cap by one whole
+frame — a frame just under the cap could double the joined allocation.
+The fixed loop pops, then checks: an over-the-cap frame is carried into
+the next batch instead (and a frame bigger than the cap on its own still
+goes out, alone).
+"""
+
+import asyncio
+
+import pytest
+
+from repro.common.types import server_address
+from repro.runtime import transport
+from repro.runtime.transport import AddressBook, LiveHub
+
+
+class FakeWriter:
+    """Records each write() payload; drain() yields to the loop once."""
+
+    def __init__(self):
+        self.writes: list[bytes] = []
+        self.closed = False
+
+    def write(self, data: bytes) -> None:
+        self.writes.append(bytes(data))
+
+    async def drain(self) -> None:
+        await asyncio.sleep(0)
+
+    def close(self) -> None:
+        self.closed = True
+
+
+def _run_sender(frames: list[bytes], cap: int,
+                monkeypatch) -> tuple[FakeWriter, LiveHub]:
+    """Feed ``frames`` through one sender against a fake socket."""
+    dst = server_address(0, 0)
+    book = AddressBook()
+    book.set(dst, "127.0.0.1", 1)
+    hub = LiveHub(book)
+    writer = FakeWriter()
+
+    async def fake_open_connection(host, port):
+        return None, writer
+
+    monkeypatch.setattr(transport, "MAX_BATCH_BYTES", cap)
+    monkeypatch.setattr(transport.asyncio, "open_connection",
+                        fake_open_connection)
+
+    async def run() -> None:
+        queue: asyncio.Queue = asyncio.Queue()
+        for frame in frames:
+            queue.put_nowait(frame)
+        task = asyncio.get_running_loop().create_task(
+            hub._sender(dst, queue)
+        )
+        await asyncio.wait_for(queue.join(), timeout=5.0)
+        task.cancel()
+        try:
+            await task
+        except asyncio.CancelledError:
+            pass
+
+    asyncio.run(run())
+    return writer, hub
+
+
+def test_batches_never_exceed_the_byte_cap(monkeypatch):
+    cap = 100
+    frames = [bytes([i]) * 40 for i in range(6)]  # 40B each, cap fits 2
+    writer, hub = _run_sender(frames, cap, monkeypatch)
+    for write in writer.writes:
+        assert len(write) <= cap, (
+            f"write of {len(write)}B overshot the {cap}B cap"
+        )
+    # Nothing lost, nothing reordered: the concatenation is unchanged.
+    assert b"".join(writer.writes) == b"".join(frames)
+    assert hub.stats.max_batch_frames == 2
+    assert hub.stats.messages_dropped == 0
+
+
+def test_over_cap_frame_is_carried_into_the_next_batch(monkeypatch):
+    cap = 100
+    # 70 + 70 > cap: the second frame must open the next batch, and the
+    # 30B tail then rides with it (70 + 30 = cap, allowed).
+    frames = [b"a" * 70, b"b" * 70, b"c" * 30]
+    writer, hub = _run_sender(frames, cap, monkeypatch)
+    assert [len(w) for w in writer.writes] == [70, 100]
+    assert b"".join(writer.writes) == b"".join(frames)
+
+
+def test_single_oversized_frame_still_goes_out_alone(monkeypatch):
+    cap = 100
+    frames = [b"x" * 250, b"y" * 10, b"z" * 10]
+    writer, hub = _run_sender(frames, cap, monkeypatch)
+    # The oversized frame is a batch of its own; the rest coalesce.
+    assert [len(w) for w in writer.writes] == [250, 20]
+    assert b"".join(writer.writes) == b"".join(frames)
+    assert hub.stats.messages_dropped == 0
+
+
+def test_boundary_frame_exactly_filling_the_cap_rides_along(monkeypatch):
+    cap = 100
+    frames = [b"a" * 60, b"b" * 40]  # 60 + 40 == cap: not an overshoot
+    writer, _ = _run_sender(frames, cap, monkeypatch)
+    assert [len(w) for w in writer.writes] == [100]
+
+
+def test_dead_sender_accounts_for_its_carried_frame(monkeypatch):
+    """drain()'s queue.join() must not hang on a popped-but-unwritten
+    carry when the sender dies: the cleanup releases it as dropped."""
+    cap = 100
+    dst = server_address(0, 0)
+    book = AddressBook()
+    book.set(dst, "127.0.0.1", 1)
+    hub = LiveHub(book)
+
+    class ExplodingWriter(FakeWriter):
+        async def drain(self) -> None:
+            raise ConnectionResetError("peer went away")
+
+    writer = ExplodingWriter()
+
+    async def fake_open_connection(host, port):
+        return None, writer
+
+    monkeypatch.setattr(transport, "MAX_BATCH_BYTES", cap)
+    monkeypatch.setattr(transport.asyncio, "open_connection",
+                        fake_open_connection)
+
+    async def run() -> None:
+        queue: asyncio.Queue = asyncio.Queue()
+        # First batch fills past the cap, so a carry is pending when the
+        # write of the first batch blows up.
+        for frame in (b"a" * 70, b"b" * 70):
+            queue.put_nowait(frame)
+        task = asyncio.get_running_loop().create_task(
+            hub._sender(dst, queue)
+        )
+        await task  # the sender records the failure and returns
+        await asyncio.wait_for(queue.join(), timeout=5.0)
+
+    asyncio.run(run())
+    assert hub.stats.messages_dropped == 2  # written-batch frame + carry
+    assert hub.errors, "the sender failure must be recorded"

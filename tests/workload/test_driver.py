@@ -182,6 +182,96 @@ def test_open_loop_rejects_nonpositive_rate():
         _open_driver(built, rate_ops_s=0.0)
 
 
+class _FakeSim:
+    """Hand-cranked `sim` stand-in: tests set `now`, ticks are recorded.
+
+    The DES fires events exactly on schedule, so the stalled-loop shape
+    (a tick observing ``now`` far past its intended instant — a live
+    event loop wedged behind a long callback) can only be produced by
+    driving the tick by hand.
+    """
+
+    def __init__(self):
+        self.now = 0.0
+        self.scheduled: list[tuple[float, object]] = []
+
+    def schedule(self, delay, fn, *args):
+        self.scheduled.append((delay, fn))
+
+
+class _FakeSession:
+    """A client whose operations never complete: stays busy forever."""
+
+    address = "c[fake]"
+    session_resets = 0
+
+    def get(self, key, callback):
+        pass
+
+
+class _FakeWorkload:
+    def next_op(self):
+        from repro.workload.generators import OpSpec
+        return OpSpec(kind="get", keys=("k",))
+
+
+def _stall_driver(rate_ops_s=100.0, max_backlog=100_000):
+    from repro.workload.driver import OpenLoopClient
+    sim = _FakeSim()
+    driver = OpenLoopClient(
+        sim=sim, client=_FakeSession(), workload=_FakeWorkload(),
+        rate_ops_s=rate_ops_s, rng=__import__("random").Random(1),
+        max_backlog=max_backlog,
+    )
+    driver._running = True
+    return sim, driver
+
+
+def test_open_loop_stalled_tick_materializes_all_elapsed_arrivals():
+    sim, driver = _stall_driver(rate_ops_s=100.0)  # 10ms interval
+    driver._arrival_tick()  # t=0: issues the first op, session now busy
+    assert driver.ops_issued == 1
+    assert len(sim.scheduled) == 1
+
+    # The loop wedges for ~10 intervals; the next tick fires late.
+    sim.now = 0.105
+    driver._arrival_tick()
+    # Arrivals intended at 10ms..100ms all materialize in this ONE tick:
+    assert driver.backlog == 10
+    # ... and exactly one follow-up tick is scheduled, at a *positive*
+    # delay to the next intended arrival — not a zero-delay cascade of
+    # one-arrival ticks monopolizing the loop it should let recover.
+    assert len(sim.scheduled) == 2
+    delay, _ = sim.scheduled[-1]
+    assert delay == pytest.approx(0.005, abs=1e-9)
+
+
+def test_open_loop_catch_up_burst_is_bounded_by_the_backlog_cap():
+    # rate 128/s: the interval (1/128 s) is a binary fraction, so the
+    # accumulated arrival times are float-exact and the counts below
+    # are deterministic.
+    sim, driver = _stall_driver(rate_ops_s=128.0, max_backlog=5)
+    driver._arrival_tick()  # t=0: busy from here on
+    sim.now = 1.0  # a full second of stall = 128 missed arrivals
+    driver._arrival_tick()
+    assert driver.backlog == 5, "the burst must stop at the cap"
+    assert driver.dropped_arrivals == 123, "overflow is counted, not queued"
+    # The schedule recovered to the nominal cadence in one tick.
+    delay, _ = sim.scheduled[-1]
+    assert 0 < delay <= 1.0 / 128.0
+
+
+def test_open_loop_on_time_ticks_admit_exactly_one_arrival():
+    sim, driver = _stall_driver(rate_ops_s=100.0)
+    driver._arrival_tick()
+    for tick in range(1, 4):  # every tick fires exactly on schedule
+        sim.now = tick * 0.01
+        driver._arrival_tick()
+        assert driver.backlog == tick  # one new arrival per tick
+        assert sim.scheduled[-1][0] == pytest.approx(0.01)
+    assert driver.dropped_arrivals == 0
+
+
 def test_make_driver_selects_by_arrival_model():
     from repro.common.config import WorkloadConfig
     from repro.workload.driver import (
