@@ -5,8 +5,9 @@ workloads as ``bench_engine.py``), a reference figure-1a sweep and a
 reference replicate set — each executed serially (``parallelism=1``) and
 through the process-pool runner — plus the live-backend legs: the
 closed-loop smoke, the *pipelined* open-loop leg (throughput + p50/p90/p99
-against the embedded BENCH_pr4 live baseline) and the WAL fsync-mode
-sweep under group commit.  Everything lands in one ``BENCH_*.json``
+against the embedded BENCH_pr4 live baseline), the WAL fsync-mode
+sweep under group commit, and the lossy-link leg (1% replication loss,
+anti-entropy off vs on).  Everything lands in one ``BENCH_*.json``
 file.  Future PRs append their own snapshot file; comparing snapshots is
 the perf trajectory.
 
@@ -559,6 +560,100 @@ def bench_repl_batching(duration_s: float, protocols: tuple,
     return results, failed
 
 
+def _lossy_config(protocol: str, anti_entropy: bool, duration_s: float):
+    from repro.common.config import (
+        AntiEntropyConfig, ClockConfig, ClusterConfig, ExperimentConfig,
+        WorkloadConfig,
+    )
+
+    return ExperimentConfig(
+        cluster=ClusterConfig(num_dcs=3, num_partitions=2,
+                              keys_per_partition=40, protocol=protocol,
+                              clocks=ClockConfig(max_offset_us=200),
+                              anti_entropy=AntiEntropyConfig(
+                                  enabled=anti_entropy)),
+        workload=WorkloadConfig(kind="get_put", gets_per_put=1,
+                                clients_per_partition=4,
+                                think_time_s=0.0),
+        warmup_s=0.2,
+        duration_s=duration_s,
+        seed=29,
+        verify=True,
+        name=f"perf-lossy-ae-{'on' if anti_entropy else 'off'}",
+    )
+
+
+def bench_lossy_anti_entropy(duration_s: float,
+                             loss_rate: float = 0.01) -> tuple[dict, bool]:
+    """PR 7's chaos leg: 1% replication loss, anti-entropy off vs on.
+
+    Both arms run the identical seed and loss schedule (replication
+    traffic only, dropped from warmup through 70% of the measured window
+    so the drain can repair the tail), recording throughput, update
+    visibility, drops and the backfill's digest/repair counters.  The
+    off arm is the control — it shows what the fault costs when nothing
+    repairs it (divergent replicas are *expected* there and reported,
+    not gated).  The on arm is the gate: anti-entropy must restore
+    convergence and checker-cleanliness at no material throughput cost,
+    and the repair counters must show the convergence was earned.
+    """
+    from repro.harness.builders import build_cluster
+    from repro.harness.experiment import run_experiment
+
+    def one_arm(anti_entropy: bool) -> dict:
+        config = _lossy_config("pocc", anti_entropy, duration_s)
+        built = build_cluster(config)
+        loss_window = config.warmup_s + duration_s * 0.7
+        for src in range(config.cluster.num_dcs):
+            for dst in range(config.cluster.num_dcs):
+                if src != dst:
+                    built.faults.schedule_loss(
+                        0.05, src, dst, loss_rate,
+                        kinds=("Replicate", "ReplicateBatch"),
+                        stop_after=loss_window)
+        result = run_experiment(config, built=built)
+        return {
+            "throughput_ops_s": round(result.throughput_ops_s, 1),
+            "total_ops": result.total_ops,
+            "messages_dropped": built.network.stats.messages_dropped,
+            "ae_digests_sent": sum(s.ae_digests_sent
+                                   for s in built.servers.values()),
+            "ae_repairs_applied": sum(s.ae_repairs_applied
+                                      for s in built.servers.values()),
+            "visibility_p50_ms": round(
+                result.visibility_lag["p50"] * 1000, 2),
+            "visibility_p99_ms": round(
+                result.visibility_lag["p99"] * 1000, 2),
+            "divergences": result.divergences,
+            "violations": result.verification["violations"],
+        }
+
+    off = one_arm(anti_entropy=False)
+    on = one_arm(anti_entropy=True)
+    results = {
+        "workload": "get_put 1:1, 24 sessions, zero think time",
+        "loss": f"{loss_rate:.0%} of Replicate/ReplicateBatch on all "
+                f"inter-DC links, stopped before the drain",
+        "ae_off": off,
+        "ae_on": on,
+    }
+    if off["throughput_ops_s"]:
+        results["ae_on_vs_off_throughput_ratio"] = round(
+            on["throughput_ops_s"] / off["throughput_ops_s"], 3)
+    failed = False
+    if on["violations"] or on["divergences"]:
+        print(f"[perf] FAIL: lossy leg with anti-entropy on: "
+              f"{on['violations']} violations, "
+              f"{on['divergences']} divergent keys", file=sys.stderr)
+        failed = True
+    if on["messages_dropped"] == 0 or on["ae_repairs_applied"] == 0:
+        print("[perf] FAIL: lossy leg was vacuous (no drops or no "
+              "repairs) — the fault or the backfill never fired",
+              file=sys.stderr)
+        failed = True
+    return results, failed
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     parser.add_argument("--smoke", action="store_true",
@@ -643,6 +738,10 @@ def main(argv: list[str] | None = None) -> int:
           f"({live_duration}s window)...", file=sys.stderr)
     pipelined_batched, pipelined_batched_failed = (
         bench_live_pipelined_batched(live_duration))
+    lossy_duration = 0.8 if args.smoke else 2.0
+    print(f"[perf] lossy-link anti-entropy leg (1% replication loss, "
+          f"AE off vs on, {lossy_duration}s each)...", file=sys.stderr)
+    lossy_ae, lossy_failed = bench_lossy_anti_entropy(lossy_duration)
 
     from repro.runtime import codec
 
@@ -667,6 +766,7 @@ def main(argv: list[str] | None = None) -> int:
         "live_pipelined": pipelined,
         "persistence_fsync_modes": fsync_modes,
         "repl_batching": repl_batching,
+        "lossy_anti_entropy": lossy_ae,
         "live_pipelined_batched": {
             **pipelined_batched,
             # Same-run, same-machine comparison: the committed PR-5
@@ -709,6 +809,10 @@ def main(argv: list[str] | None = None) -> int:
     if pipelined_batched_failed:
         print("[perf] FAIL: the batched pipelined live run violated the "
               "checker or shut down uncleanly", file=sys.stderr)
+        return 1
+    if lossy_failed:
+        print("[perf] FAIL: the lossy-link anti-entropy leg missed its "
+              "gate (see above)", file=sys.stderr)
         return 1
     if engine_ratio < 0.85:
         # Warning only, never a failure: hosted-runner hardware varies

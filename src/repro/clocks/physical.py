@@ -48,7 +48,7 @@ class PhysicalClock:
     """
 
     __slots__ = ("_sim", "_offset_us", "_rate", "_last_read",
-                 "_base_s", "_base_us")
+                 "_base_s", "_base_us", "_step_epoch")
 
     def __init__(
         self,
@@ -64,6 +64,7 @@ class PhysicalClock:
         self._last_read: Micros = 0
         self._base_s = sim.now
         self._base_us = self._base_s * _US_PER_S
+        self._step_epoch = 0
 
     @classmethod
     def sample(
@@ -111,6 +112,27 @@ class PhysicalClock:
         """
         if floor_us > self._last_read:
             self._last_read = floor_us
+
+    # ------------------------------------------------------------------
+    # Skew-spike fault injection
+    # ------------------------------------------------------------------
+    def step(self, delta_us: int) -> None:
+        """Step the clock offset by ``delta_us`` (an NTP-style skew spike).
+
+        A positive step jumps the clock forward; a negative step pulls it
+        back (reads stay monotonic through the ``_last_read`` floor, but
+        the raw clock — and therefore :meth:`sim_time_when` — really does
+        move).  Bumping :attr:`step_epoch` lets clock-wait schedulers
+        detect that a wake-up computed before the step may now fire too
+        early and must re-check its predicate.
+        """
+        self._offset_us += int(delta_us)
+        self._step_epoch += 1
+
+    @property
+    def step_epoch(self) -> int:
+        """Incremented on every injected :meth:`step`; 0 when unfaulted."""
+        return self._step_epoch
 
     # ------------------------------------------------------------------
     # Inversion

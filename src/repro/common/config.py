@@ -203,6 +203,42 @@ class ReplicationBatchConfig:
 
 
 @dataclass(frozen=True, slots=True)
+class AntiEntropyConfig:
+    """Anti-entropy backfill between sibling replicas (off by default).
+
+    Replication is fire-and-forget; the paper's lossless channels make
+    that safe, injected message loss does not.  When enabled, every
+    partition server periodically sends each peer replica a digest — its
+    version vector plus the update times it actually received from that
+    peer inside ``window_s`` below the watermark — and the peer re-ships
+    exactly the missing versions.  Disabled, no timer is ever scheduled
+    and per-seed simulation reports stay byte-identical.
+    """
+
+    enabled: bool = False
+    #: Digest period.  Repair latency for a dropped update is roughly
+    #: one period + one WAN round trip.
+    interval_s: float = 0.05
+    #: How far below the per-source watermark the digest enumerates
+    #: received update times.  Must comfortably exceed ``interval_s``
+    #: plus the WAN round trip so a hole stays inside the window across
+    #: several digest rounds (a repair can itself be lost).
+    window_s: float = 0.5
+    #: Versions per AeRepair message.
+    chunk: int = 256
+
+    def validate(self) -> None:
+        if self.interval_s <= 0:
+            raise ConfigError("anti_entropy.interval_s must be > 0")
+        if self.window_s <= self.interval_s:
+            raise ConfigError(
+                "anti_entropy.window_s must exceed interval_s"
+            )
+        if self.chunk < 1:
+            raise ConfigError("anti_entropy.chunk must be >= 1")
+
+
+@dataclass(frozen=True, slots=True)
 class ClusterConfig:
     """Shape and physical parameters of one simulated deployment."""
 
@@ -222,6 +258,9 @@ class ClusterConfig:
     repl_batch: ReplicationBatchConfig = field(
         default_factory=ReplicationBatchConfig
     )
+    anti_entropy: AntiEntropyConfig = field(
+        default_factory=AntiEntropyConfig
+    )
 
     def validate(self) -> None:
         if self.num_dcs < 2:
@@ -237,6 +276,7 @@ class ClusterConfig:
         self.service.validate()
         self.protocol_config.validate()
         self.repl_batch.validate()
+        self.anti_entropy.validate()
 
     @property
     def num_nodes(self) -> int:

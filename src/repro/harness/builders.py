@@ -67,10 +67,12 @@ def build_cluster(config: ExperimentConfig) -> BuiltCluster:
 
     server_cls = server_class(cluster.protocol)
     servers: dict[Address, CausalServer] = {}
+    server_clocks: dict[Address, PhysicalClock] = {}
     for address in topology.all_servers():
         clock = PhysicalClock.sample(
             sim, cluster.clocks, rng.stream(seeds.clock_stream(address))
         )
+        server_clocks[address] = clock
         adapter = SimNode(sim, network, address,
                           cores=cluster.cores_per_node)
         server = server_cls(adapter, clock, topology, cluster, metrics)
@@ -110,7 +112,12 @@ def build_cluster(config: ExperimentConfig) -> BuiltCluster:
                 clients.append(client)
                 drivers.append(driver)
 
-    faults = FaultInjector(sim, network)
+    # Full-capability injector: latency for slow links, the server
+    # clocks for skew spikes, a dedicated RNG stream for lossy drops
+    # (never read unless a loss rate is actually set).
+    faults = FaultInjector(sim, network, latency=latency,
+                           clocks=server_clocks,
+                           rng=rng.stream(seeds.FAULTS))
     return BuiltCluster(
         config=config,
         sim=sim,

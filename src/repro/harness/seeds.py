@@ -6,6 +6,12 @@ from repro.common.types import Address
 
 LATENCY = "latency"
 
+#: Stochastic fault decisions (lossy-link drops).  A dedicated stream so
+#: enabling loss never perturbs latency/clock/workload draws — and with
+#: no loss configured the stream is never read, keeping per-seed reports
+#: byte-identical to runs from before it existed.
+FAULTS = "faults"
+
 
 def clock_stream(address: Address) -> str:
     return f"clock:{address}"

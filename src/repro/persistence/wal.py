@@ -159,6 +159,38 @@ def truncate_segment(path: Path, clean_offset: int) -> int:
     return size - clean_offset
 
 
+class DiskFault:
+    """Injected disk misbehavior for one WAL (chaos: a stalling or dying
+    device).
+
+    ``sync_delay_s`` stalls every fsync (a saturated device whose write
+    queue backs up); ``fail_syncs`` makes the next N fsyncs raise
+    ``OSError(EIO)`` (a device returning write errors).  Attached to a
+    log via :attr:`WriteAheadLog.disk_fault`; detach by setting it back
+    to None.  All syncs funnel through :meth:`WriteAheadLog._sync`, so
+    the fault covers every fsync mode, group commit, segment rolls and
+    shutdown flushes alike.
+    """
+
+    __slots__ = ("sync_delay_s", "fail_syncs", "stalls", "failures")
+
+    def __init__(self, sync_delay_s: float = 0.0, fail_syncs: int = 0):
+        self.sync_delay_s = sync_delay_s
+        self.fail_syncs = fail_syncs
+        self.stalls = 0
+        self.failures = 0
+
+    def apply(self) -> None:
+        """Called before each fsync: stall, then maybe fail."""
+        if self.sync_delay_s > 0:
+            self.stalls += 1
+            time.sleep(self.sync_delay_s)
+        if self.fail_syncs > 0:
+            self.fail_syncs -= 1
+            self.failures += 1
+            raise OSError(5, "injected disk fault: fsync failed")
+
+
 class WalStats:
     """Counters one :class:`WriteAheadLog` accumulates over its life."""
 
@@ -197,6 +229,9 @@ class WriteAheadLog:
         self._fsync_interval_s = fsync_interval_s
         self._last_sync = time.monotonic()
         self.stats = WalStats()
+        #: Chaos hook: when set, every sync stalls and/or fails per the
+        #: fault's parameters (see :class:`DiskFault`).
+        self.disk_fault: DiskFault | None = None
         self._closed = False
         segments = list_segments(self.directory)
         if segments:
@@ -247,11 +282,8 @@ class WriteAheadLog:
             self._sync()
         elif mode == "interval":
             self._file.flush()
-            now = time.monotonic()
-            if now - self._last_sync >= self._fsync_interval_s:
-                os.fsync(self._file.fileno())
-                self._last_sync = now
-                self.stats.syncs += 1
+            if time.monotonic() - self._last_sync >= self._fsync_interval_s:
+                self._sync()
         # "off": leave buffering to the runtime until flush()/close().
 
     def append_version(self, version: Any) -> None:
@@ -260,6 +292,8 @@ class WriteAheadLog:
 
     def _sync(self) -> None:
         self._file.flush()
+        if self.disk_fault is not None:
+            self.disk_fault.apply()
         os.fsync(self._file.fileno())
         self._last_sync = time.monotonic()
         self.stats.syncs += 1

@@ -184,6 +184,9 @@ class CausalServer(ProtocolCore):
         # chunk is still outstanding, client traffic parked meanwhile.
         self._catching_up: set[int] | None = None
         self._parked_during_catchup: list[Any] = []
+        # Anti-entropy accounting (chaos runs assert repair happened).
+        self.ae_digests_sent = 0
+        self.ae_repairs_applied = 0
         self._start_timers()
 
     # ------------------------------------------------------------------
@@ -195,6 +198,13 @@ class CausalServer(ProtocolCore):
         gc = self._protocol.gc_interval_s
         # Stagger GC rounds so all nodes do not report at the same instant.
         self.rt.schedule(gc * (1.0 + 0.01 * self.n), self._gc_tick)
+        ae = self.config.anti_entropy
+        if ae.enabled and self._peer_replicas:
+            # Anti-entropy digests (off by default — when disabled this
+            # timer never exists and per-seed reports stay byte-identical).
+            # Staggered like GC so sibling digests do not collide.
+            self.rt.schedule(ae.interval_s * (1.0 + 0.01 * self.m),
+                             self._ae_tick)
 
     def _heartbeat_tick(self) -> None:
         """Algorithm 2 lines 19-26: broadcast the clock if write-idle."""
@@ -221,6 +231,33 @@ class CausalServer(ProtocolCore):
     # ------------------------------------------------------------------
     # Waiting / waking
     # ------------------------------------------------------------------
+    def wait_for_clock(
+        self, target_us: Micros, resume: Callable[[], None]
+    ) -> None:
+        """Run ``resume`` once the local clock strictly exceeds
+        ``target_us`` (the Algorithm 2 line 7 clock wait).
+
+        The wake-up instant is computed from the clock's *current*
+        offset.  An injected skew step between scheduling and firing can
+        invalidate it: after a negative step the clock may still be at or
+        below ``target_us`` when the wake-up fires, and stamping then
+        would put an update below its own dependency cut.  The epoch
+        check catches exactly that case and re-arms; without steps it
+        never triggers, so event counts — and per-seed reports — are
+        unchanged.
+        """
+        clock = self.clock
+        epoch = clock.step_epoch
+
+        def fire() -> None:
+            if (clock.step_epoch != epoch
+                    and clock.peek_micros() <= target_us):
+                self.wait_for_clock(target_us, resume)
+                return
+            resume()
+
+        self.rt.schedule_at(clock.sim_time_when(target_us), fire)
+
     def wake(self, waiter: _Waiter) -> None:
         """Charge resumption CPU and record the blocking duration."""
         duration = self.rt.now - waiter.blocked_at
@@ -377,6 +414,76 @@ class CausalServer(ProtocolCore):
         if msg.ts > self.vv[msg.src_dc]:
             self.vv[msg.src_dc] = msg.ts
         self.waiters.notify()
+
+    # ------------------------------------------------------------------
+    # Anti-entropy backfill (repair path for lossy channels)
+    # ------------------------------------------------------------------
+    # Replication is fire-and-forget over channels the paper assumes
+    # lossless; under injected loss a dropped Replicate leaves a
+    # permanent hole — and a later heartbeat advances the receiver's VV
+    # entry *past* it, so the hole is invisible to the VV watermark
+    # alone.  The digest therefore carries, per source, the update times
+    # of the versions actually received inside a trailing window below
+    # the watermark; the origin diffs that set against what it created
+    # in the same window and re-ships exactly the gap.  Anything newer
+    # than the watermark is left alone (it may still be in flight; the
+    # advancing watermark pulls it into the window next round).
+
+    def _ae_window_ticks(self, window_s: float) -> int:
+        """The digest window in *timestamp units*.  Protocols whose
+        timestamps are not plain microseconds (Okapi*'s packed hybrid
+        values) override this — a window measured in the wrong unit
+        silently degenerates to empty and anti-entropy repairs nothing.
+        """
+        return int(window_s * 1_000_000)
+
+    def _ae_tick(self) -> None:
+        ae = self.config.anti_entropy
+        window_us = self._ae_window_ticks(ae.window_s)
+        vv = self.vv
+        by_source: dict[int, list[Micros]] = {}
+        for v in self.store.all_versions():
+            if v.sr == self.m:
+                continue
+            floor = vv[v.sr]
+            if floor - window_us < v.ut <= floor:
+                by_source.setdefault(v.sr, []).append(v.ut)
+        for peer in self._peer_replicas:
+            self.ae_digests_sent += 1
+            self.send(peer, m.AeDigest(
+                vv=list(vv),
+                uts=tuple(sorted(by_source.get(peer.dc, ()))),
+                requester=self.address,
+            ))
+        self.rt.schedule(ae.interval_s, self._ae_tick)
+
+    def handle_ae_digest(self, msg: m.AeDigest) -> None:
+        """Re-ship our own versions the requester provably missed."""
+        ae = self.config.anti_entropy
+        window_us = self._ae_window_ticks(ae.window_s)
+        floor = msg.vv[self.m] if self.m < len(msg.vv) else 0
+        if floor <= 0:
+            return
+        have = set(msg.uts)
+        missing = [v for v in self.store.all_versions()
+                   if v.sr == self.m and v.ut not in have
+                   and floor - window_us < v.ut <= floor]
+        if not missing:
+            return
+        missing.sort(key=lambda v: v.ut)
+        for start in range(0, len(missing), ae.chunk):
+            self.send(msg.requester, m.AeRepair(
+                versions=missing[start:start + ae.chunk], src_dc=self.m))
+
+    def apply_ae_repair(self, msg: m.AeRepair) -> None:
+        """Install repaired versions through the protocol's own
+        replication path, skipping what arrived by other means since the
+        digest went out (a reconnected channel, a catch-up chunk)."""
+        for version in msg.versions:
+            if not self.store.has_version(version.key, version.sr,
+                                          version.ut):
+                self.ae_repairs_applied += 1
+                self.apply_replicate(m.Replicate(version=version))
 
     # ------------------------------------------------------------------
     # Garbage collection (Section IV-B)
@@ -588,6 +695,11 @@ class CausalServer(ProtocolCore):
             return service.stabilization_msg_s
         if isinstance(msg, (m.GcPush, m.GcBroadcast)):
             return service.gc_msg_s
+        if isinstance(msg, m.AeDigest):
+            return service.stabilization_msg_s
+        if isinstance(msg, m.AeRepair):
+            # Installing n repaired versions costs n replication applies.
+            return service.replicate_s * len(msg.versions)
         return 0.0
 
     def message_priority(self, msg: Any) -> int:
@@ -599,7 +711,8 @@ class CausalServer(ProtocolCore):
         from repro.protocols.core import BACKGROUND, FOREGROUND
         if isinstance(msg, (m.Replicate, m.ReplicateBatch, m.Heartbeat,
                             m.StabPush, m.StabBroadcast, m.UstGossip,
-                            m.GcPush, m.GcBroadcast)):
+                            m.GcPush, m.GcBroadcast,
+                            m.AeDigest, m.AeRepair)):
             return BACKGROUND
         return FOREGROUND
 
@@ -628,6 +741,10 @@ class CausalServer(ProtocolCore):
             self.handle_repl_sync(msg)
         elif isinstance(msg, m.ReplCatchup):
             self.apply_catchup(msg)
+        elif isinstance(msg, m.AeDigest):
+            self.handle_ae_digest(msg)
+        elif isinstance(msg, m.AeRepair):
+            self.apply_ae_repair(msg)
         else:
             self.handle_other(msg)
 

@@ -144,7 +144,7 @@ class CopsServer(CausalServer):
             self.submit_local(self._service.resume_s,
                               self._apply_put_after, msg)
 
-        self.rt.schedule_at(self.clock.sim_time_when(max_dep), resume)
+        self.wait_for_clock(max_dep, resume)
 
     def _apply_put_after(self, msg: m.CopsPutReq) -> None:
         ts = self.clock.micros()

@@ -117,9 +117,15 @@ class CureServer(StabilizationMixin, CausalServer):
             return
         version, scanned = chain.find_freshest(visible)
         if version is None:
-            # Nothing visible yet (cannot happen once keys are preloaded,
-            # since preloaded versions are stable); fall back to oldest.
-            version = next(reversed(list(chain)))
+            # Nothing visible: possible only when GC has dropped every
+            # stable version of the chain (its dv-covered retention floor
+            # can have an update time above the GSS).  Serve the head —
+            # the GSS wait above means everything the session depends on
+            # has been received, so the freshest version is never older
+            # than the session's history, while the oldest can be (a slow
+            # link can deliver long-superseded remote versions into the
+            # bottom of an already-collected chain).
+            version = chain.head()
             scanned = len(chain)
         self.metrics.record_get_staleness(
             chain.versions_newer_than(version), self._count_unmerged(chain)
@@ -141,7 +147,6 @@ class CureServer(StabilizationMixin, CausalServer):
         if self.clock.peek_micros() > max_dep:
             self._apply_put(msg)
             return
-        wake_at = self.clock.sim_time_when(max_dep)
         blocked_at = self.rt.now
 
         def resume() -> None:
@@ -149,7 +154,7 @@ class CureServer(StabilizationMixin, CausalServer):
                                               self.rt.now - blocked_at)
             self.submit_local(self._service.resume_s, self._apply_put, msg)
 
-        self.rt.schedule_at(wake_at, resume)
+        self.wait_for_clock(max_dep, resume)
 
     def _apply_put(self, msg: m.PutReq) -> None:
         version = self.create_version(msg.key, msg.value, tuple(msg.dv))
@@ -191,7 +196,7 @@ class CureServer(StabilizationMixin, CausalServer):
             version, scanned = chain.find_freshest(visible)
             scanned_total += scanned
             if version is None:
-                version = next(reversed(list(chain)))
+                version = chain.head()  # see _serve_get
             self.metrics.record_tx_staleness(
                 chain.versions_newer_than(version),
                 self._count_unmerged(chain),

@@ -170,7 +170,7 @@ class GentleRainServer(CausalServer):
                                               self.rt.now - blocked_at)
             self.submit_local(self._service.resume_s, self._apply_put, msg)
 
-        self.rt.schedule_at(self.clock.sim_time_when(dt), resume)
+        self.wait_for_clock(dt, resume)
 
     def _apply_put(self, msg: m.PutReq) -> None:
         # Versions store no dependency cut under GentleRain (O(1) metadata).

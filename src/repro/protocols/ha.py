@@ -118,6 +118,24 @@ class HaPoccServer(StabilizationMixin, PoccServer):
             return True
         return vec_leq(version.commit_vector(), sv)
 
+    def _apply_gc(self, gv) -> None:
+        """Section IV-B's retention rule is calibrated for dv-based
+        snapshot visibility; the pessimistic protocol reads commit-vector
+        style from snapshots bounded below by the GSS.  A version with
+        ``dv <= GV`` can still be invisible to *every* pessimistic
+        snapshot when its own update time exceeds the stable cut, so
+        plain retention can strip a chain down to versions no pessimistic
+        session may read — and the subsequent read would have nothing
+        visible at all.  Retention therefore additionally stops only at a
+        version whose commit vector is inside the GSS (visible to any
+        ``sv >= GSS``, now and forever, since the GSS is monotone)."""
+        gss = list(self.gss)
+        self.store.collect_by(
+            lambda v: vec_leq(v.dv, gv)
+            and vec_leq(v.commit_vector(), gss),
+            gv,
+        )
+
     def _serve_pessimistic_get(self, msg: m.GetReq) -> None:
         sv = vec_max(self.gss, msg.rdv)
         chain = self.store.chain(msg.key)
@@ -128,7 +146,14 @@ class HaPoccServer(StabilizationMixin, PoccServer):
             lambda v: self._pessimistic_visible(v, sv)
         )
         if version is None:
-            version = next(reversed(list(chain)))
+            # Unreachable once GC retains a stable version per chain (see
+            # _apply_gc), but kept as defense in depth.  Serve the *head*:
+            # the GSS wait above guarantees every version this session
+            # depends on has been received, so the freshest version is
+            # never older than the session's history — the oldest can be
+            # (a slow link can deliver long-superseded remote versions
+            # into the bottom of an already-collected chain).
+            version = chain.head()
             scanned = len(chain)
         self.metrics.record_get_staleness(
             chain.versions_newer_than(version), 0
@@ -151,9 +176,8 @@ class HaPoccServer(StabilizationMixin, PoccServer):
         if self.clock.peek_micros() > max_dep:
             self._apply_pessimistic_put(msg)
             return
-        self.rt.schedule_at(
-            self.clock.sim_time_when(max_dep),
-            self._apply_pessimistic_put, msg,
+        self.wait_for_clock(
+            max_dep, lambda: self._apply_pessimistic_put(msg)
         )
 
     def _apply_pessimistic_put(self, msg: m.PutReq) -> None:
@@ -199,7 +223,7 @@ class HaPoccServer(StabilizationMixin, PoccServer):
             )
             scanned_total += scanned
             if version is None:
-                version = next(reversed(list(chain)))
+                version = chain.head()  # see _serve_pessimistic_get
             self.metrics.record_tx_staleness(
                 chain.versions_newer_than(version), 0
             )

@@ -280,6 +280,41 @@ class ReplCatchup:
         )
 
 
+@dataclass(slots=True)
+class AeDigest:
+    """Anti-entropy digest: what the sender holds from the receiver.
+
+    ``vv`` is the sender's version vector (its per-source watermarks);
+    ``uts`` are the update times of versions it actually received from
+    the *receiver's* DC inside the configured window below
+    ``vv[receiver.dc]``.  The receiver diffs ``uts`` against its own
+    creations in that window and re-ships the gap (:class:`AeRepair`) —
+    the set is what makes holes below a heartbeat-advanced watermark
+    detectable at all.
+    """
+
+    vv: list[Micros]
+    uts: tuple[Micros, ...]
+    requester: Address
+
+    def size_bytes(self) -> int:
+        return (HEADER_BYTES + vector_bytes(self.vv)
+                + TS_BYTES * len(self.uts) + ID_BYTES)
+
+
+@dataclass(slots=True)
+class AeRepair:
+    """Anti-entropy repair: versions the digest proved missing."""
+
+    versions: list[Version]
+    src_dc: ReplicaId
+
+    def size_bytes(self) -> int:
+        return HEADER_BYTES + ID_BYTES + sum(
+            version_bytes(v) for v in self.versions
+        )
+
+
 # ----------------------------------------------------------------------
 # Stabilization (Cure* / HA-POCC) and garbage collection
 # ----------------------------------------------------------------------

@@ -120,6 +120,12 @@ class OkapiServer(UniversalStabilizationMixin, CausalServer):
                 m.UstGossip(dst=msg.dst, src_dc=msg.src_dc)
             )
 
+    def _ae_window_ticks(self, window_s: float) -> int:
+        """Okapi* timestamps are packed HLC values: shift the physical
+        window up past the logical bits or it covers ~0 wall time."""
+        return (int(window_s * 1_000_000)
+                << HybridLogicalClock.LOGICAL_BITS)
+
     def _advance_clock_past(self, floor_us: Micros) -> None:
         """Okapi* timestamps are packed HLC values, so the recovery floor
         must be merged into the hybrid clock (feeding a packed value to

@@ -76,7 +76,6 @@ class PoccServer(CausalServer):
         if self.clock.peek_micros() > max_dep:
             self._apply_put(msg)
             return
-        wake_at = self.clock.sim_time_when(max_dep)
         blocked_at = self.rt.now
 
         def resume() -> None:
@@ -84,7 +83,7 @@ class PoccServer(CausalServer):
                                               self.rt.now - blocked_at)
             self.submit_local(self._service.resume_s, self._apply_put, msg)
 
-        self.rt.schedule_at(wake_at, resume)
+        self.wait_for_clock(max_dep, resume)
 
     def _apply_put(self, msg: m.PutReq) -> None:
         # Lines 8-14: stamp, insert, replicate; line 15: reply with ut.

@@ -1,4 +1,5 @@
-"""Kill/restart chaos for the live backend: the durability acceptance rig.
+"""Chaos harnesses: kill/restart crash-recovery and the hostile-network
+chaos matrix.
 
 :func:`run_crash_experiment` is ``run_live_experiment`` with a fault
 knob: one partition server (the *victim*) runs as a real OS subprocess
@@ -10,6 +11,12 @@ data directory (WAL + snapshot recovery, then replication catch-up
 against its peers), and finally SIGTERMed so its graceful-shutdown path
 (flush the WAL before the transport, exit non-zero on failure) is
 exercised too.
+
+:func:`run_chaos_matrix` runs the named hostile-network scenarios
+(asymmetric cuts, probabilistic loss, congested links, clock-skew
+spikes, stalled disks, full-DC failover) across protocols, each cell
+gated on **zero causal-checker violations and replica convergence** —
+see the module-level ``SCENARIOS`` registry and ``docs/chaos.md``.
 
 The verdict (:class:`CrashReport`) gates on exactly what the paper's
 fault-tolerance story needs and nothing the crash legitimately breaks:
@@ -31,16 +38,26 @@ from __future__ import annotations
 import asyncio
 import os
 import sys
-from dataclasses import dataclass, field
+import tempfile
+from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import Any
+from typing import Any, Callable, Sequence
 
-from repro.common.config import ExperimentConfig
+from repro.common.config import (
+    AntiEntropyConfig,
+    ExperimentConfig,
+    PersistenceConfig,
+    WorkloadConfig,
+    smoke_scale_cluster,
+)
 from repro.common.errors import ReproError
 from repro.common.types import version_order_key
 from repro.cluster.topology import Topology
+from repro.harness.builders import BuiltCluster, build_cluster
+from repro.harness.experiment import ExperimentResult, run_experiment
 from repro.runtime.cluster import LiveCluster, LiveReport
 from repro.runtime.configfile import save_experiment_config
+from repro.verification.convergence import check_convergence
 
 # NOTE: repro.persistence imports are deferred into the functions below:
 # persistence depends on the codec (hence on this package's __init__), so
@@ -310,3 +327,502 @@ def run_crash_experiment(
     if not config.verify:
         raise ReproError("crash experiments require config.verify=True")
     return asyncio.run(_run(config, fault, host, base_port))
+
+
+# ======================================================================
+# The hostile-network chaos matrix
+# ======================================================================
+#
+# Each scenario is one *class* of hostility, shaped so the fault is
+# active for a sizable slice of the measurement window and fully cleared
+# before the drain.  All sim cells share the timeline below; the
+# stalled-disk cell runs on the live backend (disks only exist there).
+
+#: Protocols every matrix run covers by default (the paper's subject,
+#: its pessimistic baseline, and the hybrid-clock variant).
+DEFAULT_MATRIX_PROTOCOLS = ("pocc", "cure", "okapi")
+
+MATRIX_WARMUP_S = 0.3
+MATRIX_DURATION_S = 2.5
+#: When sim-cell faults start / must be gone (inside the window).
+_FAULT_AT_S = 0.8
+_FAULT_CLEAR_S = 2.4
+
+
+@dataclass(slots=True)
+class ChaosVerdict:
+    """One (scenario, protocol) cell of the matrix."""
+
+    scenario: str
+    fault_class: str
+    protocol: str
+    backend: str
+    violations: int
+    reads_checked: int
+    divergences: int
+    total_ops: int
+    #: Empty iff the cell passed; each entry is one human-readable gate
+    #: failure (checker violations, divergent keys, fault never fired…).
+    failures: list[str] = field(default_factory=list)
+    #: Scenario-specific counters (drops, repairs, stalls, …).
+    details: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def passed(self) -> bool:
+        return not self.failures
+
+    def summary_line(self) -> str:
+        verdict = "PASS" if self.passed else "FAIL"
+        extras = ", ".join(f"{k}={v}" for k, v in self.details.items())
+        line = (
+            f"  [{verdict}] {self.scenario:>16} x {self.protocol:<6} "
+            f"({self.backend}): {self.violations} violations / "
+            f"{self.reads_checked} reads, {self.divergences} divergent, "
+            f"{self.total_ops} ops"
+        )
+        if extras:
+            line += f"  ({extras})"
+        return line
+
+
+@dataclass(slots=True)
+class ChaosMatrixReport:
+    """All cells of one matrix run."""
+
+    seed: int
+    verdicts: list[ChaosVerdict] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return bool(self.verdicts) and all(v.passed for v in self.verdicts)
+
+    def summary_text(self) -> str:
+        verdict = "PASS" if self.passed else "FAIL"
+        lines = [
+            f"chaos matrix (seed {self.seed}): {verdict} — "
+            f"{sum(v.passed for v in self.verdicts)}/"
+            f"{len(self.verdicts)} cells clean"
+        ]
+        for cell in self.verdicts:
+            lines.append(cell.summary_line())
+            for failure in cell.failures:
+                lines.append(f"        gate: {failure}")
+        return "\n".join(lines)
+
+
+def _matrix_config(
+    protocol: str, seed: int, name: str, anti_entropy: bool = False
+) -> ExperimentConfig:
+    """The shared sim-cell deployment: smoke scale, mixed workload,
+    verification on.  Anti-entropy is enabled only where a scenario
+    actually loses messages — everything else runs the stock protocol."""
+    cluster = smoke_scale_cluster(protocol)
+    if anti_entropy:
+        cluster = replace(cluster,
+                          anti_entropy=AntiEntropyConfig(enabled=True))
+    return ExperimentConfig(
+        cluster=cluster,
+        workload=WorkloadConfig(
+            kind="mixed",
+            read_ratio=0.7,
+            tx_ratio=0.15,
+            tx_partitions=2,
+            clients_per_partition=2,
+            think_time_s=0.005,
+        ),
+        warmup_s=MATRIX_WARMUP_S,
+        duration_s=MATRIX_DURATION_S,
+        seed=seed,
+        verify=True,
+        name=f"chaos-{name}",
+    )
+
+
+def _sim_verdict(
+    scenario: "ChaosScenario",
+    protocol: str,
+    built: BuiltCluster,
+    result: ExperimentResult,
+    extra_failures: list[str],
+    details: dict[str, Any],
+) -> ChaosVerdict:
+    """The universal sim-cell gates plus the scenario's own."""
+    failures = list(extra_failures)
+    violations = result.verification["violations"]
+    if violations:
+        failures.append(f"{violations} causal violations")
+    if result.divergences:
+        failures.append(f"{result.divergences} divergent keys after drain")
+    if built.faults.any_fault_active:
+        failures.append("faults still active at end of run")
+    return ChaosVerdict(
+        scenario=scenario.name,
+        fault_class=scenario.fault_class,
+        protocol=protocol,
+        backend="sim",
+        violations=violations,
+        reads_checked=result.verification["reads_checked"],
+        divergences=result.divergences,
+        total_ops=result.total_ops,
+        failures=failures,
+        details=details,
+    )
+
+
+def _cell_asym_partition(scenario, protocol: str, seed: int,
+                         data_dir: str | None) -> ChaosVerdict:
+    """Two overlapping one-direction cuts: a routing fault where A still
+    hears B but B no longer hears A (and a second pair likewise)."""
+    config = _matrix_config(protocol, seed, scenario.name)
+    built = build_cluster(config)
+    faults = built.faults
+    faults.schedule_one_way_cut(_FAULT_AT_S, 0, 1, heal_after=0.6)
+    faults.schedule_one_way_cut(_FAULT_AT_S + 0.2, 2, 0, heal_after=0.4)
+    result = run_experiment(config, built=built)
+    extra: list[str] = []
+    if faults.one_way_cuts_started < 2:
+        extra.append("one-way cuts never fired")
+    if faults.one_way_cuts_healed < faults.one_way_cuts_started:
+        extra.append("a one-way cut never healed")
+    details = {
+        "one_way_cuts": faults.one_way_cuts_started,
+        "held_flushed": built.network.stats.messages_delivered,
+    }
+    return _sim_verdict(scenario, protocol, built, result, extra, details)
+
+
+def _cell_lossy(scenario, protocol: str, seed: int,
+                data_dir: str | None) -> ChaosVerdict:
+    """1% indiscriminate loss on every inter-DC link, with anti-entropy
+    backfill on: dropped replication must be repaired by the drain."""
+    config = _matrix_config(protocol, seed, scenario.name,
+                            anti_entropy=True)
+    built = build_cluster(config)
+    faults = built.faults
+    num_dcs = config.cluster.num_dcs
+    for src in range(num_dcs):
+        for dst in range(num_dcs):
+            if src != dst:
+                faults.schedule_loss(0.5, src, dst, 0.01,
+                                     stop_after=_FAULT_CLEAR_S - 0.5)
+    result = run_experiment(config, built=built)
+    stats = built.network.stats
+    repairs = sum(s.ae_repairs_applied for s in built.servers.values())
+    digests = sum(s.ae_digests_sent for s in built.servers.values())
+    extra: list[str] = []
+    if stats.messages_dropped == 0:
+        extra.append("lossy links dropped nothing")
+    if digests == 0:
+        extra.append("anti-entropy never exchanged a digest")
+    details = {
+        "dropped": stats.messages_dropped,
+        "ae_digests": digests,
+        "ae_repairs": repairs,
+    }
+    return _sim_verdict(scenario, protocol, built, result, extra, details)
+
+
+def _cell_slow_link(scenario, protocol: str, seed: int,
+                    data_dir: str | None) -> ChaosVerdict:
+    """One DC pair congested to 10x base latency in both directions."""
+    config = _matrix_config(protocol, seed, scenario.name)
+    built = build_cluster(config)
+    faults = built.faults
+    faults.schedule_slow_link(_FAULT_AT_S, 0, 1, 10.0, restore_after=1.0)
+    faults.schedule_slow_link(_FAULT_AT_S, 1, 0, 10.0, restore_after=1.0)
+    result = run_experiment(config, built=built)
+    extra: list[str] = []
+    if faults.slow_links_set < 2:
+        extra.append("slow links never fired")
+    details = {"slow_links": faults.slow_links_set}
+    return _sim_verdict(scenario, protocol, built, result, extra, details)
+
+
+def _cell_clock_spike(scenario, protocol: str, seed: int,
+                      data_dir: str | None) -> ChaosVerdict:
+    """NTP-style skew spikes: DC1's clocks step +5ms, later -5ms (the
+    negative step is the hard one — pending clock waits must re-arm)."""
+    config = _matrix_config(protocol, seed, scenario.name)
+    built = build_cluster(config)
+    faults = built.faults
+    faults.schedule_clock_step(_FAULT_AT_S, 1, 5_000)
+    faults.schedule_clock_step(_FAULT_AT_S + 0.8, 1, -5_000)
+    result = run_experiment(config, built=built)
+    extra: list[str] = []
+    if faults.clock_steps < 2:
+        extra.append("clock steps never fired")
+    details = {"clock_steps": faults.clock_steps}
+    return _sim_verdict(scenario, protocol, built, result, extra, details)
+
+
+def _cell_dc_failover(scenario, protocol: str, seed: int,
+                      data_dir: str | None) -> ChaosVerdict:
+    """Full-DC blackout and recovery: every link to/from the victim DC
+    drops at probability 1.0 (drops, not holds — the wire really loses
+    what a dead DC never sent), then the links recover and every server
+    runs the crash-recovery catch-up protocol to pull back the gap."""
+    victim = 2
+    config = _matrix_config(protocol, seed, scenario.name,
+                            anti_entropy=True)
+    built = build_cluster(config)
+    faults = built.faults
+    blackout_at = _FAULT_AT_S
+    recover_at = _FAULT_AT_S + 1.0
+    for other in range(config.cluster.num_dcs):
+        if other == victim:
+            continue
+        faults.schedule_loss(blackout_at, victim, other, 1.0)
+        faults.schedule_loss(blackout_at, other, victim, 1.0)
+
+    def recover() -> None:
+        # Order matters: catch-up snapshots each server's VV *before*
+        # any post-recovery heartbeat can advance it past the blackout
+        # gap (same race the crash-recovery docstring pins).
+        faults.stop_all_loss()
+        for server in built.servers.values():
+            server.begin_catchup()
+
+    built.sim.schedule_at(recover_at, recover)
+    result = run_experiment(config, built=built)
+    stats = built.network.stats
+    extra: list[str] = []
+    if stats.messages_dropped == 0:
+        extra.append("blackout dropped nothing")
+    details = {
+        "dropped": stats.messages_dropped,
+        "catchups": len(built.servers),
+        "ae_repairs": sum(s.ae_repairs_applied
+                          for s in built.servers.values()),
+    }
+    return _sim_verdict(scenario, protocol, built, result, extra, details)
+
+
+async def _live_stalled_disk(
+    config: ExperimentConfig, stall_s: float, window_s: float
+) -> tuple[LiveReport, int, dict[str, Any]]:
+    """A live run whose WAL fsyncs stall mid-measurement.
+
+    The fault is installed on every hosted partition's WAL after the
+    warmup and removed ``window_s`` later; acknowledgements ride on
+    those fsyncs (group commit), so the stall back-pressures real
+    client operations rather than a simulated proxy.
+    """
+    from repro.persistence.wal import DiskFault
+
+    cluster = LiveCluster(config)
+    await cluster.start()
+    stagger = min(config.workload.think_time_s or 0.01, 0.02)
+    for driver in cluster.drivers:
+        driver.start(stagger_s=stagger)
+    await asyncio.sleep(config.warmup_s)
+    cluster.metrics.arm(cluster.hub.now)
+    for driver in cluster.drivers:
+        driver.reset_latency()
+
+    await asyncio.sleep(0.3)
+    disk_faults = []
+    for durability in cluster.durability.values():
+        if durability.wal is not None:
+            fault = DiskFault(sync_delay_s=stall_s)
+            durability.wal.disk_fault = fault
+            disk_faults.append(fault)
+    await asyncio.sleep(window_s)
+    for durability in cluster.durability.values():
+        if durability.wal is not None:
+            durability.wal.disk_fault = None
+    await asyncio.sleep(max(config.duration_s - 0.3 - window_s, 0.5))
+
+    cluster.metrics.disarm(cluster.hub.now)
+    for driver in cluster.drivers:
+        driver.stop()
+    clean = await cluster._quiesce()
+    clean = cluster.flush_persistence() and clean
+    await cluster.hub.drain()
+    report = cluster._report(clean and cluster.hub.clean)
+    divergences = len(check_convergence(
+        cluster.servers,
+        config.cluster.num_dcs,
+        config.cluster.num_partitions,
+    ))
+    await cluster.hub.close()
+    cluster.close_persistence()
+    stalls = sum(fault.stalls for fault in disk_faults)
+    return report, divergences, {"disk_stalls": stalls}
+
+
+def _cell_stalled_disk(scenario, protocol: str, seed: int,
+                       data_dir: str | None) -> ChaosVerdict:
+    """Live backend: every WAL's fsync stalls for a window while the
+    cluster keeps serving; durability pressure must not break causality
+    or convergence, and the shutdown flush must still succeed."""
+    stack = tempfile.TemporaryDirectory(prefix="chaos-disk-")
+    try:
+        base = Path(data_dir) if data_dir else Path(stack.name)
+        cell_dir = base / f"stalled-disk-{protocol}-{seed}"
+        cell_dir.mkdir(parents=True, exist_ok=True)
+        cluster = smoke_scale_cluster(protocol)
+        config = ExperimentConfig(
+            cluster=cluster,
+            workload=WorkloadConfig(
+                kind="mixed",
+                read_ratio=0.7,
+                tx_ratio=0.15,
+                tx_partitions=2,
+                clients_per_partition=2,
+                think_time_s=0.005,
+            ),
+            warmup_s=MATRIX_WARMUP_S,
+            duration_s=1.6,
+            seed=seed,
+            verify=True,
+            name=f"chaos-{scenario.name}",
+            persistence=PersistenceConfig(
+                enabled=True,
+                data_dir=str(cell_dir),
+                fsync="interval",
+                fsync_interval_s=0.02,
+                snapshot_interval_s=0.0,
+            ),
+        )
+        report, divergences, details = asyncio.run(
+            _live_stalled_disk(config, stall_s=0.02, window_s=0.5)
+        )
+    finally:
+        stack.cleanup()
+    failures: list[str] = []
+    if report.violations:
+        failures.append(f"{len(report.violations)} causal violations")
+    if divergences:
+        failures.append(f"{divergences} divergent keys after drain")
+    if report.total_ops == 0:
+        failures.append("no operations completed")
+    if not report.clean_shutdown:
+        failures.append("shutdown not clean (WAL flush failed?)")
+    if details["disk_stalls"] == 0:
+        failures.append("disk fault never stalled an fsync")
+    return ChaosVerdict(
+        scenario=scenario.name,
+        fault_class=scenario.fault_class,
+        protocol=protocol,
+        backend="live",
+        violations=len(report.violations),
+        reads_checked=report.verification["reads_checked"],
+        divergences=divergences,
+        total_ops=report.total_ops,
+        failures=failures,
+        details=details,
+    )
+
+
+@dataclass(frozen=True)
+class ChaosScenario:
+    """One named scenario of the matrix: a fault class plus a runner."""
+
+    name: str
+    fault_class: str
+    backend: str
+    description: str
+    runner: Callable[..., ChaosVerdict]
+
+    def run(self, protocol: str, seed: int,
+            data_dir: str | None = None) -> ChaosVerdict:
+        return self.runner(self, protocol, seed, data_dir)
+
+
+#: The matrix rows, keyed by scenario name (CLI ``--scenarios`` values).
+SCENARIOS: dict[str, ChaosScenario] = {
+    scenario.name: scenario
+    for scenario in (
+        ChaosScenario(
+            "asym-partition", "partition", "sim",
+            "overlapping one-direction cuts (routing faults)",
+            _cell_asym_partition,
+        ),
+        ChaosScenario(
+            "lossy-1pct", "loss", "sim",
+            "1% loss on every inter-DC link, anti-entropy repairs",
+            _cell_lossy,
+        ),
+        ChaosScenario(
+            "slow-link-10x", "latency", "sim",
+            "one DC pair congested to 10x base latency",
+            _cell_slow_link,
+        ),
+        ChaosScenario(
+            "clock-spike", "clock", "sim",
+            "+5ms then -5ms NTP steps on one DC's clocks",
+            _cell_clock_spike,
+        ),
+        ChaosScenario(
+            "stalled-disk", "disk", "live",
+            "every WAL fsync stalls for a window mid-run",
+            _cell_stalled_disk,
+        ),
+        ChaosScenario(
+            "dc-failover", "failover", "sim",
+            "full-DC blackout (loss=1.0), then catch-up recovery",
+            _cell_dc_failover,
+        ),
+    )
+}
+
+
+def run_chaos_matrix(
+    protocols: Sequence[str] = DEFAULT_MATRIX_PROTOCOLS,
+    scenarios: Sequence[str] | None = None,
+    seed: int = 20177,
+    data_dir: str | None = None,
+) -> ChaosMatrixReport:
+    """Run every (scenario, protocol) cell and gate each on the checker.
+
+    ``scenarios`` selects by name (default: all of :data:`SCENARIOS`);
+    ``data_dir`` hosts the live cells' WALs (default: a temp dir).
+    Sim cells are deterministic per seed; the report is self-judging
+    via :attr:`ChaosMatrixReport.passed`.
+    """
+    names = tuple(scenarios) if scenarios is not None else tuple(SCENARIOS)
+    unknown = [name for name in names if name not in SCENARIOS]
+    if unknown:
+        raise ReproError(
+            f"unknown chaos scenarios {unknown}; "
+            f"valid: {sorted(SCENARIOS)}"
+        )
+    report = ChaosMatrixReport(seed=seed)
+    for name in names:
+        scenario = SCENARIOS[name]
+        for protocol in protocols:
+            report.verdicts.append(
+                scenario.run(protocol, seed, data_dir=data_dir)
+            )
+    return report
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI: ``repro-chaos-matrix [--protocols …] [--scenarios …]``."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Run the hostile-network chaos matrix."
+    )
+    parser.add_argument("--protocols", default=",".join(
+        DEFAULT_MATRIX_PROTOCOLS))
+    parser.add_argument("--scenarios", default="",
+                        help=f"comma-separated; default all "
+                             f"({','.join(SCENARIOS)})")
+    parser.add_argument("--seed", type=int, default=20177)
+    parser.add_argument("--data-dir", default=None)
+    args = parser.parse_args(argv)
+    scenarios = ([s for s in args.scenarios.split(",") if s]
+                 if args.scenarios else None)
+    report = run_chaos_matrix(
+        protocols=[p for p in args.protocols.split(",") if p],
+        scenarios=scenarios,
+        seed=args.seed,
+        data_dir=args.data_dir,
+    )
+    print(report.summary_text())
+    return 0 if report.passed else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -26,6 +26,7 @@ import json
 from typing import Any
 
 from repro.common.config import (
+    AntiEntropyConfig,
     ClockConfig,
     ClusterConfig,
     ExperimentConfig,
@@ -62,7 +63,8 @@ def experiment_config_from_dict(data: dict[str, Any]) -> ExperimentConfig:
                          ("clocks", ClockConfig),
                          ("service", ServiceTimeConfig),
                          ("protocol_config", ProtocolConfig),
-                         ("repl_batch", ReplicationBatchConfig)):
+                         ("repl_batch", ReplicationBatchConfig),
+                         ("anti_entropy", AntiEntropyConfig)):
         if key in cluster_data:
             sub = dict(cluster_data[key])
             if key == "latency" and "inter_dc_s" in sub:

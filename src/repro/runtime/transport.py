@@ -20,14 +20,20 @@ Differences from the simulated substrate, by design:
   handler immediately) — real CPUs charge themselves;
 * per-channel FIFO comes from TCP: all traffic from this process to one
   destination shares one ordered connection;
-* partitions/faults are not injectable here (cut the network for real).
+* crashes are injected for real (kill the process); *network* chaos is
+  injectable in-process via per-channel :class:`LinkFault` hooks —
+  delay and probabilistic drop per directed DC pair, mirroring the
+  simulation's slow/lossy links so the same chaos scenarios run on both
+  backends.
 """
 
 from __future__ import annotations
 
 import asyncio
+import random
 import time
 from collections import deque
+from dataclasses import dataclass
 from typing import Any, Iterable
 
 from repro.common.errors import ReproError
@@ -36,10 +42,58 @@ from repro.cluster.topology import Topology
 from repro.protocols.core import FOREGROUND, modeled_message_size
 from repro.runtime import codec
 
-#: How long an outgoing connection keeps retrying before the hub records
-#: a transport error (covers peers that boot later than their callers).
-CONNECT_RETRIES = 40
-CONNECT_RETRY_DELAY_S = 0.25
+
+@dataclass(frozen=True)
+class ConnectRetryPolicy:
+    """Exponential backoff with jitter for outgoing connections.
+
+    Replaces the old fixed budget (40 tries x 0.25 s); the default
+    ``max_elapsed_s`` preserves that 10-second cap while probing much
+    faster at first (a peer that boots 100 ms later costs ~100 ms, not a
+    quarter second) and backing off once the peer looks genuinely down.
+    Jitter decorrelates the dial storms of many channels retrying at
+    once after a peer restart.
+    """
+
+    initial_delay_s: float = 0.05
+    multiplier: float = 2.0
+    max_delay_s: float = 1.0
+    #: Each sleep is scaled by ``1 + uniform(-jitter, +jitter)``.
+    jitter: float = 0.2
+    #: Total time budget before the hub records a transport error.
+    max_elapsed_s: float = 10.0
+
+    def next_delay(self, delay_s: float) -> float:
+        return min(delay_s * self.multiplier, self.max_delay_s)
+
+    def jittered(self, delay_s: float, rng: random.Random) -> float:
+        if self.jitter <= 0:
+            return delay_s
+        return delay_s * (1.0 + rng.uniform(-self.jitter, self.jitter))
+
+
+class LinkFault:
+    """Chaos parameters for one directed DC-pair channel (live backend).
+
+    ``delay_s`` adds fixed latency to every frame; ``drop_rate`` drops
+    frames probabilistically.  Delayed frames release in post order
+    (strictly increasing release times per destination), so per-channel
+    FIFO survives the detour through the event loop's timer heap.
+    """
+
+    __slots__ = ("delay_s", "drop_rate", "rng", "dropped", "delayed")
+
+    def __init__(self, delay_s: float = 0.0, drop_rate: float = 0.0,
+                 seed: int | None = None):
+        if not 0.0 <= drop_rate <= 1.0:
+            raise TransportError("drop_rate must be in [0, 1]")
+        if delay_s < 0:
+            raise TransportError("delay_s must be >= 0")
+        self.delay_s = delay_s
+        self.drop_rate = drop_rate
+        self.rng = random.Random(seed)
+        self.dropped = 0
+        self.delayed = 0
 
 #: Per-channel write coalescing cap: a sender gathers every frame queued
 #: for its destination — everything posted during the event-loop ticks it
@@ -162,7 +216,8 @@ class LiveStats:
     __slots__ = ("messages_sent", "messages_delivered", "bytes_sent",
                  "decode_errors", "messages_dropped", "reconnects",
                  "truncated_streams", "batches_sent", "batched_frames",
-                 "max_batch_frames")
+                 "max_batch_frames", "connect_attempts", "chaos_dropped",
+                 "chaos_delayed")
 
     def __init__(self) -> None:
         self.messages_sent = 0
@@ -185,6 +240,12 @@ class LiveStats:
         #: Frames that shared their write with at least one other frame.
         self.batched_frames = 0
         self.max_batch_frames = 0
+        #: Dial attempts by senders (successful or not); minus the number
+        #: of channels ever opened, this is how much retrying happened.
+        self.connect_attempts = 0
+        #: Frames dropped / delayed by injected link faults.
+        self.chaos_dropped = 0
+        self.chaos_delayed = 0
 
 
 class LiveHub:
@@ -193,6 +254,11 @@ class LiveHub:
     def __init__(self, book: AddressBook):
         self.book = book
         self.stats = LiveStats()
+        #: Outgoing-connection retry behavior (chaos runs tighten it).
+        self.connect_policy = ConnectRetryPolicy()
+        #: Chaos hooks: directed (src DC, dst DC) -> LinkFault.  Applied
+        #: by every LiveRuntime of this process on its outbound frames.
+        self._link_faults: dict[tuple[int, int], LinkFault] = {}
         #: Fatal transport problems (connect exhaustion, writer crashes);
         #: a clean shutdown requires this to stay empty.
         self.errors: list[str] = []
@@ -239,6 +305,33 @@ class LiveHub:
             await runtime.start()
 
     # ------------------------------------------------------------------
+    # Link faults (chaos)
+    # ------------------------------------------------------------------
+    def set_link_fault(
+        self, src_dc: int, dst_dc: int, *,
+        delay_s: float = 0.0, drop_rate: float = 0.0,
+        seed: int | None = None,
+    ) -> LinkFault:
+        """Install delay/drop chaos on frames ``src_dc`` -> ``dst_dc``
+        sent by this process's endpoints; returns the fault for its
+        counters."""
+        fault = LinkFault(delay_s=delay_s, drop_rate=drop_rate, seed=seed)
+        self._link_faults[(src_dc, dst_dc)] = fault
+        return fault
+
+    def clear_link_fault(self, src_dc: int, dst_dc: int) -> None:
+        self._link_faults.pop((src_dc, dst_dc), None)
+
+    def clear_link_faults(self) -> None:
+        self._link_faults.clear()
+
+    def link_fault(self, src_dc: int, dst_dc: int) -> LinkFault | None:
+        """The fault on one directed channel (fast None when no chaos)."""
+        if not self._link_faults:
+            return None
+        return self._link_faults.get((src_dc, dst_dc))
+
+    # ------------------------------------------------------------------
     # Outgoing frames
     # ------------------------------------------------------------------
     def post(self, dst: Address, msg: Any) -> None:
@@ -275,19 +368,29 @@ class LiveHub:
         writer = None
         carry: bytes | None = None
         try:
+            policy = self.connect_policy
+            rng = random.Random()
+            deadline = self.loop.time() + policy.max_elapsed_s
+            delay = policy.initial_delay_s
             host, port = self.book.lookup(dst)
-            for attempt in range(CONNECT_RETRIES):
+            while True:
                 # Re-resolve each attempt: an ephemeral-port peer records
                 # its real port only once its listener has bound.
                 host, port = self.book.lookup(dst)
-                if port == 0:
-                    await asyncio.sleep(CONNECT_RETRY_DELAY_S)
-                    continue
-                try:
-                    _, writer = await asyncio.open_connection(host, port)
+                if port != 0:
+                    self.stats.connect_attempts += 1
+                    try:
+                        _, writer = await asyncio.open_connection(host, port)
+                        break
+                    except OSError:
+                        pass
+                remaining = deadline - self.loop.time()
+                if remaining <= 0:
                     break
-                except OSError:
-                    await asyncio.sleep(CONNECT_RETRY_DELAY_S)
+                await asyncio.sleep(
+                    min(policy.jittered(delay, rng), remaining)
+                )
+                delay = policy.next_delay(delay)
             if writer is None:
                 self.errors.append(
                     f"could not connect to {dst} at {host}:{port}"
@@ -447,6 +550,10 @@ class LiveRuntime:
         self._held: deque[tuple[int, Address, bytes]] = deque()
         self._wait_batch = 0      # newest batch a persist() must wait for
         self._durable_batch = 0   # newest batch known synced
+        #: Per-destination floor for chaos-delayed releases: strictly
+        #: increasing release times keep the channel FIFO through the
+        #: timer heap (equal deadlines have no order guarantee there).
+        self._release_floor: dict[Address, float] = {}
 
     def bind(self, core) -> None:
         if self.core is not None:
@@ -571,7 +678,32 @@ class LiveRuntime:
         if self._wait_batch > self._durable_batch:
             self._held.append((self._wait_batch, dst, frame))
         else:
+            self._hub_post(dst, frame)
+
+    def _hub_post(self, dst: Address, frame: bytes) -> None:
+        """The chaos choke point: every frame this endpoint hands to the
+        hub — immediate sends and group-commit releases alike — passes
+        the channel's :class:`LinkFault` (if any) first."""
+        fault = self.hub.link_fault(self._address.dc, dst.dc)
+        if fault is None:
             self.hub.post_frame(dst, frame)
+            return
+        if fault.drop_rate > 0 and fault.rng.random() < fault.drop_rate:
+            fault.dropped += 1
+            self.hub.stats.chaos_dropped += 1
+            return
+        if fault.delay_s <= 0:
+            self.hub.post_frame(dst, frame)
+            return
+        fault.delayed += 1
+        self.hub.stats.chaos_delayed += 1
+        loop = self.hub.loop
+        release = loop.time() + fault.delay_s
+        floor = self._release_floor.get(dst)
+        if floor is not None and release <= floor:
+            release = floor + 1e-6
+        self._release_floor[dst] = release
+        loop.call_at(release, self.hub.post_frame, dst, frame)
 
     def message_size(self, msg: Any) -> int:
         return modeled_message_size(msg)
@@ -605,7 +737,7 @@ class LiveRuntime:
         if batch_id > self._durable_batch:
             self._durable_batch = batch_id
         held = self._held
-        post = self.hub.post_frame
+        post = self._hub_post
         while held and held[0][0] <= batch_id:
             _, dst, frame = held.popleft()
             post(dst, frame)

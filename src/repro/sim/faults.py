@@ -1,4 +1,5 @@
-"""Fault injection: network partitions between data centers.
+"""Fault injection: partitions, asymmetric cuts, slow/lossy links,
+clock-skew spikes.
 
 Section III-B of the paper discusses OCC's behaviour under network
 partitions (blocking, recovery, fall-back to a pessimistic protocol).  The
@@ -7,26 +8,66 @@ it later, either programmatically or on a schedule.  Messages sent across a
 cut are *held*, not dropped, matching the lossless-channel system model: a
 partition that heals delivers everything, a partition that never heals
 models a full DC failure.
+
+Beyond the paper's clean cuts, the injector drives the hostile-network
+chaos matrix (``repro.runtime.chaos``):
+
+* **asymmetric cuts** hold one direction of a DC pair only (a routing
+  fault: A hears B but B no longer hears A);
+* **slow links** stretch one directed link's base latency by a factor
+  (pushed into :class:`~repro.sim.latency.GeoLatencyModel`; FIFO survives
+  via the network's delivery clamp);
+* **lossy links** *violate* the lossless model on purpose — probabilistic
+  drops, counted in :class:`~repro.sim.network.NetworkStats`, which is
+  what the anti-entropy backfill exists to survive;
+* **clock-skew spikes** step a DC's physical clocks (NTP step), which
+  also skews the hybrid logical clocks layered on them.
+
+Loss decisions draw from a dedicated RNG stream
+(:data:`repro.harness.seeds.FAULTS`); none of the knobs perturbs any
+other stream, and untouched knobs cost zero extra draws or events — the
+per-seed byte-identical guarantee.
 """
 
 from __future__ import annotations
 
+import random
 from typing import Iterable
 
+from repro.clocks.physical import PhysicalClock
 from repro.common.errors import SimulationError
+from repro.common.types import Address
 from repro.sim.engine import Simulator
+from repro.sim.latency import GeoLatencyModel
 from repro.sim.network import Network
 
 
 class FaultInjector:
-    """Creates and heals inter-DC network partitions."""
+    """Creates and heals network, latency, loss and clock faults."""
 
-    def __init__(self, sim: Simulator, network: Network):
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        latency: GeoLatencyModel | None = None,
+        clocks: dict[Address, PhysicalClock] | None = None,
+        rng: random.Random | None = None,
+    ):
         self._sim = sim
         self._network = network
+        self._latency = latency
+        self._clocks = clocks or {}
+        self._rng = rng
         self._active_cuts: set[tuple[int, int]] = set()
+        self._slow_links: set[tuple[int, int]] = set()
+        self._lossy_links: set[tuple[int, int]] = set()
         self.partitions_started = 0
         self.partitions_healed = 0
+        self.one_way_cuts_started = 0
+        self.one_way_cuts_healed = 0
+        self.slow_links_set = 0
+        self.lossy_links_set = 0
+        self.clock_steps = 0
 
     # ------------------------------------------------------------------
     # Introspection
@@ -36,11 +77,18 @@ class FaultInjector:
         """True while at least one DC pair is cut."""
         return bool(self._active_cuts)
 
+    @property
+    def any_fault_active(self) -> bool:
+        """True while any cut, slow link or lossy link is in force
+        (clock steps are instantaneous, so they never count)."""
+        return bool(self._active_cuts or self._slow_links
+                    or self._lossy_links)
+
     def is_cut(self, dc_a: int, dc_b: int) -> bool:
         return (dc_a, dc_b) in self._active_cuts
 
     # ------------------------------------------------------------------
-    # Control
+    # Symmetric partitions (held messages, the paper's model)
     # ------------------------------------------------------------------
     def partition_dcs(
         self, group_a: Iterable[int], group_b: Iterable[int]
@@ -84,8 +132,153 @@ class FaultInjector:
             self._sim.schedule_at(at + heal_after, self.heal_all)
 
     # ------------------------------------------------------------------
+    # Asymmetric cuts (one direction held, the other flowing)
+    # ------------------------------------------------------------------
+    def cut_one_way(self, src_dc: int, dst_dc: int) -> None:
+        """Hold traffic ``src_dc`` -> ``dst_dc`` only; the reverse
+        direction keeps flowing (a routing fault, not a partition)."""
+        if src_dc == dst_dc:
+            raise SimulationError("cannot cut a DC off from itself")
+        self.one_way_cuts_started += 1
+        self._cut(src_dc, dst_dc)
+
+    def heal_one_way(self, src_dc: int, dst_dc: int) -> None:
+        """Heal one directed cut; its held messages flush in send order."""
+        if (src_dc, dst_dc) in self._active_cuts:
+            self.one_way_cuts_healed += 1
+            self._heal(src_dc, dst_dc)
+
+    def schedule_one_way_cut(
+        self, at: float, src_dc: int, dst_dc: int,
+        heal_after: float | None = None,
+    ) -> None:
+        self._sim.schedule_at(at, self.cut_one_way, src_dc, dst_dc)
+        if heal_after is not None:
+            self._sim.schedule_at(at + heal_after, self.heal_one_way,
+                                  src_dc, dst_dc)
+
+    # ------------------------------------------------------------------
+    # Slow links (latency multipliers)
+    # ------------------------------------------------------------------
+    def slow_link(self, src_dc: int, dst_dc: int, factor: float) -> None:
+        """Stretch the directed link ``src_dc`` -> ``dst_dc`` by
+        ``factor`` (10.0 = a congested WAN path at 10x base latency)."""
+        self._require_geo_latency().set_link_multiplier(src_dc, dst_dc,
+                                                        factor)
+        self.slow_links_set += 1
+        self._slow_links.add((src_dc, dst_dc))
+
+    def restore_link(self, src_dc: int, dst_dc: int) -> None:
+        self._require_geo_latency().clear_link_multiplier(src_dc, dst_dc)
+        self._slow_links.discard((src_dc, dst_dc))
+
+    def restore_all_links(self) -> None:
+        if self._latency is not None:
+            self._latency.clear_link_multipliers()
+        self._slow_links.clear()
+
+    def schedule_slow_link(
+        self, at: float, src_dc: int, dst_dc: int, factor: float,
+        restore_after: float | None = None,
+    ) -> None:
+        self._sim.schedule_at(at, self.slow_link, src_dc, dst_dc, factor)
+        if restore_after is not None:
+            self._sim.schedule_at(at + restore_after, self.restore_link,
+                                  src_dc, dst_dc)
+
+    # ------------------------------------------------------------------
+    # Lossy links (probabilistic drops — the anti-lossless fault)
+    # ------------------------------------------------------------------
+    def lose_messages(
+        self,
+        src_dc: int,
+        dst_dc: int,
+        probability: float,
+        kinds: Iterable[str] | None = None,
+    ) -> None:
+        """Drop messages on ``src_dc`` -> ``dst_dc`` with ``probability``.
+
+        ``kinds`` names the message types to drop (e.g. ``("Replicate",
+        "ReplicateBatch")`` to lose replication traffic only); None drops
+        indiscriminately.  Dropped messages are gone — unlike a cut, a
+        healed lossy link delivers nothing retroactively.  That is the
+        failure mode anti-entropy backfill repairs.
+        """
+        if self._rng is None:
+            raise SimulationError(
+                "lossy links need the injector's fault RNG stream "
+                "(construct FaultInjector with rng=...)"
+            )
+        self._network.set_loss(src_dc, dst_dc, probability, self._rng,
+                               kinds)
+        self.lossy_links_set += 1
+        self._lossy_links.add((src_dc, dst_dc))
+
+    def stop_losing(self, src_dc: int, dst_dc: int) -> None:
+        self._network.clear_loss(src_dc, dst_dc)
+        self._lossy_links.discard((src_dc, dst_dc))
+
+    def stop_all_loss(self) -> None:
+        self._network.clear_all_loss()
+        self._lossy_links.clear()
+
+    def schedule_loss(
+        self, at: float, src_dc: int, dst_dc: int, probability: float,
+        kinds: Iterable[str] | None = None,
+        stop_after: float | None = None,
+    ) -> None:
+        kinds = None if kinds is None else tuple(kinds)
+        self._sim.schedule_at(at, self.lose_messages, src_dc, dst_dc,
+                              probability, kinds)
+        if stop_after is not None:
+            self._sim.schedule_at(at + stop_after, self.stop_losing,
+                                  src_dc, dst_dc)
+
+    # ------------------------------------------------------------------
+    # Clock-skew spikes (NTP steps)
+    # ------------------------------------------------------------------
+    def step_dc_clocks(self, dc: int, delta_us: int) -> None:
+        """Step every clock of DC ``dc`` by ``delta_us`` micros.
+
+        A positive step jumps the DC's notion of time forward; a negative
+        one pulls it back (reads stay monotonic, scheduled clock waits
+        re-arm via the step epoch).  Hybrid logical clocks layered on
+        these physical clocks inherit the step.
+        """
+        stepped = False
+        for address, clock in self._clocks.items():
+            if address.dc == dc:
+                clock.step(delta_us)
+                stepped = True
+        if not stepped:
+            raise SimulationError(f"no clocks registered for DC {dc}")
+        self.clock_steps += 1
+
+    def schedule_clock_step(self, at: float, dc: int, delta_us: int) -> None:
+        self._sim.schedule_at(at, self.step_dc_clocks, dc, delta_us)
+
+    # ------------------------------------------------------------------
+    # Global cleanup
+    # ------------------------------------------------------------------
+    def clear_all_faults(self) -> None:
+        """Heal every cut, restore every link, stop all loss.  (Clock
+        steps are permanent by nature — a step is a new reality, not an
+        ongoing fault.)"""
+        self.heal_all()
+        self.restore_all_links()
+        self.stop_all_loss()
+
+    # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    def _require_geo_latency(self) -> GeoLatencyModel:
+        if self._latency is None:
+            raise SimulationError(
+                "slow links need the cluster's GeoLatencyModel "
+                "(construct FaultInjector with latency=...)"
+            )
+        return self._latency
+
     def _cut(self, src_dc: int, dst_dc: int) -> None:
         self._active_cuts.add((src_dc, dst_dc))
         self._network.block_dc_pair(src_dc, dst_dc)

@@ -71,6 +71,10 @@ class GeoLatencyModel:
         # lognormvariate(mu, sigma) with mu = -sigma^2/2 keeps E[mult] = 1.
         self._mu = -0.5 * self._sigma**2
         self._lognormvariate = rng.lognormvariate
+        # Slow-link fault injection: directed (src DC, dst DC) -> factor
+        # applied on top of the base matrix.  Consulted only while non-
+        # empty, so the unfaulted hot path is unchanged.
+        self._link_multipliers: dict[tuple[ReplicaId, ReplicaId], float] = {}
 
     @property
     def config(self) -> LatencyConfig:
@@ -103,6 +107,30 @@ class GeoLatencyModel:
                 base = config.intra_dc_s
         else:
             base = config.inter_dc_s[src.dc][dst.dc]
+            if self._link_multipliers:
+                base *= self._link_multipliers.get((src.dc, dst.dc), 1.0)
         if self._sigma == 0.0 or base == 0.0:
             return base
         return base * self._lognormvariate(self._mu, self._sigma)
+
+    # ------------------------------------------------------------------
+    # Slow-link fault injection (driven by FaultInjector)
+    # ------------------------------------------------------------------
+    def set_link_multiplier(
+        self, src_dc: ReplicaId, dst_dc: ReplicaId, factor: float
+    ) -> None:
+        """Stretch (or shrink) one directed inter-DC link by ``factor``.
+
+        Jitter still applies on top, and per-channel FIFO is preserved by
+        the network's delivery clamp, so slowing a link mid-run never
+        reorders a channel.
+        """
+        if factor <= 0:
+            raise ConfigError("link multiplier must be > 0")
+        self._link_multipliers[(src_dc, dst_dc)] = factor
+
+    def clear_link_multiplier(self, src_dc: ReplicaId, dst_dc: ReplicaId) -> None:
+        self._link_multipliers.pop((src_dc, dst_dc), None)
+
+    def clear_link_multipliers(self) -> None:
+        self._link_multipliers.clear()

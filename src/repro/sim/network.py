@@ -13,13 +13,18 @@ The network also:
   communication-overhead comparison between POCC and Cure*;
 * cooperates with :class:`repro.sim.faults.FaultInjector` to hold back
   messages across partitioned DC pairs and flush them in order on heal
-  (partitions delay, they do not drop — the lossless assumption).
+  (partitions delay, they do not drop — the lossless assumption);
+* optionally *violates* the lossless assumption on demand: a per-directed-
+  DC-pair loss table drops messages probabilistically (chaos scenarios
+  studying anti-entropy repair).  Every drop is counted — chaos runs
+  assert that sent == delivered + held + dropped + expired.
 """
 
 from __future__ import annotations
 
+import random
 from collections import deque
-from typing import Any, Protocol
+from typing import Any, Iterable, Protocol
 
 from repro.common.errors import SimulationError
 from repro.common.types import Address
@@ -44,12 +49,25 @@ class NetworkStats:
 
     __slots__ = ("messages_sent", "bytes_sent", "per_dc_pair_bytes",
                  "per_dc_pair_messages", "inter_dc_by_type",
-                 "messages_delivered", "messages_held")
+                 "messages_delivered", "messages_held",
+                 "messages_dropped", "dropped_by_type",
+                 "messages_expired")
 
     def __init__(self) -> None:
         self.messages_sent = 0
         self.messages_delivered = 0
         self.messages_held = 0
+        #: Messages dropped by the lossy-link table (never incremented
+        #: unless a loss rate was configured).
+        self.messages_dropped = 0
+        #: Message-type name -> count of lossy drops (what a chaos run
+        #: inspects to confirm the loss hit the traffic it targeted).
+        self.dropped_by_type: dict[str, int] = {}
+        #: Messages whose destination endpoint was dismantled while they
+        #: were in flight (e.g. a client retired mid-experiment).  These
+        #: used to vanish without a trace; counting them lets chaos runs
+        #: account for every message the network ever accepted.
+        self.messages_expired = 0
         self.bytes_sent = 0
         self.per_dc_pair_bytes: dict[tuple[int, int], int] = {}
         self.per_dc_pair_messages: dict[tuple[int, int], int] = {}
@@ -92,6 +110,12 @@ class Network:
         # DC pairs currently partitioned (directed), and held messages.
         self._blocked_pairs: set[tuple[int, int]] = set()
         self._held: dict[tuple[int, int], deque] = {}
+        # Lossy links: directed (src DC, dst DC) -> (probability, kinds).
+        # ``kinds`` limits the loss to the named message types (None =
+        # every message on the channel).  Empty table = the paper's
+        # lossless model, with zero RNG draws on the send path.
+        self._loss: dict[tuple[int, int], tuple[float, frozenset[str] | None]] = {}
+        self._loss_rng: random.Random | None = None
         self.stats = NetworkStats()
 
     # ------------------------------------------------------------------
@@ -143,6 +167,17 @@ class Network:
             by_type = stats.inter_dc_by_type
             name = type(msg).__name__
             by_type[name] = by_type.get(name, 0) + 1
+        if self._loss and pair in self._loss:
+            probability, kinds = self._loss[pair]
+            if (kinds is None or type(msg).__name__ in kinds) and (
+                probability >= 1.0
+                or self._loss_rng.random() < probability  # type: ignore[union-attr]
+            ):
+                stats.messages_dropped += 1
+                by_type = stats.dropped_by_type
+                name = type(msg).__name__
+                by_type[name] = by_type.get(name, 0) + 1
+                return
         if pair in self._blocked_pairs:
             # Held until the partition heals; FIFO preserved by the deque.
             stats.messages_held += 1
@@ -163,7 +198,11 @@ class Network:
 
     def _deliver(self, dst: Address, msg: Any) -> None:
         endpoint = self._endpoints.get(dst)
-        if endpoint is None:  # endpoint dismantled mid-flight; drop silently
+        if endpoint is None:
+            # Endpoint dismantled mid-flight.  Count it: chaos runs
+            # reconcile sent == delivered + held + dropped + expired, so
+            # no loss may go unaccounted.
+            self.stats.messages_expired += 1
             return
         self.stats.messages_delivered += 1
         endpoint.on_message(msg)
@@ -191,6 +230,41 @@ class Network:
 
     def is_blocked(self, src_dc: int, dst_dc: int) -> bool:
         return (src_dc, dst_dc) in self._blocked_pairs
+
+    # ------------------------------------------------------------------
+    # Lossy links (driven by FaultInjector)
+    # ------------------------------------------------------------------
+    def set_loss(
+        self,
+        src_dc: int,
+        dst_dc: int,
+        probability: float,
+        rng: random.Random,
+        kinds: Iterable[str] | None = None,
+    ) -> None:
+        """Drop messages ``src_dc`` -> ``dst_dc`` with ``probability``.
+
+        ``kinds`` restricts the loss to the named message types (class
+        names, e.g. ``"Replicate"``); None drops indiscriminately.  The
+        caller supplies the RNG so drop decisions come from a dedicated
+        seeded stream and never perturb other draws.
+        """
+        if not 0.0 <= probability <= 1.0:
+            raise SimulationError("loss probability must be in [0, 1]")
+        self._loss_rng = rng
+        self._loss[(src_dc, dst_dc)] = (
+            probability,
+            None if kinds is None else frozenset(kinds),
+        )
+
+    def clear_loss(self, src_dc: int, dst_dc: int) -> None:
+        self._loss.pop((src_dc, dst_dc), None)
+
+    def clear_all_loss(self) -> None:
+        self._loss.clear()
+
+    def is_lossy(self, src_dc: int, dst_dc: int) -> bool:
+        return (src_dc, dst_dc) in self._loss
 
     @property
     def held_message_count(self) -> int:

@@ -497,3 +497,40 @@ def test_durability_facade_without_group_commit_stays_synchronous(tmp_path):
                               delete_covered=False)
     assert {v.key for v in state.versions} == {"k"}
     dur.close()
+
+
+# ----------------------------------------------------------------------
+# Injected disk faults (chaos: stalling / dying devices)
+# ----------------------------------------------------------------------
+def test_disk_fault_stalls_every_sync(tmp_path):
+    from repro.persistence.wal import DiskFault
+
+    wal = WriteAheadLog(tmp_path, fsync="always")
+    fault = DiskFault(sync_delay_s=0.001)
+    wal.disk_fault = fault
+    for i in range(3):
+        wal.append_version(version(key=f"k{i}"))
+    assert fault.stalls == 3  # one stall per fsync under fsync=always
+    wal.disk_fault = None
+    wal.append_version(version(key="k-after"))
+    assert fault.stalls == 3  # detached: no further stalls
+    wal.close()
+    assert recover_directory(tmp_path).wal_records == 4
+
+
+def test_disk_fault_fails_syncs_with_eio(tmp_path):
+    from repro.persistence.wal import DiskFault
+
+    wal = WriteAheadLog(tmp_path, fsync="always")
+    fault = DiskFault(fail_syncs=2)
+    wal.disk_fault = fault
+    for _ in range(2):
+        with pytest.raises(OSError) as excinfo:
+            wal.append_version(version(key="doomed"))
+        assert excinfo.value.errno == 5
+    assert fault.failures == 2
+    # The budget is spent: the device "recovers" and writes flow again.
+    wal.append_version(version(key="survivor"))
+    wal.close()
+    state = recover_directory(tmp_path)
+    assert "survivor" in {v.key for v in state.versions}

@@ -1,0 +1,147 @@
+"""Live-backend chaos hooks: connect backoff and per-channel link faults.
+
+The sim backend injects faults at the network model; the live backend
+has no network model, so chaos enters at the two spots every frame
+passes through — the sender's connect loop (:class:`ConnectRetryPolicy`)
+and :meth:`LiveRuntime._hub_post` (:class:`LinkFault` drop/delay).
+"""
+
+import random
+
+import pytest
+
+from repro.common.types import server_address
+from repro.runtime.transport import (
+    AddressBook,
+    ConnectRetryPolicy,
+    LinkFault,
+    LiveHub,
+    LiveRuntime,
+    TransportError,
+)
+
+
+# ----------------------------------------------------------------------
+# ConnectRetryPolicy
+# ----------------------------------------------------------------------
+def test_backoff_doubles_and_caps():
+    policy = ConnectRetryPolicy()
+    delays = [policy.initial_delay_s]
+    for _ in range(8):
+        delays.append(policy.next_delay(delays[-1]))
+    assert delays[:5] == [0.05, 0.1, 0.2, 0.4, 0.8]
+    assert all(d <= policy.max_delay_s for d in delays)
+    assert delays[-1] == policy.max_delay_s  # sticks at the cap
+
+
+def test_jitter_stays_inside_band():
+    policy = ConnectRetryPolicy()
+    rng = random.Random(42)
+    low = 0.2 * (1.0 - policy.jitter)
+    high = 0.2 * (1.0 + policy.jitter)
+    for _ in range(200):
+        assert low <= policy.jittered(0.2, rng) <= high
+
+
+def test_zero_jitter_is_exact():
+    policy = ConnectRetryPolicy(jitter=0.0)
+    assert policy.jittered(0.3, random.Random(1)) == 0.3
+
+
+# ----------------------------------------------------------------------
+# LinkFault parameters
+# ----------------------------------------------------------------------
+def test_link_fault_rejects_bad_parameters():
+    with pytest.raises(TransportError):
+        LinkFault(drop_rate=1.5)
+    with pytest.raises(TransportError):
+        LinkFault(delay_s=-0.1)
+
+
+def test_hub_link_fault_registry():
+    hub = LiveHub(AddressBook())
+    assert hub.link_fault(0, 1) is None  # no faults: zero-cost lookup
+    fault = hub.set_link_fault(0, 1, drop_rate=0.5, seed=7)
+    assert hub.link_fault(0, 1) is fault
+    assert hub.link_fault(1, 0) is None  # directed, not symmetric
+    hub.clear_link_fault(0, 1)
+    assert hub.link_fault(0, 1) is None
+
+
+# ----------------------------------------------------------------------
+# The _hub_post choke point
+# ----------------------------------------------------------------------
+class _FakeLoop:
+    """A deterministic loop clock recording call_at schedules."""
+
+    def __init__(self):
+        self.now = 100.0
+        self.scheduled: list[tuple[float, tuple]] = []
+
+    def time(self) -> float:
+        return self.now
+
+    def call_at(self, when, fn, *args):
+        self.scheduled.append((when, args))
+
+
+class _FakeHub:
+    def __init__(self):
+        self.loop = _FakeLoop()
+        self.posted: list[tuple] = []
+        self.stats = LiveHub(AddressBook()).stats.__class__()
+        self._fault: LinkFault | None = None
+
+    def link_fault(self, src_dc, dst_dc):
+        return self._fault
+
+    def post_frame(self, dst, frame):
+        self.posted.append((dst, frame))
+
+
+def _runtime(fault: LinkFault | None):
+    hub = _FakeHub()
+    hub._fault = fault
+    return LiveRuntime(hub, server_address(0, 0)), hub
+
+
+def test_hub_post_without_fault_passes_through():
+    runtime, hub = _runtime(None)
+    dst = server_address(1, 0)
+    runtime._hub_post(dst, b"frame")
+    assert hub.posted == [(dst, b"frame")]
+
+
+def test_hub_post_drops_at_full_rate():
+    runtime, hub = _runtime(LinkFault(drop_rate=1.0, seed=3))
+    dst = server_address(1, 0)
+    for _ in range(5):
+        runtime._hub_post(dst, b"frame")
+    assert hub.posted == []
+    assert hub._fault.dropped == 5
+    assert hub.stats.chaos_dropped == 5
+
+
+def test_hub_post_delay_keeps_fifo_release_order():
+    """Equal deadlines have no order guarantee in a timer heap, so the
+    release floor must make successive releases *strictly* increasing."""
+    runtime, hub = _runtime(LinkFault(delay_s=0.05))
+    dst = server_address(1, 0)
+    for i in range(4):
+        runtime._hub_post(dst, b"f%d" % i)
+    releases = [when for when, _ in hub.loop.scheduled]
+    assert len(releases) == 4
+    assert all(b > a for a, b in zip(releases, releases[1:]))
+    assert hub._fault.delayed == 4
+    assert hub.stats.chaos_delayed == 4
+
+
+def test_hub_post_delay_floor_is_per_destination():
+    runtime, hub = _runtime(LinkFault(delay_s=0.05))
+    dst_a = server_address(1, 0)
+    dst_b = server_address(2, 0)
+    runtime._hub_post(dst_a, b"a")
+    runtime._hub_post(dst_b, b"b")
+    (when_a, _), (when_b, _) = hub.loop.scheduled
+    # Different channels share no floor: both release at now + delay.
+    assert when_a == when_b == pytest.approx(100.05)

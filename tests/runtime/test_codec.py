@@ -154,6 +154,14 @@ STRATEGIES: dict[str, st.SearchStrategy] = {
                                  max_size=3),
                              src_dc=st.integers(0, 4),
                              last=st.booleans()),
+    "AeDigest": st.builds(m.AeDigest, vv=vectors,
+                          uts=st.lists(micros, max_size=5).map(tuple),
+                          requester=addresses),
+    "AeRepair": st.builds(m.AeRepair,
+                          versions=st.lists(
+                              st.one_of(versions, cops_versions),
+                              max_size=3),
+                          src_dc=st.integers(0, 4)),
 }
 
 

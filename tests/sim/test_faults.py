@@ -89,3 +89,164 @@ def test_scheduled_partition_and_heal():
     assert all(t >= 3.0 for t in delivery_times[1:3])
     assert faults.partitions_started == 1
     assert faults.partitions_healed == 1
+
+
+# ----------------------------------------------------------------------
+# Asymmetric cuts and their interaction with symmetric partitions
+# ----------------------------------------------------------------------
+def test_one_way_cut_holds_only_one_direction():
+    sim, network, faults, nodes = _setup()
+    faults.cut_one_way(0, 1)
+    network.send(nodes[0].address, nodes[1].address, "a->b")
+    network.send(nodes[1].address, nodes[0].address, "b->a")
+    sim.run()
+    assert [msg for _, msg in nodes[0].received] == ["b->a"]
+    assert nodes[1].received == []
+    assert faults.is_cut(0, 1) and not faults.is_cut(1, 0)
+    faults.heal_one_way(0, 1)
+    sim.run()
+    assert [msg for _, msg in nodes[1].received] == ["a->b"]
+    assert faults.one_way_cuts_started == 1
+    assert faults.one_way_cuts_healed == 1
+    assert not faults.any_fault_active
+
+
+def test_self_cut_rejected():
+    sim, network, faults, nodes = _setup()
+    with pytest.raises(SimulationError):
+        faults.cut_one_way(1, 1)
+
+
+def test_overlapping_one_way_cut_and_partition():
+    """A one-way cut layered on a symmetric partition of the same pair:
+    healing the partition must not resurrect the directed cut's pair, and
+    healing everything leaves no cut behind."""
+    sim, network, faults, nodes = _setup()
+    faults.cut_one_way(0, 1)
+    faults.partition_dcs([0], [1])  # re-cuts 0->1, adds 1->0
+    assert faults.is_cut(0, 1) and faults.is_cut(1, 0)
+    network.send(nodes[0].address, nodes[1].address, "a->b")
+    network.send(nodes[1].address, nodes[0].address, "b->a")
+    sim.run()
+    assert nodes[0].received == [] and nodes[1].received == []
+    faults.heal_all()
+    sim.run()
+    assert not faults.active
+    assert [msg for _, msg in nodes[1].received] == ["a->b"]
+    assert [msg for _, msg in nodes[0].received] == ["b->a"]
+
+
+def test_heal_one_direction_of_symmetric_partition():
+    """heal_one_way degrades a symmetric partition to an asymmetric cut:
+    the healed direction flushes its held messages, the other keeps
+    holding."""
+    sim, network, faults, nodes = _setup()
+    faults.partition_dcs([0], [1])
+    network.send(nodes[0].address, nodes[1].address, "a->b")
+    network.send(nodes[1].address, nodes[0].address, "b->a")
+    sim.run()
+    faults.heal_one_way(0, 1)
+    sim.run()
+    assert [msg for _, msg in nodes[1].received] == ["a->b"]
+    assert nodes[0].received == []  # 1->0 still cut
+    assert faults.is_cut(1, 0) and not faults.is_cut(0, 1)
+    assert faults.any_fault_active
+    faults.heal_all()
+    sim.run()
+    assert [msg for _, msg in nodes[0].received] == ["b->a"]
+
+
+# ----------------------------------------------------------------------
+# Lossy links
+# ----------------------------------------------------------------------
+def test_lossy_link_requires_rng():
+    sim, network, faults, nodes = _setup()  # constructed without rng
+    with pytest.raises(SimulationError):
+        faults.lose_messages(0, 1, 0.5)
+
+
+def test_lossy_link_drops_and_accounts():
+    import random as _random
+
+    sim = Simulator()
+    network = Network(sim, ConstantLatency(0.010))
+    endpoints = {}
+    for dc in range(2):
+        endpoint = Recorder(sim, server_address(dc, 0))
+        network.register(endpoint)
+        endpoints[dc] = endpoint
+    faults = FaultInjector(sim, network, rng=_random.Random(7))
+    faults.lose_messages(0, 1, 1.0)  # certain loss: no RNG draw needed
+    for i in range(10):
+        network.send(endpoints[0].address, endpoints[1].address, i)
+    sim.run()
+    assert endpoints[1].received == []
+    stats = network.stats
+    assert stats.messages_dropped == 10
+    assert stats.dropped_by_type == {"int": 10}
+    # The accounting identity: every accepted message is exactly one of
+    # delivered / held / dropped / expired.
+    assert stats.messages_sent == (
+        stats.messages_delivered + stats.messages_held
+        + stats.messages_dropped + stats.messages_expired
+    )
+    faults.stop_losing(0, 1)
+    network.send(endpoints[0].address, endpoints[1].address, "after")
+    sim.run()
+    # A healed lossy link delivers nothing retroactively — unlike a cut.
+    assert [msg for _, msg in endpoints[1].received] == ["after"]
+    assert not faults.any_fault_active
+
+
+def test_lossy_link_kind_filter():
+    import random as _random
+
+    sim = Simulator()
+    network = Network(sim, ConstantLatency(0.010))
+    endpoints = {}
+    for dc in range(2):
+        endpoint = Recorder(sim, server_address(dc, 0))
+        network.register(endpoint)
+        endpoints[dc] = endpoint
+    faults = FaultInjector(sim, network, rng=_random.Random(7))
+    faults.lose_messages(0, 1, 1.0, kinds=("str",))
+    network.send(endpoints[0].address, endpoints[1].address, "doomed")
+    network.send(endpoints[0].address, endpoints[1].address, 42)
+    sim.run()
+    assert [msg for _, msg in endpoints[1].received] == [42]
+    assert network.stats.dropped_by_type == {"str": 1}
+
+
+# ----------------------------------------------------------------------
+# Missing-collaborator errors and global cleanup
+# ----------------------------------------------------------------------
+def test_slow_link_requires_latency_model():
+    sim, network, faults, nodes = _setup()  # no GeoLatencyModel
+    with pytest.raises(SimulationError):
+        faults.slow_link(0, 1, 10.0)
+
+
+def test_clock_step_requires_clocks():
+    sim, network, faults, nodes = _setup()  # no clocks registered
+    with pytest.raises(SimulationError):
+        faults.step_dc_clocks(0, 1000)
+
+
+def test_clear_all_faults_clears_everything():
+    import random as _random
+
+    sim = Simulator()
+    network = Network(sim, ConstantLatency(0.010))
+    endpoints = {}
+    for dc in range(3):
+        endpoint = Recorder(sim, server_address(dc, 0))
+        network.register(endpoint)
+        endpoints[dc] = endpoint
+    faults = FaultInjector(sim, network, rng=_random.Random(3))
+    faults.partition_dcs([0], [1])
+    faults.cut_one_way(1, 2)
+    faults.lose_messages(2, 0, 0.5)
+    assert faults.any_fault_active
+    faults.clear_all_faults()
+    assert not faults.any_fault_active
+    assert not faults.active
