@@ -42,6 +42,7 @@ from bench_engine import (  # noqa: E402
     build_geo_network,
     build_loaded_store,
     drive_network,
+    frame_decoder_speedup,
     perf_reference_config,
     scan_store,
 )
@@ -262,6 +263,7 @@ def bench_live_cluster(duration_s: float) -> tuple[dict, bool]:
         "violations": len(report.violations),
         "clean_shutdown": report.clean_shutdown,
         "serializer": report.serializer,
+        "event_loop": report.event_loop,
         "batches_sent": report.batches_sent,
         "batched_frames": report.batched_frames,
     }
@@ -345,6 +347,7 @@ def bench_live_pipelined(duration_s: float,
         "violations": len(report.violations),
         "clean_shutdown": report.clean_shutdown,
         "serializer": report.serializer,
+        "event_loop": report.event_loop,
         "baseline_pr4_live": PR4_LIVE_BASELINE,
         "vs_pr4_live_ratio": round(
             report.throughput_ops_s / PR4_LIVE_BASELINE["throughput_ops_s"],
@@ -462,12 +465,171 @@ def bench_live_pipelined_batched(duration_s: float,
         "violations": len(report.violations),
         "clean_shutdown": report.clean_shutdown,
         "serializer": report.serializer,
+        "event_loop": report.event_loop,
         "baseline_pr5_live": PR5_LIVE_BASELINE,
         "vs_pr5_live_ratio": round(
             report.throughput_ops_s / PR5_LIVE_BASELINE["throughput_ops_s"],
             2),
     }
     return stats, not report.passed
+
+
+def _scaling_config(duration_s: float, rate_ops_s: float, name: str):
+    """The PR-6 batched pipelined shape at a deliberately over-offered
+    rate: the scaling leg wants the backend saturated at every process
+    count, so added driver processes show up as throughput, not as the
+    generator catching up to its own cap."""
+    from repro.common.config import ReplicationBatchConfig
+
+    return _pipelined_config(
+        duration_s, rate_ops_s, name,
+        repl_batch=ReplicationBatchConfig(enabled=True, max_versions=64,
+                                          max_bytes=256 * 1024,
+                                          flush_ms=5.0),
+    )
+
+
+def _wait_for_supervised_listening(log_dir: Path, labels: list[str],
+                                   timeout_s: float = 30.0) -> None:
+    deadline = time.perf_counter() + timeout_s
+    while time.perf_counter() < deadline:
+        ready = sum(
+            1 for label in labels
+            if (log_dir / f"{label}.log").exists()
+            and "listening on" in (log_dir / f"{label}.log").read_text(
+                errors="replace")
+        )
+        if ready == len(labels):
+            return
+        time.sleep(0.1)
+    raise RuntimeError(f"supervised servers {labels} never reported "
+                       f"listening (logs in {log_dir})")
+
+
+def _report_leg(report) -> dict:
+    return {
+        "total_ops": report.total_ops,
+        "throughput_ops_s": round(report.throughput_ops_s, 1),
+        "duration_s": round(report.duration_s, 3),
+        "dropped_arrivals": report.dropped_arrivals,
+        "violations": len(report.violations),
+        "clean_shutdown": report.clean_shutdown,
+        "event_loop": report.event_loop,
+        "cpu_affinity": report.cpu_affinity,
+    }
+
+
+def bench_scaling_multiproc(duration_s: float, process_counts: tuple,
+                            rate_ops_s: float = 900.0,
+                            base_port: int = 7950) -> tuple[dict, bool]:
+    """PR 8's tentpole leg: live ops/s vs load-generator process count.
+
+    The 1-process point is the PR-6 batched pipelined shape run entirely
+    in-process (servers + drivers in one interpreter) — directly
+    comparable with the same run's ``live_pipelined_batched`` leg and
+    with the committed BENCH_pr5 baseline.  Every multi-process point
+    boots the *same* deployment as a ``repro-supervise`` tree (one
+    ``repro-serve`` process per partition server) and drives it with N
+    sharded load-worker processes (``repro.runtime.loadgen``), so both
+    sides of the socket scale past one core.  The speedup over the
+    1-process point is reported honestly: ``null`` with a note on hosts
+    where ``os.cpu_count()`` cannot support a win.
+    """
+    import signal
+    import subprocess
+    import tempfile
+
+    from repro.runtime.cluster import run_live_experiment
+    from repro.runtime.loadgen import run_sharded_load
+    from repro.runtime.supervisor import subprocess_env
+
+    results: dict = {
+        "workload": (f"open loop, 16 sessions x {rate_ops_s:g} ops/s "
+                     f"offered, repl batching on (the PR-6 batched "
+                     f"pipelined shape, over-offered to keep the backend "
+                     f"saturated at every process count)"),
+        "process_counts": list(process_counts),
+        "legs": {},
+    }
+    failed = False
+    ops_by_count: dict[int, float] = {}
+    for index, processes in enumerate(process_counts):
+        port = base_port + 40 * index  # fresh range per point
+        config = _scaling_config(duration_s, rate_ops_s,
+                                 f"perf-scaling-p{processes}")
+        if processes == 1:
+            report = run_live_experiment(config)
+            leg = _report_leg(report)
+            leg["deployment"] = "single process (servers + drivers)"
+            failed |= not report.passed
+        else:
+            log_dir = Path(tempfile.mkdtemp(prefix="perf-scaling-sup-"))
+            config_path = log_dir / "cluster.json"
+            from repro.runtime.configfile import save_experiment_config
+            save_experiment_config(config, str(config_path))
+            supervisor = subprocess.Popen(
+                [sys.executable, "-m", "repro.runtime.supervisor",
+                 "--config", str(config_path),
+                 "--base-port", str(port),
+                 "--log-dir", str(log_dir)],
+                env=subprocess_env(),
+                stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+            )
+            try:
+                labels = [f"dc{dc}-p{part}"
+                          for dc in range(config.cluster.num_dcs)
+                          for part in range(config.cluster.num_partitions)]
+                _wait_for_supervised_listening(log_dir, labels)
+                sharded = run_sharded_load(
+                    config, base_port=port, processes=processes,
+                    external_servers=True,
+                )
+                report = sharded.report
+                supervisor.send_signal(signal.SIGTERM)
+                supervisor_exit = supervisor.wait(timeout=30)
+            finally:
+                if supervisor.poll() is None:
+                    supervisor.kill()
+                    supervisor.wait()
+            leg = _report_leg(report)
+            leg["deployment"] = (
+                f"{len(labels)} supervised server processes + "
+                f"{sharded.driver_processes} driver processes"
+            )
+            leg["supervisor_exit"] = supervisor_exit
+            failed |= not report.passed or supervisor_exit != 0
+        ops_by_count[processes] = leg["throughput_ops_s"]
+        results["legs"][str(processes)] = leg
+
+    cores = os.cpu_count() or 1
+    results["cpu_count"] = cores
+    baseline_ops = ops_by_count.get(1)
+    best = max(ops_by_count.values())
+    results["best_throughput_ops_s"] = best
+    results["baseline_pr5_live"] = PR5_LIVE_BASELINE
+    results["best_vs_pr5_live_ratio"] = round(
+        best / PR5_LIVE_BASELINE["throughput_ops_s"], 2)
+    if cores < 2:
+        results["speedup"] = None
+        results["speedup_note"] = (
+            "single-core host: extra processes time-slice one core, so a "
+            "speedup is impossible by construction; the leg ran as a "
+            "correctness canary (checker + clean shutdown per point). "
+            "The >= 3x-vs-PR5 acceptance bar applies on >= 4 cores."
+        )
+    else:
+        max_count = max(process_counts)
+        results["speedup"] = (
+            round(ops_by_count[max_count] / baseline_ops, 2)
+            if baseline_ops else None
+        )
+        if cores >= 4 and results["best_vs_pr5_live_ratio"] < 3.0:
+            print(f"[perf] FAIL: multi-process scaling peaked at "
+                  f"{results['best_vs_pr5_live_ratio']}x of the PR-5 "
+                  f"baseline on a {cores}-core host (need >= 3x)",
+                  file=sys.stderr)
+            failed = True
+    return results, failed
 
 
 def _repl_batching_config(protocol: str, repl_batch, duration_s: float):
@@ -702,6 +864,9 @@ def main(argv: list[str] | None = None) -> int:
     network = bench_network(net_rounds)
     print("[perf] storage chain-read micro-bench...", file=sys.stderr)
     chains = bench_chain_reads(chain_rounds)
+    print("[perf] frame-decoder batched-chunk micro-bench...",
+          file=sys.stderr)
+    frame_decoder = frame_decoder_speedup()
     print("[perf] full reference experiment...", file=sys.stderr)
     experiment = bench_full_experiment()
     print(f"[perf] figure-1a sweep, serial vs parallelism={workers}...",
@@ -742,6 +907,41 @@ def main(argv: list[str] | None = None) -> int:
     print(f"[perf] lossy-link anti-entropy leg (1% replication loss, "
           f"AE off vs on, {lossy_duration}s each)...", file=sys.stderr)
     lossy_ae, lossy_failed = bench_lossy_anti_entropy(lossy_duration)
+    if args.smoke:
+        scaling_counts: tuple = (1, 2)
+        scaling_duration = 1.2
+    else:
+        scaling_counts = (1, 2, 4)
+        scaling_duration = 3.0
+    print(f"[perf] multi-process scaling leg (driver processes "
+          f"{list(scaling_counts)}, {scaling_duration}s each)...",
+          file=sys.stderr)
+    scaling, scaling_failed = bench_scaling_multiproc(scaling_duration,
+                                                      scaling_counts)
+    if (pipelined_batched.get("throughput_ops_s")
+            and scaling["legs"].get("1", {}).get("throughput_ops_s")):
+        # Same-run, same-machine: the 1-process scaling point must not
+        # regress against the PR-6 batched shape it is built from (both
+        # saturate the same backend).  The scaling point runs at 3x the
+        # batched leg's offered rate, and managing that much deeper
+        # open-loop backlog legitimately costs ~10-25% on a saturated
+        # core — the 0.65 bar catches real decode/transport regressions,
+        # not the over-offer tax.
+        ratio = round(
+            scaling["legs"]["1"]["throughput_ops_s"]
+            / pipelined_batched["throughput_ops_s"], 2)
+        scaling["p1_vs_live_pipelined_batched_same_run_ratio"] = ratio
+        scaling["p1_ratio_note"] = (
+            "the scaling point is offered 3x the batched leg's rate; the "
+            "gap is deep-backlog management, not a protocol regression"
+        )
+        if ratio < 0.65:
+            print(f"[perf] FAIL: the 1-process scaling point ran at "
+                  f"{ratio}x of the same run's batched pipelined leg "
+                  f"(need >= 0.65x)", file=sys.stderr)
+            scaling_failed = True
+
+    import importlib.util
 
     from repro.runtime import codec
 
@@ -752,13 +952,21 @@ def main(argv: list[str] | None = None) -> int:
         "mode": "smoke" if args.smoke else "full",
         "machine": {
             "cpu_count": os.cpu_count(),
+            "cpu_affinity": (sorted(os.sched_getaffinity(0))
+                             if hasattr(os, "sched_getaffinity") else []),
             "python": sys.version.split()[0],
             "platform": sys.platform,
+            # What --event-loop auto resolves to on this host; the live
+            # legs additionally record the loop that actually ran.
+            "event_loop": ("uvloop"
+                           if importlib.util.find_spec("uvloop")
+                           else "asyncio"),
         },
         "serializer": codec.SERIALIZER,
         "engine": engine,
         "network": network,
         "storage_chain_reads": chains,
+        "codec_frame_decoder": frame_decoder,
         "full_experiment": experiment,
         "figure_1a_sweep": sweep,
         "replicates": replicates,
@@ -776,6 +984,7 @@ def main(argv: list[str] | None = None) -> int:
                 / pipelined["throughput_ops_s"], 2)
             if pipelined.get("throughput_ops_s") else None,
         },
+        "scaling_multiproc": scaling,
         "baseline_pre_change": baseline,
         "engine_vs_pre_change_ratio": round(engine_ratio, 3),
         "total_wall_s": round(time.perf_counter() - t0, 2),
@@ -814,6 +1023,18 @@ def main(argv: list[str] | None = None) -> int:
         print("[perf] FAIL: the lossy-link anti-entropy leg missed its "
               "gate (see above)", file=sys.stderr)
         return 1
+    if scaling_failed:
+        print("[perf] FAIL: the multi-process scaling leg missed a gate "
+              "(checker, clean shutdown, supervisor exit, or the scaling "
+              "bar — see above)", file=sys.stderr)
+        return 1
+    if frame_decoder["speedup"] < 2.0:
+        # Warning only here: the hard >= 2x gate is the pytest benchmark
+        # (tests always run it); trajectory runs on contended runners
+        # should not flake the whole snapshot on one noisy timing.
+        print(f"[perf] WARNING: frame-decoder batched-chunk speedup at "
+              f"{frame_decoder['speedup']}x (pytest gate requires >= 2x "
+              f"on a quiet machine)", file=sys.stderr)
     if engine_ratio < 0.85:
         # Warning only, never a failure: hosted-runner hardware varies
         # run to run, so absolute throughput is comparable just within a

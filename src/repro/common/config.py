@@ -239,6 +239,44 @@ class AntiEntropyConfig:
 
 
 @dataclass(frozen=True, slots=True)
+class TransportTuningConfig:
+    """Socket and event-loop tuning of the *live* backend.
+
+    The simulation backend never consults this block (like
+    ``ExperimentConfig.persistence`` it is live-only), so per-seed sim
+    reports are independent of it.
+
+    * ``tcp_nodelay`` — ``True`` (default) disables Nagle on every
+      connection, matching asyncio's own default for TCP streams.
+      ``False`` re-enables Nagle so its interplay with the transport's
+      application-level write batching can be measured: with batching
+      already coalescing frames, Nagle mostly adds delayed-ACK latency.
+    * ``sndbuf_bytes`` / ``rcvbuf_bytes`` — ``SO_SNDBUF`` / ``SO_RCVBUF``
+      on both dialed and accepted sockets; ``0`` keeps the OS default.
+    * ``event_loop`` — ``"auto"`` selects uvloop when importable and
+      falls back to asyncio; ``"uvloop"`` requires it; ``"asyncio"``
+      forces the stdlib loop.  The selection actually running is
+      recorded in ``LiveReport.event_loop`` and the BENCH snapshots.
+    """
+
+    tcp_nodelay: bool = True
+    sndbuf_bytes: int = 0
+    rcvbuf_bytes: int = 0
+    event_loop: str = "auto"
+
+    def validate(self) -> None:
+        if self.event_loop not in ("auto", "uvloop", "asyncio"):
+            raise ConfigError(
+                f"event_loop must be 'auto', 'uvloop' or 'asyncio', "
+                f"not {self.event_loop!r}"
+            )
+        if self.sndbuf_bytes < 0:
+            raise ConfigError("sndbuf_bytes must be >= 0 (0 = OS default)")
+        if self.rcvbuf_bytes < 0:
+            raise ConfigError("rcvbuf_bytes must be >= 0 (0 = OS default)")
+
+
+@dataclass(frozen=True, slots=True)
 class ClusterConfig:
     """Shape and physical parameters of one simulated deployment."""
 
@@ -261,6 +299,10 @@ class ClusterConfig:
     anti_entropy: AntiEntropyConfig = field(
         default_factory=AntiEntropyConfig
     )
+    #: Live-backend socket/event-loop tuning; ignored by the simulation.
+    transport: TransportTuningConfig = field(
+        default_factory=TransportTuningConfig
+    )
 
     def validate(self) -> None:
         if self.num_dcs < 2:
@@ -277,6 +319,7 @@ class ClusterConfig:
         self.protocol_config.validate()
         self.repl_batch.validate()
         self.anti_entropy.validate()
+        self.transport.validate()
 
     @property
     def num_nodes(self) -> int:

@@ -32,6 +32,7 @@ from repro.runtime.cli import (
     warn_slow_serializer,
 )
 from repro.runtime.cluster import LiveCluster
+from repro.runtime.loops import install_event_loop
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -48,7 +49,14 @@ def build_parser() -> argparse.ArgumentParser:
                         help="warmup before the window (default: config)")
     parser.add_argument("--external-servers", action="store_true",
                         help="host no servers here; dial the port map "
-                             "(servers run under repro-serve)")
+                             "(servers run under repro-serve or "
+                             "repro-supervise)")
+    parser.add_argument("--driver-processes", type=int, default=1,
+                        metavar="N",
+                        help="shard the client sessions across N load "
+                             "worker processes (default: 1 = everything "
+                             "in this process; N>1 needs a fixed "
+                             "--base-port)")
     parser.add_argument("--json", metavar="PATH",
                         help="also write the report as JSON to PATH")
     parser.add_argument("--quiet", action="store_true",
@@ -66,13 +74,29 @@ def main(argv: list[str] | None = None) -> int:
     config = dataclasses.replace(config, **overrides)
     config.validate()
 
-    cluster = LiveCluster(
-        config,
-        host=args.host,
-        base_port=args.base_port,
-        serve_addresses=([] if args.external_servers else None),
-    )
-    report = asyncio.run(cluster.run())
+    install_event_loop(config.cluster.transport.event_loop)
+    if args.driver_processes > 1:
+        from repro.runtime.loadgen import run_sharded_load
+        sharded = run_sharded_load(
+            config,
+            host=args.host,
+            base_port=args.base_port,
+            processes=args.driver_processes,
+            external_servers=args.external_servers,
+        )
+        report = sharded.report
+        if not args.quiet:
+            print(f"driver processes: {sharded.driver_processes} "
+                  f"(servers {'external' if not sharded.hosted_servers else 'in-parent'})",
+                  file=sys.stderr)
+    else:
+        cluster = LiveCluster(
+            config,
+            host=args.host,
+            base_port=args.base_port,
+            serve_addresses=([] if args.external_servers else None),
+        )
+        report = asyncio.run(cluster.run())
 
     if args.quiet:
         print(report.summary_text().splitlines()[0])

@@ -57,6 +57,7 @@ from repro.harness.builders import BuiltCluster, build_cluster
 from repro.harness.experiment import ExperimentResult, run_experiment
 from repro.runtime.cluster import LiveCluster, LiveReport
 from repro.runtime.configfile import save_experiment_config
+from repro.runtime.supervisor import subprocess_env
 from repro.verification.convergence import check_convergence
 
 # NOTE: repro.persistence imports are deferred into the functions below:
@@ -138,14 +139,22 @@ def _serve_command(config_path: Path, fault: CrashFault, host: str,
     ]
 
 
+def _supervise_command(config_path: Path, fault: CrashFault, host: str,
+                       base_port: int) -> list[str]:
+    """The victim behind a one-child ``repro-supervise`` tree: the
+    SIGKILL lands on the supervisor, PDEATHSIG takes the serve child
+    down with it, and the restart must still recover from disk."""
+    return [
+        sys.executable, "-m", "repro.runtime.supervisor",
+        "--config", str(config_path),
+        "--dc", str(fault.dc), "--partition", str(fault.partition),
+        "--host", host, "--base-port", str(base_port),
+        "--log-dir", str(config_path.parent / "supervise"),
+    ]
+
+
 def _subprocess_env() -> dict[str, str]:
-    env = dict(os.environ)
-    src_root = str(Path(__file__).resolve().parents[2])
-    existing = env.get("PYTHONPATH", "")
-    if src_root not in existing.split(os.pathsep):
-        env["PYTHONPATH"] = (src_root + os.pathsep + existing
-                             if existing else src_root)
-    return env
+    return subprocess_env()
 
 
 async def _spawn_victim(command: list[str], log_path: Path):
@@ -203,7 +212,7 @@ def _victim_write_check(
 
 
 async def _run(config: ExperimentConfig, fault: CrashFault, host: str,
-               base_port: int) -> CrashReport:
+               base_port: int, supervise: bool = False) -> CrashReport:
     persistence = config.persistence
     if not persistence.enabled or not persistence.data_dir:
         raise ReproError("crash experiments need persistence enabled "
@@ -228,7 +237,8 @@ async def _run(config: ExperimentConfig, fault: CrashFault, host: str,
         with_clients=True,
     )
 
-    command = _serve_command(config_path, fault, host, base_port)
+    factory = _supervise_command if supervise else _serve_command
+    command = factory(config_path, fault, host, base_port)
     log_path = data_dir / "victim.log"
     # The restart swaps the subprocess mid-run; the cleanup must see the
     # newest one, hence the one-slot holder.
@@ -316,6 +326,7 @@ def run_crash_experiment(
     fault: CrashFault,
     host: str = "127.0.0.1",
     base_port: int = 7500,
+    supervise: bool = False,
 ) -> CrashReport:
     """SIGKILL one partition server mid-workload, restart it from disk,
     and verify causality plus acknowledged-write durability.
@@ -323,10 +334,16 @@ def run_crash_experiment(
     ``config.verify`` must be on (the checker is the judge) and
     ``config.persistence`` must point at a data directory; the victim
     subprocess shares both through a config file written there.
+    ``supervise`` runs the victim behind a one-child ``repro-supervise``
+    tree instead of a bare ``repro-serve`` process: the SIGKILL hits the
+    supervisor, its child dies with it (PDEATHSIG), and the restarted
+    tree must recover the same data directory — the same gate, one
+    process layer deeper.
     """
     if not config.verify:
         raise ReproError("crash experiments require config.verify=True")
-    return asyncio.run(_run(config, fault, host, base_port))
+    return asyncio.run(_run(config, fault, host, base_port,
+                            supervise=supervise))
 
 
 # ======================================================================

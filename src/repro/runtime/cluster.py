@@ -17,6 +17,7 @@ then report throughput/latency plus the checker verdict.  It backs both
 from __future__ import annotations
 
 import asyncio
+import os
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
@@ -29,6 +30,7 @@ from repro.harness import seeds
 from repro.metrics.collectors import MetricsRegistry
 from repro.protocols.registry import client_class, server_class
 from repro.runtime import codec
+from repro.runtime.loops import running_loop_name
 from repro.runtime.transport import AddressBook, LiveHub, LiveRuntime
 from repro.metrics.histogram import LogHistogram
 from repro.sim.rng import RngRegistry
@@ -80,6 +82,16 @@ class LiveReport:
     #: Per-partition durability counters (empty when persistence is off):
     #: ``"dcD-pP" -> {recovered_versions, wal_records_appended, …}``.
     persistence: dict = field(default_factory=dict)
+    #: The event loop that actually ran ("uvloop" or "asyncio") — numbers
+    #: from different loops are not directly comparable.
+    event_loop: str = "asyncio"
+    #: ``os.cpu_count()`` of the measuring host; a 1 here explains away
+    #: any absent multi-process speedup.
+    cpu_count: int = 0
+    #: CPUs this process was allowed to run on (``os.sched_getaffinity``),
+    #: empty where the platform has no affinity API.  Supervised
+    #: deployments pin children, so the report shows the actual placement.
+    cpu_affinity: list = field(default_factory=list)
 
     @property
     def passed(self) -> bool:
@@ -140,6 +152,14 @@ class LiveCluster:
     hosts (multi-process deployments boot one ``LiveCluster`` per process
     with disjoint address sets); ``with_clients=False`` hosts servers
     only, for a pure ``repro-serve`` process driven from elsewhere.
+
+    ``client_shard=(index, total)`` hosts only every ``total``-th client
+    session (those whose deterministic position ``% total == index``):
+    the multi-process load generator boots one client-only shard per
+    worker process against external servers, and the shards partition
+    the exact client set a single process would host — same addresses,
+    same per-address seeds, so the sharded workload is the unsharded
+    workload, split.
     """
 
     def __init__(
@@ -149,6 +169,7 @@ class LiveCluster:
         base_port: int = 0,
         serve_addresses: Sequence[Address] | None = None,
         with_clients: bool = True,
+        client_shard: tuple[int, int] | None = None,
     ):
         config.validate()
         self.config = config
@@ -167,7 +188,7 @@ class LiveCluster:
             host=host,
             base_port=base_port,
         )
-        self.hub = LiveHub(self.book)
+        self.hub = LiveHub(self.book, tuning=cluster.transport)
         self.servers: dict[Address, Any] = {}
         self.clients: list[Any] = []
         self.drivers: list[DriverBase] = []
@@ -183,6 +204,14 @@ class LiveCluster:
         self._serve_addresses = (
             set(serve_addresses) if serve_addresses is not None else None
         )
+        if client_shard is not None:
+            index, total = client_shard
+            if total < 1 or not 0 <= index < total:
+                raise ReproError(
+                    f"client_shard must be (index, total) with "
+                    f"0 <= index < total, not {client_shard!r}"
+                )
+        self._client_shard = client_shard
         self._built = False
 
     # ------------------------------------------------------------------
@@ -237,9 +266,15 @@ class LiveCluster:
             return
         client_cls = client_class(cluster.protocol)
         workload_cfg = self.config.workload
+        position = -1
         for dc in range(self.topology.num_dcs):
             for partition in range(self.topology.num_partitions):
                 for index in range(workload_cfg.clients_per_partition):
+                    position += 1
+                    if self._client_shard is not None:
+                        shard_index, shard_total = self._client_shard
+                        if position % shard_total != shard_index:
+                            continue
                     address = self.topology.client(dc, partition, index)
                     clock = PhysicalClock.sample(
                         self.hub, cluster.clocks,
@@ -440,7 +475,25 @@ class LiveCluster:
             batched_frames=stats.batched_frames,
             errors=list(self.hub.errors),
             persistence=persistence_stats,
+            event_loop=running_loop_name(),
+            cpu_count=os.cpu_count() or 0,
+            cpu_affinity=(sorted(os.sched_getaffinity(0))
+                          if hasattr(os, "sched_getaffinity") else []),
         )
+
+    def merged_latency_histograms(self) -> dict[str, LogHistogram]:
+        """Per-kind driver histograms folded across this process's
+        drivers, still as mergeable histograms — the multi-process load
+        generator ships these to the parent, which folds the workers'
+        shards exactly as :meth:`_merged_latency` folds drivers."""
+        merged: dict[str, LogHistogram] = {}
+        for driver in self.drivers:
+            for kind, hist in driver.latency.items():
+                into = merged.get(kind)
+                if into is None:
+                    merged[kind] = into = LogHistogram()
+                into.merge(hist)
+        return merged
 
     def _merged_latency(self) -> dict[str, dict[str, float]]:
         """Fold every driver's per-kind histograms into p50/p90/p99.
@@ -449,13 +502,7 @@ class LiveCluster:
         the open loop these percentiles include queueing delay — the
         number a latency-vs-throughput comparison must report.
         """
-        merged: dict[str, LogHistogram] = {}
-        for driver in self.drivers:
-            for kind, hist in driver.latency.items():
-                into = merged.get(kind)
-                if into is None:
-                    merged[kind] = into = LogHistogram()
-                into.merge(hist)
+        merged = self.merged_latency_histograms()
         overall = LogHistogram()
         for hist in merged.values():
             overall.merge(hist)

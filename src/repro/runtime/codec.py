@@ -89,8 +89,23 @@ except ImportError:
         return json.dumps(tree, separators=(",", ":"),
                           ensure_ascii=False).encode("utf-8")
 
+    # The bound scanner skips json.loads()'s isinstance/detect_encoding
+    # dispatch and decode()'s whitespace regexes per call.  Our encoder
+    # never emits surrounding whitespace, so the strict stdlib path only
+    # runs for inputs the fast path cannot prove equivalent.
+    _json_raw = json.JSONDecoder().raw_decode
+
     def _unpack(payload: bytes) -> Any:
-        return json.loads(payload.decode("utf-8"))
+        # str() accepts bytes, bytearray and the frame decoder's
+        # memoryview slices alike — one copy into the text object.
+        text = str(payload, "utf-8")
+        try:
+            tree, end = _json_raw(text)
+        except ValueError:
+            return json.loads(text)  # exact stdlib error semantics
+        if end != len(text):
+            return json.loads(text)  # tolerate surrounding whitespace
+        return tree
 
     SERIALIZER = "json"
 
@@ -346,10 +361,24 @@ def _dec_stuple(tree: Any) -> Any:
     return _decode_value(tree)
 
 
+#: Decoded-address intern table.  The address universe is bounded by the
+#: cluster size, every Address is immutable, and equal addresses are
+#: interchangeable everywhere (compared by value, hashed by value), so
+#: the hot decode path reuses one instance per wire identity instead of
+#: re-running the dataclass constructor and the NodeKind enum call on
+#: every message.
+_ADDRESS_INTERN: dict[tuple, Address] = {}
+
+
 def _dec_address(tree: Any) -> Any:
     if type(tree) is list and len(tree) == 5 and tree[0] == "@a":
-        return Address(dc=tree[1], partition=tree[2],
-                       kind=NodeKind(tree[3]), index=tree[4])
+        key = (tree[1], tree[2], tree[3], tree[4])
+        addr = _ADDRESS_INTERN.get(key)
+        if addr is None:
+            addr = _ADDRESS_INTERN[key] = Address(
+                dc=tree[1], partition=tree[2], kind=NodeKind(tree[3]),
+                index=tree[4])
+        return addr
     return _decode_value(tree)
 
 
@@ -452,10 +481,13 @@ def _compile_codecs() -> tuple[dict[type, Any], dict[str, Any]]:
                 enc_parts.append(f"_e{i}(m.{f.name})")
                 dec_parts.append(f"_d{i}(v[{i}])")
         count = len(fields)
+        # Bind every helper as a default argument: the generated bodies
+        # then hit fast locals instead of namespace lookups per frame.
+        bound = ", ".join(f"{key}={key}" for key in ns)
         src = (
-            f"def _enc(m):\n"
+            f"def _enc(m, {bound}):\n"
             f"    return ['@m', {name!r}, [{', '.join(enc_parts)}]]\n"
-            f"def _dec(v):\n"
+            f"def _dec(v, {bound}):\n"
             f"    if len(v) != {count}:\n"
             f"        raise CodecError(\n"
             f"            '{name}: expected {count} fields, got %d'\n"
@@ -592,27 +624,56 @@ class FrameDecoder:
         stream (a lazy generator would silently skip the chunk unless
         iterated, corrupting the framing of everything after it).
         """
-        self._buffer.extend(data)
         buffer = self._buffer
+        buffer.extend(data)
         out: list[Any] = []
-        while True:
-            if len(buffer) < _LEN.size:
-                return out
-            (length,) = _LEN.unpack_from(buffer)
-            if length > MAX_FRAME_BYTES:
-                raise CodecError(
-                    f"frame length {length} exceeds the cap (corrupt stream?)"
-                )
-            end = _LEN.size + length
-            if len(buffer) < end:
-                return out
-            payload = bytes(buffer[_LEN.size:end])
-            # Decode before advancing: a corrupt complete frame must not
-            # move the clean boundary past its own start.
-            msg = loads(payload)
-            del buffer[:end]
-            self._consumed += end
-            out.append(msg)
+        append = out.append
+        header = _LEN.size
+        unpack_from = _LEN.unpack_from
+        unpack_payload = _unpack
+        dec_message = _dec_message
+        size = len(buffer)
+        pos = 0
+        view = memoryview(buffer)
+        try:
+            while size - pos >= header:
+                (length,) = unpack_from(buffer, pos)
+                if length > MAX_FRAME_BYTES:
+                    raise CodecError(
+                        f"frame length {length} exceeds the cap "
+                        "(corrupt stream?)"
+                    )
+                end = pos + header + length
+                if size < end:
+                    break
+                # Decode before advancing: a corrupt complete frame must
+                # not move the clean boundary past its own start.  The
+                # payload is a zero-copy view into the buffer; decoders
+                # materialize fresh objects, so nothing outlives the
+                # loop.  This is loads() unrolled — the per-frame
+                # wrapper call matters at batched-chunk frame rates.
+                try:
+                    tree = unpack_payload(view[pos + header:end])
+                except Exception as exc:
+                    raise CodecError(
+                        f"undecodable payload: {exc}") from exc
+                append(dec_message(tree))
+                pos = end
+        finally:
+            view.release()
+            if pos:
+                self._consumed += pos
+                try:
+                    # One compaction per feed (a read-offset cursor walks
+                    # the frames above), not one memmove per frame.
+                    del buffer[:pos]
+                except BufferError:
+                    # A propagating decode error keeps its payload view
+                    # alive through the exception traceback; the exported
+                    # buffer cannot shrink, so hand it to the traceback
+                    # and re-buffer the unconsumed tail.
+                    self._buffer = bytearray(buffer[pos:])
+        return out
 
     @property
     def pending_bytes(self) -> int:

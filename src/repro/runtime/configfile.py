@@ -35,6 +35,7 @@ from repro.common.config import (
     ProtocolConfig,
     ReplicationBatchConfig,
     ServiceTimeConfig,
+    TransportTuningConfig,
     WorkloadConfig,
 )
 from repro.common.errors import ConfigError
@@ -64,7 +65,8 @@ def experiment_config_from_dict(data: dict[str, Any]) -> ExperimentConfig:
                          ("service", ServiceTimeConfig),
                          ("protocol_config", ProtocolConfig),
                          ("repl_batch", ReplicationBatchConfig),
-                         ("anti_entropy", AntiEntropyConfig)):
+                         ("anti_entropy", AntiEntropyConfig),
+                         ("transport", TransportTuningConfig)):
         if key in cluster_data:
             sub = dict(cluster_data[key])
             if key == "latency" and "inter_dc_s" in sub:

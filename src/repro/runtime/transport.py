@@ -31,11 +31,13 @@ from __future__ import annotations
 
 import asyncio
 import random
+import socket
 import time
 from collections import deque
 from dataclasses import dataclass
 from typing import Any, Iterable
 
+from repro.common.config import TransportTuningConfig
 from repro.common.errors import ReproError
 from repro.common.types import Address
 from repro.cluster.topology import Topology
@@ -97,10 +99,10 @@ class LinkFault:
 
 #: Per-channel write coalescing cap: a sender gathers every frame queued
 #: for its destination — everything posted during the event-loop ticks it
-#: spent waiting or writing — into one ``write`` of at most this many
-#: bytes.  The cap bounds both the joined allocation and how long one
-#: destination can monopolize the loop; frames beyond it simply start the
-#: next batch.  Framing on the wire is unchanged (concatenated
+#: spent waiting or writing — into one ``writelines`` of at most this
+#: many bytes.  The cap bounds both the transport's buffered backlog and
+#: how long one destination can monopolize the loop; frames beyond it
+#: simply start the next batch.  Framing on the wire is unchanged (concatenated
 #: length-prefixed frames), so receivers need no batching awareness.
 MAX_BATCH_BYTES = 256 * 1024
 
@@ -117,6 +119,34 @@ LIVE_EPOCH_UNIX_S = 1_767_225_600
 
 class TransportError(ReproError):
     """Raised on address-book or connection misuse."""
+
+
+def apply_socket_tuning(writer: asyncio.StreamWriter,
+                        tuning: TransportTuningConfig) -> None:
+    """Apply the configured socket knobs to one stream's socket.
+
+    Best-effort: non-TCP transports (or platforms rejecting an option)
+    keep their defaults — tuning is a performance lever, never a
+    correctness requirement.
+    """
+    sock = writer.get_extra_info("socket")
+    if sock is None:
+        return
+    try:
+        # asyncio enables TCP_NODELAY on TCP streams by default; setting
+        # it explicitly both covers loops that do not and lets
+        # `tcp_nodelay=False` hand the coalescing decision back to Nagle
+        # (to measure its interplay with application-level batching).
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY,
+                        1 if tuning.tcp_nodelay else 0)
+        if tuning.sndbuf_bytes:
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_SNDBUF,
+                            tuning.sndbuf_bytes)
+        if tuning.rcvbuf_bytes:
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF,
+                            tuning.rcvbuf_bytes)
+    except OSError:
+        pass
 
 
 class AddressBook:
@@ -251,9 +281,12 @@ class LiveStats:
 class LiveHub:
     """Per-process live-backend state: epoch, loop, connections, errors."""
 
-    def __init__(self, book: AddressBook):
+    def __init__(self, book: AddressBook,
+                 tuning: TransportTuningConfig | None = None):
         self.book = book
         self.stats = LiveStats()
+        #: Socket knobs applied to every dialed and accepted connection.
+        self.tuning = tuning if tuning is not None else TransportTuningConfig()
         #: Outgoing-connection retry behavior (chaos runs tighten it).
         self.connect_policy = ConnectRetryPolicy()
         #: Chaos hooks: directed (src DC, dst DC) -> LinkFault.  Applied
@@ -396,6 +429,7 @@ class LiveHub:
                     f"could not connect to {dst} at {host}:{port}"
                 )
                 return
+            apply_socket_tuning(writer, self.tuning)
             stats = self.stats
             while True:
                 if carry is not None:
@@ -424,8 +458,14 @@ class LiveHub:
                     parts.append(nxt)
                     size += len(nxt)
                 try:
-                    writer.write(b"".join(parts) if len(parts) > 1
-                                 else frame)
+                    # writelines is writev-style: the transport takes the
+                    # frame list as-is (uvloop scatters it to the socket;
+                    # the stdlib loop defers any join to C) — no
+                    # per-batch b"".join copy on this hot path.
+                    if len(parts) > 1:
+                        writer.writelines(parts)
+                    else:
+                        writer.write(frame)
                     await writer.drain()
                 except asyncio.CancelledError:
                     raise
@@ -580,6 +620,7 @@ class LiveRuntime:
         task = asyncio.current_task()
         if task is not None:
             self._reader_tasks.add(task)
+        apply_socket_tuning(writer, self.hub.tuning)
         decoder = codec.FrameDecoder()
         try:
             while True:

@@ -322,6 +322,35 @@ def test_frame_decoder_reassembles_batched_writes(data, batch_bytes):
         assert same(original, decoded)
 
 
+@settings(max_examples=50, deadline=None)
+@given(data=st.data())
+def test_frame_decoder_chunking_equivalence(data):
+    """Chunking-equivalence: *any* split of the same byte stream yields
+    the identical message sequence and the identical ``consumed_bytes``
+    as a single-shot feed — the contract the read-offset compaction in
+    ``FrameDecoder.feed`` must not bend, whatever the write grouping or
+    a torn tail."""
+    msgs = [data.draw(STRATEGIES[name])
+            for name in ("GetReq", "Heartbeat", "Replicate", "PutReply")]
+    stream = b"".join(codec.encode_frame(msg) for msg in msgs)
+    # Possibly tear the tail mid-frame, then cut what is left anywhere.
+    stream = stream[:data.draw(st.integers(0, len(stream)))]
+    cuts = sorted(data.draw(st.sets(st.integers(0, len(stream)),
+                                    max_size=12)) | {0, len(stream)})
+    reference = codec.FrameDecoder()
+    expected = reference.feed(stream)
+    decoder = codec.FrameDecoder()
+    out = []
+    for start, end in zip(cuts, cuts[1:]):
+        out.extend(decoder.feed(stream[start:end]))
+        assert decoder.consumed_bytes + decoder.pending_bytes == end
+    assert len(out) == len(expected)
+    for lhs, rhs in zip(expected, out):
+        assert same(lhs, rhs)
+    assert decoder.consumed_bytes == reference.consumed_bytes
+    assert decoder.pending_bytes == reference.pending_bytes
+
+
 @pytest.mark.parametrize("value", [
     ["@t", 1, 2],            # a plain list masquerading as the tuple tag
     ["@l"],                  # ...as the escape tag itself

@@ -19,7 +19,8 @@ from repro.runtime.transport import AddressBook, LiveHub
 
 
 class FakeWriter:
-    """Records each write() payload; drain() yields to the loop once."""
+    """Records each write/writelines batch; drain() yields to the loop
+    once.  Mirrors the StreamWriter surface the sender touches."""
 
     def __init__(self):
         self.writes: list[bytes] = []
@@ -27,6 +28,14 @@ class FakeWriter:
 
     def write(self, data: bytes) -> None:
         self.writes.append(bytes(data))
+
+    def writelines(self, parts) -> None:
+        # One writelines call is one socket write; record it as such so
+        # the byte-cap assertions cover the batched path.
+        self.writes.append(b"".join(bytes(part) for part in parts))
+
+    def get_extra_info(self, name, default=None):
+        return default  # no real socket behind the fake
 
     async def drain(self) -> None:
         await asyncio.sleep(0)
