@@ -6,8 +6,9 @@ reference replicate set — each executed serially (``parallelism=1``) and
 through the process-pool runner — plus the live-backend legs: the
 closed-loop smoke, the *pipelined* open-loop leg (throughput + p50/p90/p99
 against the embedded BENCH_pr4 live baseline), the WAL fsync-mode
-sweep under group commit, and the lossy-link leg (1% replication loss,
-anti-entropy off vs on).  Everything lands in one ``BENCH_*.json``
+sweep under group commit, the lossy-link leg (1% replication loss,
+anti-entropy off vs on), and the observability-overhead leg (telemetry
+off vs scraped vs traced).  Everything lands in one ``BENCH_*.json``
 file.  Future PRs append their own snapshot file; comparing snapshots is
 the perf trajectory.
 
@@ -816,6 +817,136 @@ def bench_lossy_anti_entropy(duration_s: float,
     return results, failed
 
 
+def bench_observability_overhead(duration_s: float,
+                                 gate: bool,
+                                 rate_ops_s: float = 300.0
+                                 ) -> tuple[dict, bool]:
+    """PR 9's telemetry leg: the live pipelined shape with observability
+    off, on-and-actively-scraped, and on-with-causal-tracing.
+
+    Three arms over the identical seed and offered load.  The off arm is
+    the control and must equal an un-instrumented engine (the byte-
+    identity pin covers the sim; this covers live throughput).  The
+    scraped arm serves /metrics on its own event loop and is polled
+    throughout the window — the realistic steady state under Prometheus.
+    The traced arm additionally writes sampled lifecycle spans to JSONL.
+    The full run gates the on/off throughput ratio at >= 0.97 (a smoke
+    run on a shared CI core records the ratio without gating — sub-3%
+    effects are below runner noise there).
+    """
+    import asyncio
+    import dataclasses
+    import shutil
+    import tempfile
+
+    from repro.common.config import TelemetryConfig
+    from repro.runtime.cluster import LiveCluster, run_live_experiment
+
+    def arm_config(name: str, telemetry: TelemetryConfig):
+        config = _pipelined_config(duration_s, rate_ops_s, name)
+        return dataclasses.replace(
+            config,
+            cluster=dataclasses.replace(config.cluster,
+                                        telemetry=telemetry),
+        )
+
+    def leg(report, extra=None) -> dict:
+        out = {
+            "throughput_ops_s": round(report.throughput_ops_s, 1),
+            "total_ops": report.total_ops,
+            "p99_ms": round(
+                report.latency.get("all", {}).get("p99", 0.0) * 1000, 2),
+            "violations": len(report.violations),
+            "clean_shutdown": report.clean_shutdown,
+        }
+        out.update(extra or {})
+        return out
+
+    async def run_scraped(config):
+        """cluster.run() with a poller hammering /metrics throughout."""
+        cluster = LiveCluster(config)
+        run_task = asyncio.ensure_future(cluster.run())
+        scrapes = 0
+        while not run_task.done():
+            await asyncio.sleep(0.1)
+            port = cluster.metrics_port
+            if port is None or cluster.metrics_server is None:
+                continue
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", port)
+                writer.write(b"GET /metrics HTTP/1.0\r\n\r\n")
+                await writer.drain()
+                body = await reader.read(-1)
+                writer.close()
+                if b"repro_client_ops_total" in body:
+                    scrapes += 1
+            except OSError:
+                pass
+        return await run_task, scrapes
+
+    # One discarded run first: the process-wide cold start (codec
+    # compilation, socket dials, allocator growth) must not be billed
+    # to whichever arm happens to run first.
+    run_live_experiment(
+        dataclasses.replace(arm_config("perf-obs-warmup",
+                                       TelemetryConfig()),
+                            duration_s=min(duration_s, 0.6)))
+    off_report = run_live_experiment(arm_config("perf-obs-off",
+                                                TelemetryConfig()))
+    on_config = arm_config("perf-obs-scraped",
+                           TelemetryConfig(enabled=True))
+    on_report, scrapes = asyncio.run(run_scraped(on_config))
+    trace_dir = tempfile.mkdtemp(prefix="perf-obs-trace-")
+    try:
+        traced_config = arm_config(
+            "perf-obs-traced",
+            TelemetryConfig(enabled=True, trace=True, trace_dir=trace_dir,
+                            trace_sample_every=8))
+        traced_report = run_live_experiment(traced_config)
+        spans = 0
+        for name in os.listdir(trace_dir):
+            with open(os.path.join(trace_dir, name), encoding="utf-8") as f:
+                spans += sum(1 for line in f if line.strip())
+    finally:
+        shutil.rmtree(trace_dir, ignore_errors=True)
+
+    results = {
+        "workload": "pipelined open loop, 16 sessions x "
+                    f"{rate_ops_s:.0f} ops/s offered, same seed per arm",
+        "off": leg(off_report),
+        "on_scraped": leg(on_report, {"scrapes": scrapes}),
+        "on_traced": leg(traced_report, {"spans_written": spans,
+                                         "trace_sample_every": 8}),
+    }
+    on_ratio = traced_ratio = None
+    if off_report.throughput_ops_s:
+        on_ratio = round(on_report.throughput_ops_s
+                         / off_report.throughput_ops_s, 3)
+        traced_ratio = round(traced_report.throughput_ops_s
+                             / off_report.throughput_ops_s, 3)
+        results["on_vs_off_throughput_ratio"] = on_ratio
+        results["traced_vs_off_throughput_ratio"] = traced_ratio
+    failed = False
+    for arm_name, report in (("off", off_report), ("scraped", on_report),
+                             ("traced", traced_report)):
+        if not report.passed:
+            print(f"[perf] FAIL: observability leg ({arm_name} arm) "
+                  f"violated the checker or shut down uncleanly",
+                  file=sys.stderr)
+            failed = True
+    if scrapes == 0 or spans == 0:
+        print("[perf] FAIL: observability leg was vacuous (no successful "
+              "scrape or no trace spans) — the instrumentation never "
+              "fired", file=sys.stderr)
+        failed = True
+    if gate and on_ratio is not None and on_ratio < 0.97:
+        print(f"[perf] FAIL: telemetry-on throughput at {on_ratio}x of "
+              f"off (need >= 0.97x)", file=sys.stderr)
+        failed = True
+    return results, failed
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     parser.add_argument("--smoke", action="store_true",
@@ -907,6 +1038,11 @@ def main(argv: list[str] | None = None) -> int:
     print(f"[perf] lossy-link anti-entropy leg (1% replication loss, "
           f"AE off vs on, {lossy_duration}s each)...", file=sys.stderr)
     lossy_ae, lossy_failed = bench_lossy_anti_entropy(lossy_duration)
+    obs_duration = 1.0 if args.smoke else 2.5
+    print(f"[perf] observability overhead leg (off / scraped / traced, "
+          f"{obs_duration}s each)...", file=sys.stderr)
+    observability, obs_failed = bench_observability_overhead(
+        obs_duration, gate=not args.smoke)
     if args.smoke:
         scaling_counts: tuple = (1, 2)
         scaling_duration = 1.2
@@ -975,6 +1111,7 @@ def main(argv: list[str] | None = None) -> int:
         "persistence_fsync_modes": fsync_modes,
         "repl_batching": repl_batching,
         "lossy_anti_entropy": lossy_ae,
+        "observability_overhead": observability,
         "live_pipelined_batched": {
             **pipelined_batched,
             # Same-run, same-machine comparison: the committed PR-5
@@ -1022,6 +1159,11 @@ def main(argv: list[str] | None = None) -> int:
     if lossy_failed:
         print("[perf] FAIL: the lossy-link anti-entropy leg missed its "
               "gate (see above)", file=sys.stderr)
+        return 1
+    if obs_failed:
+        print("[perf] FAIL: the observability-overhead leg missed its "
+              "gate (checker, vacuity, or the >= 0.97 on/off throughput "
+              "bar — see above)", file=sys.stderr)
         return 1
     if scaling_failed:
         print("[perf] FAIL: the multi-process scaling leg missed a gate "

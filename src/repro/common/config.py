@@ -277,6 +277,56 @@ class TransportTuningConfig:
 
 
 @dataclass(frozen=True, slots=True)
+class TelemetryConfig:
+    """Live observability: metrics endpoint and causal event tracing.
+
+    Like :class:`TransportTuningConfig` this block is live-only — the
+    simulation backend never consults it, so per-seed sim reports are
+    independent of every field here.  Both halves default **off**; a
+    disabled block costs one ``None`` check on the hot paths and adds
+    no bytes to any wire frame (trace ids reuse the version identity
+    ``(sr, ut)`` that replication already carries).
+
+    * ``enabled`` — maintain the :class:`repro.obs.telemetry.Telemetry`
+      registry and serve ``/metrics`` + ``/vars.json`` over HTTP.
+    * ``metrics_base_port`` — first port of the deterministic metrics
+      port map (one endpoint per hosted server, assigned in
+      ``Topology.all_servers()`` order, mirroring ``AddressBook``).
+      ``0`` binds an ephemeral port (single-process runs only).
+    * ``loop_probe_interval_s`` — period of the event-loop lag probe
+      (armed only while telemetry is enabled).
+    * ``trace`` — emit sampled causal-lifecycle spans
+      (``put → wal_synced → replicate_sent → installed → visible``)
+      as JSONL under ``trace_dir``.
+    * ``trace_sample_every`` — sample a write iff its update time
+      satisfies ``ut % trace_sample_every == 0``: deterministic and
+      coordination-free, so origin and remote processes sample the
+      same writes without exchanging any state.
+    """
+
+    enabled: bool = False
+    metrics_base_port: int = 0
+    loop_probe_interval_s: float = 0.25
+    trace: bool = False
+    trace_dir: str = ""
+    trace_sample_every: int = 64
+
+    def validate(self) -> None:
+        if self.metrics_base_port < 0 or self.metrics_base_port > 65535:
+            raise ConfigError(
+                "telemetry.metrics_base_port must be in [0, 65535]"
+            )
+        if self.loop_probe_interval_s <= 0:
+            raise ConfigError(
+                "telemetry.loop_probe_interval_s must be > 0"
+            )
+        if self.trace and not self.trace_dir:
+            raise ConfigError("telemetry.trace requires a trace_dir")
+        if self.trace_sample_every < 1:
+            raise ConfigError("telemetry.trace_sample_every must be >= 1")
+
+
+@dataclass(frozen=True, slots=True)
 class ClusterConfig:
     """Shape and physical parameters of one simulated deployment."""
 
@@ -303,6 +353,9 @@ class ClusterConfig:
     transport: TransportTuningConfig = field(
         default_factory=TransportTuningConfig
     )
+    #: Live observability (metrics endpoint + tracing); ignored by the
+    #: simulation.
+    telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
 
     def validate(self) -> None:
         if self.num_dcs < 2:
@@ -320,6 +373,7 @@ class ClusterConfig:
         self.repl_batch.validate()
         self.anti_entropy.validate()
         self.transport.validate()
+        self.telemetry.validate()
 
     @property
     def num_nodes(self) -> int:

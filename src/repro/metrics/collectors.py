@@ -110,6 +110,12 @@ class MetricsRegistry:
         #: vector; GentleRain* when the GST passes its timestamp.  This
         #: quantifies the freshness argument of Section I directly.
         self.visibility_lag = LogHistogram()
+        #: Live-telemetry tap: a second histogram fed on *every*
+        #: visibility sample, independent of the measurement window —
+        #: ``/metrics`` endpoints scrape continuously, including during
+        #: warmup, while ``visibility_lag`` above stays windowed for the
+        #: report.  None (and free) outside the live backend.
+        self.visibility_sink: LogHistogram | None = None
         #: Session-level events (HA-POCC).
         self.sessions_closed = 0
         self.sessions_demoted = 0
@@ -179,6 +185,9 @@ class MetricsRegistry:
             self.gss_lag.record(lag_s)
 
     def record_visibility_lag(self, lag_s: float) -> None:
+        sink = self.visibility_sink
+        if sink is not None:
+            sink.record(max(lag_s, 0.0))
         if self.enabled:
             self.visibility_lag.record(max(lag_s, 0.0))
 

@@ -1,0 +1,119 @@
+"""The plain-asyncio HTTP endpoint serving a :class:`Telemetry` registry.
+
+No web framework, no dependency: an ``asyncio.start_server`` listener
+speaking just enough HTTP/1.0 for ``curl``, Prometheus and
+``repro-top`` — read one request line, route on the path, write one
+``Connection: close`` response.  Runs on the same event loop as the
+cluster it observes, so a scrape costs one loop tick and whatever the
+gauge callbacks read.
+
+Routes:
+
+* ``/metrics``  — Prometheus text exposition v0.0.4;
+* ``/vars.json`` — the registry's JSON snapshot plus process metadata;
+* ``/healthz``  — ``ok`` (liveness for supervisors and smoke scripts).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Callable
+
+from repro.obs.telemetry import Telemetry
+
+#: Longest request head this endpoint will read (it only needs line 1).
+MAX_REQUEST_BYTES = 8192
+
+
+class MetricsServer:
+    """One scrape endpoint over one :class:`Telemetry` registry.
+
+    ``meta`` (a callable returning a dict, or a plain dict) is merged
+    into every ``/vars.json`` document — the cluster boot passes the
+    process identity (hosted servers, protocol, port map position) so
+    ``repro-top`` can label rows without out-of-band configuration.
+    """
+
+    def __init__(
+        self,
+        telemetry: Telemetry,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        meta: Callable[[], dict] | dict | None = None,
+    ):
+        self.telemetry = telemetry
+        self.host = host
+        self.port = port
+        self._meta = meta
+        self._server: asyncio.AbstractServer | None = None
+
+    async def start(self) -> int:
+        """Bind the listener; returns the bound port (resolves 0)."""
+        self._server = await asyncio.start_server(
+            self._handle, host=self.host, port=self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.port
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # ------------------------------------------------------------------
+    # Request handling
+    # ------------------------------------------------------------------
+    def _vars_document(self) -> dict[str, Any]:
+        doc = self.telemetry.snapshot()
+        meta = self._meta() if callable(self._meta) else self._meta
+        if meta:
+            doc.update(meta)
+        return doc
+
+    def _respond(self, path: str) -> tuple[int, str, str]:
+        if path == "/metrics":
+            return (200, "text/plain; version=0.0.4; charset=utf-8",
+                    self.telemetry.render_prometheus())
+        if path == "/vars.json":
+            return (200, "application/json",
+                    json.dumps(self._vars_document(), sort_keys=True) + "\n")
+        if path == "/healthz":
+            return 200, "text/plain", "ok\n"
+        return 404, "text/plain", "not found\n"
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            request_line = await reader.readline()
+            if len(request_line) > MAX_REQUEST_BYTES:
+                return
+            parts = request_line.decode("latin-1", "replace").split()
+            if len(parts) < 2 or parts[0] not in ("GET", "HEAD"):
+                status, ctype, body = 400, "text/plain", "bad request\n"
+            else:
+                path = parts[1].split("?", 1)[0]
+                status, ctype, body = self._respond(path)
+            # Drain the rest of the head without waiting for a slow
+            # client: the response does not depend on any header.
+            payload = body.encode("utf-8")
+            if parts and parts[0] == "HEAD":
+                payload = b""
+            reason = {200: "OK", 400: "Bad Request",
+                      404: "Not Found"}.get(status, "OK")
+            head = (
+                f"HTTP/1.0 {status} {reason}\r\n"
+                f"Content-Type: {ctype}\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+                f"Connection: close\r\n\r\n"
+            )
+            writer.write(head.encode("latin-1") + payload)
+            await writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            try:
+                writer.close()
+            except Exception:
+                pass

@@ -1,0 +1,277 @@
+"""The in-process telemetry registry behind ``/metrics``.
+
+One :class:`Telemetry` instance per live process, shared by every hosted
+server and the transport.  Three instrument kinds, chosen so the hot
+paths stay near-free when nobody scrapes:
+
+* **counters** — pre-created :class:`Counter` cells; the hot path is one
+  attribute increment.  Per-message-kind counters are created lazily on
+  first sight of a kind (one dict lookup per message).
+* **gauges** — *pull model*: a callback registered once and evaluated
+  only at scrape time, reading state the process keeps anyway (version
+  vectors, wait-queue lengths, batch buffers, link-fault counters).
+  Zero hot-path cost.
+* **summaries** — :class:`repro.metrics.histogram.LogHistogram` cells
+  observed on the hot path where no pull-side state exists (WAL fsync
+  latency, visibility lag).  O(1) per observation.
+
+Rendering is Prometheus text-exposition v0.0.4 (``render_prometheus``)
+plus a JSON snapshot (``snapshot``) for ``/vars.json`` and ``repro-top``.
+Families are declared up front so every endpoint exposes the same family
+set even before traffic arrives — the CI scrape gates on presence.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Iterable
+
+from repro.metrics.histogram import LogHistogram
+
+#: label tuples are ``(("dc", "0"), ("partition", "1"))`` — hashable,
+#: deterministic render order.
+Labels = tuple[tuple[str, str], ...]
+
+#: Client-facing request kinds folded into ``repro_client_ops_total``
+#: (the throughput family) in addition to the per-kind message counter.
+CLIENT_OP_KINDS = {
+    "GetReq": "get",
+    "PutReq": "put",
+    "CopsPutReq": "put",
+    "RoTxReq": "tx",
+}
+
+SUMMARY_QUANTILES = (("0.5", 50), ("0.95", 95), ("0.99", 99))
+
+
+class Counter:
+    """One monotone cell; hot paths hold a reference and increment."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Telemetry:
+    """Registry of counters, gauge callbacks and histogram summaries."""
+
+    def __init__(self) -> None:
+        #: family name -> (kind, help text); declared once, rendered as
+        #: ``# HELP`` / ``# TYPE`` whether or not samples exist yet.
+        self._families: dict[str, tuple[str, str]] = {}
+        self._counters: dict[tuple[str, Labels], Counter] = {}
+        self._gauges: dict[tuple[str, Labels], Callable[[], float]] = {}
+        self._summaries: dict[tuple[str, Labels], LogHistogram] = {}
+        #: Dynamic-label collectors: each yields (name, labels, value)
+        #: samples at scrape time (e.g. one per live link fault).
+        self._collectors: list[Callable[[], Iterable[tuple]]] = []
+        self._message_counters: dict[str, Counter] = {}
+        self._client_op_counters: dict[str, Counter] = {}
+        self._started_monotonic = time.monotonic()
+        self.family("repro_messages_total", "counter",
+                    "Protocol messages dispatched, by message kind.")
+        self.family("repro_client_ops_total", "counter",
+                    "Client operations received (get/put/tx).")
+        for kind in ("get", "put", "tx"):
+            self._client_op_counters[kind] = self.counter(
+                "repro_client_ops_total", labels=(("kind", kind),)
+            )
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def family(self, name: str, kind: str, help_text: str = "") -> None:
+        """Declare a metric family (idempotent; first declaration wins)."""
+        if name not in self._families:
+            self._families[name] = (kind, help_text)
+
+    def counter(self, name: str, labels: Labels = (),
+                help_text: str = "") -> Counter:
+        self.family(name, "counter", help_text)
+        key = (name, labels)
+        cell = self._counters.get(key)
+        if cell is None:
+            self._counters[key] = cell = Counter()
+        return cell
+
+    def gauge(self, name: str, fn: Callable[[], float],
+              labels: Labels = (), help_text: str = "",
+              kind: str = "gauge") -> None:
+        """Register a pull-model metric: ``fn`` runs at scrape time only.
+
+        ``kind="counter"`` renders a monotone value that existing state
+        already accumulates (transport frame counts etc.) without any
+        hot-path instrumentation.
+        """
+        self.family(name, kind, help_text)
+        self._gauges[(name, labels)] = fn
+
+    def summary(self, name: str, labels: Labels = (),
+                help_text: str = "") -> LogHistogram:
+        self.family(name, "summary", help_text)
+        key = (name, labels)
+        hist = self._summaries.get(key)
+        if hist is None:
+            self._summaries[key] = hist = LogHistogram()
+        return hist
+
+    def collector(self, fn: Callable[[], Iterable[tuple]]) -> None:
+        """Register a dynamic sampler: ``fn()`` yields
+        ``(family, labels, value)`` tuples at scrape time, for metrics
+        whose label sets only exist once something happens (per-channel
+        link-fault drops).  Declare the family first."""
+        self._collectors.append(fn)
+
+    # ------------------------------------------------------------------
+    # Hot-path entry points
+    # ------------------------------------------------------------------
+    def count_message(self, kind: str) -> None:
+        """One protocol message of ``kind`` was dispatched."""
+        cell = self._message_counters.get(kind)
+        if cell is None:
+            cell = self.counter("repro_messages_total",
+                                labels=(("kind", kind),))
+            self._message_counters[kind] = cell
+        cell.value += 1
+        op = CLIENT_OP_KINDS.get(kind)
+        if op is not None:
+            self._client_op_counters[op].value += 1
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def _samples(self) -> dict[str, list[tuple[Labels, Any]]]:
+        """Every current sample, grouped by family, render-ready."""
+        grouped: dict[str, list[tuple[Labels, Any]]] = {
+            name: [] for name in self._families
+        }
+        for (name, labels), cell in self._counters.items():
+            grouped[name].append((labels, cell.value))
+        for (name, labels), fn in self._gauges.items():
+            try:
+                value = float(fn())
+            except Exception:
+                # A gauge must never take the scrape down with it (the
+                # server it reads may be mid-teardown).
+                value = 0.0
+            grouped[name].append((labels, value))
+        for (name, labels), hist in self._summaries.items():
+            grouped[name].append((labels, hist))
+        for fn in self._collectors:
+            try:
+                extra = list(fn())
+            except Exception:
+                extra = []
+            for name, labels, value in extra:
+                grouped.setdefault(name, []).append((tuple(labels), value))
+        return grouped
+
+    def render_prometheus(self) -> str:
+        """Text-exposition v0.0.4: HELP/TYPE per family, then samples."""
+        lines: list[str] = []
+        grouped = self._samples()
+        for name in sorted(grouped):
+            kind, help_text = self._families.get(name, ("gauge", ""))
+            if help_text:
+                lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} {kind}")
+            for labels, value in sorted(grouped[name],
+                                        key=lambda item: item[0]):
+                if isinstance(value, LogHistogram):
+                    for quantile, p in SUMMARY_QUANTILES:
+                        q_labels = labels + (("quantile", quantile),)
+                        lines.append(
+                            f"{name}{_label_str(q_labels)} "
+                            f"{_fmt(value.percentile(p) if value.count else 0.0)}"
+                        )
+                    lines.append(f"{name}_sum{_label_str(labels)} "
+                                 f"{_fmt(value.total)}")
+                    lines.append(f"{name}_count{_label_str(labels)} "
+                                 f"{value.count}")
+                else:
+                    lines.append(
+                        f"{name}{_label_str(labels)} {_fmt(value)}"
+                    )
+        lines.append("")
+        return "\n".join(lines)
+
+    def snapshot(self) -> dict[str, Any]:
+        """The ``/vars.json`` document: every sample as plain JSON.
+
+        Families map to ``{label-string: value}``; summaries expand to
+        their :meth:`LogHistogram.summary` dict.  The same numbers the
+        Prometheus rendering carries, shaped for scripts and
+        ``repro-top`` (no exposition-format parsing needed).
+        """
+        out: dict[str, Any] = {
+            "uptime_seconds": time.monotonic() - self._started_monotonic,
+        }
+        families: dict[str, Any] = {}
+        for name, samples in self._samples().items():
+            rendered: dict[str, Any] = {}
+            for labels, value in samples:
+                key = _label_str(labels) or "_"
+                if isinstance(value, LogHistogram):
+                    rendered[key] = value.summary()
+                else:
+                    rendered[key] = value
+            families[name] = rendered
+        out["metrics"] = families
+        return out
+
+
+class LoopLagProbe:
+    """Self-measuring event-loop lag: schedules itself every
+    ``interval_s`` and records how late the callback actually ran —
+    the live analogue of the simulator's perfectly punctual timers.
+    Armed only while telemetry is enabled; zero cost otherwise."""
+
+    def __init__(self, loop, interval_s: float):
+        self._loop = loop
+        self._interval_s = interval_s
+        self._handle = None
+        self._expected = 0.0
+        self.last_lag_s = 0.0
+        self.max_lag_s = 0.0
+
+    def start(self) -> None:
+        self._expected = self._loop.time() + self._interval_s
+        self._handle = self._loop.call_at(self._expected, self._tick)
+
+    def _tick(self) -> None:
+        lag = max(self._loop.time() - self._expected, 0.0)
+        self.last_lag_s = lag
+        if lag > self.max_lag_s:
+            self.max_lag_s = lag
+        self.start()
+
+    def stop(self) -> None:
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+
+def _label_str(labels: Labels) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{key}="{_escape(value)}"' for key, value in labels)
+    return "{" + inner + "}"
+
+
+def _escape(value: str) -> str:
+    return (str(value).replace("\\", r"\\").replace('"', r"\"")
+            .replace("\n", r"\n"))
+
+
+def _fmt(value: float) -> str:
+    # Integral values render without an exponent or trailing zeros so
+    # counters stay readable; floats keep full precision via repr.
+    if isinstance(value, int):
+        return str(value)
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)

@@ -1,0 +1,296 @@
+"""``repro-top``: a cluster-wide live observer over the metrics endpoints.
+
+Polls the ``/vars.json`` endpoint of every process in a deployment and
+renders one table row per process/partition — throughput (from counter
+deltas between polls), visibility-latency p99, GSS/stable lag, wait-queue
+and replication-batch depth, event-loop lag, WAL fsync p99 and fault
+drops — refreshed every ``--interval`` seconds.  ``--json`` emits the
+aggregated document instead (one poll with ``--once``), which is what
+the CI probe asserts against.
+
+Endpoint discovery, most-specific first:
+
+* ``--endpoints host:port,host:port`` — explicit list;
+* ``--children children.json`` — a ``repro-supervise`` placement file
+  (each child records its ``metrics_port``);
+* ``--config cluster.json [--metrics-port BASE]`` — derive the
+  deterministic metrics port map exactly as the serving processes do
+  (``metrics_base_port + i`` in ``Topology.all_servers()`` order).
+
+Examples::
+
+    repro-top --children supervise-logs/children.json
+    repro-top --config cluster.json --json --once
+    repro-top --endpoints 127.0.0.1:7990,127.0.0.1:7991 --interval 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+
+#: Per-endpoint scrape timeout; a hung process must not freeze the table.
+SCRAPE_TIMEOUT_S = 2.0
+
+
+def _fetch_vars(host: str, port: int) -> dict | None:
+    url = f"http://{host}:{port}/vars.json"
+    try:
+        with urllib.request.urlopen(url, timeout=SCRAPE_TIMEOUT_S) as resp:
+            return json.loads(resp.read().decode("utf-8"))
+    except (urllib.error.URLError, OSError, ValueError):
+        return None
+
+
+def _family(doc: dict, name: str) -> dict:
+    return doc.get("metrics", {}).get(name, {})
+
+
+def _sum_family(doc: dict, name: str) -> float:
+    return sum(v for v in _family(doc, name).values()
+               if isinstance(v, (int, float)))
+
+
+def _max_family(doc: dict, name: str) -> float:
+    values = [v for v in _family(doc, name).values()
+              if isinstance(v, (int, float))]
+    return max(values) if values else 0.0
+
+
+def _summary_merge(doc: dict, name: str) -> dict:
+    """Fold a summary family's label-sets into one count-weighted view
+    (p99 folds as the max — the conservative tail estimate)."""
+    merged = {"count": 0, "sum": 0.0, "p50": 0.0, "p99": 0.0, "max": 0.0}
+    for value in _family(doc, name).values():
+        if not isinstance(value, dict):
+            continue
+        count = value.get("count", 0)
+        merged["count"] += count
+        merged["sum"] += value.get("mean", 0.0) * count
+        merged["p50"] = max(merged["p50"], value.get("p50", 0.0))
+        merged["p99"] = max(merged["p99"], value.get("p99", 0.0))
+        merged["max"] = max(merged["max"], value.get("max", 0.0))
+    return merged
+
+
+def endpoint_row(label: str, doc: dict,
+                 prev: tuple[float, float] | None) -> dict:
+    """One endpoint's table row; ``prev`` is (poll time, ops total) from
+    the previous poll for the throughput delta."""
+    ops_total = _sum_family(doc, "repro_client_ops_total")
+    now = time.monotonic()
+    ops_s = None
+    if prev is not None:
+        prev_t, prev_ops = prev
+        if now > prev_t:
+            ops_s = (ops_total - prev_ops) / (now - prev_t)
+    visibility = _summary_merge(doc, "repro_visibility_lag_seconds")
+    fsync = _summary_merge(doc, "repro_wal_fsync_seconds")
+    return {
+        "endpoint": label,
+        "servers": doc.get("servers", []),
+        "protocol": doc.get("protocol", ""),
+        "ops_total": ops_total,
+        "ops_s": ops_s,
+        "visibility_p99_s": visibility["p99"],
+        "visibility_samples": visibility["count"],
+        "stable_lag_s": _max_family(doc, "repro_stable_lag_seconds"),
+        "wait_queue_depth": _sum_family(doc, "repro_wait_queue_depth"),
+        "repl_batch_depth": _sum_family(doc,
+                                        "repro_repl_batch_occupancy"),
+        "loop_lag_s": _max_family(doc, "repro_event_loop_lag_seconds"),
+        "wal_fsync_p99_s": fsync["p99"],
+        "wal_fsyncs": fsync["count"],
+        "fault_drops": _sum_family(doc, "repro_link_fault_drops_total"),
+        "messages_total": _sum_family(doc, "repro_messages_total"),
+        "uptime_seconds": doc.get("uptime_seconds", 0.0),
+        "_poll": (now, ops_total),
+    }
+
+
+def aggregate_rows(rows: list[dict]) -> dict:
+    """The cluster-wide roll-up ``--json`` leads with."""
+    reachable = [r for r in rows if not r.get("down")]
+    ops_rates = [r["ops_s"] for r in reachable if r.get("ops_s") is not None]
+    return {
+        "endpoints": len(rows),
+        "reachable": len(reachable),
+        "ops_total": sum(r["ops_total"] for r in reachable),
+        "ops_s": sum(ops_rates) if ops_rates else None,
+        "visibility_p99_s": max(
+            (r["visibility_p99_s"] for r in reachable), default=0.0),
+        "visibility_samples": sum(
+            r["visibility_samples"] for r in reachable),
+        "stable_lag_s": max(
+            (r["stable_lag_s"] for r in reachable), default=0.0),
+        "wait_queue_depth": sum(r["wait_queue_depth"] for r in reachable),
+        "repl_batch_depth": sum(r["repl_batch_depth"] for r in reachable),
+        "loop_lag_s": max((r["loop_lag_s"] for r in reachable),
+                          default=0.0),
+        "wal_fsync_p99_s": max(
+            (r["wal_fsync_p99_s"] for r in reachable), default=0.0),
+        "fault_drops": sum(r["fault_drops"] for r in reachable),
+    }
+
+
+def render_table(rows: list[dict]) -> str:
+    header = (f"{'endpoint':<16} {'ops/s':>8} {'ops':>9} "
+              f"{'vis p99':>9} {'lag':>8} {'waitq':>6} {'batchq':>7} "
+              f"{'loop':>7} {'fsync p99':>10} {'drops':>6}")
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        if row.get("down"):
+            lines.append(f"{row['endpoint']:<16} {'DOWN':>8}")
+            continue
+        ops_s = f"{row['ops_s']:,.0f}" if row["ops_s"] is not None else "-"
+        lines.append(
+            f"{row['endpoint']:<16} {ops_s:>8} {row['ops_total']:>9,.0f} "
+            f"{row['visibility_p99_s'] * 1000:>7.2f}ms "
+            f"{row['stable_lag_s'] * 1000:>6.1f}ms "
+            f"{row['wait_queue_depth']:>6.0f} "
+            f"{row['repl_batch_depth']:>7.0f} "
+            f"{row['loop_lag_s'] * 1000:>5.1f}ms "
+            f"{row['wal_fsync_p99_s'] * 1000:>8.2f}ms "
+            f"{row['fault_drops']:>6.0f}"
+        )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Endpoint discovery
+# ----------------------------------------------------------------------
+def _endpoints_from_children(path: str) -> list[tuple[str, str, int]]:
+    with open(path, "r", encoding="utf-8") as handle:
+        children = json.load(handle)
+    endpoints = []
+    for child in children:
+        port = child.get("metrics_port")
+        if port:
+            label = f"dc{child['dc']}-p{child['partition']}"
+            endpoints.append((label, "127.0.0.1", port))
+    if not endpoints:
+        raise SystemExit(
+            f"{path}: no child records a metrics_port — was the "
+            f"supervised cluster started with --metrics-port?"
+        )
+    return endpoints
+
+
+def _endpoints_from_config(path: str, host: str,
+                           base_port: int | None) -> list[tuple[str, str, int]]:
+    from repro.cluster.topology import Topology
+    from repro.runtime.configfile import load_experiment_config
+    from repro.runtime.transport import metrics_port_map
+
+    config = load_experiment_config(path)
+    telemetry = config.cluster.telemetry
+    base = base_port if base_port is not None \
+        else telemetry.metrics_base_port
+    if not base:
+        raise SystemExit(
+            "the config carries no telemetry.metrics_base_port; pass "
+            "--metrics-port BASE (the value the servers were started "
+            "with)"
+        )
+    topology = Topology(config.cluster.num_dcs,
+                        config.cluster.num_partitions)
+    ports = metrics_port_map(topology, base, host=host)
+    return [(f"dc{addr.dc}-p{addr.partition}", entry[0], entry[1])
+            for addr, entry in ports.items()]
+
+
+def _endpoints_explicit(spec: str) -> list[tuple[str, str, int]]:
+    endpoints = []
+    for item in spec.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        host, _, port = item.rpartition(":")
+        endpoints.append((item, host or "127.0.0.1", int(port)))
+    return endpoints
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-top",
+        description="Live per-partition observer over a deployment's "
+                    "metrics endpoints (see docs/observability.md).",
+    )
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument("--children", metavar="PATH",
+                        help="repro-supervise children.json (each child "
+                             "records its metrics_port)")
+    source.add_argument("--config", metavar="PATH",
+                        help="cluster JSON; derives the deterministic "
+                             "metrics port map")
+    source.add_argument("--endpoints", metavar="H:P,H:P",
+                        help="explicit comma-separated endpoint list")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="scrape host for --config (default: "
+                             "127.0.0.1)")
+    parser.add_argument("--metrics-port", type=int, metavar="BASE",
+                        help="metrics base port override for --config")
+    parser.add_argument("--interval", type=float, default=2.0, metavar="S",
+                        help="poll period in seconds (default: 2)")
+    parser.add_argument("--once", action="store_true",
+                        help="poll once and exit (ops/s needs two polls; "
+                             "--once reports totals)")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit one JSON document per poll instead of "
+                             "the table")
+    return parser
+
+
+def _poll(endpoints: list[tuple[str, str, int]],
+          previous: dict[str, tuple[float, float]]) -> list[dict]:
+    rows = []
+    for label, host, port in endpoints:
+        doc = _fetch_vars(host, port)
+        if doc is None:
+            rows.append({"endpoint": label, "host": host, "port": port,
+                         "down": True})
+            continue
+        row = endpoint_row(label, doc, previous.get(label))
+        previous[label] = row.pop("_poll")
+        row.update(host=host, port=port)
+        rows.append(row)
+    return rows
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.children:
+        endpoints = _endpoints_from_children(args.children)
+    elif args.config:
+        endpoints = _endpoints_from_config(args.config, args.host,
+                                           args.metrics_port)
+    else:
+        endpoints = _endpoints_explicit(args.endpoints)
+
+    previous: dict[str, tuple[float, float]] = {}
+    clear = "\x1b[H\x1b[2J" if sys.stdout.isatty() else ""
+    while True:
+        rows = _poll(endpoints, previous)
+        if args.as_json:
+            document = {"aggregate": aggregate_rows(rows),
+                        "endpoints": rows}
+            print(json.dumps(document, sort_keys=True))
+        else:
+            if clear:
+                print(clear, end="")
+            print(render_table(rows))
+        if args.once:
+            # The CI probe: every endpoint must answer.
+            return 0 if not any(r.get("down") for r in rows) else 1
+        try:
+            time.sleep(args.interval)
+        except KeyboardInterrupt:
+            return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

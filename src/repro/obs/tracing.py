@@ -1,0 +1,120 @@
+"""Sampled causal-lifecycle tracing for live writes.
+
+A traced write's id **is** its version identity ``(sr, ut)`` — source
+replica and update timestamp, globally unique by construction and
+already carried in every ``Replicate`` / ``ReplicateBatch`` frame the
+engine ships.  Reusing it means trace propagation adds **zero bytes**
+to any wire frame: the origin and every remote replica reconstruct the
+same ``"sr:ut"`` id independently, and the off-state is trivially
+byte-identical to an engine without tracing (pinned by test).
+
+Sampling is deterministic and coordination-free for the same reason:
+a write is traced iff ``ut % sample_every == 0``.  The update micros
+are effectively uniform modulo small constants, every process applies
+the same predicate to the same ``ut``, so all five span points of one
+write — across processes — are kept or dropped together:
+
+``put`` → ``wal_synced`` → ``replicate_sent``   (at the origin)
+``installed`` → ``visible``                     (at each remote)
+
+Spans are appended as JSONL, one file per process under
+``TelemetryConfig.trace_dir``; join on ``trace`` (the id) to rebuild a
+write's timeline.  ``visible`` fires when the protocol actually lets
+reads observe the version — immediately for optimistic protocols, at
+the stability horizon for Cure*/GentleRain*/Okapi*/COPS*.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Callable
+
+#: Span buffer flushed to disk at this many pending lines (and on close).
+FLUSH_EVERY = 64
+
+SPAN_EVENTS = ("put", "wal_synced", "replicate_sent", "installed",
+               "visible")
+
+
+class TraceLog:
+    """One process's JSONL span sink.
+
+    ``now_fn`` supplies timestamps on the deployment's shared time axis
+    (:data:`repro.runtime.transport.LIVE_EPOCH_UNIX_S` seconds), so
+    spans from different processes line up without clock negotiation
+    beyond what the transport already does.
+    """
+
+    def __init__(self, path: str, sample_every: int,
+                 now_fn: Callable[[], float]):
+        if sample_every < 1:
+            raise ValueError("sample_every must be >= 1")
+        self.path = path
+        self.sample_every = sample_every
+        self._now = now_fn
+        os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+        self._file = open(path, "a", encoding="utf-8")
+        self._pending = 0
+        self.spans_written = 0
+        self._closed = False
+
+    def sampled(self, ut: int) -> bool:
+        """The deterministic sampling predicate (see module docstring)."""
+        return ut % self.sample_every == 0
+
+    def span(self, event: str, sr: int, ut: int, node: str,
+             **fields: Any) -> None:
+        """Append one span point for the write ``(sr, ut)``.
+
+        Callers check :meth:`sampled` first — the predicate is the one
+        branch allowed on the hot path; building the record is not.
+        """
+        if self._closed:
+            return
+        record = {
+            "trace": f"{sr}:{ut}",
+            "event": event,
+            "t": round(self._now(), 6),
+            "node": node,
+        }
+        if fields:
+            record.update(fields)
+        self._file.write(json.dumps(record, separators=(",", ":")) + "\n")
+        self.spans_written += 1
+        self._pending += 1
+        if self._pending >= FLUSH_EVERY:
+            self._file.flush()
+            self._pending = 0
+
+    def flush(self) -> None:
+        if not self._closed:
+            self._file.flush()
+            self._pending = 0
+
+    def close(self) -> None:
+        if not self._closed:
+            self._file.flush()
+            self._file.close()
+            self._closed = True
+
+
+def read_spans(path: str) -> list[dict]:
+    """Load one trace file (tests and ad-hoc analysis)."""
+    spans = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                spans.append(json.loads(line))
+    return spans
+
+
+def group_by_trace(spans: list[dict]) -> dict[str, list[dict]]:
+    """Spans grouped by trace id, each group in emission (time) order."""
+    groups: dict[str, list[dict]] = {}
+    for span in spans:
+        groups.setdefault(span["trace"], []).append(span)
+    for group in groups.values():
+        group.sort(key=lambda s: s["t"])
+    return groups

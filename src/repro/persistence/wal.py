@@ -232,6 +232,10 @@ class WriteAheadLog:
         #: Chaos hook: when set, every sync stalls and/or fails per the
         #: fault's parameters (see :class:`DiskFault`).
         self.disk_fault: DiskFault | None = None
+        #: Telemetry hook: when set, every sync records its wall-clock
+        #: duration (seconds) — the ``repro_wal_fsync_seconds`` summary.
+        #: None (one attribute check per sync) when telemetry is off.
+        self.sync_timing: Callable[[float], Any] | None = None
         self._closed = False
         segments = list_segments(self.directory)
         if segments:
@@ -294,8 +298,15 @@ class WriteAheadLog:
         self._file.flush()
         if self.disk_fault is not None:
             self.disk_fault.apply()
-        os.fsync(self._file.fileno())
-        self._last_sync = time.monotonic()
+        timing = self.sync_timing
+        if timing is not None:
+            started = time.monotonic()
+            os.fsync(self._file.fileno())
+            self._last_sync = time.monotonic()
+            timing(self._last_sync - started)
+        else:
+            os.fsync(self._file.fileno())
+            self._last_sync = time.monotonic()
         self.stats.syncs += 1
 
     def flush(self) -> None:

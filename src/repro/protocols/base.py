@@ -301,6 +301,8 @@ class CausalServer(ProtocolCore):
         version = Version(key=key, value=value, sr=self.m, ut=ts, dv=dv,
                           optimistic=optimistic)
         self.store.insert(version)
+        if self._trace is not None:
+            self._span("put", version, key=key)
         # Durability before acknowledgement: the caller replies to the
         # client only after this returns, and the fan-out below is what
         # makes the version observable remotely — both must trail the
@@ -320,6 +322,8 @@ class CausalServer(ProtocolCore):
         pre-batching engine), or a buffered add that the batcher flushes
         as one :class:`~repro.protocols.messages.ReplicateBatch`.
         """
+        if self._trace is not None:
+            self._span("replicate_sent", version)
         if self._batcher is not None:
             self._batcher.add(version)
         else:
@@ -377,6 +381,8 @@ class CausalServer(ProtocolCore):
         if version.ut > self.vv[version.sr]:
             self.vv[version.sr] = version.ut
         self.rt.persist(version)
+        if self._trace is not None:
+            self._span("installed", version)
         self.version_received(version)
 
     def apply_replicate_batch(self, msg: m.ReplicateBatch) -> None:
@@ -408,6 +414,46 @@ class CausalServer(ProtocolCore):
         the configured offset (clamped at zero in the recorder).
         """
         self.metrics.record_visibility_lag(self.rt.now - version.ut / 1e6)
+        self._trace_visible(version)
+
+    # ------------------------------------------------------------------
+    # Observability (live backend only; no-ops when hooks are absent)
+    # ------------------------------------------------------------------
+    def _span(self, event: str, version: Version, **fields: Any) -> None:
+        """Emit one causal-lifecycle span for ``version`` if it is
+        sampled.  Hot call sites pre-check ``self._trace is not None``
+        so the tracing-off path pays nothing."""
+        trace = self._trace
+        if trace is not None and trace.sampled(version.ut):
+            trace.span(event, version.sr, version.ut,
+                       node=f"dc{self.m}-p{self.n}", **fields)
+
+    def _trace_visible(self, version: Version) -> None:
+        """The ``visible`` span: called at the exact point a protocol
+        lets reads observe a remote version — immediately here (the
+        optimistic base), at the stability horizon in Cure*/GentleRain*/
+        Okapi*, after dependency checks in COPS*."""
+        trace = self._trace
+        if trace is not None and trace.sampled(version.ut):
+            trace.span("visible", version.sr, version.ut,
+                       node=f"dc{self.m}-p{self.n}")
+
+    def stable_lag_seconds(self) -> float:
+        """How far the replication horizon trails the local clock (the
+        ``repro_stable_lag_seconds`` gauge, read at scrape time).
+
+        The base reading is the oldest *remote* version-vector entry
+        versus the local physical clock — how stale the least-recently
+        heard-from replica is.  Protocols with an explicit stability
+        cursor override this with their own horizon: Cure*'s GSS,
+        GentleRain*'s GST, Okapi*'s UST (a packed hybrid timestamp that
+        needs unpacking before it can meet a microsecond clock).
+        """
+        vv = self.vv
+        if len(vv) <= 1:
+            return 0.0
+        oldest = min(ts for i, ts in enumerate(vv) if i != self.m)
+        return max(self.clock.peek_micros() - oldest, 0) / 1e6
 
     def apply_heartbeat(self, msg: m.Heartbeat) -> None:
         """Algorithm 2 lines 27-28 + notify blocked operations."""

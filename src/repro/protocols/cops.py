@@ -245,6 +245,7 @@ class CopsServer(CausalServer):
         # re-running (already passed) dependency checks after a restart.
         self.rt.persist(version)
         self.metrics.record_visibility_lag(self.rt.now - version.ut / 1e6)
+        self._trace_visible(version)
         # Newly visible versions can satisfy checks parked here and can
         # unblock nothing else: COPS reads never wait.
         self.dep_waiters.notify()

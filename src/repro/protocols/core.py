@@ -36,6 +36,13 @@ local work (CPU charge)   ``rt.submit(cost_s, fn, *args, priority=...)``
 durability (WAL append)   ``rt.persist(version)``
 ========================  =====================================================
 
+Observability hooks (optional, live backend only): an adapter may carry
+``telemetry`` (a :class:`repro.obs.telemetry.Telemetry` registry) and
+``trace`` (a :class:`repro.obs.tracing.TraceLog`) attributes.  Cores
+cache them at construction via ``getattr(runtime, ..., None)`` — the sim
+adapter defines neither, so the deterministic backend never pays for or
+observes them and per-seed simulated reports stay byte-identical.
+
 Time: ``rt.now`` is a monotonically nondecreasing float of seconds since
 the backend's epoch (simulation start / process start).  Physical clocks
 (:class:`repro.clocks.physical.PhysicalClock`) are built *on top of* the
@@ -191,6 +198,10 @@ class ProtocolCore:
         self.clock = clock
         self.address = runtime.address
         self.messages_received = 0
+        # Live-only observability hooks (absent on the sim backend; the
+        # cluster boot sets them on LiveRuntime *before* construction).
+        self._obs = getattr(runtime, "telemetry", None)
+        self._trace = getattr(runtime, "trace", None)
         runtime.bind(self)
 
     # ------------------------------------------------------------------
@@ -199,6 +210,9 @@ class ProtocolCore:
     def on_message(self, msg: Any) -> None:
         """Delivery entry point: charge the handler's CPU, then dispatch."""
         self.messages_received += 1
+        obs = self._obs
+        if obs is not None:
+            obs.count_message(type(msg).__name__)
         cost = self.service_time(msg)
         if cost > 0:
             self.rt.submit(cost, self.dispatch, msg,

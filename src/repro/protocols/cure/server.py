@@ -53,6 +53,7 @@ class CureServer(StabilizationMixin, CausalServer):
             self.metrics.record_visibility_lag(
                 self.rt.now - version.ut / 1e6
             )
+            self._trace_visible(version)
         else:
             self._pending_visibility.append(version)
 
@@ -64,6 +65,7 @@ class CureServer(StabilizationMixin, CausalServer):
         for version in self._pending_visibility:
             if self._stable(version):
                 self.metrics.record_visibility_lag(now - version.ut / 1e6)
+                self._trace_visible(version)
             else:
                 still_hidden.append(version)
         self._pending_visibility = still_hidden
@@ -83,6 +85,18 @@ class CureServer(StabilizationMixin, CausalServer):
         """A version is stable once its commit vector is inside the GSS:
         the DC has received it and everything it may depend on."""
         return vec_leq(version.commit_vector(), self.gss)
+
+    def stable_lag_seconds(self) -> float:
+        """Cure*'s stability horizon is the GSS: the gauge reads how far
+        its oldest remote entry trails the local clock — the live analogue
+        of :meth:`~repro.protocols.cure.stabilization.StabilizationMixin.
+        _record_gss_lag` (that one samples on advance; this one on
+        scrape)."""
+        gss = self.gss
+        if len(gss) <= 1:
+            return 0.0
+        oldest = min(ts for i, ts in enumerate(gss) if i != self.m)
+        return max(self.clock.peek_micros() - oldest, 0) / 1e6
 
     def _count_unmerged(self, chain) -> int:
         """Chain versions not yet stable ("unmerged", Section V-B)."""

@@ -89,6 +89,7 @@ class GentleRainServer(CausalServer):
             self.metrics.record_visibility_lag(
                 self.rt.now - version.ut / 1e6
             )
+            self._trace_visible(version)
         else:
             self._pending_visibility.append(version)
 
@@ -100,9 +101,16 @@ class GentleRainServer(CausalServer):
         for version in self._pending_visibility:
             if version.ut <= self.gst:
                 self.metrics.record_visibility_lag(now - version.ut / 1e6)
+                self._trace_visible(version)
             else:
                 still_hidden.append(version)
         self._pending_visibility = still_hidden
+
+    def stable_lag_seconds(self) -> float:
+        """GentleRain*'s horizon is the scalar GST."""
+        if self.gst <= 0:
+            return 0.0
+        return max(self.clock.peek_micros() - self.gst, 0) / 1e6
 
     def dispatch(self, msg: Any) -> None:
         if isinstance(msg, m.StabPush):

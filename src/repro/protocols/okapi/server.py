@@ -143,6 +143,16 @@ class OkapiServer(UniversalStabilizationMixin, CausalServer):
     def _sample_visibility(self, version: Version) -> None:
         physical, _ = HybridLogicalClock.unpack(version.ut)
         self.metrics.record_visibility_lag(self.rt.now - physical / 1e6)
+        self._trace_visible(version)
+
+    def stable_lag_seconds(self) -> float:
+        """Okapi*'s horizon is the UST — a *packed* hybrid timestamp, so
+        it must be unpacked before it can meet the microsecond clock (a
+        raw comparison would be off by the 16-bit logical shift)."""
+        if self.ust <= 0:
+            return 0.0
+        physical, _ = HybridLogicalClock.unpack(self.ust)
+        return max(self.clock.peek_micros() - physical, 0) / 1e6
 
     def ust_advanced(self) -> None:
         if not self._pending_visibility:

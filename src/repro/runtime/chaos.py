@@ -661,10 +661,16 @@ async def _live_stalled_disk(
         config.cluster.num_dcs,
         config.cluster.num_partitions,
     ))
+    await cluster.stop_telemetry()
     await cluster.hub.close()
     cluster.close_persistence()
     stalls = sum(fault.stalls for fault in disk_faults)
-    return report, divergences, {"disk_stalls": stalls}
+    # report.faults carries the transport-side fault accounting directly
+    # (satellite of PR 9) — cells assert on it without parsing logs.
+    details: dict[str, Any] = {"disk_stalls": stalls}
+    if report.faults:
+        details["transport_faults"] = report.faults
+    return report, divergences, details
 
 
 def _cell_stalled_disk(scenario, protocol: str, seed: int,

@@ -101,6 +101,19 @@ def add_deployment_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--rcvbuf", type=int, metavar="BYTES",
                         help="SO_RCVBUF hint for live sockets "
                              "(0 = kernel default)")
+    parser.add_argument("--metrics-port", type=int, metavar="PORT",
+                        help="enable live telemetry: serve /metrics and "
+                             "/vars.json, one endpoint per hosted server "
+                             "at PORT + server index (Topology order; "
+                             "0 = ephemeral, single-process only; see "
+                             "docs/observability.md)")
+    parser.add_argument("--trace-dir", metavar="PATH",
+                        help="enable causal event tracing: sampled "
+                             "write-lifecycle spans as JSONL under PATH "
+                             "(implies telemetry on)")
+    parser.add_argument("--trace-sample", type=int, metavar="N",
+                        help="trace one write per N update-time ticks "
+                             "(ut %% N == 0; default: 64)")
 
 
 def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
@@ -140,6 +153,19 @@ def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
     if transport_overrides:
         cluster_overrides["transport"] = dataclasses.replace(
             cluster.transport, **transport_overrides
+        )
+    telemetry_overrides: dict = {}
+    if args.metrics_port is not None:
+        telemetry_overrides.update(enabled=True,
+                                   metrics_base_port=args.metrics_port)
+    if args.trace_dir is not None:
+        telemetry_overrides.update(enabled=True, trace=True,
+                                   trace_dir=args.trace_dir)
+    if args.trace_sample is not None:
+        telemetry_overrides["trace_sample_every"] = args.trace_sample
+    if telemetry_overrides:
+        cluster_overrides["telemetry"] = dataclasses.replace(
+            cluster.telemetry, **telemetry_overrides
         )
     if cluster_overrides:
         cluster = dataclasses.replace(cluster, **cluster_overrides)

@@ -31,7 +31,12 @@ from repro.metrics.collectors import MetricsRegistry
 from repro.protocols.registry import client_class, server_class
 from repro.runtime import codec
 from repro.runtime.loops import running_loop_name
-from repro.runtime.transport import AddressBook, LiveHub, LiveRuntime
+from repro.runtime.transport import (
+    AddressBook,
+    LiveHub,
+    LiveRuntime,
+    metrics_port_map,
+)
 from repro.metrics.histogram import LogHistogram
 from repro.sim.rng import RngRegistry
 from repro.verification.checker import CausalChecker
@@ -92,6 +97,16 @@ class LiveReport:
     #: empty where the platform has no affinity API.  Supervised
     #: deployments pin children, so the report shows the actual placement.
     cpu_affinity: list = field(default_factory=list)
+    #: Fault-injection accounting from the transport (empty when no chaos
+    #: ran): ``chaos_dropped``/``chaos_delayed`` totals, per-message-kind
+    #: drops (``dropped_by_type``) and frames that died with a crashed
+    #: sender (``messages_expired``, the live analogue of the simulator's
+    #: counter of the same name) — chaos-matrix cells assert on these
+    #: directly instead of parsing logs.
+    faults: dict = field(default_factory=dict)
+    #: Bound port of this process's ``/metrics`` endpoint (None when
+    #: telemetry is off).
+    metrics_port: int | None = None
 
     @property
     def passed(self) -> bool:
@@ -137,6 +152,13 @@ class LiveReport:
                 f"  visibility      : p50 {vis['p50'] * 1000:.2f}ms  "
                 f"p99 {vis['p99'] * 1000:.2f}ms  "
                 f"({vis['count']} remote updates)"
+            )
+        if self.faults:
+            lines.append(
+                f"  faults          : "
+                f"{self.faults.get('chaos_dropped', 0)} dropped, "
+                f"{self.faults.get('chaos_delayed', 0)} delayed, "
+                f"{self.faults.get('messages_expired', 0)} expired"
             )
         for violation in self.violations[:5]:
             lines.append(f"    violation: {violation}")
@@ -213,6 +235,15 @@ class LiveCluster:
                 )
         self._client_shard = client_shard
         self._built = False
+        self._host = host
+        # Live telemetry (off by default; see TelemetryConfig and
+        # docs/observability.md).  Created in _build() *before* the cores:
+        # every ProtocolCore caches the hooks at construction.
+        self.telemetry = None
+        self.trace = None
+        self.metrics_server = None
+        self.metrics_port: int | None = None
+        self._loop_probe = None
 
     # ------------------------------------------------------------------
     # Construction (mirrors harness.builders.build_cluster)
@@ -227,6 +258,8 @@ class LiveCluster:
         # during construction, which needs the running event loop.
         cluster = self.config.cluster
         persistence = self.config.persistence
+        if cluster.telemetry.enabled:
+            self._init_telemetry()
         server_cls = server_class(cluster.protocol)
         for address in self.topology.all_servers():
             if not self._hosted(address):
@@ -248,6 +281,9 @@ class LiveCluster:
             )
             runtime = self.hub.runtime(address)
             runtime.durability = durability
+            if self.telemetry is not None:
+                runtime.telemetry = self.telemetry
+                runtime.trace = self.trace
             server = server_cls(runtime, clock, self.topology, cluster,
                                 self.metrics)
             server.store.preload(self.pools.pool(address.partition),
@@ -261,6 +297,8 @@ class LiveCluster:
                 # became durable still served pre-crash reads.
                 self._needs_catchup.append(server)
             self.servers[address] = server
+            if self.telemetry is not None:
+                self._register_server_telemetry(address, server, durability)
 
         if not self._with_clients:
             return
@@ -281,6 +319,9 @@ class LiveCluster:
                         self.rng.stream(seeds.clock_stream(address)),
                     )
                     runtime = self.hub.runtime(address)
+                    if self.telemetry is not None:
+                        runtime.telemetry = self.telemetry
+                        runtime.trace = self.trace
                     client = client_cls(runtime, clock, self.topology,
                                         cluster, self.metrics)
                     workload = make_workload(
@@ -299,6 +340,157 @@ class LiveCluster:
                     self.drivers.append(driver)
 
     # ------------------------------------------------------------------
+    # Telemetry (live observability; see docs/observability.md)
+    # ------------------------------------------------------------------
+    def _process_label(self) -> str:
+        """This process's identity in trace filenames and ``/vars.json``:
+        the first hosted server slot, the load-generator shard index, or
+        the pid as a last resort."""
+        for address in self.topology.all_servers():
+            if self._hosted(address):
+                return f"dc{address.dc}-p{address.partition}"
+        if self._client_shard is not None:
+            return f"loadgen-{self._client_shard[0]}"
+        return f"pid{os.getpid()}"
+
+    def _init_telemetry(self) -> None:
+        from repro.obs.telemetry import Telemetry
+        telemetry = Telemetry()
+        # Declare every family up front so each endpoint exposes the full
+        # set from the first scrape (the CI gate checks presence before
+        # traffic necessarily produced samples).
+        telemetry.family(
+            "repro_visibility_lag_seconds", "summary",
+            "Remote-update creation to local readability, seconds.")
+        telemetry.family(
+            "repro_wal_fsync_seconds", "summary",
+            "Wall-clock duration of WAL fsyncs, seconds.")
+        telemetry.family(
+            "repro_stable_lag_seconds", "gauge",
+            "Stability horizon (VV / GSS / GST / UST) behind the local "
+            "clock, seconds.")
+        telemetry.family(
+            "repro_wait_queue_depth", "gauge",
+            "Operations parked on predicate wait-queues.")
+        telemetry.family(
+            "repro_repl_batch_occupancy", "gauge",
+            "Versions buffered in the replication batcher.")
+        telemetry.family(
+            "repro_event_loop_lag_seconds", "gauge",
+            "How late the telemetry probe's event-loop timer fired, "
+            "seconds.")
+        telemetry.family(
+            "repro_link_fault_drops_total", "counter",
+            "Frames dropped by injected link faults, by channel and "
+            "message kind.")
+        stats = self.hub.stats
+        telemetry.gauge("repro_transport_frames_sent_total",
+                        lambda: stats.messages_sent, kind="counter",
+                        help_text="Frames handed to the socket layer.")
+        telemetry.gauge("repro_transport_frames_delivered_total",
+                        lambda: stats.messages_delivered, kind="counter",
+                        help_text="Frames decoded and dispatched inbound.")
+        telemetry.gauge("repro_transport_bytes_sent_total",
+                        lambda: stats.bytes_sent, kind="counter",
+                        help_text="Frame bytes handed to the socket "
+                                  "layer.")
+        telemetry.gauge("repro_transport_frames_expired_total",
+                        lambda: stats.messages_dropped, kind="counter",
+                        help_text="Frames that died with their (crashed) "
+                                  "sender.")
+        link_faults = self.hub._link_faults
+
+        def _fault_samples():
+            for (src, dst), fault in link_faults.items():
+                channel = (("src_dc", str(src)), ("dst_dc", str(dst)))
+                if fault.dropped_by_type:
+                    for kind, count in sorted(fault.dropped_by_type.items()):
+                        yield ("repro_link_fault_drops_total",
+                               channel + (("kind", kind),), count)
+                elif fault.dropped:
+                    yield ("repro_link_fault_drops_total",
+                           channel + (("kind", "unknown"),), fault.dropped)
+
+        telemetry.collector(_fault_samples)
+        # Visibility lag flows continuously into the endpoint, independent
+        # of the report's measurement window (see MetricsRegistry).
+        self.metrics.visibility_sink = telemetry.summary(
+            "repro_visibility_lag_seconds")
+        cfg = self.config.cluster.telemetry
+        if cfg.trace:
+            from repro.obs.tracing import TraceLog
+            path = os.path.join(cfg.trace_dir,
+                                f"trace-{self._process_label()}.jsonl")
+            hub = self.hub
+            self.trace = TraceLog(path, cfg.trace_sample_every,
+                                  now_fn=lambda: hub.now)
+        self.telemetry = telemetry
+
+    def _register_server_telemetry(self, address: Address, server: Any,
+                                   durability: Any) -> None:
+        telemetry = self.telemetry
+        labels = (("dc", str(address.dc)),
+                  ("partition", str(address.partition)))
+        telemetry.gauge("repro_stable_lag_seconds",
+                        server.stable_lag_seconds, labels=labels)
+        waiters = server.waiters
+        telemetry.gauge("repro_wait_queue_depth",
+                        lambda: len(waiters), labels=labels)
+        batcher = server._batcher
+        if batcher is not None:
+            telemetry.gauge("repro_repl_batch_occupancy",
+                            lambda: batcher.pending, labels=labels)
+        wal = durability.wal if durability is not None else None
+        if wal is not None:
+            hist = telemetry.summary("repro_wal_fsync_seconds",
+                                     labels=labels)
+            wal.sync_timing = hist.record
+
+    async def _start_telemetry(self) -> None:
+        """Bind the scrape endpoint and arm the loop-lag probe (after
+        ``hub.start()``: both need the running loop)."""
+        if self.telemetry is None:
+            return
+        from repro.obs.httpd import MetricsServer
+        from repro.obs.telemetry import LoopLagProbe
+        cfg = self.config.cluster.telemetry
+        probe = LoopLagProbe(self.hub.loop, cfg.loop_probe_interval_s)
+        probe.start()
+        self._loop_probe = probe
+        self.telemetry.gauge("repro_event_loop_lag_seconds",
+                             lambda: probe.last_lag_s)
+        # Deterministic slot: this process binds at its *first hosted
+        # server's* position of the cluster-wide port map (the same map
+        # repro-top derives from the config).  Processes hosting no
+        # servers (load-generator shards) take an ephemeral port.
+        host, port = self._host, 0
+        if cfg.metrics_base_port and self.servers:
+            ports = metrics_port_map(self.topology, cfg.metrics_base_port,
+                                     host=self._host)
+            host, port = ports[next(iter(self.servers))]
+        meta = {
+            "protocol": self.config.cluster.protocol,
+            "process_label": self._process_label(),
+            "servers": [f"dc{a.dc}-p{a.partition}" for a in self.servers],
+        }
+        server = MetricsServer(self.telemetry, host=host, port=port,
+                               meta=meta)
+        self.metrics_port = await server.start()
+        self.metrics_server = server
+
+    async def stop_telemetry(self) -> None:
+        """Tear the observability side down (idempotent); called before
+        the hub closes so a scrape never races a dying loop."""
+        if self._loop_probe is not None:
+            self._loop_probe.stop()
+            self._loop_probe = None
+        if self.metrics_server is not None:
+            await self.metrics_server.close()
+            self.metrics_server = None
+        if self.trace is not None:
+            self.trace.close()
+
+    # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     async def start(self) -> None:
@@ -311,6 +503,7 @@ class LiveCluster:
         for durability in self.durability.values():
             durability.enable_group_commit(self.hub.loop.call_soon)
         await self.hub.start()
+        await self._start_telemetry()
         # Catch-up only once the listeners are bound: the peers' replies
         # (and their reconnecting replication channels) need somewhere
         # to land.
@@ -388,6 +581,7 @@ class LiveCluster:
         # group-commit sync; drain once more so they reach the wire.
         await self.hub.drain()
         report = self._report(clean and self.hub.clean)
+        await self.stop_telemetry()
         await self.hub.close()
         self.close_persistence()
         return report
@@ -419,7 +613,9 @@ class LiveCluster:
             )
         else:
             verification = {"violations": 0, "reads_checked": 0,
-                            "tx_reads_checked": 0, "writes_seen": 0}
+                            "tx_reads_checked": 0, "writes_seen": 0,
+                            "unknown_dependency_reads": 0,
+                            "session_resets": 0}
             violations = []
             history_events = 0
         persistence_stats = {}
@@ -448,6 +644,26 @@ class LiveCluster:
         dropped = sum(getattr(d, "dropped_arrivals", 0)
                       for d in self.drivers)
         stats = self.hub.stats
+        visibility = metrics.visibility_lag.summary()
+        if not visibility.get("count"):
+            # Explicit "measured, zero samples" marker: an all-zero
+            # summary downstream reads as "zero latency", which is a very
+            # different claim from "no remote update was read".
+            visibility = {"samples": 0}
+        faults: dict[str, Any] = {}
+        if (stats.chaos_dropped or stats.chaos_delayed
+                or self.hub._link_faults):
+            dropped_by_type: dict[str, int] = {}
+            for fault in self.hub._link_faults.values():
+                for kind, count in fault.dropped_by_type.items():
+                    dropped_by_type[kind] = (dropped_by_type.get(kind, 0)
+                                             + count)
+            faults = {
+                "chaos_dropped": stats.chaos_dropped,
+                "chaos_delayed": stats.chaos_delayed,
+                "dropped_by_type": dropped_by_type,
+                "messages_expired": stats.messages_dropped,
+            }
         return LiveReport(
             protocol=self.config.cluster.protocol,
             num_dcs=self.topology.num_dcs,
@@ -470,7 +686,7 @@ class LiveCluster:
             arrival=self.config.workload.arrival,
             latency=latency,
             dropped_arrivals=dropped,
-            visibility=metrics.visibility_lag.summary(),
+            visibility=visibility,
             batches_sent=stats.batches_sent,
             batched_frames=stats.batched_frames,
             errors=list(self.hub.errors),
@@ -479,6 +695,8 @@ class LiveCluster:
             cpu_count=os.cpu_count() or 0,
             cpu_affinity=(sorted(os.sched_getaffinity(0))
                           if hasattr(os, "sched_getaffinity") else []),
+            faults=faults,
+            metrics_port=self.metrics_port,
         )
 
     def merged_latency_histograms(self) -> dict[str, LogHistogram]:

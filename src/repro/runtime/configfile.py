@@ -35,6 +35,7 @@ from repro.common.config import (
     ProtocolConfig,
     ReplicationBatchConfig,
     ServiceTimeConfig,
+    TelemetryConfig,
     TransportTuningConfig,
     WorkloadConfig,
 )
@@ -66,7 +67,8 @@ def experiment_config_from_dict(data: dict[str, Any]) -> ExperimentConfig:
                          ("protocol_config", ProtocolConfig),
                          ("repl_batch", ReplicationBatchConfig),
                          ("anti_entropy", AntiEntropyConfig),
-                         ("transport", TransportTuningConfig)):
+                         ("transport", TransportTuningConfig),
+                         ("telemetry", TelemetryConfig)):
         if key in cluster_data:
             sub = dict(cluster_data[key])
             if key == "latency" and "inter_dc_s" in sub:

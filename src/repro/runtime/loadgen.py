@@ -137,6 +137,15 @@ def merge_worker_reports(results: list[WorkerResult],
     errors = [f"worker {r.index} (pid {r.pid}): {e}"
               for r in results for e in r.report.errors]
     errors.extend(extra_errors or [])
+    faults: dict = {}
+    for report in reports:
+        for key, value in report.faults.items():
+            if isinstance(value, dict):
+                into = faults.setdefault(key, {})
+                for kind, count in value.items():
+                    into[kind] = into.get(kind, 0) + count
+            else:
+                faults[key] = faults.get(key, 0) + value
     first = reports[0]
     return LiveReport(
         protocol=first.protocol,
@@ -161,6 +170,11 @@ def merge_worker_reports(results: list[WorkerResult],
         arrival=first.arrival,
         latency=_summarize(merged_hists),
         dropped_arrivals=sum(r.dropped_arrivals for r in reports),
+        # Worker shards host no servers, so no visibility samples exist
+        # to merge; the explicit marker keeps "not measured" distinct
+        # from "zero latency" for bench consumers.
+        visibility={"samples": 0},
+        faults=faults,
         batches_sent=sum(r.batches_sent for r in reports),
         batched_frames=sum(r.batched_frames for r in reports),
         errors=errors,
@@ -209,6 +223,7 @@ async def _run_sharded(config: ExperimentConfig, host: str, base_port: int,
     finally:
         if servers is not None:
             clean_servers = servers.flush_persistence()
+            await servers.stop_telemetry()
             await servers.hub.close()
             servers.close_persistence()
             clean_servers = clean_servers and servers.hub.clean

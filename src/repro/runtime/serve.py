@@ -75,6 +75,9 @@ async def _serve(cluster: LiveCluster, duration: float | None) -> int:
     for addr in cluster.servers:
         host, port = cluster.book.lookup(addr)
         print(f"  {addr} listening on {host}:{port}", file=sys.stderr)
+    if cluster.metrics_port is not None:
+        print(f"  metrics on http://{cluster._host}:"
+              f"{cluster.metrics_port}/metrics", file=sys.stderr)
     for addr, recovered in cluster.recovered.items():
         if recovered.had_state:
             print(f"  {addr} recovered {len(recovered.versions)} "
@@ -95,6 +98,7 @@ async def _serve(cluster: LiveCluster, duration: float | None) -> int:
     # us (we are on their event loop), *then* take the transport down.
     # An acknowledged write must never outlive its log.
     flushed = cluster.flush_persistence()
+    await cluster.stop_telemetry()
     await cluster.hub.close()
     cluster.close_persistence()
     if not cluster.hub.clean or not flushed:

@@ -95,6 +95,9 @@ class ChildStatus:
     log_path: str
     cpu: int | None = None
     returncode: int | None = None
+    #: The child's /metrics port from the deterministic port map (None
+    #: when telemetry is off) — ``repro-top --children`` reads this.
+    metrics_port: int | None = None
 
     @property
     def label(self) -> str:
@@ -113,6 +116,7 @@ class Supervisor:
         log_dir: Path,
         pin_cpus: bool = False,
         duration: float | None = None,
+        metrics_ports: dict | None = None,
     ):
         self.config_path = config_path
         self.addresses = list(addresses)
@@ -121,6 +125,10 @@ class Supervisor:
         self.log_dir = log_dir
         self.pin_cpus = pin_cpus
         self.duration = duration
+        #: Address -> /metrics port (empty when telemetry is off); the
+        #: children derive the same map from the shared config, this
+        #: just records it in children.json for scrapers.
+        self.metrics_ports = metrics_ports or {}
         self.statuses: list[ChildStatus] = []
 
     def _command(self, address) -> list[str]:
@@ -171,6 +179,7 @@ class Supervisor:
                 dc=address.dc, partition=address.partition,
                 pid=proc.pid, log_path=str(log_path),
                 cpu=self._pin(proc.pid, index),
+                metrics_port=self.metrics_ports.get(address),
             )
             self.statuses.append(status)
             procs.append((proc, status))
@@ -323,9 +332,20 @@ def main(argv: list[str] | None = None) -> int:
     save_experiment_config(config, str(config_path))
     print(f"supervising {len(addresses)} server(s); logs in {log_dir}",
           file=sys.stderr)
+    telemetry = config.cluster.telemetry
+    metrics_ports = {}
+    if telemetry.enabled and telemetry.metrics_base_port:
+        from repro.runtime.transport import metrics_port_map
+        metrics_ports = {
+            address: entry[1]
+            for address, entry in metrics_port_map(
+                topology, telemetry.metrics_base_port, host=args.host
+            ).items()
+        }
     supervisor = Supervisor(
         config_path, addresses, args.host, args.base_port, log_dir,
         pin_cpus=args.pin_cpus, duration=args.duration,
+        metrics_ports=metrics_ports,
     )
     return asyncio.run(supervisor.run())
 

@@ -83,7 +83,8 @@ class LinkFault:
     FIFO survives the detour through the event loop's timer heap.
     """
 
-    __slots__ = ("delay_s", "drop_rate", "rng", "dropped", "delayed")
+    __slots__ = ("delay_s", "drop_rate", "rng", "dropped", "delayed",
+                 "dropped_by_type")
 
     def __init__(self, delay_s: float = 0.0, drop_rate: float = 0.0,
                  seed: int | None = None):
@@ -96,6 +97,10 @@ class LinkFault:
         self.rng = random.Random(seed)
         self.dropped = 0
         self.delayed = 0
+        #: Message-type name -> drops, mirroring the simulated network's
+        #: ``NetworkStats.dropped_by_type`` so chaos cells assert the
+        #: fault hit the traffic it targeted on either backend.
+        self.dropped_by_type: dict[str, int] = {}
 
 #: Per-channel write coalescing cap: a sender gathers every frame queued
 #: for its destination — everything posted during the event-loop ticks it
@@ -201,6 +206,28 @@ class AddressBook:
 
     def __len__(self) -> int:
         return len(self._entries)
+
+
+def metrics_port_map(
+    topology: Topology,
+    base_port: int,
+    host: str = "127.0.0.1",
+) -> dict[Address, tuple[str, int]]:
+    """The deterministic metrics-endpoint map of one deployment.
+
+    Mirrors :meth:`AddressBook.for_topology` port assignment: server
+    ``i`` in :meth:`Topology.all_servers` order scrapes at
+    ``base_port + i`` — so a process hosting several servers binds its
+    one endpoint at its *first* hosted server's slot, and external
+    observers (``repro-top``) derive the whole map from the shared
+    config without coordination.  ``base_port=0`` maps everything to an
+    ephemeral port (single-process deployments; the bound port is
+    reported at startup and recorded in supervisor ``children.json``).
+    """
+    ports: dict[Address, tuple[str, int]] = {}
+    for index, address in enumerate(topology.all_servers()):
+        ports[address] = (host, base_port + index if base_port else 0)
+    return ports
 
 
 class LiveTimer:
@@ -575,6 +602,17 @@ class LiveRuntime:
     interval/off``) pay one dict miss per send.
     """
 
+    #: Observability hooks (class defaults: off).  The cluster boot sets
+    #: instance attributes when :class:`repro.common.config.
+    #: TelemetryConfig` enables them: ``telemetry`` is the process's
+    #: :class:`repro.obs.telemetry.Telemetry` registry (protocol cores
+    #: cache it at bind time for per-message counters), ``trace`` the
+    #: process's :class:`repro.obs.tracing.TraceLog` (this adapter emits
+    #: the ``wal_synced`` span; cores emit the rest).  ``None`` keeps
+    #: both paths one attribute check — the byte-identity guarantee.
+    telemetry = None
+    trace = None
+
     def __init__(self, hub: LiveHub, address: Address):
         self.hub = hub
         self._address = address
@@ -586,8 +624,13 @@ class LiveRuntime:
         self.durability = None
         self._server: asyncio.AbstractServer | None = None
         self._reader_tasks: set[asyncio.Task] = set()
-        #: (required batch id, dst, frame) awaiting a group-commit sync.
-        self._held: deque[tuple[int, Address, bytes]] = deque()
+        #: (required batch id, dst, frame, kind) awaiting a group-commit
+        #: sync (kind is the message-type name, for per-type chaos drop
+        #: accounting at the eventual post).
+        self._held: deque[tuple[int, Address, bytes, str]] = deque()
+        #: (required batch id, sr, ut) of sampled traced writes whose
+        #: ``wal_synced`` span awaits the covering group-commit sync.
+        self._trace_pending: deque[tuple[int, int, int]] = deque()
         self._wait_batch = 0      # newest batch a persist() must wait for
         self._durable_batch = 0   # newest batch known synced
         #: Per-destination floor for chaos-delayed releases: strictly
@@ -699,16 +742,19 @@ class LiveRuntime:
     # ProtocolRuntime: sends
     # ------------------------------------------------------------------
     def send(self, dst: Address, msg: Any, size: int | None = None) -> None:
-        self._post_frame(dst, codec.encode_frame(msg))
+        self._post_frame(dst, codec.encode_frame(msg),
+                         type(msg).__name__)
 
     def send_fanout(self, dsts: Iterable[Address], msg: Any) -> None:
         # Same discipline as the sim adapter: serialize the immutable
         # payload once, not once per peer.
         frame = codec.encode_frame(msg)
+        kind = type(msg).__name__
         for dst in dsts:
-            self._post_frame(dst, frame)
+            self._post_frame(dst, frame, kind)
 
-    def _post_frame(self, dst: Address, frame: bytes) -> None:
+    def _post_frame(self, dst: Address, frame: bytes,
+                    kind: str = "") -> None:
         """Hand a frame to the hub — or hold it behind a pending sync.
 
         Holding *everything* sent while a batch is un-synced (not just
@@ -717,11 +763,12 @@ class LiveRuntime:
         acknowledgement to the same client would reorder the channel.
         """
         if self._wait_batch > self._durable_batch:
-            self._held.append((self._wait_batch, dst, frame))
+            self._held.append((self._wait_batch, dst, frame, kind))
         else:
-            self._hub_post(dst, frame)
+            self._hub_post(dst, frame, kind)
 
-    def _hub_post(self, dst: Address, frame: bytes) -> None:
+    def _hub_post(self, dst: Address, frame: bytes,
+                  kind: str = "") -> None:
         """The chaos choke point: every frame this endpoint hands to the
         hub — immediate sends and group-commit releases alike — passes
         the channel's :class:`LinkFault` (if any) first."""
@@ -731,6 +778,9 @@ class LiveRuntime:
             return
         if fault.drop_rate > 0 and fault.rng.random() < fault.drop_rate:
             fault.dropped += 1
+            if kind:
+                by_type = fault.dropped_by_type
+                by_type[kind] = by_type.get(kind, 0) + 1
             self.hub.stats.chaos_dropped += 1
             return
         if fault.delay_s <= 0:
@@ -767,6 +817,17 @@ class LiveRuntime:
         if durability is None:
             return
         batch = durability.append_version(version)
+        trace = self.trace
+        if trace is not None and trace.sampled(version.ut):
+            # The ``wal_synced`` span: under group commit it belongs to
+            # the covering batch's post-sync callback; other fsync
+            # policies count the append as "as durable as promised".
+            if batch is None:
+                trace.span("wal_synced", version.sr, version.ut,
+                           node=self._node_label())
+            else:
+                self._trace_pending.append((batch, version.sr,
+                                            version.ut))
         if batch is not None and batch != self._wait_batch:
             # First persist into this batch from this endpoint: register
             # exactly one release callback for it.
@@ -777,8 +838,19 @@ class LiveRuntime:
         """Group-commit sync completed: release the frames it covered."""
         if batch_id > self._durable_batch:
             self._durable_batch = batch_id
+        pending = self._trace_pending
+        if pending:
+            trace, node = self.trace, self._node_label()
+            while pending and pending[0][0] <= batch_id:
+                _, sr, ut = pending.popleft()
+                if trace is not None:
+                    trace.span("wal_synced", sr, ut, node=node)
         held = self._held
         post = self._hub_post
         while held and held[0][0] <= batch_id:
-            _, dst, frame = held.popleft()
-            post(dst, frame)
+            _, dst, frame, kind = held.popleft()
+            post(dst, frame, kind)
+
+    def _node_label(self) -> str:
+        address = self._address
+        return f"dc{address.dc}-p{address.partition}"

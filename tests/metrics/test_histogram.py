@@ -129,3 +129,131 @@ def test_merge_equivalent_to_recording_all(xs, ys):
     assert merged.count == combined.count
     assert merged.percentile(50) == combined.percentile(50)
     assert merged.percentile(99) == combined.percentile(99)
+
+
+# ----------------------------------------------------------------------
+# Quantile accuracy across the full dynamic range (the telemetry
+# summaries lean on these: microsecond fsyncs up to second-long stalls)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("scale", (1e-5, 1e-2, 1.0, 50.0))
+def test_quantile_relative_error_bounded_at_every_scale(scale):
+    """The geometric-bucket promise (~7% relative error) must hold
+    wherever the distribution lands, not just near 1.0."""
+    hist = LogHistogram()
+    for i in range(1, 5001):
+        hist.record(scale * i / 5000.0)  # uniform on (0, scale]
+    for p in (10, 50, 90, 95, 99):
+        exact = scale * p / 100.0
+        approx = hist.percentile(p)
+        assert abs(approx - exact) / exact < 0.08, (scale, p, approx)
+
+
+def test_quantiles_of_a_bimodal_distribution():
+    """A fast mode and a slow tail three orders of magnitude apart —
+    the shape WAL fsyncs take when a disk stalls.  p50 must stay in
+    the fast mode, p99 must find the tail."""
+    hist = LogHistogram()
+    for _ in range(990):
+        hist.record(0.001)
+    for _ in range(10):
+        hist.record(1.0)
+    assert hist.percentile(50) == pytest.approx(0.001, rel=0.08)
+    assert hist.percentile(98) == pytest.approx(0.001, rel=0.08)
+    assert hist.percentile(99.5) == pytest.approx(1.0, rel=0.08)
+    assert hist.percentile(100) == 1.0
+
+
+def test_p0_returns_min_seen():
+    hist = LogHistogram()
+    hist.record_many([0.25, 0.5, 0.75])
+    assert hist.percentile(0) == 0.25
+
+
+# ----------------------------------------------------------------------
+# merge() edge cases (worker-report folding and repro-top aggregation
+# exercise all of these shapes)
+# ----------------------------------------------------------------------
+def test_merge_empty_into_empty():
+    a, b = LogHistogram(), LogHistogram()
+    a.merge(b)
+    assert a.count == 0
+    assert a.summary() == {"count": 0, "mean": 0.0, "p50": 0.0,
+                           "p95": 0.0, "p99": 0.0, "max": 0.0}
+    # Sentinels untouched: a later record still sets min/max correctly.
+    a.record(0.5)
+    assert a.min_seen == 0.5
+    assert a.max_seen == 0.5
+
+
+def test_merge_empty_into_nonempty_is_identity():
+    a, b = LogHistogram(), LogHistogram()
+    a.record_many([0.001, 0.004])
+    before = (a.count, a.total, a.min_seen, a.max_seen, a.percentile(99))
+    a.merge(b)
+    assert (a.count, a.total, a.min_seen, a.max_seen,
+            a.percentile(99)) == before
+
+
+def test_merge_nonempty_into_empty_copies_everything():
+    a, b = LogHistogram(), LogHistogram()
+    b.record_many([0.002, 0.008, 0.032])
+    a.merge(b)
+    assert a.count == 3
+    assert a.min_seen == 0.002
+    assert a.max_seen == 0.032
+    assert a.percentile(50) == b.percentile(50)
+    assert a.mean == pytest.approx(b.mean)
+
+
+def test_merge_single_bucket_histograms():
+    """All mass in one bucket on both sides — counts add in place and
+    the percentiles stay inside that bucket."""
+    a, b = LogHistogram(), LogHistogram()
+    for _ in range(5):
+        a.record(0.01)
+    for _ in range(7):
+        b.record(0.01)
+    a.merge(b)
+    assert a.count == 12
+    assert a.percentile(50) == pytest.approx(0.01, rel=0.08)
+    assert a.percentile(100) == 0.01
+
+
+def test_merge_into_the_clamp_bucket():
+    """Values at or below ``min_value`` clamp into bucket 0 on both
+    sides; merging must fold them there, not lose them."""
+    a, b = LogHistogram(min_value=1e-3), LogHistogram(min_value=1e-3)
+    a.record(1e-9)
+    b.record(1e-6)
+    b.record(5e-4)
+    a.merge(b)
+    assert a.count == 3
+    assert a._counts[0] == 3
+    assert a.min_seen == 1e-9
+    # Percentiles clamp to max_seen, never report the bucket bound.
+    assert a.percentile(99) == 5e-4
+
+
+def test_merge_extends_into_the_overflow_tail():
+    """The receiving histogram's bucket array grows to take a donor
+    whose observations sit far beyond anything it has seen."""
+    a, b = LogHistogram(), LogHistogram()
+    a.record(0.001)
+    b.record(250.0)  # days beyond a's deepest bucket
+    buckets_before = len(a._counts)
+    a.merge(b)
+    assert len(a._counts) > buckets_before
+    assert a.count == 2
+    assert a.max_seen == 250.0
+    assert a.percentile(100) == 250.0
+    assert a.percentile(99) == pytest.approx(250.0, rel=0.08)
+
+
+def test_merge_parameter_mismatch_raises_both_ways():
+    base = LogHistogram()
+    for other in (LogHistogram(growth=1.5),
+                  LogHistogram(min_value=1e-5)):
+        with pytest.raises(ValueError):
+            base.merge(other)
+        with pytest.raises(ValueError):
+            other.merge(base)

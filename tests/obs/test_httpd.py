@@ -1,0 +1,109 @@
+"""The plain-asyncio scrape endpoint: just enough HTTP for curl,
+Prometheus, and ``repro-top``."""
+
+import asyncio
+import json
+
+from repro.obs.httpd import MetricsServer
+from repro.obs.telemetry import Telemetry
+
+
+async def _request(port: int, raw: str) -> tuple[str, bytes]:
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    writer.write(raw.encode("latin-1"))
+    await writer.drain()
+    data = await reader.read(-1)
+    writer.close()
+    head, _, body = data.partition(b"\r\n\r\n")
+    return head.decode("latin-1"), body
+
+
+def _serve(handler):
+    """Run ``handler(server, port)`` against a live endpoint."""
+    async def scenario():
+        telemetry = Telemetry()
+        telemetry.counter("repro_things_total").inc(3)
+        telemetry.gauge("repro_depth", lambda: 1.5)
+        server = MetricsServer(telemetry, meta={"process_label": "dc0-p0"})
+        port = await server.start()
+        assert port > 0
+        try:
+            await handler(server, port)
+        finally:
+            await server.close()
+
+    asyncio.run(scenario())
+
+
+def test_metrics_route_serves_prometheus_text():
+    async def check(server, port):
+        head, body = await _request(port, "GET /metrics HTTP/1.0\r\n\r\n")
+        assert head.startswith("HTTP/1.0 200 OK")
+        assert "text/plain; version=0.0.4" in head
+        assert "Connection: close" in head
+        text = body.decode()
+        assert "repro_things_total 3" in text
+        assert "repro_depth 1.5" in text
+        # Content-Length must match the payload exactly (curl trusts it).
+        length = int(head.split("Content-Length: ")[1].split("\r\n")[0])
+        assert length == len(body)
+
+    _serve(check)
+
+
+def test_vars_json_merges_process_meta():
+    async def check(server, port):
+        head, body = await _request(port,
+                                    "GET /vars.json HTTP/1.0\r\n\r\n")
+        assert "application/json" in head
+        doc = json.loads(body)
+        assert doc["process_label"] == "dc0-p0"
+        assert doc["metrics"]["repro_things_total"]["_"] == 3
+        assert doc["uptime_seconds"] >= 0
+
+    _serve(check)
+
+
+def test_healthz_and_unknown_paths():
+    async def check(server, port):
+        head, body = await _request(port, "GET /healthz HTTP/1.0\r\n\r\n")
+        assert "200 OK" in head
+        assert body == b"ok\n"
+        head, _ = await _request(port, "GET /nope HTTP/1.0\r\n\r\n")
+        assert "404 Not Found" in head
+
+    _serve(check)
+
+
+def test_head_requests_and_bad_methods():
+    async def check(server, port):
+        head, body = await _request(port, "HEAD /metrics HTTP/1.0\r\n\r\n")
+        assert "200 OK" in head
+        assert body == b""  # HEAD: headers only
+        head, _ = await _request(port, "POST /metrics HTTP/1.0\r\n\r\n")
+        assert "400 Bad Request" in head
+
+    _serve(check)
+
+
+def test_query_strings_are_ignored_for_routing():
+    async def check(server, port):
+        head, _ = await _request(
+            port, "GET /metrics?debug=1 HTTP/1.0\r\n\r\n")
+        assert "200 OK" in head
+
+    _serve(check)
+
+
+def test_close_is_idempotent_and_frees_the_port():
+    async def scenario():
+        server = MetricsServer(Telemetry())
+        port = await server.start()
+        await server.close()
+        await server.close()
+        # The slot is free again: a new listener can take it.
+        again = MetricsServer(Telemetry(), port=port)
+        assert await again.start() == port
+        await again.close()
+
+    asyncio.run(scenario())

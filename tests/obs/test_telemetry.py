@@ -1,0 +1,159 @@
+"""The telemetry registry: instruments, rendering, and snapshots.
+
+The registry is the contract between the hot paths (one attribute
+increment / one histogram record) and the scrape side (`/metrics`,
+`/vars.json`, ``repro-top``).  These tests pin the exposition format and
+the family-presence guarantee the CI scrape gates on.
+"""
+
+import asyncio
+
+from repro.obs.telemetry import (
+    CLIENT_OP_KINDS,
+    Counter,
+    LoopLagProbe,
+    Telemetry,
+    _escape,
+    _fmt,
+    _label_str,
+)
+
+
+def test_families_render_before_any_sample():
+    """Declared families expose HELP/TYPE from the very first scrape —
+    endpoints must not grow families as traffic arrives (the CI presence
+    gate scrapes early)."""
+    t = Telemetry()
+    t.family("repro_stable_lag_seconds", "gauge", "Stability lag.")
+    text = t.render_prometheus()
+    assert "# TYPE repro_stable_lag_seconds gauge" in text
+    assert "# HELP repro_stable_lag_seconds Stability lag." in text
+    # The built-in throughput family is pre-declared with zero cells for
+    # every client-op kind, so monotonicity checks have a baseline.
+    for kind in ("get", "put", "tx"):
+        assert f'repro_client_ops_total{{kind="{kind}"}} 0' in text
+
+
+def test_counter_cells_are_shared_and_monotone():
+    t = Telemetry()
+    a = t.counter("repro_widgets_total", labels=(("dc", "0"),))
+    b = t.counter("repro_widgets_total", labels=(("dc", "0"),))
+    assert a is b
+    a.inc()
+    a.inc(3)
+    assert 'repro_widgets_total{dc="0"} 4' in t.render_prometheus()
+
+
+def test_gauge_is_pull_model_and_crash_proof():
+    t = Telemetry()
+    state = {"depth": 7}
+    t.gauge("repro_wait_queue_depth", lambda: state["depth"])
+    assert "repro_wait_queue_depth 7" in t.render_prometheus()
+    state["depth"] = 2  # no re-registration: the callback re-reads state
+    assert "repro_wait_queue_depth 2" in t.render_prometheus()
+
+    def broken():
+        raise RuntimeError("server mid-teardown")
+
+    t.gauge("repro_broken", broken)
+    # A dying gauge renders 0 rather than failing the whole scrape.
+    assert "repro_broken 0" in t.render_prometheus()
+
+
+def test_summary_renders_quantiles_sum_and_count():
+    t = Telemetry()
+    hist = t.summary("repro_wal_fsync_seconds", labels=(("dc", "1"),))
+    for _ in range(100):
+        hist.record(0.002)
+    text = t.render_prometheus()
+    assert '# TYPE repro_wal_fsync_seconds summary' in text
+    assert 'repro_wal_fsync_seconds{dc="1",quantile="0.99"}' in text
+    assert 'repro_wal_fsync_seconds_count{dc="1"} 100' in text
+    assert 'repro_wal_fsync_seconds_sum{dc="1"}' in text
+
+
+def test_empty_summary_renders_zero_quantiles():
+    t = Telemetry()
+    t.summary("repro_visibility_lag_seconds")
+    text = t.render_prometheus()
+    assert 'repro_visibility_lag_seconds{quantile="0.5"} 0' in text
+    assert "repro_visibility_lag_seconds_count 0" in text
+
+
+def test_collector_yields_dynamic_label_sets():
+    t = Telemetry()
+    t.family("repro_link_fault_drops_total", "counter", "Drops.")
+    drops = {}
+    t.collector(lambda: [
+        ("repro_link_fault_drops_total",
+         (("src_dc", str(s)), ("dst_dc", str(d)), ("kind", k)), n)
+        for (s, d, k), n in sorted(drops.items())
+    ])
+    assert ('repro_link_fault_drops_total{src_dc'
+            not in t.render_prometheus())
+    drops[(0, 1, "Replicate")] = 5
+    text = t.render_prometheus()
+    assert ('repro_link_fault_drops_total{src_dc="0",dst_dc="1",'
+            'kind="Replicate"} 5' in text)
+
+
+def test_count_message_folds_client_ops():
+    t = Telemetry()
+    t.count_message("GetReq")
+    t.count_message("PutReq")
+    t.count_message("CopsPutReq")
+    t.count_message("RoTxReq")
+    t.count_message("Replicate")  # not client-facing: no fold
+    text = t.render_prometheus()
+    assert 'repro_messages_total{kind="Replicate"} 1' in text
+    assert 'repro_client_ops_total{kind="get"} 1' in text
+    assert 'repro_client_ops_total{kind="put"} 2' in text
+    assert 'repro_client_ops_total{kind="tx"} 1' in text
+    # Every kind in the fold table maps onto a pre-created cell.
+    assert set(CLIENT_OP_KINDS.values()) == {"get", "put", "tx"}
+
+
+def test_snapshot_mirrors_the_prometheus_samples():
+    t = Telemetry()
+    t.counter("repro_things_total", labels=(("dc", "0"),)).inc(9)
+    t.gauge("repro_depth", lambda: 4.5)
+    t.summary("repro_lag_seconds").record(0.25)
+    snap = t.snapshot()
+    assert snap["uptime_seconds"] >= 0
+    metrics = snap["metrics"]
+    assert metrics["repro_things_total"]['{dc="0"}'] == 9
+    assert metrics["repro_depth"]["_"] == 4.5
+    summary = metrics["repro_lag_seconds"]["_"]
+    assert summary["count"] == 1
+    assert summary["p99"] > 0
+
+
+def test_label_escaping_and_number_formatting():
+    assert _label_str(()) == ""
+    assert _label_str((("k", 'a"b'),)) == '{k="a\\"b"}'
+    assert _escape("line\nbreak") == r"line\nbreak"
+    assert _fmt(12) == "12"
+    assert _fmt(3.0) == "3"  # integral floats render without the dot
+    assert _fmt(0.125) == "0.125"
+
+
+def test_counter_slots_keep_the_cell_tiny():
+    cell = Counter()
+    assert not hasattr(cell, "__dict__")
+    cell.inc(2)
+    assert cell.value == 2
+
+
+def test_loop_lag_probe_measures_and_stops():
+    async def scenario():
+        loop = asyncio.get_running_loop()
+        probe = LoopLagProbe(loop, interval_s=0.01)
+        probe.start()
+        await asyncio.sleep(0.05)
+        assert probe.last_lag_s >= 0.0
+        assert probe.max_lag_s >= probe.last_lag_s
+        probe.stop()
+        assert probe._handle is None
+        probe.stop()  # idempotent
+
+    asyncio.run(scenario())

@@ -1,0 +1,119 @@
+"""The off-state pin: telemetry must be invisible when not enabled.
+
+Three claims, each load-bearing for the observability design
+(`src/repro/obs/__init__.py` points here):
+
+1. **Zero wire bytes** — trace ids reuse the version identity
+   ``(sr, ut)`` already in every replication frame, so no message
+   grows a trace field and frame encodings are byte-identical whether
+   or not tracing machinery exists in the process.
+2. **The simulation is untouched** — the sim adapter defines neither
+   ``telemetry`` nor ``trace``, so cores cache ``None`` hooks and a
+   seeded sim run produces a byte-identical report even when the
+   config *enables* telemetry (it is a live-only block).
+3. **Config compatibility** — a config carrying an explicit default
+   ``telemetry`` block is the same experiment as one without it.
+"""
+
+import dataclasses
+import json
+
+from repro.common.config import (
+    ClusterConfig,
+    ExperimentConfig,
+    TelemetryConfig,
+    WorkloadConfig,
+)
+from repro.harness.builders import build_cluster
+from repro.harness.experiment import run_experiment
+from repro.protocols import messages as m
+from repro.runtime import codec
+from repro.storage.version import Version
+
+
+def _config(telemetry: TelemetryConfig) -> ExperimentConfig:
+    return ExperimentConfig(
+        cluster=ClusterConfig(num_dcs=2, num_partitions=2,
+                              keys_per_partition=40, protocol="pocc",
+                              telemetry=telemetry),
+        workload=WorkloadConfig(kind="mixed", read_ratio=0.8, tx_ratio=0.1,
+                                tx_partitions=2, clients_per_partition=2,
+                                think_time_s=0.004),
+        warmup_s=0.1,
+        duration_s=0.6,
+        seed=41,
+        verify=True,
+        name="telemetry-off-pin",
+    )
+
+
+def _measured_bytes(telemetry: TelemetryConfig) -> bytes:
+    result = run_experiment(_config(telemetry))
+    payload = dataclasses.asdict(result)
+    # The recorded config block legitimately carries the telemetry
+    # settings; everything *measured* must be identical.
+    payload.pop("config")
+    return json.dumps(payload, sort_keys=True).encode("utf-8")
+
+
+def _version() -> Version:
+    return Version(key="pin", value=("c0", 7), sr=1, ut=4_096_000,
+                   dv=(3, 4_096_000), optimistic=True)
+
+
+def test_no_message_carries_a_trace_field():
+    """Trace propagation is the version identity itself — adding a
+    dedicated field to any wire message would break the zero-byte
+    claim."""
+    for cls in (m.Replicate, m.ReplicateBatch, m.PutReq, m.PutReply,
+                m.GetReq, m.GetReply):
+        names = {f.name for f in dataclasses.fields(cls)}
+        assert not any("trace" in name or "span" in name
+                       for name in names), \
+            f"{cls.__name__} grew an observability field: {names}"
+
+
+def test_frames_identical_with_tracing_machinery_active(tmp_path):
+    """Encoding the same message with a live TraceLog in the process
+    (spans being emitted and all) produces the same bytes."""
+    before_repl = codec.encode_frame(m.Replicate(version=_version()))
+    before_batch = codec.encode_frame(
+        m.ReplicateBatch(versions=[_version()], src_dc=1,
+                         clock_ts=4_096_001))
+
+    from repro.obs.tracing import TraceLog
+    trace = TraceLog(str(tmp_path / "t.jsonl"), 1, now_fn=lambda: 1.0)
+    version = _version()
+    assert trace.sampled(version.ut)
+    trace.span("put", version.sr, version.ut, node="dc1-p0",
+               key=version.key)
+    trace.span("replicate_sent", version.sr, version.ut, node="dc1-p0")
+    trace.close()
+
+    assert codec.encode_frame(m.Replicate(version=version)) == before_repl
+    assert codec.encode_frame(
+        m.ReplicateBatch(versions=[version], src_dc=1,
+                         clock_ts=4_096_001)) == before_batch
+
+
+def test_sim_cores_cache_no_observability_hooks():
+    """The sim adapter defines neither ``telemetry`` nor ``trace``, so a
+    core built on it holds None hooks even under an *enabled* config —
+    the mechanism behind the byte-identity guarantee."""
+    enabled = TelemetryConfig(enabled=True, trace=True, trace_dir="/tmp",
+                              trace_sample_every=1)
+    built = build_cluster(_config(enabled))
+    assert built.servers, "no servers built"
+    for server in built.servers.values():
+        assert server._obs is None
+        assert server._trace is None
+
+
+def test_sim_report_byte_identical_with_and_without_telemetry_config():
+    baseline = _measured_bytes(TelemetryConfig())
+    explicit_off = _measured_bytes(TelemetryConfig(enabled=False))
+    enabled = _measured_bytes(
+        TelemetryConfig(enabled=True, trace=True, trace_dir="/tmp",
+                        trace_sample_every=1))
+    assert baseline == explicit_off
+    assert baseline == enabled

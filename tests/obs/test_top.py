@@ -1,0 +1,156 @@
+"""``repro-top`` plumbing: row building, aggregation, and endpoint
+discovery — everything except the actual network polls."""
+
+import json
+
+import pytest
+
+from repro.obs import top
+
+
+def _doc(ops=100, vis_p99=0.02, vis_count=10, lag=0.004):
+    return {
+        "uptime_seconds": 12.5,
+        "protocol": "pocc",
+        "servers": ["dc0-p0", "dc0-p1"],
+        "metrics": {
+            "repro_client_ops_total": {'{kind="get"}': ops * 0.8,
+                                       '{kind="put"}': ops * 0.2,
+                                       '{kind="tx"}': 0},
+            "repro_messages_total": {'{kind="GetReq"}': ops},
+            "repro_visibility_lag_seconds": {
+                "_": {"count": vis_count, "mean": 0.01, "p50": 0.008,
+                      "p95": 0.015, "p99": vis_p99, "max": 0.05},
+            },
+            "repro_wal_fsync_seconds": {
+                '{dc="0",partition="0"}': {"count": 4, "mean": 0.001,
+                                           "p50": 0.001, "p95": 0.002,
+                                           "p99": 0.002, "max": 0.002},
+                '{dc="0",partition="1"}': {"count": 6, "mean": 0.003,
+                                           "p50": 0.002, "p95": 0.004,
+                                           "p99": 0.004, "max": 0.004},
+            },
+            "repro_stable_lag_seconds": {
+                '{dc="0",partition="0"}': lag,
+                '{dc="0",partition="1"}': lag / 2,
+            },
+            "repro_wait_queue_depth": {'{dc="0",partition="0"}': 3,
+                                       '{dc="0",partition="1"}': 2},
+            "repro_repl_batch_occupancy": {'{dc="0",partition="0"}': 7},
+            "repro_event_loop_lag_seconds": {"_": 0.0015},
+            "repro_link_fault_drops_total": {},
+        },
+    }
+
+
+def test_endpoint_row_reads_every_family():
+    row = top.endpoint_row("dc0-p0", _doc(), prev=None)
+    assert row["ops_total"] == 100
+    assert row["ops_s"] is None  # rates need two polls
+    assert row["visibility_p99_s"] == 0.02
+    assert row["visibility_samples"] == 10
+    assert row["stable_lag_s"] == 0.004
+    assert row["wait_queue_depth"] == 5
+    assert row["repl_batch_depth"] == 7
+    assert row["loop_lag_s"] == 0.0015
+    # Summary merge: count-weighted fold, p99 as the conservative max.
+    assert row["wal_fsync_p99_s"] == 0.004
+    assert row["wal_fsyncs"] == 10
+    assert row["servers"] == ["dc0-p0", "dc0-p1"]
+    assert row["protocol"] == "pocc"
+
+
+def test_endpoint_row_rate_from_counter_delta():
+    first = top.endpoint_row("dc0-p0", _doc(ops=100), prev=None)
+    poll_t, poll_ops = first["_poll"]
+    assert poll_ops == 100
+    second = top.endpoint_row("dc0-p0", _doc(ops=400),
+                              prev=(poll_t - 2.0, poll_ops))
+    assert second["ops_s"] == pytest.approx(150.0, rel=0.1)
+
+
+def test_summary_merge_skips_non_dict_cells():
+    doc = {"metrics": {"repro_wal_fsync_seconds": {"_": 3}}}
+    merged = top._summary_merge(doc, "repro_wal_fsync_seconds")
+    assert merged["count"] == 0
+
+
+def test_aggregate_rows_sums_and_maxes():
+    rows = [
+        top.endpoint_row("dc0-p0", _doc(ops=100, vis_p99=0.02), None),
+        top.endpoint_row("dc1-p0", _doc(ops=50, vis_p99=0.08), None),
+        {"endpoint": "dc1-p1", "down": True},
+    ]
+    agg = top.aggregate_rows(rows)
+    assert agg["endpoints"] == 3
+    assert agg["reachable"] == 2
+    assert agg["ops_total"] == 150
+    assert agg["ops_s"] is None
+    assert agg["visibility_p99_s"] == 0.08  # max across endpoints
+    assert agg["visibility_samples"] == 20
+    assert agg["wait_queue_depth"] == 10
+
+
+def test_render_table_marks_down_endpoints():
+    rows = [top.endpoint_row("dc0-p0", _doc(), None),
+            {"endpoint": "dc1-p0", "down": True}]
+    table = top.render_table(rows)
+    assert "dc0-p0" in table
+    assert "DOWN" in table
+    assert "endpoint" in table.splitlines()[0]
+
+
+def test_children_discovery_reads_metrics_ports(tmp_path):
+    path = tmp_path / "children.json"
+    path.write_text(json.dumps([
+        {"dc": 0, "partition": 0, "pid": 10, "metrics_port": 7990},
+        {"dc": 0, "partition": 1, "pid": 11, "metrics_port": 7991},
+        {"dc": 1, "partition": 0, "pid": 12},  # no endpoint: skipped
+    ]))
+    endpoints = top._endpoints_from_children(str(path))
+    assert endpoints == [("dc0-p0", "127.0.0.1", 7990),
+                        ("dc0-p1", "127.0.0.1", 7991)]
+
+
+def test_children_discovery_fails_loudly_without_ports(tmp_path):
+    path = tmp_path / "children.json"
+    path.write_text(json.dumps([{"dc": 0, "partition": 0, "pid": 10}]))
+    with pytest.raises(SystemExit, match="metrics_port"):
+        top._endpoints_from_children(str(path))
+
+
+def test_config_discovery_derives_the_port_map(tmp_path):
+    from repro.cluster.topology import Topology
+    from repro.runtime.transport import metrics_port_map
+
+    config = {"cluster": {"num_dcs": 2, "num_partitions": 2,
+                          "protocol": "pocc",
+                          "telemetry": {"enabled": True,
+                                        "metrics_base_port": 7990}}}
+    path = tmp_path / "cluster.json"
+    path.write_text(json.dumps(config))
+    endpoints = top._endpoints_from_config(str(path), "127.0.0.1", None)
+    expected = metrics_port_map(Topology(2, 2), 7990, host="127.0.0.1")
+    assert len(endpoints) == 4
+    assert {(host, port) for _, host, port in endpoints} == \
+        set(expected.values())
+    labels = [label for label, _, _ in endpoints]
+    assert "dc0-p0" in labels and "dc1-p1" in labels
+
+
+def test_config_discovery_requires_a_base_port(tmp_path):
+    path = tmp_path / "cluster.json"
+    path.write_text(json.dumps({"cluster": {"num_dcs": 2,
+                                            "num_partitions": 2,
+                                            "protocol": "pocc"}}))
+    with pytest.raises(SystemExit, match="metrics_base_port"):
+        top._endpoints_from_config(str(path), "127.0.0.1", None)
+    # An explicit override substitutes for the config block.
+    endpoints = top._endpoints_from_config(str(path), "127.0.0.1", 8100)
+    assert endpoints[0][2] == 8100
+
+
+def test_explicit_endpoint_specs():
+    endpoints = top._endpoints_explicit("127.0.0.1:7990, :8000,")
+    assert endpoints == [("127.0.0.1:7990", "127.0.0.1", 7990),
+                        (":8000", "127.0.0.1", 8000)]

@@ -1,0 +1,114 @@
+"""Sampled causal-lifecycle tracing: the JSONL span sink.
+
+The design constraints under test: trace ids reuse the version identity
+``(sr, ut)`` (zero wire bytes), and sampling is a pure function of
+``ut`` so every process keeps or drops the same write without
+coordination.
+"""
+
+import os
+
+import pytest
+
+from repro.obs.tracing import (
+    FLUSH_EVERY,
+    SPAN_EVENTS,
+    TraceLog,
+    group_by_trace,
+    read_spans,
+)
+
+
+def _log(tmp_path, sample_every=1, start=100.0):
+    clock = {"now": start}
+    log = TraceLog(str(tmp_path / "trace-dc0-p0.jsonl"), sample_every,
+                   now_fn=lambda: clock["now"])
+    return log, clock
+
+
+def test_sampling_predicate_is_deterministic_in_ut(tmp_path):
+    log, _ = _log(tmp_path, sample_every=64)
+    assert log.sampled(0)
+    assert log.sampled(64 * 12345)
+    assert not log.sampled(1)
+    assert not log.sampled(63)
+    # Same predicate on every process: origin and remotes agree on a
+    # write's fate from its ut alone.
+    other, _ = _log(tmp_path, sample_every=64)
+    for ut in range(0, 300, 7):
+        assert log.sampled(ut) == other.sampled(ut)
+
+
+def test_sample_every_must_be_positive(tmp_path):
+    with pytest.raises(ValueError):
+        TraceLog(str(tmp_path / "t.jsonl"), 0, now_fn=lambda: 0.0)
+
+
+def test_span_round_trip_and_trace_grouping(tmp_path):
+    log, clock = _log(tmp_path)
+    # One write's full lifecycle, origin then remote, out of order in
+    # the file but ordered by time after grouping.
+    log.span("put", 0, 4096, node="dc0-p0", key="x")
+    clock["now"] = 100.001
+    log.span("wal_synced", 0, 4096, node="dc0-p0")
+    clock["now"] = 100.002
+    log.span("replicate_sent", 0, 4096, node="dc0-p0")
+    clock["now"] = 100.010
+    log.span("installed", 0, 4096, node="dc1-p0")
+    clock["now"] = 100.015
+    log.span("visible", 0, 4096, node="dc1-p0")
+    log.span("put", 1, 8192, node="dc1-p0", key="y")
+    log.close()
+
+    spans = read_spans(log.path)
+    assert len(spans) == 6
+    groups = group_by_trace(spans)
+    assert set(groups) == {"0:4096", "1:8192"}
+    lifecycle = groups["0:4096"]
+    assert [s["event"] for s in lifecycle] == list(SPAN_EVENTS)
+    assert lifecycle[0]["key"] == "x"
+    assert lifecycle[0]["node"] == "dc0-p0"
+    assert lifecycle[-1]["node"] == "dc1-p0"
+    # Timestamps are monotone within the grouped lifecycle.
+    times = [s["t"] for s in lifecycle]
+    assert times == sorted(times)
+
+
+def test_spans_buffer_then_flush_at_watermark(tmp_path):
+    log, _ = _log(tmp_path)
+    for i in range(FLUSH_EVERY - 1):
+        log.span("put", 0, i, node="dc0-p0")
+    # Nothing forced to disk yet (buffered); one more span crosses the
+    # watermark and flushes everything.
+    log.span("put", 0, FLUSH_EVERY, node="dc0-p0")
+    assert len(read_spans(log.path)) == FLUSH_EVERY
+    assert log.spans_written == FLUSH_EVERY
+    log.close()
+
+
+def test_close_flushes_and_makes_span_a_noop(tmp_path):
+    log, _ = _log(tmp_path)
+    log.span("put", 2, 7, node="dc0-p1")
+    log.close()
+    log.span("put", 2, 8, node="dc0-p1")  # after close: dropped
+    log.close()  # idempotent
+    assert len(read_spans(log.path)) == 1
+
+
+def test_append_mode_survives_reopen(tmp_path):
+    first, _ = _log(tmp_path)
+    first.span("put", 0, 1, node="dc0-p0")
+    first.close()
+    second, _ = _log(tmp_path)  # same path: a restarted process appends
+    second.span("installed", 0, 1, node="dc0-p0")
+    second.close()
+    assert [s["event"] for s in read_spans(second.path)] == \
+        ["put", "installed"]
+
+
+def test_trace_dir_is_created_on_demand(tmp_path):
+    nested = tmp_path / "a" / "b" / "trace.jsonl"
+    log = TraceLog(str(nested), 1, now_fn=lambda: 0.0)
+    log.span("put", 0, 0, node="dc0-p0")
+    log.close()
+    assert os.path.exists(str(nested))
