@@ -7,8 +7,10 @@ through the process-pool runner — plus the live-backend legs: the
 closed-loop smoke, the *pipelined* open-loop leg (throughput + p50/p90/p99
 against the embedded BENCH_pr4 live baseline), the WAL fsync-mode
 sweep under group commit, the lossy-link leg (1% replication loss,
-anti-entropy off vs on), and the observability-overhead leg (telemetry
-off vs scraped vs traced).  Everything lands in one ``BENCH_*.json``
+anti-entropy off vs on), the observability-overhead leg (telemetry
+off vs scraped vs traced), and the online-resharding leg (a partition
+joining the consistent-hash ring mid-window vs a no-reshard control).
+Everything lands in one ``BENCH_*.json``
 file.  Future PRs append their own snapshot file; comparing snapshots is
 the perf trajectory.
 
@@ -817,6 +819,114 @@ def bench_lossy_anti_entropy(duration_s: float,
     return results, failed
 
 
+def bench_resharding(duration_s: float) -> tuple[dict, bool]:
+    """PR 10's membership leg: the cost of an online view change.
+
+    Two sim arms over the same seed and shape (2 DCs x 4-slot address
+    space, epoch 0 = {0,1,2}, mixed traffic with RO-TXs): a control
+    that never reshards, and an arm where partition 3 joins the
+    consistent-hash ring mid-window — propose, chunked causal-safe
+    handoff, drain, commit — while clients keep operating.  Records the
+    keys/bytes moved, the change's wall time, the NotOwner redirect
+    count, and the throughput ratio vs the control (the price clients
+    pay for a reshard they did not ask for).  Gated on zero checker
+    violations and zero divergent keys in *both* arms, the controller
+    reaching ``done``, and non-vacuity (keys actually moved, redirects
+    actually happened).
+    """
+    from repro.cluster.reshard import start_sim_reshard
+    from repro.common.config import (
+        ClusterConfig, ExperimentConfig, MembershipConfig, WorkloadConfig,
+    )
+    from repro.harness.builders import build_cluster
+    from repro.harness.experiment import run_experiment
+
+    def reshard_config(name: str) -> ExperimentConfig:
+        return ExperimentConfig(
+            cluster=ClusterConfig(
+                num_dcs=2, num_partitions=4, keys_per_partition=50,
+                protocol="pocc",
+                membership=MembershipConfig(
+                    enabled=True, initial_members=(0, 1, 2),
+                    gossip_interval_s=0.3, handoff_chunk_versions=16,
+                    commit_delay_s=0.1, retry_interval_s=0.2,
+                ),
+            ),
+            workload=WorkloadConfig(kind="mixed", read_ratio=0.7,
+                                    tx_ratio=0.15, tx_partitions=2,
+                                    clients_per_partition=2,
+                                    think_time_s=0.005),
+            warmup_s=0.2,
+            duration_s=duration_s,
+            seed=7117,
+            verify=True,
+            name=name,
+        )
+
+    def arm_stats(result) -> dict:
+        return {
+            "throughput_ops_s": round(result.throughput_ops_s, 1),
+            "total_ops": result.total_ops,
+            # The tail is where parked ops and NotOwner retries land.
+            "latency_p99_ms": {
+                op: round(stats["p99"] * 1000, 2)
+                for op, stats in sorted(result.op_stats.items())
+            },
+            "violations": result.verification["violations"],
+            "divergences": result.divergences,
+        }
+
+    control = run_experiment(reshard_config("perf-reshard-control"))
+
+    config = reshard_config("perf-reshard-join")
+    built = build_cluster(config)
+    done: list = []
+    controller = start_sim_reshard(built, (0, 1, 2, 3),
+                                   at_s=min(1.0, duration_s / 2),
+                                   on_done=done.append)
+    result = run_experiment(config, built=built)
+
+    redirects = sum(s.not_owner_redirects for s in built.servers.values())
+    results: dict = {
+        "workload": "mixed 70/15, 16 sessions, 5ms think, pocc, sim",
+        "shape": "2 DCs x 4 slots, epoch 0 = {0,1,2}, partition 3 joins",
+        "control": arm_stats(control),
+        "reshard": arm_stats(result),
+        "controller_phase": controller.phase,
+        "not_owner_redirects": redirects,
+    }
+    if done:
+        reshard = done[0]
+        results["view_epoch"] = reshard.epoch
+        results["keys_moved"] = reshard.keys_moved
+        results["bytes_moved"] = reshard.bytes_moved
+        results["reshard_wall_s"] = round(reshard.duration_s, 3)
+        results["driver_retries"] = reshard.retries
+    if results["control"]["throughput_ops_s"]:
+        results["reshard_vs_control_throughput_ratio"] = round(
+            results["reshard"]["throughput_ops_s"]
+            / results["control"]["throughput_ops_s"], 3)
+
+    failed = False
+    for arm_name in ("control", "reshard"):
+        arm = results[arm_name]
+        if arm["violations"] or arm["divergences"]:
+            print(f"[perf] FAIL: resharding leg ({arm_name} arm): "
+                  f"{arm['violations']} violations, "
+                  f"{arm['divergences']} divergent keys", file=sys.stderr)
+            failed = True
+    if controller.phase != "done" or not done:
+        print("[perf] FAIL: resharding leg: the view change never "
+              "completed", file=sys.stderr)
+        failed = True
+    elif done[0].keys_moved == 0 or redirects == 0:
+        print("[perf] FAIL: resharding leg was vacuous (no keys moved "
+              "or no NotOwner redirects) — the reshard never bit",
+              file=sys.stderr)
+        failed = True
+    return results, failed
+
+
 def bench_observability_overhead(duration_s: float,
                                  gate: bool,
                                  rate_ops_s: float = 300.0
@@ -1043,6 +1153,10 @@ def main(argv: list[str] | None = None) -> int:
           f"{obs_duration}s each)...", file=sys.stderr)
     observability, obs_failed = bench_observability_overhead(
         obs_duration, gate=not args.smoke)
+    reshard_duration = 2.5 if args.smoke else 4.0
+    print(f"[perf] online resharding leg (control vs mid-run join, "
+          f"{reshard_duration}s each)...", file=sys.stderr)
+    resharding, reshard_failed = bench_resharding(reshard_duration)
     if args.smoke:
         scaling_counts: tuple = (1, 2)
         scaling_duration = 1.2
@@ -1112,6 +1226,7 @@ def main(argv: list[str] | None = None) -> int:
         "repl_batching": repl_batching,
         "lossy_anti_entropy": lossy_ae,
         "observability_overhead": observability,
+        "resharding": resharding,
         "live_pipelined_batched": {
             **pipelined_batched,
             # Same-run, same-machine comparison: the committed PR-5
@@ -1164,6 +1279,11 @@ def main(argv: list[str] | None = None) -> int:
         print("[perf] FAIL: the observability-overhead leg missed its "
               "gate (checker, vacuity, or the >= 0.97 on/off throughput "
               "bar — see above)", file=sys.stderr)
+        return 1
+    if reshard_failed:
+        print("[perf] FAIL: the online resharding leg missed its gate "
+              "(checker, divergence, completion, or vacuity — see above)",
+              file=sys.stderr)
         return 1
     if scaling_failed:
         print("[perf] FAIL: the multi-process scaling leg missed a gate "

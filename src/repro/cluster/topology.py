@@ -27,13 +27,30 @@ def key_partition(key: str, num_partitions: int) -> PartitionId:
 
 
 class Topology:
-    """The M-DC x N-partition shape of one deployment."""
+    """The M-DC x N-partition shape of one deployment.
 
-    def __init__(self, num_dcs: int, num_partitions: int):
+    ``num_partitions`` is the *address space*: every partition in it has
+    addresses, ports and (on the live backend) a server process.  With
+    elastic membership an optional :class:`repro.cluster.ring.ClusterView`
+    narrows *key ownership* to the view's members via the consistent-hash
+    ring; partitions outside the view are booted but own no keys until a
+    view change adds them.  ``view=None`` (the default) keeps the seed's
+    ``crc32 % num_partitions`` placement byte-for-byte.
+    """
+
+    def __init__(self, num_dcs: int, num_partitions: int, view=None):
         if num_dcs < 1 or num_partitions < 1:
             raise ConfigError("topology needs >= 1 DC and >= 1 partition")
         self.num_dcs = num_dcs
         self.num_partitions = num_partitions
+        if view is not None:
+            for partition in view.members:
+                if not 0 <= partition < num_partitions:
+                    raise ConfigError(
+                        f"view member {partition} outside the partition "
+                        f"address space [0, {num_partitions})"
+                    )
+        self.view = view
 
     # -- addressing -----------------------------------------------------
     def server(self, dc: ReplicaId, partition: PartitionId) -> Address:
@@ -67,7 +84,15 @@ class Topology:
 
     # -- key placement ---------------------------------------------------
     def partition_of(self, key: str) -> PartitionId:
+        if self.view is not None:
+            return self.view.owner_of(key)
         return key_partition(key, self.num_partitions)
+
+    def members(self) -> tuple[PartitionId, ...]:
+        """Partitions currently owning keys (all of them without a view)."""
+        if self.view is not None:
+            return self.view.members
+        return tuple(range(self.num_partitions))
 
     def _check(self, dc: ReplicaId, partition: PartitionId) -> None:
         if not 0 <= dc < self.num_dcs:
@@ -98,15 +123,19 @@ class KeyPools:
         self._fill()
 
     def _fill(self) -> None:
-        remaining = self.topology.num_partitions
+        # Keys land where ``partition_of`` puts them — the modulo hash
+        # without a view (byte-identical to the pre-membership fill), the
+        # consistent-hash ring with one.  Only member partitions can fill,
+        # so only they count toward termination.
+        remaining = len(self.topology.members())
         capacity = self.keys_per_partition
         pools = self._pools
-        num_partitions = self.topology.num_partitions
+        partition_of = self.topology.partition_of
         candidate = 0
         while remaining > 0:
             key = f"k{candidate:08d}"
             candidate += 1
-            pool = pools[key_partition(key, num_partitions)]
+            pool = pools[partition_of(key)]
             if len(pool) < capacity:
                 pool.append(key)
                 if len(pool) == capacity:
@@ -126,4 +155,4 @@ class KeyPools:
 
     @property
     def total_keys(self) -> int:
-        return self.topology.num_partitions * self.keys_per_partition
+        return len(self.topology.members()) * self.keys_per_partition

@@ -327,6 +327,68 @@ class TelemetryConfig:
 
 
 @dataclass(frozen=True, slots=True)
+class MembershipConfig:
+    """Elastic membership: epoch-versioned views over a consistent-hash
+    ring (see docs/membership.md).
+
+    Off by default, and off means *off*: with ``enabled=False`` no view
+    is built, no gossip timer is armed, key placement stays the seed's
+    ``crc32 % num_partitions``, and per-seed sim reports are
+    byte-identical to a build that never heard of this block (pinned by
+    ``tests/cluster/test_membership_off.py``).
+
+    * ``initial_members`` — partition ids on the epoch-0 ring; ``None``
+      puts every partition of the address space on it.  A subset leaves
+      the rest booted but empty, ready to join via ``repro-reshard``.
+    * ``vnodes`` — virtual nodes per member (placement determinism and
+      the ≈K/S movement bound both ride on this; see cluster/ring.py).
+    * ``gossip_interval_s`` — period of the view gossip that lets a
+      server which missed a commit (crashed bystander) adopt the
+      current epoch.
+    * ``handoff_chunk_versions`` — versions per ``MigrateChunk`` frame.
+    * ``commit_delay_s`` — drain window between the last donor's
+      ``MigrateDone`` and the ``ViewCommit`` broadcast, covering
+      replication frames still in flight toward a donor.
+    * ``retry_interval_s`` — reshard-driver re-send period; crashed
+      participants are re-driven idempotently until they answer.
+    * ``redirect_backoff_s`` — base client backoff before retrying an
+      op answered with ``NotOwner`` (jittered deterministically from
+      the op id).
+    """
+
+    enabled: bool = False
+    initial_members: tuple[int, ...] | None = None
+    vnodes: int = 64
+    gossip_interval_s: float = 0.5
+    handoff_chunk_versions: int = 128
+    commit_delay_s: float = 0.25
+    retry_interval_s: float = 0.5
+    redirect_backoff_s: float = 0.05
+
+    def validate(self) -> None:
+        if self.vnodes < 1:
+            raise ConfigError("membership.vnodes must be >= 1")
+        if self.gossip_interval_s <= 0:
+            raise ConfigError("membership.gossip_interval_s must be > 0")
+        if self.handoff_chunk_versions < 1:
+            raise ConfigError(
+                "membership.handoff_chunk_versions must be >= 1"
+            )
+        if self.commit_delay_s < 0:
+            raise ConfigError("membership.commit_delay_s must be >= 0")
+        if self.retry_interval_s <= 0:
+            raise ConfigError("membership.retry_interval_s must be > 0")
+        if self.redirect_backoff_s < 0:
+            raise ConfigError(
+                "membership.redirect_backoff_s must be >= 0"
+            )
+        if self.initial_members is not None and not self.initial_members:
+            raise ConfigError(
+                "membership.initial_members must be None or non-empty"
+            )
+
+
+@dataclass(frozen=True, slots=True)
 class ClusterConfig:
     """Shape and physical parameters of one simulated deployment."""
 
@@ -356,6 +418,9 @@ class ClusterConfig:
     #: Live observability (metrics endpoint + tracing); ignored by the
     #: simulation.
     telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
+    #: Elastic membership (consistent-hash ring + online resharding);
+    #: off by default on both backends.
+    membership: MembershipConfig = field(default_factory=MembershipConfig)
 
     def validate(self) -> None:
         if self.num_dcs < 2:
@@ -374,6 +439,14 @@ class ClusterConfig:
         self.anti_entropy.validate()
         self.transport.validate()
         self.telemetry.validate()
+        self.membership.validate()
+        if self.membership.initial_members is not None:
+            for partition in self.membership.initial_members:
+                if not 0 <= partition < self.num_partitions:
+                    raise ConfigError(
+                        f"membership.initial_members: partition "
+                        f"{partition} outside [0, {self.num_partitions})"
+                    )
 
     @property
     def num_nodes(self) -> int:

@@ -89,6 +89,21 @@ def client_address(dc: ReplicaId, partition: PartitionId, index: int) -> Address
     return Address(dc=dc, partition=partition, kind=NodeKind.CLIENT, index=index)
 
 
+#: Client index reserved for the reshard driver's endpoint — far above
+#: any real ``clients_per_partition`` so the address can never collide.
+RESHARD_CONTROLLER_INDEX = 1 << 20
+
+
+def reshard_controller_address() -> Address:
+    """The well-known endpoint of the view-change (reshard) driver.
+
+    One per deployment; both backends register/dial it like any other
+    client endpoint, and :class:`~repro.runtime.transport.AddressBook`
+    assigns it the deterministic port right after the clients."""
+    return Address(dc=0, partition=0, kind=NodeKind.CLIENT,
+                   index=RESHARD_CONTROLLER_INDEX)
+
+
 def version_order_key(update_time: Micros, source_replica: ReplicaId) -> tuple[int, int]:
     """Total order on versions used by the last-writer-wins rule.
 

@@ -7,6 +7,7 @@ from dataclasses import dataclass, field
 from repro.common.config import ExperimentConfig
 from repro.common.types import Address
 from repro.cluster.node import SimNode
+from repro.cluster.ring import initial_view
 from repro.cluster.topology import KeyPools, Topology
 from repro.clocks.physical import PhysicalClock
 from repro.harness import seeds
@@ -60,7 +61,11 @@ def build_cluster(config: ExperimentConfig) -> BuiltCluster:
     rng = RngRegistry(config.seed)
     latency = GeoLatencyModel(cluster.latency, rng.stream(seeds.LATENCY))
     network = Network(sim, latency)
-    topology = Topology(cluster.num_dcs, cluster.num_partitions)
+    view = (initial_view(cluster.num_partitions,
+                         cluster.membership.initial_members,
+                         cluster.membership.vnodes)
+            if cluster.membership.enabled else None)
+    topology = Topology(cluster.num_dcs, cluster.num_partitions, view)
     pools = KeyPools(topology, cluster.keys_per_partition)
     metrics = MetricsRegistry()
     checker = CausalChecker() if config.verify else None

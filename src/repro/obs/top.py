@@ -99,6 +99,7 @@ def endpoint_row(label: str, doc: dict,
         "visibility_p99_s": visibility["p99"],
         "visibility_samples": visibility["count"],
         "stable_lag_s": _max_family(doc, "repro_stable_lag_seconds"),
+        "view_epoch": _max_family(doc, "repro_view_epoch"),
         "wait_queue_depth": _sum_family(doc, "repro_wait_queue_depth"),
         "repl_batch_depth": _sum_family(doc,
                                         "repro_repl_batch_occupancy"),
@@ -127,6 +128,8 @@ def aggregate_rows(rows: list[dict]) -> dict:
             r["visibility_samples"] for r in reachable),
         "stable_lag_s": max(
             (r["stable_lag_s"] for r in reachable), default=0.0),
+        "view_epoch": max(
+            (r.get("view_epoch", 0.0) for r in reachable), default=0.0),
         "wait_queue_depth": sum(r["wait_queue_depth"] for r in reachable),
         "repl_batch_depth": sum(r["repl_batch_depth"] for r in reachable),
         "loop_lag_s": max((r["loop_lag_s"] for r in reachable),
@@ -140,7 +143,7 @@ def aggregate_rows(rows: list[dict]) -> dict:
 def render_table(rows: list[dict]) -> str:
     header = (f"{'endpoint':<16} {'ops/s':>8} {'ops':>9} "
               f"{'vis p99':>9} {'lag':>8} {'waitq':>6} {'batchq':>7} "
-              f"{'loop':>7} {'fsync p99':>10} {'drops':>6}")
+              f"{'loop':>7} {'fsync p99':>10} {'drops':>6} {'epoch':>6}")
     lines = [header, "-" * len(header)]
     for row in rows:
         if row.get("down"):
@@ -155,7 +158,8 @@ def render_table(rows: list[dict]) -> str:
             f"{row['repl_batch_depth']:>7.0f} "
             f"{row['loop_lag_s'] * 1000:>5.1f}ms "
             f"{row['wal_fsync_p99_s'] * 1000:>8.2f}ms "
-            f"{row['fault_drops']:>6.0f}"
+            f"{row['fault_drops']:>6.0f} "
+            f"{row.get('view_epoch', 0):>6.0f}"
         )
     return "\n".join(lines)
 

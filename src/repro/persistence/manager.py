@@ -50,8 +50,10 @@ from repro.persistence.wal import (
     check_segment_header,
     iter_version_records,
     list_segments,
+    newest_view_record,
     read_segment,
     truncate_segment,
+    view_record,
 )
 
 
@@ -83,6 +85,12 @@ class RecoveredState:
     snapshot_wal_seq: int = 0
     wal_records: int = 0
     segments_replayed: int = 0
+    #: Newest WAL-logged cluster view (elastic membership); epoch -1
+    #: means no view record was found (membership off, or a pre-reshard
+    #: crash — the server then boots with its configured initial view).
+    view_epoch: int = -1
+    view_members: tuple = ()
+    view_vnodes: int = 0
     #: Bytes cut off the newest segment's torn tail (0 = clean shutdown).
     torn_bytes_truncated: int = 0
     #: Covered segments deleted during recovery (snapshot superseded them).
@@ -145,6 +153,10 @@ def recover_directory(
             merged[version.identity()] = version
             state.wal_records += 1
             state.had_state = True
+        view = newest_view_record(body)
+        if view is not None and view[1] > state.view_epoch:
+            _, state.view_epoch, state.view_members, state.view_vnodes = view
+            state.had_state = True
         state.segments_replayed += 1
 
     state.versions = list(merged.values())
@@ -168,6 +180,9 @@ class PartitionDurability:
         self._group: GroupCommit | None = None
         self.recovered: RecoveredState | None = None
         self.snapshots_written = 0
+        #: Newest view record appended this run (or recovered), re-logged
+        #: after every snapshot roll so it survives segment deletion.
+        self._view_record: tuple | None = None
 
     # ------------------------------------------------------------------
     # Boot
@@ -177,6 +192,10 @@ class PartitionDurability:
         if self._wal is not None:
             raise WalError(f"{self.directory}: recover() called twice")
         self.recovered = recover_directory(self.directory)
+        if self.recovered.view_epoch >= 0:
+            self._view_record = view_record(self.recovered.view_epoch,
+                                            self.recovered.view_members,
+                                            self.recovered.view_vnodes)
         self._wal = WriteAheadLog(
             self.directory,
             fsync=self.config.fsync,
@@ -219,6 +238,19 @@ class PartitionDurability:
         batch = group.append((VERSION_TAG, version))
         return batch if self.config.fsync == "always" else None
 
+    def append_view(self, epoch: int, members, vnodes: int) -> None:
+        """Log one committed cluster view (the ``rt.persist_view``
+        target).  Rides the same group-commit batch as the versions of
+        its tick, so the commit's durability ordering matches theirs."""
+        if self._wal is None or self._wal.closed:
+            return
+        record = view_record(epoch, members, vnodes)
+        if self._group is not None:
+            self._group.append(record)
+        else:
+            self._wal.append(record)
+        self._view_record = record
+
     def notify_durable(self, callback) -> None:
         """Run ``callback(batch_id)`` after the open batch's fsync."""
         if self._group is not None:
@@ -242,6 +274,11 @@ class PartitionDurability:
             # commit them (and release their held acks) before rolling.
             self._group.commit()
         new_seq = self._wal.roll()
+        if self._view_record is not None:
+            # The snapshot format does not carry the view; re-log it
+            # into the fresh segment before the covered ones (holding
+            # the only copy) are deleted below.
+            self._wal.append(self._view_record)
         count = snap.write_snapshot(
             self.directory, store.all_versions(), vv,
             wal_seq=new_seq, num_dcs=num_dcs,

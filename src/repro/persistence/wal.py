@@ -21,6 +21,13 @@ record                                 meaning
                                        re-logs a version when its
                                        dependency checks complete and
                                        the ``visible`` flag flips).
+``("view", epoch, members, vnodes)``   a committed cluster view (elastic
+                                       membership); logged at every
+                                       ``ViewCommit`` adoption and
+                                       re-logged after each snapshot
+                                       roll so the newest view always
+                                       lives in an uncovered segment.
+                                       The highest epoch wins on replay.
 =====================================  ================================
 
 Torn tails: a crash (or ``fsync: interval/off``) may leave the *last*
@@ -66,6 +73,13 @@ SEGMENT_SUFFIX = ".log"
 #: Record tags.
 SEGMENT_HEADER_TAG = "walseg"
 VERSION_TAG = "v"
+VIEW_TAG = "view"
+
+
+def view_record(epoch: int, members, vnodes: int) -> tuple:
+    """The WAL record for one committed cluster view."""
+    return (VIEW_TAG, int(epoch),
+            tuple(int(p) for p in members), int(vnodes))
 
 
 class WalError(ReproError):
@@ -294,6 +308,10 @@ class WriteAheadLog:
         """Log one durable version (the ``rt.persist`` target)."""
         self.append((VERSION_TAG, version))
 
+    def append_view(self, epoch: int, members, vnodes: int) -> None:
+        """Log one committed cluster view (the ``rt.persist_view`` target)."""
+        self.append(view_record(epoch, members, vnodes))
+
     def _sync(self) -> None:
         self._file.flush()
         if self.disk_fault is not None:
@@ -484,12 +502,28 @@ class GroupCommit:
 def iter_version_records(records: Iterable[Any], source: str) -> Iterable[Any]:
     """Yield the version payload of every ``("v", …)`` record.
 
-    Unknown tags raise: an operator mixing WAL formats should hear about
-    it rather than silently lose records.
+    View records (a known non-version tag) are skipped — recovery reads
+    them through :func:`newest_view_record`.  Unknown tags raise: an
+    operator mixing WAL formats should hear about it rather than
+    silently lose records.
     """
     for record in records:
         if (isinstance(record, tuple) and len(record) == 2
                 and record[0] == VERSION_TAG):
             yield record[1]
+        elif (isinstance(record, tuple) and len(record) == 4
+                and record[0] == VIEW_TAG):
+            continue
         else:
             raise WalError(f"{source}: unknown WAL record {record!r}")
+
+
+def newest_view_record(records: Iterable[Any]) -> tuple | None:
+    """The highest-epoch ``("view", …)`` record, or None."""
+    newest: tuple | None = None
+    for record in records:
+        if (isinstance(record, tuple) and len(record) == 4
+                and record[0] == VIEW_TAG):
+            if newest is None or record[1] > newest[1]:
+                newest = record
+    return newest

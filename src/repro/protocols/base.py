@@ -34,6 +34,7 @@ from repro.clocks.vector import (
 from repro.common.config import ClusterConfig
 from repro.common.errors import ProtocolError
 from repro.common.types import Address, Micros, OpType
+from repro.cluster.ring import ClusterView, initial_view
 from repro.cluster.topology import Topology
 from repro.metrics.collectors import MetricsRegistry
 from repro.protocols import messages as m
@@ -187,6 +188,18 @@ class CausalServer(ProtocolCore):
         # Anti-entropy accounting (chaos runs assert repair happened).
         self.ae_digests_sent = 0
         self.ae_repairs_applied = 0
+        # Elastic membership (off by default): the manager owns the
+        # epoch-versioned view and the reshard handoff state machine;
+        # disabled, it does not exist and placement stays the boot-frozen
+        # hash.  The counters always exist (telemetry reads them).
+        self.keys_migrated = 0
+        self.migration_bytes = 0
+        self.not_owner_redirects = 0
+        if config.membership.enabled:
+            from repro.protocols.membership import MembershipManager
+            self._membership = MembershipManager(self, topology.view)
+        else:
+            self._membership = None
         self._start_timers()
 
     # ------------------------------------------------------------------
@@ -377,6 +390,11 @@ class CausalServer(ProtocolCore):
     def _install_replicated(self, version: Version) -> None:
         """Install one replicated version — without waking waiters, so a
         batch runs one notify pass however many versions it carried."""
+        if (self._membership is not None
+                and not self._membership.route_replicated(version)):
+            # A straggler for a key this partition handed off: forwarded
+            # to the local new owner instead of resurrecting the chain.
+            return
         self.store.insert(version)
         if version.ut > self.vv[version.sr]:
             self.vv[version.sr] = version.ut
@@ -559,7 +577,7 @@ class CausalServer(ProtocolCore):
 
     def _gc_receive_report(self, vec: list[Micros], partition: int) -> None:
         self._gc_reports[partition] = vec
-        if len(self._gc_reports) < self.topology.num_partitions:
+        if not self._aggregation_complete(self._gc_reports):
             return
         gv = vec_aggregate_min(self._gc_reports.values())
         self._gc_reports.clear()
@@ -568,6 +586,19 @@ class CausalServer(ProtocolCore):
 
     def _apply_gc(self, gv: list[Micros]) -> None:
         self.store.collect(gv)
+
+    def _aggregation_complete(self, reports: dict[int, Any]) -> bool:
+        """Whether a GC/stabilization aggregation round has heard from
+        every partition it can still expect to hear from: all of them
+        when membership is off (the seed's length check, byte-identical),
+        the view members plus the aggregator itself when it is on — a
+        partition resharded out of the view may be dead, and waiting on
+        its report would stall every round forever.
+        """
+        mem = self._membership
+        if mem is None:
+            return len(reports) >= self.topology.num_partitions
+        return mem.quorum_partitions().issubset(reports.keys())
 
     # ------------------------------------------------------------------
     # Intra-DC broadcast (stabilization / GC rounds)
@@ -730,7 +761,7 @@ class CausalServer(ProtocolCore):
         if isinstance(msg, m.Heartbeat):
             return service.heartbeat_s
         if isinstance(msg, m.RoTxReq):
-            partitions = {self.topology.partition_of(k) for k in msg.keys}
+            partitions = {self.owner_partition(k) for k in msg.keys}
             return (service.tx_coordinator_s
                     + service.tx_coordinator_per_slice_s * len(partitions))
         if isinstance(msg, m.SliceReq):
@@ -746,6 +777,12 @@ class CausalServer(ProtocolCore):
         if isinstance(msg, m.AeRepair):
             # Installing n repaired versions costs n replication applies.
             return service.replicate_s * len(msg.versions)
+        if isinstance(msg, m.MigrateChunk):
+            # Installing n migrated versions costs n replication applies.
+            return service.replicate_s * len(msg.versions)
+        if isinstance(msg, (m.ViewPropose, m.ViewCommit, m.ViewGossip,
+                            m.MigrateStart, m.MigrateAck)):
+            return service.stabilization_msg_s
         return 0.0
 
     def message_priority(self, msg: Any) -> int:
@@ -758,11 +795,19 @@ class CausalServer(ProtocolCore):
         if isinstance(msg, (m.Replicate, m.ReplicateBatch, m.Heartbeat,
                             m.StabPush, m.StabBroadcast, m.UstGossip,
                             m.GcPush, m.GcBroadcast,
-                            m.AeDigest, m.AeRepair)):
+                            m.AeDigest, m.AeRepair,
+                            m.MigrateChunk, m.ViewGossip)):
+            # Handoff streams and view gossip are bulk/background work;
+            # the reshard *control* messages (propose, start, commit,
+            # acks) stay foreground so a saturated node cannot stall a
+            # view change indefinitely.
             return BACKGROUND
         return FOREGROUND
 
     def dispatch(self, msg: Any) -> None:
+        mem = self._membership
+        if mem is not None and mem.intercept(msg):
+            return
         if isinstance(msg, m.GetReq):
             self.handle_get(msg)
         elif isinstance(msg, m.PutReq):
@@ -827,7 +872,7 @@ class CausalServer(ProtocolCore):
         """
         groups: dict[int, list[str]] = {}
         for key in msg.keys:
-            groups.setdefault(self.topology.partition_of(key), []).append(key)
+            groups.setdefault(self.owner_partition(key), []).append(key)
         tx_id = self.new_tx_id()
         self._active_tx[tx_id] = {
             "tv": tv,
@@ -835,6 +880,9 @@ class CausalServer(ProtocolCore):
             "op_id": msg.op_id,
             "awaiting": len(groups),
             "versions": [],
+            # The original request, kept so a view change under the
+            # transaction (aborted slice) can regroup and retry it.
+            "origin": msg,
         }
         for partition, keys in groups.items():
             slice_req = m.SliceReq(keys=tuple(keys), tv=list(tv),
@@ -851,6 +899,15 @@ class CausalServer(ProtocolCore):
         state = self._active_tx.get(msg.tx_id)
         if state is None:
             return  # transaction aborted (possible under HA recovery)
+        if msg.aborted and self._membership is not None:
+            # A slice server no longer owns part of the snapshot (the
+            # view changed under the transaction): drop this attempt and
+            # regroup the whole transaction against the current view.
+            # The HA protocol overrides this method and handles its own
+            # aborts before reaching here.
+            del self._active_tx[msg.tx_id]
+            self.handle_ro_tx(state["origin"])
+            return
         state["versions"].extend(msg.versions)
         state["awaiting"] -= 1
         if state["awaiting"] == 0:
@@ -885,6 +942,20 @@ class CausalServer(ProtocolCore):
             key=key, value=None, ut=0,
             dv=(0,) * self.topology.num_dcs, sr=self.m, op_id=op_id,
         )
+
+    def owner_partition(self, key: str) -> int:
+        """Key placement under the server's *current* view (falls back
+        to the topology's boot-frozen placement when membership is off)."""
+        mem = self._membership
+        if mem is not None:
+            return mem.view.owner_of(key)
+        return self.topology.partition_of(key)
+
+    @property
+    def view_epoch(self) -> int:
+        """The committed view epoch (0 when membership is off)."""
+        mem = self._membership
+        return mem.view.epoch if mem is not None else 0
 
     def new_tx_id(self) -> int:
         self._next_tx_id += 1
@@ -929,6 +1000,21 @@ class CausalClient(ProtocolCore):
         #: Operations completed since construction (includes warmup).
         self.ops_completed = 0
         self.session_resets = 0
+        # Elastic membership: the client tracks its own copy of the view
+        # (updated from NotOwner redirects) and stashes each in-flight
+        # single-key request so a redirect can re-send the *original*
+        # message — its vectors were snapshotted at issue time and stay a
+        # correct causal past wherever the key now lives.  Both are None
+        # when membership is off.
+        membership = config.membership
+        if membership.enabled:
+            self._view: ClusterView | None = initial_view(
+                topology.num_partitions, membership.initial_members,
+                membership.vnodes)
+            self._inflight: dict[int, Any] | None = {}
+        else:
+            self._view = None
+            self._inflight = None
 
     # ------------------------------------------------------------------
     # Operations (Algorithm 1)
@@ -948,16 +1034,22 @@ class CausalClient(ProtocolCore):
         """GET(k): send ⟨GETReq k, RDV_c⟩ to the responsible local server."""
         op_id = self._register(OpType.GET, callback)
         target = self._server_for(key)
-        self.send(target, m.GetReq(key=key, rdv=self.read_dependency_vector(),
-                                   client=self.address, op_id=op_id))
+        req = m.GetReq(key=key, rdv=self.read_dependency_vector(),
+                       client=self.address, op_id=op_id)
+        if self._inflight is not None:
+            self._inflight[op_id] = req
+        self.send(target, req)
 
     def put(self, key: str, value: Any,
             callback: Callable[[m.PutReply], None]) -> None:
         """PUT(k, v): send ⟨PUTReq k, v, DV_c⟩."""
         op_id = self._register(OpType.PUT, callback)
         target = self._server_for(key)
-        self.send(target, m.PutReq(key=key, value=value, dv=list(self.dv),
-                                   client=self.address, op_id=op_id))
+        req = m.PutReq(key=key, value=value, dv=list(self.dv),
+                       client=self.address, op_id=op_id)
+        if self._inflight is not None:
+            self._inflight[op_id] = req
+        self.send(target, req)
 
     def ro_tx(self, keys: Sequence[str],
               callback: Callable[[m.RoTxReply], None]) -> None:
@@ -984,6 +1076,8 @@ class CausalClient(ProtocolCore):
             self._complete_ro_tx(msg)
         elif isinstance(msg, m.SessionClosed):
             self._session_closed(msg)
+        elif isinstance(msg, m.NotOwner):
+            self._handle_not_owner(msg)
         else:
             raise ProtocolError(f"{self.address}: unexpected {msg!r}")
 
@@ -996,12 +1090,16 @@ class CausalClient(ProtocolCore):
 
     def _complete_get(self, reply: m.GetReply) -> None:
         op_type, started, callback = self._pending.pop(reply.op_id)
+        if self._inflight is not None:
+            self._inflight.pop(reply.op_id, None)
         self.absorb_read(reply)
         self._finish(op_type, started)
         callback(reply)
 
     def _complete_put(self, reply: m.PutReply) -> None:
         op_type, started, callback = self._pending.pop(reply.op_id)
+        if self._inflight is not None:
+            self._inflight.pop(reply.op_id, None)
         # Algorithm 1 line 12: DV_c[m] <- ut.
         self.dv[self.m] = reply.ut
         self._finish(op_type, started)
@@ -1024,6 +1122,35 @@ class CausalClient(ProtocolCore):
         )
 
     # ------------------------------------------------------------------
+    # Elastic membership: NotOwner redirects
+    # ------------------------------------------------------------------
+    def _handle_not_owner(self, msg: m.NotOwner) -> None:
+        """Adopt the server's view and re-place the original request.
+
+        The deterministic per-op jitter decorrelates the retry storm a
+        view commit releases (every parked op answers NotOwner at once).
+        """
+        if self._inflight is None:
+            raise ProtocolError(
+                f"{self.address}: NotOwner redirect with membership off"
+            )
+        if self._view is None or msg.epoch > self._view.epoch:
+            self._view = ClusterView.from_wire(msg.epoch, msg.members,
+                                               msg.vnodes)
+        if msg.op_id not in self._inflight:
+            return  # the operation completed while the redirect flew
+        backoff = self.config.membership.redirect_backoff_s
+        jitter = 0.5 + ((msg.op_id * 2654435761) & 0xFFFF) / 0xFFFF
+        self.rt.schedule(backoff * jitter,
+                         lambda: self._resend(msg.op_id))
+
+    def _resend(self, op_id: int) -> None:
+        req = self._inflight.get(op_id) if self._inflight else None
+        if req is None or op_id not in self._pending:
+            return  # completed meanwhile
+        self.send(self._server_for(req.key), req)
+
+    # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
     def _register(self, op_type: OpType, callback: Callable) -> int:
@@ -1036,6 +1163,8 @@ class CausalClient(ProtocolCore):
         self.metrics.record_op(op_type, self.rt.now - started)
 
     def _server_for(self, key: str) -> Address:
+        if self._view is not None:
+            return self.topology.server(self.m, self._view.owner_of(key))
         return self.topology.server(self.m, self.topology.partition_of(key))
 
     def reset_session(self) -> None:

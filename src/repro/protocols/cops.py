@@ -331,6 +331,11 @@ class CopsServer(CausalServer):
     # ------------------------------------------------------------------
     def dispatch(self, msg: Any) -> None:
         if isinstance(msg, m.CopsPutReq):
+            # COPS handles its put before the base dispatch runs, so the
+            # membership gate (seal / NotOwner redirect) applies here.
+            mem = self._membership
+            if mem is not None and mem.intercept(msg):
+                return
             self.handle_put_after(msg)
         elif isinstance(msg, m.DepCheck):
             self.handle_dep_check(msg)
@@ -395,9 +400,11 @@ class CopsClient(CausalClient):
             m.Dependency(key=dep_key, ut=ut, sr=sr)
             for dep_key, (ut, sr) in self.nearest.items()
         )
-        self.send(self._server_for(key),
-                  m.CopsPutReq(key=key, value=value, deps=deps,
-                               client=self.address, op_id=op_id))
+        req = m.CopsPutReq(key=key, value=value, deps=deps,
+                           client=self.address, op_id=op_id)
+        if self._inflight is not None:
+            self._inflight[op_id] = req
+        self.send(self._server_for(key), req)
 
     def ro_tx(self, keys, callback) -> None:
         raise ProtocolError(

@@ -54,7 +54,7 @@ class StabilizationMixin:
     # ------------------------------------------------------------------
     def receive_stab_push(self, msg: m.StabPush) -> None:
         self._stab_reports[msg.partition] = msg.vv
-        if len(self._stab_reports) < self.topology.num_partitions:
+        if not self._aggregation_complete(self._stab_reports):
             return
         gss = vec_aggregate_min(self._stab_reports.values())
         self._stab_reports.clear()

@@ -67,7 +67,7 @@ class GentleRainServer(CausalServer):
 
     def _receive_gst_push(self, msg: m.StabPush) -> None:
         self._gst_reports[msg.partition] = msg.vv[0]
-        if len(self._gst_reports) < self.topology.num_partitions:
+        if not self._aggregation_complete(self._gst_reports):
             return
         gst = min(self._gst_reports.values())
         self._gst_reports.clear()

@@ -1,0 +1,421 @@
+"""Causal-safe elastic membership: view adoption and key handoff.
+
+One :class:`MembershipManager` is composed into every
+:class:`~repro.protocols.base.CausalServer` whose config enables
+membership (``config.membership.enabled``); with it disabled the server
+holds ``None`` and every hot path pays exactly one attribute check.
+The manager owns:
+
+* the server's **active view** (an epoch-numbered
+  :class:`~repro.cluster.ring.ClusterView`) and the **pending view** a
+  reshard driver proposed;
+* the **handoff state machine** — on ``MigrateStart`` the server seals
+  (parks client ops for) the keys whose owner changes, streams each
+  sealed key's full version chain (values + causal metadata) to the new
+  owner in its own DC in ``MigrateChunk`` frames, and reports
+  ``MigrateDone`` once every chunk is acked-durable.  The new owner
+  persists every chunk before acking — on the live backend the WAL
+  group commit *holds the ack frame* until the fsync completes, the
+  same persist-before-ack contract client writes ride on — so a joiner
+  SIGKILL mid-migration recovers its chunks from the WAL and the retry
+  dedupes by version identity;
+* **commit**: the driver's ``ViewCommit`` (only ever sent after every
+  donor finished and a drain window passed) is WAL-logged, adopted,
+  no-longer-owned chains dropped, and parked ops answered with
+  ``NotOwner`` so clients re-place them against the new view;
+* **gossip**: a periodic ``ViewGossip`` lets a server that missed a
+  commit (crashed bystander) adopt the current epoch within one
+  interval of any up-to-date peer's tick;
+* **straggler forwarding**: replicated versions for keys this partition
+  no longer owns (writes in flight across the cutover, or created
+  before a remote DC processed the commit) are handed to the local new
+  owner, so no acknowledged write is stranded by the ownership flip.
+
+Version-vector discipline during handoff: the new owner merges only the
+donor's *own-DC* entry (``vv[m]``), and only on the final chunk.  The
+remote entries must stay untouched — each partition's coverage of a
+remote DC is vouched for exclusively by its own direct replication
+streams, and merging a donor's remote watermark would claim writes
+still in flight on the new owner's channels.  Forwarded stragglers
+likewise install without advancing any entry.
+
+Every decision is a pure function of ``(view, pending, store)`` — the
+manager runs unmodified on the deterministic sim backend and the live
+asyncio backend.  See docs/membership.md for the protocol walkthrough
+and the crash matrix.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.cluster.ring import ClusterView, initial_view
+from repro.common.types import Address
+from repro.protocols import messages as m
+from repro.storage.version import Version
+
+#: ``MigrateChunk.seq`` of a *forwarded* straggler (not part of a
+#: stream): installed by the receiver, never acked.
+FORWARD_SEQ = -1
+
+
+class MembershipManager:
+    """View, seal, stream and commit state for one partition server."""
+
+    def __init__(self, server, view: ClusterView | None = None):
+        self.server = server
+        config = server.config.membership
+        self.config = config
+        if view is None:
+            view = initial_view(server.topology.num_partitions,
+                                config.initial_members, config.vnodes)
+        self.view = view
+        #: Proposed next view (set by ViewPropose, cleared on commit).
+        self.pending: ClusterView | None = None
+        #: Keys parked during handoff (owner changes at the pending
+        #: epoch); None = not sealed.
+        self._sealed: set[str] | None = None
+        self._parked: list[Any] = []
+        #: Outgoing streams: target address -> set of unacked chunk seqs.
+        self._unacked: dict[Address, set[int]] = {}
+        self._streams_open = 0
+        #: Monotone across retries so acks from an abandoned attempt can
+        #: never complete a newer one.
+        self._next_seq = 0
+        self._migrating_epoch = 0
+        self._controller: Address | None = None
+        #: Set once this server's handoff for the pending epoch finished
+        #: (idempotent MigrateDone on driver retries): (keys, bytes).
+        self._done_stats: tuple[int, int] | None = None
+        self._stream_totals = (0, 0)
+        # Staggered gossip so a whole DC does not tick in one instant.
+        stagger = 1.0 + 0.01 * (server.m * server.topology.num_partitions
+                                + server.n)
+        server.rt.schedule(config.gossip_interval_s * stagger,
+                           self._gossip_tick)
+
+    # ------------------------------------------------------------------
+    # Inbound routing (called from CausalServer.dispatch)
+    # ------------------------------------------------------------------
+    def intercept(self, msg: Any) -> bool:
+        """Handle membership traffic and gate client ops; True = consumed."""
+        if isinstance(msg, (m.GetReq, m.PutReq, m.CopsPutReq)):
+            return self._gate_client_op(msg)
+        if isinstance(msg, m.SliceReq):
+            return self._gate_slice(msg)
+        if isinstance(msg, m.ViewPropose):
+            self._on_propose(msg)
+        elif isinstance(msg, m.MigrateStart):
+            self._on_migrate_start(msg)
+        elif isinstance(msg, m.MigrateChunk):
+            self._on_chunk(msg)
+        elif isinstance(msg, m.MigrateAck):
+            self._on_ack(msg)
+        elif isinstance(msg, m.ViewCommit):
+            self._on_commit(msg)
+        elif isinstance(msg, m.ViewGossip):
+            self._on_gossip(msg)
+        else:
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Client-op gate: park leaving keys, redirect unowned ones
+    # ------------------------------------------------------------------
+    def _leaving(self, key: str) -> bool:
+        """Mid-handoff, is ``key`` on its way out of this partition?
+
+        The seal-time snapshot (``_sealed``) only names keys that had
+        chains when the stream was cut; a key whose *first* version
+        lands mid-migration changes owner just the same, and serving it
+        here would create state the commit purge silently drops — acked
+        to the client, gone from the running cluster.  So the test is
+        ownership under the pending ring, not snapshot membership.
+        """
+        if self._sealed is None:
+            return False
+        if key in self._sealed:
+            return True
+        return (self.pending is not None
+                and self.view.owner_of(key) == self.server.n
+                and self.pending.owner_of(key) != self.server.n)
+
+    def _gate_client_op(self, msg: Any) -> bool:
+        key = msg.key
+        if self._leaving(key):
+            self._parked.append(msg)
+            return True
+        if self.view.owner_of(key) == self.server.n:
+            return False
+        self._redirect(msg.client, msg.op_id, key)
+        return True
+
+    def _gate_slice(self, msg: m.SliceReq) -> bool:
+        server = self.server
+        if self._sealed is not None and any(self._leaving(k)
+                                            for k in msg.keys):
+            self._parked.append(msg)
+            return True
+        if all(self.view.owner_of(k) == server.n for k in msg.keys):
+            return False
+        # The coordinator grouped this slice under an older view; the
+        # aborted response makes it regroup the whole transaction (see
+        # CausalServer.handle_slice_resp) — a partial answer would break
+        # its awaiting count.
+        server.send_slice_resp(
+            msg, m.SliceResp(versions=[], tx_id=msg.tx_id, aborted=True))
+        return True
+
+    def _redirect(self, client: Address, op_id: int, key: str) -> None:
+        server = self.server
+        server.not_owner_redirects += 1
+        epoch, members, vnodes = self.view.to_wire()
+        server.send(client, m.NotOwner(op_id=op_id, key=key, epoch=epoch,
+                                       members=members, vnodes=vnodes))
+
+    # ------------------------------------------------------------------
+    # Replication funnel: keep, keep-and-copy, or forward
+    # ------------------------------------------------------------------
+    def route_replicated(self, version: Version) -> bool:
+        """Route one replicated version; True = base installs it here.
+
+        Three cases: owned keys install normally; keys *leaving* at the
+        pending epoch install *and* forward (the donor's cut chunks
+        pre-date this version, and the donor keeps its copy in case a
+        crash forces the driver to re-run the handoff); keys already
+        handed off (stragglers from a DC that had not processed the
+        commit when it sent) only forward — this partition purged the
+        chain and must not resurrect it.
+        """
+        key = version.key
+        if self._leaving(key):
+            if self.pending is not None:
+                self._forward(self.pending.owner_of(key), version)
+            return True
+        if self.view.owner_of(key) == self.server.n:
+            return True
+        self._forward(self.view.owner_of(key), version)
+        return False
+
+    def _forward(self, partition: int, version: Version) -> None:
+        """Hand a straggler to the local new owner, chunk-framed so the
+        receiver installs it without advancing any version-vector entry
+        (its own direct stream from the source DC is the only thing
+        allowed to vouch for remote coverage)."""
+        server = self.server
+        if partition == server.n:
+            return
+        server.send(server.topology.server(server.m, partition),
+                    m.MigrateChunk(
+                        epoch=self.view.epoch, src_dc=server.m,
+                        src_partition=server.n, seq=FORWARD_SEQ,
+                        versions=[version], vv=[], last=False,
+                    ))
+
+    # ------------------------------------------------------------------
+    # Phase 1: propose
+    # ------------------------------------------------------------------
+    def _on_propose(self, msg: m.ViewPropose) -> None:
+        server = self.server
+        if msg.epoch > self.view.epoch:
+            self.pending = ClusterView.from_wire(msg.epoch, msg.members,
+                                                 msg.vnodes)
+        self._controller = msg.reply_to
+        server.send(msg.reply_to, m.ViewAck(
+            epoch=msg.epoch, phase="prepare", dc=server.m,
+            partition=server.n))
+
+    # ------------------------------------------------------------------
+    # Phase 2: seal + stream (donor side)
+    # ------------------------------------------------------------------
+    def _on_migrate_start(self, msg: m.MigrateStart) -> None:
+        server = self.server
+        if server._catching_up is not None:
+            # Mid-recovery the store is still filling; streaming now
+            # would hand off a partial past.  Replays after catch-up.
+            server._parked_during_catchup.append(msg)
+            return
+        self._controller = msg.reply_to
+        if msg.epoch <= self.view.epoch:
+            # Already committed here (driver retry raced our earlier ack).
+            self._send_done(msg.epoch, 0, 0)
+            return
+        if self.pending is None or self.pending.epoch != msg.epoch:
+            # The propose this start belongs to was lost to a crash; the
+            # driver re-sends propose then start in order on FIFO
+            # channels, so the retry will arrive well-formed.
+            return
+        if self._done_stats is not None:
+            keys, size = self._done_stats
+            self._send_done(msg.epoch, keys, size)
+            return
+        pending = self.pending
+        moving = sorted(
+            key for key in server.store.keys()
+            if pending.owner_of(key) != server.n
+        )
+        self._sealed = set(moving)
+        self._unacked.clear()
+        self._streams_open = 0
+        self._migrating_epoch = msg.epoch
+        if not moving:
+            self._done_stats = (0, 0)
+            self._send_done(msg.epoch, 0, 0)
+            return
+        by_target: dict[int, list[Version]] = {}
+        for key in moving:
+            chain = server.store.chain(key)
+            if chain is None:
+                continue
+            # Oldest-first so the receiver's chains grow in insert order.
+            by_target.setdefault(pending.owner_of(key),
+                                 []).extend(reversed(list(chain)))
+        total_bytes = 0
+        chunk_size = self.config.handoff_chunk_versions
+        for partition, versions in sorted(by_target.items()):
+            target = server.topology.server(server.m, partition)
+            unacked = self._unacked.setdefault(target, set())
+            self._streams_open += 1
+            for start in range(0, len(versions), chunk_size):
+                chunk = versions[start:start + chunk_size]
+                last = start + chunk_size >= len(versions)
+                self._next_seq += 1
+                unacked.add(self._next_seq)
+                frame = m.MigrateChunk(
+                    epoch=msg.epoch, src_dc=server.m,
+                    src_partition=server.n, seq=self._next_seq,
+                    versions=chunk, vv=list(server.vv), last=last,
+                )
+                total_bytes += frame.size_bytes()
+                server.send(target, frame)
+        self._stream_totals = (len(moving), total_bytes)
+        server.keys_migrated += len(moving)
+        server.migration_bytes += total_bytes
+
+    def _on_chunk(self, msg: m.MigrateChunk) -> None:
+        server = self.server
+        store = server.store
+        for version in msg.versions:
+            if not store.has_version(version.key, version.sr, version.ut):
+                store.insert(version)
+                server.rt.persist(version)
+        if msg.seq == FORWARD_SEQ:
+            return
+        if msg.last and msg.vv:
+            # Adopt only the donor's own-DC watermark: its local writes
+            # were either already replicated to us through its channel
+            # or arrived in these chunks — never in flight elsewhere.
+            # Remote entries stay untouched (see module docstring).  The
+            # clock floor keeps our next local write stamped strictly
+            # above every migrated own-DC version.
+            own = msg.vv[server.m]
+            if own > server.vv[server.m]:
+                server.vv[server.m] = own
+            server._advance_clock_past(own)
+            server.waiters.notify()
+        # The persist calls above joined this tick's group-commit batch;
+        # the live runtime holds this ack frame until the batch fsync
+        # completes — acked means durable (sim persists are no-ops and
+        # the same code path costs nothing).
+        server.send(
+            server.topology.server(msg.src_dc, msg.src_partition),
+            m.MigrateAck(epoch=msg.epoch, partition=server.n, seq=msg.seq))
+
+    def _on_ack(self, msg: m.MigrateAck) -> None:
+        server = self.server
+        acker = server.topology.server(server.m, msg.partition)
+        unacked = self._unacked.get(acker)
+        if unacked is None or msg.seq not in unacked:
+            return  # stale ack from an abandoned attempt
+        unacked.discard(msg.seq)
+        if unacked:
+            return
+        del self._unacked[acker]
+        self._streams_open -= 1
+        if self._streams_open == 0 and self._done_stats is None:
+            self._done_stats = self._stream_totals
+            keys, size = self._done_stats
+            self._send_done(self._migrating_epoch, keys, size)
+
+    def _send_done(self, epoch: int, keys: int, size: int) -> None:
+        if self._controller is not None:
+            server = self.server
+            server.send(self._controller, m.MigrateDone(
+                epoch=epoch, dc=server.m, partition=server.n,
+                keys_moved=keys, bytes_moved=size))
+
+    # ------------------------------------------------------------------
+    # Phase 3: commit (and gossip-driven adoption)
+    # ------------------------------------------------------------------
+    def _on_commit(self, msg: m.ViewCommit) -> None:
+        server = self.server
+        if msg.epoch > self.view.epoch:
+            self._adopt(ClusterView.from_wire(msg.epoch, msg.members,
+                                              msg.vnodes))
+        if self._controller is not None:
+            server.send(self._controller, m.ViewAck(
+                epoch=msg.epoch, phase="commit", dc=server.m,
+                partition=server.n))
+
+    def _adopt(self, view: ClusterView) -> None:
+        """Flip to a committed view: log, purge, answer parked ops."""
+        server = self.server
+        self.view = view
+        persist_view = getattr(server.rt, "persist_view", None)
+        if persist_view is not None:
+            persist_view(*view.to_wire())
+        n = server.n
+        owner_of = view.owner_of
+        server.store.purge(lambda v: owner_of(v.key) != n)
+        self.pending = None
+        self._sealed = None
+        self._done_stats = None
+        self._unacked.clear()
+        self._streams_open = 0
+        parked, self._parked = self._parked, []
+        for msg in parked:
+            # Re-gate under the new view: ops for keys we kept serve
+            # normally; ops for keys that moved get the NotOwner
+            # redirect carrying this view.
+            server.on_message(msg)
+        server.waiters.notify()
+
+    def adopt_recovered(self, epoch: int, members: Iterable[int],
+                        vnodes: int) -> None:
+        """Boot-time restore of the newest WAL-logged view.  The commit
+        that logged it only ever followed a finished handoff, so purging
+        unowned chains cannot drop the last copy of anything."""
+        if epoch > self.view.epoch:
+            self._adopt(ClusterView.from_wire(epoch, tuple(members),
+                                              vnodes))
+
+    # ------------------------------------------------------------------
+    # Gossip (anti-entropy for views)
+    # ------------------------------------------------------------------
+    def _gossip_tick(self) -> None:
+        server = self.server
+        epoch, members, vnodes = self.view.to_wire()
+        gossip = m.ViewGossip(epoch=epoch, members=members, vnodes=vnodes)
+        targets = [addr for addr in server.topology.dc_servers(server.m)
+                   if addr != server.address]
+        targets.extend(server._peer_replicas)
+        server.send_fanout(targets, gossip)
+        server.rt.schedule(self.config.gossip_interval_s, self._gossip_tick)
+
+    def _on_gossip(self, msg: m.ViewGossip) -> None:
+        if msg.epoch > self.view.epoch:
+            self._adopt(ClusterView.from_wire(msg.epoch, msg.members,
+                                              msg.vnodes))
+        # Lower-epoch gossip needs no reply: every server gossips every
+        # interval, so a stale peer hears a higher epoch from our own
+        # next tick (ViewGossip carries no reply address by design).
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def quorum_partitions(self) -> set[int]:
+        """Partitions whose reports complete a GC/stabilization round:
+        the view members plus the aggregator's own partition (0).  A
+        partition resharded out of the view may be dead; waiting on its
+        report would stall every round forever."""
+        return set(self.view.members) | {0}

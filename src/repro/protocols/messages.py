@@ -433,6 +433,172 @@ class DepCheckResp:
 
 
 # ----------------------------------------------------------------------
+# Elastic membership (epoch-versioned views + causal-safe resharding)
+# ----------------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class ViewPropose:
+    """Reshard driver -> every server: prepare for the next view.
+
+    Carries the full proposed view ``(epoch, members, vnodes)`` so a
+    server that missed earlier epochs (restarted mid-reshard) can still
+    participate.  Answered with ``ViewAck(phase="prepare")``.
+    """
+
+    epoch: int
+    members: tuple[int, ...]
+    vnodes: int
+    reply_to: Address
+
+    def size_bytes(self) -> int:
+        return (HEADER_BYTES + TS_BYTES + ID_BYTES * len(self.members)
+                + ID_BYTES * 2)
+
+
+@dataclass(slots=True)
+class ViewAck:
+    """A server acknowledges a reshard phase (``prepare``/``commit``)."""
+
+    epoch: int
+    phase: str
+    dc: ReplicaId
+    partition: int
+
+    def size_bytes(self) -> int:
+        return HEADER_BYTES + TS_BYTES + ID_BYTES * 3
+
+
+@dataclass(slots=True)
+class MigrateStart:
+    """Reshard driver -> every server: seal moving keys and stream them.
+
+    On receipt every server seals (parks client ops for) the keys whose
+    owner changes between its active view and the proposed epoch; donors
+    then stream those chains to the new owner in their own DC
+    (:class:`MigrateChunk`) and report :class:`MigrateDone`.  Servers
+    with nothing to donate report ``MigrateDone(keys_moved=0)``
+    immediately — the driver needs an answer from everyone.
+    """
+
+    epoch: int
+    reply_to: Address
+
+    def size_bytes(self) -> int:
+        return HEADER_BYTES + TS_BYTES + ID_BYTES
+
+
+@dataclass(slots=True)
+class MigrateChunk:
+    """One WAL-logged chunk of a migrating key range.
+
+    Carries full version chains (values, update times, dependency
+    vectors/lists — the causal metadata) plus, on the final chunk, the
+    donor's version vector: the new owner merges it only once it holds
+    every streamed version, so it never claims coverage it lacks.
+    The receiver persists the chunk before acking (group commit holds
+    the ack exactly as it holds client acks), which is what makes a
+    joiner SIGKILL recoverable with zero acknowledged-write loss.
+    """
+
+    epoch: int
+    src_dc: ReplicaId
+    src_partition: int
+    seq: int
+    versions: list[Version]
+    vv: list[Micros]
+    last: bool = False
+
+    def size_bytes(self) -> int:
+        return (HEADER_BYTES + TS_BYTES + ID_BYTES * 3
+                + vector_bytes(self.vv)
+                + sum(version_bytes(v) for v in self.versions))
+
+
+@dataclass(slots=True)
+class MigrateAck:
+    """New owner -> donor: chunk ``seq`` is applied *and* durable."""
+
+    epoch: int
+    partition: int
+    seq: int
+
+    def size_bytes(self) -> int:
+        return HEADER_BYTES + TS_BYTES + ID_BYTES * 2
+
+
+@dataclass(slots=True)
+class MigrateDone:
+    """Donor -> reshard driver: every chunk acked; totals for the gate."""
+
+    epoch: int
+    dc: ReplicaId
+    partition: int
+    keys_moved: int
+    bytes_moved: int
+
+    def size_bytes(self) -> int:
+        return HEADER_BYTES + TS_BYTES + ID_BYTES * 4
+
+
+@dataclass(slots=True)
+class ViewCommit:
+    """Reshard driver -> every server: the ownership flip.
+
+    Sent only after every donor's chunks are acked-durable and the
+    drain window passed; servers WAL-log the view, adopt it, drop the
+    chains they no longer own and answer parked ops with
+    :class:`NotOwner`.  Answered with ``ViewAck(phase="commit")``.
+    """
+
+    epoch: int
+    members: tuple[int, ...]
+    vnodes: int
+
+    def size_bytes(self) -> int:
+        return (HEADER_BYTES + TS_BYTES + ID_BYTES * len(self.members)
+                + ID_BYTES)
+
+
+@dataclass(slots=True)
+class ViewGossip:
+    """Periodic view exchange between servers (anti-entropy for views).
+
+    A server that missed a commit (crashed bystander) adopts any higher
+    committed epoch it hears about; lower-epoch gossip is answered with
+    the sender's own newer view.
+    """
+
+    epoch: int
+    members: tuple[int, ...]
+    vnodes: int
+
+    def size_bytes(self) -> int:
+        return (HEADER_BYTES + TS_BYTES + ID_BYTES * len(self.members)
+                + ID_BYTES)
+
+
+@dataclass(slots=True)
+class NotOwner:
+    """Server -> client: this key moved; retry against the new view.
+
+    Carries the committed view so the client can re-place *all* keys at
+    once instead of learning one redirect per key.  The client retries
+    the same op (same ``op_id``) after a jittered backoff.
+    """
+
+    op_id: int
+    key: str
+    epoch: int
+    members: tuple[int, ...]
+    vnodes: int
+
+    def size_bytes(self) -> int:
+        return (HEADER_BYTES + KEY_BYTES + TS_BYTES
+                + ID_BYTES * len(self.members) + ID_BYTES * 2)
+
+
+# ----------------------------------------------------------------------
 # Garbage collection
 # ----------------------------------------------------------------------
 

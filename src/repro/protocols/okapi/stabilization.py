@@ -74,7 +74,7 @@ class UniversalStabilizationMixin:
 
     def receive_lst_push(self, msg: m.StabPush) -> None:
         self._lst_reports[msg.partition] = msg.vv[0]
-        if len(self._lst_reports) < self.topology.num_partitions:
+        if not self._aggregation_complete(self._lst_reports):
             return
         dst = min(self._lst_reports.values())
         self._lst_reports.clear()

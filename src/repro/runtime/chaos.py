@@ -737,6 +737,356 @@ def _cell_stalled_disk(scenario, protocol: str, seed: int,
     )
 
 
+# ======================================================================
+# Online-resharding chaos: SIGKILL a participant mid view change
+# ======================================================================
+#
+# The elastic-membership tentpole (docs/membership.md) promises that a
+# view change — seal, stream, drain, commit — survives the crash of any
+# participant.  Three cells pin the three distinct roles: the *donor*
+# dies with chains half-streamed, the *joiner* dies with chunks half
+# received, and the *bystander* (in the address space, on neither ring)
+# dies holding nothing but still gating the commit round.  The driver
+# retries every phase forever, so each cell must converge once the
+# victim recovers from its WAL and catches up.
+
+#: Victim ``(dc, partition)`` per scenario, against the shared shape
+#: below: 2 DCs x 4 partitions, ring (0, 1) -> (0, 1, 2).
+_RESHARD_VICTIMS: dict[str, tuple[int, int]] = {
+    "reshard-kill-donor": (0, 0),
+    "reshard-kill-joiner": (0, 2),
+    "reshard-kill-bystander": (0, 3),
+}
+#: Disjoint deterministic port ranges so consecutive cells never trip
+#: over each other's TIME_WAIT sockets.
+_RESHARD_BASE_PORTS = {
+    "reshard-kill-donor": 7620,
+    "reshard-kill-joiner": 7660,
+    "reshard-kill-bystander": 7700,
+}
+_RESHARD_INITIAL = (0, 1)
+_RESHARD_TARGET = (0, 1, 2)
+#: How long the cell waits for the retried view change to commit after
+#: the victim restarts (covers recovery + catch-up + retry rounds).
+_RESHARD_COMMIT_TIMEOUT_S = 30.0
+
+
+def _reshard_config(protocol: str, seed: int, name: str,
+                    cell_dir: Path) -> ExperimentConfig:
+    from repro.common.config import ClusterConfig, MembershipConfig
+
+    cluster = ClusterConfig(
+        num_dcs=2,
+        num_partitions=4,
+        keys_per_partition=60,
+        protocol=protocol,
+        membership=MembershipConfig(
+            enabled=True,
+            initial_members=_RESHARD_INITIAL,
+            gossip_interval_s=0.3,
+            handoff_chunk_versions=16,
+            commit_delay_s=0.3,
+            retry_interval_s=0.4,
+        ),
+    )
+    return ExperimentConfig(
+        cluster=cluster,
+        workload=WorkloadConfig(
+            kind="mixed",
+            read_ratio=0.7,
+            # No RO-TXs here, deliberately.  These cells SIGKILL one
+            # partition process, which freezes its counterparts' VV
+            # entry for the whole downtime — and plain POCC's RO-TX
+            # carries RDV_c (Algorithm 1), not DV_c, so a client that
+            # optimistically read a fresh remote version and then wrote
+            # can watch its own write fall outside the snapshot while
+            # the VV is frozen.  That is the paper's documented price
+            # of optimism under failures (the Cure*/HA variants close
+            # it), not a resharding defect; these cells gate migration
+            # safety.  TX-under-reshard (slice abort and regroup) is
+            # covered by the sim resharding test, where nothing dies.
+            tx_ratio=0.0,
+            clients_per_partition=2,
+            think_time_s=0.005,
+        ),
+        warmup_s=0.4,
+        duration_s=4.0,
+        seed=seed,
+        verify=True,
+        name=f"chaos-{name}",
+        persistence=PersistenceConfig(
+            enabled=True,
+            data_dir=str(cell_dir),
+            # Acked-means-durable is the gate; snapshots stay off so the
+            # WAL keeps pre-purge versions and the union check below can
+            # see what a donor held before the cutover purge.
+            fsync="always",
+            snapshot_interval_s=0.0,
+        ),
+    )
+
+
+def _union_write_check(
+    cluster: LiveCluster, config: ExperimentConfig, data_dir: Path
+) -> tuple[int, list[str], int]:
+    """Acked-write durability across a reshard: per-DC *union* check.
+
+    A reshard legitimately moves a key's chains between partition
+    directories (and the donor purges its copy after commit), so the
+    single-directory check of :func:`_victim_write_check` would report
+    false losses.  The invariant that actually holds is per data
+    center: every write acked in DC *m* is present in — or dominated
+    within — the union of what *all* of DC *m*'s partition directories
+    recover.
+    """
+    from repro.persistence.manager import (
+        partition_dirname,
+        recover_directory,
+    )
+    num_dcs = config.cluster.num_dcs
+    best: dict[int, dict[Any, tuple[int, int]]] = {}
+    recovered_total = 0
+    for dc in range(num_dcs):
+        by_key = best.setdefault(dc, {})
+        for partition in range(config.cluster.num_partitions):
+            directory = data_dir / partition_dirname(
+                cluster.topology.server(dc, partition))
+            if not directory.exists():
+                continue
+            recovered = recover_directory(directory, truncate=False,
+                                          delete_covered=False)
+            recovered_total += len(recovered.versions)
+            for version in recovered.versions:
+                order = version.order_key
+                current = by_key.get(version.key)
+                if current is None or order > current:
+                    by_key[version.key] = order
+
+    acked = 0
+    lost: list[str] = []
+    for event in cluster.checker.history.writes():
+        key, sr, ut = event.version
+        acked += 1
+        best_order = best.get(sr, {}).get(key)
+        if best_order is None or best_order < version_order_key(ut, sr):
+            lost.append(
+                f"acked write {event.version} at t={event.time_s:.3f}s "
+                f"not in DC {sr}'s recovered union (best: {best_order})"
+            )
+    return acked, lost, recovered_total
+
+
+async def _run_reshard(
+    config: ExperimentConfig, fault: CrashFault, host: str, base_port: int
+) -> dict[str, Any]:
+    from repro.cluster.reshard import attach_live_controller
+    from repro.cluster.ring import ClusterView
+
+    data_dir = Path(config.persistence.data_dir)
+    data_dir.mkdir(parents=True, exist_ok=True)
+    config_path = data_dir / "cluster.json"
+    save_experiment_config(config, str(config_path))
+
+    topology = Topology(config.cluster.num_dcs,
+                        config.cluster.num_partitions)
+    victim_address = topology.server(fault.dc, fault.partition)
+    cluster = LiveCluster(
+        config, host=host, base_port=base_port,
+        serve_addresses=[address for address in topology.all_servers()
+                         if address != victim_address],
+        with_clients=True,
+    )
+    membership = config.cluster.membership
+    target = ClusterView(epoch=1, members=_RESHARD_TARGET,
+                         vnodes=membership.vnodes)
+    done = asyncio.Event()
+    reshard_result: dict[str, Any] = {}
+
+    def _on_done(result) -> None:
+        reshard_result["result"] = result
+        done.set()
+
+    # Before cluster.start(): the controller endpoint's listener must
+    # bind alongside the servers' so their acks can dial back.
+    controller = attach_live_controller(
+        cluster.hub, cluster.topology, target,
+        commit_delay_s=membership.commit_delay_s,
+        retry_interval_s=membership.retry_interval_s,
+        on_done=_on_done,
+    )
+
+    command = _serve_command(config_path, fault, host, base_port)
+    log_path = data_dir / "victim.log"
+    holder = {"proc": await _spawn_victim(command, log_path)}
+    try:
+        return await _drive_reshard(cluster, holder, config, fault,
+                                    command, log_path, data_dir,
+                                    controller, done, reshard_result)
+    finally:
+        victim = holder["proc"]
+        if victim.returncode is None:
+            victim.kill()
+            await victim.wait()
+
+
+async def _drive_reshard(
+    cluster: LiveCluster, holder: dict, config: ExperimentConfig,
+    fault: CrashFault, command: list[str], log_path: Path,
+    data_dir: Path, controller, done: asyncio.Event,
+    reshard_result: dict[str, Any],
+) -> dict[str, Any]:
+    victim = holder["proc"]
+    await cluster.start()
+    stagger = min(config.workload.think_time_s or 0.01, 0.02)
+    for driver in cluster.drivers:
+        driver.start(stagger_s=stagger)
+    await asyncio.sleep(config.warmup_s)
+    cluster.metrics.arm(cluster.hub.now)
+
+    # Let traffic build chains on the old ring, then start the view
+    # change and kill the victim inside its seal/stream/drain window.
+    await asyncio.sleep(0.6)
+    controller.start()
+    await asyncio.sleep(fault.kill_after_s)
+    kill_time = cluster.hub.now
+    kill_phase = controller.phase
+    victim.kill()  # SIGKILL: no flush, no goodbye
+    await victim.wait()
+
+    await asyncio.sleep(fault.downtime_s)
+    restart_time = cluster.hub.now
+    victim = holder["proc"] = await _spawn_victim(command, log_path)
+
+    try:
+        await asyncio.wait_for(done.wait(), _RESHARD_COMMIT_TIMEOUT_S)
+    except asyncio.TimeoutError:
+        pass  # gated below: "view change never committed"
+    # Run on against the committed ring: redirected retries, parked ops
+    # answered, and fresh traffic for the rejoin gate.
+    await asyncio.sleep(0.6)
+    cluster.metrics.disarm(cluster.hub.now)
+    for driver in cluster.drivers:
+        driver.stop()
+    await cluster._quiesce(timeout_s=3.0)
+    cluster.flush_persistence()
+
+    victim.terminate()
+    try:
+        exit_code = await asyncio.wait_for(victim.wait(), TERM_TIMEOUT_S)
+    except asyncio.TimeoutError:
+        victim.kill()
+        await victim.wait()
+        exit_code = None
+
+    report = cluster._report(cluster.hub.clean)
+    await cluster.hub.close()
+    cluster.close_persistence()
+
+    acked, lost, recovered_count = _union_write_check(cluster, config,
+                                                      data_dir)
+    ops_after_restart = sum(
+        1 for event in cluster.checker.history.events
+        if event.time_s > restart_time
+    )
+    servers = cluster.servers.values()
+    return {
+        "report": report,
+        "result": reshard_result.get("result"),
+        "exit_code": exit_code,
+        "acked_writes": acked,
+        "lost_writes": lost,
+        "recovered_versions": recovered_count,
+        "ops_after_restart": ops_after_restart,
+        "kill_time": kill_time,
+        "kill_phase": kill_phase,
+        "restart_time": restart_time,
+        "redirects": sum(s.not_owner_redirects for s in servers),
+        "epochs": sorted({s.view_epoch for s in servers}),
+    }
+
+
+def _cell_reshard(scenario, protocol: str, seed: int,
+                  data_dir: str | None) -> ChaosVerdict:
+    """SIGKILL one view-change participant mid-reshard; the retried
+    handoff must still commit with zero violations and zero acked-write
+    loss, moving roughly K/S of the keyspace to the joiner."""
+    fault_dc, fault_partition = _RESHARD_VICTIMS[scenario.name]
+    stack = tempfile.TemporaryDirectory(prefix="chaos-reshard-")
+    try:
+        base = Path(data_dir) if data_dir else Path(stack.name)
+        cell_dir = base / f"{scenario.name}-{protocol}-{seed}"
+        cell_dir.mkdir(parents=True, exist_ok=True)
+        config = _reshard_config(protocol, seed, scenario.name, cell_dir)
+        fault = CrashFault(dc=fault_dc, partition=fault_partition,
+                           kill_after_s=0.12, downtime_s=1.0)
+        outcome = asyncio.run(_run_reshard(
+            config, fault, host="127.0.0.1",
+            base_port=_RESHARD_BASE_PORTS[scenario.name],
+        ))
+    finally:
+        stack.cleanup()
+
+    report: LiveReport = outcome["report"]
+    result = outcome["result"]
+    failures: list[str] = []
+    if report.violations:
+        failures.append(f"{len(report.violations)} causal violations")
+    if result is None:
+        failures.append(
+            f"view change never committed (killed during "
+            f"'{outcome['kill_phase']}' phase)"
+        )
+    if outcome["lost_writes"]:
+        failures.append(
+            f"{len(outcome['lost_writes'])} acked writes lost: "
+            + "; ".join(outcome["lost_writes"][:3])
+        )
+    if outcome["ops_after_restart"] == 0:
+        failures.append("no operations completed after the restart")
+    if outcome["exit_code"] != 0:
+        failures.append(
+            f"victim's graceful stop exited {outcome['exit_code']}")
+    cluster_cfg = config.cluster
+    total_keys = cluster_cfg.keys_per_partition * cluster_cfg.num_partitions
+    # The K/S bound: adding one member to an S-member ring moves ~K/S
+    # keys per DC.  Only keys that accumulated chains move, so the floor
+    # is loose; the ceiling catches a ring that reshuffles everything.
+    expected = cluster_cfg.num_dcs * total_keys / len(_RESHARD_TARGET)
+    if result is not None and not (
+            0.2 * expected <= result.keys_moved <= 3.0 * expected):
+        failures.append(
+            f"{result.keys_moved} keys moved, outside "
+            f"[{0.2 * expected:.0f}, {3.0 * expected:.0f}] "
+            f"(~K/S = {expected:.0f})"
+        )
+    if result is not None and outcome["epochs"] != [1]:
+        failures.append(
+            f"servers left behind after commit: epochs {outcome['epochs']}")
+
+    details: dict[str, Any] = {
+        "kill_phase": outcome["kill_phase"],
+        "keys_moved": result.keys_moved if result else 0,
+        "bytes_moved": result.bytes_moved if result else 0,
+        "driver_retries": result.retries if result else 0,
+        "redirects": outcome["redirects"],
+        "acked_writes": outcome["acked_writes"],
+        "recovered_versions": outcome["recovered_versions"],
+        "ops_after_restart": outcome["ops_after_restart"],
+    }
+    return ChaosVerdict(
+        scenario=scenario.name,
+        fault_class=scenario.fault_class,
+        protocol=protocol,
+        backend="live",
+        violations=len(report.violations),
+        reads_checked=report.verification["reads_checked"],
+        divergences=0,  # not comparable mid-topology-change; see gates
+        total_ops=report.total_ops,
+        failures=failures,
+        details=details,
+    )
+
+
 @dataclass(frozen=True)
 class ChaosScenario:
     """One named scenario of the matrix: a fault class plus a runner."""
@@ -746,6 +1096,10 @@ class ChaosScenario:
     backend: str
     description: str
     runner: Callable[..., ChaosVerdict]
+    #: Restrict the matrix to these protocols (None = every protocol).
+    #: The reshard cells pin ``("pocc",)``: elastic membership is a
+    #: deployment feature exercised once, not a per-protocol axis.
+    protocols: tuple[str, ...] | None = None
 
     def run(self, protocol: str, seed: int,
             data_dir: str | None = None) -> ChaosVerdict:
@@ -786,6 +1140,21 @@ SCENARIOS: dict[str, ChaosScenario] = {
             "full-DC blackout (loss=1.0), then catch-up recovery",
             _cell_dc_failover,
         ),
+        ChaosScenario(
+            "reshard-kill-donor", "reshard", "live",
+            "SIGKILL the donor mid-handoff (chains half-streamed)",
+            _cell_reshard, protocols=("pocc",),
+        ),
+        ChaosScenario(
+            "reshard-kill-joiner", "reshard", "live",
+            "SIGKILL the joiner mid-handoff (chunks half-received)",
+            _cell_reshard, protocols=("pocc",),
+        ),
+        ChaosScenario(
+            "reshard-kill-bystander", "reshard", "live",
+            "SIGKILL a non-member mid-reshard (still gates commit)",
+            _cell_reshard, protocols=("pocc",),
+        ),
     )
 }
 
@@ -814,6 +1183,9 @@ def run_chaos_matrix(
     for name in names:
         scenario = SCENARIOS[name]
         for protocol in protocols:
+            if (scenario.protocols is not None
+                    and protocol not in scenario.protocols):
+                continue
             report.verdicts.append(
                 scenario.run(protocol, seed, data_dir=data_dir)
             )

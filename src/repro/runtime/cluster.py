@@ -25,6 +25,7 @@ from repro.common.config import ExperimentConfig
 from repro.common.errors import ReproError
 from repro.common.types import Address
 from repro.clocks.physical import PhysicalClock
+from repro.cluster.ring import initial_view
 from repro.cluster.topology import KeyPools, Topology
 from repro.harness import seeds
 from repro.metrics.collectors import MetricsRegistry
@@ -196,7 +197,12 @@ class LiveCluster:
         config.validate()
         self.config = config
         cluster = config.cluster
-        self.topology = Topology(cluster.num_dcs, cluster.num_partitions)
+        view = (initial_view(cluster.num_partitions,
+                             cluster.membership.initial_members,
+                             cluster.membership.vnodes)
+                if cluster.membership.enabled else None)
+        self.topology = Topology(cluster.num_dcs, cluster.num_partitions,
+                                 view)
         self.pools = KeyPools(self.topology, cluster.keys_per_partition)
         self.metrics = MetricsRegistry()
         self.rng = RngRegistry(config.seed)
@@ -296,6 +302,14 @@ class LiveCluster:
                 # not had_state: a server killed before its first record
                 # became durable still served pre-crash reads.
                 self._needs_catchup.append(server)
+            if (recovered is not None and recovered.view_epoch >= 0
+                    and server._membership is not None):
+                # The WAL's newest committed view outranks the config's
+                # initial one: a server restarted after a reshard must
+                # not boot believing the pre-reshard placement.
+                server._membership.adopt_recovered(
+                    recovered.view_epoch, recovered.view_members,
+                    recovered.view_vnodes)
             self.servers[address] = server
             if self.telemetry is not None:
                 self._register_server_telemetry(address, server, durability)
@@ -383,6 +397,19 @@ class LiveCluster:
             "repro_link_fault_drops_total", "counter",
             "Frames dropped by injected link faults, by channel and "
             "message kind.")
+        telemetry.family(
+            "repro_view_epoch", "gauge",
+            "Committed cluster-view epoch (0 = boot view / membership "
+            "off).")
+        telemetry.family(
+            "repro_keys_migrated_total", "counter",
+            "Keys this server donated during reshard handoffs.")
+        telemetry.family(
+            "repro_migration_bytes_total", "counter",
+            "MigrateChunk bytes this server streamed as a donor.")
+        telemetry.family(
+            "repro_not_owner_redirects_total", "counter",
+            "Client operations answered with NotOwner redirects.")
         stats = self.hub.stats
         telemetry.gauge("repro_transport_frames_sent_total",
                         lambda: stats.messages_sent, kind="counter",
@@ -440,6 +467,17 @@ class LiveCluster:
         if batcher is not None:
             telemetry.gauge("repro_repl_batch_occupancy",
                             lambda: batcher.pending, labels=labels)
+        telemetry.gauge("repro_view_epoch",
+                        lambda: server.view_epoch, labels=labels)
+        telemetry.gauge("repro_keys_migrated_total",
+                        lambda: server.keys_migrated, labels=labels,
+                        kind="counter")
+        telemetry.gauge("repro_migration_bytes_total",
+                        lambda: server.migration_bytes, labels=labels,
+                        kind="counter")
+        telemetry.gauge("repro_not_owner_redirects_total",
+                        lambda: server.not_owner_redirects, labels=labels,
+                        kind="counter")
         wal = durability.wal if durability is not None else None
         if wal is not None:
             hist = telemetry.summary("repro_wal_fsync_seconds",

@@ -31,6 +31,7 @@ from repro.common.config import (
     ClusterConfig,
     ExperimentConfig,
     LatencyConfig,
+    MembershipConfig,
     PersistenceConfig,
     ProtocolConfig,
     ReplicationBatchConfig,
@@ -68,11 +69,15 @@ def experiment_config_from_dict(data: dict[str, Any]) -> ExperimentConfig:
                          ("repl_batch", ReplicationBatchConfig),
                          ("anti_entropy", AntiEntropyConfig),
                          ("transport", TransportTuningConfig),
-                         ("telemetry", TelemetryConfig)):
+                         ("telemetry", TelemetryConfig),
+                         ("membership", MembershipConfig)):
         if key in cluster_data:
             sub = dict(cluster_data[key])
             if key == "latency" and "inter_dc_s" in sub:
                 sub["inter_dc_s"] = _tuples(sub["inter_dc_s"])
+            if (key == "membership"
+                    and sub.get("initial_members") is not None):
+                sub["initial_members"] = tuple(sub["initial_members"])
             cluster_data[key] = _build(sub_cls, sub, f"cluster.{key}")
     cluster = _build(ClusterConfig, cluster_data, "cluster")
     workload = _build(WorkloadConfig, dict(data.pop("workload", {})),

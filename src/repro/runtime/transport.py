@@ -39,7 +39,7 @@ from typing import Any, Iterable
 
 from repro.common.config import TransportTuningConfig
 from repro.common.errors import ReproError
-from repro.common.types import Address
+from repro.common.types import Address, reshard_controller_address
 from repro.cluster.topology import Topology
 from repro.protocols.core import FOREGROUND, modeled_message_size
 from repro.runtime import codec
@@ -189,6 +189,11 @@ class AddressBook:
                     book.set(address, host, port if base_port else 0)
                     if base_port:
                         port += 1
+        # The reshard driver's well-known endpoint takes the next slot:
+        # every process derives it, so servers can dial ViewAck /
+        # MigrateDone replies without the driver being configured in.
+        book.set(reshard_controller_address(), host,
+                 port if base_port else 0)
         return book
 
     def set(self, address: Address, host: str, port: int) -> None:
@@ -274,7 +279,7 @@ class LiveStats:
                  "decode_errors", "messages_dropped", "reconnects",
                  "truncated_streams", "batches_sent", "batched_frames",
                  "max_batch_frames", "connect_attempts", "chaos_dropped",
-                 "chaos_delayed")
+                 "chaos_delayed", "retired_frames")
 
     def __init__(self) -> None:
         self.messages_sent = 0
@@ -303,6 +308,9 @@ class LiveStats:
         #: Frames dropped / delayed by injected link faults.
         self.chaos_dropped = 0
         self.chaos_delayed = 0
+        #: Frames discarded because their destination was retired (a
+        #: peer resharded out of the cluster and shut down for good).
+        self.retired_frames = 0
 
 
 class LiveHub:
@@ -331,6 +339,11 @@ class LiveHub:
                              - time.monotonic())
         #: dst -> (frame queue, sender task) of the per-destination channel.
         self._channels: dict[Address, tuple[asyncio.Queue, asyncio.Task]] = {}
+        #: Destinations retired for good (peer resharded out and shut
+        #: down): frames to them are silently discarded instead of
+        #: burning a connect-retry budget — and recording a transport
+        #: error — per background tick, forever.
+        self._retired: set[Address] = set()
         self._runtimes: list["LiveRuntime"] = []
         self._closed = False
 
@@ -400,9 +413,35 @@ class LiveHub:
         # the same immutable payload to every peer serializes it once.
         self.post_frame(dst, codec.encode_frame(msg))
 
+    def retire(self, dst: Address) -> None:
+        """Stop delivering to ``dst`` permanently.
+
+        Called when a peer was resharded out of the cluster and its
+        process stopped: its channel (if any) is torn down and every
+        future frame to it is counted in ``stats.retired_frames`` and
+        discarded — no re-dial, no retry budget, no transport error.
+        Background fan-outs (heartbeats, GC broadcasts, view gossip)
+        keep addressing the full topology; retirement is what keeps
+        them from dialing a grave once per tick.
+        """
+        self._retired.add(dst)
+        channel = self._channels.pop(dst, None)
+        if channel is not None:
+            channel[1].cancel()
+
+    def unretire(self, dst: Address) -> None:
+        """Allow delivery to ``dst`` again (it rejoined the cluster)."""
+        self._retired.discard(dst)
+
+    def is_retired(self, dst: Address) -> bool:
+        return dst in self._retired
+
     def post_frame(self, dst: Address, frame: bytes) -> None:
         """Queue one pre-encoded frame (fan-outs encode the frame once)."""
         if self._closed:
+            return
+        if self._retired and dst in self._retired:
+            self.stats.retired_frames += 1
             return
         channel = self._channels.get(dst)
         if channel is not None and channel[1].done():
@@ -833,6 +872,23 @@ class LiveRuntime:
             # exactly one release callback for it.
             self._wait_batch = batch
             durability.notify_durable(self._on_batch_durable)
+
+    def persist_view(self, epoch: int, members, vnodes: int) -> None:
+        """WAL-log a committed cluster view (elastic membership).
+
+        Rides the open group-commit batch like version persists, so the
+        view record's durability ordering matches the versions of its
+        tick.  No frame holding is needed beyond what those versions
+        already impose — adopting a view sends no acknowledgement whose
+        loss could strand state.
+        """
+        durability = self.durability
+        if durability is not None:
+            durability.append_view(epoch, members, vnodes)
+
+    def retire_peer(self, dst: Address) -> None:
+        """Membership hook: stop dialing a peer that left for good."""
+        self.hub.retire(dst)
 
     def _on_batch_durable(self, batch_id: int) -> None:
         """Group-commit sync completed: release the frames it covered."""

@@ -68,7 +68,8 @@ class PartitionStore:
         caller can report what was lost.
         """
         removed: list[Version] = []
-        for chain in self._chains.values():
+        emptied: list[Any] = []
+        for key, chain in self._chains.items():
             keep: list[Version] = []
             for version in chain:  # freshest-first, order preserved
                 if doomed(version):
@@ -77,6 +78,15 @@ class PartitionStore:
                     keep.append(version)
             if len(keep) != len(chain):
                 chain.truncate_to(keep)
+                if not keep:
+                    emptied.append(key)
+        for key in emptied:
+            # A fully purged chain leaves the store, not an empty shell:
+            # readers treat a missing chain as "no version" (nil reply)
+            # but would trip over a present-yet-empty one, and a view
+            # change purges whole chains precisely to hand the memory
+            # back.
+            del self._chains[key]
         return removed
 
     def chain(self, key: Any) -> VersionChain | None:

@@ -52,13 +52,17 @@ class _PartitionKeyChooser:
         self._pools = pools
         self._rng = rng
         self._ranks = ranks or ZipfRanks(pools.keys_per_partition, theta, rng)
-        self.num_partitions = pools.topology.num_partitions
+        # Clients only target partitions that own keys.  Without a
+        # cluster view this is ``(0, 1, ..., num_partitions - 1)`` and
+        # every draw below is bit-identical to indexing by partition id.
+        self.members = pools.topology.members()
+        self.num_members = len(self.members)
 
     def key_in(self, partition: int) -> str:
         return self._pools.key(partition, self._ranks.sample())
 
     def uniform_partition(self) -> int:
-        return self._rng.randrange(self.num_partitions)
+        return self.members[self._rng.randrange(self.num_members)]
 
 
 class GetPutWorkload:
@@ -80,16 +84,18 @@ class GetPutWorkload:
         self._cycle_position = 0
         # GETs walk distinct partitions starting from a random point, so
         # concurrent clients do not hammer partition 0 in lock-step.
+        # The cursor indexes into the member list, not the partition id
+        # space — identical when no cluster view restricts membership.
         self._partition_cursor = rng.randrange(
-            self._chooser.num_partitions
+            self._chooser.num_members
         )
 
     def next_op(self) -> OpSpec:
         if self._cycle_position < self.gets_per_put:
             self._cycle_position += 1
-            partition = self._partition_cursor
+            partition = self._chooser.members[self._partition_cursor]
             self._partition_cursor = (
-                (self._partition_cursor + 1) % self._chooser.num_partitions
+                (self._partition_cursor + 1) % self._chooser.num_members
             )
             return OpSpec(kind="get", keys=(self._chooser.key_in(partition),))
         self._cycle_position = 0
@@ -109,9 +115,9 @@ class RoTxWorkload:
         ranks=None,
     ):
         chooser = _PartitionKeyChooser(pools, zipf_theta, rng, ranks)
-        if not 1 <= tx_partitions <= chooser.num_partitions:
+        if not 1 <= tx_partitions <= chooser.num_members:
             raise ConfigError(
-                f"tx_partitions must be in [1, {chooser.num_partitions}]"
+                f"tx_partitions must be in [1, {chooser.num_members}]"
             )
         self._chooser = chooser
         self._rng = rng
@@ -122,7 +128,7 @@ class RoTxWorkload:
         if self._next_is_tx:
             self._next_is_tx = False
             partitions = self._rng.sample(
-                range(self._chooser.num_partitions), self.tx_partitions
+                self._chooser.members, self.tx_partitions
             )
             keys = tuple(self._chooser.key_in(p) for p in partitions)
             return OpSpec(kind="ro_tx", keys=keys)
@@ -158,9 +164,9 @@ class MixedWorkload:
         if not 0.0 <= rmw_locality <= 1.0:
             raise ConfigError("rmw_locality must be in [0, 1]")
         chooser = _PartitionKeyChooser(pools, zipf_theta, rng, ranks)
-        if not 1 <= tx_partitions <= chooser.num_partitions:
+        if not 1 <= tx_partitions <= chooser.num_members:
             raise ConfigError(
-                f"tx_partitions must be in [1, {chooser.num_partitions}]"
+                f"tx_partitions must be in [1, {chooser.num_members}]"
             )
         self._chooser = chooser
         self._rng = rng
@@ -174,7 +180,7 @@ class MixedWorkload:
         draw = self._rng.random()
         if draw < self.tx_ratio:
             partitions = self._rng.sample(
-                range(self._chooser.num_partitions), self.tx_partitions
+                self._chooser.members, self.tx_partitions
             )
             keys = tuple(self._chooser.key_in(p) for p in partitions)
             return OpSpec(kind="ro_tx", keys=keys)

@@ -1,0 +1,77 @@
+"""The membership-off byte-identity pin.
+
+Elastic membership is off by default, and off means *off*: a config
+that spells out the disabled ``MembershipConfig`` block (and its every
+default knob) produces the byte-identical per-seed sim report to one
+that never mentions membership — no view object, no gossip timer, no
+RNG draws, no extra sim events, modulo key placement untouched.  This
+is the guarantee that keeps every pre-membership regression baseline
+and pinned figure valid, and it is exactly the discipline the earlier
+chaos/batching knobs established (see
+``tests/integration/test_chaos_matrix.py::test_chaos_knobs_off_is_byte_identical``).
+"""
+
+import dataclasses
+import json
+
+from repro.common.config import (
+    ExperimentConfig,
+    MembershipConfig,
+    WorkloadConfig,
+    smoke_scale_cluster,
+)
+from repro.harness.builders import build_cluster
+from repro.harness.experiment import run_experiment
+
+
+def _config(spelled_out: bool) -> ExperimentConfig:
+    cluster = smoke_scale_cluster("pocc")
+    if spelled_out:
+        cluster = dataclasses.replace(
+            cluster,
+            membership=MembershipConfig(
+                enabled=False,
+                initial_members=None,
+                vnodes=64,
+                gossip_interval_s=0.5,
+                handoff_chunk_versions=128,
+                commit_delay_s=0.25,
+                retry_interval_s=0.5,
+                redirect_backoff_s=0.05,
+            ),
+        )
+    return ExperimentConfig(
+        cluster=cluster,
+        workload=WorkloadConfig(kind="mixed", read_ratio=0.7, tx_ratio=0.1,
+                                tx_partitions=2, clients_per_partition=2,
+                                think_time_s=0.005),
+        warmup_s=0.2,
+        duration_s=1.2,
+        seed=4177,
+        verify=True,
+        name="membership-off-pin",
+    )
+
+
+def _report_bytes(result) -> str:
+    payload = dataclasses.asdict(result)
+    # The config dict legitimately differs (one spells the block out);
+    # everything *measured* must not.
+    payload.pop("config")
+    return json.dumps(payload, sort_keys=True, default=repr)
+
+
+def test_membership_off_is_byte_identical():
+    first = run_experiment(_config(spelled_out=False))
+    second = run_experiment(_config(spelled_out=True))
+    assert _report_bytes(first) == _report_bytes(second)
+    assert first.verification == second.verification
+    assert first.sim_events == second.sim_events
+
+
+def test_membership_off_builds_no_view_and_no_manager():
+    built = build_cluster(_config(spelled_out=True))
+    assert built.topology.view is None
+    for server in built.servers.values():
+        assert server._membership is None
+        assert server.view_epoch == 0

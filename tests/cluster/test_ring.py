@@ -1,0 +1,185 @@
+"""Properties of the consistent-hash ring and epoch-versioned views.
+
+Three guarantees everything above this layer leans on:
+
+1. **Cross-process determinism** — the ring is a pure function of
+   ``(members, vnodes)`` built on crc32, so every server, client,
+   recovery tool and *separately spawned interpreter* derives the same
+   placement with no coordination.
+2. **Minimal movement** — a view change moves about K/S of the keys
+   (consistent hashing's whole point); the reshard chaos cells gate on
+   the same bound at runtime.
+3. **KeyPools consistency** — the workload's per-partition key pools
+   agree with the view's placement, before and after a reshard, so
+   generated traffic always targets owners.
+"""
+
+import subprocess
+import sys
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.ring import ClusterView, HashRing, initial_view
+from repro.cluster.topology import KeyPools, Topology
+from repro.common.errors import ConfigError
+
+# A partition address space comfortably above the member counts drawn
+# below, so joins always have somewhere to come from.
+MAX_PARTITIONS = 12
+
+member_sets = st.sets(
+    st.integers(min_value=0, max_value=MAX_PARTITIONS - 1),
+    min_size=1, max_size=MAX_PARTITIONS,
+).map(lambda s: tuple(sorted(s)))
+
+keys = st.lists(
+    st.integers(min_value=0, max_value=10_000).map(lambda i: f"k{i:08d}"),
+    min_size=1, max_size=200, unique=True,
+)
+
+
+# ----------------------------------------------------------------------
+# Determinism
+# ----------------------------------------------------------------------
+@given(members=member_sets, vnodes=st.integers(1, 128), key_list=keys)
+@settings(max_examples=100, deadline=None)
+def test_placement_is_a_pure_function_of_members_and_vnodes(
+    members, vnodes, key_list
+):
+    first = ClusterView(1, members, vnodes)
+    second = ClusterView(1, tuple(reversed(members)), vnodes)  # order-free
+    for key in key_list:
+        assert first.owner_of(key) == second.owner_of(key)
+        assert first.owner_of(key) in members
+
+
+@given(members=member_sets, key_list=keys)
+@settings(max_examples=30, deadline=None)
+def test_wire_round_trip_preserves_placement(members, key_list):
+    view = ClusterView(3, members, 32)
+    clone = ClusterView.from_wire(*view.to_wire())
+    assert clone == view
+    assert [clone.owner_of(k) for k in key_list] == \
+        [view.owner_of(k) for k in key_list]
+
+
+def test_placement_identical_in_a_separate_interpreter():
+    """The property the wire format rides on: a *different process*
+    (fresh interpreter, its own hash seed) derives the identical
+    placement from ``(members, vnodes)`` alone."""
+    members, vnodes = (0, 2, 5), 64
+    sample = [f"k{i:08d}" for i in range(500)]
+    local = [ClusterView(1, members, vnodes).owner_of(k) for k in sample]
+    script = (
+        "from repro.cluster.ring import ClusterView;"
+        f"view = ClusterView(1, {members!r}, {vnodes});"
+        f"print(','.join(str(view.owner_of(k)) for k in {sample!r}))"
+    )
+    out = subprocess.run(
+        [sys.executable, "-c", script],
+        capture_output=True, text=True, check=True,
+    ).stdout.strip()
+    assert [int(x) for x in out.split(",")] == local
+
+
+# ----------------------------------------------------------------------
+# Minimal movement
+# ----------------------------------------------------------------------
+@given(
+    members=st.sets(st.integers(0, MAX_PARTITIONS - 1),
+                    min_size=2, max_size=MAX_PARTITIONS - 1)
+    .map(lambda s: tuple(sorted(s))),
+    joiner=st.integers(0, MAX_PARTITIONS - 1),
+)
+@settings(max_examples=50, deadline=None)
+def test_one_join_moves_about_k_over_s_keys(members, joiner):
+    if joiner in members:
+        joiner = next(p for p in range(MAX_PARTITIONS) if p not in members)
+    before = ClusterView(0, members)
+    after = before.with_member(joiner)
+    assert after.epoch == 1
+    sample = [f"k{i:08d}" for i in range(2000)]
+    moved = sum(before.owner_of(k) != after.owner_of(k) for k in sample)
+    expected = len(sample) / len(after.members)
+    # Everything that moved went *to* the joiner (nothing reshuffles
+    # between surviving members), and the volume is ≈K/S — the same
+    # bound the reshard chaos cells gate on, wider here because small
+    # member counts carry more vnode variance.
+    for key in sample:
+        if before.owner_of(key) != after.owner_of(key):
+            assert after.owner_of(key) == joiner
+    assert 0.2 * expected <= moved <= 3.0 * expected
+
+
+@given(
+    members=st.sets(st.integers(0, MAX_PARTITIONS - 1),
+                    min_size=2, max_size=MAX_PARTITIONS)
+    .map(lambda s: tuple(sorted(s))),
+)
+@settings(max_examples=50, deadline=None)
+def test_removal_moves_only_the_leavers_keys(members):
+    leaver = members[0]
+    before = ClusterView(4, members)
+    after = before.without_member(leaver)
+    assert after.epoch == 5
+    assert leaver not in after.members
+    for key in (f"k{i:08d}" for i in range(1000)):
+        if before.owner_of(key) == leaver:
+            assert after.owner_of(key) != leaver
+        else:  # survivors keep everything they had
+            assert after.owner_of(key) == before.owner_of(key)
+
+
+def test_member_transitions_validate():
+    view = ClusterView(0, (0, 1))
+    with pytest.raises(ConfigError):
+        view.with_member(1)  # already on the ring
+    with pytest.raises(ConfigError):
+        view.without_member(3)  # never was
+    with pytest.raises(ConfigError):
+        ClusterView(0, ())  # empty ring
+    with pytest.raises(ConfigError):
+        HashRing((0,), vnodes=0)
+    with pytest.raises(ConfigError):
+        initial_view(4, (0, 7), 64)  # member outside the address space
+
+
+# ----------------------------------------------------------------------
+# KeyPools consistency
+# ----------------------------------------------------------------------
+@given(
+    members=st.sets(st.integers(0, 5), min_size=1, max_size=5)
+    .map(lambda s: tuple(sorted(s))),
+    joiner=st.integers(0, 5),
+)
+@settings(max_examples=25, deadline=None)
+def test_key_pools_agree_with_the_view_across_a_reshard(members, joiner):
+    view = initial_view(6, members, 64)
+    topology = Topology(2, 6, view)
+    pools = KeyPools(topology, 20)
+    assert pools.total_keys == len(members) * 20
+    for partition in members:
+        for key in pools.pool(partition):
+            assert view.owner_of(key) == partition
+    for partition in range(6):
+        if partition not in members:
+            assert pools.pool(partition) == []
+    # After a join commits, the successor view re-places the same pools:
+    # every key still has exactly one owner, drawn from the new members.
+    if joiner in members:
+        return
+    after = view.with_member(joiner)
+    for key in pools.all_keys():
+        assert after.owner_of(key) in after.members
+
+
+def test_pools_without_a_view_keep_the_seed_placement():
+    """``view=None`` is the membership-off path: modulo placement,
+    byte-identical to the pre-membership seed."""
+    topology = Topology(2, 4)
+    pools = KeyPools(topology, 10)
+    import zlib
+    for partition in range(4):
+        for key in pools.pool(partition):
+            assert zlib.crc32(key.encode()) % 4 == partition

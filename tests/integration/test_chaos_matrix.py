@@ -155,8 +155,15 @@ def test_partition_during_replicate_batch_flush():
 
 def test_chaos_matrix_scenarios_are_wired():
     expected = {"asym-partition", "lossy-1pct", "slow-link-10x",
-                "clock-spike", "stalled-disk", "dc-failover"}
+                "clock-spike", "stalled-disk", "dc-failover",
+                "reshard-kill-donor", "reshard-kill-joiner",
+                "reshard-kill-bystander"}
     assert expected == set(SCENARIOS)
+    # The reshard cells are a deployment-feature gate, not a protocol
+    # axis: they run once, under the paper's subject protocol.
+    for name in ("reshard-kill-donor", "reshard-kill-joiner",
+                 "reshard-kill-bystander"):
+        assert SCENARIOS[name].protocols == ("pocc",)
 
 
 def test_chaos_matrix_reduced_run_passes():

@@ -1,0 +1,118 @@
+"""View records in the WAL: the committed cluster view survives crashes.
+
+A committed view change (elastic membership's ``ViewCommit``) is logged
+as a ``("view", epoch, members, vnodes)`` record before adoption, so a
+SIGKILLed server rejoins the epoch it had committed rather than the
+boot-time view — without this a recovered donor would re-claim keys it
+already handed off.  Two subtleties these tests pin:
+
+* recovery keeps the **newest epoch**, wherever it sits in the segment
+  sequence;
+* the snapshot format does not carry the view, so a snapshot roll (which
+  deletes the covered segments — possibly holding the only view record)
+  must re-log the newest view into the fresh segment first, including a
+  view that was only ever *recovered*, never appended this run.
+"""
+
+from repro.common.config import PersistenceConfig
+from repro.common.types import server_address
+from repro.persistence.manager import (
+    PartitionDurability,
+    partition_dirname,
+    recover_directory,
+)
+from repro.storage.store import PartitionStore
+from repro.storage.version import Version
+
+
+def _durability(tmp_path) -> PartitionDurability:
+    durability = PartitionDurability(
+        tmp_path, server_address(0, 0),
+        PersistenceConfig(enabled=True, fsync="always"),
+    )
+    durability.recover()
+    return durability
+
+
+def _partition_dir(tmp_path):
+    # The manager nests per-partition directories under its root.
+    return tmp_path / partition_dirname(server_address(0, 0))
+
+
+def _version(key="k00000001", ut=100):
+    return Version(key=key, value=("c", 1), sr=0, ut=ut, dv=(0, 0))
+
+
+def test_view_record_round_trips_through_recovery(tmp_path):
+    durability = _durability(tmp_path)
+    durability.append_version(_version())
+    durability.append_view(3, (0, 1, 2), 64)
+    durability.close()
+
+    state = recover_directory(_partition_dir(tmp_path))
+    assert state.had_state
+    assert state.view_epoch == 3
+    assert tuple(state.view_members) == (0, 1, 2)
+    assert state.view_vnodes == 64
+    # The version records around it are untouched by the non-version tag.
+    assert state.wal_records == 1
+
+
+def test_recovery_keeps_the_newest_epoch(tmp_path):
+    durability = _durability(tmp_path)
+    durability.append_view(1, (0, 1, 2, 3), 64)
+    durability.append_view(2, (0, 1, 2), 64)
+    durability.close()
+    state = recover_directory(_partition_dir(tmp_path))
+    assert state.view_epoch == 2
+    assert tuple(state.view_members) == (0, 1, 2)
+
+
+def test_fresh_directory_has_no_view(tmp_path):
+    durability = _durability(tmp_path)
+    durability.append_version(_version())
+    durability.close()
+    state = recover_directory(_partition_dir(tmp_path))
+    # -1 is the "boot with the configured initial view" sentinel.
+    assert state.view_epoch == -1
+    assert state.view_members == ()
+
+
+def test_snapshot_roll_re_logs_the_view(tmp_path):
+    """The snapshot deletes the segments holding the only view record;
+    the roll must write it into the fresh segment first."""
+    durability = _durability(tmp_path)
+    durability.append_view(5, (0, 2), 32)
+    store = PartitionStore()
+    store.insert(_version())
+    durability.snapshot(store, vv=[0, 0], num_dcs=2)
+    durability.close()
+
+    state = recover_directory(_partition_dir(tmp_path))
+    assert state.view_epoch == 5
+    assert tuple(state.view_members) == (0, 2)
+    assert state.view_vnodes == 32
+
+
+def test_recovered_view_survives_a_snapshot_in_the_next_run(tmp_path):
+    """A restarted server that never re-commits a view still re-logs the
+    *recovered* one across its snapshot rolls — epoch knowledge must not
+    decay run over run."""
+    first = _durability(tmp_path)
+    first.append_view(7, (1, 3), 64)
+    first.close()
+
+    second = PartitionDurability(
+        tmp_path, server_address(0, 0),
+        PersistenceConfig(enabled=True, fsync="always"),
+    )
+    recovered = second.recover()
+    assert recovered.view_epoch == 7
+    store = PartitionStore()
+    store.insert(_version())
+    second.snapshot(store, vv=[0, 0], num_dcs=2)  # deletes old segments
+    second.close()
+
+    state = recover_directory(_partition_dir(tmp_path))
+    assert state.view_epoch == 7
+    assert tuple(state.view_members) == (1, 3)

@@ -162,6 +162,44 @@ STRATEGIES: dict[str, st.SearchStrategy] = {
                               st.one_of(versions, cops_versions),
                               max_size=3),
                           src_dc=st.integers(0, 4)),
+    "ViewPropose": st.builds(m.ViewPropose, epoch=small_int,
+                             members=st.lists(small_int, min_size=1,
+                                              max_size=6).map(tuple),
+                             vnodes=st.integers(1, 256),
+                             reply_to=addresses),
+    "ViewAck": st.builds(m.ViewAck, epoch=small_int,
+                         phase=st.sampled_from(["prepare", "commit"]),
+                         dc=st.integers(0, 4),
+                         partition=st.integers(0, 7)),
+    "MigrateStart": st.builds(m.MigrateStart, epoch=small_int,
+                              reply_to=addresses),
+    "MigrateChunk": st.builds(m.MigrateChunk, epoch=small_int,
+                              src_dc=st.integers(0, 4),
+                              src_partition=st.integers(0, 7),
+                              seq=st.integers(-1, 2**20),
+                              versions=st.lists(versions, max_size=3),
+                              vv=st.lists(micros, max_size=5),
+                              last=st.booleans()),
+    "MigrateAck": st.builds(m.MigrateAck, epoch=small_int,
+                            partition=st.integers(0, 7), seq=small_int),
+    "MigrateDone": st.builds(m.MigrateDone, epoch=small_int,
+                             dc=st.integers(0, 4),
+                             partition=st.integers(0, 7),
+                             keys_moved=small_int,
+                             bytes_moved=small_int),
+    "ViewCommit": st.builds(m.ViewCommit, epoch=small_int,
+                            members=st.lists(small_int, min_size=1,
+                                             max_size=6).map(tuple),
+                            vnodes=st.integers(1, 256)),
+    "ViewGossip": st.builds(m.ViewGossip, epoch=small_int,
+                            members=st.lists(small_int, min_size=1,
+                                             max_size=6).map(tuple),
+                            vnodes=st.integers(1, 256)),
+    "NotOwner": st.builds(m.NotOwner, op_id=small_int, key=keys,
+                          epoch=small_int,
+                          members=st.lists(small_int, min_size=1,
+                                           max_size=6).map(tuple),
+                          vnodes=st.integers(1, 256)),
 }
 
 
